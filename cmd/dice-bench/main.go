@@ -1,0 +1,76 @@
+// Command dice-bench regenerates the paper's evaluation artifacts. Each
+// experiment (e1..e7, see DESIGN.md and EXPERIMENTS.md) can be run
+// individually or all together; -quick shrinks budgets for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	dice "github.com/dice-project/dice"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e1..e7 or all")
+	quick := flag.Bool("quick", false, "use reduced budgets")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := dice.ExperimentConfig{Quick: *quick, Seed: *seed}
+	which := strings.ToLower(*exp)
+	run := func(name string) bool { return which == "all" || which == name }
+	failed := false
+
+	report := func(name string, out fmt.Stringer, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			failed = true
+			return
+		}
+		fmt.Println(out.String())
+	}
+
+	if run("e1") {
+		res, err := dice.RunE1(cfg)
+		report("E1", res, err)
+	}
+	if run("e2") {
+		res, err := dice.RunE2(cfg)
+		report("E2", res, err)
+	}
+	if run("e3") {
+		rows, err := dice.RunE3(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "E3 failed: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println(dice.FormatE3(rows))
+		}
+	}
+	if run("e4") {
+		res, err := dice.RunE4(cfg)
+		report("E4", res, err)
+	}
+	if run("e5") {
+		rows, err := dice.RunE5(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "E5 failed: %v\n", err)
+			failed = true
+		} else {
+			fmt.Println(dice.FormatE5(rows))
+		}
+	}
+	if run("e6") {
+		res, err := dice.RunE6(cfg)
+		report("E6", res, err)
+	}
+	if run("e7") {
+		res, err := dice.RunE7(cfg)
+		report("E7", res, err)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

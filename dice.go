@@ -1,0 +1,153 @@
+// Package dice is the public API of the DiCE reproduction: online testing of
+// federated and heterogeneous distributed systems (Canini et al., SIGCOMM'11
+// demo), rebuilt as a self-contained Go library around an emulated BGP
+// deployment.
+//
+// The package re-exports the pieces a user composes:
+//
+//   - Topologies (package internal/topology) describe routers, autonomous
+//     systems, originated prefixes and link relationships; Demo27 is the
+//     27-router topology from the paper's Figure 1.
+//   - Deployments (package internal/cluster) turn a topology into running,
+//     emulated BIRD-like BGP routers (package internal/bird) on a
+//     deterministic virtual-time network (package internal/netem).
+//   - Faults (package internal/faults) plant the paper's three fault
+//     classes: operator mistakes, policy conflicts, programming errors.
+//   - The Engine (package internal/dice) runs the DiCE workflow: consistent
+//     snapshot, concolic + grammar-fuzzed exploration of cloned snapshots,
+//     and property checking over a narrow information-sharing interface
+//     (package internal/checker).
+//
+// The Experiments type (experiments.go) regenerates every evaluation artifact
+// described in the paper; see EXPERIMENTS.md for the mapping.
+package dice
+
+import (
+	"time"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// Re-exported topology constructors.
+var (
+	// Demo27 builds the paper's 27-router demo topology.
+	Demo27 = topology.Demo27
+	// GaoRexford builds a random Internet-like topology.
+	GaoRexford = topology.GaoRexford
+	// Line, Ring, Clique and Star build small regular topologies.
+	Line   = topology.Line
+	Ring   = topology.Ring
+	Clique = topology.Clique
+	Star   = topology.Star
+)
+
+// Topology describes the routers, ASes and links of a deployment.
+type Topology = topology.Topology
+
+// Deployment is a running emulated cluster of BGP routers.
+type Deployment = cluster.Cluster
+
+// DeployOptions configure how a topology is instantiated.
+type DeployOptions = cluster.Options
+
+// Deploy builds the routers for a topology and returns the deployment
+// (unconverged; call Converge).
+func Deploy(topo *Topology, opts DeployOptions) (*Deployment, error) {
+	return cluster.Build(topo, opts)
+}
+
+// Engine drives DiCE exploration rounds against a deployment.
+type Engine = dice.Engine
+
+// EngineOptions configure an exploration round.
+type EngineOptions = dice.Options
+
+// Result is the outcome of an exploration round.
+type Result = dice.Result
+
+// Detection is one detected fault.
+type Detection = dice.Detection
+
+// NewEngine returns an exploration engine for a deployed cluster.
+func NewEngine(live *Deployment, topo *Topology, opts EngineOptions) *Engine {
+	return dice.New(live, topo, opts)
+}
+
+// Fault classes (from the paper).
+const (
+	OperatorMistake  = checker.ClassOperatorMistake
+	PolicyConflict   = checker.ClassPolicyConflict
+	ProgrammingError = checker.ClassProgrammingError
+)
+
+// FaultClass identifies one of the paper's fault classes.
+type FaultClass = checker.FaultClass
+
+// Properties and checking.
+type (
+	// Property is a checkable system property.
+	Property = checker.Property
+	// Violation is a concrete property violation.
+	Violation = checker.Violation
+)
+
+// DefaultProperties returns the standard property set for a topology.
+func DefaultProperties(topo *Topology) []Property { return checker.DefaultProperties(topo) }
+
+// CheckDeployment evaluates the properties directly against the deployed
+// cluster (DiCE normally checks explored clones instead).
+func CheckDeployment(d *Deployment, props []Property) []Violation {
+	return checker.CheckAll(d, props).Violations()
+}
+
+// Fault injection re-exports.
+type (
+	// ConfigFault is a configuration-level fault (operator mistake or policy
+	// conflict).
+	ConfigFault = faults.ConfigFault
+	// CodeFault is a code-level fault (programming error).
+	CodeFault = faults.CodeFault
+)
+
+// Operator mistakes, policy conflicts and programming errors.
+var (
+	// ApplyConfigFaults adapts config faults into a DeployOptions override.
+	ApplyConfigFaults = faults.ApplyConfigFaults
+	// InstallCodeFaults installs handler bugs on deployed routers.
+	InstallCodeFaults = faults.InstallCodeFaults
+	// CommunityCrash, LongPathCrash, MEDZeroCrash and DroppedWithdrawals
+	// build canned programming errors.
+	CommunityCrash     = faults.CommunityCrash
+	LongPathCrash      = faults.LongPathCrash
+	MEDZeroCrash       = faults.MEDZeroCrash
+	DroppedWithdrawals = faults.DroppedWithdrawals
+)
+
+// MisOrigination is the prefix-hijack operator mistake.
+type MisOrigination = faults.MisOrigination
+
+// MissingImportFilter is the latent missing-filter operator mistake.
+type MissingImportFilter = faults.MissingImportFilter
+
+// DisputeWheel is the policy-conflict fault.
+type DisputeWheel = faults.DisputeWheel
+
+// Convenience wrappers.
+
+// ConvergeAndSnapshotSize converges a deployment and returns how long the
+// snapshot of its state takes and how many bytes it occupies.
+func ConvergeAndSnapshotSize(d *Deployment) (time.Duration, int, error) {
+	d.Converge()
+	start := time.Now()
+	snap := d.Snapshot()
+	elapsed := time.Since(start)
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		return 0, 0, err
+	}
+	return elapsed, len(data), nil
+}

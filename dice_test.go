@@ -1,0 +1,166 @@
+package dice
+
+import (
+	"strings"
+	"testing"
+)
+
+var quickCfg = ExperimentConfig{Quick: true, Seed: 1}
+
+func TestFacadeDeployAndCheck(t *testing.T) {
+	topo := Line(3)
+	d, err := Deploy(topo, DeployOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	d.Converge()
+	if v := CheckDeployment(d, DefaultProperties(topo)); len(v) != 0 {
+		t.Fatalf("healthy deployment reported violations: %v", v)
+	}
+	dur, size, err := ConvergeAndSnapshotSize(d)
+	if err != nil || size == 0 || dur < 0 {
+		t.Errorf("snapshot measurement broken: %v %d %v", dur, size, err)
+	}
+}
+
+func TestFacadeEngineDetectsHijack(t *testing.T) {
+	topo := Line(3)
+	victim := topo.Nodes[0].Prefixes[0]
+	opts := DeployOptions{Seed: 1, ConfigOverride: ApplyConfigFaults(MisOrigination{Router: "R3", Prefix: victim})}
+	d, err := Deploy(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Converge()
+	res, err := NewEngine(d, topo, EngineOptions{Explorer: "R2", MaxInputs: 4, FuzzSeeds: 2, UseConcolic: true, Seed: 1, ClusterOptions: opts}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected(OperatorMistake) {
+		t.Fatalf("hijack not detected through the public API")
+	}
+}
+
+func TestRunE1Quick(t *testing.T) {
+	res, err := RunE1(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE1: %v", err)
+	}
+	if res.Routers != 27 {
+		t.Errorf("demo must use 27 routers, got %d", res.Routers)
+	}
+	if !res.DetectedClasses["operator-mistake"] {
+		t.Errorf("demo run should detect at least the operator mistake; got %v", res.Detections)
+	}
+	if !strings.Contains(res.String(), "27 routers") {
+		t.Errorf("report rendering broken")
+	}
+}
+
+func TestRunE2Quick(t *testing.T) {
+	res, err := RunE2(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE2: %v", err)
+	}
+	if !res.LiveStateUntouched {
+		t.Errorf("exploration must not perturb the deployed system")
+	}
+	if res.ClonesCreated == 0 || res.SnapshotBytes == 0 {
+		t.Errorf("workflow accounting incomplete: %+v", res)
+	}
+	if res.String() == "" {
+		t.Errorf("report rendering broken")
+	}
+}
+
+func TestRunE3Quick(t *testing.T) {
+	rows, err := RunE3(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE3: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("quick E3 should produce 3 rows, got %d", len(rows))
+	}
+	classes := map[string]bool{}
+	for _, r := range rows {
+		classes[r.Class] = true
+	}
+	for _, want := range []string{"operator-mistake", "programming-error", "policy-conflict"} {
+		if !classes[want] {
+			t.Errorf("E3 missing class %s", want)
+		}
+	}
+	if FormatE3(rows) == "" {
+		t.Errorf("E3 formatting broken")
+	}
+}
+
+func TestRunE4Quick(t *testing.T) {
+	res, err := RunE4(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE4: %v", err)
+	}
+	if res.BaselinePerUpdate <= 0 || res.InstrumentedPerUpdate <= 0 {
+		t.Errorf("per-update timing missing: %+v", res)
+	}
+	if res.CheckpointBytesNode <= 0 || res.SnapshotTotalBytes <= 0 {
+		t.Errorf("checkpoint accounting missing: %+v", res)
+	}
+	if res.String() == "" {
+		t.Errorf("report rendering broken")
+	}
+}
+
+func TestRunE5Quick(t *testing.T) {
+	rows, err := RunE5(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE5: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("E5 should compare 3 modes")
+	}
+	var combined *E5Row
+	for i := range rows {
+		if rows[i].Mode == "concolic+fuzzing" {
+			combined = &rows[i]
+		}
+	}
+	if combined == nil || !combined.FoundBug {
+		t.Errorf("combined exploration should find the guarded bug: %+v", rows)
+	}
+	if FormatE5(rows) == "" {
+		t.Errorf("E5 formatting broken")
+	}
+}
+
+func TestRunE6Quick(t *testing.T) {
+	res, err := RunE6(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE6: %v", err)
+	}
+	if res.ValidRatio != 1.0 {
+		t.Errorf("grammar-based generation should be 100%% valid, got %.3f", res.ValidRatio)
+	}
+	if res.MutatedRatio >= 1.0 {
+		t.Errorf("mutated generation should include invalid messages")
+	}
+	if res.MeanBodyBytes <= 0 || res.String() == "" {
+		t.Errorf("fuzzer metrics incomplete: %+v", res)
+	}
+}
+
+func TestRunE7Quick(t *testing.T) {
+	res, err := RunE7(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE7: %v", err)
+	}
+	if !res.BothDetectHijack {
+		t.Errorf("hijack should be detectable through the narrow interface")
+	}
+	if res.ReductionFactor <= 1 {
+		t.Errorf("narrow interface should disclose less than full state (factor %.1f)", res.ReductionFactor)
+	}
+	if res.String() == "" {
+		t.Errorf("report rendering broken")
+	}
+}

@@ -1,0 +1,56 @@
+// Hijack: a latent operator mistake on the 27-router Internet-like demo
+// topology. R1 is missing the inbound filter on its session with customer R4,
+// so a hijacked announcement from that session would propagate. The system is
+// currently healthy; DiCE finds the latent mistake by exploring inputs the
+// customer could send, over isolated clones of the live state.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dice "github.com/dice-project/dice"
+)
+
+func main() {
+	topo := dice.Demo27()
+
+	opts := dice.DeployOptions{
+		Seed:       7,
+		GaoRexford: true, // realistic customer/peer/provider policies
+		ConfigOverride: dice.ApplyConfigFaults(
+			dice.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+	}
+	deployment, err := dice.Deploy(topo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployment.Converge()
+
+	// The deployed system looks healthy right now.
+	if v := dice.CheckDeployment(deployment, dice.DefaultProperties(topo)); len(v) != 0 {
+		log.Fatalf("deployment unexpectedly unhealthy: %v", v)
+	}
+	fmt.Println("deployed system is currently healthy; exploring for latent faults...")
+
+	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
+		Explorer:       "R1",
+		FromPeer:       "R4",
+		MaxInputs:      48,
+		FuzzSeeds:      12,
+		UseConcolic:    true,
+		Seed:           7,
+		ClusterOptions: opts,
+	})
+	result, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d := result.FirstDetection(dice.OperatorMistake); d != nil {
+		fmt.Printf("latent operator mistake exposed after %d explored inputs (%.2fs):\n  %s\n",
+			d.InputIndex, d.Elapsed.Seconds(), d.Violation)
+	} else {
+		fmt.Printf("no fault found in %d inputs; try a larger budget\n", result.InputsExplored)
+	}
+}

@@ -1,0 +1,56 @@
+// Policy conflict: three autonomous systems in a ring each prefer the route
+// through their clockwise neighbor (a dispute wheel / BAD GADGET). The
+// deployed system happens to be stable, but DiCE's exploration of withdrawals
+// and route-preference flips over cloned snapshots exposes the oscillation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dice "github.com/dice-project/dice"
+	"github.com/dice-project/dice/internal/checker"
+)
+
+func main() {
+	topo := dice.Ring(3)
+	contested := topo.Nodes[0].Prefixes[0]
+
+	opts := dice.DeployOptions{
+		Seed: 5,
+		ConfigOverride: dice.ApplyConfigFaults(
+			dice.DisputeWheel{Routers: topo.NodeNames(), Prefix: contested},
+		),
+		MaxEvents: 100000,
+	}
+	deployment, err := dice.Deploy(topo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployment.Converge()
+	fmt.Printf("deployed ring converged; contested prefix is %s\n", contested)
+
+	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
+		Explorer:    "R2",
+		FromPeer:    "R1",
+		MaxInputs:   32,
+		FuzzSeeds:   8,
+		UseConcolic: true,
+		Seed:        5,
+		Properties: []dice.Property{
+			checker.Convergence{MaxChangesPerPrefix: 6},
+			checker.NodeHealth{},
+		},
+		ClusterOptions:  opts,
+		ShadowMaxEvents: 30000,
+	})
+	result, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d := result.FirstDetection(dice.PolicyConflict); d != nil {
+		fmt.Printf("policy conflict exposed after %d inputs:\n  %s\n", d.InputIndex, d.Violation)
+	} else {
+		fmt.Printf("no oscillation observed within %d inputs\n", result.InputsExplored)
+	}
+}

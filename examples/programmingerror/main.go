@@ -1,0 +1,53 @@
+// Programming error: the UPDATE handler of router R2 crashes whenever a
+// message carries community 65001:666 — a narrow input condition hidden deep
+// in handler code. Concolic exploration of the handler synthesizes exactly
+// that input and the crash shows up as a node-health violation on the clone,
+// never on the deployed node.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dice "github.com/dice-project/dice"
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+func main() {
+	topo := dice.Line(3)
+	bug := dice.CommunityCrash("R2", bgp.NewCommunity(65001, 666))
+
+	opts := dice.DeployOptions{Seed: 7}
+	deployment, err := dice.Deploy(topo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dice.InstallCodeFaults(deployment.Routers, bug)
+	deployment.Converge()
+
+	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
+		Explorer:       "R2",
+		FromPeer:       "R1",
+		MaxInputs:      96,
+		FuzzSeeds:      8,
+		UseConcolic:    true,
+		Seed:           7,
+		CodeFaults:     []dice.CodeFault{bug},
+		ClusterOptions: opts,
+	})
+	result, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if d := result.FirstDetection(dice.ProgrammingError); d != nil {
+		fmt.Printf("programming error found after %d explored inputs:\n  %s\n", d.InputIndex, d.Violation)
+		fmt.Printf("triggering input: %d bytes of UPDATE body\n", len(d.Input.Region("update")))
+	} else {
+		fmt.Printf("bug not reached within %d inputs\n", result.InputsExplored)
+	}
+	if crashed, _ := deployment.Router("R2").Panicked(); crashed {
+		log.Fatal("isolation violated: the deployed router crashed")
+	}
+	fmt.Println("deployed router kept running: the crash only ever happened on clones")
+}

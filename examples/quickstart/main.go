@@ -1,0 +1,50 @@
+// Quickstart: deploy three emulated BGP routers, plant a prefix hijack
+// (operator mistake), and let one DiCE exploration round detect it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dice "github.com/dice-project/dice"
+)
+
+func main() {
+	// A three-router chain: R1 - R2 - R3, each originating 10.<i>.0.0/16.
+	topo := dice.Line(3)
+
+	// Operator mistake: R3 also originates R1's prefix.
+	hijacked := topo.Nodes[0].Prefixes[0]
+	opts := dice.DeployOptions{
+		Seed:           1,
+		ConfigOverride: dice.ApplyConfigFaults(dice.MisOrigination{Router: "R3", Prefix: hijacked}),
+	}
+
+	deployment, err := dice.Deploy(topo, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployment.Converge()
+
+	// One DiCE round: snapshot, explore inputs over isolated clones, check.
+	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
+		Explorer:       "R2",
+		MaxInputs:      16,
+		UseConcolic:    true,
+		Seed:           1,
+		ClusterOptions: opts,
+	})
+	result, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("explored %d inputs over snapshot clones (%d bytes of snapshot)\n",
+		result.InputsExplored, result.SnapshotBytes)
+	for _, d := range result.Detections {
+		fmt.Printf("detected after %d inputs: %s\n", d.InputIndex, d.Violation)
+	}
+	if !result.Detected(dice.OperatorMistake) {
+		log.Fatal("expected the hijack to be detected")
+	}
+}

@@ -1,0 +1,693 @@
+package dice
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/concolic"
+	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/fuzz"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+func encodeSnapshot(s *checkpoint.Snapshot) ([]byte, error) { return checkpoint.Encode(s) }
+
+// ExperimentConfig controls the experiment harness. Quick mode shrinks
+// budgets so the whole suite runs in seconds (used by unit tests and CI);
+// the full mode is what cmd/dice-bench and EXPERIMENTS.md report.
+type ExperimentConfig struct {
+	Quick bool
+	Seed  int64
+}
+
+func (c ExperimentConfig) inputs(full, quick int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// ---------------------------------------------------------------------------
+// E1 — the paper's demo (Figure 1): DiCE explores a 27-router deployment with
+// the three fault classes planted and reports what it detects.
+// ---------------------------------------------------------------------------
+
+// E1Result summarizes the demo run.
+type E1Result struct {
+	Routers           int
+	Links             int
+	ConvergenceEvents int
+	SnapshotBytes     int
+	SnapshotDuration  time.Duration
+	InputsExplored    int
+	UniquePaths       int
+	Detections        map[string]int
+	DetectedClasses   map[string]bool
+	Duration          time.Duration
+}
+
+// RunE1 runs the demo experiment.
+func RunE1(cfg ExperimentConfig) (*E1Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0] // a tier-3 stub's prefix
+	trigger := bgp.NewCommunity(65001, 666)
+
+	cfgFaults := []faults.ConfigFault{
+		faults.MisOrigination{Router: "R12", Prefix: victim},
+		faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		faults.DisputeWheel{Routers: []string{"R1", "R2", "R3"}, Prefix: topo.Nodes[12].Prefixes[0]},
+	}
+	bug := faults.CommunityCrash("R1", trigger)
+
+	copts := cluster.Options{
+		Seed:           cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(cfgFaults...),
+		MaxEvents:      300000,
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	faults.InstallCodeFaults(live.Routers, bug)
+	events := live.Converge()
+
+	eng := dice.New(live, topo, dice.Options{
+		Explorer:        "R1",
+		FromPeer:        "R4",
+		MaxInputs:       cfg.inputs(48, 10),
+		FuzzSeeds:       cfg.inputs(10, 4),
+		UseConcolic:     true,
+		Seed:            cfg.Seed,
+		CodeFaults:      []faults.CodeFault{bug},
+		ClusterOptions:  copts,
+		ShadowMaxEvents: 60000,
+	})
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &E1Result{
+		Routers:           len(topo.Nodes),
+		Links:             len(topo.Links),
+		ConvergenceEvents: events,
+		SnapshotBytes:     res.SnapshotBytes,
+		SnapshotDuration:  res.SnapshotDuration,
+		InputsExplored:    res.InputsExplored,
+		UniquePaths:       res.ExplorerStats.UniquePaths,
+		Detections:        map[string]int{},
+		DetectedClasses:   map[string]bool{},
+		Duration:          res.Duration,
+	}
+	for _, d := range res.Detections {
+		out.Detections[d.Class.String()]++
+		out.DetectedClasses[d.Class.String()] = true
+	}
+	return out, nil
+}
+
+// String renders the result as the demo's textual report.
+func (r *E1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E1 (Figure 1 demo): %d routers, %d links\n", r.Routers, r.Links)
+	fmt.Fprintf(&b, "  convergence events       %d\n", r.ConvergenceEvents)
+	fmt.Fprintf(&b, "  snapshot                 %d bytes in %v\n", r.SnapshotBytes, r.SnapshotDuration)
+	fmt.Fprintf(&b, "  inputs explored          %d (%d unique paths)\n", r.InputsExplored, r.UniquePaths)
+	for class, n := range r.Detections {
+		fmt.Fprintf(&b, "  detected %-22s %d violations\n", class+":", n)
+	}
+	fmt.Fprintf(&b, "  total wall-clock         %v\n", r.Duration)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E2 — the DiCE workflow of Figure 2: snapshot, clone, explore, check, and
+// the isolation guarantee.
+// ---------------------------------------------------------------------------
+
+// E2Result verifies and quantifies each step of the workflow.
+type E2Result struct {
+	Nodes              int
+	SnapshotDuration   time.Duration
+	SnapshotBytes      int
+	PerNodeBytes       int
+	InFlightMessages   int
+	ClonesCreated      int
+	InputsExplored     int
+	ChecksRun          int
+	LiveStateUntouched bool
+}
+
+// RunE2 runs the workflow experiment on a 5-node topology.
+func RunE2(cfg ExperimentConfig) (*E2Result, error) {
+	topo := topology.Star(5)
+	copts := cluster.Options{Seed: cfg.Seed}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	live.Converge()
+	beforeChanges := live.TotalBestChanges()
+
+	start := time.Now()
+	snap := live.Snapshot()
+	snapDur := time.Since(start)
+	sizes, err := checkpoint.Measure(snap)
+	if err != nil {
+		return nil, err
+	}
+
+	inputs := cfg.inputs(12, 4)
+	eng := dice.New(live, topo, dice.Options{MaxInputs: inputs, FuzzSeeds: 4, UseConcolic: true, Seed: cfg.Seed, ClusterOptions: copts})
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	perNode := 0
+	for _, n := range sizes.PerNodeBytes {
+		perNode += n
+	}
+	if len(sizes.PerNodeBytes) > 0 {
+		perNode /= len(sizes.PerNodeBytes)
+	}
+	return &E2Result{
+		Nodes:              len(topo.Nodes),
+		SnapshotDuration:   snapDur,
+		SnapshotBytes:      sizes.TotalBytes,
+		PerNodeBytes:       perNode,
+		InFlightMessages:   sizes.Messages,
+		ClonesCreated:      res.InputsExplored,
+		InputsExplored:     res.InputsExplored,
+		ChecksRun:          res.InputsExplored * len(checker.DefaultProperties(topo)),
+		LiveStateUntouched: live.TotalBestChanges() == beforeChanges,
+	}, nil
+}
+
+// String renders the workflow report.
+func (r *E2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E2 (Figure 2 workflow): %d nodes\n", r.Nodes)
+	fmt.Fprintf(&b, "  1. snapshot triggered     %v, %d bytes total (%d bytes/node), %d in-flight msgs\n",
+		r.SnapshotDuration, r.SnapshotBytes, r.PerNodeBytes, r.InFlightMessages)
+	fmt.Fprintf(&b, "  2. clones created         %d (one per explored input)\n", r.ClonesCreated)
+	fmt.Fprintf(&b, "  3. inputs explored        %d\n", r.InputsExplored)
+	fmt.Fprintf(&b, "  4. property checks run    %d\n", r.ChecksRun)
+	fmt.Fprintf(&b, "  5. live state untouched   %v\n", r.LiveStateUntouched)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E3 — detection of the three fault classes across topology sizes (the "§3
+// quickly detects faults" claim).
+// ---------------------------------------------------------------------------
+
+// E3Row is one (fault class, topology size) measurement.
+type E3Row struct {
+	Class          string
+	Routers        int
+	Detected       bool
+	InputsToDetect int
+	TimeToDetect   time.Duration
+	InputsExplored int
+}
+
+// RunE3 measures detection latency per fault class and topology size.
+func RunE3(cfg ExperimentConfig) ([]E3Row, error) {
+	sizes := []int{9, 18, 27}
+	if cfg.Quick {
+		sizes = []int{9}
+	}
+	var rows []E3Row
+	for _, n := range sizes {
+		topo := threeTier(n)
+		// Operator mistake: a latent missing import filter at the explorer.
+		rows = append(rows, runE3Scenario(cfg, topo, n, "operator-mistake",
+			[]faults.ConfigFault{faults.MissingImportFilter{Router: explorerOf(topo), Peer: firstNeighbor(topo)}}, nil))
+		// Programming error: community-triggered crash at the explorer.
+		bug := faults.CommunityCrash(explorerOf(topo), bgp.NewCommunity(65001, 666))
+		rows = append(rows, runE3Scenario(cfg, topo, n, "programming-error", nil, []faults.CodeFault{bug}))
+		// Policy conflict: dispute wheel on a ring sub-topology of the same
+		// size class (the conflict needs a cycle of preferences).
+		ringRow := runE3PolicyConflict(cfg, n)
+		rows = append(rows, ringRow)
+	}
+	return rows, nil
+}
+
+func threeTier(n int) *topology.Topology {
+	switch n {
+	case 9:
+		return topology.GaoRexford(2, 3, 4, 11)
+	case 18:
+		return topology.GaoRexford(3, 6, 9, 12)
+	default:
+		return topology.Demo27()
+	}
+}
+
+func explorerOf(topo *topology.Topology) string {
+	best, deg := topo.Nodes[0].Name, -1
+	for _, n := range topo.Nodes {
+		if d := len(topo.NeighborsOf(n.Name)); d > deg {
+			best, deg = n.Name, d
+		}
+	}
+	return best
+}
+
+func firstNeighbor(topo *topology.Topology) string {
+	return topo.NeighborsOf(explorerOf(topo))[0]
+}
+
+func runE3Scenario(cfg ExperimentConfig, topo *topology.Topology, size int, class string, cfgFaults []faults.ConfigFault, codeFaults []faults.CodeFault) E3Row {
+	copts := cluster.Options{Seed: cfg.Seed, MaxEvents: 300000}
+	if len(cfgFaults) > 0 {
+		copts.ConfigOverride = faults.ApplyConfigFaults(cfgFaults...)
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return E3Row{Class: class, Routers: size}
+	}
+	faults.InstallCodeFaults(live.Routers, codeFaults...)
+	live.Converge()
+	eng := dice.New(live, topo, dice.Options{
+		Explorer:        explorerOf(topo),
+		FromPeer:        firstNeighbor(topo),
+		MaxInputs:       cfg.inputs(48, 12),
+		FuzzSeeds:       8,
+		UseConcolic:     true,
+		Seed:            cfg.Seed,
+		CodeFaults:      codeFaults,
+		ClusterOptions:  copts,
+		ShadowMaxEvents: 60000,
+	})
+	res, err := eng.Run()
+	if err != nil {
+		return E3Row{Class: class, Routers: size}
+	}
+	row := E3Row{Class: class, Routers: size, InputsExplored: res.InputsExplored}
+	wantClass := checker.ClassOperatorMistake
+	if class == "programming-error" {
+		wantClass = checker.ClassProgrammingError
+	}
+	if d := res.FirstDetection(wantClass); d != nil {
+		row.Detected = true
+		row.InputsToDetect = d.InputIndex
+		row.TimeToDetect = d.Elapsed
+	}
+	return row
+}
+
+// runE3PolicyConflict plants a dispute wheel on a ring and measures how long
+// exploration takes to expose the oscillation.
+func runE3PolicyConflict(cfg ExperimentConfig, size int) E3Row {
+	ringSize := 3
+	if size >= 18 {
+		ringSize = 4
+	}
+	topo := topology.Ring(ringSize)
+	contested := topo.Nodes[0].Prefixes[0]
+	copts := cluster.Options{
+		Seed:           cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(faults.DisputeWheel{Routers: topo.NodeNames(), Prefix: contested}),
+		MaxEvents:      100000,
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return E3Row{Class: "policy-conflict", Routers: size}
+	}
+	live.Converge()
+	props := []checker.Property{checker.Convergence{MaxChangesPerPrefix: 6}, checker.NodeHealth{}}
+	eng := dice.New(live, topo, dice.Options{
+		Explorer:        topo.Nodes[1].Name,
+		FromPeer:        topo.Nodes[0].Name,
+		MaxInputs:       cfg.inputs(32, 10),
+		FuzzSeeds:       8,
+		UseConcolic:     true,
+		Seed:            cfg.Seed,
+		Properties:      props,
+		ClusterOptions:  copts,
+		ShadowMaxEvents: 30000,
+	})
+	res, err := eng.Run()
+	if err != nil {
+		return E3Row{Class: "policy-conflict", Routers: size}
+	}
+	row := E3Row{Class: "policy-conflict", Routers: size, InputsExplored: res.InputsExplored}
+	if d := res.FirstDetection(checker.ClassPolicyConflict); d != nil {
+		row.Detected = true
+		row.InputsToDetect = d.InputIndex
+		row.TimeToDetect = d.Elapsed
+	}
+	return row
+}
+
+// FormatE3 renders the detection-latency table.
+func FormatE3(rows []E3Row) string {
+	var b strings.Builder
+	b.WriteString("E3 (detection latency per fault class):\n")
+	b.WriteString("  class               routers  detected  inputs  time\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s  %7d  %8v  %6d  %v\n", r.Class, r.Routers, r.Detected, r.InputsToDetect, r.TimeToDetect.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E4 — overhead of running DiCE alongside the deployed system.
+// ---------------------------------------------------------------------------
+
+// E4Result reports per-UPDATE handling cost with and without instrumentation,
+// and checkpoint cost per node.
+type E4Result struct {
+	Updates               int
+	BaselinePerUpdate     time.Duration
+	InstrumentedPerUpdate time.Duration
+	OverheadPercent       float64
+	CheckpointPerNode     time.Duration
+	CheckpointBytesNode   int
+	SnapshotTotalBytes    int
+}
+
+// RunE4 measures the overhead metrics: per-UPDATE handling cost on a small
+// deployment with and without DiCE's symbolic instrumentation armed, and
+// checkpoint cost on the 27-router demo.
+func RunE4(cfg ExperimentConfig) (*E4Result, error) {
+	updates := cfg.inputs(2000, 200)
+	gen := fuzz.New(fuzz.Options{Seed: cfg.Seed})
+	bodies := make([][]byte, updates)
+	for i := range bodies {
+		bodies[i] = gen.Body()
+	}
+
+	baseline, err := timeUpdates(cfg, bodies, false)
+	if err != nil {
+		return nil, err
+	}
+	instrumented, err := timeUpdates(cfg, bodies, true)
+	if err != nil {
+		return nil, err
+	}
+
+	// Checkpoint cost on the full demo topology.
+	topo := topology.Demo27()
+	live, err := cluster.Build(topo, cluster.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	live.Converge()
+	start := time.Now()
+	snap := live.Snapshot()
+	snapDur := time.Since(start)
+	sizes, err := checkpoint.Measure(snap)
+	if err != nil {
+		return nil, err
+	}
+	perNodeBytes := 0
+	for _, n := range sizes.PerNodeBytes {
+		perNodeBytes += n
+	}
+	perNodeBytes /= len(sizes.PerNodeBytes)
+
+	overhead := 0.0
+	if baseline > 0 {
+		overhead = 100 * float64(instrumented-baseline) / float64(baseline)
+	}
+	return &E4Result{
+		Updates:               updates,
+		BaselinePerUpdate:     baseline,
+		InstrumentedPerUpdate: instrumented,
+		OverheadPercent:       overhead,
+		CheckpointPerNode:     snapDur / time.Duration(len(topo.Nodes)),
+		CheckpointBytesNode:   perNodeBytes,
+		SnapshotTotalBytes:    sizes.TotalBytes,
+	}, nil
+}
+
+// buildWire wraps an UPDATE body with the BGP message header.
+func buildWire(body []byte) []byte {
+	total := 19 + len(body)
+	out := make([]byte, 0, total)
+	for i := 0; i < 16; i++ {
+		out = append(out, 0xff)
+	}
+	out = append(out, byte(total>>8), byte(total), byte(bgp.MsgUpdate))
+	return append(out, body...)
+}
+
+// timeUpdates measures average per-UPDATE processing time on a converged
+// two-router deployment, optionally arming DiCE's symbolic tracing for every
+// message (the "instrumentation on" configuration).
+func timeUpdates(cfg ExperimentConfig, bodies [][]byte, instrument bool) (time.Duration, error) {
+	topo := topology.Line(2)
+	live, err := cluster.Build(topo, cluster.Options{Seed: cfg.Seed})
+	if err != nil {
+		return 0, err
+	}
+	live.Converge()
+	target := live.Router("R2")
+	start := time.Now()
+	for _, body := range bodies {
+		if instrument {
+			in := concolic.NewInput("update", body)
+			m := concolic.NewMachine(in, concolic.MachineOptions{})
+			target.ExploreNextUpdate(m, "R1")
+		}
+		live.InjectRaw("R1", "R2", buildWire(body))
+		live.Converge()
+	}
+	return time.Since(start) / time.Duration(len(bodies)), nil
+}
+
+// FormatE4 renders the overhead report.
+func (r *E4Result) String() string {
+	var b strings.Builder
+	b.WriteString("E4 (overhead alongside the deployed system):\n")
+	fmt.Fprintf(&b, "  UPDATE handling, DiCE off        %v/update (n=%d)\n", r.BaselinePerUpdate, r.Updates)
+	fmt.Fprintf(&b, "  UPDATE handling, instrumentation %v/update (%.1f%% overhead)\n", r.InstrumentedPerUpdate, r.OverheadPercent)
+	fmt.Fprintf(&b, "  checkpoint                       %v and %d bytes per node (total %d bytes)\n",
+		r.CheckpointPerNode, r.CheckpointBytesNode, r.SnapshotTotalBytes)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E5 — exploration effectiveness: concolic vs fuzzing vs combined.
+// ---------------------------------------------------------------------------
+
+// E5Row is one exploration mode's outcome.
+type E5Row struct {
+	Mode            string
+	Inputs          int
+	UniquePaths     int
+	CoverageSites   int
+	SolverQueries   int
+	FoundBug        bool
+	InputsToFindBug int
+}
+
+// RunE5 compares input-generation strategies on the programming-error
+// scenario.
+func RunE5(cfg ExperimentConfig) ([]E5Row, error) {
+	topo := topology.Line(3)
+	trigger := bgp.NewCommunity(65001, 666)
+	bug := faults.CommunityCrash("R2", trigger)
+	copts := cluster.Options{Seed: cfg.Seed}
+
+	run := func(mode string, useConcolic bool, seeds int) (E5Row, error) {
+		live, err := cluster.Build(topo, copts)
+		if err != nil {
+			return E5Row{}, err
+		}
+		faults.InstallCodeFaults(live.Routers, bug)
+		live.Converge()
+		eng := dice.New(live, topo, dice.Options{
+			Explorer:       "R2",
+			FromPeer:       "R1",
+			MaxInputs:      cfg.inputs(96, 48),
+			FuzzSeeds:      seeds,
+			UseConcolic:    useConcolic,
+			Seed:           cfg.Seed,
+			CodeFaults:     []faults.CodeFault{bug},
+			ClusterOptions: copts,
+		})
+		res, err := eng.Run()
+		if err != nil {
+			return E5Row{}, err
+		}
+		row := E5Row{
+			Mode:          mode,
+			Inputs:        res.InputsExplored,
+			UniquePaths:   res.ExplorerStats.UniquePaths,
+			CoverageSites: res.ExplorerStats.CoverageSites,
+			SolverQueries: res.ExplorerStats.SolverQueries,
+		}
+		if d := res.FirstDetection(checker.ClassProgrammingError); d != nil {
+			row.FoundBug = true
+			row.InputsToFindBug = d.InputIndex
+		}
+		return row, nil
+	}
+
+	var rows []E5Row
+	fuzzOnly, err := run("fuzzing-only", false, 8)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, fuzzOnly)
+	concolicOnly, err := run("concolic (1 seed)", true, 1)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, concolicOnly)
+	combined, err := run("concolic+fuzzing", true, 8)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, combined)
+	return rows, nil
+}
+
+// FormatE5 renders the comparison table.
+func FormatE5(rows []E5Row) string {
+	var b strings.Builder
+	b.WriteString("E5 (exploration effectiveness):\n")
+	b.WriteString("  mode               inputs  paths  coverage  solver-queries  bug-found  inputs-to-bug\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-17s  %6d  %5d  %8d  %14d  %9v  %13d\n",
+			r.Mode, r.Inputs, r.UniquePaths, r.CoverageSites, r.SolverQueries, r.FoundBug, r.InputsToFindBug)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E6 — grammar-based fuzzing quality (small inputs, valid by construction).
+// ---------------------------------------------------------------------------
+
+// E6Result reports fuzzer quality metrics.
+type E6Result struct {
+	Messages        int
+	ValidRatio      float64
+	MutatedRatio    float64
+	MeanBodyBytes   float64
+	MaxBodyBytes    int
+	GenerationPerMs float64
+}
+
+// RunE6 measures the fuzzer.
+func RunE6(cfg ExperimentConfig) (*E6Result, error) {
+	n := cfg.inputs(5000, 500)
+	topo := topology.Demo27()
+	var opts fuzz.Options
+	opts.Seed = cfg.Seed
+	for _, node := range topo.Nodes {
+		opts.Prefixes = append(opts.Prefixes, node.Prefixes...)
+		opts.ASNs = append(opts.ASNs, node.AS)
+	}
+	g := fuzz.New(opts)
+	valid := g.ValidRatio(n)
+
+	mut := fuzz.New(fuzz.Options{Seed: cfg.Seed, MutationProbability: 0.3})
+	mutValid := mut.ValidRatio(n)
+
+	sizeGen := fuzz.New(opts)
+	totalBytes, maxBytes := 0, 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		b := sizeGen.Body()
+		totalBytes += len(b)
+		if len(b) > maxBytes {
+			maxBytes = len(b)
+		}
+	}
+	elapsed := time.Since(start)
+
+	return &E6Result{
+		Messages:        n,
+		ValidRatio:      valid,
+		MutatedRatio:    mutValid,
+		MeanBodyBytes:   float64(totalBytes) / float64(n),
+		MaxBodyBytes:    maxBytes,
+		GenerationPerMs: float64(n) / float64(elapsed.Milliseconds()+1),
+	}, nil
+}
+
+// String renders the fuzzer report.
+func (r *E6Result) String() string {
+	var b strings.Builder
+	b.WriteString("E6 (grammar-based fuzzing):\n")
+	fmt.Fprintf(&b, "  messages generated        %d\n", r.Messages)
+	fmt.Fprintf(&b, "  valid ratio (pure)        %.3f\n", r.ValidRatio)
+	fmt.Fprintf(&b, "  valid ratio (30%% mutated) %.3f\n", r.MutatedRatio)
+	fmt.Fprintf(&b, "  mean / max body size      %.1f / %d bytes\n", r.MeanBodyBytes, r.MaxBodyBytes)
+	fmt.Fprintf(&b, "  generation rate           %.0f msgs/ms\n", r.GenerationPerMs)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E7 — narrow information-sharing interface vs full state sharing.
+// ---------------------------------------------------------------------------
+
+// E7Result compares disclosure at equal detection power.
+type E7Result struct {
+	Routers             int
+	NarrowBytesPerCheck int
+	FullStateBytes      int
+	ReductionFactor     float64
+	BothDetectHijack    bool
+}
+
+// RunE7 measures disclosure for the hijack scenario.
+func RunE7(cfg ExperimentConfig) (*E7Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed:           cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(faults.MisOrigination{Router: "R12", Prefix: victim}),
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	live.Converge()
+
+	props := checker.DefaultProperties(topo)
+	report := checker.CheckAll(live, props)
+	narrow := report.DisclosedBytes()
+	full := checker.FullStateDisclosure(live)
+	detected := false
+	for _, v := range report.Violations() {
+		if v.Class == checker.ClassOperatorMistake {
+			detected = true
+		}
+	}
+	factor := 0.0
+	if narrow > 0 {
+		factor = float64(full) / float64(narrow)
+	}
+	return &E7Result{
+		Routers:             len(topo.Nodes),
+		NarrowBytesPerCheck: narrow,
+		FullStateBytes:      full,
+		ReductionFactor:     factor,
+		BothDetectHijack:    detected,
+	}, nil
+}
+
+// String renders the disclosure comparison.
+func (r *E7Result) String() string {
+	var b strings.Builder
+	b.WriteString("E7 (narrow information-sharing interface):\n")
+	fmt.Fprintf(&b, "  routers                        %d\n", r.Routers)
+	fmt.Fprintf(&b, "  narrow interface disclosure    %d bytes per full check round\n", r.NarrowBytesPerCheck)
+	fmt.Fprintf(&b, "  full-state sharing             %d bytes\n", r.FullStateBytes)
+	fmt.Fprintf(&b, "  reduction factor               %.1fx\n", r.ReductionFactor)
+	fmt.Fprintf(&b, "  hijack detected either way     %v\n", r.BothDetectHijack)
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// AttrType identifies a BGP path attribute.
+type AttrType uint8
+
+// Path attribute type codes (RFC 4271 §5, RFC 1997).
+const (
+	AttrOrigin          AttrType = 1
+	AttrASPath          AttrType = 2
+	AttrNextHop         AttrType = 3
+	AttrMED             AttrType = 4
+	AttrLocalPref       AttrType = 5
+	AttrAtomicAggregate AttrType = 6
+	AttrAggregator      AttrType = 7
+	AttrCommunities     AttrType = 8
+)
+
+// String returns the attribute name.
+func (t AttrType) String() string {
+	switch t {
+	case AttrOrigin:
+		return "ORIGIN"
+	case AttrASPath:
+		return "AS_PATH"
+	case AttrNextHop:
+		return "NEXT_HOP"
+	case AttrMED:
+		return "MULTI_EXIT_DISC"
+	case AttrLocalPref:
+		return "LOCAL_PREF"
+	case AttrAtomicAggregate:
+		return "ATOMIC_AGGREGATE"
+	case AttrAggregator:
+		return "AGGREGATOR"
+	case AttrCommunities:
+		return "COMMUNITIES"
+	}
+	return fmt.Sprintf("AttrType(%d)", uint8(t))
+}
+
+// Path attribute flag bits.
+const (
+	FlagOptional   = 0x80
+	FlagTransitive = 0x40
+	FlagPartial    = 0x20
+	FlagExtended   = 0x10
+)
+
+// Origin attribute values.
+const (
+	OriginIGP        uint8 = 0
+	OriginEGP        uint8 = 1
+	OriginIncomplete uint8 = 2
+)
+
+// OriginString renders an origin code.
+func OriginString(o uint8) string {
+	switch o {
+	case OriginIGP:
+		return "IGP"
+	case OriginEGP:
+		return "EGP"
+	case OriginIncomplete:
+		return "INCOMPLETE"
+	}
+	return fmt.Sprintf("Origin(%d)", o)
+}
+
+// AS_PATH segment types.
+const (
+	ASPathSegSet      uint8 = 1
+	ASPathSegSequence uint8 = 2
+)
+
+// DefaultLocalPref is the LOCAL_PREF assumed when the attribute is absent.
+const DefaultLocalPref uint32 = 100
+
+// PathAttributes is the decoded set of path attributes carried by an UPDATE.
+// Optional attributes use pointer or flag fields so that "absent" is
+// distinguishable from a zero value.
+type PathAttributes struct {
+	Origin          uint8
+	ASPath          []ASN // AS_SEQUENCE, most recent AS first
+	ASSet           []ASN // optional trailing AS_SET (from aggregation)
+	NextHop         uint32
+	MED             *uint32
+	LocalPref       *uint32
+	AtomicAggregate bool
+	HasAggregator   bool
+	AggregatorAS    ASN
+	AggregatorID    uint32
+	Communities     []Community
+}
+
+// Clone returns a deep copy of the attributes.
+func (a *PathAttributes) Clone() *PathAttributes {
+	if a == nil {
+		return nil
+	}
+	out := *a
+	out.ASPath = append([]ASN(nil), a.ASPath...)
+	out.ASSet = append([]ASN(nil), a.ASSet...)
+	out.Communities = append([]Community(nil), a.Communities...)
+	if a.MED != nil {
+		v := *a.MED
+		out.MED = &v
+	}
+	if a.LocalPref != nil {
+		v := *a.LocalPref
+		out.LocalPref = &v
+	}
+	return &out
+}
+
+// EffectiveLocalPref returns LOCAL_PREF, or the default when absent.
+func (a *PathAttributes) EffectiveLocalPref() uint32 {
+	if a.LocalPref != nil {
+		return *a.LocalPref
+	}
+	return DefaultLocalPref
+}
+
+// EffectiveMED returns MED, or zero when absent.
+func (a *PathAttributes) EffectiveMED() uint32 {
+	if a.MED != nil {
+		return *a.MED
+	}
+	return 0
+}
+
+// SetLocalPref sets LOCAL_PREF.
+func (a *PathAttributes) SetLocalPref(v uint32) { a.LocalPref = &v }
+
+// SetMED sets MULTI_EXIT_DISC.
+func (a *PathAttributes) SetMED(v uint32) { a.MED = &v }
+
+// PathLen returns the AS_PATH length used by the decision process: the
+// number of ASes in the sequence plus one if an AS_SET is present (RFC 4271
+// counts an AS_SET as a single hop).
+func (a *PathAttributes) PathLen() int {
+	n := len(a.ASPath)
+	if len(a.ASSet) > 0 {
+		n++
+	}
+	return n
+}
+
+// HasASLoop reports whether the AS_PATH already contains the given AS, which
+// is the standard eBGP loop-prevention check.
+func (a *PathAttributes) HasASLoop(asn ASN) bool {
+	for _, p := range a.ASPath {
+		if p == asn {
+			return true
+		}
+	}
+	for _, p := range a.ASSet {
+		if p == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCommunity reports whether the community is attached.
+func (a *PathAttributes) HasCommunity(c Community) bool {
+	for _, x := range a.Communities {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCommunity attaches a community if not already present.
+func (a *PathAttributes) AddCommunity(c Community) {
+	if !a.HasCommunity(c) {
+		a.Communities = append(a.Communities, c)
+	}
+}
+
+// PrependAS prepends the AS to the AS_PATH count times (route export / AS
+// path prepending policy action).
+func (a *PathAttributes) PrependAS(asn ASN, count int) {
+	for i := 0; i < count; i++ {
+		a.ASPath = append([]ASN{asn}, a.ASPath...)
+	}
+}
+
+// OriginAS returns the last AS in the AS_PATH (the originator), or 0 when
+// the path is empty (a locally originated route).
+func (a *PathAttributes) OriginAS() ASN {
+	if len(a.ASPath) == 0 {
+		return 0
+	}
+	return a.ASPath[len(a.ASPath)-1]
+}
+
+// String renders the attributes compactly for logs and the demo output.
+func (a *PathAttributes) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "origin=%s as-path=%v next-hop=%s lp=%d", OriginString(a.Origin), a.ASPath, ipString(a.NextHop), a.EffectiveLocalPref())
+	if a.MED != nil {
+		fmt.Fprintf(&sb, " med=%d", *a.MED)
+	}
+	if len(a.Communities) > 0 {
+		fmt.Fprintf(&sb, " communities=%v", a.Communities)
+	}
+	return sb.String()
+}
+
+// appendAttr appends one attribute TLV with standard (non-extended) length.
+func appendAttr(dst []byte, flags uint8, typ AttrType, value []byte) []byte {
+	if len(value) > 255 {
+		flags |= FlagExtended
+		dst = append(dst, flags, byte(typ))
+		dst = appendU16(dst, uint16(len(value)))
+	} else {
+		dst = append(dst, flags, byte(typ), byte(len(value)))
+	}
+	return append(dst, value...)
+}
+
+// EncodeAttrs serializes the attributes in canonical (ascending type) order.
+func EncodeAttrs(a *PathAttributes) []byte {
+	var out []byte
+	// ORIGIN
+	out = appendAttr(out, FlagTransitive, AttrOrigin, []byte{a.Origin})
+	// AS_PATH
+	var pathVal []byte
+	if len(a.ASPath) > 0 {
+		pathVal = append(pathVal, ASPathSegSequence, byte(len(a.ASPath)))
+		for _, asn := range a.ASPath {
+			pathVal = appendU16(pathVal, uint16(asn))
+		}
+	}
+	if len(a.ASSet) > 0 {
+		pathVal = append(pathVal, ASPathSegSet, byte(len(a.ASSet)))
+		for _, asn := range a.ASSet {
+			pathVal = appendU16(pathVal, uint16(asn))
+		}
+	}
+	out = appendAttr(out, FlagTransitive, AttrASPath, pathVal)
+	// NEXT_HOP
+	var nh [4]byte
+	binary.BigEndian.PutUint32(nh[:], a.NextHop)
+	out = appendAttr(out, FlagTransitive, AttrNextHop, nh[:])
+	// MED
+	if a.MED != nil {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], *a.MED)
+		out = appendAttr(out, FlagOptional, AttrMED, v[:])
+	}
+	// LOCAL_PREF
+	if a.LocalPref != nil {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], *a.LocalPref)
+		out = appendAttr(out, FlagTransitive, AttrLocalPref, v[:])
+	}
+	// ATOMIC_AGGREGATE
+	if a.AtomicAggregate {
+		out = appendAttr(out, FlagTransitive, AttrAtomicAggregate, nil)
+	}
+	// AGGREGATOR
+	if a.HasAggregator {
+		var v [6]byte
+		binary.BigEndian.PutUint16(v[0:2], uint16(a.AggregatorAS))
+		binary.BigEndian.PutUint32(v[2:6], a.AggregatorID)
+		out = appendAttr(out, FlagOptional|FlagTransitive, AttrAggregator, v[:])
+	}
+	// COMMUNITIES
+	if len(a.Communities) > 0 {
+		var v []byte
+		for _, c := range a.Communities {
+			v = appendU32(v, uint32(c))
+		}
+		out = appendAttr(out, FlagOptional|FlagTransitive, AttrCommunities, v)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package bgp
+
+import "fmt"
+
+// ErrorCode is a BGP NOTIFICATION error code (RFC 4271 §4.5).
+type ErrorCode uint8
+
+// NOTIFICATION error codes.
+const (
+	ErrMessageHeader      ErrorCode = 1
+	ErrOpenMessage        ErrorCode = 2
+	ErrUpdateMessage      ErrorCode = 3
+	ErrHoldTimerExpired   ErrorCode = 4
+	ErrFiniteStateMachine ErrorCode = 5
+	ErrCease              ErrorCode = 6
+)
+
+// String returns the RFC name of the error code.
+func (c ErrorCode) String() string {
+	switch c {
+	case ErrMessageHeader:
+		return "Message Header Error"
+	case ErrOpenMessage:
+		return "OPEN Message Error"
+	case ErrUpdateMessage:
+		return "UPDATE Message Error"
+	case ErrHoldTimerExpired:
+		return "Hold Timer Expired"
+	case ErrFiniteStateMachine:
+		return "Finite State Machine Error"
+	case ErrCease:
+		return "Cease"
+	}
+	return fmt.Sprintf("ErrorCode(%d)", uint8(c))
+}
+
+// ErrorSubcode refines an ErrorCode.
+type ErrorSubcode uint8
+
+// Message header error subcodes.
+const (
+	ErrSubConnectionNotSynchronized ErrorSubcode = 1
+	ErrSubBadMessageLength          ErrorSubcode = 2
+	ErrSubBadMessageType            ErrorSubcode = 3
+)
+
+// OPEN message error subcodes.
+const (
+	ErrSubUnsupportedVersionNumber ErrorSubcode = 1
+	ErrSubBadPeerAS                ErrorSubcode = 2
+	ErrSubBadBGPIdentifier         ErrorSubcode = 3
+	ErrSubUnacceptableHoldTime     ErrorSubcode = 6
+)
+
+// UPDATE message error subcodes.
+const (
+	ErrSubMalformedAttributeList    ErrorSubcode = 1
+	ErrSubUnrecognizedWellKnownAttr ErrorSubcode = 2
+	ErrSubMissingWellKnownAttr      ErrorSubcode = 3
+	ErrSubAttributeFlagsError       ErrorSubcode = 4
+	ErrSubAttributeLengthError      ErrorSubcode = 5
+	ErrSubInvalidOriginAttribute    ErrorSubcode = 6
+	ErrSubInvalidNextHopAttribute   ErrorSubcode = 8
+	ErrSubOptionalAttributeError    ErrorSubcode = 9
+	ErrSubInvalidNetworkField       ErrorSubcode = 10
+	ErrSubMalformedASPath           ErrorSubcode = 11
+)
+
+// MessageError is a protocol error that maps onto a NOTIFICATION message.
+type MessageError struct {
+	Code    ErrorCode
+	Subcode ErrorSubcode
+	Data    []byte
+	Reason  string
+}
+
+// Error implements error.
+func (e *MessageError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("bgp: %s/%d: %s", e.Code, e.Subcode, e.Reason)
+	}
+	return fmt.Sprintf("bgp: %s/%d", e.Code, e.Subcode)
+}
+
+// Notification converts the error into the NOTIFICATION message that a BGP
+// speaker would send before closing the session.
+func (e *MessageError) Notification() *Notification {
+	return &Notification{Code: e.Code, Subcode: e.Subcode, Data: append([]byte(nil), e.Data...)}
+}
+
+func newMessageError(code ErrorCode, sub ErrorSubcode, data []byte, reason string) *MessageError {
+	return &MessageError{Code: code, Subcode: sub, Data: data, Reason: reason}
+}

@@ -1,0 +1,233 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Message framing constants (RFC 4271 §4.1).
+const (
+	// HeaderLen is the fixed BGP message header length in octets.
+	HeaderLen = 19
+	// MarkerLen is the length of the all-ones marker field.
+	MarkerLen = 16
+	// MaxMessageLen is the maximum BGP message length in octets.
+	MaxMessageLen = 4096
+	// Version is the BGP protocol version implemented.
+	Version = 4
+)
+
+// MessageType identifies a BGP message.
+type MessageType uint8
+
+// BGP message types.
+const (
+	MsgOpen         MessageType = 1
+	MsgUpdate       MessageType = 2
+	MsgNotification MessageType = 3
+	MsgKeepalive    MessageType = 4
+)
+
+// String returns the message type name.
+func (t MessageType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	}
+	return fmt.Sprintf("MessageType(%d)", uint8(t))
+}
+
+// Message is a decoded BGP message body.
+type Message interface {
+	// Type returns the message type.
+	Type() MessageType
+	// body appends the message body (everything after the header).
+	body(dst []byte) []byte
+}
+
+// Encode serializes a message with its header into wire format.
+func Encode(m Message) []byte {
+	body := m.body(nil)
+	total := HeaderLen + len(body)
+	out := make([]byte, 0, total)
+	for i := 0; i < MarkerLen; i++ {
+		out = append(out, 0xff)
+	}
+	out = appendU16(out, uint16(total))
+	out = append(out, byte(m.Type()))
+	out = append(out, body...)
+	return out
+}
+
+// Decode parses one complete BGP message from data. The slice must contain
+// exactly one message (header plus body), as produced by Encode or by the
+// stream splitter in the transport layer.
+func Decode(data []byte) (Message, error) {
+	if len(data) < HeaderLen {
+		return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "short header")
+	}
+	for i := 0; i < MarkerLen; i++ {
+		if data[i] != 0xff {
+			return nil, newMessageError(ErrMessageHeader, ErrSubConnectionNotSynchronized, nil, "bad marker")
+		}
+	}
+	length := binary.BigEndian.Uint16(data[16:18])
+	if int(length) != len(data) || length < HeaderLen || length > MaxMessageLen {
+		return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, data[16:18], fmt.Sprintf("length %d does not match %d bytes", length, len(data)))
+	}
+	typ := MessageType(data[18])
+	body := data[HeaderLen:]
+	switch typ {
+	case MsgOpen:
+		return decodeOpen(body)
+	case MsgUpdate:
+		return DecodeUpdate(body)
+	case MsgNotification:
+		return decodeNotification(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "KEEPALIVE with body")
+		}
+		return &Keepalive{}, nil
+	}
+	return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageType, []byte{byte(typ)}, "unknown message type")
+}
+
+// ValidateHeader checks the fixed header of a single wire message (marker,
+// length, type) and returns the message type and the body bytes. It does not
+// decode the body, which lets callers parse UPDATE bodies with a symbolic
+// machine.
+func ValidateHeader(data []byte) (MessageType, []byte, error) {
+	if len(data) < HeaderLen {
+		return 0, nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "short header")
+	}
+	for i := 0; i < MarkerLen; i++ {
+		if data[i] != 0xff {
+			return 0, nil, newMessageError(ErrMessageHeader, ErrSubConnectionNotSynchronized, nil, "bad marker")
+		}
+	}
+	length := binary.BigEndian.Uint16(data[16:18])
+	if int(length) != len(data) || length < HeaderLen || length > MaxMessageLen {
+		return 0, nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, data[16:18], "length mismatch")
+	}
+	typ := MessageType(data[18])
+	switch typ {
+	case MsgOpen, MsgUpdate, MsgNotification, MsgKeepalive:
+		return typ, data[HeaderLen:], nil
+	}
+	return 0, nil, newMessageError(ErrMessageHeader, ErrSubBadMessageType, []byte{byte(typ)}, "unknown message type")
+}
+
+// SplitStream splits a byte stream into complete BGP messages, returning the
+// raw message slices and the number of bytes consumed. Incomplete trailing
+// data is left for the next call.
+func SplitStream(buf []byte) (msgs [][]byte, consumed int, err error) {
+	for {
+		if len(buf)-consumed < HeaderLen {
+			return msgs, consumed, nil
+		}
+		length := int(binary.BigEndian.Uint16(buf[consumed+16 : consumed+18]))
+		if length < HeaderLen || length > MaxMessageLen {
+			return msgs, consumed, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "bad length in stream")
+		}
+		if len(buf)-consumed < length {
+			return msgs, consumed, nil
+		}
+		msgs = append(msgs, buf[consumed:consumed+length])
+		consumed += length
+	}
+}
+
+// Open is the BGP OPEN message.
+type Open struct {
+	Version  uint8
+	AS       ASN // truncated to 16 bits on the wire, per the classic OPEN format
+	HoldTime uint16
+	RouterID RouterID
+	// Capabilities would be carried in optional parameters; the emulated
+	// routers do not negotiate any.
+}
+
+// Type implements Message.
+func (*Open) Type() MessageType { return MsgOpen }
+
+func (o *Open) body(dst []byte) []byte {
+	dst = append(dst, o.Version)
+	dst = appendU16(dst, uint16(o.AS))
+	dst = appendU16(dst, o.HoldTime)
+	dst = appendU32(dst, uint32(o.RouterID))
+	dst = append(dst, 0) // no optional parameters
+	return dst
+}
+
+func decodeOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "short OPEN")
+	}
+	o := &Open{
+		Version:  body[0],
+		AS:       ASN(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		RouterID: RouterID(binary.BigEndian.Uint32(body[5:9])),
+	}
+	if o.Version != Version {
+		return nil, newMessageError(ErrOpenMessage, ErrSubUnsupportedVersionNumber, []byte{o.Version}, "unsupported version")
+	}
+	if o.RouterID == 0 {
+		return nil, newMessageError(ErrOpenMessage, ErrSubBadBGPIdentifier, nil, "zero router id")
+	}
+	if o.HoldTime == 1 || o.HoldTime == 2 {
+		return nil, newMessageError(ErrOpenMessage, ErrSubUnacceptableHoldTime, nil, "hold time below 3 seconds")
+	}
+	optLen := int(body[9])
+	if len(body) != 10+optLen {
+		return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "OPEN optional parameter length mismatch")
+	}
+	return o, nil
+}
+
+// Keepalive is the BGP KEEPALIVE message (empty body).
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() MessageType { return MsgKeepalive }
+
+func (*Keepalive) body(dst []byte) []byte { return dst }
+
+// Notification is the BGP NOTIFICATION message, sent before closing a
+// session in response to an error.
+type Notification struct {
+	Code    ErrorCode
+	Subcode ErrorSubcode
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() MessageType { return MsgNotification }
+
+func (n *Notification) body(dst []byte) []byte {
+	dst = append(dst, byte(n.Code), byte(n.Subcode))
+	return append(dst, n.Data...)
+}
+
+func decodeNotification(body []byte) (*Notification, error) {
+	if len(body) < 2 {
+		return nil, newMessageError(ErrMessageHeader, ErrSubBadMessageLength, nil, "short NOTIFICATION")
+	}
+	return &Notification{
+		Code:    ErrorCode(body[0]),
+		Subcode: ErrorSubcode(body[1]),
+		Data:    append([]byte(nil), body[2:]...),
+	}, nil
+}
+
+// String renders the notification compactly.
+func (n *Notification) String() string {
+	return fmt.Sprintf("NOTIFICATION %s/%d", n.Code, n.Subcode)
+}

@@ -1,0 +1,346 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+// ParsePolicies parses a configuration fragment containing zero or more
+// policy definitions and returns them keyed by name. The syntax is the one
+// produced by Policy.String:
+//
+//	policy CUST-IN {
+//	  if prefix in 10.0.0.0/8 le 24 and as-path contains 65010 { set local-pref 200; accept }
+//	  if community 65001:666 { reject }
+//	  default accept
+//	}
+//
+// Recognized conditions: "prefix = P", "prefix in P [le N] [ge N]",
+// "as-path contains N", "as-path length OP N", "origin-as N",
+// "community A:B", "local-pref OP N".
+// Recognized actions: "accept", "reject", "set local-pref N", "set med N",
+// "add community A:B", "clear communities", "prepend N xM".
+func ParsePolicies(text string) (map[string]*Policy, error) {
+	toks := tokenize(text)
+	p := &parser{toks: toks}
+	out := make(map[string]*Policy)
+	for !p.done() {
+		if !p.accept("policy") {
+			return nil, p.errorf("expected 'policy', got %q", p.peek())
+		}
+		pol, err := p.parsePolicyBody()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[pol.Name]; dup {
+			return nil, fmt.Errorf("policy: duplicate policy %q", pol.Name)
+		}
+		out[pol.Name] = pol
+	}
+	return out, nil
+}
+
+// ParsePolicy parses exactly one policy definition.
+func ParsePolicy(text string) (*Policy, error) {
+	m, err := ParsePolicies(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(m) != 1 {
+		return nil, fmt.Errorf("policy: expected exactly one policy, found %d", len(m))
+	}
+	for _, p := range m {
+		return p, nil
+	}
+	return nil, nil
+}
+
+func tokenize(text string) []string {
+	var toks []string
+	// Strip comments.
+	var clean strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		clean.WriteString(line)
+		clean.WriteString("\n")
+	}
+	repl := strings.NewReplacer("{", " { ", "}", " } ", ";", " ; ")
+	for _, f := range strings.Fields(repl.Replace(clean.String())) {
+		toks = append(toks, f)
+	}
+	return toks
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.done() {
+		return "<eof>"
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(tok string) bool {
+	if !p.done() && p.toks[p.pos] == tok {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(tok string) error {
+	if !p.accept(tok) {
+		return p.errorf("expected %q, got %q", tok, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("policy: token %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parsePolicyBody() (*Policy, error) {
+	name := p.next()
+	if name == "{" || name == "<eof>" {
+		return nil, p.errorf("missing policy name")
+	}
+	pol := &Policy{Name: name, Default: ResultReject}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("}"):
+			return pol, nil
+		case p.accept("if"):
+			st, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			pol.Statements = append(pol.Statements, st)
+		case p.accept("default"):
+			switch p.next() {
+			case "accept":
+				pol.Default = ResultAccept
+			case "reject":
+				pol.Default = ResultReject
+			default:
+				return nil, p.errorf("default must be accept or reject")
+			}
+		case p.accept("accept"):
+			// Bare "accept" as the last clause is shorthand for default accept.
+			pol.Default = ResultAccept
+		case p.accept("reject"):
+			pol.Default = ResultReject
+		case p.done():
+			return nil, p.errorf("unterminated policy %s", name)
+		default:
+			return nil, p.errorf("unexpected token %q in policy %s", p.peek(), name)
+		}
+	}
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	st := &Statement{}
+	// Conditions separated by "and" until "{".
+	for {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		st.Conds = append(st.Conds, cond)
+		if p.accept("and") {
+			continue
+		}
+		break
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.accept("}") {
+			break
+		}
+		if p.accept(";") {
+			continue
+		}
+		act, err := p.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		st.Actions = append(st.Actions, act)
+	}
+	return st, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	switch p.next() {
+	case "prefix":
+		op := p.next()
+		pref, err := bgp.ParsePrefix(p.next())
+		if err != nil {
+			return nil, p.errorf("bad prefix: %v", err)
+		}
+		switch op {
+		case "=":
+			return MatchPrefix{Prefix: pref, Exact: true}, nil
+		case "in":
+			c := MatchPrefix{Prefix: pref}
+			for {
+				if p.accept("le") {
+					n, err := p.parseUint(8)
+					if err != nil {
+						return nil, err
+					}
+					c.MaxLen = uint8(n)
+					continue
+				}
+				if p.accept("ge") {
+					n, err := p.parseUint(8)
+					if err != nil {
+						return nil, err
+					}
+					c.MinLen = uint8(n)
+					continue
+				}
+				break
+			}
+			return c, nil
+		default:
+			return nil, p.errorf("prefix condition needs '=' or 'in', got %q", op)
+		}
+	case "as-path":
+		switch p.next() {
+		case "contains":
+			n, err := p.parseUint(32)
+			if err != nil {
+				return nil, err
+			}
+			return MatchASPathContains{AS: bgp.ASN(n)}, nil
+		case "length":
+			op := p.next()
+			n, err := p.parseUint(8)
+			if err != nil {
+				return nil, err
+			}
+			return MatchASPathLen{Op: op, N: uint8(n)}, nil
+		default:
+			return nil, p.errorf("as-path condition needs 'contains' or 'length'")
+		}
+	case "origin-as":
+		n, err := p.parseUint(32)
+		if err != nil {
+			return nil, err
+		}
+		return MatchOriginAS{AS: bgp.ASN(n)}, nil
+	case "community":
+		c, err := parseCommunity(p.next())
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return MatchCommunity{Community: c}, nil
+	case "local-pref":
+		op := p.next()
+		n, err := p.parseUint(32)
+		if err != nil {
+			return nil, err
+		}
+		return MatchLocalPref{Op: op, N: uint32(n)}, nil
+	}
+	p.pos--
+	return nil, p.errorf("unknown condition %q", p.peek())
+}
+
+func (p *parser) parseAction() (Action, error) {
+	switch p.next() {
+	case "accept":
+		return ActionAccept{}, nil
+	case "reject":
+		return ActionReject{}, nil
+	case "set":
+		switch p.next() {
+		case "local-pref":
+			n, err := p.parseUint(32)
+			if err != nil {
+				return nil, err
+			}
+			return ActionSetLocalPref{Value: uint32(n)}, nil
+		case "med":
+			n, err := p.parseUint(32)
+			if err != nil {
+				return nil, err
+			}
+			return ActionSetMED{Value: uint32(n)}, nil
+		default:
+			return nil, p.errorf("set needs 'local-pref' or 'med'")
+		}
+	case "add":
+		if err := p.expect("community"); err != nil {
+			return nil, err
+		}
+		c, err := parseCommunity(p.next())
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return ActionAddCommunity{Community: c}, nil
+	case "clear":
+		if err := p.expect("communities"); err != nil {
+			return nil, err
+		}
+		return ActionClearCommunities{}, nil
+	case "prepend":
+		n, err := p.parseUint(32)
+		if err != nil {
+			return nil, err
+		}
+		count := 1
+		if !p.done() && strings.HasPrefix(p.peek(), "x") {
+			c, err := strconv.Atoi(strings.TrimPrefix(p.next(), "x"))
+			if err != nil {
+				return nil, p.errorf("bad prepend count")
+			}
+			count = c
+		}
+		return ActionPrepend{AS: bgp.ASN(n), Count: count}, nil
+	}
+	p.pos--
+	return nil, p.errorf("unknown action %q", p.peek())
+}
+
+func (p *parser) parseUint(bits int) (uint64, error) {
+	tok := p.next()
+	n, err := strconv.ParseUint(tok, 10, bits)
+	if err != nil {
+		return 0, p.errorf("expected %d-bit number, got %q", bits, tok)
+	}
+	return n, nil
+}
+
+func parseCommunity(tok string) (bgp.Community, error) {
+	parts := strings.Split(tok, ":")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("bad community %q (want asn:value)", tok)
+	}
+	asn, err1 := strconv.ParseUint(parts[0], 10, 16)
+	val, err2 := strconv.ParseUint(parts[1], 10, 16)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("bad community %q", tok)
+	}
+	return bgp.NewCommunity(uint16(asn), uint16(val)), nil
+}

@@ -1,0 +1,411 @@
+// Package policy implements the interpreted import/export routing policy
+// language used by the emulated routers.
+//
+// Policies are ordered lists of statements, each with a conjunction of match
+// conditions and a list of actions, terminated by an accept or reject —
+// essentially BIRD filters / IOS route-maps. Policies are *interpreted*: the
+// evaluator walks the policy data structures at run time, and every
+// comparison it performs against route fields goes through the concolic
+// Value/Branch API. As the paper notes for BIRD, instrumenting the
+// configuration interpreter means the recorded path constraints describe both
+// the router code and the configuration currently in effect, so exploration
+// covers "code × config".
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/rib"
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// Result is the disposition of a route after policy evaluation.
+type Result int
+
+// Policy results.
+const (
+	// ResultAccept lets the route through (possibly modified).
+	ResultAccept Result = iota
+	// ResultReject filters the route out.
+	ResultReject
+)
+
+// String renders the result.
+func (r Result) String() string {
+	if r == ResultAccept {
+		return "accept"
+	}
+	return "reject"
+}
+
+// Policy is a named, ordered list of statements with a default disposition.
+type Policy struct {
+	Name       string
+	Statements []*Statement
+	// Default applies when no statement terminates evaluation.
+	Default Result
+}
+
+// Statement is one "if <conditions> then <actions>" clause. All conditions
+// must match (logical AND); an empty condition list always matches.
+type Statement struct {
+	Conds   []Condition
+	Actions []Action
+}
+
+// Condition matches (or not) a route under evaluation.
+type Condition interface {
+	// Match evaluates the condition, recording any symbolic comparison as a
+	// branch constraint on the machine (which may be nil).
+	Match(m *concolic.Machine, r *rib.Route) bool
+	// String renders the condition in the policy language syntax.
+	String() string
+}
+
+// Action either mutates the route's attributes or terminates evaluation.
+type Action interface {
+	// Apply performs the action. The returned result is non-nil for the
+	// terminal accept/reject actions.
+	Apply(m *concolic.Machine, r *rib.Route) *Result
+	// String renders the action in the policy language syntax.
+	String() string
+}
+
+// AcceptAll is the policy that accepts every route unmodified.
+func AcceptAll(name string) *Policy { return &Policy{Name: name, Default: ResultAccept} }
+
+// RejectAll is the policy that rejects every route.
+func RejectAll(name string) *Policy { return &Policy{Name: name, Default: ResultReject} }
+
+// Apply evaluates the policy against the route. The route's attributes may be
+// modified by actions; callers that must not see modifications on reject
+// should pass a clone. The machine may be nil (live, non-traced evaluation).
+func (p *Policy) Apply(m *concolic.Machine, r *rib.Route) Result {
+	if p == nil {
+		return ResultAccept
+	}
+	for _, st := range p.Statements {
+		matched := true
+		for _, c := range st.Conds {
+			if !c.Match(m, r) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		for _, a := range st.Actions {
+			if res := a.Apply(m, r); res != nil {
+				return *res
+			}
+		}
+	}
+	return p.Default
+}
+
+// String renders the policy in the policy language syntax.
+func (p *Policy) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "policy %s {\n", p.Name)
+	for _, st := range p.Statements {
+		sb.WriteString("  ")
+		if len(st.Conds) > 0 {
+			conds := make([]string, len(st.Conds))
+			for i, c := range st.Conds {
+				conds[i] = c.String()
+			}
+			fmt.Fprintf(&sb, "if %s ", strings.Join(conds, " and "))
+		}
+		acts := make([]string, len(st.Actions))
+		for i, a := range st.Actions {
+			acts[i] = a.String()
+		}
+		fmt.Fprintf(&sb, "{ %s }\n", strings.Join(acts, "; "))
+	}
+	fmt.Fprintf(&sb, "  %s\n}", p.Default)
+	return sb.String()
+}
+
+//
+// Conditions
+//
+
+// MatchPrefix matches routes whose prefix falls within Prefix and whose mask
+// length lies in [MinLen, MaxLen]. With Exact set, only the identical prefix
+// matches.
+type MatchPrefix struct {
+	Prefix bgp.Prefix
+	Exact  bool
+	MinLen uint8
+	MaxLen uint8
+}
+
+// Match implements Condition. The address and length comparisons consult the
+// route's symbolic prefix view when present.
+func (c MatchPrefix) Match(m *concolic.Machine, r *rib.Route) bool {
+	addr := r.PrefixAddrValue()
+	plen := r.PrefixLenValue()
+	if c.Exact {
+		sameAddr := m.Branch("policy/prefix.exact.addr", concolic.EqConst(addr, uint64(c.Prefix.Addr)))
+		sameLen := m.Branch("policy/prefix.exact.len", concolic.EqConst(plen, uint64(c.Prefix.Len)))
+		return sameAddr && sameLen
+	}
+	mask := uint64(c.Prefix.Mask())
+	inRange := m.Branch("policy/prefix.contains",
+		concolic.EqConst(concolic.BitAnd(addr, concolic.Const(mask, 32)), uint64(c.Prefix.Addr)))
+	if !inRange {
+		return false
+	}
+	minLen := c.MinLen
+	if minLen < c.Prefix.Len {
+		minLen = c.Prefix.Len
+	}
+	maxLen := c.MaxLen
+	if maxLen == 0 {
+		maxLen = 32
+	}
+	geMin := m.Branch("policy/prefix.minlen", concolic.Ge(plen, concolic.Const(uint64(minLen), 8)))
+	leMax := m.Branch("policy/prefix.maxlen", concolic.Le(plen, concolic.Const(uint64(maxLen), 8)))
+	return geMin && leMax
+}
+
+// String implements Condition.
+func (c MatchPrefix) String() string {
+	if c.Exact {
+		return fmt.Sprintf("prefix = %s", c.Prefix)
+	}
+	maxLen := c.MaxLen
+	if maxLen == 0 {
+		maxLen = 32
+	}
+	return fmt.Sprintf("prefix in %s le %d", c.Prefix, maxLen)
+}
+
+// MatchPrefixList matches if any of the member MatchPrefix conditions match.
+type MatchPrefixList struct {
+	Name    string
+	Entries []MatchPrefix
+}
+
+// Match implements Condition.
+func (c MatchPrefixList) Match(m *concolic.Machine, r *rib.Route) bool {
+	for _, e := range c.Entries {
+		if e.Match(m, r) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Condition.
+func (c MatchPrefixList) String() string { return fmt.Sprintf("prefix-list %s", c.Name) }
+
+// MatchASPathContains matches routes whose AS_PATH includes the AS.
+type MatchASPathContains struct {
+	AS bgp.ASN
+}
+
+// Match implements Condition.
+func (c MatchASPathContains) Match(m *concolic.Machine, r *rib.Route) bool {
+	return r.Attrs.HasASLoop(c.AS)
+}
+
+// String implements Condition.
+func (c MatchASPathContains) String() string { return fmt.Sprintf("as-path contains %d", c.AS) }
+
+// MatchOriginAS matches routes originated by the given AS (last AS in the
+// path). A zero AS matches locally originated routes.
+type MatchOriginAS struct {
+	AS bgp.ASN
+}
+
+// Match implements Condition.
+func (c MatchOriginAS) Match(m *concolic.Machine, r *rib.Route) bool {
+	return r.Attrs.OriginAS() == c.AS
+}
+
+// String implements Condition.
+func (c MatchOriginAS) String() string { return fmt.Sprintf("origin-as %d", c.AS) }
+
+// MatchASPathLen matches routes whose AS_PATH length relates to N by Op
+// ("<", "<=", ">", ">=", "=").
+type MatchASPathLen struct {
+	Op string
+	N  uint8
+}
+
+// Match implements Condition. The length comparison is symbolic when the
+// route carries a symbolic AS_PATH length.
+func (c MatchASPathLen) Match(m *concolic.Machine, r *rib.Route) bool {
+	l := r.PathLenValue()
+	n := concolic.Const(uint64(c.N), 32)
+	var cond concolic.Value
+	switch c.Op {
+	case "<":
+		cond = concolic.Lt(l, n)
+	case "<=":
+		cond = concolic.Le(l, n)
+	case ">":
+		cond = concolic.Gt(l, n)
+	case ">=":
+		cond = concolic.Ge(l, n)
+	default:
+		cond = concolic.Eq(l, n)
+	}
+	return m.Branch("policy/aspathlen", cond)
+}
+
+// String implements Condition.
+func (c MatchASPathLen) String() string { return fmt.Sprintf("as-path length %s %d", c.Op, c.N) }
+
+// MatchCommunity matches routes carrying the community.
+type MatchCommunity struct {
+	Community bgp.Community
+}
+
+// Match implements Condition.
+func (c MatchCommunity) Match(m *concolic.Machine, r *rib.Route) bool {
+	return r.Attrs.HasCommunity(c.Community)
+}
+
+// String implements Condition.
+func (c MatchCommunity) String() string { return fmt.Sprintf("community %s", c.Community) }
+
+// MatchLocalPref matches routes whose LOCAL_PREF relates to N by Op.
+type MatchLocalPref struct {
+	Op string
+	N  uint32
+}
+
+// Match implements Condition.
+func (c MatchLocalPref) Match(m *concolic.Machine, r *rib.Route) bool {
+	lp := r.LocalPrefValue()
+	n := concolic.Const(uint64(c.N), 32)
+	var cond concolic.Value
+	switch c.Op {
+	case "<":
+		cond = concolic.Lt(lp, n)
+	case "<=":
+		cond = concolic.Le(lp, n)
+	case ">":
+		cond = concolic.Gt(lp, n)
+	case ">=":
+		cond = concolic.Ge(lp, n)
+	default:
+		cond = concolic.Eq(lp, n)
+	}
+	return m.Branch("policy/localpref.cmp", cond)
+}
+
+// String implements Condition.
+func (c MatchLocalPref) String() string { return fmt.Sprintf("local-pref %s %d", c.Op, c.N) }
+
+//
+// Actions
+//
+
+// ActionAccept terminates evaluation accepting the route.
+type ActionAccept struct{}
+
+// Apply implements Action.
+func (ActionAccept) Apply(*concolic.Machine, *rib.Route) *Result { r := ResultAccept; return &r }
+
+// String implements Action.
+func (ActionAccept) String() string { return "accept" }
+
+// ActionReject terminates evaluation rejecting the route.
+type ActionReject struct{}
+
+// Apply implements Action.
+func (ActionReject) Apply(*concolic.Machine, *rib.Route) *Result { r := ResultReject; return &r }
+
+// String implements Action.
+func (ActionReject) String() string { return "reject" }
+
+// ActionSetLocalPref sets LOCAL_PREF.
+type ActionSetLocalPref struct {
+	Value uint32
+}
+
+// Apply implements Action. Setting a concrete LOCAL_PREF overrides any
+// symbolic view the route carried.
+func (a ActionSetLocalPref) Apply(m *concolic.Machine, r *rib.Route) *Result {
+	r.Attrs.SetLocalPref(a.Value)
+	if r.Sym != nil {
+		r.Sym.HasLocalPref = false
+	}
+	return nil
+}
+
+// String implements Action.
+func (a ActionSetLocalPref) String() string { return fmt.Sprintf("set local-pref %d", a.Value) }
+
+// ActionSetMED sets MULTI_EXIT_DISC.
+type ActionSetMED struct {
+	Value uint32
+}
+
+// Apply implements Action.
+func (a ActionSetMED) Apply(m *concolic.Machine, r *rib.Route) *Result {
+	r.Attrs.SetMED(a.Value)
+	if r.Sym != nil {
+		r.Sym.HasMED = false
+	}
+	return nil
+}
+
+// String implements Action.
+func (a ActionSetMED) String() string { return fmt.Sprintf("set med %d", a.Value) }
+
+// ActionAddCommunity attaches a community.
+type ActionAddCommunity struct {
+	Community bgp.Community
+}
+
+// Apply implements Action.
+func (a ActionAddCommunity) Apply(m *concolic.Machine, r *rib.Route) *Result {
+	r.Attrs.AddCommunity(a.Community)
+	return nil
+}
+
+// String implements Action.
+func (a ActionAddCommunity) String() string {
+	return fmt.Sprintf("add community %s", a.Community)
+}
+
+// ActionClearCommunities removes all communities.
+type ActionClearCommunities struct{}
+
+// Apply implements Action.
+func (ActionClearCommunities) Apply(m *concolic.Machine, r *rib.Route) *Result {
+	r.Attrs.Communities = nil
+	return nil
+}
+
+// String implements Action.
+func (ActionClearCommunities) String() string { return "clear communities" }
+
+// ActionPrepend prepends the AS to the AS_PATH Count times.
+type ActionPrepend struct {
+	AS    bgp.ASN
+	Count int
+}
+
+// Apply implements Action.
+func (a ActionPrepend) Apply(m *concolic.Machine, r *rib.Route) *Result {
+	n := a.Count
+	if n <= 0 {
+		n = 1
+	}
+	r.Attrs.PrependAS(a.AS, n)
+	if r.Sym != nil {
+		r.Sym.HasPathLen = false
+	}
+	return nil
+}
+
+// String implements Action.
+func (a ActionPrepend) String() string { return fmt.Sprintf("prepend %d x%d", a.AS, a.Count) }

@@ -1,0 +1,319 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/rib"
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+func testRoute(prefix string, path ...bgp.ASN) *rib.Route {
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: path, NextHop: 0x0a000001}
+	return &rib.Route{Prefix: bgp.MustParsePrefix(prefix), Attrs: attrs, Peer: "p1", PeerAS: 65001, EBGP: true}
+}
+
+func TestAcceptRejectAll(t *testing.T) {
+	r := testRoute("10.0.0.0/8", 65001)
+	if AcceptAll("a").Apply(nil, r) != ResultAccept {
+		t.Errorf("AcceptAll should accept")
+	}
+	if RejectAll("r").Apply(nil, r) != ResultReject {
+		t.Errorf("RejectAll should reject")
+	}
+	var nilPol *Policy
+	if nilPol.Apply(nil, r) != ResultAccept {
+		t.Errorf("nil policy should accept")
+	}
+}
+
+func TestMatchPrefix(t *testing.T) {
+	inRange := MatchPrefix{Prefix: bgp.MustParsePrefix("10.0.0.0/8"), MaxLen: 24}
+	exact := MatchPrefix{Prefix: bgp.MustParsePrefix("10.1.0.0/16"), Exact: true}
+
+	r16 := testRoute("10.1.0.0/16", 65001)
+	r28 := testRoute("10.1.2.16/28", 65001)
+	other := testRoute("192.168.0.0/16", 65001)
+
+	if !inRange.Match(nil, r16) {
+		t.Errorf("10.1.0.0/16 should match 10.0.0.0/8 le 24")
+	}
+	if inRange.Match(nil, r28) {
+		t.Errorf("/28 should not match le 24")
+	}
+	if inRange.Match(nil, other) {
+		t.Errorf("192.168.0.0/16 should not match 10.0.0.0/8")
+	}
+	if !exact.Match(nil, r16) || exact.Match(nil, r28) {
+		t.Errorf("exact match broken")
+	}
+}
+
+func TestMatchPrefixList(t *testing.T) {
+	pl := MatchPrefixList{Name: "PL", Entries: []MatchPrefix{
+		{Prefix: bgp.MustParsePrefix("10.0.0.0/8")},
+		{Prefix: bgp.MustParsePrefix("172.16.0.0/12")},
+	}}
+	if !pl.Match(nil, testRoute("172.20.0.0/16", 65001)) {
+		t.Errorf("prefix list should match second entry")
+	}
+	if pl.Match(nil, testRoute("192.0.2.0/24", 65001)) {
+		t.Errorf("prefix list should not match unrelated prefix")
+	}
+}
+
+func TestMatchASPathAndOrigin(t *testing.T) {
+	r := testRoute("10.0.0.0/8", 65002, 65010, 65020)
+	if !(MatchASPathContains{AS: 65010}).Match(nil, r) {
+		t.Errorf("as-path contains 65010 should match")
+	}
+	if (MatchASPathContains{AS: 64999}).Match(nil, r) {
+		t.Errorf("as-path contains 64999 should not match")
+	}
+	if !(MatchOriginAS{AS: 65020}).Match(nil, r) {
+		t.Errorf("origin-as should be the last AS")
+	}
+	if !(MatchASPathLen{Op: ">", N: 2}).Match(nil, r) {
+		t.Errorf("length 3 > 2 should match")
+	}
+	if (MatchASPathLen{Op: "<", N: 3}).Match(nil, r) {
+		t.Errorf("length 3 < 3 should not match")
+	}
+	if !(MatchASPathLen{Op: "=", N: 3}).Match(nil, r) {
+		t.Errorf("length = 3 should match")
+	}
+}
+
+func TestMatchCommunityAndLocalPref(t *testing.T) {
+	r := testRoute("10.0.0.0/8", 65002)
+	r.Attrs.AddCommunity(bgp.NewCommunity(65001, 666))
+	if !(MatchCommunity{Community: bgp.NewCommunity(65001, 666)}).Match(nil, r) {
+		t.Errorf("community match broken")
+	}
+	r.Attrs.SetLocalPref(80)
+	if !(MatchLocalPref{Op: "<", N: 100}).Match(nil, r) {
+		t.Errorf("local-pref < 100 should match")
+	}
+	if !(MatchLocalPref{Op: "=", N: 80}).Match(nil, r) {
+		t.Errorf("local-pref = 80 should match")
+	}
+}
+
+func TestActionsModifyRoute(t *testing.T) {
+	r := testRoute("10.0.0.0/8", 65002)
+	pol := &Policy{
+		Name:    "MOD",
+		Default: ResultReject,
+		Statements: []*Statement{
+			{
+				Conds: []Condition{MatchPrefix{Prefix: bgp.MustParsePrefix("10.0.0.0/8")}},
+				Actions: []Action{
+					ActionSetLocalPref{Value: 250},
+					ActionSetMED{Value: 9},
+					ActionAddCommunity{Community: bgp.NewCommunity(65001, 1)},
+					ActionPrepend{AS: 65001, Count: 2},
+					ActionAccept{},
+				},
+			},
+		},
+	}
+	if pol.Apply(nil, r) != ResultAccept {
+		t.Fatalf("policy should accept")
+	}
+	if r.Attrs.EffectiveLocalPref() != 250 || r.Attrs.EffectiveMED() != 9 {
+		t.Errorf("set actions not applied: %+v", r.Attrs)
+	}
+	if !r.Attrs.HasCommunity(bgp.NewCommunity(65001, 1)) {
+		t.Errorf("community not added")
+	}
+	if len(r.Attrs.ASPath) != 3 || r.Attrs.ASPath[0] != 65001 {
+		t.Errorf("prepend not applied: %v", r.Attrs.ASPath)
+	}
+}
+
+func TestStatementOrderAndFallThrough(t *testing.T) {
+	// First statement sets local-pref but does not terminate; second rejects
+	// routes from 65010; default accepts.
+	pol := &Policy{
+		Name:    "ORDER",
+		Default: ResultAccept,
+		Statements: []*Statement{
+			{Conds: []Condition{MatchPrefix{Prefix: bgp.MustParsePrefix("10.0.0.0/8")}},
+				Actions: []Action{ActionSetLocalPref{Value: 300}}},
+			{Conds: []Condition{MatchASPathContains{AS: 65010}},
+				Actions: []Action{ActionReject{}}},
+		},
+	}
+	ok := testRoute("10.1.0.0/16", 65002)
+	if pol.Apply(nil, ok) != ResultAccept || ok.Attrs.EffectiveLocalPref() != 300 {
+		t.Errorf("fall-through modification broken")
+	}
+	bad := testRoute("10.1.0.0/16", 65010)
+	if pol.Apply(nil, bad) != ResultReject {
+		t.Errorf("second statement should reject")
+	}
+}
+
+func TestClearCommunities(t *testing.T) {
+	r := testRoute("10.0.0.0/8", 65002)
+	r.Attrs.AddCommunity(bgp.CommunityNoExport)
+	res := (ActionClearCommunities{}).Apply(nil, r)
+	if res != nil || len(r.Attrs.Communities) != 0 {
+		t.Errorf("clear communities broken")
+	}
+}
+
+func TestPolicySymbolicPrefixMatchRecordsBranches(t *testing.T) {
+	in := concolic.NewInput("update", nil)
+	m := concolic.NewMachine(in, concolic.MachineOptions{})
+	sb := m.Bytes("pfx", []byte{16, 10, 1, 0, 0})
+	r := testRoute("10.1.0.0/16", 65002)
+	r.Sym = &rib.SymAttrs{
+		HasPrefix:  true,
+		PrefixLen:  sb.Byte(0),
+		PrefixAddr: sb.U32(1),
+	}
+	cond := MatchPrefix{Prefix: bgp.MustParsePrefix("10.0.0.0/8"), MaxLen: 24}
+	if !cond.Match(m, r) {
+		t.Fatalf("should match")
+	}
+	if len(m.Path()) == 0 {
+		t.Errorf("symbolic prefix match should record branches")
+	}
+	for _, br := range m.Path() {
+		if !br.Cond.EvalBool(m.Assignment()) {
+			t.Errorf("recorded branch inconsistent with concrete execution")
+		}
+	}
+}
+
+const samplePolicyText = `
+# Customer import policy
+policy CUST-IN {
+  if prefix in 10.0.0.0/8 le 24 and as-path contains 65010 { set local-pref 200; accept }
+  if community 65001:666 { reject }
+  if prefix = 192.0.2.0/24 { reject }
+  if as-path length > 5 { set med 50 }
+  if local-pref < 90 { reject }
+  if origin-as 64999 { add community 65001:999; accept }
+  default accept
+}
+
+policy PEER-OUT {
+  if community 65001:100 { accept }
+  default reject
+}
+`
+
+func TestParsePolicies(t *testing.T) {
+	pols, err := ParsePolicies(samplePolicyText)
+	if err != nil {
+		t.Fatalf("ParsePolicies: %v", err)
+	}
+	if len(pols) != 2 {
+		t.Fatalf("parsed %d policies, want 2", len(pols))
+	}
+	custIn := pols["CUST-IN"]
+	if custIn == nil || len(custIn.Statements) != 6 || custIn.Default != ResultAccept {
+		t.Fatalf("CUST-IN parsed wrong: %+v", custIn)
+	}
+	peerOut := pols["PEER-OUT"]
+	if peerOut == nil || peerOut.Default != ResultReject {
+		t.Fatalf("PEER-OUT parsed wrong: %+v", peerOut)
+	}
+
+	// Semantics of the parsed policy.
+	matching := testRoute("10.5.0.0/16", 65010)
+	if custIn.Apply(nil, matching) != ResultAccept || matching.Attrs.EffectiveLocalPref() != 200 {
+		t.Errorf("parsed policy semantics wrong for matching route")
+	}
+	tagged := testRoute("172.16.0.0/12", 65002)
+	tagged.Attrs.AddCommunity(bgp.NewCommunity(65001, 666))
+	if custIn.Apply(nil, tagged) != ResultReject {
+		t.Errorf("community reject broken")
+	}
+	blocked := testRoute("192.0.2.0/24", 65002)
+	if custIn.Apply(nil, blocked) != ResultReject {
+		t.Errorf("exact prefix reject broken")
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []string{
+		"policy {",
+		"policy X { if prefix in banana { accept } }",
+		"policy X { if prefix in 10.0.0.0/8 le 99999 { accept } }",
+		"policy X { if frobnicate 3 { accept } }",
+		"policy X { if prefix = 10.0.0.0/8 { explode } }",
+		"policy X { if community 65001-666 { accept } }",
+		"policy X { default maybe }",
+		"policy X { if prefix = 10.0.0.0/8 { accept }",
+		"notpolicy X { }",
+		"policy X { } policy X { }",
+	}
+	for _, c := range cases {
+		if _, err := ParsePolicies(c); err == nil {
+			t.Errorf("expected parse error for %q", c)
+		}
+	}
+}
+
+func TestParsePolicySingle(t *testing.T) {
+	p, err := ParsePolicy("policy ONLY { default accept }")
+	if err != nil || p.Name != "ONLY" {
+		t.Fatalf("ParsePolicy: %v %+v", err, p)
+	}
+	if _, err := ParsePolicy(samplePolicyText); err == nil {
+		t.Errorf("ParsePolicy should reject multiple policies")
+	}
+}
+
+func TestPolicyStringRoundTrip(t *testing.T) {
+	pols, err := ParsePolicies(samplePolicyText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pol := range pols {
+		text := pol.String()
+		if !strings.Contains(text, "policy "+name) {
+			t.Errorf("String() missing header: %s", text)
+		}
+		reparsed, err := ParsePolicy(text)
+		if err != nil {
+			t.Fatalf("re-parsing rendered policy %s: %v\n%s", name, err, text)
+		}
+		if len(reparsed.Statements) != len(pol.Statements) || reparsed.Default != pol.Default {
+			t.Errorf("round trip changed policy %s", name)
+		}
+	}
+}
+
+// Property: policy evaluation is deterministic and never mutates a route it
+// rejects via the default disposition without matching any statement.
+func TestQuickRejectWithoutMatchLeavesRouteUntouched(t *testing.T) {
+	pol := &Policy{
+		Name:    "Q",
+		Default: ResultReject,
+		Statements: []*Statement{
+			{Conds: []Condition{MatchPrefix{Prefix: bgp.MustParsePrefix("203.0.113.0/24"), Exact: true}},
+				Actions: []Action{ActionSetLocalPref{Value: 999}, ActionAccept{}}},
+		},
+	}
+	f := func(a, b, c byte, maskLen uint8) bool {
+		maskLen = maskLen%24 + 8
+		addr := uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8
+		p := bgp.Prefix{Addr: addr, Len: maskLen}.Canonical()
+		if (p == bgp.Prefix{Addr: 0xcb007100, Len: 24}) {
+			return true // the matching prefix itself is allowed to change
+		}
+		r := testRoute(p.String(), 65002)
+		before := r.Attrs.EffectiveLocalPref()
+		res := pol.Apply(nil, r)
+		return res == ResultReject && r.Attrs.EffectiveLocalPref() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package rib
+
+import (
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// Better reports whether route a is preferred over route b by the BGP
+// decision process (RFC 4271 §9.1.2), recording the decision-relevant
+// comparisons as branch constraints when a tracing machine is supplied:
+//
+//  1. higher LOCAL_PREF
+//  2. locally originated routes over learned routes
+//  3. shorter AS_PATH
+//  4. lower ORIGIN
+//  5. lower MED
+//  6. eBGP over iBGP
+//  7. lower peer router ID
+//  8. lower peer name (final deterministic tie break)
+func Better(m *concolic.Machine, a, b *Route) bool {
+	if b == nil {
+		return true
+	}
+	if a == nil {
+		return false
+	}
+	// 1. LOCAL_PREF (higher wins).
+	alp, blp := a.LocalPrefValue(), b.LocalPrefValue()
+	if m.Branch("rib/decision.localpref.gt", concolic.Gt(alp, blp)) {
+		return true
+	}
+	if m.Branch("rib/decision.localpref.lt", concolic.Lt(alp, blp)) {
+		return false
+	}
+	// 2. Locally originated routes win.
+	if a.Local != b.Local {
+		return a.Local
+	}
+	// 3. AS_PATH length (shorter wins).
+	apl, bpl := a.PathLenValue(), b.PathLenValue()
+	if m.Branch("rib/decision.aspath.lt", concolic.Lt(apl, bpl)) {
+		return true
+	}
+	if m.Branch("rib/decision.aspath.gt", concolic.Gt(apl, bpl)) {
+		return false
+	}
+	// 4. ORIGIN (lower wins).
+	if a.Attrs.Origin != b.Attrs.Origin {
+		return a.Attrs.Origin < b.Attrs.Origin
+	}
+	// 5. MED (lower wins). RFC compares MED only between routes from the
+	// same neighboring AS; we follow that rule.
+	if a.PeerAS == b.PeerAS {
+		amed, bmed := a.MEDValue(), b.MEDValue()
+		if m.Branch("rib/decision.med.lt", concolic.Lt(amed, bmed)) {
+			return true
+		}
+		if m.Branch("rib/decision.med.gt", concolic.Gt(amed, bmed)) {
+			return false
+		}
+	}
+	// 6. eBGP over iBGP.
+	if a.EBGP != b.EBGP {
+		return a.EBGP
+	}
+	// 7. Lowest peer router ID.
+	if a.PeerRouterID != b.PeerRouterID {
+		return a.PeerRouterID < b.PeerRouterID
+	}
+	// 8. Lowest peer name.
+	return a.Peer < b.Peer
+}
+
+// SelectBest returns the best route among the candidates, or nil when the
+// slice is empty. Candidates are compared pairwise with Better so that the
+// relevant constraints are recorded under exploration.
+func SelectBest(m *concolic.Machine, candidates []*Route) *Route {
+	var best *Route
+	for _, r := range candidates {
+		if best == nil || Better(m, r, best) {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,261 @@
+package rib
+
+import (
+	"sort"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// AdjRIBIn stores the routes received from one peer, before import policy.
+type AdjRIBIn struct {
+	routes map[bgp.Prefix]*Route
+}
+
+// NewAdjRIBIn returns an empty Adj-RIB-In.
+func NewAdjRIBIn() *AdjRIBIn {
+	return &AdjRIBIn{routes: make(map[bgp.Prefix]*Route)}
+}
+
+// Set stores (or replaces) the route for its prefix.
+func (a *AdjRIBIn) Set(r *Route) { a.routes[r.Prefix] = r }
+
+// Remove deletes the route for the prefix and reports whether one existed.
+func (a *AdjRIBIn) Remove(p bgp.Prefix) bool {
+	if _, ok := a.routes[p]; !ok {
+		return false
+	}
+	delete(a.routes, p)
+	return true
+}
+
+// Get returns the route for the prefix, or nil.
+func (a *AdjRIBIn) Get(p bgp.Prefix) *Route { return a.routes[p] }
+
+// Len returns the number of stored routes.
+func (a *AdjRIBIn) Len() int { return len(a.routes) }
+
+// Routes returns the stored routes in canonical prefix order.
+func (a *AdjRIBIn) Routes() []*Route {
+	out := make([]*Route, 0, len(a.routes))
+	for _, r := range a.routes {
+		out = append(out, r)
+	}
+	SortRoutes(out)
+	return out
+}
+
+// Clone deep-copies the Adj-RIB-In.
+func (a *AdjRIBIn) Clone() *AdjRIBIn {
+	out := NewAdjRIBIn()
+	for p, r := range a.routes {
+		out.routes[p] = r.Clone()
+	}
+	return out
+}
+
+// AdjRIBOut stores the routes advertised to one peer, after export policy.
+type AdjRIBOut struct {
+	routes map[bgp.Prefix]*Route
+}
+
+// NewAdjRIBOut returns an empty Adj-RIB-Out.
+func NewAdjRIBOut() *AdjRIBOut {
+	return &AdjRIBOut{routes: make(map[bgp.Prefix]*Route)}
+}
+
+// Set stores (or replaces) the advertised route for its prefix.
+func (a *AdjRIBOut) Set(r *Route) { a.routes[r.Prefix] = r }
+
+// Remove deletes the advertisement for the prefix and reports whether one
+// existed.
+func (a *AdjRIBOut) Remove(p bgp.Prefix) bool {
+	if _, ok := a.routes[p]; !ok {
+		return false
+	}
+	delete(a.routes, p)
+	return true
+}
+
+// Get returns the advertised route for the prefix, or nil.
+func (a *AdjRIBOut) Get(p bgp.Prefix) *Route { return a.routes[p] }
+
+// Len returns the number of advertised prefixes.
+func (a *AdjRIBOut) Len() int { return len(a.routes) }
+
+// Routes returns the advertised routes in canonical prefix order.
+func (a *AdjRIBOut) Routes() []*Route {
+	out := make([]*Route, 0, len(a.routes))
+	for _, r := range a.routes {
+		out = append(out, r)
+	}
+	SortRoutes(out)
+	return out
+}
+
+// Clone deep-copies the Adj-RIB-Out.
+func (a *AdjRIBOut) Clone() *AdjRIBOut {
+	out := NewAdjRIBOut()
+	for p, r := range a.routes {
+		out.routes[p] = r.Clone()
+	}
+	return out
+}
+
+// prefixEntry holds all candidate routes for one prefix plus the current
+// selection.
+type prefixEntry struct {
+	// candidates is keyed by the source: peer name, or "" for the locally
+	// originated route.
+	candidates map[string]*Route
+	best       *Route
+}
+
+// LocRIB is the local RIB: for every prefix, the candidate routes that passed
+// import policy and the best route chosen by the decision process.
+type LocRIB struct {
+	entries map[bgp.Prefix]*prefixEntry
+}
+
+// NewLocRIB returns an empty Loc-RIB.
+func NewLocRIB() *LocRIB {
+	return &LocRIB{entries: make(map[bgp.Prefix]*prefixEntry)}
+}
+
+// BestChange describes the effect of an update or withdrawal on the best
+// route of a prefix.
+type BestChange struct {
+	Prefix  bgp.Prefix
+	Old     *Route
+	New     *Route
+	Changed bool
+}
+
+// Update installs (or replaces) a candidate route and re-runs the decision
+// process for its prefix. It returns the resulting best-route change.
+func (l *LocRIB) Update(m *concolic.Machine, r *Route) BestChange {
+	e := l.entries[r.Prefix]
+	if e == nil {
+		e = &prefixEntry{candidates: make(map[string]*Route)}
+		l.entries[r.Prefix] = e
+	}
+	e.candidates[r.Peer] = r
+	return l.reselect(m, r.Prefix, e)
+}
+
+// Withdraw removes the candidate learned from the given source (peer name or
+// "" for local) and re-runs the decision process.
+func (l *LocRIB) Withdraw(m *concolic.Machine, p bgp.Prefix, source string) BestChange {
+	e := l.entries[p]
+	if e == nil {
+		return BestChange{Prefix: p}
+	}
+	if _, ok := e.candidates[source]; !ok {
+		return BestChange{Prefix: p, Old: e.best, New: e.best}
+	}
+	delete(e.candidates, source)
+	change := l.reselect(m, p, e)
+	if len(e.candidates) == 0 {
+		delete(l.entries, p)
+	}
+	return change
+}
+
+func (l *LocRIB) reselect(m *concolic.Machine, p bgp.Prefix, e *prefixEntry) BestChange {
+	old := e.best
+	// Deterministic candidate order keeps exploration reproducible.
+	sources := make([]string, 0, len(e.candidates))
+	for s := range e.candidates {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+	candidates := make([]*Route, 0, len(sources))
+	for _, s := range sources {
+		candidates = append(candidates, e.candidates[s])
+	}
+	e.best = SelectBest(m, candidates)
+	changed := !sameRoute(old, e.best)
+	return BestChange{Prefix: p, Old: old, New: e.best, Changed: changed}
+}
+
+func sameRoute(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Prefix != b.Prefix || a.Peer != b.Peer || a.Local != b.Local {
+		return false
+	}
+	// Attribute changes on the same source are still a change.
+	if a.Attrs.EffectiveLocalPref() != b.Attrs.EffectiveLocalPref() ||
+		a.Attrs.EffectiveMED() != b.Attrs.EffectiveMED() ||
+		a.Attrs.PathLen() != b.Attrs.PathLen() ||
+		a.Attrs.NextHop != b.Attrs.NextHop {
+		return false
+	}
+	return true
+}
+
+// Best returns the selected route for the prefix, or nil.
+func (l *LocRIB) Best(p bgp.Prefix) *Route {
+	if e := l.entries[p]; e != nil {
+		return e.best
+	}
+	return nil
+}
+
+// Candidates returns all candidate routes for the prefix in deterministic
+// order.
+func (l *LocRIB) Candidates(p bgp.Prefix) []*Route {
+	e := l.entries[p]
+	if e == nil {
+		return nil
+	}
+	out := make([]*Route, 0, len(e.candidates))
+	for _, r := range e.candidates {
+		out = append(out, r)
+	}
+	SortRoutes(out)
+	return out
+}
+
+// Prefixes returns all prefixes with at least one candidate, in canonical
+// order.
+func (l *LocRIB) Prefixes() []bgp.Prefix {
+	out := make([]bgp.Prefix, 0, len(l.entries))
+	for p := range l.entries {
+		out = append(out, p)
+	}
+	bgp.SortPrefixes(out)
+	return out
+}
+
+// BestRoutes returns the selected route for every prefix, in canonical order.
+func (l *LocRIB) BestRoutes() []*Route {
+	var out []*Route
+	for _, p := range l.Prefixes() {
+		if b := l.Best(p); b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Len returns the number of prefixes in the Loc-RIB.
+func (l *LocRIB) Len() int { return len(l.entries) }
+
+// Clone deep-copies the Loc-RIB, including candidate sets and selections.
+func (l *LocRIB) Clone() *LocRIB {
+	out := NewLocRIB()
+	for p, e := range l.entries {
+		ne := &prefixEntry{candidates: make(map[string]*Route, len(e.candidates))}
+		for s, r := range e.candidates {
+			c := r.Clone()
+			ne.candidates[s] = c
+			if e.best != nil && e.best.Peer == s && e.best.Local == r.Local {
+				ne.best = c
+			}
+		}
+		out.entries[p] = ne
+	}
+	return out
+}

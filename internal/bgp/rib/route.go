@@ -1,0 +1,157 @@
+// Package rib implements the three BGP routing information bases
+// (Adj-RIB-In, Loc-RIB, Adj-RIB-Out) and the BGP decision process used by
+// the emulated router.
+//
+// The decision process can run in two modes. On the live node it compares
+// concrete path attributes exactly as RFC 4271 §9.1 prescribes. Under DiCE
+// exploration the comparison consults the symbolic view of the attributes
+// carried by routes learned from explored UPDATE messages, recording the
+// comparison outcomes as branch constraints so that the concolic engine can
+// synthesize inputs that change the outcome of route selection — this is the
+// paper's "treat the locally-most-preferred condition as symbolic" idea.
+package rib
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// SymAttrs is the symbolic view of the attributes the decision process
+// consults. The concrete values inside each Value mirror the corresponding
+// field of the route's PathAttributes.
+type SymAttrs struct {
+	LocalPref    concolic.Value // 32-bit
+	HasLocalPref bool
+	MED          concolic.Value // 32-bit
+	HasMED       bool
+	PathLen      concolic.Value // 8-bit
+	HasPathLen   bool
+	// PrefixLen and PrefixAddr are the symbolic view of the route's own
+	// prefix (from the NLRI field of the UPDATE it was learned from); the
+	// policy interpreter consults them so prefix-filter decisions become
+	// negatable constraints.
+	PrefixLen  concolic.Value // 8-bit
+	PrefixAddr concolic.Value // 32-bit
+	HasPrefix  bool
+}
+
+// SymFromUpdate derives the symbolic attribute view for routes learned from
+// a parsed UPDATE.
+func SymFromUpdate(su *bgp.SymUpdate) *SymAttrs {
+	if su == nil {
+		return nil
+	}
+	out := &SymAttrs{}
+	if su.HasLocalPref {
+		out.LocalPref = su.LocalPref
+		out.HasLocalPref = true
+	}
+	if su.HasMED {
+		out.MED = su.MED
+		out.HasMED = true
+	}
+	if su.ASPathLen.Width != 0 {
+		out.PathLen = su.ASPathLen
+		out.HasPathLen = true
+	}
+	return out
+}
+
+// Route is one path to a prefix as stored in the RIBs.
+type Route struct {
+	Prefix bgp.Prefix
+	Attrs  *bgp.PathAttributes
+
+	// Peer is the name of the neighbor the route was learned from; empty for
+	// locally originated routes.
+	Peer string
+	// PeerAS is the neighbor's AS (0 for local routes).
+	PeerAS bgp.ASN
+	// PeerRouterID breaks ties in the decision process.
+	PeerRouterID bgp.RouterID
+	// EBGP records whether the route was learned over an external session.
+	EBGP bool
+	// Local marks locally originated (network statement) routes.
+	Local bool
+
+	// Sym is the symbolic view of the decision-relevant attributes; nil for
+	// routes that were not learned from an explored input.
+	Sym *SymAttrs
+}
+
+// Clone returns a deep copy of the route. Symbolic views are shared (they
+// are immutable).
+func (r *Route) Clone() *Route {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.Attrs = r.Attrs.Clone()
+	return &out
+}
+
+// LocalPrefValue returns the route's effective LOCAL_PREF as a (possibly
+// symbolic) 32-bit value.
+func (r *Route) LocalPrefValue() concolic.Value {
+	if r.Sym != nil && r.Sym.HasLocalPref {
+		return r.Sym.LocalPref
+	}
+	return concolic.Const(uint64(r.Attrs.EffectiveLocalPref()), 32)
+}
+
+// MEDValue returns the route's effective MED as a (possibly symbolic) value.
+func (r *Route) MEDValue() concolic.Value {
+	if r.Sym != nil && r.Sym.HasMED {
+		return r.Sym.MED
+	}
+	return concolic.Const(uint64(r.Attrs.EffectiveMED()), 32)
+}
+
+// PathLenValue returns the AS_PATH length as a (possibly symbolic) value.
+func (r *Route) PathLenValue() concolic.Value {
+	if r.Sym != nil && r.Sym.HasPathLen {
+		return concolic.ZExt(r.Sym.PathLen, 32)
+	}
+	return concolic.Const(uint64(r.Attrs.PathLen()), 32)
+}
+
+// PrefixLenValue returns the route's prefix mask length as a (possibly
+// symbolic) 8-bit value.
+func (r *Route) PrefixLenValue() concolic.Value {
+	if r.Sym != nil && r.Sym.HasPrefix {
+		return r.Sym.PrefixLen
+	}
+	return concolic.Const(uint64(r.Prefix.Len), 8)
+}
+
+// PrefixAddrValue returns the route's prefix network address as a (possibly
+// symbolic) 32-bit value.
+func (r *Route) PrefixAddrValue() concolic.Value {
+	if r.Sym != nil && r.Sym.HasPrefix {
+		return r.Sym.PrefixAddr
+	}
+	return concolic.Const(uint64(r.Prefix.Addr), 32)
+}
+
+// String renders the route compactly.
+func (r *Route) String() string {
+	src := r.Peer
+	if r.Local {
+		src = "local"
+	}
+	return fmt.Sprintf("%s via %s (%s)", r.Prefix, src, r.Attrs)
+}
+
+// SortRoutes orders routes deterministically (by prefix, then peer), for
+// stable iteration in checkpoints and reports.
+func SortRoutes(rs []*Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Prefix != rs[j].Prefix {
+			return rs[i].Prefix.Less(rs[j].Prefix)
+		}
+		return rs[i].Peer < rs[j].Peer
+	})
+}

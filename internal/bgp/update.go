@@ -1,0 +1,362 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// Update is the BGP UPDATE message: withdrawn routes, path attributes, and
+// the announced NLRI that the attributes describe.
+type Update struct {
+	Withdrawn []Prefix
+	Attrs     *PathAttributes
+	NLRI      []Prefix
+
+	// Sym carries the symbolic view of the fields that DiCE marks as
+	// symbolic (paper §3: NLRI prefixes and netmask lengths, path attribute
+	// type/length/value fields). It is populated by ParseUpdateSym; for
+	// messages built programmatically it is nil and the router treats every
+	// field as concrete.
+	Sym *SymUpdate
+}
+
+// SymPrefix is the symbolic view of one NLRI entry.
+type SymPrefix struct {
+	Len  concolic.Value // 8-bit mask length
+	Addr concolic.Value // 32-bit network address (host bits may be set)
+}
+
+// SymUpdate is the symbolic view of the semantically relevant UPDATE fields.
+// Values are concrete (Sym == nil inside the Value) when the message was
+// parsed without a tracing machine.
+type SymUpdate struct {
+	Origin       concolic.Value // 8-bit
+	HasOrigin    bool
+	LocalPref    concolic.Value // 32-bit
+	HasLocalPref bool
+	MED          concolic.Value // 32-bit
+	HasMED       bool
+	NextHop      concolic.Value // 32-bit
+	HasNextHop   bool
+	ASPathLen    concolic.Value // 8-bit number of ASes in the first segment
+	NLRI         []SymPrefix
+	Withdrawn    []SymPrefix
+	Communities  []concolic.Value // 32-bit each
+}
+
+// Type implements Message.
+func (*Update) Type() MessageType { return MsgUpdate }
+
+// body appends the UPDATE body: withdrawn routes, path attributes, NLRI.
+func (u *Update) body(dst []byte) []byte {
+	var withdrawn []byte
+	for _, p := range u.Withdrawn {
+		withdrawn = AppendPrefix(withdrawn, p)
+	}
+	dst = appendU16(dst, uint16(len(withdrawn)))
+	dst = append(dst, withdrawn...)
+
+	var attrs []byte
+	if u.Attrs != nil && len(u.NLRI) > 0 {
+		attrs = EncodeAttrs(u.Attrs)
+	}
+	dst = appendU16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+
+	for _, p := range u.NLRI {
+		dst = AppendPrefix(dst, p)
+	}
+	return dst
+}
+
+// EncodeBody returns the UPDATE body without the message header. This is the
+// byte region DiCE marks as symbolic when exploring.
+func (u *Update) EncodeBody() []byte { return u.body(nil) }
+
+// String renders the update compactly.
+func (u *Update) String() string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE")
+	if len(u.Withdrawn) > 0 {
+		fmt.Fprintf(&sb, " withdraw=%v", u.Withdrawn)
+	}
+	if len(u.NLRI) > 0 {
+		fmt.Fprintf(&sb, " announce=%v", u.NLRI)
+		if u.Attrs != nil {
+			fmt.Fprintf(&sb, " [%s]", u.Attrs)
+		}
+	}
+	return sb.String()
+}
+
+// DecodeUpdate parses an UPDATE body without symbolic tracing.
+func DecodeUpdate(body []byte) (*Update, error) {
+	return ParseUpdateSym(nil, "update", body)
+}
+
+// ParseUpdateSym parses an UPDATE body, attaching symbolic expressions to the
+// fields the DiCE prototype marks as symbolic. The region names the symbolic
+// input region holding body (conventionally "update"); with a nil machine the
+// parse is purely concrete and no constraints are recorded.
+//
+// Validation mirrors RFC 4271 §6.3 closely enough that malformed inputs
+// produced during exploration exercise the NOTIFICATION error paths, which is
+// where the "programming error" fault class hides.
+func ParseUpdateSym(m *concolic.Machine, region string, body []byte) (*Update, error) {
+	sb := m.Bytes(region, body)
+	data := sb.Concrete()
+
+	u := &Update{Sym: &SymUpdate{}}
+
+	if len(data) < 4 {
+		return nil, newMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "UPDATE body shorter than 4 bytes")
+	}
+	withdrawnLen := int(binary.BigEndian.Uint16(data[0:2]))
+	if 2+withdrawnLen+2 > len(data) {
+		return nil, newMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "withdrawn routes length overruns message")
+	}
+
+	// Withdrawn routes.
+	off := 2
+	end := 2 + withdrawnLen
+	for off < end {
+		p, n, sp, err := parsePrefixSym(m, sb, off, end, "withdrawn")
+		if err != nil {
+			return nil, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		u.Sym.Withdrawn = append(u.Sym.Withdrawn, sp)
+		off += n
+	}
+
+	attrLen := int(binary.BigEndian.Uint16(data[end : end+2]))
+	attrStart := end + 2
+	attrEnd := attrStart + attrLen
+	if attrEnd > len(data) {
+		return nil, newMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "path attribute length overruns message")
+	}
+
+	attrs, err := parseAttrsSym(m, sb, attrStart, attrEnd, u.Sym)
+	if err != nil {
+		return nil, err
+	}
+
+	// NLRI occupies the remainder of the message.
+	off = attrEnd
+	for off < len(data) {
+		p, n, sp, err := parsePrefixSym(m, sb, off, len(data), "nlri")
+		if err != nil {
+			return nil, err
+		}
+		u.NLRI = append(u.NLRI, p)
+		u.Sym.NLRI = append(u.Sym.NLRI, sp)
+		off += n
+	}
+
+	if len(u.NLRI) > 0 {
+		if attrs == nil {
+			return nil, newMessageError(ErrUpdateMessage, ErrSubMissingWellKnownAttr, []byte{byte(AttrOrigin)}, "announcement without path attributes")
+		}
+		if !u.Sym.HasOrigin {
+			return nil, newMessageError(ErrUpdateMessage, ErrSubMissingWellKnownAttr, []byte{byte(AttrOrigin)}, "missing ORIGIN")
+		}
+		if !u.Sym.HasNextHop {
+			return nil, newMessageError(ErrUpdateMessage, ErrSubMissingWellKnownAttr, []byte{byte(AttrNextHop)}, "missing NEXT_HOP")
+		}
+	}
+	u.Attrs = attrs
+	return u, nil
+}
+
+// parsePrefixSym parses one NLRI-encoded prefix starting at off, bounded by
+// end, recording the mask-length validity branch and building the symbolic
+// view of the prefix.
+func parsePrefixSym(m *concolic.Machine, sb *concolic.SymBytes, off, end int, kind string) (Prefix, int, SymPrefix, error) {
+	if off >= end {
+		return Prefix{}, 0, SymPrefix{}, newMessageError(ErrUpdateMessage, ErrSubInvalidNetworkField, nil, "truncated "+kind)
+	}
+	lenVal := sb.Byte(off)
+	maskLen := uint8(lenVal.Uint())
+	// The mask-length check is one of the branches DiCE negates to produce
+	// invalid prefixes that exercise the error path.
+	if !m.Branch("bgp/update."+kind+".masklen", concolic.Le(lenVal, concolic.Const(32, 8))) {
+		return Prefix{}, 0, SymPrefix{}, newMessageError(ErrUpdateMessage, ErrSubInvalidNetworkField, []byte{maskLen}, fmt.Sprintf("%s prefix length %d > 32", kind, maskLen))
+	}
+	n := encodedPrefixLen(maskLen)
+	if off+1+n > end {
+		return Prefix{}, 0, SymPrefix{}, newMessageError(ErrUpdateMessage, ErrSubInvalidNetworkField, nil, "truncated "+kind+" address")
+	}
+	var addr uint32
+	addrVal := concolic.Const(0, 32)
+	for i := 0; i < n; i++ {
+		b := sb.Byte(off + 1 + i)
+		addr |= uint32(b.Uint()) << (24 - 8*i)
+		shifted := concolic.ZExt(b, 32)
+		for s := 0; s < 24-8*i; s += 8 {
+			shifted = concolic.Mul(shifted, concolic.Const(256, 32))
+		}
+		addrVal = concolic.BitOr(addrVal, shifted)
+	}
+	p := Prefix{Addr: addr, Len: maskLen}.Canonical()
+	return p, 1 + n, SymPrefix{Len: lenVal, Addr: addrVal}, nil
+}
+
+// parseAttrsSym parses the path attribute block [start, end), recording the
+// attribute type dispatch and per-attribute validation branches.
+func parseAttrsSym(m *concolic.Machine, sb *concolic.SymBytes, start, end int, sym *SymUpdate) (*PathAttributes, error) {
+	if start == end {
+		return nil, nil
+	}
+	attrs := &PathAttributes{}
+	off := start
+	for off < end {
+		if off+2 > end {
+			return nil, newMessageError(ErrUpdateMessage, ErrSubMalformedAttributeList, nil, "truncated attribute header")
+		}
+		flagsVal := sb.Byte(off)
+		typeVal := sb.Byte(off + 1)
+		flags := uint8(flagsVal.Uint())
+		typ := AttrType(typeVal.Uint())
+		off += 2
+
+		var length int
+		if m.Branch("bgp/update.attr.extlen", concolic.Ne(concolic.BitAnd(flagsVal, concolic.Const(FlagExtended, 8)), concolic.Const(0, 8))) {
+			if off+2 > end {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "truncated extended length")
+			}
+			length = int(concolic.Concat(sb.Byte(off), sb.Byte(off+1)).Uint())
+			off += 2
+		} else {
+			if off+1 > end {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "truncated length")
+			}
+			length = int(sb.Byte(off).Uint())
+			off++
+		}
+		if off+length > end {
+			return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, fmt.Sprintf("attribute %s length %d overruns block", typ, length))
+		}
+		valStart := off
+		off += length
+
+		switch {
+		case m.Branch("bgp/update.attr.is_origin", concolic.EqConst(typeVal, uint64(AttrOrigin))):
+			if length != 1 {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "ORIGIN length != 1")
+			}
+			ov := sb.Byte(valStart)
+			if !m.Branch("bgp/update.origin.valid", concolic.Le(ov, concolic.Const(uint64(OriginIncomplete), 8))) {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubInvalidOriginAttribute, []byte{byte(ov.Uint())}, "invalid ORIGIN value")
+			}
+			attrs.Origin = uint8(ov.Uint())
+			sym.Origin = ov
+			sym.HasOrigin = true
+
+		case m.Branch("bgp/update.attr.is_aspath", concolic.EqConst(typeVal, uint64(AttrASPath))):
+			if err := parseASPathSym(m, sb, valStart, valStart+length, attrs, sym); err != nil {
+				return nil, err
+			}
+
+		case m.Branch("bgp/update.attr.is_nexthop", concolic.EqConst(typeVal, uint64(AttrNextHop))):
+			if length != 4 {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubInvalidNextHopAttribute, nil, "NEXT_HOP length != 4")
+			}
+			nh := sb.U32(valStart)
+			if !m.Branch("bgp/update.nexthop.nonzero", concolic.Ne(nh, concolic.Const(0, 32))) {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubInvalidNextHopAttribute, nil, "NEXT_HOP is 0.0.0.0")
+			}
+			attrs.NextHop = uint32(nh.Uint())
+			sym.NextHop = nh
+			sym.HasNextHop = true
+
+		case m.Branch("bgp/update.attr.is_med", concolic.EqConst(typeVal, uint64(AttrMED))):
+			if length != 4 {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "MED length != 4")
+			}
+			v := sb.U32(valStart)
+			attrs.SetMED(uint32(v.Uint()))
+			sym.MED = v
+			sym.HasMED = true
+
+		case m.Branch("bgp/update.attr.is_localpref", concolic.EqConst(typeVal, uint64(AttrLocalPref))):
+			if length != 4 {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "LOCAL_PREF length != 4")
+			}
+			v := sb.U32(valStart)
+			attrs.SetLocalPref(uint32(v.Uint()))
+			sym.LocalPref = v
+			sym.HasLocalPref = true
+
+		case m.Branch("bgp/update.attr.is_atomicagg", concolic.EqConst(typeVal, uint64(AttrAtomicAggregate))):
+			attrs.AtomicAggregate = true
+
+		case m.Branch("bgp/update.attr.is_aggregator", concolic.EqConst(typeVal, uint64(AttrAggregator))):
+			if length != 6 {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubAttributeLengthError, nil, "AGGREGATOR length != 6")
+			}
+			attrs.HasAggregator = true
+			attrs.AggregatorAS = ASN(concolic.Concat(sb.Byte(valStart), sb.Byte(valStart+1)).Uint())
+			attrs.AggregatorID = uint32(sb.U32(valStart + 2).Uint())
+
+		case m.Branch("bgp/update.attr.is_communities", concolic.EqConst(typeVal, uint64(AttrCommunities))):
+			if length%4 != 0 {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubOptionalAttributeError, nil, "COMMUNITIES length not a multiple of 4")
+			}
+			for i := 0; i < length; i += 4 {
+				cv := sb.U32(valStart + i)
+				attrs.Communities = append(attrs.Communities, Community(cv.Uint()))
+				sym.Communities = append(sym.Communities, cv)
+			}
+
+		default:
+			// Unknown attribute: well-known (non-optional) unknown attributes
+			// are a protocol error; optional ones are ignored (and would be
+			// propagated if transitive).
+			if !m.Branch("bgp/update.attr.unknown_optional", concolic.Ne(concolic.BitAnd(flagsVal, concolic.Const(FlagOptional, 8)), concolic.Const(0, 8))) {
+				return nil, newMessageError(ErrUpdateMessage, ErrSubUnrecognizedWellKnownAttr, []byte{flags, byte(typ)}, fmt.Sprintf("unrecognized well-known attribute %d", typ))
+			}
+		}
+	}
+	return attrs, nil
+}
+
+// parseASPathSym parses the AS_PATH attribute value [start, end).
+func parseASPathSym(m *concolic.Machine, sb *concolic.SymBytes, start, end int, attrs *PathAttributes, sym *SymUpdate) error {
+	off := start
+	first := true
+	for off < end {
+		if off+2 > end {
+			return newMessageError(ErrUpdateMessage, ErrSubMalformedASPath, nil, "truncated AS_PATH segment header")
+		}
+		segTypeVal := sb.Byte(off)
+		segLenVal := sb.Byte(off + 1)
+		segType := uint8(segTypeVal.Uint())
+		segLen := int(segLenVal.Uint())
+		off += 2
+		if !m.Branch("bgp/update.aspath.segtype", concolic.Or(
+			concolic.EqConst(segTypeVal, uint64(ASPathSegSequence)),
+			concolic.EqConst(segTypeVal, uint64(ASPathSegSet)))) {
+			return newMessageError(ErrUpdateMessage, ErrSubMalformedASPath, []byte{segType}, "unknown AS_PATH segment type")
+		}
+		if off+segLen*2 > end {
+			return newMessageError(ErrUpdateMessage, ErrSubMalformedASPath, nil, "AS_PATH segment overruns attribute")
+		}
+		if first {
+			sym.ASPathLen = segLenVal
+			first = false
+		}
+		for i := 0; i < segLen; i++ {
+			asn := ASN(concolic.Concat(sb.Byte(off), sb.Byte(off+1)).Uint())
+			off += 2
+			if segType == ASPathSegSequence {
+				attrs.ASPath = append(attrs.ASPath, asn)
+			} else {
+				attrs.ASSet = append(attrs.ASSet, asn)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+package bird
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/bgp/rib"
+)
+
+// RouteRecord is the serializable form of one RIB entry. It carries no
+// pointers or interfaces so it can be encoded with encoding/gob or JSON.
+type RouteRecord struct {
+	Prefix       string
+	Origin       uint8
+	ASPath       []uint32
+	ASSet        []uint32
+	NextHop      uint32
+	HasMED       bool
+	MED          uint32
+	HasLocalPref bool
+	LocalPref    uint32
+	Communities  []uint32
+	Peer         string
+	PeerAS       uint32
+	PeerRouterID uint32
+	EBGP         bool
+	Local        bool
+}
+
+func recordFromRoute(r *rib.Route) RouteRecord {
+	rec := RouteRecord{
+		Prefix:       r.Prefix.String(),
+		Origin:       r.Attrs.Origin,
+		NextHop:      r.Attrs.NextHop,
+		Peer:         r.Peer,
+		PeerAS:       uint32(r.PeerAS),
+		PeerRouterID: uint32(r.PeerRouterID),
+		EBGP:         r.EBGP,
+		Local:        r.Local,
+	}
+	for _, a := range r.Attrs.ASPath {
+		rec.ASPath = append(rec.ASPath, uint32(a))
+	}
+	for _, a := range r.Attrs.ASSet {
+		rec.ASSet = append(rec.ASSet, uint32(a))
+	}
+	for _, c := range r.Attrs.Communities {
+		rec.Communities = append(rec.Communities, uint32(c))
+	}
+	if r.Attrs.MED != nil {
+		rec.HasMED = true
+		rec.MED = *r.Attrs.MED
+	}
+	if r.Attrs.LocalPref != nil {
+		rec.HasLocalPref = true
+		rec.LocalPref = *r.Attrs.LocalPref
+	}
+	return rec
+}
+
+func (rec RouteRecord) toRoute() (*rib.Route, error) {
+	p, err := bgp.ParsePrefix(rec.Prefix)
+	if err != nil {
+		return nil, err
+	}
+	attrs := &bgp.PathAttributes{
+		Origin:  rec.Origin,
+		NextHop: rec.NextHop,
+	}
+	for _, a := range rec.ASPath {
+		attrs.ASPath = append(attrs.ASPath, bgp.ASN(a))
+	}
+	for _, a := range rec.ASSet {
+		attrs.ASSet = append(attrs.ASSet, bgp.ASN(a))
+	}
+	for _, c := range rec.Communities {
+		attrs.Communities = append(attrs.Communities, bgp.Community(c))
+	}
+	if rec.HasMED {
+		attrs.SetMED(rec.MED)
+	}
+	if rec.HasLocalPref {
+		attrs.SetLocalPref(rec.LocalPref)
+	}
+	return &rib.Route{
+		Prefix:       p,
+		Attrs:        attrs,
+		Peer:         rec.Peer,
+		PeerAS:       bgp.ASN(rec.PeerAS),
+		PeerRouterID: bgp.RouterID(rec.PeerRouterID),
+		EBGP:         rec.EBGP,
+		Local:        rec.Local,
+	}, nil
+}
+
+// SessionRecord is the serializable form of one session's state.
+type SessionRecord struct {
+	Peer                  string
+	PeerAS                uint32
+	State                 int
+	PeerRouterID          uint32
+	DownCount             int
+	NotificationsSent     int
+	NotificationsReceived int
+}
+
+// EventRecord is the serializable form of a RouteEvent.
+type EventRecord struct {
+	AtNanos int64
+	Prefix  string
+	OldVia  string
+	NewVia  string
+}
+
+// Checkpoint is a lightweight checkpoint of one router: its configuration,
+// session states, RIB contents and counters. It contains only plain data and
+// can be serialized (the checkpoint package wraps it with gob), cloned, and
+// restored into a fresh Router that behaves identically from that state
+// onward — which is exactly what DiCE's exploration needs.
+type Checkpoint struct {
+	Name              string
+	AS                uint32
+	RouterID          uint32
+	Networks          []string
+	Neighbors         []NeighborConfig
+	PoliciesText      string
+	HoldTime          time.Duration
+	KeepaliveInterval time.Duration
+	ConnectRetry      time.Duration
+
+	Sessions []SessionRecord
+	AdjIn    map[string][]RouteRecord
+	LocRIB   []RouteRecord
+	AdjOut   map[string][]RouteRecord
+
+	Stats     RouterStats
+	Events    []EventRecord
+	Panicked  bool
+	LastPanic string
+	Started   bool
+
+	// cfg keeps the in-process configuration (with its parsed policies) so
+	// that Restore within the same process does not have to re-parse
+	// PoliciesText. It is intentionally unexported: a checkpoint that crossed
+	// a process boundary restores from the textual form.
+	cfg *Config
+}
+
+// Checkpoint captures the router's current state.
+func (r *Router) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Name:              r.cfg.Name,
+		AS:                uint32(r.cfg.AS),
+		RouterID:          uint32(r.cfg.RouterID),
+		Neighbors:         append([]NeighborConfig(nil), r.cfg.Neighbors...),
+		HoldTime:          r.cfg.HoldTime,
+		KeepaliveInterval: r.cfg.KeepaliveInterval,
+		ConnectRetry:      r.cfg.ConnectRetry,
+		AdjIn:             make(map[string][]RouteRecord),
+		AdjOut:            make(map[string][]RouteRecord),
+		Stats:             r.stats,
+		Panicked:          r.panicked,
+		LastPanic:         r.lastPanic,
+		Started:           r.started,
+		cfg:               r.cfg,
+	}
+	for _, p := range r.cfg.Networks {
+		cp.Networks = append(cp.Networks, p.String())
+	}
+	var policies []string
+	for _, name := range sortedPolicyNames(r.cfg.Policies) {
+		policies = append(policies, r.cfg.Policies[name].String())
+	}
+	cp.PoliciesText = strings.Join(policies, "\n")
+
+	for _, n := range r.cfg.Neighbors {
+		s := r.sessions[n.Name]
+		cp.Sessions = append(cp.Sessions, SessionRecord{
+			Peer:                  s.peer,
+			PeerAS:                uint32(s.peerAS),
+			State:                 int(s.state),
+			PeerRouterID:          uint32(s.peerRouterID),
+			DownCount:             s.downCount,
+			NotificationsSent:     s.notificationsSent,
+			NotificationsReceived: s.notificationsReceived,
+		})
+		for _, route := range r.adjIn[n.Name].Routes() {
+			cp.AdjIn[n.Name] = append(cp.AdjIn[n.Name], recordFromRoute(route))
+		}
+		for _, route := range r.adjOut[n.Name].Routes() {
+			cp.AdjOut[n.Name] = append(cp.AdjOut[n.Name], recordFromRoute(route))
+		}
+	}
+	for _, p := range r.locRIB.Prefixes() {
+		for _, cand := range r.locRIB.Candidates(p) {
+			cp.LocRIB = append(cp.LocRIB, recordFromRoute(cand))
+		}
+	}
+	for _, ev := range r.events {
+		cp.Events = append(cp.Events, EventRecord{
+			AtNanos: int64(ev.At),
+			Prefix:  ev.Prefix.String(),
+			OldVia:  ev.OldVia,
+			NewVia:  ev.NewVia,
+		})
+	}
+	return cp
+}
+
+func sortedPolicyNames(m map[string]*policy.Policy) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	return names
+}
+
+// Restore builds a fresh Router from a checkpoint. The router resumes with
+// identical configuration, session states, RIB contents and counters; timers
+// are re-armed lazily by the next Start or session event.
+func Restore(cp *Checkpoint) (*Router, error) {
+	cfg := cp.cfg
+	if cfg == nil {
+		// The checkpoint crossed a process boundary: reconstruct the
+		// configuration from its serialized form.
+		policies, err := policy.ParsePolicies(cp.PoliciesText)
+		if err != nil {
+			return nil, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
+		}
+		cfg = &Config{
+			Name:              cp.Name,
+			AS:                bgp.ASN(cp.AS),
+			RouterID:          bgp.RouterID(cp.RouterID),
+			Neighbors:         cp.Neighbors,
+			Policies:          policies,
+			HoldTime:          cp.HoldTime,
+			KeepaliveInterval: cp.KeepaliveInterval,
+			ConnectRetry:      cp.ConnectRetry,
+		}
+		for _, ps := range cp.Networks {
+			p, err := bgp.ParsePrefix(ps)
+			if err != nil {
+				return nil, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
+			}
+			cfg.Networks = append(cfg.Networks, p)
+		}
+	}
+	r, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// New originated the local networks; clear the Loc-RIB and rebuild it
+	// from the checkpoint so the state matches exactly.
+	r.locRIB = rib.NewLocRIB()
+	for _, rec := range cp.LocRIB {
+		route, err := rec.toRoute()
+		if err != nil {
+			return nil, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
+		}
+		r.locRIB.Update(nil, route)
+	}
+	for _, sr := range cp.Sessions {
+		s := r.sessions[sr.Peer]
+		if s == nil {
+			return nil, fmt.Errorf("bird: restore %s: unknown session %s", cp.Name, sr.Peer)
+		}
+		s.state = SessionState(sr.State)
+		s.peerRouterID = bgp.RouterID(sr.PeerRouterID)
+		s.downCount = sr.DownCount
+		s.notificationsSent = sr.NotificationsSent
+		s.notificationsReceived = sr.NotificationsReceived
+	}
+	for peer, recs := range cp.AdjIn {
+		for _, rec := range recs {
+			route, err := rec.toRoute()
+			if err != nil {
+				return nil, err
+			}
+			r.adjIn[peer].Set(route)
+		}
+	}
+	for peer, recs := range cp.AdjOut {
+		for _, rec := range recs {
+			route, err := rec.toRoute()
+			if err != nil {
+				return nil, err
+			}
+			r.adjOut[peer].Set(route)
+		}
+	}
+	r.stats = cp.Stats
+	r.panicked = cp.Panicked
+	r.lastPanic = cp.LastPanic
+	r.started = cp.Started
+	for _, ev := range cp.Events {
+		p, err := bgp.ParsePrefix(ev.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		r.events = append(r.events, RouteEvent{
+			At:     time.Duration(ev.AtNanos),
+			Prefix: p,
+			OldVia: ev.OldVia,
+			NewVia: ev.NewVia,
+		})
+	}
+	return r, nil
+}
+
+// Clone returns an isolated deep copy of the router by checkpointing and
+// restoring it. The clone shares no mutable state with the original, which
+// gives DiCE the isolation guarantee it needs to explore without perturbing
+// the deployed node.
+func (r *Router) Clone() (*Router, error) {
+	return Restore(r.Checkpoint())
+}

@@ -1,0 +1,131 @@
+// Package bird implements the emulated BGP router that DiCE tests — the role
+// the BIRD daemon plays in the paper's prototype. A Router speaks the BGP-4
+// wire format from package bgp over the netem transport, keeps the three RIBs
+// from package rib, evaluates interpreted import/export policies from package
+// policy, and exposes the instrumentation hooks DiCE needs:
+//
+//   - ExploreNextUpdate marks the next UPDATE from a chosen peer as the
+//     symbolic input of a concolic execution (paper §3: NLRI and path
+//     attribute TLVs are symbolic, as is the "locally most preferred"
+//     condition);
+//   - Checkpoint/Restore and Clone provide the lightweight node checkpoints
+//     that DiCE's consistent snapshots are made of;
+//   - CheckInvariants exposes the local state checks whose verdicts are
+//     shared across domains through the narrow information-sharing interface.
+package bird
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+)
+
+// NeighborConfig describes one BGP session of a router.
+type NeighborConfig struct {
+	// Name is the netem node ID of the peer router.
+	Name string
+	// AS is the peer's autonomous system.
+	AS bgp.ASN
+	// Import and Export name policies in Config.Policies applied to routes
+	// received from / advertised to this neighbor. Empty means accept all.
+	Import string
+	Export string
+}
+
+// Config is the static configuration of one router — the part of node state
+// that, in a federated deployment, an operator keeps private.
+type Config struct {
+	// Name is the router's netem node ID.
+	Name string
+	// AS is the router's autonomous system number.
+	AS bgp.ASN
+	// RouterID is the BGP identifier.
+	RouterID bgp.RouterID
+	// Networks are locally originated prefixes.
+	Networks []bgp.Prefix
+	// Neighbors are the configured sessions.
+	Neighbors []NeighborConfig
+	// Policies holds the named import/export policies.
+	Policies map[string]*policy.Policy
+
+	// HoldTime is the negotiated hold time (default 90s).
+	HoldTime time.Duration
+	// KeepaliveInterval enables periodic KEEPALIVEs when non-zero. The
+	// experiments leave it at zero so that the virtual-time emulator reaches
+	// quiescence when routing has converged.
+	KeepaliveInterval time.Duration
+	// ConnectRetry is how long to wait before re-sending an OPEN that got no
+	// answer (default 5s).
+	ConnectRetry time.Duration
+}
+
+func (c *Config) withDefaults() {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90 * time.Second
+	}
+	if c.ConnectRetry == 0 {
+		c.ConnectRetry = 5 * time.Second
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("bird: config without name")
+	}
+	if c.AS == 0 {
+		return fmt.Errorf("bird: %s: AS must be non-zero", c.Name)
+	}
+	if c.RouterID == 0 {
+		return fmt.Errorf("bird: %s: router ID must be non-zero", c.Name)
+	}
+	seen := make(map[string]bool)
+	for _, n := range c.Neighbors {
+		if n.Name == "" || n.AS == 0 {
+			return fmt.Errorf("bird: %s: neighbor with empty name or AS", c.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("bird: %s: duplicate neighbor %s", c.Name, n.Name)
+		}
+		seen[n.Name] = true
+		for _, pol := range []string{n.Import, n.Export} {
+			if pol == "" {
+				continue
+			}
+			if _, ok := c.Policies[pol]; !ok {
+				return fmt.Errorf("bird: %s: neighbor %s references unknown policy %q", c.Name, n.Name, pol)
+			}
+		}
+	}
+	for _, p := range c.Networks {
+		if !p.Valid() {
+			return fmt.Errorf("bird: %s: invalid network %s", c.Name, p)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the configuration. Policies are copied by re-using the
+// same (immutable) policy values.
+func (c *Config) Clone() *Config {
+	out := *c
+	out.Networks = append([]bgp.Prefix(nil), c.Networks...)
+	out.Neighbors = append([]NeighborConfig(nil), c.Neighbors...)
+	out.Policies = make(map[string]*policy.Policy, len(c.Policies))
+	for k, v := range c.Policies {
+		out.Policies[k] = v
+	}
+	return &out
+}
+
+// Neighbor returns the configuration of the named neighbor, or nil.
+func (c *Config) Neighbor(name string) *NeighborConfig {
+	for i := range c.Neighbors {
+		if c.Neighbors[i].Name == name {
+			return &c.Neighbors[i]
+		}
+	}
+	return nil
+}

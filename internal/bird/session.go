@@ -1,0 +1,70 @@
+package bird
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+// SessionState is the BGP finite state machine state of one neighbor session
+// (RFC 4271 §8). The emulated transport has no separate TCP connection phase,
+// so Connect and Active collapse into Idle/OpenSent.
+type SessionState int
+
+// Session states.
+const (
+	StateIdle SessionState = iota
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+)
+
+// String renders the state name.
+func (s SessionState) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	}
+	return fmt.Sprintf("SessionState(%d)", int(s))
+}
+
+// session is the per-neighbor runtime state.
+type session struct {
+	peer         string
+	peerAS       bgp.ASN
+	state        SessionState
+	peerRouterID bgp.RouterID
+	importPolicy string
+	exportPolicy string
+	// downCount counts transitions out of Established (session resets), one
+	// of the emergent-behaviour signals the paper mentions.
+	downCount int
+	// notificationsSent / Received count protocol errors on this session.
+	notificationsSent     int
+	notificationsReceived int
+}
+
+func (s *session) established() bool { return s.state == StateEstablished }
+
+// clone copies the session state.
+func (s *session) clone() *session {
+	out := *s
+	return &out
+}
+
+// SessionInfo is the externally visible summary of one session, used by
+// checkers and reports.
+type SessionInfo struct {
+	Peer                  string
+	PeerAS                bgp.ASN
+	State                 SessionState
+	DownCount             int
+	NotificationsSent     int
+	NotificationsReceived int
+}

@@ -1,0 +1,62 @@
+package bird
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/netem"
+)
+
+// TestRoutersConvergeOverTCP runs two emulated routers over real loopback TCP
+// connections (the netem TCPRunner) instead of the virtual-time emulator,
+// exercising the same Node implementation over a heterogeneous transport —
+// sessions must establish and routes must be exchanged using real sockets,
+// real framing and real timers.
+func TestRoutersConvergeOverTCP(t *testing.T) {
+	mk := func(name string, as bgp.ASN, id bgp.RouterID, peer string, peerAS bgp.ASN, prefix string) *Router {
+		return MustNew(&Config{
+			Name:              name,
+			AS:                as,
+			RouterID:          id,
+			Networks:          []bgp.Prefix{bgp.MustParsePrefix(prefix)},
+			KeepaliveInterval: 200 * time.Millisecond,
+			ConnectRetry:      300 * time.Millisecond,
+			Neighbors:         []NeighborConfig{{Name: peer, AS: peerAS, Import: "ALL", Export: "ALL"}},
+			Policies:          map[string]*policy.Policy{"ALL": policy.AcceptAll("ALL")},
+		})
+	}
+	r1 := mk("A", 65001, 1, "B", 65002, "10.1.0.0/16")
+	r2 := mk("B", 65002, 2, "A", 65001, "10.2.0.0/16")
+
+	runner := netem.NewTCPRunner()
+	runner.AddNode(r1)
+	runner.AddNode(r2)
+	runner.Connect("A", "B")
+	if err := runner.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer runner.Stop()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r1.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) != nil &&
+			r2.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) != nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if r1.SessionState("B") != StateEstablished || r2.SessionState("A") != StateEstablished {
+		t.Fatalf("sessions did not establish over TCP: %v / %v", r1.SessionState("B"), r2.SessionState("A"))
+	}
+	if r1.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) == nil {
+		t.Errorf("A did not learn B's prefix over TCP")
+	}
+	if r2.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) == nil {
+		t.Errorf("B did not learn A's prefix over TCP")
+	}
+	if v := r1.CheckInvariants(); len(v) != 0 {
+		t.Errorf("invariant violations over TCP transport: %v", v)
+	}
+}

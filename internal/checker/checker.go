@@ -1,0 +1,459 @@
+// Package checker implements DiCE's property checking: the definitions of
+// desired system behaviour, the local per-node checks, and the narrow
+// information-sharing interface through which federated nodes exchange check
+// results without exposing their private state and configuration.
+//
+// Each Property inspects a cluster (usually a shadow clone produced from a
+// snapshot and subjected to an explored input) and produces a Result holding:
+//
+//   - Verdicts: the per-node pass/fail outcomes that cross administrative
+//     boundaries. Their serialized size is the property's "disclosure" —
+//     the experiments compare it against shipping full node state.
+//   - Violations: concrete findings, each attributed to one of the paper's
+//     three fault classes (operator mistake, policy conflict, programming
+//     error).
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// FaultClass is one of the paper's three fault classes.
+type FaultClass int
+
+// Fault classes.
+const (
+	ClassUnknown FaultClass = iota
+	ClassOperatorMistake
+	ClassPolicyConflict
+	ClassProgrammingError
+)
+
+// String renders the fault class.
+func (c FaultClass) String() string {
+	switch c {
+	case ClassOperatorMistake:
+		return "operator-mistake"
+	case ClassPolicyConflict:
+		return "policy-conflict"
+	case ClassProgrammingError:
+		return "programming-error"
+	}
+	return "unknown"
+}
+
+// Ownership maps a prefix to the AS authorized to originate it — the public
+// registry (in the spirit of an IRR/RPKI database) that origin validation
+// checks against. It is public data, not private node state.
+type Ownership map[bgp.Prefix]bgp.ASN
+
+// OwnershipFromTopology derives the registry from the prefixes each topology
+// node declares.
+func OwnershipFromTopology(topo *topology.Topology) Ownership {
+	out := make(Ownership)
+	for _, n := range topo.Nodes {
+		for _, p := range n.Prefixes {
+			out[p] = n.AS
+		}
+	}
+	return out
+}
+
+// Verdict is the unit of information a node shares with the checking plane:
+// which property it checked, whether it holds locally, and a short detail
+// string. No RIB contents or configuration leave the node.
+type Verdict struct {
+	Node     string
+	Property string
+	OK       bool
+	Detail   string
+}
+
+// size approximates the serialized size of the verdict in bytes, used for
+// disclosure accounting.
+func (v Verdict) size() int {
+	return len(v.Node) + len(v.Property) + len(v.Detail) + 1
+}
+
+// Violation is a concrete property violation.
+type Violation struct {
+	Property string
+	Class    FaultClass
+	Node     string
+	Prefix   bgp.Prefix
+	HasPfx   bool
+	Detail   string
+}
+
+// String renders the violation compactly.
+func (v Violation) String() string {
+	if v.HasPfx {
+		return fmt.Sprintf("[%s/%s] %s: %s (%s)", v.Class, v.Property, v.Node, v.Detail, v.Prefix)
+	}
+	return fmt.Sprintf("[%s/%s] %s: %s", v.Class, v.Property, v.Node, v.Detail)
+}
+
+// Key identifies the violation for deduplication across explored inputs.
+func (v Violation) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%v", v.Property, v.Node, v.Prefix, v.HasPfx)
+}
+
+// Result is the outcome of checking one property over one system state.
+type Result struct {
+	Property   string
+	Violations []Violation
+	Verdicts   []Verdict
+	// DisclosedBytes is the number of bytes of node-local information that
+	// crossed administrative boundaries to evaluate the property.
+	DisclosedBytes int
+}
+
+// OK reports whether the property held.
+func (r Result) OK() bool { return len(r.Violations) == 0 }
+
+// Property is a checkable system property.
+type Property interface {
+	// Name identifies the property in reports.
+	Name() string
+	// Check evaluates the property over the cluster.
+	Check(c *cluster.Cluster) Result
+}
+
+// Report aggregates the results of checking several properties.
+type Report struct {
+	Results []Result
+}
+
+// CheckAll evaluates every property.
+func CheckAll(c *cluster.Cluster, props []Property) *Report {
+	rep := &Report{}
+	for _, p := range props {
+		rep.Results = append(rep.Results, p.Check(c))
+	}
+	return rep
+}
+
+// Violations returns all violations across properties.
+func (r *Report) Violations() []Violation {
+	var out []Violation
+	for _, res := range r.Results {
+		out = append(out, res.Violations...)
+	}
+	return out
+}
+
+// DisclosedBytes sums the disclosure across properties.
+func (r *Report) DisclosedBytes() int {
+	total := 0
+	for _, res := range r.Results {
+		total += res.DisclosedBytes
+	}
+	return total
+}
+
+// OK reports whether every property held.
+func (r *Report) OK() bool { return len(r.Violations()) == 0 }
+
+// DefaultProperties returns the standard property set used by the DiCE
+// experiments for a given topology: origin validity, reachability, forwarding
+// loop freedom, convergence, and node health.
+func DefaultProperties(topo *topology.Topology) []Property {
+	own := OwnershipFromTopology(topo)
+	return []Property{
+		OriginValidity{Ownership: own},
+		Reachability{Ownership: own},
+		LoopFreedom{},
+		Convergence{MaxChangesPerPrefix: 8},
+		NodeHealth{},
+	}
+}
+
+// FullStateDisclosure computes the number of bytes that would cross domain
+// boundaries if nodes shared their entire checkpoints with the checking plane
+// instead of verdicts — the baseline the narrow interface is compared against
+// in experiment E7.
+func FullStateDisclosure(c *cluster.Cluster) int {
+	total := 0
+	for _, name := range c.RouterNames() {
+		data, err := checkpoint.EncodeNode(c.Router(name).Checkpoint())
+		if err != nil {
+			continue
+		}
+		total += len(data)
+	}
+	return total
+}
+
+//
+// OriginValidity: no AS announces a prefix it does not own (prefix hijacking,
+// typically the result of an operator mistake such as a missing import
+// filter or a mis-origination).
+//
+
+// OriginValidity checks that the originating AS of every selected route is
+// the registered owner of the prefix.
+type OriginValidity struct {
+	Ownership Ownership
+}
+
+// Name implements Property.
+func (OriginValidity) Name() string { return "origin-validity" }
+
+// Check implements Property. Each node checks its own Loc-RIB against the
+// public registry and shares only verdicts.
+func (p OriginValidity) Check(c *cluster.Cluster) Result {
+	res := Result{Property: p.Name()}
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		ok := true
+		for _, best := range r.LocRIB().BestRoutes() {
+			owner, registered := p.Ownership[best.Prefix]
+			if !registered {
+				continue // unregistered prefix: out of scope for this property
+			}
+			originAS := best.Attrs.OriginAS()
+			if best.Local {
+				originAS = r.Config().AS
+			}
+			if originAS != owner {
+				ok = false
+				res.Violations = append(res.Violations, Violation{
+					Property: p.Name(),
+					Class:    ClassOperatorMistake,
+					Node:     name,
+					Prefix:   best.Prefix,
+					HasPfx:   true,
+					Detail:   fmt.Sprintf("prefix owned by AS %d is originated by AS %d", owner, originAS),
+				})
+			}
+		}
+		v := Verdict{Node: name, Property: p.Name(), OK: ok}
+		if !ok {
+			v.Detail = "hijacked prefix selected"
+		}
+		res.Verdicts = append(res.Verdicts, v)
+		res.DisclosedBytes += v.size()
+	}
+	return res
+}
+
+//
+// Reachability: every registered prefix has a selected route at every node
+// (no blackholes after convergence).
+//
+
+// Reachability checks that every node has a route to every registered prefix.
+type Reachability struct {
+	Ownership Ownership
+}
+
+// Name implements Property.
+func (Reachability) Name() string { return "reachability" }
+
+// Check implements Property.
+func (p Reachability) Check(c *cluster.Cluster) Result {
+	res := Result{Property: p.Name()}
+	prefixes := make([]bgp.Prefix, 0, len(p.Ownership))
+	for pfx := range p.Ownership {
+		prefixes = append(prefixes, pfx)
+	}
+	bgp.SortPrefixes(prefixes)
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		ok := true
+		for _, pfx := range prefixes {
+			if r.LocRIB().Best(pfx) == nil {
+				ok = false
+				res.Violations = append(res.Violations, Violation{
+					Property: p.Name(),
+					Class:    ClassOperatorMistake,
+					Node:     name,
+					Prefix:   pfx,
+					HasPfx:   true,
+					Detail:   "no route to registered prefix (blackhole)",
+				})
+			}
+		}
+		v := Verdict{Node: name, Property: p.Name(), OK: ok}
+		res.Verdicts = append(res.Verdicts, v)
+		res.DisclosedBytes += v.size()
+	}
+	return res
+}
+
+//
+// LoopFreedom: following best-route next hops never cycles.
+//
+
+// LoopFreedom checks that the forwarding graph induced by selected routes is
+// acyclic for every prefix. Nodes disclose only a minimized projection of
+// their state — (prefix, next-hop node) pairs — not attributes, policies or
+// alternative routes.
+type LoopFreedom struct{}
+
+// Name implements Property.
+func (LoopFreedom) Name() string { return "loop-freedom" }
+
+// Check implements Property.
+func (p LoopFreedom) Check(c *cluster.Cluster) Result {
+	res := Result{Property: p.Name()}
+	// nextHop[node][prefix] = neighbor the node forwards to ("" = local).
+	nextHop := make(map[string]map[bgp.Prefix]string)
+	prefixSet := make(map[bgp.Prefix]bool)
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		proj := make(map[bgp.Prefix]string)
+		for _, best := range r.LocRIB().BestRoutes() {
+			if best.Local {
+				proj[best.Prefix] = ""
+			} else {
+				proj[best.Prefix] = best.Peer
+			}
+			prefixSet[best.Prefix] = true
+			// Disclosure: prefix (5 bytes) + neighbor name.
+			res.DisclosedBytes += 5 + len(best.Peer)
+		}
+		nextHop[name] = proj
+	}
+	prefixes := make([]bgp.Prefix, 0, len(prefixSet))
+	for pfx := range prefixSet {
+		prefixes = append(prefixes, pfx)
+	}
+	bgp.SortPrefixes(prefixes)
+
+	loopSeen := make(map[string]bool) // start+prefix keys already reported
+	loopByNode := make(map[string]bool)
+	for _, pfx := range prefixes {
+		for _, start := range c.RouterNames() {
+			seen := map[string]bool{}
+			cur := start
+			for {
+				if seen[cur] {
+					// Cycle reached from start for this prefix.
+					key := start + "|" + pfx.String()
+					if !loopSeen[key] {
+						loopSeen[key] = true
+						loopByNode[start] = true
+						res.Violations = append(res.Violations, Violation{
+							Property: p.Name(),
+							Class:    ClassPolicyConflict,
+							Node:     start,
+							Prefix:   pfx,
+							HasPfx:   true,
+							Detail:   "forwarding loop",
+						})
+					}
+					break
+				}
+				seen[cur] = true
+				next, ok := nextHop[cur][pfx]
+				if !ok || next == "" {
+					break // reached the origin or a node with no route
+				}
+				cur = next
+			}
+		}
+	}
+	for _, name := range c.RouterNames() {
+		v := Verdict{Node: name, Property: p.Name(), OK: !loopByNode[name]}
+		res.Verdicts = append(res.Verdicts, v)
+		res.DisclosedBytes += v.size()
+	}
+	return res
+}
+
+//
+// Convergence: the system settles instead of oscillating (persistent route
+// flapping is the signature of a policy conflict such as a dispute wheel).
+//
+
+// Convergence checks that no node changed its best route for any single
+// prefix more than MaxChangesPerPrefix times.
+type Convergence struct {
+	MaxChangesPerPrefix int
+}
+
+// Name implements Property.
+func (Convergence) Name() string { return "convergence" }
+
+// Check implements Property. Each node inspects only its own event log and
+// shares a verdict.
+func (p Convergence) Check(c *cluster.Cluster) Result {
+	limit := p.MaxChangesPerPrefix
+	if limit <= 0 {
+		limit = 8
+	}
+	res := Result{Property: p.Name()}
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		counts := make(map[bgp.Prefix]int)
+		for _, ev := range r.Events() {
+			counts[ev.Prefix]++
+		}
+		ok := true
+		prefixes := make([]bgp.Prefix, 0, len(counts))
+		for pfx := range counts {
+			prefixes = append(prefixes, pfx)
+		}
+		bgp.SortPrefixes(prefixes)
+		for _, pfx := range prefixes {
+			if counts[pfx] > limit {
+				ok = false
+				res.Violations = append(res.Violations, Violation{
+					Property: p.Name(),
+					Class:    ClassPolicyConflict,
+					Node:     name,
+					Prefix:   pfx,
+					HasPfx:   true,
+					Detail:   fmt.Sprintf("best route changed %d times (limit %d): oscillation", counts[pfx], limit),
+				})
+			}
+		}
+		v := Verdict{Node: name, Property: p.Name(), OK: ok}
+		res.Verdicts = append(res.Verdicts, v)
+		res.DisclosedBytes += v.size()
+	}
+	return res
+}
+
+//
+// NodeHealth: no node crashed or violates its local invariants (programming
+// errors).
+//
+
+// NodeHealth checks per-node invariants and crash status.
+type NodeHealth struct{}
+
+// Name implements Property.
+func (NodeHealth) Name() string { return "node-health" }
+
+// Check implements Property.
+func (p NodeHealth) Check(c *cluster.Cluster) Result {
+	res := Result{Property: p.Name()}
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		violations := r.CheckInvariants()
+		sort.Strings(violations)
+		for _, v := range violations {
+			res.Violations = append(res.Violations, Violation{
+				Property: p.Name(),
+				Class:    ClassProgrammingError,
+				Node:     name,
+				Detail:   v,
+			})
+		}
+		verdict := Verdict{Node: name, Property: p.Name(), OK: len(violations) == 0}
+		if !verdict.OK {
+			verdict.Detail = fmt.Sprintf("%d invariant violations", len(violations))
+		}
+		res.Verdicts = append(res.Verdicts, verdict)
+		res.DisclosedBytes += verdict.size()
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+// Package checkpoint defines the consistent snapshot that DiCE explores over:
+// a set of lightweight per-node checkpoints (from package bird) plus the
+// channel state — the messages that were in flight when the cut was taken.
+//
+// Snapshots are taken between emulator events, so the cut is consistent by
+// construction: no node state reflects the receipt of a message that is not
+// either recorded as delivered or captured in InFlight. The package also
+// provides a gob-based codec so a snapshot can be measured (checkpoint sizes
+// for the overhead experiment) and moved across process boundaries, and an
+// option to deliberately drop the channel state, which the experiments use as
+// the "naive, inconsistent per-node checkpoints" baseline.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/dice-project/dice/internal/bird"
+	"github.com/dice-project/dice/internal/netem"
+)
+
+// Snapshot is a consistent cut of the emulated system.
+type Snapshot struct {
+	// At is the virtual time at which the cut was taken.
+	At time.Duration
+	// Nodes maps router names to their checkpoints.
+	Nodes map[string]*bird.Checkpoint
+	// InFlight is the channel state: messages sent but not yet delivered at
+	// the cut.
+	InFlight []netem.QueuedMessage
+	// Consistent records whether the channel state was captured. The
+	// inconsistent-cut ablation sets it to false and drops InFlight.
+	Consistent bool
+}
+
+// Clone returns a deep copy of the snapshot's structure. Node checkpoints are
+// shared: they are immutable once taken (restoring builds new routers).
+func (s *Snapshot) Clone() *Snapshot {
+	out := &Snapshot{At: s.At, Consistent: s.Consistent}
+	out.Nodes = make(map[string]*bird.Checkpoint, len(s.Nodes))
+	for k, v := range s.Nodes {
+		out.Nodes[k] = v
+	}
+	out.InFlight = make([]netem.QueuedMessage, len(s.InFlight))
+	for i, m := range s.InFlight {
+		m.Payload = append([]byte(nil), m.Payload...)
+		out.InFlight[i] = m
+	}
+	return out
+}
+
+// NodeNames returns the checkpointed node names, sorted.
+func (s *Snapshot) NodeNames() []string {
+	names := make([]string, 0, len(s.Nodes))
+	for name := range s.Nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropChannelState returns a copy of the snapshot without the in-flight
+// messages, modelling naive per-node checkpoints that ignore channel state.
+func (s *Snapshot) DropChannelState() *Snapshot {
+	out := s.Clone()
+	out.InFlight = nil
+	out.Consistent = false
+	return out
+}
+
+// Encode serializes the snapshot with encoding/gob. The result is what the
+// overhead experiment reports as "snapshot size"; per-node sizes are
+// available via EncodeNode.
+func Encode(s *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a snapshot produced by Encode.
+func Decode(data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// EncodeNode serializes a single node checkpoint, for per-node size
+// accounting.
+func EncodeNode(cp *bird.Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Sizes summarizes a snapshot's encoded footprint.
+type Sizes struct {
+	TotalBytes   int
+	PerNodeBytes map[string]int
+	Messages     int
+}
+
+// Measure encodes the snapshot and each node checkpoint and reports their
+// sizes.
+func Measure(s *Snapshot) (Sizes, error) {
+	out := Sizes{PerNodeBytes: make(map[string]int), Messages: len(s.InFlight)}
+	total, err := Encode(s)
+	if err != nil {
+		return Sizes{}, err
+	}
+	out.TotalBytes = len(total)
+	for name, cp := range s.Nodes {
+		b, err := EncodeNode(cp)
+		if err != nil {
+			return Sizes{}, err
+		}
+		out.PerNodeBytes[name] = len(b)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/bird"
+	"github.com/dice-project/dice/internal/netem"
+)
+
+func sampleSnapshot(t *testing.T) *Snapshot {
+	t.Helper()
+	mk := func(name string, as bgp.ASN, id bgp.RouterID) *bird.Checkpoint {
+		r := bird.MustNew(&bird.Config{
+			Name: name, AS: as, RouterID: id,
+			Networks: []bgp.Prefix{bgp.MustParsePrefix("10.1.0.0/16")},
+			Policies: map[string]*policy.Policy{"ALL": policy.AcceptAll("ALL")},
+			Neighbors: []bird.NeighborConfig{
+				{Name: "peer", AS: 65099, Import: "ALL", Export: "ALL"},
+			},
+		})
+		return r.Checkpoint()
+	}
+	return &Snapshot{
+		At: 3 * time.Second,
+		Nodes: map[string]*bird.Checkpoint{
+			"A": mk("A", 65001, 1),
+			"B": mk("B", 65002, 2),
+		},
+		InFlight: []netem.QueuedMessage{
+			{From: "A", To: "B", Payload: []byte{1, 2, 3}, Deliver: 3100 * time.Millisecond},
+		},
+		Consistent: true,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleSnapshot(t)
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty encoding")
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.At != s.At || !got.Consistent {
+		t.Errorf("metadata lost: %+v", got)
+	}
+	if len(got.Nodes) != 2 || got.Nodes["A"] == nil || got.Nodes["A"].Name != "A" {
+		t.Errorf("nodes lost: %+v", got.NodeNames())
+	}
+	if len(got.InFlight) != 1 || string(got.InFlight[0].Payload) != string([]byte{1, 2, 3}) {
+		t.Errorf("in-flight messages lost: %+v", got.InFlight)
+	}
+	// A decoded checkpoint (which lost its in-process config) must still
+	// restore via its textual policy form.
+	if _, err := bird.Restore(got.Nodes["A"]); err != nil {
+		t.Errorf("decoded node checkpoint does not restore: %v", err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a gob stream")); err == nil {
+		t.Errorf("garbage must not decode")
+	}
+}
+
+func TestCloneIsShallowForNodesDeepForMessages(t *testing.T) {
+	s := sampleSnapshot(t)
+	c := s.Clone()
+	c.InFlight[0].Payload[0] = 99
+	if s.InFlight[0].Payload[0] == 99 {
+		t.Errorf("clone shares in-flight payload backing array")
+	}
+	if len(c.Nodes) != len(s.Nodes) {
+		t.Errorf("clone lost nodes")
+	}
+}
+
+func TestDropChannelState(t *testing.T) {
+	s := sampleSnapshot(t)
+	d := s.DropChannelState()
+	if d.Consistent || len(d.InFlight) != 0 {
+		t.Errorf("DropChannelState did not drop: %+v", d)
+	}
+	if !s.Consistent || len(s.InFlight) != 1 {
+		t.Errorf("original snapshot mutated")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	s := sampleSnapshot(t)
+	sizes, err := Measure(s)
+	if err != nil {
+		t.Fatalf("Measure: %v", err)
+	}
+	if sizes.TotalBytes <= 0 || sizes.Messages != 1 {
+		t.Errorf("sizes = %+v", sizes)
+	}
+	if len(sizes.PerNodeBytes) != 2 || sizes.PerNodeBytes["A"] <= 0 {
+		t.Errorf("per-node sizes = %+v", sizes.PerNodeBytes)
+	}
+	if sizes.PerNodeBytes["A"]+sizes.PerNodeBytes["B"] > sizes.TotalBytes*2 {
+		t.Errorf("per-node sizes inconsistent with total")
+	}
+}
+
+func TestNodeNamesSorted(t *testing.T) {
+	s := sampleSnapshot(t)
+	names := s.NodeNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("NodeNames = %v", names)
+	}
+}

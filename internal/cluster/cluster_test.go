@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bird"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+func TestBuildAndConvergeLine(t *testing.T) {
+	topo := topology.Line(4)
+	c := MustBuild(topo, Options{Seed: 1})
+	events := c.Converge()
+	if events == 0 {
+		t.Fatalf("no events processed")
+	}
+	// Full reachability with accept-all policies.
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		for _, node := range topo.Nodes {
+			if r.LocRIB().Best(node.Prefixes[0]) == nil {
+				t.Errorf("%s is missing a route to %s", name, node.Prefixes[0])
+			}
+		}
+		if v := r.CheckInvariants(); len(v) != 0 {
+			t.Errorf("%s invariant violations: %v", name, v)
+		}
+	}
+}
+
+func TestConvergeDemo27GaoRexford(t *testing.T) {
+	topo := topology.Demo27()
+	c := MustBuild(topo, Options{Seed: 1, GaoRexford: true})
+	c.Converge()
+
+	// Every router must reach every originated prefix (valley-free policies
+	// still provide full reachability in a correctly configured hierarchy).
+	missing := 0
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		for _, node := range topo.Nodes {
+			if node.Name == name {
+				continue
+			}
+			if r.LocRIB().Best(node.Prefixes[0]) == nil {
+				missing++
+			}
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d (router, prefix) pairs unreachable after convergence", missing)
+	}
+}
+
+func TestGaoRexfordExportRestriction(t *testing.T) {
+	// R2 is the customer of R1 and peers with R3. A provider-learned route
+	// must not be exported to the peer (valley-free export).
+	topo := &topology.Topology{
+		Name: "gr-3",
+		Nodes: []topology.Node{
+			{Name: "R1", AS: 65001, RouterID: 1, Prefixes: []bgp.Prefix{bgp.MustParsePrefix("10.1.0.0/16")}},
+			{Name: "R2", AS: 65002, RouterID: 2, Prefixes: []bgp.Prefix{bgp.MustParsePrefix("10.2.0.0/16")}},
+			{Name: "R3", AS: 65003, RouterID: 3, Prefixes: []bgp.Prefix{bgp.MustParsePrefix("10.3.0.0/16")}},
+		},
+		Links: []topology.Link{
+			{A: "R2", B: "R1", Rel: topology.RelCustomer, Delay: time.Millisecond},
+			{A: "R2", B: "R3", Rel: topology.RelPeer, Delay: time.Millisecond},
+		},
+	}
+	c := MustBuild(topo, Options{Seed: 1, GaoRexford: true})
+	c.Converge()
+
+	r3 := c.Router("R3")
+	// R3 must see R2's own prefix (customer/local export allowed)...
+	if r3.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) == nil {
+		t.Errorf("peer should receive locally originated prefix")
+	}
+	// ...but not R1's prefix, which R2 learned from its provider.
+	if r3.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) != nil {
+		t.Errorf("provider-learned prefix leaked to a peer (valley violation)")
+	}
+	// Relationship local-prefs applied on import.
+	best := c.Router("R2").LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16"))
+	if best == nil || best.Attrs.EffectiveLocalPref() != LocalPrefProvider {
+		t.Errorf("provider-learned route should carry LOCAL_PREF %d: %+v", LocalPrefProvider, best)
+	}
+	if !best.Attrs.HasCommunity(TagProvider) {
+		t.Errorf("provider-learned route should be tagged")
+	}
+}
+
+func TestConfigOverride(t *testing.T) {
+	topo := topology.Line(2)
+	hijacked := bgp.MustParsePrefix("10.2.0.0/16")
+	c := MustBuild(topo, Options{Seed: 1, ConfigOverride: func(cfg *bird.Config) {
+		if cfg.Name == "R1" {
+			cfg.Networks = append(cfg.Networks, hijacked) // operator mistake
+		}
+	}})
+	c.Converge()
+	// R1 now originates R2's prefix as well.
+	best := c.Router("R1").LocRIB().Best(hijacked)
+	if best == nil || !best.Local {
+		t.Errorf("config override not applied: %+v", best)
+	}
+}
+
+func TestSnapshotRestoreProducesIdenticalShadow(t *testing.T) {
+	topo := topology.Demo27()
+	c := MustBuild(topo, Options{Seed: 3, GaoRexford: true})
+	c.Converge()
+
+	snap := c.Snapshot()
+	if !snap.Consistent || len(snap.Nodes) != 27 {
+		t.Fatalf("snapshot incomplete: %d nodes", len(snap.Nodes))
+	}
+	shadow, err := FromSnapshot(topo, snap, Options{Seed: 3, GaoRexford: true})
+	if err != nil {
+		t.Fatalf("FromSnapshot: %v", err)
+	}
+	for _, name := range c.RouterNames() {
+		orig, copyR := c.Router(name), shadow.Router(name)
+		op, cp := orig.LocRIB().Prefixes(), copyR.LocRIB().Prefixes()
+		if len(op) != len(cp) {
+			t.Fatalf("%s: shadow has %d prefixes, original %d", name, len(cp), len(op))
+		}
+		for i := range op {
+			ob, cb := orig.LocRIB().Best(op[i]), copyR.LocRIB().Best(cp[i])
+			if ob.Peer != cb.Peer || ob.Attrs.EffectiveLocalPref() != cb.Attrs.EffectiveLocalPref() {
+				t.Errorf("%s: best for %s differs between original and shadow", name, op[i])
+			}
+		}
+	}
+
+	// Exploring on the shadow must not perturb the original (isolation).
+	victim := topo.Nodes[0].Prefixes[0]
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65099}, NextHop: 42}
+	shadow.InjectUpdate("R2", "R1", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{bgp.MustParsePrefix("99.9.0.0/16")}})
+	shadow.Converge()
+	if shadow.Router("R1").LocRIB().Best(bgp.MustParsePrefix("99.9.0.0/16")) == nil {
+		t.Errorf("shadow did not process the injected update")
+	}
+	if c.Router("R1").LocRIB().Best(bgp.MustParsePrefix("99.9.0.0/16")) != nil {
+		t.Errorf("exploration on the shadow leaked into the deployed cluster")
+	}
+	_ = victim
+}
+
+func TestSnapshotCapturesInFlightMessages(t *testing.T) {
+	topo := topology.Line(3)
+	c := MustBuild(topo, Options{Seed: 1})
+	// Run only a little so messages are still in flight.
+	c.Net.Start()
+	c.Run(5 * time.Millisecond)
+	snap := c.Snapshot()
+	if len(snap.InFlight) == 0 {
+		t.Fatalf("expected in-flight messages right after start")
+	}
+	// A shadow built from the snapshot converges to full reachability because
+	// the channel state was preserved.
+	shadow, err := FromSnapshot(topo, snap, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow.Converge()
+	for _, name := range shadow.RouterNames() {
+		for _, node := range topo.Nodes {
+			if shadow.Router(name).LocRIB().Best(node.Prefixes[0]) == nil {
+				t.Errorf("shadow %s missing %s after replaying channel state", name, node.Prefixes[0])
+			}
+		}
+	}
+}
+
+func TestInconsistentSnapshotLosesMessages(t *testing.T) {
+	topo := topology.Line(3)
+	c := MustBuild(topo, Options{Seed: 1})
+	c.Net.Start()
+	c.Run(5 * time.Millisecond)
+	snap := c.Snapshot().DropChannelState()
+	shadow, err := FromSnapshot(topo, snap, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow.Converge()
+	// With the channel state dropped, at least one router misses a route it
+	// would have had — the false-positive source the consistent cut avoids.
+	missing := 0
+	for _, name := range shadow.RouterNames() {
+		for _, node := range topo.Nodes {
+			if shadow.Router(name).LocRIB().Best(node.Prefixes[0]) == nil {
+				missing++
+			}
+		}
+	}
+	if missing == 0 {
+		t.Skip("all OPENs had already been delivered at the cut; nothing to lose")
+	}
+}
+
+func TestSnapshotEncodeDecodeIntegration(t *testing.T) {
+	topo := topology.Line(3)
+	c := MustBuild(topo, Options{Seed: 1})
+	c.Converge()
+	snap := c.Snapshot()
+	data, err := checkpoint.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := checkpoint.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow, err := FromSnapshot(topo, decoded, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("FromSnapshot(decoded): %v", err)
+	}
+	if shadow.Router("R3").LocRIB().Best(topo.Nodes[0].Prefixes[0]) == nil {
+		t.Errorf("shadow from decoded snapshot lost routes")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	bad := topology.Line(2)
+	bad.Nodes[1].AS = bad.Nodes[0].AS
+	if _, err := Build(bad, Options{}); err == nil {
+		t.Errorf("invalid topology must not build")
+	}
+	if _, err := ConfigFor(topology.Line(2), "nope", Options{}); err == nil {
+		t.Errorf("unknown node must not produce a config")
+	}
+	snap := &checkpoint.Snapshot{Nodes: map[string]*bird.Checkpoint{}}
+	if _, err := FromSnapshot(topology.Line(2), snap, Options{}); err == nil {
+		t.Errorf("snapshot missing nodes must not restore")
+	}
+}
+
+func TestTotalBestChanges(t *testing.T) {
+	c := MustBuild(topology.Line(3), Options{Seed: 1})
+	c.Converge()
+	if c.TotalBestChanges() == 0 {
+		t.Errorf("convergence should produce best-route changes")
+	}
+}

@@ -1,0 +1,375 @@
+package concolic
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"github.com/dice-project/dice/internal/concolic/expr"
+)
+
+func TestValueConcreteOps(t *testing.T) {
+	a := Const(10, 8)
+	b := Const(3, 8)
+	if got := Add(a, b); got.Uint() != 13 || got.IsSymbolic() {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b); got.Uint() != 7 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b); got.Uint() != 30 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Eq(a, b); got.Bool() {
+		t.Errorf("Eq(10,3) should be false")
+	}
+	if got := Lt(b, a); !got.Bool() {
+		t.Errorf("Lt(3,10) should be true")
+	}
+	if got := Concat(Const(0xab, 8), Const(0xcd, 8)); got.Uint() != 0xabcd || got.Width != 16 {
+		t.Errorf("Concat = %v", got)
+	}
+	if got := ZExt(a, 32); got.Uint() != 10 || got.Width != 32 {
+		t.Errorf("ZExt = %v", got)
+	}
+}
+
+func TestValueSymbolicPropagation(t *testing.T) {
+	in := NewInput("in", []byte{5, 9})
+	m := NewMachine(in, MachineOptions{})
+	sb := m.Bytes("in", in.Region("in"))
+	x := sb.Byte(0)
+	y := sb.Byte(1)
+	sum := Add(x, y)
+	if !sum.IsSymbolic() {
+		t.Fatalf("sum of symbolic bytes should be symbolic")
+	}
+	if sum.Uint() != 14 {
+		t.Errorf("concrete sum = %d, want 14", sum.Uint())
+	}
+	// Symbolic side evaluates consistently with the concrete side.
+	if got := sum.Sym.Eval(m.Assignment()); got != 14 {
+		t.Errorf("symbolic eval = %d, want 14", got)
+	}
+	mixed := Add(x, Const(1, 8))
+	if !mixed.IsSymbolic() || mixed.Uint() != 6 {
+		t.Errorf("mixed add = %v", mixed)
+	}
+}
+
+func TestValueBoolOps(t *testing.T) {
+	tr := BoolValue(true)
+	fa := BoolValue(false)
+	if Not(tr).Bool() || !Not(fa).Bool() {
+		t.Errorf("Not broken")
+	}
+	if !And(tr, tr).Bool() || And(tr, fa).Bool() {
+		t.Errorf("And broken")
+	}
+	if !Or(fa, tr).Bool() || Or(fa, fa).Bool() {
+		t.Errorf("Or broken")
+	}
+}
+
+func TestValueWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on width mismatch")
+		}
+	}()
+	Add(Const(1, 8), Const(1, 16))
+}
+
+func TestNilMachineIsConcrete(t *testing.T) {
+	var m *Machine
+	if m.Tracing() {
+		t.Errorf("nil machine must not trace")
+	}
+	sb := m.Bytes("in", []byte{7})
+	v := sb.Byte(0)
+	if v.IsSymbolic() || v.Uint() != 7 {
+		t.Errorf("nil machine byte = %v", v)
+	}
+	if !m.Branch("site", GtConst(v, 3)) {
+		t.Errorf("nil machine branch should return concrete truth")
+	}
+	if m.Path() != nil {
+		t.Errorf("nil machine must not record a path")
+	}
+	if got := m.Choice("pref", true); !got.Bool() || got.IsSymbolic() {
+		t.Errorf("nil machine choice = %v", got)
+	}
+}
+
+func TestMachineBranchRecording(t *testing.T) {
+	in := NewInput("in", []byte{10, 200})
+	m := NewMachine(in, MachineOptions{})
+	sb := m.Bytes("in", in.Region("in"))
+
+	// Branch taken.
+	if !m.Branch("lt", LtConst(sb.Byte(0), 50)) {
+		t.Fatalf("10 < 50 should hold")
+	}
+	// Branch not taken.
+	if m.Branch("eq", EqConst(sb.Byte(1), 5)) {
+		t.Fatalf("200 == 5 should not hold")
+	}
+	path := m.Path()
+	if len(path) != 2 {
+		t.Fatalf("path length = %d, want 2", len(path))
+	}
+	if !path[0].Taken || path[1].Taken {
+		t.Errorf("taken flags wrong: %+v", path)
+	}
+	// Each recorded condition holds under the concrete assignment (the
+	// fundamental concolic invariant).
+	for i, b := range path {
+		if !b.Cond.EvalBool(m.Assignment()) {
+			t.Errorf("recorded condition %d does not hold on its own execution", i)
+		}
+	}
+}
+
+func TestMachineConcreteConditionsNotRecorded(t *testing.T) {
+	in := NewInput("in", []byte{1})
+	m := NewMachine(in, MachineOptions{})
+	m.Branch("concrete", BoolValue(true))
+	m.Branch("concrete2", EqConst(Const(4, 8), 4))
+	if len(m.Path()) != 0 {
+		t.Errorf("concrete conditions must not be recorded, path=%v", m.Path())
+	}
+}
+
+func TestMachineBranchLimit(t *testing.T) {
+	in := NewInput("in", []byte{1})
+	m := NewMachine(in, MachineOptions{MaxBranches: 3})
+	sb := m.Bytes("in", in.Region("in"))
+	for i := 0; i < 10; i++ {
+		m.Branch(fmt.Sprintf("b%d", i), EqConst(sb.Byte(0), uint64(i)))
+	}
+	if len(m.Path()) != 3 {
+		t.Errorf("path length = %d, want 3", len(m.Path()))
+	}
+	if !m.Truncated() {
+		t.Errorf("machine should report truncation")
+	}
+}
+
+func TestMachineChoice(t *testing.T) {
+	in := NewInput("in", nil)
+	m := NewMachine(in, MachineOptions{})
+	c := m.Choice("preferred", true)
+	if !c.Bool() {
+		t.Errorf("default choice value not honoured")
+	}
+	if !c.IsSymbolic() {
+		t.Errorf("choice should be symbolic under a machine")
+	}
+	// Once the explorer flips the choice byte, a fresh machine sees false.
+	flipped := in.Clone()
+	flipped.SetRegion("choice/preferred", []byte{0})
+	m2 := NewMachine(flipped, MachineOptions{})
+	if m2.Choice("preferred", true).Bool() {
+		t.Errorf("flipped choice should be false")
+	}
+}
+
+func TestInputCloneAndHash(t *testing.T) {
+	a := NewInput("in", []byte{1, 2, 3})
+	b := a.Clone()
+	if a.Hash() != b.Hash() {
+		t.Errorf("clone must hash equal")
+	}
+	b.Region("in")[0] = 9
+	if a.Hash() == b.Hash() {
+		t.Errorf("mutated clone must hash differently")
+	}
+	if a.Region("in")[0] != 1 {
+		t.Errorf("clone mutation leaked into original")
+	}
+	if a.Size() != 3 {
+		t.Errorf("Size = %d, want 3", a.Size())
+	}
+}
+
+func TestApplyModel(t *testing.T) {
+	in := NewInput("in", []byte{1, 2, 3})
+	m := NewMachine(in, MachineOptions{})
+	m.Bytes("in", in.Region("in"))
+	model := expr.Assignment{"in[1]": 77, "unrelated": 5}
+	out := m.ApplyModel(in, model)
+	want := []byte{1, 77, 3}
+	got := out.Region("in")
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ApplyModel = %v, want %v", got, want)
+		}
+	}
+	if in.Region("in")[1] != 2 {
+		t.Errorf("ApplyModel must not mutate the base input")
+	}
+}
+
+// exploreTarget is a small program with input-dependent branching: the
+// explorer should discover the guarded "bug" without being given the magic
+// values.
+func exploreTarget(in *Input, m *Machine) error {
+	sb := m.Bytes("msg", in.Region("msg"))
+	if sb.Len() < 3 {
+		return nil
+	}
+	if m.Branch("t0", EqConst(sb.Byte(0), 0x40)) {
+		if m.Branch("t1", EqConst(sb.Byte(1), 5)) {
+			if m.Branch("t2", GtConst(sb.Byte(2), 200)) {
+				return errors.New("guarded bug reached")
+			}
+		}
+	}
+	return nil
+}
+
+func TestExplorerFindsGuardedBug(t *testing.T) {
+	e := NewExplorer(exploreTarget, ExplorerOptions{MaxExecutions: 64, Seed: 1})
+	e.AddSeed(NewInput("msg", []byte{0, 0, 0}))
+	report, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !report.Failed() {
+		t.Fatalf("explorer did not reach the guarded bug; stats=%+v", report.Stats)
+	}
+	bad := report.Errors[0].Input.Region("msg")
+	if bad[0] != 0x40 || bad[1] != 5 || bad[2] <= 200 {
+		t.Errorf("failing input %v does not satisfy the guard", bad)
+	}
+	if report.Stats.UniquePaths < 3 {
+		t.Errorf("expected several unique paths, got %d", report.Stats.UniquePaths)
+	}
+}
+
+func TestExplorerCoverageGrows(t *testing.T) {
+	e := NewExplorer(exploreTarget, ExplorerOptions{MaxExecutions: 64, Seed: 2})
+	e.AddSeed(NewInput("msg", []byte{1, 1, 1}))
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both directions of t0 must eventually be covered.
+	cov := e.Coverage()
+	has := func(k string) bool {
+		for _, c := range cov {
+			if c == k {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("t0+") || !has("t0-") {
+		t.Errorf("coverage missing t0 directions: %v", cov)
+	}
+}
+
+func TestExplorerNoSeeds(t *testing.T) {
+	e := NewExplorer(exploreTarget, ExplorerOptions{})
+	if _, err := e.Run(); !errors.Is(err, ErrNoSeeds) {
+		t.Errorf("expected ErrNoSeeds, got %v", err)
+	}
+}
+
+func TestExplorerDeterministic(t *testing.T) {
+	run := func() Stats {
+		e := NewExplorer(exploreTarget, ExplorerOptions{MaxExecutions: 40, Seed: 5})
+		e.AddSeed(NewInput("msg", []byte{9, 9, 9}))
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Stats
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("exploration not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestExplorerRespectsBudget(t *testing.T) {
+	e := NewExplorer(exploreTarget, ExplorerOptions{MaxExecutions: 5})
+	e.AddSeed(NewInput("msg", []byte{0, 0, 0}))
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Executions > 5 {
+		t.Errorf("executions %d exceeded budget", r.Stats.Executions)
+	}
+}
+
+// choiceTarget exercises symbolic choices (the "locally most preferred"
+// condition from the paper): flipping the choice reaches a different branch.
+func choiceTarget(in *Input, m *Machine) error {
+	pref := m.Choice("preferred", false)
+	if m.Branch("pref", pref) {
+		return errors.New("preferred branch reached")
+	}
+	return nil
+}
+
+func TestExplorerFlipsChoices(t *testing.T) {
+	e := NewExplorer(choiceTarget, ExplorerOptions{MaxExecutions: 16, Seed: 3})
+	e.AddSeed(NewInput("msg", nil))
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Failed() {
+		t.Fatalf("explorer failed to flip the symbolic choice; stats=%+v", r.Stats)
+	}
+}
+
+// Property: the concolic invariant — the symbolic expression of any value
+// derived from input bytes evaluates (under the machine assignment) to the
+// value's concrete part.
+func TestQuickConcolicInvariant(t *testing.T) {
+	f := func(b0, b1, b2 byte) bool {
+		in := NewInput("in", []byte{b0, b1, b2})
+		m := NewMachine(in, MachineOptions{})
+		sb := m.Bytes("in", in.Region("in"))
+		vals := []Value{
+			Add(sb.Byte(0), sb.Byte(1)),
+			Sub(sb.Byte(2), sb.Byte(0)),
+			Mul(sb.Byte(1), Const(3, 8)),
+			Concat(sb.Byte(0), sb.Byte(1)),
+			BitAnd(sb.Byte(2), Const(0xf0, 8)),
+			BitOr(sb.Byte(1), sb.Byte(2)),
+			ZExt(sb.Byte(0), 32),
+		}
+		for _, v := range vals {
+			if v.Sym.Eval(m.Assignment()) != v.Concrete {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every recorded branch condition holds under the assignment of the
+// execution that recorded it, regardless of input.
+func TestQuickPathConditionHolds(t *testing.T) {
+	f := func(b0, b1, b2 byte) bool {
+		in := NewInput("msg", []byte{b0, b1, b2})
+		m := NewMachine(in, MachineOptions{})
+		_ = exploreTarget(in, m)
+		for _, br := range m.Path() {
+			if !br.Cond.EvalBool(m.Assignment()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

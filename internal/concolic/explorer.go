@@ -1,0 +1,270 @@
+package concolic
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/dice-project/dice/internal/concolic/expr"
+	"github.com/dice-project/dice/internal/concolic/solver"
+)
+
+// ExecuteFunc runs the program under test on one input, using the machine for
+// symbolic instrumentation. A non-nil error marks the execution as failing
+// (a crash, an invariant violation, or a detected property violation); the
+// explorer records it and keeps exploring.
+type ExecuteFunc func(in *Input, m *Machine) error
+
+// ExplorerOptions configure an Explorer.
+type ExplorerOptions struct {
+	// MaxExecutions bounds the total number of program executions. Zero
+	// selects 256.
+	MaxExecutions int
+	// MaxBranchesPerPath bounds the recorded path length per execution.
+	MaxBranchesPerPath int
+	// MaxQueue bounds the number of pending candidate inputs. Zero selects
+	// 4096.
+	MaxQueue int
+	// Solver configures constraint solving.
+	Solver solver.Options
+	// Seed makes exploration deterministic.
+	Seed int64
+}
+
+func (o ExplorerOptions) withDefaults() ExplorerOptions {
+	if o.MaxExecutions <= 0 {
+		o.MaxExecutions = 256
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4096
+	}
+	if o.Solver.Seed == 0 {
+		o.Solver.Seed = o.Seed + 1
+	}
+	return o
+}
+
+// ExecError records a failing execution.
+type ExecError struct {
+	Input *Input
+	Err   error
+	Path  []Branch
+}
+
+// Stats aggregates exploration counters.
+type Stats struct {
+	Executions     int
+	UniquePaths    int
+	UniqueInputs   int
+	BranchesSeen   int
+	CoverageSites  int
+	SolverQueries  int
+	SolverSat      int
+	SolverUnsat    int
+	SolverUnknown  int
+	QueueOverflows int
+	Truncated      int
+}
+
+// Report is the result of an exploration run.
+type Report struct {
+	Stats  Stats
+	Errors []ExecError
+}
+
+// Failed reports whether any execution returned an error.
+func (r *Report) Failed() bool { return len(r.Errors) > 0 }
+
+// candidate is a pending test input in the exploration frontier.
+type candidate struct {
+	input *Input
+	// depth is the index of the first branch this candidate is allowed to
+	// negate; branches before it were inherited from the parent path
+	// (generational search, as in SAGE/Oasis).
+	depth int
+	// score orders the frontier: candidates expected to reach new coverage
+	// first.
+	score int
+	seq   int
+}
+
+// Explorer drives concolic exploration: it maintains a frontier of candidate
+// inputs, executes them through the user-provided ExecuteFunc, and derives
+// new candidates by negating recorded branch constraints and solving for
+// inputs that realize the negation.
+type Explorer struct {
+	execute ExecuteFunc
+	opts    ExplorerOptions
+
+	queue      []*candidate
+	seenInput  map[uint64]bool
+	seenPath   map[uint64]bool
+	coverage   map[string]bool
+	nextSeq    int
+	stats      Stats
+	errorsList []ExecError
+}
+
+// NewExplorer returns an Explorer over the given program.
+func NewExplorer(execute ExecuteFunc, opts ExplorerOptions) *Explorer {
+	if execute == nil {
+		panic("concolic: nil ExecuteFunc")
+	}
+	return &Explorer{
+		execute:   execute,
+		opts:      opts.withDefaults(),
+		seenInput: make(map[uint64]bool),
+		seenPath:  make(map[uint64]bool),
+		coverage:  make(map[string]bool),
+	}
+}
+
+// AddSeed adds an initial input to the frontier. Seeds typically come from
+// observed live traffic or from the grammar-based fuzzer.
+func (e *Explorer) AddSeed(in *Input) {
+	e.enqueue(&candidate{input: in.Clone(), depth: 0, score: 1 << 20})
+}
+
+// enqueue adds a candidate unless its input was already scheduled.
+func (e *Explorer) enqueue(c *candidate) {
+	h := c.input.Hash()
+	if e.seenInput[h] {
+		return
+	}
+	if len(e.queue) >= e.opts.MaxQueue {
+		e.stats.QueueOverflows++
+		return
+	}
+	e.seenInput[h] = true
+	e.stats.UniqueInputs++
+	c.seq = e.nextSeq
+	e.nextSeq++
+	e.queue = append(e.queue, c)
+}
+
+// dequeue removes the best-scoring candidate (ties broken by insertion order
+// for determinism).
+func (e *Explorer) dequeue() *candidate {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(e.queue); i++ {
+		if e.queue[i].score > e.queue[best].score ||
+			(e.queue[i].score == e.queue[best].score && e.queue[i].seq < e.queue[best].seq) {
+			best = i
+		}
+	}
+	c := e.queue[best]
+	e.queue = append(e.queue[:best], e.queue[best+1:]...)
+	return c
+}
+
+// Pending returns the number of candidates waiting to be executed.
+func (e *Explorer) Pending() int { return len(e.queue) }
+
+// Stats returns a snapshot of the exploration counters.
+func (e *Explorer) Stats() Stats { return e.stats }
+
+// Errors returns the failing executions recorded so far.
+func (e *Explorer) Errors() []ExecError { return e.errorsList }
+
+// ErrNoSeeds is returned by Run when the frontier is empty at the start.
+var ErrNoSeeds = errors.New("concolic: exploration started with no seed inputs")
+
+// Run executes candidates until the frontier is empty or the execution budget
+// is exhausted, and returns a report.
+func (e *Explorer) Run() (*Report, error) {
+	if len(e.queue) == 0 {
+		return nil, ErrNoSeeds
+	}
+	for e.stats.Executions < e.opts.MaxExecutions {
+		c := e.dequeue()
+		if c == nil {
+			break
+		}
+		e.Step(c.input, c.depth)
+	}
+	return &Report{Stats: e.stats, Errors: e.errorsList}, nil
+}
+
+// Step executes a single input (with the given generational depth), records
+// its path, and derives new candidates from it. It is exported so that the
+// DiCE orchestrator can interleave exploration with snapshot cloning and
+// property checking.
+func (e *Explorer) Step(in *Input, depth int) (m *Machine, err error) {
+	m = NewMachine(in.Clone(), MachineOptions{MaxBranches: e.opts.MaxBranchesPerPath})
+	err = e.execute(m.Input(), m)
+	e.stats.Executions++
+	if m.Truncated() {
+		e.stats.Truncated++
+	}
+	path := m.Path()
+	e.stats.BranchesSeen += len(path)
+	if err != nil {
+		e.errorsList = append(e.errorsList, ExecError{Input: in.Clone(), Err: err, Path: path})
+	}
+	sig := m.PathSignature()
+	newPath := !e.seenPath[sig]
+	if newPath {
+		e.seenPath[sig] = true
+		e.stats.UniquePaths++
+	}
+	newCover := 0
+	for _, b := range path {
+		key := b.Site
+		if b.Taken {
+			key += "+"
+		} else {
+			key += "-"
+		}
+		if !e.coverage[key] {
+			e.coverage[key] = true
+			newCover++
+		}
+	}
+	e.stats.CoverageSites = len(e.coverage)
+
+	// Generational search: negate each branch at or beyond the candidate's
+	// depth and solve for an input realizing the flipped path prefix.
+	for i := depth; i < len(path); i++ {
+		constraints := make([]*expr.Expr, 0, i+1)
+		for j := 0; j < i; j++ {
+			constraints = append(constraints, path[j].Cond)
+		}
+		constraints = append(constraints, expr.Not(path[i].Cond))
+
+		e.stats.SolverQueries++
+		res := solver.Solve(constraints, m.Assignment(), e.opts.Solver)
+		switch res.Status {
+		case solver.StatusSat:
+			e.stats.SolverSat++
+			child := m.ApplyModel(m.Input(), res.Model)
+			score := 0
+			flippedKey := path[i].Site
+			if path[i].Taken {
+				flippedKey += "-"
+			} else {
+				flippedKey += "+"
+			}
+			if !e.coverage[flippedKey] {
+				score = 1000
+			}
+			e.enqueue(&candidate{input: child, depth: i + 1, score: score + newCover})
+		case solver.StatusUnsat:
+			e.stats.SolverUnsat++
+		default:
+			e.stats.SolverUnknown++
+		}
+	}
+	return m, err
+}
+
+// Coverage returns the sorted list of covered (site, direction) keys.
+func (e *Explorer) Coverage() []string {
+	keys := make([]string, 0, len(e.coverage))
+	for k := range e.coverage {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,706 @@
+// Package expr implements the symbolic expression language used by the
+// concolic execution engine.
+//
+// Expressions form an immutable DAG. Every expression has a sort: either a
+// boolean or a fixed-width bitvector of 1 to 64 bits. The package provides
+// smart constructors that perform light-weight simplification (constant
+// folding, identity and absorption rules), evaluation of an expression under
+// a concrete assignment of its variables, and utilities to collect the free
+// variables of an expression.
+//
+// The engine marks program inputs (for DiCE, the bytes of a BGP UPDATE
+// message and the route-preference condition) as symbolic variables. The
+// instrumented code then combines those variables into expressions as it
+// computes on them, and records boolean expressions as branch constraints.
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates the expression node kinds.
+type Kind uint8
+
+// Expression node kinds.
+const (
+	KindInvalid Kind = iota
+
+	// Leaves.
+	KindConst // bitvector constant (Width, Val)
+	KindBool  // boolean constant (Val is 0 or 1)
+	KindVar   // bitvector variable (Name, Width)
+
+	// Bitvector arithmetic.
+	KindAdd
+	KindSub
+	KindMul
+	KindUDiv
+	KindURem
+
+	// Bitvector bitwise operations.
+	KindBVAnd
+	KindBVOr
+	KindBVXor
+	KindBVNot
+	KindShl
+	KindLShr
+
+	// Width changing operations.
+	KindZExt    // zero extend Args[0] to Width
+	KindExtract // extract bits [Lo, Lo+Width) from Args[0]
+	KindConcat  // Args[0] is the high part, Args[1] the low part
+
+	// Comparisons (boolean result).
+	KindEq
+	KindNe
+	KindUlt
+	KindUle
+	KindUgt
+	KindUge
+
+	// Boolean connectives.
+	KindNot
+	KindAnd
+	KindOr
+	KindXor
+
+	// If-then-else over bitvectors: Args[0] is the boolean condition,
+	// Args[1] the "then" value and Args[2] the "else" value.
+	KindIte
+)
+
+var kindNames = map[Kind]string{
+	KindConst:   "const",
+	KindBool:    "bool",
+	KindVar:     "var",
+	KindAdd:     "add",
+	KindSub:     "sub",
+	KindMul:     "mul",
+	KindUDiv:    "udiv",
+	KindURem:    "urem",
+	KindBVAnd:   "bvand",
+	KindBVOr:    "bvor",
+	KindBVXor:   "bvxor",
+	KindBVNot:   "bvnot",
+	KindShl:     "shl",
+	KindLShr:    "lshr",
+	KindZExt:    "zext",
+	KindExtract: "extract",
+	KindConcat:  "concat",
+	KindEq:      "=",
+	KindNe:      "!=",
+	KindUlt:     "<",
+	KindUle:     "<=",
+	KindUgt:     ">",
+	KindUge:     ">=",
+	KindNot:     "not",
+	KindAnd:     "and",
+	KindOr:      "or",
+	KindXor:     "xor",
+	KindIte:     "ite",
+}
+
+// String returns the mnemonic for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Expr is a node of the immutable expression DAG. Expressions must be built
+// through the package constructors; the zero value is not a valid expression.
+type Expr struct {
+	Kind  Kind
+	Width uint8  // result width in bits for bitvector sorts; 0 for booleans
+	Val   uint64 // constant value for KindConst/KindBool; Lo for KindExtract
+	Name  string // variable name for KindVar
+	Args  []*Expr
+}
+
+// IsBool reports whether the expression has boolean sort.
+func (e *Expr) IsBool() bool {
+	switch e.Kind {
+	case KindBool, KindEq, KindNe, KindUlt, KindUle, KindUgt, KindUge,
+		KindNot, KindAnd, KindOr, KindXor:
+		return true
+	}
+	return false
+}
+
+// IsConst reports whether the expression is a constant (bitvector or boolean).
+func (e *Expr) IsConst() bool {
+	return e.Kind == KindConst || e.Kind == KindBool
+}
+
+// mask returns the bitmask for a width in bits.
+func mask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// Const returns a bitvector constant of the given width. The value is
+// truncated to the width.
+func Const(val uint64, width uint8) *Expr {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("expr: invalid constant width %d", width))
+	}
+	return &Expr{Kind: KindConst, Width: width, Val: val & mask(width)}
+}
+
+// Bool returns a boolean constant.
+func Bool(v bool) *Expr {
+	val := uint64(0)
+	if v {
+		val = 1
+	}
+	return &Expr{Kind: KindBool, Val: val}
+}
+
+// True and False are the boolean constants.
+var (
+	True  = Bool(true)
+	False = Bool(false)
+)
+
+// Var returns a bitvector variable with the given name and width.
+func Var(name string, width uint8) *Expr {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("expr: invalid variable width %d", width))
+	}
+	if name == "" {
+		panic("expr: empty variable name")
+	}
+	return &Expr{Kind: KindVar, Width: width, Name: name}
+}
+
+func checkSameWidth(op string, a, b *Expr) {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("expr: %s operand width mismatch: %d vs %d", op, a.Width, b.Width))
+	}
+}
+
+func binaryBV(kind Kind, a, b *Expr) *Expr {
+	checkSameWidth(kind.String(), a, b)
+	return &Expr{Kind: kind, Width: a.Width, Args: []*Expr{a, b}}
+}
+
+// Add returns a+b (modular, width of the operands).
+func Add(a, b *Expr) *Expr {
+	checkSameWidth("add", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val+b.Val, a.Width)
+	}
+	if a.IsConst() && a.Val == 0 {
+		return b
+	}
+	if b.IsConst() && b.Val == 0 {
+		return a
+	}
+	return binaryBV(KindAdd, a, b)
+}
+
+// Sub returns a-b (modular).
+func Sub(a, b *Expr) *Expr {
+	checkSameWidth("sub", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val-b.Val, a.Width)
+	}
+	if b.IsConst() && b.Val == 0 {
+		return a
+	}
+	return binaryBV(KindSub, a, b)
+}
+
+// Mul returns a*b (modular).
+func Mul(a, b *Expr) *Expr {
+	checkSameWidth("mul", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val*b.Val, a.Width)
+	}
+	if a.IsConst() && a.Val == 1 {
+		return b
+	}
+	if b.IsConst() && b.Val == 1 {
+		return a
+	}
+	if (a.IsConst() && a.Val == 0) || (b.IsConst() && b.Val == 0) {
+		return Const(0, a.Width)
+	}
+	return binaryBV(KindMul, a, b)
+}
+
+// UDiv returns the unsigned quotient a/b. Division by zero evaluates to the
+// all-ones value of the operand width, matching SMT-LIB bitvector semantics.
+func UDiv(a, b *Expr) *Expr {
+	checkSameWidth("udiv", a, b)
+	if a.IsConst() && b.IsConst() {
+		if b.Val == 0 {
+			return Const(mask(a.Width), a.Width)
+		}
+		return Const(a.Val/b.Val, a.Width)
+	}
+	return binaryBV(KindUDiv, a, b)
+}
+
+// URem returns the unsigned remainder a%b. Remainder by zero evaluates to a.
+func URem(a, b *Expr) *Expr {
+	checkSameWidth("urem", a, b)
+	if a.IsConst() && b.IsConst() {
+		if b.Val == 0 {
+			return a
+		}
+		return Const(a.Val%b.Val, a.Width)
+	}
+	return binaryBV(KindURem, a, b)
+}
+
+// BVAnd returns the bitwise AND of a and b.
+func BVAnd(a, b *Expr) *Expr {
+	checkSameWidth("bvand", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val&b.Val, a.Width)
+	}
+	if a.IsConst() && a.Val == mask(a.Width) {
+		return b
+	}
+	if b.IsConst() && b.Val == mask(b.Width) {
+		return a
+	}
+	if (a.IsConst() && a.Val == 0) || (b.IsConst() && b.Val == 0) {
+		return Const(0, a.Width)
+	}
+	return binaryBV(KindBVAnd, a, b)
+}
+
+// BVOr returns the bitwise OR of a and b.
+func BVOr(a, b *Expr) *Expr {
+	checkSameWidth("bvor", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val|b.Val, a.Width)
+	}
+	if a.IsConst() && a.Val == 0 {
+		return b
+	}
+	if b.IsConst() && b.Val == 0 {
+		return a
+	}
+	return binaryBV(KindBVOr, a, b)
+}
+
+// BVXor returns the bitwise XOR of a and b.
+func BVXor(a, b *Expr) *Expr {
+	checkSameWidth("bvxor", a, b)
+	if a.IsConst() && b.IsConst() {
+		return Const(a.Val^b.Val, a.Width)
+	}
+	return binaryBV(KindBVXor, a, b)
+}
+
+// BVNot returns the bitwise complement of a.
+func BVNot(a *Expr) *Expr {
+	if a.IsConst() {
+		return Const(^a.Val, a.Width)
+	}
+	return &Expr{Kind: KindBVNot, Width: a.Width, Args: []*Expr{a}}
+}
+
+// Shl returns a shifted left by the constant amount of bits.
+func Shl(a *Expr, amount uint8) *Expr {
+	if amount == 0 {
+		return a
+	}
+	if a.IsConst() {
+		return Const(a.Val<<amount, a.Width)
+	}
+	return &Expr{Kind: KindShl, Width: a.Width, Val: uint64(amount), Args: []*Expr{a}}
+}
+
+// LShr returns a logically shifted right by the constant amount of bits.
+func LShr(a *Expr, amount uint8) *Expr {
+	if amount == 0 {
+		return a
+	}
+	if a.IsConst() {
+		return Const(a.Val>>amount, a.Width)
+	}
+	return &Expr{Kind: KindLShr, Width: a.Width, Val: uint64(amount), Args: []*Expr{a}}
+}
+
+// ZExt zero-extends a to the given width. Extending to the same width
+// returns a unchanged.
+func ZExt(a *Expr, width uint8) *Expr {
+	if width < a.Width {
+		panic(fmt.Sprintf("expr: zext to smaller width %d < %d", width, a.Width))
+	}
+	if width == a.Width {
+		return a
+	}
+	if a.IsConst() {
+		return Const(a.Val, width)
+	}
+	return &Expr{Kind: KindZExt, Width: width, Args: []*Expr{a}}
+}
+
+// Extract returns bits [lo, lo+width) of a.
+func Extract(a *Expr, lo, width uint8) *Expr {
+	if lo+width > a.Width {
+		panic(fmt.Sprintf("expr: extract [%d,%d) out of range for width %d", lo, lo+width, a.Width))
+	}
+	if lo == 0 && width == a.Width {
+		return a
+	}
+	if a.IsConst() {
+		return Const(a.Val>>lo, width)
+	}
+	return &Expr{Kind: KindExtract, Width: width, Val: uint64(lo), Args: []*Expr{a}}
+}
+
+// Concat concatenates hi and lo, with hi occupying the most significant bits.
+func Concat(hi, lo *Expr) *Expr {
+	total := hi.Width + lo.Width
+	if total > 64 {
+		panic(fmt.Sprintf("expr: concat result width %d exceeds 64", total))
+	}
+	if hi.IsConst() && lo.IsConst() {
+		return Const(hi.Val<<lo.Width|lo.Val, total)
+	}
+	return &Expr{Kind: KindConcat, Width: total, Args: []*Expr{hi, lo}}
+}
+
+func comparison(kind Kind, a, b *Expr, fold func(x, y uint64) bool) *Expr {
+	checkSameWidth(kind.String(), a, b)
+	if a.IsConst() && b.IsConst() {
+		return Bool(fold(a.Val, b.Val))
+	}
+	return &Expr{Kind: kind, Args: []*Expr{a, b}}
+}
+
+// Eq returns the boolean a == b.
+func Eq(a, b *Expr) *Expr {
+	return comparison(KindEq, a, b, func(x, y uint64) bool { return x == y })
+}
+
+// Ne returns the boolean a != b.
+func Ne(a, b *Expr) *Expr {
+	return comparison(KindNe, a, b, func(x, y uint64) bool { return x != y })
+}
+
+// Ult returns the boolean a < b (unsigned).
+func Ult(a, b *Expr) *Expr {
+	return comparison(KindUlt, a, b, func(x, y uint64) bool { return x < y })
+}
+
+// Ule returns the boolean a <= b (unsigned).
+func Ule(a, b *Expr) *Expr {
+	return comparison(KindUle, a, b, func(x, y uint64) bool { return x <= y })
+}
+
+// Ugt returns the boolean a > b (unsigned).
+func Ugt(a, b *Expr) *Expr {
+	return comparison(KindUgt, a, b, func(x, y uint64) bool { return x > y })
+}
+
+// Uge returns the boolean a >= b (unsigned).
+func Uge(a, b *Expr) *Expr {
+	return comparison(KindUge, a, b, func(x, y uint64) bool { return x >= y })
+}
+
+// Not returns the boolean negation of a. Double negation and negation of
+// comparisons are simplified structurally.
+func Not(a *Expr) *Expr {
+	if !a.IsBool() {
+		panic("expr: not applied to non-boolean")
+	}
+	switch a.Kind {
+	case KindBool:
+		return Bool(a.Val == 0)
+	case KindNot:
+		return a.Args[0]
+	case KindEq:
+		return &Expr{Kind: KindNe, Args: a.Args}
+	case KindNe:
+		return &Expr{Kind: KindEq, Args: a.Args}
+	case KindUlt:
+		return &Expr{Kind: KindUge, Args: a.Args}
+	case KindUle:
+		return &Expr{Kind: KindUgt, Args: a.Args}
+	case KindUgt:
+		return &Expr{Kind: KindUle, Args: a.Args}
+	case KindUge:
+		return &Expr{Kind: KindUlt, Args: a.Args}
+	}
+	return &Expr{Kind: KindNot, Args: []*Expr{a}}
+}
+
+func boolBinary(kind Kind, a, b *Expr) *Expr {
+	if !a.IsBool() || !b.IsBool() {
+		panic("expr: boolean connective applied to non-boolean")
+	}
+	return &Expr{Kind: kind, Args: []*Expr{a, b}}
+}
+
+// And returns the boolean conjunction a && b.
+func And(a, b *Expr) *Expr {
+	if a.Kind == KindBool {
+		if a.Val == 0 {
+			return False
+		}
+		return b
+	}
+	if b.Kind == KindBool {
+		if b.Val == 0 {
+			return False
+		}
+		return a
+	}
+	return boolBinary(KindAnd, a, b)
+}
+
+// Or returns the boolean disjunction a || b.
+func Or(a, b *Expr) *Expr {
+	if a.Kind == KindBool {
+		if a.Val != 0 {
+			return True
+		}
+		return b
+	}
+	if b.Kind == KindBool {
+		if b.Val != 0 {
+			return True
+		}
+		return a
+	}
+	return boolBinary(KindOr, a, b)
+}
+
+// Xor returns the boolean exclusive-or of a and b.
+func Xor(a, b *Expr) *Expr {
+	if a.Kind == KindBool && b.Kind == KindBool {
+		return Bool((a.Val ^ b.Val) != 0)
+	}
+	return boolBinary(KindXor, a, b)
+}
+
+// Ite returns the bitvector "if cond then a else b".
+func Ite(cond, a, b *Expr) *Expr {
+	if !cond.IsBool() {
+		panic("expr: ite condition must be boolean")
+	}
+	checkSameWidth("ite", a, b)
+	if cond.Kind == KindBool {
+		if cond.Val != 0 {
+			return a
+		}
+		return b
+	}
+	return &Expr{Kind: KindIte, Width: a.Width, Args: []*Expr{cond, a, b}}
+}
+
+// Assignment maps variable names to concrete values.
+type Assignment map[string]uint64
+
+// Clone returns a copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Eval evaluates the expression under the assignment. Unbound variables
+// evaluate to zero. Boolean results are 0 or 1.
+func (e *Expr) Eval(a Assignment) uint64 {
+	switch e.Kind {
+	case KindConst, KindBool:
+		return e.Val
+	case KindVar:
+		return a[e.Name] & mask(e.Width)
+	case KindAdd:
+		return (e.Args[0].Eval(a) + e.Args[1].Eval(a)) & mask(e.Width)
+	case KindSub:
+		return (e.Args[0].Eval(a) - e.Args[1].Eval(a)) & mask(e.Width)
+	case KindMul:
+		return (e.Args[0].Eval(a) * e.Args[1].Eval(a)) & mask(e.Width)
+	case KindUDiv:
+		d := e.Args[1].Eval(a)
+		if d == 0 {
+			return mask(e.Width)
+		}
+		return e.Args[0].Eval(a) / d
+	case KindURem:
+		d := e.Args[1].Eval(a)
+		if d == 0 {
+			return e.Args[0].Eval(a)
+		}
+		return e.Args[0].Eval(a) % d
+	case KindBVAnd:
+		return e.Args[0].Eval(a) & e.Args[1].Eval(a)
+	case KindBVOr:
+		return e.Args[0].Eval(a) | e.Args[1].Eval(a)
+	case KindBVXor:
+		return e.Args[0].Eval(a) ^ e.Args[1].Eval(a)
+	case KindBVNot:
+		return ^e.Args[0].Eval(a) & mask(e.Width)
+	case KindShl:
+		return (e.Args[0].Eval(a) << e.Val) & mask(e.Width)
+	case KindLShr:
+		return e.Args[0].Eval(a) >> e.Val
+	case KindZExt:
+		return e.Args[0].Eval(a)
+	case KindExtract:
+		return (e.Args[0].Eval(a) >> e.Val) & mask(e.Width)
+	case KindConcat:
+		return (e.Args[0].Eval(a)<<e.Args[1].Width | e.Args[1].Eval(a)) & mask(e.Width)
+	case KindEq:
+		return boolVal(e.Args[0].Eval(a) == e.Args[1].Eval(a))
+	case KindNe:
+		return boolVal(e.Args[0].Eval(a) != e.Args[1].Eval(a))
+	case KindUlt:
+		return boolVal(e.Args[0].Eval(a) < e.Args[1].Eval(a))
+	case KindUle:
+		return boolVal(e.Args[0].Eval(a) <= e.Args[1].Eval(a))
+	case KindUgt:
+		return boolVal(e.Args[0].Eval(a) > e.Args[1].Eval(a))
+	case KindUge:
+		return boolVal(e.Args[0].Eval(a) >= e.Args[1].Eval(a))
+	case KindNot:
+		return 1 - e.Args[0].Eval(a)
+	case KindAnd:
+		return e.Args[0].Eval(a) & e.Args[1].Eval(a)
+	case KindOr:
+		return e.Args[0].Eval(a) | e.Args[1].Eval(a)
+	case KindXor:
+		return e.Args[0].Eval(a) ^ e.Args[1].Eval(a)
+	case KindIte:
+		if e.Args[0].Eval(a) != 0 {
+			return e.Args[1].Eval(a)
+		}
+		return e.Args[2].Eval(a)
+	}
+	panic(fmt.Sprintf("expr: eval of invalid kind %v", e.Kind))
+}
+
+// EvalBool evaluates a boolean expression under the assignment.
+func (e *Expr) EvalBool(a Assignment) bool {
+	return e.Eval(a) != 0
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Vars appends the names of the free variables of e to the set.
+func (e *Expr) Vars(set map[string]uint8) {
+	switch e.Kind {
+	case KindVar:
+		set[e.Name] = e.Width
+	default:
+		for _, arg := range e.Args {
+			arg.Vars(set)
+		}
+	}
+}
+
+// VarNames returns the sorted names of the free variables of e.
+func (e *Expr) VarNames() []string {
+	set := make(map[string]uint8)
+	e.Vars(set)
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of nodes of the expression tree (not the DAG).
+func (e *Expr) Size() int {
+	n := 1
+	for _, arg := range e.Args {
+		n += arg.Size()
+	}
+	return n
+}
+
+// String renders the expression in a compact prefix syntax for debugging.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case KindConst:
+		return fmt.Sprintf("%d:bv%d", e.Val, e.Width)
+	case KindBool:
+		if e.Val != 0 {
+			return "true"
+		}
+		return "false"
+	case KindVar:
+		return fmt.Sprintf("%s:bv%d", e.Name, e.Width)
+	case KindShl, KindLShr, KindExtract:
+		return fmt.Sprintf("(%s %s %d)", e.Kind, e.Args[0], e.Val)
+	}
+	parts := make([]string, 0, len(e.Args)+1)
+	parts = append(parts, e.Kind.String())
+	for _, arg := range e.Args {
+		parts = append(parts, arg.String())
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b *Expr) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.Kind != b.Kind || a.Width != b.Width || a.Val != b.Val || a.Name != b.Name {
+		return false
+	}
+	if len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !Equal(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Substitute returns a copy of e with every occurrence of the named variables
+// replaced by the given expressions. Variables not present in the map are
+// left unchanged.
+func Substitute(e *Expr, repl map[string]*Expr) *Expr {
+	switch e.Kind {
+	case KindConst, KindBool:
+		return e
+	case KindVar:
+		if r, ok := repl[e.Name]; ok {
+			return r
+		}
+		return e
+	}
+	args := make([]*Expr, len(e.Args))
+	changed := false
+	for i, arg := range e.Args {
+		args[i] = Substitute(arg, repl)
+		if args[i] != arg {
+			changed = true
+		}
+	}
+	if !changed {
+		return e
+	}
+	out := *e
+	out.Args = args
+	return &out
+}

@@ -1,0 +1,256 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFolding(t *testing.T) {
+	tests := []struct {
+		name string
+		got  *Expr
+		want uint64
+	}{
+		{"add", Add(Const(3, 8), Const(4, 8)), 7},
+		{"add-wrap", Add(Const(255, 8), Const(2, 8)), 1},
+		{"sub", Sub(Const(10, 16), Const(3, 16)), 7},
+		{"sub-wrap", Sub(Const(0, 8), Const(1, 8)), 255},
+		{"mul", Mul(Const(6, 8), Const(7, 8)), 42},
+		{"udiv", UDiv(Const(20, 8), Const(3, 8)), 6},
+		{"udiv-zero", UDiv(Const(20, 8), Const(0, 8)), 255},
+		{"urem", URem(Const(20, 8), Const(3, 8)), 2},
+		{"urem-zero", URem(Const(20, 8), Const(0, 8)), 20},
+		{"and", BVAnd(Const(0xf0, 8), Const(0x3c, 8)), 0x30},
+		{"or", BVOr(Const(0xf0, 8), Const(0x0c, 8)), 0xfc},
+		{"xor", BVXor(Const(0xff, 8), Const(0x0f, 8)), 0xf0},
+		{"not", BVNot(Const(0x0f, 8)), 0xf0},
+		{"shl", Shl(Const(1, 8), 3), 8},
+		{"lshr", LShr(Const(0x80, 8), 4), 8},
+		{"zext", ZExt(Const(0xff, 8), 16), 0xff},
+		{"extract", Extract(Const(0xabcd, 16), 8, 8), 0xab},
+		{"concat", Concat(Const(0xab, 8), Const(0xcd, 8)), 0xabcd},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.IsConst() {
+				t.Fatalf("expected constant result, got %v", tt.got)
+			}
+			if tt.got.Val != tt.want {
+				t.Errorf("got %d, want %d", tt.got.Val, tt.want)
+			}
+		})
+	}
+}
+
+func TestComparisonFolding(t *testing.T) {
+	tests := []struct {
+		name string
+		got  *Expr
+		want bool
+	}{
+		{"eq-true", Eq(Const(5, 8), Const(5, 8)), true},
+		{"eq-false", Eq(Const(5, 8), Const(6, 8)), false},
+		{"ne", Ne(Const(5, 8), Const(6, 8)), true},
+		{"ult", Ult(Const(5, 8), Const(6, 8)), true},
+		{"ule", Ule(Const(6, 8), Const(6, 8)), true},
+		{"ugt", Ugt(Const(7, 8), Const(6, 8)), true},
+		{"uge", Uge(Const(5, 8), Const(6, 8)), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.got.Kind != KindBool {
+				t.Fatalf("expected folded boolean, got %v", tt.got)
+			}
+			if (tt.got.Val != 0) != tt.want {
+				t.Errorf("got %v, want %v", tt.got.Val != 0, tt.want)
+			}
+		})
+	}
+}
+
+func TestIdentitySimplifications(t *testing.T) {
+	x := Var("x", 8)
+	if got := Add(x, Const(0, 8)); got != x {
+		t.Errorf("x+0 not simplified to x: %v", got)
+	}
+	if got := Mul(x, Const(1, 8)); got != x {
+		t.Errorf("x*1 not simplified to x: %v", got)
+	}
+	if got := Mul(x, Const(0, 8)); !got.IsConst() || got.Val != 0 {
+		t.Errorf("x*0 not simplified to 0: %v", got)
+	}
+	if got := BVAnd(x, Const(0xff, 8)); got != x {
+		t.Errorf("x&0xff not simplified to x: %v", got)
+	}
+	if got := BVOr(x, Const(0, 8)); got != x {
+		t.Errorf("x|0 not simplified to x: %v", got)
+	}
+	if got := And(Eq(x, Const(1, 8)), True); got.Kind != KindEq {
+		t.Errorf("p && true not simplified: %v", got)
+	}
+	if got := Or(Eq(x, Const(1, 8)), True); got != True {
+		t.Errorf("p || true not simplified: %v", got)
+	}
+	if got := Not(Not(Eq(x, Const(1, 8)))); got.Kind != KindEq {
+		t.Errorf("double negation not simplified: %v", got)
+	}
+	if got := Not(Ult(x, Const(3, 8))); got.Kind != KindUge {
+		t.Errorf("not(<) should become >=: %v", got)
+	}
+}
+
+func TestEval(t *testing.T) {
+	x := Var("x", 8)
+	y := Var("y", 8)
+	a := Assignment{"x": 10, "y": 3}
+
+	e := Add(Mul(x, Const(2, 8)), y) // 2x + y = 23
+	if got := e.Eval(a); got != 23 {
+		t.Errorf("eval 2x+y = %d, want 23", got)
+	}
+	cond := And(Ult(x, Const(20, 8)), Eq(y, Const(3, 8)))
+	if !cond.EvalBool(a) {
+		t.Errorf("condition should hold under %v", a)
+	}
+	ite := Ite(Ugt(x, y), x, y)
+	if got := ite.Eval(a); got != 10 {
+		t.Errorf("ite = %d, want 10", got)
+	}
+}
+
+func TestEvalUnboundVariableIsZero(t *testing.T) {
+	x := Var("x", 8)
+	if got := Add(x, Const(5, 8)).Eval(Assignment{}); got != 5 {
+		t.Errorf("unbound var should evaluate to 0, got sum %d", got)
+	}
+}
+
+func TestVarCollection(t *testing.T) {
+	x := Var("x", 8)
+	y := Var("y", 16)
+	e := And(Eq(ZExt(x, 16), y), Ult(y, Const(100, 16)))
+	names := e.VarNames()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("VarNames = %v, want [x y]", names)
+	}
+	set := make(map[string]uint8)
+	e.Vars(set)
+	if set["x"] != 8 || set["y"] != 16 {
+		t.Errorf("Vars widths = %v", set)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	x := Var("x", 8)
+	y := Var("y", 8)
+	e := Add(x, y)
+	got := Substitute(e, map[string]*Expr{"x": Const(4, 8)})
+	val := got.Eval(Assignment{"y": 6})
+	if val != 10 {
+		t.Errorf("substituted expr evaluates to %d, want 10", val)
+	}
+	// Original is unchanged.
+	if e.Args[0].Kind != KindVar {
+		t.Errorf("substitute mutated the original expression")
+	}
+}
+
+func TestEqualStructural(t *testing.T) {
+	a := Add(Var("x", 8), Const(1, 8))
+	b := Add(Var("x", 8), Const(1, 8))
+	c := Add(Var("x", 8), Const(2, 8))
+	if !Equal(a, b) {
+		t.Errorf("structurally equal expressions reported unequal")
+	}
+	if Equal(a, c) {
+		t.Errorf("different expressions reported equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := Eq(Add(Var("x", 8), Const(1, 8)), Const(5, 8))
+	s := e.String()
+	if s == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestInvalidConstructionPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero-width const", func() { Const(1, 0) })
+	mustPanic("wide const", func() { Const(1, 65) })
+	mustPanic("empty var name", func() { Var("", 8) })
+	mustPanic("width mismatch", func() { Add(Var("x", 8), Var("y", 16)) })
+	mustPanic("not non-bool", func() { Not(Var("x", 8)) })
+	mustPanic("extract out of range", func() { Extract(Var("x", 8), 4, 8) })
+	mustPanic("concat too wide", func() { Concat(Var("x", 40), Var("y", 32)) })
+}
+
+// Property: constant folding of Add agrees with Eval of the unfolded form.
+func TestQuickAddFoldMatchesEval(t *testing.T) {
+	f := func(a, b uint8) bool {
+		folded := Add(Const(uint64(a), 8), Const(uint64(b), 8))
+		viaVars := Add(Var("a", 8), Var("b", 8)).Eval(Assignment{"a": uint64(a), "b": uint64(b)})
+		return folded.Val == viaVars
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Not(e) always evaluates to the negation of e.
+func TestQuickNotNegates(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x := Var("x", 8)
+		y := Var("y", 8)
+		asn := Assignment{"x": uint64(a), "y": uint64(b)}
+		for _, e := range []*Expr{Eq(x, y), Ult(x, y), Ule(x, y), Ugt(x, y), Uge(x, y), Ne(x, y)} {
+			if Not(e).EvalBool(asn) == e.EvalBool(asn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Concat then Extract recovers the original parts.
+func TestQuickConcatExtractRoundTrip(t *testing.T) {
+	f := func(hi, lo uint8) bool {
+		c := Concat(Const(uint64(hi), 8), Const(uint64(lo), 8))
+		gotHi := Extract(c, 8, 8).Val
+		gotLo := Extract(c, 0, 8).Val
+		return gotHi == uint64(hi) && gotLo == uint64(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: evaluation is deterministic and bounded by the width mask.
+func TestQuickEvalWithinWidth(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x := Var("x", 12)
+		y := Var("y", 12)
+		asn := Assignment{"x": uint64(a), "y": uint64(b)}
+		for _, e := range []*Expr{Add(x, y), Sub(x, y), Mul(x, y), BVXor(x, y), BVNot(x)} {
+			if e.Eval(asn) > 0xfff {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

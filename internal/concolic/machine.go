@@ -1,0 +1,311 @@
+package concolic
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"github.com/dice-project/dice/internal/concolic/expr"
+)
+
+// Input is the concrete test input fed to an instrumented program. It is a
+// set of named byte regions: for DiCE the main region is the raw BGP UPDATE
+// message, and single-byte "choice/..." regions model symbolic decisions such
+// as the "is this route locally most preferred" condition from the paper.
+type Input struct {
+	Regions map[string][]byte
+}
+
+// NewInput returns an Input with the given primary region.
+func NewInput(region string, data []byte) *Input {
+	return &Input{Regions: map[string][]byte{region: append([]byte(nil), data...)}}
+}
+
+// Clone returns a deep copy of the input.
+func (in *Input) Clone() *Input {
+	out := &Input{Regions: make(map[string][]byte, len(in.Regions))}
+	for name, data := range in.Regions {
+		out.Regions[name] = append([]byte(nil), data...)
+	}
+	return out
+}
+
+// Region returns the named region, or nil when absent.
+func (in *Input) Region(name string) []byte { return in.Regions[name] }
+
+// SetRegion replaces the named region.
+func (in *Input) SetRegion(name string, data []byte) {
+	if in.Regions == nil {
+		in.Regions = make(map[string][]byte)
+	}
+	in.Regions[name] = append([]byte(nil), data...)
+}
+
+// Hash returns a stable hash of the input contents, used for deduplication.
+func (in *Input) Hash() uint64 {
+	h := fnv.New64a()
+	names := make([]string, 0, len(in.Regions))
+	for name := range in.Regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		h.Write([]byte{0})
+		h.Write(in.Regions[name])
+		h.Write([]byte{0xff})
+	}
+	return h.Sum64()
+}
+
+// Size returns the total number of input bytes across regions.
+func (in *Input) Size() int {
+	n := 0
+	for _, data := range in.Regions {
+		n += len(data)
+	}
+	return n
+}
+
+// Branch records one conditional decision taken during an execution.
+type Branch struct {
+	// Site identifies the program location (e.g. "bgp/update.localpref.cmp").
+	Site string
+	// Cond is the symbolic condition in the direction it was taken: it holds
+	// on the current execution.
+	Cond *expr.Expr
+	// Taken is the concrete truth value that was observed.
+	Taken bool
+}
+
+// Machine is the per-execution concolic state: the input, the mapping from
+// symbolic variable names to their concrete values, and the path condition
+// recorded so far. A nil *Machine is valid and behaves as a pure concrete
+// execution environment with no recording, which is how the live (deployed)
+// node runs.
+type Machine struct {
+	in          *Input
+	asn         expr.Assignment
+	path        []Branch
+	varRegion   map[string]regionRef
+	maxBranches int
+	truncated   bool
+}
+
+type regionRef struct {
+	region string
+	index  int
+}
+
+// MachineOptions configure a Machine.
+type MachineOptions struct {
+	// MaxBranches bounds the number of recorded branches per execution to
+	// keep path conditions manageable (the paper's "small inputs" insight
+	// keeps paths short; this is a backstop). Zero selects 4096.
+	MaxBranches int
+}
+
+// NewMachine returns a Machine for one concolic execution over the input.
+func NewMachine(in *Input, opts MachineOptions) *Machine {
+	if opts.MaxBranches <= 0 {
+		opts.MaxBranches = 4096
+	}
+	return &Machine{
+		in:          in,
+		asn:         make(expr.Assignment),
+		varRegion:   make(map[string]regionRef),
+		maxBranches: opts.MaxBranches,
+	}
+}
+
+// Input returns the input this machine executes on (nil for a nil machine).
+func (m *Machine) Input() *Input {
+	if m == nil {
+		return nil
+	}
+	return m.in
+}
+
+// Tracing reports whether the machine records symbolic state. It is false
+// for a nil machine, letting instrumented code skip work on the live path.
+func (m *Machine) Tracing() bool { return m != nil }
+
+// SymBytes provides symbolic access to a marked input region.
+type SymBytes struct {
+	m      *Machine
+	region string
+	data   []byte
+}
+
+// Bytes marks the named input region as symbolic and returns an accessor for
+// it. Each byte becomes an 8-bit symbolic variable named "region[i]".
+// Marking the same region twice returns accessors over the same variables.
+// On a nil machine, Bytes returns a concrete accessor over data.
+func (m *Machine) Bytes(region string, data []byte) *SymBytes {
+	if m == nil {
+		return &SymBytes{data: data}
+	}
+	if existing := m.in.Region(region); existing != nil {
+		data = existing
+	} else {
+		m.in.SetRegion(region, data)
+		data = m.in.Region(region)
+	}
+	for i, b := range data {
+		name := varName(region, i)
+		if _, ok := m.asn[name]; !ok {
+			m.asn[name] = uint64(b)
+			m.varRegion[name] = regionRef{region: region, index: i}
+		}
+	}
+	return &SymBytes{m: m, region: region, data: data}
+}
+
+func varName(region string, index int) string {
+	return fmt.Sprintf("%s[%d]", region, index)
+}
+
+// Len returns the number of bytes in the region.
+func (s *SymBytes) Len() int { return len(s.data) }
+
+// Byte returns the i-th byte as a (possibly symbolic) 8-bit value.
+func (s *SymBytes) Byte(i int) Value {
+	v := Const(uint64(s.data[i]), 8)
+	if s.m != nil {
+		v.Sym = expr.Var(varName(s.region, i), 8)
+	}
+	return v
+}
+
+// U16 returns the big-endian 16-bit value at offset i.
+func (s *SymBytes) U16(i int) Value {
+	return Concat(s.Byte(i), s.Byte(i+1))
+}
+
+// U32 returns the big-endian 32-bit value at offset i.
+func (s *SymBytes) U32(i int) Value {
+	return Concat(Concat(s.Byte(i), s.Byte(i+1)), Concat(s.Byte(i+2), s.Byte(i+3)))
+}
+
+// Concrete returns the raw concrete bytes of the region.
+func (s *SymBytes) Concrete() []byte { return s.data }
+
+// Choice models a symbolic boolean decision that is not derived from message
+// bytes — the paper's example is "is this route the locally most preferred
+// one". The concrete value comes from a one-byte input region named
+// "choice/<name>" when present (so the explorer can flip it), otherwise from
+// def. On a nil machine the default is returned unchanged.
+func (m *Machine) Choice(name string, def bool) Value {
+	if m == nil {
+		return BoolValue(def)
+	}
+	region := "choice/" + name
+	data := m.in.Region(region)
+	if data == nil {
+		b := byte(0)
+		if def {
+			b = 1
+		}
+		m.in.SetRegion(region, []byte{b})
+		data = m.in.Region(region)
+	}
+	sb := m.Bytes(region, data)
+	return Ne(sb.Byte(0), Const(0, 8))
+}
+
+// Branch records the condition in the direction it concretely evaluates and
+// returns that concrete truth value. Instrumented code uses it in place of a
+// plain if condition:
+//
+//	if m.Branch("policy.localpref.cmp", concolic.Gt(pref, limit)) { ... }
+//
+// On a nil machine no recording happens. Purely concrete conditions are
+// returned without recording, because they cannot be negated by the solver.
+func (m *Machine) Branch(site string, cond Value) bool {
+	if !cond.IsBool() {
+		panic("concolic: Branch condition must be boolean")
+	}
+	taken := cond.Concrete != 0
+	if m == nil || cond.Sym == nil || cond.Sym.IsConst() {
+		return taken
+	}
+	if len(m.path) >= m.maxBranches {
+		m.truncated = true
+		return taken
+	}
+	recorded := cond.Sym
+	if !taken {
+		recorded = expr.Not(recorded)
+	}
+	m.path = append(m.path, Branch{Site: site, Cond: recorded, Taken: taken})
+	return taken
+}
+
+// Assert records a condition that must hold for the execution to remain on
+// this path but is not a candidate for negation (e.g. structural validity the
+// fuzzer guarantees). It returns the concrete truth value.
+func (m *Machine) Assert(site string, cond Value) bool {
+	// Recorded exactly like a branch: keeping it in the path condition makes
+	// negated-branch queries sound. The explorer distinguishes negatable
+	// branches by site prefix if needed; for now all are negatable.
+	return m.Branch(site, cond)
+}
+
+// Path returns the branches recorded so far, in execution order.
+func (m *Machine) Path() []Branch {
+	if m == nil {
+		return nil
+	}
+	return m.path
+}
+
+// Truncated reports whether the branch limit was hit.
+func (m *Machine) Truncated() bool {
+	if m == nil {
+		return false
+	}
+	return m.truncated
+}
+
+// Assignment returns the concrete values of all symbolic variables registered
+// during this execution.
+func (m *Machine) Assignment() expr.Assignment {
+	if m == nil {
+		return nil
+	}
+	return m.asn
+}
+
+// PathSignature returns a stable hash of the sequence of (site, taken) pairs,
+// identifying the execution path.
+func (m *Machine) PathSignature() uint64 {
+	h := fnv.New64a()
+	for _, b := range m.Path() {
+		h.Write([]byte(b.Site))
+		if b.Taken {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// ApplyModel builds a new input by overwriting, in a clone of base, every
+// byte whose symbolic variable appears in the model. Variables the machine
+// did not register are ignored.
+func (m *Machine) ApplyModel(base *Input, model expr.Assignment) *Input {
+	out := base.Clone()
+	for name, val := range model {
+		ref, ok := m.varRegion[name]
+		if !ok {
+			continue
+		}
+		data := out.Region(ref.region)
+		if data == nil || ref.index >= len(data) {
+			continue
+		}
+		data[ref.index] = byte(val)
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package concolic implements the concolic (CONCrete + symbOLIC) execution
+// engine that drives DiCE's behaviour exploration. It plays the role of the
+// Oasis engine from the paper: program inputs are marked symbolic, the
+// instrumented code records the branch constraints it encounters while
+// executing on concrete values, and the engine negates those constraints one
+// by one, querying the solver for new concrete inputs that steer execution
+// down unexplored paths.
+//
+// The engine is split into three pieces:
+//
+//   - Value: a concrete bitvector paired with an optional symbolic
+//     expression. Instrumented code computes on Values; when every operand is
+//     concrete the symbolic side stays nil and the overhead is a few
+//     nanoseconds, which is what lets the same code run on the live,
+//     deployed node (DiCE's "low overhead" requirement) and under
+//     exploration.
+//   - Machine: one concolic execution — the symbolic input regions, the
+//     concrete assignment, and the recorded path condition.
+//   - Explorer: the generational path search that turns recorded path
+//     conditions into new test inputs.
+package concolic
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/concolic/expr"
+)
+
+// Value is a concrete bitvector value optionally shadowed by a symbolic
+// expression. A nil Sym means the value is purely concrete. Boolean values
+// are represented with Width == 0 and Concrete in {0, 1}.
+type Value struct {
+	Concrete uint64
+	Width    uint8
+	Sym      *expr.Expr
+}
+
+// Const returns a purely concrete bitvector value.
+func Const(v uint64, width uint8) Value {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("concolic: invalid width %d", width))
+	}
+	return Value{Concrete: v & widthMask(width), Width: width}
+}
+
+// BoolValue returns a purely concrete boolean value.
+func BoolValue(b bool) Value {
+	if b {
+		return Value{Concrete: 1}
+	}
+	return Value{}
+}
+
+func widthMask(width uint8) uint64 {
+	if width >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// IsSymbolic reports whether the value carries a symbolic expression.
+func (v Value) IsSymbolic() bool { return v.Sym != nil }
+
+// IsBool reports whether the value is a boolean.
+func (v Value) IsBool() bool { return v.Width == 0 }
+
+// Bool returns the concrete truth of a boolean value.
+func (v Value) Bool() bool { return v.Concrete != 0 }
+
+// Uint returns the concrete value.
+func (v Value) Uint() uint64 { return v.Concrete }
+
+// sym returns the symbolic expression of the value, synthesizing a constant
+// when the value is concrete. Used when at least one operand of an operation
+// is symbolic.
+func (v Value) sym() *expr.Expr {
+	if v.Sym != nil {
+		return v.Sym
+	}
+	if v.IsBool() {
+		return expr.Bool(v.Concrete != 0)
+	}
+	return expr.Const(v.Concrete, v.Width)
+}
+
+// String renders the value for debugging.
+func (v Value) String() string {
+	if v.IsBool() {
+		if v.Sym != nil {
+			return fmt.Sprintf("bool(%v sym=%v)", v.Bool(), v.Sym)
+		}
+		return fmt.Sprintf("bool(%v)", v.Bool())
+	}
+	if v.Sym != nil {
+		return fmt.Sprintf("bv%d(%d sym=%v)", v.Width, v.Concrete, v.Sym)
+	}
+	return fmt.Sprintf("bv%d(%d)", v.Width, v.Concrete)
+}
+
+func binOp(a, b Value, concrete func(x, y uint64) uint64, symbolic func(x, y *expr.Expr) *expr.Expr) Value {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("concolic: width mismatch %d vs %d", a.Width, b.Width))
+	}
+	out := Value{Concrete: concrete(a.Concrete, b.Concrete) & widthMask(a.Width), Width: a.Width}
+	if a.Sym != nil || b.Sym != nil {
+		out.Sym = symbolic(a.sym(), b.sym())
+	}
+	return out
+}
+
+func cmpOp(a, b Value, concrete func(x, y uint64) bool, symbolic func(x, y *expr.Expr) *expr.Expr) Value {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("concolic: width mismatch %d vs %d", a.Width, b.Width))
+	}
+	out := BoolValue(concrete(a.Concrete, b.Concrete))
+	if a.Sym != nil || b.Sym != nil {
+		out.Sym = symbolic(a.sym(), b.sym())
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b Value) Value {
+	return binOp(a, b, func(x, y uint64) uint64 { return x + y }, expr.Add)
+}
+
+// Sub returns a-b.
+func Sub(a, b Value) Value {
+	return binOp(a, b, func(x, y uint64) uint64 { return x - y }, expr.Sub)
+}
+
+// Mul returns a*b.
+func Mul(a, b Value) Value {
+	return binOp(a, b, func(x, y uint64) uint64 { return x * y }, expr.Mul)
+}
+
+// BitAnd returns the bitwise AND of a and b.
+func BitAnd(a, b Value) Value {
+	return binOp(a, b, func(x, y uint64) uint64 { return x & y }, expr.BVAnd)
+}
+
+// BitOr returns the bitwise OR of a and b.
+func BitOr(a, b Value) Value {
+	return binOp(a, b, func(x, y uint64) uint64 { return x | y }, expr.BVOr)
+}
+
+// Eq returns the boolean a == b.
+func Eq(a, b Value) Value {
+	return cmpOp(a, b, func(x, y uint64) bool { return x == y }, expr.Eq)
+}
+
+// Ne returns the boolean a != b.
+func Ne(a, b Value) Value {
+	return cmpOp(a, b, func(x, y uint64) bool { return x != y }, expr.Ne)
+}
+
+// Lt returns the boolean a < b (unsigned).
+func Lt(a, b Value) Value {
+	return cmpOp(a, b, func(x, y uint64) bool { return x < y }, expr.Ult)
+}
+
+// Le returns the boolean a <= b (unsigned).
+func Le(a, b Value) Value {
+	return cmpOp(a, b, func(x, y uint64) bool { return x <= y }, expr.Ule)
+}
+
+// Gt returns the boolean a > b (unsigned).
+func Gt(a, b Value) Value {
+	return cmpOp(a, b, func(x, y uint64) bool { return x > y }, expr.Ugt)
+}
+
+// Ge returns the boolean a >= b (unsigned).
+func Ge(a, b Value) Value {
+	return cmpOp(a, b, func(x, y uint64) bool { return x >= y }, expr.Uge)
+}
+
+// EqConst returns the boolean a == k.
+func EqConst(a Value, k uint64) Value { return Eq(a, Const(k, a.Width)) }
+
+// LtConst returns the boolean a < k.
+func LtConst(a Value, k uint64) Value { return Lt(a, Const(k, a.Width)) }
+
+// GtConst returns the boolean a > k.
+func GtConst(a Value, k uint64) Value { return Gt(a, Const(k, a.Width)) }
+
+// Not returns the boolean negation of a boolean value.
+func Not(a Value) Value {
+	if !a.IsBool() {
+		panic("concolic: Not applied to non-boolean value")
+	}
+	out := BoolValue(a.Concrete == 0)
+	if a.Sym != nil {
+		out.Sym = expr.Not(a.Sym)
+	}
+	return out
+}
+
+// And returns the boolean conjunction of two boolean values.
+func And(a, b Value) Value {
+	if !a.IsBool() || !b.IsBool() {
+		panic("concolic: And applied to non-boolean value")
+	}
+	out := BoolValue(a.Concrete != 0 && b.Concrete != 0)
+	if a.Sym != nil || b.Sym != nil {
+		out.Sym = expr.And(a.sym(), b.sym())
+	}
+	return out
+}
+
+// Or returns the boolean disjunction of two boolean values.
+func Or(a, b Value) Value {
+	if !a.IsBool() || !b.IsBool() {
+		panic("concolic: Or applied to non-boolean value")
+	}
+	out := BoolValue(a.Concrete != 0 || b.Concrete != 0)
+	if a.Sym != nil || b.Sym != nil {
+		out.Sym = expr.Or(a.sym(), b.sym())
+	}
+	return out
+}
+
+// ZExt zero-extends the value to the given width.
+func ZExt(a Value, width uint8) Value {
+	if width < a.Width {
+		panic("concolic: ZExt to smaller width")
+	}
+	out := Value{Concrete: a.Concrete, Width: width}
+	if a.Sym != nil {
+		out.Sym = expr.ZExt(a.Sym, width)
+	}
+	return out
+}
+
+// Concat concatenates hi and lo into a wider value (hi occupies the most
+// significant bits).
+func Concat(hi, lo Value) Value {
+	width := hi.Width + lo.Width
+	out := Value{Concrete: (hi.Concrete<<lo.Width | lo.Concrete) & widthMask(width), Width: width}
+	if hi.Sym != nil || lo.Sym != nil {
+		out.Sym = expr.Concat(hi.sym(), lo.sym())
+	}
+	return out
+}

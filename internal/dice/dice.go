@@ -1,0 +1,317 @@
+// Package dice implements the DiCE orchestrator — the paper's core
+// contribution. An Engine runs the workflow of Figure 2 against a deployed
+// (emulated) cluster:
+//
+//  1. choose an explorer node and trigger creation of a consistent shadow
+//     snapshot made of lightweight per-node checkpoints plus channel state;
+//  2. orchestrate exploration: subject the explorer node, in isolated clones
+//     of the snapshot, to many possible inputs — grammar-fuzzed BGP UPDATEs
+//     refined by concolic execution over the node's message handler, policy
+//     interpreter and route-selection condition;
+//  3. check properties of the explored system state through the narrow
+//     information-sharing interface and report the faults found, classified
+//     as operator mistakes, policy conflicts or programming errors.
+//
+// Exploration runs alongside the deployed cluster but never mutates it: every
+// input is evaluated on a fresh clone restored from the snapshot.
+package dice
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/concolic"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/fuzz"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// Options configure one exploration round.
+type Options struct {
+	// Explorer is the node whose behaviour is explored. Empty selects the
+	// router with the highest degree (most sessions), which maximizes the
+	// observable consequences of its actions.
+	Explorer string
+	// FromPeer is the neighbor whose inputs are explored at the explorer
+	// node. Empty selects the explorer's first neighbor.
+	FromPeer string
+	// MaxInputs bounds the number of explored inputs (clone executions).
+	// Zero selects 64.
+	MaxInputs int
+	// FuzzSeeds is the number of grammar-fuzzed seed messages. Zero selects 8.
+	FuzzSeeds int
+	// UseConcolic enables deriving new inputs by negating the branch
+	// constraints recorded on each clone execution. Disabling it leaves pure
+	// grammar-based fuzzing (the ablation in experiment E5).
+	UseConcolic bool
+	// Seed drives fuzzing and exploration determinism.
+	Seed int64
+	// Properties are the checked properties; nil selects
+	// checker.DefaultProperties for the topology.
+	Properties []checker.Property
+	// ShadowMaxEvents bounds each clone run. Zero selects 20000.
+	ShadowMaxEvents int
+	// CodeFaults are installed on every shadow clone (mirroring the faulty
+	// binary running on the deployed node).
+	CodeFaults []faults.CodeFault
+	// ClusterOptions are used when instantiating shadow clusters from the
+	// snapshot; they should match the options the deployed cluster was built
+	// with.
+	ClusterOptions cluster.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInputs <= 0 {
+		o.MaxInputs = 64
+	}
+	if o.FuzzSeeds <= 0 {
+		o.FuzzSeeds = 8
+	}
+	if o.ShadowMaxEvents <= 0 {
+		o.ShadowMaxEvents = 20000
+	}
+	return o
+}
+
+// Detection records one property violation found during exploration.
+type Detection struct {
+	Violation checker.Violation
+	Class     checker.FaultClass
+	// InputIndex is the number of inputs that had been explored when the
+	// violation was first observed (1-based).
+	InputIndex int
+	// Input is the input whose exploration surfaced the violation.
+	Input *concolic.Input
+	// Elapsed is the wall-clock time from the start of exploration to the
+	// detection.
+	Elapsed time.Duration
+}
+
+// Result summarizes one exploration round.
+type Result struct {
+	Explorer string
+	FromPeer string
+
+	SnapshotDuration time.Duration
+	SnapshotBytes    int
+	SnapshotNodes    int
+	InFlightMessages int
+
+	InputsExplored int
+	Detections     []Detection
+
+	// DisclosedBytes is the total number of bytes that crossed domain
+	// boundaries through the narrow checking interface, across all explored
+	// inputs; FullStateBytes is what a single full-state exchange would have
+	// cost, for comparison.
+	DisclosedBytes int
+	FullStateBytes int
+
+	Duration      time.Duration
+	ExplorerStats concolic.Stats
+}
+
+// DetectionsByClass groups detections by fault class.
+func (r *Result) DetectionsByClass() map[checker.FaultClass][]Detection {
+	out := make(map[checker.FaultClass][]Detection)
+	for _, d := range r.Detections {
+		out[d.Class] = append(out[d.Class], d)
+	}
+	return out
+}
+
+// FirstDetection returns the earliest detection of the given class, or nil.
+func (r *Result) FirstDetection(class checker.FaultClass) *Detection {
+	for i := range r.Detections {
+		if r.Detections[i].Class == class {
+			return &r.Detections[i]
+		}
+	}
+	return nil
+}
+
+// Detected reports whether any fault of the given class was found.
+func (r *Result) Detected(class checker.FaultClass) bool {
+	return r.FirstDetection(class) != nil
+}
+
+// Engine drives DiCE exploration against one deployed cluster.
+type Engine struct {
+	live *cluster.Cluster
+	topo *topology.Topology
+	opts Options
+}
+
+// New returns an Engine for the deployed cluster.
+func New(live *cluster.Cluster, topo *topology.Topology, opts Options) *Engine {
+	return &Engine{live: live, topo: topo, opts: opts.withDefaults()}
+}
+
+// chooseExplorer picks the router with the most neighbors (ties broken by
+// name) when none was configured.
+func (e *Engine) chooseExplorer() string {
+	if e.opts.Explorer != "" {
+		return e.opts.Explorer
+	}
+	best, bestDeg := "", -1
+	for _, name := range e.topo.NodeNames() {
+		deg := len(e.topo.NeighborsOf(name))
+		if deg > bestDeg || (deg == bestDeg && name < best) {
+			best, bestDeg = name, deg
+		}
+	}
+	return best
+}
+
+func (e *Engine) choosePeer(explorer string) (string, error) {
+	if e.opts.FromPeer != "" {
+		return e.opts.FromPeer, nil
+	}
+	neighbors := e.topo.NeighborsOf(explorer)
+	if len(neighbors) == 0 {
+		return "", fmt.Errorf("dice: explorer %s has no neighbors", explorer)
+	}
+	return neighbors[0], nil
+}
+
+// wireUpdate wraps an UPDATE body with the BGP message header.
+func wireUpdate(body []byte) []byte {
+	total := bgp.HeaderLen + len(body)
+	out := make([]byte, 0, total)
+	for i := 0; i < bgp.MarkerLen; i++ {
+		out = append(out, 0xff)
+	}
+	out = append(out, byte(total>>8), byte(total), byte(bgp.MsgUpdate))
+	return append(out, body...)
+}
+
+// ErrNoTopology is returned when the engine is constructed without a topology.
+var ErrNoTopology = errors.New("dice: engine requires a topology")
+
+// Run performs one full exploration round (snapshot, explore, check) and
+// returns its result. The deployed cluster is left untouched.
+func (e *Engine) Run() (*Result, error) {
+	if e.topo == nil {
+		return nil, ErrNoTopology
+	}
+	start := time.Now()
+	explorerNode := e.chooseExplorer()
+	fromPeer, err := e.choosePeer(explorerNode)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Explorer: explorerNode, FromPeer: fromPeer}
+
+	// Step 1-2 of Figure 2: trigger creation of the consistent snapshot.
+	snapStart := time.Now()
+	snap := e.live.Snapshot()
+	res.SnapshotDuration = time.Since(snapStart)
+	res.SnapshotNodes = len(snap.Nodes)
+	res.InFlightMessages = len(snap.InFlight)
+	if data, err := checkpoint.Encode(snap); err == nil {
+		res.SnapshotBytes = len(data)
+	}
+
+	props := e.opts.Properties
+	if props == nil {
+		props = checker.DefaultProperties(e.topo)
+	}
+	res.FullStateBytes = checker.FullStateDisclosure(e.live)
+
+	// Seed inputs: grammar-fuzzed UPDATEs drawn from the topology's prefix
+	// and AS pools, plus one "observed" message re-announcing a prefix the
+	// peer legitimately originates.
+	var pools fuzz.Options
+	pools.Seed = e.opts.Seed
+	for _, n := range e.topo.Nodes {
+		pools.Prefixes = append(pools.Prefixes, n.Prefixes...)
+		pools.ASNs = append(pools.ASNs, n.AS)
+		pools.NextHops = append(pools.NextHops, uint32(n.RouterID))
+	}
+	gen := fuzz.New(pools)
+	seeds := gen.Corpus(e.opts.FuzzSeeds)
+	if peerNode := e.topo.Node(fromPeer); peerNode != nil && len(peerNode.Prefixes) > 0 {
+		attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{peerNode.AS}, NextHop: uint32(peerNode.RouterID)}
+		observed := &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{peerNode.Prefixes[0]}}
+		seeds = append(seeds, concolic.NewInput("update", observed.EncodeBody()))
+	}
+
+	seenViolations := make(map[string]bool)
+	inputIndex := 0
+
+	// execute runs one input over a fresh clone of the snapshot and checks
+	// the properties of the resulting system state.
+	execute := func(in *concolic.Input, m *concolic.Machine) error {
+		inputIndex++
+		shadow, err := cluster.FromSnapshot(e.topo, snap, e.opts.ClusterOptions)
+		if err != nil {
+			return fmt.Errorf("dice: clone snapshot: %w", err)
+		}
+		faults.InstallCodeFaults(shadow.Routers, e.opts.CodeFaults...)
+		shadow.Router(explorerNode).ExploreNextUpdate(m, fromPeer)
+		shadow.InjectRaw(fromPeer, explorerNode, wireUpdate(in.Region("update")))
+		shadow.Net.RunQuiescent(e.opts.ShadowMaxEvents)
+
+		report := checker.CheckAll(shadow, props)
+		res.DisclosedBytes += report.DisclosedBytes()
+
+		violations := report.Violations()
+		newFinding := false
+		for _, v := range violations {
+			if seenViolations[v.Key()] {
+				continue
+			}
+			seenViolations[v.Key()] = true
+			newFinding = true
+			res.Detections = append(res.Detections, Detection{
+				Violation:  v,
+				Class:      v.Class,
+				InputIndex: inputIndex,
+				Input:      in.Clone(),
+				Elapsed:    time.Since(start),
+			})
+		}
+		if newFinding {
+			return fmt.Errorf("dice: %d property violations", len(violations))
+		}
+		return nil
+	}
+
+	if e.opts.UseConcolic {
+		explorer := concolic.NewExplorer(execute, concolic.ExplorerOptions{
+			MaxExecutions: e.opts.MaxInputs,
+			Seed:          e.opts.Seed,
+		})
+		for _, s := range seeds {
+			explorer.AddSeed(s)
+		}
+		if _, err := explorer.Run(); err != nil {
+			return nil, err
+		}
+		res.ExplorerStats = explorer.Stats()
+		res.InputsExplored = explorer.Stats().Executions
+	} else {
+		// Fuzzing-only ablation: run each seed once, without constraint
+		// negation.
+		for len(seeds) < e.opts.MaxInputs {
+			seeds = append(seeds, gen.Corpus(1)...)
+		}
+		for i, s := range seeds {
+			if i >= e.opts.MaxInputs {
+				break
+			}
+			m := concolic.NewMachine(s.Clone(), concolic.MachineOptions{})
+			_ = execute(m.Input(), m)
+			res.InputsExplored++
+		}
+	}
+
+	res.Duration = time.Since(start)
+	return res, nil
+}

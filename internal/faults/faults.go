@@ -1,0 +1,338 @@
+// Package faults injects the three fault classes the paper's prototype
+// detects — operator mistakes, policy conflicts, and programming errors —
+// into an emulated deployment built by the cluster package.
+//
+// Operator mistakes and policy conflicts are configuration-level: they are
+// planted through a cluster.Options.ConfigOverride before the routers are
+// built (the misconfiguration exists from the start, as it would in a real
+// deployment; DiCE's job is to detect its consequences by exploration).
+// Programming errors are code-level: they are installed as bird.UpdateHook
+// values on the routers, both on the deployed cluster and on every shadow
+// clone the orchestrator explores.
+package faults
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/bird"
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// Fault describes one injected fault.
+type Fault interface {
+	// Class is the paper's fault class the injection belongs to.
+	Class() checker.FaultClass
+	// Name is a short identifier used in reports.
+	Name() string
+	// Description explains the fault for humans.
+	Description() string
+}
+
+// ConfigFault is a fault planted by rewriting a router's configuration.
+type ConfigFault interface {
+	Fault
+	// Apply mutates the configuration of the router it targets; it is a
+	// no-op for other routers.
+	Apply(cfg *bird.Config)
+}
+
+// CodeFault is a fault planted by hooking a router's UPDATE handler.
+type CodeFault interface {
+	Fault
+	// Target returns the router the hook is installed on.
+	Target() string
+	// Hook returns the faulty handler hook.
+	Hook() bird.UpdateHook
+}
+
+// ApplyConfigFaults returns a cluster ConfigOverride that applies every
+// config-level fault.
+func ApplyConfigFaults(faults ...ConfigFault) func(cfg *bird.Config) {
+	return func(cfg *bird.Config) {
+		for _, f := range faults {
+			f.Apply(cfg)
+		}
+	}
+}
+
+//
+// Operator mistakes
+//
+
+// MisOrigination makes a router originate a prefix that belongs to another
+// AS — the classic fat-finger prefix hijack.
+type MisOrigination struct {
+	Router string
+	Prefix bgp.Prefix
+}
+
+// Class implements Fault.
+func (MisOrigination) Class() checker.FaultClass { return checker.ClassOperatorMistake }
+
+// Name implements Fault.
+func (f MisOrigination) Name() string { return "mis-origination" }
+
+// Description implements Fault.
+func (f MisOrigination) Description() string {
+	return fmt.Sprintf("router %s originates foreign prefix %s", f.Router, f.Prefix)
+}
+
+// Apply implements ConfigFault.
+func (f MisOrigination) Apply(cfg *bird.Config) {
+	if cfg.Name != f.Router {
+		return
+	}
+	cfg.Networks = append(cfg.Networks, f.Prefix)
+}
+
+// MissingImportFilter removes inbound filtering on one session: the router
+// accepts any prefix its neighbor announces, so a hijacked announcement from
+// that neighbor propagates. The mistake is silent until an input exercises
+// it, which is exactly the kind of latent fault DiCE's exploration surfaces.
+type MissingImportFilter struct {
+	Router string
+	// Peer is the session whose import filter the operator forgot.
+	Peer string
+}
+
+// Class implements Fault.
+func (MissingImportFilter) Class() checker.FaultClass { return checker.ClassOperatorMistake }
+
+// Name implements Fault.
+func (f MissingImportFilter) Name() string { return "missing-import-filter" }
+
+// Description implements Fault.
+func (f MissingImportFilter) Description() string {
+	return fmt.Sprintf("router %s accepts unfiltered announcements from %s", f.Router, f.Peer)
+}
+
+// Apply implements ConfigFault.
+func (f MissingImportFilter) Apply(cfg *bird.Config) {
+	if cfg.Name != f.Router {
+		return
+	}
+	for i := range cfg.Neighbors {
+		if cfg.Neighbors[i].Name == f.Peer {
+			cfg.Neighbors[i].Import = "ALL"
+		}
+	}
+}
+
+//
+// Policy conflicts
+//
+
+// DisputeWheel plants the classic BGP dispute wheel: each router in the cycle
+// prefers routes through its clockwise neighbor over its direct route to the
+// destination, a combination of locally sensible policies with no stable
+// global outcome (Griffin's BAD GADGET). The conflict stays latent until
+// route churn — such as the withdrawals and preference flips DiCE explores —
+// kicks the system into persistent oscillation.
+type DisputeWheel struct {
+	// Routers lists the cycle members in order; each prefers paths via the
+	// next router in the list (wrapping around).
+	Routers []string
+	// Prefix is the contested destination prefix.
+	Prefix bgp.Prefix
+}
+
+// Class implements Fault.
+func (DisputeWheel) Class() checker.FaultClass { return checker.ClassPolicyConflict }
+
+// Name implements Fault.
+func (f DisputeWheel) Name() string { return "dispute-wheel" }
+
+// Description implements Fault.
+func (f DisputeWheel) Description() string {
+	return fmt.Sprintf("dispute wheel over %s among %v", f.Prefix, f.Routers)
+}
+
+// Apply implements ConfigFault.
+func (f DisputeWheel) Apply(cfg *bird.Config) {
+	idx := -1
+	for i, name := range f.Routers {
+		if name == cfg.Name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	preferred := f.Routers[(idx+1)%len(f.Routers)]
+	// Routes for the contested prefix learned from the preferred (clockwise)
+	// neighbor get a very high LOCAL_PREF; the same prefix learned from
+	// anyone else gets a low one.
+	polName := "DISPUTE-" + cfg.Name
+	pol := &policy.Policy{
+		Name:    polName,
+		Default: policy.ResultAccept,
+		Statements: []*policy.Statement{
+			{
+				Conds:   []policy.Condition{policy.MatchPrefix{Prefix: f.Prefix, Exact: true}},
+				Actions: []policy.Action{policy.ActionSetLocalPref{Value: 500}, policy.ActionAccept{}},
+			},
+		},
+	}
+	lowName := "DISPUTE-LOW-" + cfg.Name
+	low := &policy.Policy{
+		Name:    lowName,
+		Default: policy.ResultAccept,
+		Statements: []*policy.Statement{
+			{
+				Conds:   []policy.Condition{policy.MatchPrefix{Prefix: f.Prefix, Exact: true}},
+				Actions: []policy.Action{policy.ActionSetLocalPref{Value: 10}, policy.ActionAccept{}},
+			},
+		},
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = map[string]*policy.Policy{}
+	}
+	cfg.Policies[polName] = pol
+	cfg.Policies[lowName] = low
+	for i := range cfg.Neighbors {
+		switch cfg.Neighbors[i].Name {
+		case preferred:
+			cfg.Neighbors[i].Import = polName
+		default:
+			cfg.Neighbors[i].Import = lowName
+		}
+	}
+}
+
+//
+// Programming errors
+//
+
+// HandlerBug is a code-level fault installed on one router's UPDATE handler.
+type HandlerBug struct {
+	Router      string
+	BugName     string
+	Explanation string
+	HookFn      bird.UpdateHook
+}
+
+// Class implements Fault.
+func (HandlerBug) Class() checker.FaultClass { return checker.ClassProgrammingError }
+
+// Name implements Fault.
+func (b HandlerBug) Name() string { return b.BugName }
+
+// Description implements Fault.
+func (b HandlerBug) Description() string {
+	return fmt.Sprintf("router %s: %s", b.Router, b.Explanation)
+}
+
+// Target implements CodeFault.
+func (b HandlerBug) Target() string { return b.Router }
+
+// Hook implements CodeFault.
+func (b HandlerBug) Hook() bird.UpdateHook { return b.HookFn }
+
+// CommunityCrash builds a programming error where the handler crashes when an
+// UPDATE carries a specific community value — a narrow input condition of the
+// kind concolic execution is good at synthesizing. The trigger comparison is
+// evaluated through the router's active concolic machine so that, under
+// exploration, the guard becomes a negatable branch constraint (as it would
+// be in instrumented BIRD code).
+func CommunityCrash(router string, trigger bgp.Community) HandlerBug {
+	return HandlerBug{
+		Router:      router,
+		BugName:     "community-crash",
+		Explanation: fmt.Sprintf("handler dereferences a nil entry when community %s is present", trigger),
+		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+			m := r.ActiveMachine()
+			if m != nil && u.Sym != nil {
+				for _, cv := range u.Sym.Communities {
+					if m.Branch("bug/community-crash", concolic.EqConst(cv, uint64(trigger))) {
+						return fmt.Errorf("nil pointer dereference while processing community %s", trigger)
+					}
+				}
+				return nil
+			}
+			if u.Attrs != nil && u.Attrs.HasCommunity(trigger) {
+				return fmt.Errorf("nil pointer dereference while processing community %s", trigger)
+			}
+			return nil
+		},
+	}
+}
+
+// LongPathCrash builds a programming error where AS paths longer than a
+// threshold overflow a fixed-size buffer in the handler.
+func LongPathCrash(router string, limit int) HandlerBug {
+	return HandlerBug{
+		Router:      router,
+		BugName:     "long-aspath-crash",
+		Explanation: fmt.Sprintf("fixed-size path buffer overflows when AS_PATH exceeds %d hops", limit),
+		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+			m := r.ActiveMachine()
+			if m != nil && u.Sym != nil && u.Sym.ASPathLen.Width != 0 {
+				over := concolic.Gt(concolic.ZExt(u.Sym.ASPathLen, 32), concolic.Const(uint64(limit), 32))
+				if m.Branch("bug/long-aspath", over) {
+					return fmt.Errorf("buffer overflow: AS_PATH length %d exceeds %d", u.Attrs.PathLen(), limit)
+				}
+				return nil
+			}
+			if u.Attrs != nil && u.Attrs.PathLen() > limit {
+				return fmt.Errorf("buffer overflow: AS_PATH length %d exceeds %d", u.Attrs.PathLen(), limit)
+			}
+			return nil
+		},
+	}
+}
+
+// DroppedWithdrawals builds a programming error where the handler silently
+// ignores withdrawals carried in messages that also announce routes — the
+// router keeps forwarding to a path that no longer exists (stale routes), a
+// bug that manifests as blackholes or loops elsewhere in the system.
+func DroppedWithdrawals(router string) HandlerBug {
+	return HandlerBug{
+		Router:      router,
+		BugName:     "dropped-withdrawals",
+		Explanation: "withdrawals are discarded when the UPDATE also carries announcements",
+		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+			if len(u.NLRI) > 0 && len(u.Withdrawn) > 0 {
+				u.Withdrawn = nil // silently lose the withdrawal
+			}
+			return nil
+		},
+	}
+}
+
+// MEDZeroCrash builds a programming error where a MED of exactly zero hits a
+// division-by-zero in a metric normalization step.
+func MEDZeroCrash(router string) HandlerBug {
+	return HandlerBug{
+		Router:      router,
+		BugName:     "med-zero-crash",
+		Explanation: "metric normalization divides by MED and crashes when MED == 0",
+		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+			m := r.ActiveMachine()
+			if m != nil && u.Sym != nil && u.Sym.HasMED {
+				if m.Branch("bug/med-zero", concolic.EqConst(u.Sym.MED, 0)) {
+					return fmt.Errorf("integer divide by zero normalizing MED")
+				}
+				return nil
+			}
+			if u.Attrs != nil && u.Attrs.MED != nil && *u.Attrs.MED == 0 {
+				return fmt.Errorf("integer divide by zero normalizing MED")
+			}
+			return nil
+		},
+	}
+}
+
+// InstallCodeFaults installs every code fault on its target router in the
+// given router map. It is applied both to the deployed cluster and to each
+// shadow clone before exploration.
+func InstallCodeFaults(routers map[string]*bird.Router, faults ...CodeFault) {
+	for _, f := range faults {
+		if r, ok := routers[f.Target()]; ok {
+			r.SetUpdateHook(f.Hook())
+		}
+	}
+}

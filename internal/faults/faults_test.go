@@ -1,0 +1,175 @@
+package faults
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bird"
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+func TestMisOriginationDetectedByOriginValidity(t *testing.T) {
+	topo := topology.Line(3)
+	victim := topo.Nodes[0].Prefixes[0]
+	fault := MisOrigination{Router: "R3", Prefix: victim}
+	if fault.Class() != checker.ClassOperatorMistake || fault.Name() == "" || fault.Description() == "" {
+		t.Errorf("fault metadata broken")
+	}
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1, ConfigOverride: ApplyConfigFaults(fault)})
+	c.Converge()
+	res := checker.OriginValidity{Ownership: checker.OwnershipFromTopology(topo)}.Check(c)
+	if res.OK() {
+		t.Fatalf("mis-origination not detected")
+	}
+}
+
+func TestMissingImportFilterAllowsHijackedAnnouncement(t *testing.T) {
+	topo := topology.Line(3)
+	victim := topo.Nodes[2].Prefixes[0] // R3's prefix
+	fault := MissingImportFilter{Router: "R2", Peer: "R1"}
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1, GaoRexford: true, ConfigOverride: ApplyConfigFaults(fault)})
+	c.Converge()
+	// Before any hijacked announcement the system is clean.
+	own := checker.OwnershipFromTopology(topo)
+	if !(checker.OriginValidity{Ownership: own}).Check(c).OK() {
+		t.Fatalf("system should be clean before the malicious announcement")
+	}
+	// R1 announces R3's prefix; R2's missing filter accepts it.
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}
+	c.InjectUpdate("R1", "R2", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{victim}})
+	c.Converge()
+	if (checker.OriginValidity{Ownership: own}).Check(c).OK() {
+		t.Fatalf("hijacked announcement through the unfiltered session not detected")
+	}
+}
+
+func TestDisputeWheelCausesOscillationUnderChurn(t *testing.T) {
+	// Ring of three routers peering with each other plus an origin attached
+	// to all of them.
+	topo := topology.Ring(3)
+	origin := topo.Nodes[0] // R1 will also own the contested prefix
+	contested := origin.Prefixes[0]
+	wheel := DisputeWheel{Routers: []string{"R1", "R2", "R3"}, Prefix: contested}
+	if wheel.Class() != checker.ClassPolicyConflict {
+		t.Errorf("wrong class")
+	}
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1, ConfigOverride: ApplyConfigFaults(wheel), MaxEvents: 3000})
+	c.Converge()
+	// Inject churn: withdraw and re-announce the contested prefix a few
+	// times, as DiCE's exploration would.
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}
+	for i := 0; i < 3; i++ {
+		c.InjectUpdate("R1", "R2", &bgp.Update{Withdrawn: []bgp.Prefix{contested}})
+		c.InjectUpdate("R1", "R2", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{contested}})
+	}
+	c.Converge()
+	res := checker.Convergence{MaxChangesPerPrefix: 4}.Check(c)
+	if res.OK() {
+		t.Skipf("dispute wheel did not oscillate beyond threshold in this run")
+	}
+	for _, v := range res.Violations {
+		if v.Class != checker.ClassPolicyConflict {
+			t.Errorf("oscillation should be a policy conflict")
+		}
+	}
+}
+
+func TestHandlerBugsCrashOnTriggeringInput(t *testing.T) {
+	trigger := bgp.NewCommunity(65001, 666)
+	bugs := []HandlerBug{
+		CommunityCrash("R2", trigger),
+		LongPathCrash("R2", 4),
+		MEDZeroCrash("R2"),
+	}
+	for _, bug := range bugs {
+		if bug.Class() != checker.ClassProgrammingError || bug.Description() == "" || bug.Target() != "R2" {
+			t.Errorf("%s: metadata broken", bug.Name())
+		}
+	}
+
+	topo := topology.Line(2)
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	InstallCodeFaults(c.Routers, bugs[0])
+	c.Converge()
+	if crashed, _ := c.Router("R2").Panicked(); crashed {
+		t.Fatalf("bug must stay latent until the triggering input arrives")
+	}
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}
+	attrs.AddCommunity(trigger)
+	c.InjectUpdate("R1", "R2", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{bgp.MustParsePrefix("99.0.0.0/8")}})
+	c.Converge()
+	if crashed, _ := c.Router("R2").Panicked(); !crashed {
+		t.Fatalf("triggering input did not crash the buggy handler")
+	}
+	if (checker.NodeHealth{}).Check(c).OK() {
+		t.Errorf("crash not visible to the node-health checker")
+	}
+}
+
+func TestDroppedWithdrawalsLeavesStaleRoute(t *testing.T) {
+	topo := topology.Line(3)
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	InstallCodeFaults(c.Routers, DroppedWithdrawals("R2"))
+	c.Converge()
+	victim := topo.Nodes[0].Prefixes[0]
+	if c.Router("R2").LocRIB().Best(victim) == nil {
+		t.Fatalf("precondition: R2 knows the prefix")
+	}
+	// A combined announce+withdraw message loses its withdrawal at R2.
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}
+	u := &bgp.Update{
+		Withdrawn: []bgp.Prefix{victim},
+		Attrs:     attrs,
+		NLRI:      []bgp.Prefix{bgp.MustParsePrefix("99.0.0.0/8")},
+	}
+	c.InjectUpdate("R1", "R2", u)
+	c.Converge()
+	if c.Router("R2").LocRIB().Best(victim) == nil {
+		t.Fatalf("the buggy handler should have kept the stale route")
+	}
+	// A correct router (R3 has no hook) processes the same message properly.
+	c2 := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	c2.Converge()
+	c2.InjectUpdate("R1", "R2", u)
+	c2.Converge()
+	if c2.Router("R2").LocRIB().Best(victim) != nil {
+		t.Errorf("correct handler should have withdrawn the route")
+	}
+}
+
+func TestMEDZeroCrashTrigger(t *testing.T) {
+	topo := topology.Line(2)
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	InstallCodeFaults(c.Routers, MEDZeroCrash("R2"))
+	c.Converge()
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}
+	attrs.SetMED(0)
+	c.InjectUpdate("R1", "R2", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{bgp.MustParsePrefix("88.0.0.0/8")}})
+	c.Converge()
+	if crashed, reason := c.Router("R2").Panicked(); !crashed || reason == "" {
+		t.Errorf("MED==0 should crash the buggy handler")
+	}
+}
+
+func TestApplyConfigFaultsOnlyTouchesTargets(t *testing.T) {
+	topo := topology.Line(2)
+	fault := MisOrigination{Router: "R1", Prefix: bgp.MustParsePrefix("203.0.113.0/24")}
+	override := ApplyConfigFaults(fault)
+	cfg1, _ := cluster.ConfigFor(topo, "R1", cluster.Options{})
+	cfg2, _ := cluster.ConfigFor(topo, "R2", cluster.Options{})
+	override(cfg1)
+	override(cfg2)
+	if len(cfg1.Networks) != 2 {
+		t.Errorf("fault not applied to target")
+	}
+	if len(cfg2.Networks) != 1 {
+		t.Errorf("fault leaked to non-target")
+	}
+	var _ ConfigFault = fault
+	var _ ConfigFault = MissingImportFilter{}
+	var _ ConfigFault = DisputeWheel{}
+	var _ CodeFault = HandlerBug{}
+	_ = bird.Config{}
+}

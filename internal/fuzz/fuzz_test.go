@@ -1,0 +1,101 @@
+package fuzz
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+func TestGeneratedUpdatesAreValid(t *testing.T) {
+	g := New(Options{Seed: 1, Prefixes: []bgp.Prefix{bgp.MustParsePrefix("10.1.0.0/16")}, ASNs: []bgp.ASN{65001, 65002}})
+	for i := 0; i < 500; i++ {
+		body := g.Update().EncodeBody()
+		if _, err := bgp.DecodeUpdate(body); err != nil {
+			t.Fatalf("generated update %d does not decode: %v", i, err)
+		}
+	}
+	if ratio := New(Options{Seed: 2}).ValidRatio(200); ratio != 1.0 {
+		t.Errorf("unmutated generator should be 100%% valid, got %.2f", ratio)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := New(Options{Seed: 7}).Body()
+	b := New(Options{Seed: 7}).Body()
+	if string(a) != string(b) {
+		t.Errorf("same seed must produce the same message")
+	}
+	c := New(Options{Seed: 8}).Body()
+	if string(a) == string(c) {
+		t.Errorf("different seeds should (very likely) differ")
+	}
+}
+
+func TestGeneratorUsesPools(t *testing.T) {
+	pool := []bgp.Prefix{bgp.MustParsePrefix("192.0.2.0/24")}
+	g := New(Options{Seed: 3, Prefixes: pool})
+	hits := 0
+	for i := 0; i < 200; i++ {
+		u := g.Update()
+		for _, p := range u.NLRI {
+			if p == pool[0] {
+				hits++
+			}
+		}
+	}
+	if hits == 0 {
+		t.Errorf("generator never drew from the prefix pool")
+	}
+}
+
+func TestMutationProducesInvalidInputs(t *testing.T) {
+	g := New(Options{Seed: 4, MutationProbability: 0.9})
+	ratio := g.ValidRatio(300)
+	if ratio >= 1.0 {
+		t.Errorf("mutation should produce some invalid messages, ratio=%.2f", ratio)
+	}
+	if ratio < 0.05 {
+		t.Errorf("single-byte flips should not destroy every message, ratio=%.2f", ratio)
+	}
+	gen, mut := g.Stats()
+	if gen == 0 || mut == 0 {
+		t.Errorf("stats not tracked: %d %d", gen, mut)
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	g := New(Options{Seed: 5})
+	corpus := g.Corpus(10)
+	if len(corpus) != 10 {
+		t.Fatalf("corpus size = %d", len(corpus))
+	}
+	for _, in := range corpus {
+		if len(in.Region("update")) == 0 {
+			t.Errorf("corpus input missing update region")
+		}
+	}
+}
+
+func TestWithdrawalsGenerated(t *testing.T) {
+	g := New(Options{Seed: 6, WithdrawProbability: 0.9})
+	withdrawals := 0
+	for i := 0; i < 200; i++ {
+		if len(g.Update().Withdrawn) > 0 {
+			withdrawals++
+		}
+	}
+	if withdrawals == 0 {
+		t.Errorf("no withdrawals generated despite high probability")
+	}
+}
+
+func TestSmallInputs(t *testing.T) {
+	// The paper's insight: keep inputs small. Generated bodies stay well
+	// under the BGP maximum message size.
+	g := New(Options{Seed: 9})
+	for i := 0; i < 200; i++ {
+		if n := len(g.Body()); n > 512 {
+			t.Fatalf("generated body unexpectedly large: %d bytes", n)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package netem is a deterministic, virtual-time network emulator used to run
+// the emulated BGP routers under "Internet-like conditions" (per-link
+// propagation delay, jitter and loss) without real sockets or wall-clock
+// time.
+//
+// The emulator is a discrete-event simulator: node callbacks (message
+// delivery, timer expiry) are scheduled on a virtual clock and processed in
+// timestamp order. Everything is seeded, so a given topology, workload and
+// seed always produce the same execution — which the DiCE orchestrator relies
+// on to make exploration reproducible and to compare "live" runs against
+// explored clones.
+//
+// A companion TCP transport (see tcp.go) can run the same Node implementations
+// over real localhost sockets for integration realism.
+package netem
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// NodeID names a node in the emulated network.
+type NodeID string
+
+// Env is the interface the emulator exposes to node callbacks. All
+// interactions with the outside world (time, messaging, timers, randomness)
+// go through it so that node logic stays deterministic and transport
+// agnostic.
+type Env interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Self returns the identity of the node being called.
+	Self() NodeID
+	// Neighbors returns the IDs of directly connected nodes, sorted.
+	Neighbors() []NodeID
+	// Send queues a payload for delivery to a directly connected node.
+	// Sending to a non-neighbor is a programming error and panics.
+	Send(to NodeID, payload []byte)
+	// SetTimer (re)arms a named timer to fire after d.
+	SetTimer(name string, d time.Duration)
+	// CancelTimer disarms a named timer; pending expirations are discarded.
+	CancelTimer(name string)
+	// Rand returns the node's deterministic random source.
+	Rand() *rand.Rand
+	// Logf records a debug message with the node and virtual timestamp.
+	Logf(format string, args ...interface{})
+}
+
+// Node is an emulated process.
+type Node interface {
+	// ID returns the node's name.
+	ID() NodeID
+	// Start is invoked once, at virtual time zero, before any delivery.
+	Start(env Env)
+	// HandleMessage delivers one payload from a neighbor.
+	HandleMessage(env Env, from NodeID, payload []byte)
+	// HandleTimer is invoked when a named timer armed via Env expires.
+	HandleTimer(env Env, name string)
+}
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// Delay is the base propagation delay.
+	Delay time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0, 1) that a message is dropped.
+	Loss float64
+}
+
+// DefaultLink returns a link with a small fixed delay and no loss.
+func DefaultLink() LinkConfig { return LinkConfig{Delay: 10 * time.Millisecond} }
+
+// Stats counts emulator activity.
+type Stats struct {
+	MessagesSent      int
+	MessagesDelivered int
+	MessagesDropped   int
+	TimersFired       int
+	TimersCancelled   int
+	EventsProcessed   int
+}
+
+// QueuedMessage is a message that has been sent but not yet delivered. The
+// snapshot coordinator records these as part of a consistent cut.
+type QueuedMessage struct {
+	From    NodeID
+	To      NodeID
+	Payload []byte
+	// Deliver is the virtual time at which the message would arrive.
+	Deliver time.Duration
+}
+
+// Options configure a Network.
+type Options struct {
+	// Seed drives loss and jitter decisions.
+	Seed int64
+	// Trace, when non-nil, receives node log lines.
+	Trace func(string)
+	// MaxEvents bounds Run to protect against livelock; zero means 10 million.
+	MaxEvents int
+}
+
+// Network is the emulated network: nodes, links, and the event queue.
+type Network struct {
+	opts  Options
+	nodes map[NodeID]Node
+	links map[NodeID]map[NodeID]LinkConfig
+	rng   *rand.Rand
+
+	now     time.Duration
+	events  eventQueue
+	seq     int
+	started bool
+	stats   Stats
+
+	// timerGen invalidates cancelled/rearmed timers: an event fires only if
+	// its generation matches the current one.
+	timerGen map[NodeID]map[string]int
+
+	nodeRngs map[NodeID]*rand.Rand
+}
+
+// New returns an empty network.
+func New(opts Options) *Network {
+	if opts.MaxEvents <= 0 {
+		opts.MaxEvents = 10_000_000
+	}
+	return &Network{
+		opts:     opts,
+		nodes:    make(map[NodeID]Node),
+		links:    make(map[NodeID]map[NodeID]LinkConfig),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		timerGen: make(map[NodeID]map[string]int),
+		nodeRngs: make(map[NodeID]*rand.Rand),
+	}
+}
+
+// AddNode registers a node. Adding two nodes with the same ID panics.
+func (n *Network) AddNode(node Node) {
+	id := node.ID()
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netem: duplicate node %q", id))
+	}
+	n.nodes[id] = node
+	n.links[id] = make(map[NodeID]LinkConfig)
+	n.timerGen[id] = make(map[string]int)
+	n.nodeRngs[id] = rand.New(rand.NewSource(n.opts.Seed ^ int64(fnvHash(string(id)))))
+}
+
+// Node returns the registered node with the given ID, or nil.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// Nodes returns all node IDs, sorted.
+func (n *Network) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Connect creates a bidirectional link between two registered nodes with the
+// same configuration in both directions.
+func (n *Network) Connect(a, b NodeID, cfg LinkConfig) {
+	n.ConnectDirected(a, b, cfg)
+	n.ConnectDirected(b, a, cfg)
+}
+
+// ConnectDirected creates (or replaces) the a->b direction of a link.
+func (n *Network) ConnectDirected(a, b NodeID, cfg LinkConfig) {
+	if _, ok := n.nodes[a]; !ok {
+		panic(fmt.Sprintf("netem: unknown node %q", a))
+	}
+	if _, ok := n.nodes[b]; !ok {
+		panic(fmt.Sprintf("netem: unknown node %q", b))
+	}
+	if a == b {
+		panic("netem: self link")
+	}
+	n.links[a][b] = cfg
+}
+
+// Neighbors returns the nodes directly reachable from id, sorted.
+func (n *Network) Neighbors(id NodeID) []NodeID {
+	out := make([]NodeID, 0, len(n.links[id]))
+	for peer := range n.links[id] {
+		out = append(out, peer)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Stats returns a snapshot of the emulator counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// event kinds.
+const (
+	evDeliver = iota
+	evTimer
+)
+
+type event struct {
+	at      time.Duration
+	seq     int
+	kind    int
+	to      NodeID
+	from    NodeID
+	payload []byte
+	timer   string
+	gen     int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) {
+	*q = append(*q, x.(*event))
+}
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.events, e)
+}
+
+// env adapts the network to the Env interface for one node.
+type env struct {
+	net *Network
+	id  NodeID
+}
+
+func (e *env) Now() time.Duration  { return e.net.now }
+func (e *env) Self() NodeID        { return e.id }
+func (e *env) Neighbors() []NodeID { return e.net.Neighbors(e.id) }
+func (e *env) Rand() *rand.Rand    { return e.net.nodeRngs[e.id] }
+
+func (e *env) Send(to NodeID, payload []byte) {
+	cfg, ok := e.net.links[e.id][to]
+	if !ok {
+		panic(fmt.Sprintf("netem: %s attempted to send to non-neighbor %s", e.id, to))
+	}
+	e.net.stats.MessagesSent++
+	if cfg.Loss > 0 && e.net.rng.Float64() < cfg.Loss {
+		e.net.stats.MessagesDropped++
+		return
+	}
+	delay := cfg.Delay
+	if cfg.Jitter > 0 {
+		delay += time.Duration(e.net.rng.Int63n(int64(cfg.Jitter)))
+	}
+	e.net.push(&event{
+		at:      e.net.now + delay,
+		kind:    evDeliver,
+		to:      to,
+		from:    e.id,
+		payload: append([]byte(nil), payload...),
+	})
+}
+
+func (e *env) SetTimer(name string, d time.Duration) {
+	gens := e.net.timerGen[e.id]
+	gens[name]++
+	e.net.push(&event{
+		at:    e.net.now + d,
+		kind:  evTimer,
+		to:    e.id,
+		timer: name,
+		gen:   gens[name],
+	})
+}
+
+func (e *env) CancelTimer(name string) {
+	gens := e.net.timerGen[e.id]
+	if _, ok := gens[name]; ok {
+		gens[name]++
+		e.net.stats.TimersCancelled++
+	}
+}
+
+func (e *env) Logf(format string, args ...interface{}) {
+	if e.net.opts.Trace != nil {
+		e.net.opts.Trace(fmt.Sprintf("[%8.3fs %s] %s", e.net.now.Seconds(), e.id, fmt.Sprintf(format, args...)))
+	}
+}
+
+// Start invokes Start on every node (in sorted order) at virtual time zero.
+// It is idempotent.
+func (n *Network) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	for _, id := range n.Nodes() {
+		n.nodes[id].Start(&env{net: n, id: id})
+	}
+}
+
+// Step processes the single next event. It reports whether an event was
+// processed (false when the queue is empty).
+func (n *Network) Step() bool {
+	n.Start()
+	for n.events.Len() > 0 {
+		e := heap.Pop(&n.events).(*event)
+		if e.kind == evTimer && n.timerGen[e.to][e.timer] != e.gen {
+			// Stale timer: cancelled or re-armed since it was scheduled.
+			continue
+		}
+		n.now = e.at
+		n.stats.EventsProcessed++
+		node := n.nodes[e.to]
+		ev := &env{net: n, id: e.to}
+		switch e.kind {
+		case evDeliver:
+			n.stats.MessagesDelivered++
+			node.HandleMessage(ev, e.from, e.payload)
+		case evTimer:
+			n.stats.TimersFired++
+			node.HandleTimer(ev, e.timer)
+		}
+		return true
+	}
+	return false
+}
+
+// Run processes events until the virtual clock would exceed until, or the
+// queue empties, or MaxEvents is reached. It returns the number of events
+// processed.
+func (n *Network) Run(until time.Duration) int {
+	n.Start()
+	processed := 0
+	for n.events.Len() > 0 && processed < n.opts.MaxEvents {
+		next := n.peekTime()
+		if next > until {
+			break
+		}
+		if !n.Step() {
+			break
+		}
+		processed++
+	}
+	return processed
+}
+
+// RunQuiescent processes events until there are none left (full convergence)
+// or maxEvents is hit; it returns the number of events processed. Periodic
+// timers would prevent quiescence, so nodes used with RunQuiescent should arm
+// timers only while work is outstanding; the emulated router follows that
+// rule once sessions are established.
+func (n *Network) RunQuiescent(maxEvents int) int {
+	n.Start()
+	if maxEvents <= 0 {
+		maxEvents = n.opts.MaxEvents
+	}
+	processed := 0
+	for processed < maxEvents && n.Step() {
+		processed++
+	}
+	return processed
+}
+
+func (n *Network) peekTime() time.Duration {
+	if n.events.Len() == 0 {
+		return n.now
+	}
+	return n.events[0].at
+}
+
+// PendingEvents returns the number of scheduled (not yet processed) events,
+// including stale timers.
+func (n *Network) PendingEvents() int { return n.events.Len() }
+
+// InFlight returns the messages that have been sent but not yet delivered, in
+// deterministic order. The snapshot coordinator uses this to capture channel
+// state for a consistent cut.
+func (n *Network) InFlight() []QueuedMessage {
+	var out []QueuedMessage
+	for _, e := range n.events {
+		if e.kind != evDeliver {
+			continue
+		}
+		out = append(out, QueuedMessage{
+			From:    e.from,
+			To:      e.to,
+			Payload: append([]byte(nil), e.payload...),
+			Deliver: e.at,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Deliver != out[j].Deliver {
+			return out[i].Deliver < out[j].Deliver
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// InjectMessage schedules a payload for delivery to a node as if it had been
+// sent by from, after the given delay. It does not require a link and is used
+// by the DiCE orchestrator to replay in-flight messages from a snapshot and
+// to inject explored inputs.
+func (n *Network) InjectMessage(from, to NodeID, payload []byte, delay time.Duration) {
+	if _, ok := n.nodes[to]; !ok {
+		panic(fmt.Sprintf("netem: inject to unknown node %q", to))
+	}
+	n.push(&event{
+		at:      n.now + delay,
+		kind:    evDeliver,
+		to:      to,
+		from:    from,
+		payload: append([]byte(nil), payload...),
+	})
+}
+
+func fnvHash(s string) uint64 {
+	const offset = 14695981039346656037
+	const prime = 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

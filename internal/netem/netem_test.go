@@ -1,0 +1,333 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoNode counts messages and echoes pings back as pongs.
+type echoNode struct {
+	id       NodeID
+	mu       sync.Mutex
+	received []string
+	timers   []string
+	startup  func(env Env)
+}
+
+func (n *echoNode) ID() NodeID { return n.id }
+
+func (n *echoNode) Start(env Env) {
+	if n.startup != nil {
+		n.startup(env)
+	}
+}
+
+func (n *echoNode) HandleMessage(env Env, from NodeID, payload []byte) {
+	n.mu.Lock()
+	n.received = append(n.received, string(payload))
+	n.mu.Unlock()
+	if string(payload) == "ping" {
+		env.Send(from, []byte("pong"))
+	}
+}
+
+func (n *echoNode) HandleTimer(env Env, name string) {
+	n.mu.Lock()
+	n.timers = append(n.timers, name)
+	n.mu.Unlock()
+}
+
+func (n *echoNode) msgs() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.received...)
+}
+
+func TestNetworkPingPong(t *testing.T) {
+	net := New(Options{Seed: 1})
+	a := &echoNode{id: "a", startup: func(env Env) { env.Send("b", []byte("ping")) }}
+	b := &echoNode{id: "b"}
+	net.AddNode(a)
+	net.AddNode(b)
+	net.Connect("a", "b", LinkConfig{Delay: 5 * time.Millisecond})
+
+	net.RunQuiescent(0)
+
+	if got := b.msgs(); len(got) != 1 || got[0] != "ping" {
+		t.Errorf("b received %v", got)
+	}
+	if got := a.msgs(); len(got) != 1 || got[0] != "pong" {
+		t.Errorf("a received %v", got)
+	}
+	if net.Now() != 10*time.Millisecond {
+		t.Errorf("virtual time = %v, want 10ms (two 5ms hops)", net.Now())
+	}
+	st := net.Stats()
+	if st.MessagesSent != 2 || st.MessagesDelivered != 2 || st.MessagesDropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	run := func() Stats {
+		net := New(Options{Seed: 42})
+		nodes := make([]*echoNode, 5)
+		for i := range nodes {
+			id := NodeID(fmt.Sprintf("n%d", i))
+			nodes[i] = &echoNode{id: id}
+			if i > 0 {
+				final := i
+				nodes[i].startup = func(env Env) {
+					env.Send(NodeID(fmt.Sprintf("n%d", final-1)), []byte("ping"))
+				}
+			}
+			net.AddNode(nodes[i])
+		}
+		for i := 1; i < len(nodes); i++ {
+			net.Connect(NodeID(fmt.Sprintf("n%d", i-1)), NodeID(fmt.Sprintf("n%d", i)),
+				LinkConfig{Delay: time.Millisecond, Jitter: 3 * time.Millisecond, Loss: 0.1})
+		}
+		net.RunQuiescent(0)
+		return net.Stats()
+	}
+	if run() != run() {
+		t.Errorf("same seed must give identical executions")
+	}
+}
+
+func TestNetworkLossDropsMessages(t *testing.T) {
+	net := New(Options{Seed: 7})
+	recv := &echoNode{id: "b"}
+	send := &echoNode{id: "a", startup: func(env Env) {
+		for i := 0; i < 200; i++ {
+			env.Send("b", []byte("x"))
+		}
+	}}
+	net.AddNode(send)
+	net.AddNode(recv)
+	net.Connect("a", "b", LinkConfig{Delay: time.Millisecond, Loss: 0.5})
+	net.RunQuiescent(0)
+	st := net.Stats()
+	if st.MessagesDropped == 0 {
+		t.Errorf("expected drops with 50%% loss, stats=%+v", st)
+	}
+	if st.MessagesDropped+st.MessagesDelivered != 200 {
+		t.Errorf("drops+deliveries != sent: %+v", st)
+	}
+	if len(recv.msgs()) != st.MessagesDelivered {
+		t.Errorf("delivered count mismatch")
+	}
+}
+
+func TestTimersFireAndCancel(t *testing.T) {
+	net := New(Options{Seed: 1})
+	n := &echoNode{id: "a", startup: func(env Env) {
+		env.SetTimer("keepalive", 10*time.Millisecond)
+		env.SetTimer("hold", 30*time.Millisecond)
+		env.SetTimer("cancelme", 20*time.Millisecond)
+		env.CancelTimer("cancelme")
+	}}
+	other := &echoNode{id: "b"}
+	net.AddNode(n)
+	net.AddNode(other)
+	net.Connect("a", "b", DefaultLink())
+	net.RunQuiescent(0)
+	n.mu.Lock()
+	timers := append([]string(nil), n.timers...)
+	n.mu.Unlock()
+	if len(timers) != 2 || timers[0] != "keepalive" || timers[1] != "hold" {
+		t.Errorf("timers fired = %v, want [keepalive hold]", timers)
+	}
+	if net.Stats().TimersCancelled != 1 {
+		t.Errorf("cancelled = %d", net.Stats().TimersCancelled)
+	}
+}
+
+func TestTimerRearmReplacesPending(t *testing.T) {
+	net := New(Options{Seed: 1})
+	fired := 0
+	n := &timerNode{id: "a", onTimer: func(env Env, name string) { fired++ }}
+	net.AddNode(n)
+	net.AddNode(&echoNode{id: "b"})
+	net.Connect("a", "b", DefaultLink())
+	n.onStart = func(env Env) {
+		env.SetTimer("t", 10*time.Millisecond)
+		env.SetTimer("t", 50*time.Millisecond) // re-arm: only the second fires
+	}
+	net.RunQuiescent(0)
+	if fired != 1 {
+		t.Errorf("timer fired %d times, want 1", fired)
+	}
+	if net.Now() != 50*time.Millisecond {
+		t.Errorf("fired at %v, want 50ms", net.Now())
+	}
+}
+
+type timerNode struct {
+	id      NodeID
+	onStart func(env Env)
+	onTimer func(env Env, name string)
+}
+
+func (n *timerNode) ID() NodeID { return n.id }
+func (n *timerNode) Start(env Env) {
+	if n.onStart != nil {
+		n.onStart(env)
+	}
+}
+func (n *timerNode) HandleMessage(env Env, from NodeID, payload []byte) {}
+func (n *timerNode) HandleTimer(env Env, name string) {
+	if n.onTimer != nil {
+		n.onTimer(env, name)
+	}
+}
+
+func TestRunUntilTimeBound(t *testing.T) {
+	net := New(Options{Seed: 1})
+	n := &timerNode{id: "a"}
+	n.onStart = func(env Env) {
+		env.SetTimer("late", time.Second)
+		env.SetTimer("early", time.Millisecond)
+	}
+	net.AddNode(n)
+	net.AddNode(&echoNode{id: "b"})
+	net.Connect("a", "b", DefaultLink())
+	net.Run(100 * time.Millisecond)
+	if net.Now() > 100*time.Millisecond {
+		t.Errorf("Run exceeded the time bound: now=%v", net.Now())
+	}
+	if net.PendingEvents() == 0 {
+		t.Errorf("late timer should still be pending")
+	}
+}
+
+func TestInFlightAndInject(t *testing.T) {
+	net := New(Options{Seed: 1})
+	a := &echoNode{id: "a", startup: func(env Env) { env.Send("b", []byte("hello")) }}
+	b := &echoNode{id: "b"}
+	net.AddNode(a)
+	net.AddNode(b)
+	net.Connect("a", "b", LinkConfig{Delay: 50 * time.Millisecond})
+	net.Start()
+
+	inflight := net.InFlight()
+	if len(inflight) != 1 || inflight[0].From != "a" || inflight[0].To != "b" || string(inflight[0].Payload) != "hello" {
+		t.Fatalf("InFlight = %+v", inflight)
+	}
+
+	net.InjectMessage("ghost", "b", []byte("injected"), 0)
+	net.RunQuiescent(0)
+	msgs := b.msgs()
+	if len(msgs) != 2 {
+		t.Fatalf("b received %v", msgs)
+	}
+	if msgs[0] != "injected" || msgs[1] != "hello" {
+		t.Errorf("delivery order = %v, want injected before hello", msgs)
+	}
+}
+
+func TestNeighborsAndValidation(t *testing.T) {
+	net := New(Options{Seed: 1})
+	net.AddNode(&echoNode{id: "a"})
+	net.AddNode(&echoNode{id: "b"})
+	net.AddNode(&echoNode{id: "c"})
+	net.Connect("a", "b", DefaultLink())
+	net.Connect("a", "c", DefaultLink())
+	nb := net.Neighbors("a")
+	if len(nb) != 2 || nb[0] != "b" || nb[1] != "c" {
+		t.Errorf("Neighbors = %v", nb)
+	}
+	if len(net.Nodes()) != 3 {
+		t.Errorf("Nodes = %v", net.Nodes())
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("duplicate node", func() { net.AddNode(&echoNode{id: "a"}) })
+	mustPanic("unknown node link", func() { net.Connect("a", "zzz", DefaultLink()) })
+	mustPanic("self link", func() { net.Connect("a", "a", DefaultLink()) })
+	mustPanic("send to non-neighbor", func() {
+		e := &env{net: net, id: "b"}
+		e.Send("c", []byte("x"))
+	})
+}
+
+func TestSendToNonNeighborPanicsViaNode(t *testing.T) {
+	net := New(Options{Seed: 1})
+	bad := &echoNode{id: "a", startup: func(env Env) { env.Send("c", []byte("x")) }}
+	net.AddNode(bad)
+	net.AddNode(&echoNode{id: "b"})
+	net.Connect("a", "b", DefaultLink())
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for send to unconnected node")
+		}
+	}()
+	net.Start()
+}
+
+func TestTCPRunnerPingPong(t *testing.T) {
+	r := NewTCPRunner()
+	a := &echoNode{id: "a", startup: func(env Env) { env.Send("b", []byte("ping")) }}
+	b := &echoNode{id: "b"}
+	r.AddNode(a)
+	r.AddNode(b)
+	r.Connect("a", "b")
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Stop()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(a.msgs()) >= 1 && len(b.msgs()) >= 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := b.msgs(); len(got) != 1 || got[0] != "ping" {
+		t.Errorf("b received %v over TCP", got)
+	}
+	if got := a.msgs(); len(got) != 1 || got[0] != "pong" {
+		t.Errorf("a received %v over TCP", got)
+	}
+}
+
+func TestTCPRunnerTimers(t *testing.T) {
+	r := NewTCPRunner()
+	fired := make(chan string, 4)
+	n := &timerNode{id: "a",
+		onStart: func(env Env) {
+			env.SetTimer("x", 20*time.Millisecond)
+			env.SetTimer("gone", 20*time.Millisecond)
+			env.CancelTimer("gone")
+		},
+		onTimer: func(env Env, name string) { fired <- name },
+	}
+	r.AddNode(n)
+	if err := r.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Stop()
+	select {
+	case name := <-fired:
+		if name != "x" {
+			t.Errorf("fired %q, want x", name)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire over TCP runner")
+	}
+	select {
+	case name := <-fired:
+		t.Errorf("cancelled timer %q fired", name)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

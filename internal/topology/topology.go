@@ -1,0 +1,417 @@
+// Package topology builds the router-level topologies used by the DiCE
+// experiments: the 27-router demo topology from the paper's Figure 1, random
+// Internet-like topologies with Gao–Rexford business relationships
+// (customer–provider and peer–peer), and small regular shapes (line, ring,
+// clique, star) used by unit tests.
+//
+// A topology only describes structure (nodes, autonomous systems, originated
+// prefixes, links, relationships, and link quality). The bird package turns a
+// topology into configured router instances and the netem package runs them.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+// Relation is the business relationship of a link, following the Gao–Rexford
+// model.
+type Relation int
+
+// Link relationships. For RelCustomer the A endpoint is the customer and the
+// B endpoint is the provider.
+const (
+	RelCustomer Relation = iota
+	RelPeer
+)
+
+// String renders the relation.
+func (r Relation) String() string {
+	if r == RelPeer {
+		return "peer"
+	}
+	return "customer-provider"
+}
+
+// Node is one router / autonomous system in the topology. The experiments use
+// one router per AS, as the paper's demo does.
+type Node struct {
+	Name     string
+	AS       bgp.ASN
+	RouterID bgp.RouterID
+	// Tier is 1 for the core, growing toward the edge; 0 when tiers do not
+	// apply (regular test shapes).
+	Tier int
+	// Prefixes are the prefixes this AS legitimately originates. The
+	// ownership registry used by the hijack checker is derived from them.
+	Prefixes []bgp.Prefix
+}
+
+// Link is an adjacency between two nodes.
+type Link struct {
+	A, B string
+	Rel  Relation
+	// Link quality parameters ("Internet-like conditions").
+	Delay  time.Duration
+	Jitter time.Duration
+	Loss   float64
+}
+
+// Topology is a named set of nodes and links.
+type Topology struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+}
+
+// Node returns the node with the given name, or nil.
+func (t *Topology) Node(name string) *Node {
+	for i := range t.Nodes {
+		if t.Nodes[i].Name == name {
+			return &t.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// NodeNames returns the names of all nodes in definition order.
+func (t *Topology) NodeNames() []string {
+	out := make([]string, len(t.Nodes))
+	for i, n := range t.Nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+// NeighborsOf returns the names of nodes adjacent to the named node.
+func (t *Topology) NeighborsOf(name string) []string {
+	var out []string
+	for _, l := range t.Links {
+		switch name {
+		case l.A:
+			out = append(out, l.B)
+		case l.B:
+			out = append(out, l.A)
+		}
+	}
+	return out
+}
+
+// LinksOf returns the links incident to the named node.
+func (t *Topology) LinksOf(name string) []Link {
+	var out []Link
+	for _, l := range t.Links {
+		if l.A == name || l.B == name {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Owner returns the name and AS of the node that legitimately originates the
+// prefix, or false when no node owns it.
+func (t *Topology) Owner(p bgp.Prefix) (string, bgp.ASN, bool) {
+	for _, n := range t.Nodes {
+		for _, own := range n.Prefixes {
+			if own == p {
+				return n.Name, n.AS, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// Validate checks structural consistency: unique names, unique ASes, links
+// referencing known nodes, no self links, and loss probabilities in range.
+func (t *Topology) Validate() error {
+	names := make(map[string]bool)
+	ases := make(map[bgp.ASN]bool)
+	for _, n := range t.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("topology %s: node with empty name", t.Name)
+		}
+		if names[n.Name] {
+			return fmt.Errorf("topology %s: duplicate node name %q", t.Name, n.Name)
+		}
+		names[n.Name] = true
+		if n.AS == 0 {
+			return fmt.Errorf("topology %s: node %s has AS 0", t.Name, n.Name)
+		}
+		if ases[n.AS] {
+			return fmt.Errorf("topology %s: duplicate AS %d", t.Name, n.AS)
+		}
+		ases[n.AS] = true
+		if n.RouterID == 0 {
+			return fmt.Errorf("topology %s: node %s has zero router ID", t.Name, n.Name)
+		}
+	}
+	seenLink := make(map[string]bool)
+	for _, l := range t.Links {
+		if l.A == l.B {
+			return fmt.Errorf("topology %s: self link on %s", t.Name, l.A)
+		}
+		if !names[l.A] || !names[l.B] {
+			return fmt.Errorf("topology %s: link %s-%s references unknown node", t.Name, l.A, l.B)
+		}
+		key := l.A + "|" + l.B
+		if l.B < l.A {
+			key = l.B + "|" + l.A
+		}
+		if seenLink[key] {
+			return fmt.Errorf("topology %s: duplicate link %s-%s", t.Name, l.A, l.B)
+		}
+		seenLink[key] = true
+		if l.Loss < 0 || l.Loss >= 1 {
+			return fmt.Errorf("topology %s: link %s-%s loss %.2f out of range", t.Name, l.A, l.B, l.Loss)
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the topology graph is connected (ignoring link
+// direction and relationships).
+func (t *Topology) Connected() bool {
+	if len(t.Nodes) == 0 {
+		return true
+	}
+	adj := make(map[string][]string)
+	for _, l := range t.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	seen := map[string]bool{t.Nodes[0].Name: true}
+	stack := []string{t.Nodes[0].Name}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[cur] {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return len(seen) == len(t.Nodes)
+}
+
+// nodeSpec builds a Node with the conventional naming and addressing scheme:
+// router i is named "Ri", uses AS 65000+i, router ID i, and originates
+// 10.i.0.0/16.
+func nodeSpec(i, tier int) Node {
+	return Node{
+		Name:     fmt.Sprintf("R%d", i),
+		AS:       bgp.ASN(65000 + i),
+		RouterID: bgp.RouterID(i),
+		Tier:     tier,
+		Prefixes: []bgp.Prefix{{Addr: uint32(10)<<24 | uint32(i)<<16, Len: 16}},
+	}
+}
+
+// Demo27 builds the 27-router, three-tier topology used in the paper's demo
+// (Figure 1): 3 tier-1 routers in a full mesh of peer links, 9 tier-2
+// routers each multi-homed to two tier-1 providers and peering with one
+// tier-2 sibling, and 15 tier-3 stub routers each dual-homed to tier-2
+// providers. Link delays follow typical intra/inter-provider latencies.
+func Demo27() *Topology {
+	t := &Topology{Name: "demo27"}
+	const (
+		tier1Count = 3
+		tier2Count = 9
+		tier3Count = 15
+	)
+	id := 1
+	var tier1, tier2, tier3 []string
+	for i := 0; i < tier1Count; i++ {
+		n := nodeSpec(id, 1)
+		t.Nodes = append(t.Nodes, n)
+		tier1 = append(tier1, n.Name)
+		id++
+	}
+	for i := 0; i < tier2Count; i++ {
+		n := nodeSpec(id, 2)
+		t.Nodes = append(t.Nodes, n)
+		tier2 = append(tier2, n.Name)
+		id++
+	}
+	for i := 0; i < tier3Count; i++ {
+		n := nodeSpec(id, 3)
+		t.Nodes = append(t.Nodes, n)
+		tier3 = append(tier3, n.Name)
+		id++
+	}
+
+	// Tier-1 full mesh of peer links (long-haul latencies).
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			t.Links = append(t.Links, Link{
+				A: tier1[i], B: tier1[j], Rel: RelPeer,
+				Delay: 40 * time.Millisecond, Jitter: 10 * time.Millisecond,
+			})
+		}
+	}
+	// Each tier-2 router is a customer of two tier-1 providers.
+	for i, name := range tier2 {
+		p1 := tier1[i%len(tier1)]
+		p2 := tier1[(i+1)%len(tier1)]
+		t.Links = append(t.Links,
+			Link{A: name, B: p1, Rel: RelCustomer, Delay: 20 * time.Millisecond, Jitter: 5 * time.Millisecond},
+			Link{A: name, B: p2, Rel: RelCustomer, Delay: 25 * time.Millisecond, Jitter: 5 * time.Millisecond},
+		)
+	}
+	// Tier-2 lateral peerings: pair consecutive tier-2 routers.
+	for i := 0; i+1 < len(tier2); i += 2 {
+		t.Links = append(t.Links, Link{
+			A: tier2[i], B: tier2[i+1], Rel: RelPeer,
+			Delay: 15 * time.Millisecond, Jitter: 3 * time.Millisecond,
+		})
+	}
+	// Each tier-3 stub is a customer of two tier-2 providers.
+	for i, name := range tier3 {
+		p1 := tier2[i%len(tier2)]
+		p2 := tier2[(i+4)%len(tier2)]
+		t.Links = append(t.Links,
+			Link{A: name, B: p1, Rel: RelCustomer, Delay: 8 * time.Millisecond, Jitter: 2 * time.Millisecond},
+			Link{A: name, B: p2, Rel: RelCustomer, Delay: 12 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		)
+	}
+	return t
+}
+
+// GaoRexford builds a random three-tier Internet-like topology with the given
+// tier sizes. Tier-1 routers form a full peer mesh; every lower-tier router
+// picks one or two providers from the tier above; some same-tier pairs peer.
+// The construction is deterministic for a given seed.
+func GaoRexford(tier1, tier2, tier3 int, seed int64) *Topology {
+	if tier1 < 1 {
+		tier1 = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &Topology{Name: fmt.Sprintf("gao-rexford-%d-%d-%d", tier1, tier2, tier3)}
+	id := 1
+	var names [4][]string
+	addTier := func(count, tier int) {
+		for i := 0; i < count; i++ {
+			n := nodeSpec(id, tier)
+			t.Nodes = append(t.Nodes, n)
+			names[tier] = append(names[tier], n.Name)
+			id++
+		}
+	}
+	addTier(tier1, 1)
+	addTier(tier2, 2)
+	addTier(tier3, 3)
+
+	for i := 0; i < len(names[1]); i++ {
+		for j := i + 1; j < len(names[1]); j++ {
+			t.Links = append(t.Links, Link{
+				A: names[1][i], B: names[1][j], Rel: RelPeer,
+				Delay:  time.Duration(30+rng.Intn(30)) * time.Millisecond,
+				Jitter: 5 * time.Millisecond,
+			})
+		}
+	}
+	connectTier := func(lower, upper int, baseDelay int) {
+		for _, name := range names[lower] {
+			providers := rng.Perm(len(names[upper]))
+			count := 1
+			if len(names[upper]) > 1 && rng.Float64() < 0.7 {
+				count = 2
+			}
+			for k := 0; k < count; k++ {
+				t.Links = append(t.Links, Link{
+					A: name, B: names[upper][providers[k]], Rel: RelCustomer,
+					Delay:  time.Duration(baseDelay+rng.Intn(baseDelay)) * time.Millisecond,
+					Jitter: time.Duration(1+rng.Intn(4)) * time.Millisecond,
+				})
+			}
+		}
+	}
+	if tier2 > 0 {
+		connectTier(2, 1, 15)
+	}
+	if tier3 > 0 {
+		upper := 2
+		if tier2 == 0 {
+			upper = 1
+		}
+		connectTier(3, upper, 6)
+	}
+	// Same-tier peerings in tier 2.
+	for i := 0; i+1 < len(names[2]); i += 2 {
+		if rng.Float64() < 0.6 {
+			t.Links = append(t.Links, Link{
+				A: names[2][i], B: names[2][i+1], Rel: RelPeer,
+				Delay: time.Duration(8+rng.Intn(10)) * time.Millisecond,
+			})
+		}
+	}
+	return t
+}
+
+// Line builds a chain R1-R2-...-Rn of customer-provider links (R1 is the
+// bottom customer).
+func Line(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("line-%d", n)}
+	for i := 1; i <= n; i++ {
+		t.Nodes = append(t.Nodes, nodeSpec(i, 0))
+	}
+	for i := 1; i < n; i++ {
+		t.Links = append(t.Links, Link{
+			A: fmt.Sprintf("R%d", i), B: fmt.Sprintf("R%d", i+1),
+			Rel: RelCustomer, Delay: 10 * time.Millisecond,
+		})
+	}
+	return t
+}
+
+// Ring builds a cycle of n routers with peer links, the classic substrate for
+// policy-dispute (BGP wedgie) scenarios.
+func Ring(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("ring-%d", n)}
+	for i := 1; i <= n; i++ {
+		t.Nodes = append(t.Nodes, nodeSpec(i, 0))
+	}
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		t.Links = append(t.Links, Link{
+			A: fmt.Sprintf("R%d", i), B: fmt.Sprintf("R%d", next),
+			Rel: RelPeer, Delay: 10 * time.Millisecond,
+		})
+	}
+	return t
+}
+
+// Clique builds a full mesh of n routers with peer links.
+func Clique(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("clique-%d", n)}
+	for i := 1; i <= n; i++ {
+		t.Nodes = append(t.Nodes, nodeSpec(i, 0))
+	}
+	for i := 1; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			t.Links = append(t.Links, Link{
+				A: fmt.Sprintf("R%d", i), B: fmt.Sprintf("R%d", j),
+				Rel: RelPeer, Delay: 10 * time.Millisecond,
+			})
+		}
+	}
+	return t
+}
+
+// Star builds a hub-and-spoke topology: R1 is the provider of R2..Rn.
+func Star(n int) *Topology {
+	t := &Topology{Name: fmt.Sprintf("star-%d", n)}
+	for i := 1; i <= n; i++ {
+		t.Nodes = append(t.Nodes, nodeSpec(i, 0))
+	}
+	for i := 2; i <= n; i++ {
+		t.Links = append(t.Links, Link{
+			A: fmt.Sprintf("R%d", i), B: "R1",
+			Rel: RelCustomer, Delay: 10 * time.Millisecond,
+		})
+	}
+	return t
+}

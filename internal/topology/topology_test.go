@@ -1,0 +1,218 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+func TestDemo27Shape(t *testing.T) {
+	topo := Demo27()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(topo.Nodes) != 27 {
+		t.Fatalf("demo topology has %d nodes, want 27 (as in the paper's Figure 1)", len(topo.Nodes))
+	}
+	if !topo.Connected() {
+		t.Fatalf("demo topology must be connected")
+	}
+	tiers := map[int]int{}
+	for _, n := range topo.Nodes {
+		tiers[n.Tier]++
+		if len(n.Prefixes) == 0 {
+			t.Errorf("node %s originates no prefix", n.Name)
+		}
+	}
+	if tiers[1] != 3 || tiers[2] != 9 || tiers[3] != 15 {
+		t.Errorf("tier sizes = %v, want 3/9/15", tiers)
+	}
+	// Every tier-3 stub must have at least two providers (dual homing).
+	for _, n := range topo.Nodes {
+		if n.Tier != 3 {
+			continue
+		}
+		providers := 0
+		for _, l := range topo.LinksOf(n.Name) {
+			if l.Rel == RelCustomer && l.A == n.Name {
+				providers++
+			}
+		}
+		if providers < 2 {
+			t.Errorf("stub %s has %d providers, want >= 2", n.Name, providers)
+		}
+	}
+}
+
+func TestDemo27Deterministic(t *testing.T) {
+	a, b := Demo27(), Demo27()
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("demo topology not deterministic")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs between constructions", i)
+		}
+	}
+}
+
+func TestOwner(t *testing.T) {
+	topo := Demo27()
+	p := topo.Nodes[5].Prefixes[0]
+	name, as, ok := topo.Owner(p)
+	if !ok || name != topo.Nodes[5].Name || as != topo.Nodes[5].AS {
+		t.Errorf("Owner(%s) = %s/%d/%v", p, name, as, ok)
+	}
+	if _, _, ok := topo.Owner(bgp.MustParsePrefix("203.0.113.0/24")); ok {
+		t.Errorf("unowned prefix reported an owner")
+	}
+}
+
+func TestGaoRexfordValidAndDeterministic(t *testing.T) {
+	a := GaoRexford(3, 6, 12, 7)
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !a.Connected() {
+		t.Fatalf("generated topology must be connected")
+	}
+	if len(a.Nodes) != 21 {
+		t.Errorf("nodes = %d, want 21", len(a.Nodes))
+	}
+	b := GaoRexford(3, 6, 12, 7)
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("same seed must give the same topology")
+	}
+	c := GaoRexford(3, 6, 12, 8)
+	if len(a.Links) == len(c.Links) {
+		same := true
+		for i := range a.Links {
+			if a.Links[i] != c.Links[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical topologies")
+		}
+	}
+}
+
+func TestRegularShapes(t *testing.T) {
+	for _, tc := range []struct {
+		topo      *Topology
+		nodes     int
+		links     int
+		connected bool
+	}{
+		{Line(5), 5, 4, true},
+		{Ring(6), 6, 6, true},
+		{Clique(4), 4, 6, true},
+		{Star(7), 7, 6, true},
+		{Line(1), 1, 0, true},
+	} {
+		if err := tc.topo.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", tc.topo.Name, err)
+		}
+		if len(tc.topo.Nodes) != tc.nodes || len(tc.topo.Links) != tc.links {
+			t.Errorf("%s: %d nodes %d links, want %d/%d", tc.topo.Name, len(tc.topo.Nodes), len(tc.topo.Links), tc.nodes, tc.links)
+		}
+		if tc.topo.Connected() != tc.connected {
+			t.Errorf("%s: connectivity = %v", tc.topo.Name, tc.topo.Connected())
+		}
+	}
+}
+
+func TestNeighborsAndLookup(t *testing.T) {
+	topo := Ring(4)
+	nb := topo.NeighborsOf("R1")
+	if len(nb) != 2 {
+		t.Errorf("R1 neighbors = %v", nb)
+	}
+	if topo.Node("R3") == nil || topo.Node("R99") != nil {
+		t.Errorf("Node lookup broken")
+	}
+	if len(topo.NodeNames()) != 4 {
+		t.Errorf("NodeNames broken")
+	}
+	if len(topo.LinksOf("R2")) != 2 {
+		t.Errorf("LinksOf broken")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	base := func() *Topology { return Line(3) }
+
+	topo := base()
+	topo.Nodes[1].AS = topo.Nodes[0].AS
+	if topo.Validate() == nil {
+		t.Errorf("duplicate AS not caught")
+	}
+
+	topo = base()
+	topo.Nodes[1].Name = topo.Nodes[0].Name
+	if topo.Validate() == nil {
+		t.Errorf("duplicate name not caught")
+	}
+
+	topo = base()
+	topo.Links = append(topo.Links, Link{A: "R1", B: "R1"})
+	if topo.Validate() == nil {
+		t.Errorf("self link not caught")
+	}
+
+	topo = base()
+	topo.Links = append(topo.Links, Link{A: "R1", B: "Rx"})
+	if topo.Validate() == nil {
+		t.Errorf("unknown endpoint not caught")
+	}
+
+	topo = base()
+	topo.Links = append(topo.Links, Link{A: "R2", B: "R1"})
+	if topo.Validate() == nil {
+		t.Errorf("duplicate link not caught")
+	}
+
+	topo = base()
+	topo.Links[0].Loss = 1.5
+	if topo.Validate() == nil {
+		t.Errorf("out-of-range loss not caught")
+	}
+
+	topo = base()
+	topo.Nodes[0].RouterID = 0
+	if topo.Validate() == nil {
+		t.Errorf("zero router ID not caught")
+	}
+
+	topo = base()
+	topo.Nodes[0].AS = 0
+	if topo.Validate() == nil {
+		t.Errorf("zero AS not caught")
+	}
+}
+
+// Property: every generated Gao–Rexford topology validates, is connected, and
+// assigns unique prefixes.
+func TestQuickGaoRexfordAlwaysValid(t *testing.T) {
+	f := func(seed int64, t2, t3 uint8) bool {
+		topo := GaoRexford(3, int(t2%8), int(t3%12), seed)
+		if topo.Validate() != nil || !topo.Connected() {
+			return false
+		}
+		seen := make(map[bgp.Prefix]bool)
+		for _, n := range topo.Nodes {
+			for _, p := range n.Prefixes {
+				if seen[p] {
+					return false
+				}
+				seen[p] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
