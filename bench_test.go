@@ -10,12 +10,15 @@ package dice
 // and prints the paper-style rows.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/concolic"
+	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/fuzz"
 	"github.com/dice-project/dice/internal/topology"
 )
@@ -187,6 +190,49 @@ func BenchmarkE7NarrowInterface(b *testing.B) {
 		}
 	}
 }
+
+// benchCampaignDemo27 runs a multi-explorer campaign over the 27-router demo
+// with a fixed input budget and the given worker-pool size. Comparing the
+// workers=1 and workers=NumCPU variants demonstrates the parallel speedup of
+// clone execution (the campaign's hot path): the same budget, the same
+// detections, divided across the pool.
+func benchCampaignDemo27(b *testing.B, workers int) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed:           1,
+		ConfigOverride: faults.ApplyConfigFaults(faults.MisOrigination{Router: "R12", Prefix: victim}),
+		MaxEvents:      300000,
+	}
+	live := cluster.MustBuild(topo, copts)
+	live.Converge()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		campaign := NewCampaign(live, topo,
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: 54}),
+			WithFuzzSeeds(2),
+			WithSeed(1),
+			WithClusterOptions(copts),
+			WithWorkers(workers))
+		res, err := campaign.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.InputsExplored == 0 || len(res.Detections) == 0 {
+			b.Fatalf("campaign found nothing: %d inputs, %d detections", res.InputsExplored, len(res.Detections))
+		}
+	}
+}
+
+// BenchmarkE8CampaignSerial is the 27-unit campaign with serial clone
+// execution (the pre-Campaign baseline behaviour).
+func BenchmarkE8CampaignSerial(b *testing.B) { benchCampaignDemo27(b, 1) }
+
+// BenchmarkE8CampaignParallel is the same campaign with one worker per CPU;
+// on multi-core hardware it should approach a NumCPU-fold speedup since each
+// worker restores and drives its own snapshot clone.
+func BenchmarkE8CampaignParallel(b *testing.B) { benchCampaignDemo27(b, runtime.NumCPU()) }
 
 // BenchmarkUpdateCodec measures the raw wire-format cost that everything else
 // sits on top of (ancillary micro-benchmark).

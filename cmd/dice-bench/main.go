@@ -1,6 +1,8 @@
 // Command dice-bench regenerates the paper's evaluation artifacts. Each
-// experiment (e1..e7, see DESIGN.md and EXPERIMENTS.md) can be run
+// experiment (e1..e8, see DESIGN.md and EXPERIMENTS.md) can be run
 // individually or all together; -quick shrinks budgets for a fast smoke run.
+// e8 is the campaign-scaling experiment: the same multi-explorer campaign
+// executed serially and on a full worker pool.
 package main
 
 import (
@@ -13,7 +15,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e7 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
@@ -69,6 +71,10 @@ func main() {
 	if run("e7") {
 		res, err := dice.RunE7(cfg)
 		report("E7", res, err)
+	}
+	if run("e8") {
+		res, err := dice.RunE8(cfg)
+		report("E8", res, err)
 	}
 	if failed {
 		os.Exit(1)

@@ -1,13 +1,16 @@
-// Command dice-demo reproduces the paper's demo (Figure 1) as a textual
+// Command dice-demo reproduces the paper's demo (Figure 1) as a live textual
 // report: it deploys 27 emulated BGP routers under Internet-like conditions,
-// plants one fault of each class, runs one DiCE exploration round, and prints
-// what was detected and at what cost.
+// plants one fault of each class, runs a multi-explorer DiCE campaign on a
+// parallel worker pool, and streams each detection as exploration finds it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	dice "github.com/dice-project/dice"
 )
@@ -15,12 +18,20 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use reduced exploration budgets")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel clone executions")
+	campaignMode := flag.Bool("campaign", false, "explore every router of the demo, not just R1")
+	timeout := flag.Duration("timeout", 0, "optional campaign deadline (e.g. 30s)")
 	flag.Parse()
 
 	fmt.Println("DiCE demo: online testing of a federated 27-router BGP deployment")
 	fmt.Println("faults planted: mis-origination (R12), missing import filter (R1<-R4),")
 	fmt.Println("                dispute wheel (R1,R2,R3), community-triggered crash (R1)")
 	fmt.Println()
+
+	if *campaignMode {
+		runCampaign(*quick, *seed, *workers, *timeout)
+		return
+	}
 
 	res, err := dice.RunE1(dice.ExperimentConfig{Quick: *quick, Seed: *seed})
 	if err != nil {
@@ -37,5 +48,68 @@ func main() {
 	fmt.Println("fault classes detected this round:")
 	for class := range res.DetectedClasses {
 		fmt.Printf("  - %s\n", class)
+	}
+}
+
+// runCampaign deploys the demo with the same fault set and explores every
+// router in one campaign, streaming detections as they are found.
+func runCampaign(quick bool, seed int64, workers int, timeout time.Duration) {
+	topo := dice.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	opts := dice.DeployOptions{
+		Seed: seed,
+		ConfigOverride: dice.ApplyConfigFaults(
+			dice.MisOrigination{Router: "R12", Prefix: victim},
+			dice.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	deployment, err := dice.Deploy(topo, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deploy failed: %v\n", err)
+		os.Exit(1)
+	}
+	deployment.Converge()
+
+	budget := dice.Budget{TotalInputs: 216, MaxDuration: timeout}
+	if quick {
+		budget.TotalInputs = 54
+	}
+	campaign := dice.NewCampaign(deployment, topo,
+		dice.WithStrategy(dice.AllNodesStrategy{}),
+		dice.WithBudget(budget),
+		dice.WithSeed(seed),
+		dice.WithClusterOptions(opts),
+		dice.WithWorkers(workers))
+	events := campaign.Events()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			switch ev.Kind {
+			case dice.EventCampaignStart, dice.EventDetection, dice.EventCampaignEnd:
+				fmt.Println(ev)
+			}
+		}
+	}()
+
+	res, err := campaign.Run(context.Background())
+	<-done
+	if err != nil && (res == nil || !res.Cancelled) {
+		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Printf("campaign (%s strategy, %d workers): %d units, %d inputs in %v\n",
+		res.Strategy, res.Workers, len(res.Units), res.InputsExplored, res.Duration.Round(time.Millisecond))
+	byClass := res.DetectionsByClass()
+	for _, class := range []dice.FaultClass{dice.OperatorMistake, dice.PolicyConflict, dice.ProgrammingError} {
+		if ds := byClass[class]; len(ds) > 0 {
+			fmt.Printf("  detected %-18s %d violations\n", class.String()+":", len(ds))
+		}
+	}
+	if len(res.Detections) == 0 {
+		fmt.Println("no faults detected — increase the input budget")
+		os.Exit(1)
 	}
 }

@@ -13,19 +13,22 @@
 //     deterministic virtual-time network (package internal/netem).
 //   - Faults (package internal/faults) plant the paper's three fault
 //     classes: operator mistakes, policy conflicts, programming errors.
-//   - The Engine (package internal/dice) runs the DiCE workflow: consistent
-//     snapshot, concolic + grammar-fuzzed exploration of cloned snapshots,
-//     and property checking over a narrow information-sharing interface
-//     (package internal/checker).
+//   - The Campaign (package internal/dice) runs the DiCE workflow online: a
+//     Strategy plans (explorer, peer) exploration units, a worker pool
+//     executes concolic + grammar-fuzzed exploration of cloned snapshots in
+//     parallel, detections stream out as events, and property checking goes
+//     through a narrow information-sharing interface (package
+//     internal/checker). The legacy Engine remains as a one-round shim.
 //
-// The Experiments type (experiments.go) regenerates every evaluation artifact
-// described in the paper; see EXPERIMENTS.md for the mapping.
+// The experiment harness (experiments.go) regenerates every evaluation
+// artifact described in the paper; see EXPERIMENTS.md for the mapping.
 package dice
 
 import (
 	"time"
 
 	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
@@ -60,13 +63,95 @@ func Deploy(topo *Topology, opts DeployOptions) (*Deployment, error) {
 	return cluster.Build(topo, opts)
 }
 
-// Engine drives DiCE exploration rounds against a deployment.
+// Campaign API — the primary way to run DiCE. A campaign plans exploration
+// units via a Strategy, executes their clone runs in parallel on a worker
+// pool, honors context cancellation, and streams detections while running.
+type (
+	// Campaign orchestrates online exploration of a deployment.
+	Campaign = dice.Campaign
+	// CampaignOption configures a Campaign at construction.
+	CampaignOption = dice.CampaignOption
+	// CampaignResult aggregates a finished (or cancelled) campaign.
+	CampaignResult = dice.CampaignResult
+	// Budget bounds a campaign's total inputs and wall-clock duration.
+	Budget = dice.Budget
+	// Strategy plans the (explorer, peer) units a campaign runs.
+	Strategy = dice.Strategy
+	// Unit is one schedulable (explorer, peer) piece of exploration work.
+	Unit = dice.Unit
+	// Event is one streamed campaign occurrence.
+	Event = dice.Event
+	// EventKind discriminates streamed campaign events.
+	EventKind = dice.EventKind
+)
+
+// Campaign construction options.
+var (
+	// WithExplorers sets the explorer node set the strategy plans over.
+	WithExplorers = dice.WithExplorers
+	// WithStrategy sets the planning strategy (degree-based by default).
+	WithStrategy = dice.WithStrategy
+	// WithUnits pins the exact (explorer, peer) units, bypassing planning.
+	WithUnits = dice.WithUnits
+	// WithWorkers bounds how many clone executions run in parallel.
+	WithWorkers = dice.WithWorkers
+	// WithBudget bounds total inputs and wall-clock duration.
+	WithBudget = dice.WithBudget
+	// WithSeed sets the campaign seed (per-unit seeds derive from it).
+	WithSeed = dice.WithSeed
+	// WithFuzzSeeds sets the grammar-fuzzed seed corpus size per unit.
+	WithFuzzSeeds = dice.WithFuzzSeeds
+	// WithConcolic toggles concolic input derivation (on by default).
+	WithConcolic = dice.WithConcolic
+	// WithProperties sets the checked properties.
+	WithProperties = dice.WithProperties
+	// WithCodeFaults installs code faults on every shadow clone.
+	WithCodeFaults = dice.WithCodeFaults
+	// WithClusterOptions sets the options for restored shadow clusters.
+	WithClusterOptions = dice.WithClusterOptions
+	// WithShadowMaxEvents bounds each clone run.
+	WithShadowMaxEvents = dice.WithShadowMaxEvents
+	// WithEventBuffer sets the Events channel buffer.
+	WithEventBuffer = dice.WithEventBuffer
+	// WithOnEvent registers a synchronous event callback.
+	WithOnEvent = dice.WithOnEvent
+)
+
+// Exploration strategies.
+type (
+	// DegreeStrategy explores from the highest-degree router(s).
+	DegreeStrategy = dice.DegreeStrategy
+	// RoundRobinStrategy cycles explorers and their peers over a fixed
+	// number of units.
+	RoundRobinStrategy = dice.RoundRobinStrategy
+	// AllNodesStrategy explores every router of the topology.
+	AllNodesStrategy = dice.AllNodesStrategy
+)
+
+// Event kinds streamed by Campaign.Events.
+const (
+	EventCampaignStart = dice.EventCampaignStart
+	EventSnapshot      = dice.EventSnapshot
+	EventUnitStart     = dice.EventUnitStart
+	EventDetection     = dice.EventDetection
+	EventUnitEnd       = dice.EventUnitEnd
+	EventCampaignEnd   = dice.EventCampaignEnd
+)
+
+// NewCampaign returns a campaign over the deployed cluster. Subscribe with
+// Events, then call Run(ctx) once; detections stream before Run returns.
+func NewCampaign(live *Deployment, topo *Topology, opts ...CampaignOption) *Campaign {
+	return dice.NewCampaign(live, topo, opts...)
+}
+
+// Engine drives DiCE exploration rounds against a deployment. It is the
+// legacy single-round API, now a thin shim over a single-unit Campaign.
 type Engine = dice.Engine
 
 // EngineOptions configure an exploration round.
 type EngineOptions = dice.Options
 
-// Result is the outcome of an exploration round.
+// Result is the outcome of one exploration unit (or one legacy round).
 type Result = dice.Result
 
 // Detection is one detected fault.
@@ -136,6 +221,15 @@ type MissingImportFilter = faults.MissingImportFilter
 // DisputeWheel is the policy-conflict fault.
 type DisputeWheel = faults.DisputeWheel
 
+// Snapshot is a consistent cut of a deployment: per-node checkpoints plus
+// the in-flight channel state.
+type Snapshot = checkpoint.Snapshot
+
+// EncodeSnapshot serializes a snapshot (re-exported from
+// internal/checkpoint); the experiments report its length as the snapshot
+// footprint.
+func EncodeSnapshot(s *Snapshot) ([]byte, error) { return checkpoint.Encode(s) }
+
 // Convenience wrappers.
 
 // ConvergeAndSnapshotSize converges a deployment and returns how long the
@@ -145,7 +239,7 @@ func ConvergeAndSnapshotSize(d *Deployment) (time.Duration, int, error) {
 	start := time.Now()
 	snap := d.Snapshot()
 	elapsed := time.Since(start)
-	data, err := encodeSnapshot(snap)
+	data, err := EncodeSnapshot(snap)
 	if err != nil {
 		return 0, 0, err
 	}

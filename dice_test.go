@@ -1,6 +1,7 @@
 package dice
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,70 @@ func TestFacadeEngineDetectsHijack(t *testing.T) {
 	}
 	if !res.Detected(OperatorMistake) {
 		t.Fatalf("hijack not detected through the public API")
+	}
+}
+
+func TestFacadeCampaignStreamsDetections(t *testing.T) {
+	topo := Line(3)
+	victim := topo.Nodes[0].Prefixes[0]
+	opts := DeployOptions{Seed: 1, ConfigOverride: ApplyConfigFaults(MisOrigination{Router: "R3", Prefix: victim})}
+	d, err := Deploy(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Converge()
+
+	campaign := NewCampaign(d, topo,
+		WithStrategy(AllNodesStrategy{}),
+		WithBudget(Budget{TotalInputs: 12}),
+		WithSeed(1),
+		WithClusterOptions(opts),
+		WithWorkers(2))
+	events := campaign.Events()
+	streamed := make(chan int, 1)
+	go func() {
+		n := 0
+		for ev := range events {
+			if ev.Kind == EventDetection {
+				n++
+			}
+		}
+		streamed <- n
+	}()
+	res, err := campaign.Run(context.Background())
+	if err != nil {
+		t.Fatalf("campaign Run: %v", err)
+	}
+	if !res.Detected(OperatorMistake) {
+		t.Fatalf("hijack not detected through the campaign API")
+	}
+	if n := <-streamed; n == 0 || n != len(res.Detections) {
+		t.Errorf("streamed %d detection events, want %d (one per merged detection)", n, len(res.Detections))
+	}
+	if res.Strategy != "all-nodes" || len(res.Units) != 3 {
+		t.Errorf("campaign plan wrong: strategy=%s units=%d", res.Strategy, len(res.Units))
+	}
+}
+
+func TestRunE8Quick(t *testing.T) {
+	res, err := RunE8(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE8: %v", err)
+	}
+	if res.Routers != 27 || res.Units != 27 {
+		t.Errorf("E8 should sweep all 27 routers: %+v", res)
+	}
+	if !res.SameDetections {
+		t.Errorf("serial and parallel campaigns must find the same detections")
+	}
+	if res.SerialDuration <= 0 || res.ParallelDuration <= 0 || res.Speedup <= 0 {
+		t.Errorf("timing accounting missing: %+v", res)
+	}
+	if res.Detections == 0 || res.DetectionsStreamed != res.Detections {
+		t.Errorf("streamed %d detections, merged %d — should match", res.DetectionsStreamed, res.Detections)
+	}
+	if !strings.Contains(res.String(), "campaign scaling") {
+		t.Errorf("report rendering broken")
 	}
 }
 

@@ -2,7 +2,9 @@
 // parser. Starting from one well-formed message, the explorer negates the
 // branch constraints recorded during parsing and synthesizes inputs that
 // drive the parser down its other paths (different attribute types, invalid
-// origins, malformed prefixes, ...).
+// origins, malformed prefixes, ...). This is the same generational search a
+// Campaign runs inside each exploration unit, where every executed input
+// additionally drives an isolated clone of the deployed system.
 package main
 
 import (

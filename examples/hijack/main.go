@@ -1,13 +1,16 @@
 // Hijack: a latent operator mistake on the 27-router Internet-like demo
 // topology. R1 is missing the inbound filter on its session with customer R4,
 // so a hijacked announcement from that session would propagate. The system is
-// currently healthy; DiCE finds the latent mistake by exploring inputs the
-// customer could send, over isolated clones of the live state.
+// currently healthy; a DiCE campaign finds the latent mistake by exploring
+// inputs the customer could send, over isolated clones of the live state, and
+// streams the finding the moment a clone exposes it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	dice "github.com/dice-project/dice"
 )
@@ -34,16 +37,19 @@ func main() {
 	}
 	fmt.Println("deployed system is currently healthy; exploring for latent faults...")
 
-	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
-		Explorer:       "R1",
-		FromPeer:       "R4",
-		MaxInputs:      48,
-		FuzzSeeds:      12,
-		UseConcolic:    true,
-		Seed:           7,
-		ClusterOptions: opts,
-	})
-	result, err := engine.Run()
+	// Pin the suspect session explicitly; the worker pool parallelizes the
+	// clone executions.
+	campaign := dice.NewCampaign(deployment, topo,
+		dice.WithUnits(dice.Unit{Explorer: "R1", FromPeer: "R4", MaxInputs: 48, FuzzSeeds: 12, Seed: 7}),
+		dice.WithSeed(7),
+		dice.WithClusterOptions(opts),
+		dice.WithWorkers(runtime.NumCPU()),
+		dice.WithOnEvent(func(ev dice.Event) {
+			if ev.Kind == dice.EventDetection {
+				fmt.Printf("  [streamed %v] %s\n", ev.Elapsed, ev.Detection.Violation)
+			}
+		}))
+	result, err := campaign.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,16 @@
 // Policy conflict: three autonomous systems in a ring each prefer the route
 // through their clockwise neighbor (a dispute wheel / BAD GADGET). The
-// deployed system happens to be stable, but DiCE's exploration of withdrawals
-// and route-preference flips over cloned snapshots exposes the oscillation.
+// deployed system happens to be stable, but a DiCE campaign's exploration of
+// withdrawals and route-preference flips over cloned snapshots exposes the
+// oscillation. The campaign honors a wall-clock budget: exploration gives up
+// cleanly if the oscillation stays hidden for too long.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	dice "github.com/dice-project/dice"
 	"github.com/dice-project/dice/internal/checker"
@@ -30,22 +34,18 @@ func main() {
 	deployment.Converge()
 	fmt.Printf("deployed ring converged; contested prefix is %s\n", contested)
 
-	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
-		Explorer:    "R2",
-		FromPeer:    "R1",
-		MaxInputs:   32,
-		FuzzSeeds:   8,
-		UseConcolic: true,
-		Seed:        5,
-		Properties: []dice.Property{
+	campaign := dice.NewCampaign(deployment, topo,
+		dice.WithUnits(dice.Unit{Explorer: "R2", FromPeer: "R1", MaxInputs: 32, FuzzSeeds: 8, Seed: 5}),
+		dice.WithSeed(5),
+		dice.WithBudget(dice.Budget{MaxDuration: 30 * time.Second}),
+		dice.WithProperties(
 			checker.Convergence{MaxChangesPerPrefix: 6},
 			checker.NodeHealth{},
-		},
-		ClusterOptions:  opts,
-		ShadowMaxEvents: 30000,
-	})
-	result, err := engine.Run()
-	if err != nil {
+		),
+		dice.WithClusterOptions(opts),
+		dice.WithShadowMaxEvents(30000))
+	result, err := campaign.Run(context.Background())
+	if err != nil && (result == nil || !result.Cancelled) {
 		log.Fatal(err)
 	}
 	if d := result.FirstDetection(dice.PolicyConflict); d != nil {

@@ -1,11 +1,12 @@
 // Programming error: the UPDATE handler of router R2 crashes whenever a
 // message carries community 65001:666 — a narrow input condition hidden deep
-// in handler code. Concolic exploration of the handler synthesizes exactly
-// that input and the crash shows up as a node-health violation on the clone,
-// never on the deployed node.
+// in handler code. A DiCE campaign's concolic exploration of the handler
+// synthesizes exactly that input and the crash shows up as a node-health
+// violation on the clone, never on the deployed node.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,17 +26,12 @@ func main() {
 	dice.InstallCodeFaults(deployment.Routers, bug)
 	deployment.Converge()
 
-	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
-		Explorer:       "R2",
-		FromPeer:       "R1",
-		MaxInputs:      96,
-		FuzzSeeds:      8,
-		UseConcolic:    true,
-		Seed:           7,
-		CodeFaults:     []dice.CodeFault{bug},
-		ClusterOptions: opts,
-	})
-	result, err := engine.Run()
+	campaign := dice.NewCampaign(deployment, topo,
+		dice.WithUnits(dice.Unit{Explorer: "R2", FromPeer: "R1", MaxInputs: 96, FuzzSeeds: 8, Seed: 7}),
+		dice.WithSeed(7),
+		dice.WithCodeFaults(bug),
+		dice.WithClusterOptions(opts))
+	result, err := campaign.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 // Quickstart: deploy three emulated BGP routers, plant a prefix hijack
-// (operator mistake), and let one DiCE exploration round detect it.
+// (operator mistake), and let a DiCE campaign detect it — streaming the
+// detection the moment exploration finds it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,15 +28,26 @@ func main() {
 	}
 	deployment.Converge()
 
-	// One DiCE round: snapshot, explore inputs over isolated clones, check.
-	engine := dice.NewEngine(deployment, topo, dice.EngineOptions{
-		Explorer:       "R2",
-		MaxInputs:      16,
-		UseConcolic:    true,
-		Seed:           1,
-		ClusterOptions: opts,
-	})
-	result, err := engine.Run()
+	// A campaign: snapshot once, explore inputs over isolated clones in
+	// parallel, check properties, stream detections.
+	campaign := dice.NewCampaign(deployment, topo,
+		dice.WithExplorers("R2"),
+		dice.WithBudget(dice.Budget{TotalInputs: 16}),
+		dice.WithSeed(1),
+		dice.WithClusterOptions(opts))
+	events := campaign.Events()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range events {
+			if ev.Kind == dice.EventDetection {
+				fmt.Printf("streamed after %v: %s\n", ev.Elapsed, ev.Detection.Violation)
+			}
+		}
+	}()
+
+	result, err := campaign.Run(context.Background())
+	<-drained // Run closed the channel; wait for the last streamed lines
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,8 +1,12 @@
 package dice
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/dice-project/dice/internal/bgp"
@@ -15,8 +19,6 @@ import (
 	"github.com/dice-project/dice/internal/fuzz"
 	"github.com/dice-project/dice/internal/topology"
 )
-
-func encodeSnapshot(s *checkpoint.Snapshot) ([]byte, error) { return checkpoint.Encode(s) }
 
 // ExperimentConfig controls the experiment harness. Quick mode shrinks
 // budgets so the whole suite runs in seconds (used by unit tests and CI);
@@ -77,21 +79,25 @@ func RunE1(cfg ExperimentConfig) (*E1Result, error) {
 	faults.InstallCodeFaults(live.Routers, bug)
 	events := live.Converge()
 
-	eng := dice.New(live, topo, dice.Options{
-		Explorer:        "R1",
-		FromPeer:        "R4",
-		MaxInputs:       cfg.inputs(48, 10),
-		FuzzSeeds:       cfg.inputs(10, 4),
-		UseConcolic:     true,
-		Seed:            cfg.Seed,
-		CodeFaults:      []faults.CodeFault{bug},
-		ClusterOptions:  copts,
-		ShadowMaxEvents: 60000,
-	})
-	res, err := eng.Run()
+	campaign := NewCampaign(live, topo,
+		WithUnits(Unit{
+			Explorer:  "R1",
+			FromPeer:  "R4",
+			MaxInputs: cfg.inputs(48, 10),
+			FuzzSeeds: cfg.inputs(10, 4),
+			Seed:      cfg.Seed,
+		}),
+		WithSeed(cfg.Seed),
+		WithCodeFaults(bug),
+		WithClusterOptions(copts),
+		WithShadowMaxEvents(60000),
+		WithWorkers(1))
+	cres, err := campaign.Run(context.Background())
 	if err != nil {
 		return nil, err
 	}
+	res := cres.Units[0]
+	res.Duration = cres.Duration
 
 	out := &E1Result{
 		Routers:           len(topo.Nodes),
@@ -689,5 +695,115 @@ func (r *E7Result) String() string {
 	fmt.Fprintf(&b, "  full-state sharing             %d bytes\n", r.FullStateBytes)
 	fmt.Fprintf(&b, "  reduction factor               %.1fx\n", r.ReductionFactor)
 	fmt.Fprintf(&b, "  hijack detected either way     %v\n", r.BothDetectHijack)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E8 — campaign scaling: a multi-explorer campaign over the 27-router demo,
+// serial vs parallel clone execution with the same input budget. The clone
+// executions are embarrassingly parallel (each worker restores its own
+// snapshot clone), so the campaign should scale with the worker pool while
+// finding exactly the same detections.
+// ---------------------------------------------------------------------------
+
+// E8Result compares serial and parallel execution of the same campaign.
+type E8Result struct {
+	Routers            int
+	Units              int
+	TotalInputs        int
+	Workers            int
+	SerialDuration     time.Duration
+	ParallelDuration   time.Duration
+	Speedup            float64
+	SameDetections     bool
+	Detections         int
+	DetectionsStreamed int
+}
+
+// RunE8 runs the same multi-explorer campaign twice — WithWorkers(1) and
+// WithWorkers(runtime.NumCPU()) — and compares wall clock and detections.
+func RunE8(cfg ExperimentConfig) (*E8Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed: cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(
+			faults.MisOrigination{Router: "R12", Prefix: victim},
+			faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	live.Converge()
+
+	totalInputs := cfg.inputs(216, 54)
+	out := &E8Result{
+		Routers:     len(topo.Nodes),
+		TotalInputs: totalInputs,
+		Workers:     runtime.NumCPU(),
+	}
+
+	run := func(workers int) (time.Duration, *CampaignResult, int, error) {
+		var streamed atomic.Int64
+		campaign := NewCampaign(live, topo,
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: totalInputs}),
+			WithFuzzSeeds(cfg.inputs(8, 2)),
+			WithSeed(cfg.Seed),
+			WithClusterOptions(copts),
+			WithWorkers(workers),
+			WithOnEvent(func(ev Event) {
+				if ev.Kind == EventDetection {
+					streamed.Add(1)
+				}
+			}))
+		start := time.Now()
+		res, err := campaign.Run(context.Background())
+		return time.Since(start), res, int(streamed.Load()), err
+	}
+
+	serialDur, serialRes, _, err := run(1)
+	if err != nil {
+		return nil, err
+	}
+	parallelDur, parallelRes, streamed, err := run(out.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	keys := func(r *CampaignResult) string {
+		ks := make([]string, 0, len(r.Detections))
+		for _, d := range r.Detections {
+			ks = append(ks, d.Violation.Key())
+		}
+		sort.Strings(ks)
+		return strings.Join(ks, ";")
+	}
+	out.Units = len(serialRes.Units)
+	out.SerialDuration = serialDur
+	out.ParallelDuration = parallelDur
+	if parallelDur > 0 {
+		out.Speedup = float64(serialDur) / float64(parallelDur)
+	}
+	out.SameDetections = keys(serialRes) == keys(parallelRes)
+	out.Detections = len(parallelRes.Detections)
+	out.DetectionsStreamed = streamed
+	return out, nil
+}
+
+// String renders the scaling report.
+func (r *E8Result) String() string {
+	var b strings.Builder
+	b.WriteString("E8 (campaign scaling, serial vs parallel):\n")
+	fmt.Fprintf(&b, "  topology                  %d routers, %d exploration units\n", r.Routers, r.Units)
+	fmt.Fprintf(&b, "  input budget              %d clone executions per run\n", r.TotalInputs)
+	fmt.Fprintf(&b, "  serial   (1 worker)       %v\n", r.SerialDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  parallel (%d workers)      %v\n", r.Workers, r.ParallelDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  speedup                   %.2fx\n", r.Speedup)
+	fmt.Fprintf(&b, "  detections                %d (streamed %d, identical across runs: %v)\n",
+		r.Detections, r.DetectionsStreamed, r.SameDetections)
 	return b.String()
 }

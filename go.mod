@@ -1,0 +1,3 @@
+module github.com/dice-project/dice
+
+go 1.24

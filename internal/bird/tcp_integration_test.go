@@ -39,24 +39,44 @@ func TestRoutersConvergeOverTCP(t *testing.T) {
 	}
 	defer runner.Stop()
 
+	// Routers assume the emulator's single-threaded callback semantics, so
+	// all state reads go through Inspect, serialized on each node's worker.
+	inspect := func(r *Router, fn func()) {
+		if !runner.Inspect(r.ID(), fn) {
+			t.Fatalf("runner stopped before inspection of %s", r.ID())
+		}
+	}
+	var r1Learned, r2Learned bool
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if r1.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) != nil &&
-			r2.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) != nil {
+		inspect(r1, func() { r1Learned = r1.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) != nil })
+		inspect(r2, func() { r2Learned = r2.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) != nil })
+		if r1Learned && r2Learned {
 			break
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	if r1.SessionState("B") != StateEstablished || r2.SessionState("A") != StateEstablished {
-		t.Fatalf("sessions did not establish over TCP: %v / %v", r1.SessionState("B"), r2.SessionState("A"))
+	var s1, s2 SessionState
+	var invariants []string
+	inspect(r1, func() {
+		s1 = r1.SessionState("B")
+		r1Learned = r1.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) != nil
+		invariants = r1.CheckInvariants()
+	})
+	inspect(r2, func() {
+		s2 = r2.SessionState("A")
+		r2Learned = r2.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) != nil
+	})
+	if s1 != StateEstablished || s2 != StateEstablished {
+		t.Fatalf("sessions did not establish over TCP: %v / %v", s1, s2)
 	}
-	if r1.LocRIB().Best(bgp.MustParsePrefix("10.2.0.0/16")) == nil {
+	if !r1Learned {
 		t.Errorf("A did not learn B's prefix over TCP")
 	}
-	if r2.LocRIB().Best(bgp.MustParsePrefix("10.1.0.0/16")) == nil {
+	if !r2Learned {
 		t.Errorf("B did not learn A's prefix over TCP")
 	}
-	if v := r1.CheckInvariants(); len(v) != 0 {
-		t.Errorf("invariant violations over TCP transport: %v", v)
+	if len(invariants) != 0 {
+		t.Errorf("invariant violations over TCP transport: %v", invariants)
 	}
 }

@@ -174,10 +174,18 @@ var ErrNoSeeds = errors.New("concolic: exploration started with no seed inputs")
 // Run executes candidates until the frontier is empty or the execution budget
 // is exhausted, and returns a report.
 func (e *Explorer) Run() (*Report, error) {
+	return e.RunWhile(func() bool { return true })
+}
+
+// RunWhile is Run with a continuation predicate checked before every
+// execution. The DiCE orchestrator uses it to honor context cancellation
+// mid-exploration; the report covers whatever executed before the predicate
+// turned false.
+func (e *Explorer) RunWhile(keepGoing func() bool) (*Report, error) {
 	if len(e.queue) == 0 {
 		return nil, ErrNoSeeds
 	}
-	for e.stats.Executions < e.opts.MaxExecutions {
+	for e.stats.Executions < e.opts.MaxExecutions && keepGoing() {
 		c := e.dequeue()
 		if c == nil {
 			break

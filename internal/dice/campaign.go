@@ -1,0 +1,472 @@
+package dice
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// Budget bounds a campaign.
+type Budget struct {
+	// TotalInputs bounds clone executions across the whole campaign. Units
+	// that pin their own MaxInputs keep it; the rest of the budget (total
+	// minus the pinned inputs) is split evenly across the remaining units
+	// (remainder to the first ones, minimum one input per unit). Zero gives
+	// every unpinned unit the classic per-round default of 64 inputs.
+	TotalInputs int
+	// MaxDuration bounds the campaign wall clock; Run derives a deadline
+	// context from it. Zero means no time limit.
+	MaxDuration time.Duration
+}
+
+// campaignConfig is the resolved option set of a campaign.
+type campaignConfig struct {
+	explorers       []string
+	strategy        Strategy
+	workers         int
+	budget          Budget
+	seed            int64
+	fuzzSeeds       int
+	useConcolic     bool
+	properties      []checker.Property
+	codeFaults      []faults.CodeFault
+	clusterOptions  cluster.Options
+	shadowMaxEvents int
+	eventBuffer     int
+	onEvent         func(Event)
+}
+
+func defaultCampaignConfig() campaignConfig {
+	return campaignConfig{
+		strategy:        DegreeStrategy{},
+		workers:         runtime.NumCPU(),
+		fuzzSeeds:       8,
+		useConcolic:     true,
+		shadowMaxEvents: 20000,
+		eventBuffer:     256,
+	}
+}
+
+// CampaignOption configures a Campaign at construction.
+type CampaignOption func(*campaignConfig)
+
+// WithExplorers sets the explorer node set the strategy plans over. Without
+// it, the strategy picks its own default (usually the highest-degree router).
+func WithExplorers(names ...string) CampaignOption {
+	return func(c *campaignConfig) { c.explorers = append([]string(nil), names...) }
+}
+
+// WithStrategy sets the planning strategy (DegreeStrategy is the default).
+func WithStrategy(s Strategy) CampaignOption {
+	return func(c *campaignConfig) {
+		if s != nil {
+			c.strategy = s
+		}
+	}
+}
+
+// WithUnits pins the exact (explorer, peer) units to run, bypassing strategy
+// planning. A unit with an empty FromPeer gets the explorer's first neighbor.
+func WithUnits(units ...Unit) CampaignOption {
+	return func(c *campaignConfig) { c.strategy = fixedStrategy{units: units} }
+}
+
+// WithWorkers bounds how many clone executions run in parallel. Zero or
+// negative selects runtime.NumCPU(). Campaign results are deterministic in
+// the worker count: WithWorkers(1) and WithWorkers(n) find the same
+// detections.
+func WithWorkers(n int) CampaignOption {
+	return func(c *campaignConfig) {
+		if n <= 0 {
+			n = runtime.NumCPU()
+		}
+		c.workers = n
+	}
+}
+
+// WithBudget bounds the campaign's total inputs and wall-clock duration.
+func WithBudget(b Budget) CampaignOption {
+	return func(c *campaignConfig) { c.budget = b }
+}
+
+// WithSeed sets the campaign seed. Units that do not pin their own seed get
+// a per-unit seed derived from it and their plan index, so distinct units
+// explore distinct corners of the input space while staying reproducible.
+func WithSeed(seed int64) CampaignOption {
+	return func(c *campaignConfig) { c.seed = seed }
+}
+
+// WithFuzzSeeds sets the default number of grammar-fuzzed seed messages per
+// unit (8 when unset).
+func WithFuzzSeeds(n int) CampaignOption {
+	return func(c *campaignConfig) {
+		if n > 0 {
+			c.fuzzSeeds = n
+		}
+	}
+}
+
+// WithConcolic toggles concolic input derivation. It is on by default;
+// disabling leaves pure grammar-based fuzzing (the ablation in experiment
+// E5), whose fixed corpus additionally fans out in parallel within a unit.
+func WithConcolic(enabled bool) CampaignOption {
+	return func(c *campaignConfig) { c.useConcolic = enabled }
+}
+
+// WithProperties sets the checked properties; unset selects
+// checker.DefaultProperties for the topology. Calling it with no arguments
+// explicitly disables property checking.
+func WithProperties(props ...checker.Property) CampaignOption {
+	return func(c *campaignConfig) { c.properties = append([]checker.Property{}, props...) }
+}
+
+// WithCodeFaults installs the given code faults on every shadow clone
+// (mirroring the faulty binary running on the deployed nodes).
+func WithCodeFaults(fs ...faults.CodeFault) CampaignOption {
+	return func(c *campaignConfig) { c.codeFaults = append([]faults.CodeFault(nil), fs...) }
+}
+
+// WithClusterOptions sets the options used when restoring shadow clusters
+// from the snapshot; they should match the deployed cluster's options.
+func WithClusterOptions(opts cluster.Options) CampaignOption {
+	return func(c *campaignConfig) { c.clusterOptions = opts }
+}
+
+// WithShadowMaxEvents bounds each clone run (20000 when unset).
+func WithShadowMaxEvents(n int) CampaignOption {
+	return func(c *campaignConfig) {
+		if n > 0 {
+			c.shadowMaxEvents = n
+		}
+	}
+}
+
+// WithEventBuffer sets the Events channel buffer (256 when unset). A slow
+// consumer eventually backpressures the campaign once the buffer fills.
+func WithEventBuffer(n int) CampaignOption {
+	return func(c *campaignConfig) {
+		if n > 0 {
+			c.eventBuffer = n
+		}
+	}
+}
+
+// WithOnEvent registers a synchronous event callback, an alternative to the
+// Events channel. The callback runs on worker goroutines and must be fast.
+func WithOnEvent(fn func(Event)) CampaignOption {
+	return func(c *campaignConfig) { c.onEvent = fn }
+}
+
+// snapshotStats records the campaign-level snapshot measurements copied into
+// every per-unit Result.
+type snapshotStats struct {
+	SnapshotDuration time.Duration
+	SnapshotBytes    int
+	SnapshotNodes    int
+	InFlightMessages int
+	FullStateBytes   int
+}
+
+// Campaign orchestrates DiCE exploration of one deployed cluster: a strategy
+// plans (explorer, peer) units, a worker pool executes their clone runs in
+// parallel over one shared consistent snapshot, and detections stream out as
+// they are found. Construct with NewCampaign, subscribe with Events, then
+// call Run once.
+type Campaign struct {
+	live *cluster.Cluster
+	topo *topology.Topology
+	cfg  campaignConfig
+
+	em   emitter
+	pool *pool
+
+	// populated by Run
+	snap      *checkpoint.Snapshot
+	snapStats snapshotStats
+	props     []checker.Property
+
+	// detSeen dedupes streamed detection events campaign-wide: a violation
+	// already reported by another unit is a per-unit result, not news.
+	detMu   sync.Mutex
+	detSeen map[string]bool
+
+	mu      sync.Mutex
+	started bool
+}
+
+// emitDetection streams a detection event unless an equivalent violation was
+// already streamed by any unit of this campaign.
+func (c *Campaign) emitDetection(u Unit, idx int, d *Detection) {
+	c.detMu.Lock()
+	dup := c.detSeen[d.Violation.Key()]
+	if !dup {
+		c.detSeen[d.Violation.Key()] = true
+	}
+	c.detMu.Unlock()
+	if !dup {
+		c.em.emit(Event{Kind: EventDetection, Unit: u, UnitIndex: idx, Detection: d})
+	}
+}
+
+// NewCampaign returns a campaign over the deployed cluster.
+func NewCampaign(live *cluster.Cluster, topo *topology.Topology, opts ...CampaignOption) *Campaign {
+	cfg := defaultCampaignConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Campaign{live: live, topo: topo, cfg: cfg, pool: newPool(cfg.workers), detSeen: make(map[string]bool)}
+	c.em.callback = cfg.onEvent
+	return c
+}
+
+// Events returns the campaign's event stream. Call it before Run and consume
+// until the channel closes (Run closes it on return). Detections arrive as
+// they are found, before Run returns.
+func (c *Campaign) Events() <-chan Event {
+	c.em.mu.Lock()
+	defer c.em.mu.Unlock()
+	if c.em.ch == nil {
+		c.em.ch = make(chan Event, c.cfg.eventBuffer)
+		if c.em.closed {
+			// Run already finished: hand back a closed channel so a ranging
+			// consumer terminates instead of blocking forever.
+			close(c.em.ch)
+		}
+	}
+	return c.em.ch
+}
+
+// ErrCampaignReused is returned when Run is called more than once.
+var ErrCampaignReused = errors.New("dice: campaign already run; construct a new one")
+
+// CampaignResult aggregates a finished (or cancelled) campaign.
+type CampaignResult struct {
+	// Strategy is the planning strategy's name.
+	Strategy string
+	// Workers is the worker-pool size the campaign ran with.
+	Workers int
+
+	// Snapshot measurements of the shared consistent cut.
+	SnapshotDuration time.Duration
+	SnapshotBytes    int
+	SnapshotNodes    int
+	InFlightMessages int
+	// FullStateBytes is what a single full-state exchange would have cost,
+	// for comparison with DisclosedBytes.
+	FullStateBytes int
+
+	// Units holds the per-unit results in plan order (nil entries for units
+	// that failed or never ran). UnitErrors is parallel to Units.
+	Units      []*Result
+	UnitErrors []error
+
+	// Detections is the merged detection list: per-unit detections
+	// deduplicated by violation key, in plan order.
+	Detections []Detection
+
+	InputsExplored int
+	DisclosedBytes int
+	Duration       time.Duration
+	// Cancelled reports that the context ended the campaign early; the
+	// result aggregates whatever completed before that.
+	Cancelled bool
+}
+
+// DetectionsByClass groups the merged detections by fault class.
+func (r *CampaignResult) DetectionsByClass() map[checker.FaultClass][]Detection {
+	out := make(map[checker.FaultClass][]Detection)
+	for _, d := range r.Detections {
+		out[d.Class] = append(out[d.Class], d)
+	}
+	return out
+}
+
+// FirstDetection returns the first merged detection of the class, or nil.
+func (r *CampaignResult) FirstDetection(class checker.FaultClass) *Detection {
+	for i := range r.Detections {
+		if r.Detections[i].Class == class {
+			return &r.Detections[i]
+		}
+	}
+	return nil
+}
+
+// Detected reports whether any fault of the given class was found.
+func (r *CampaignResult) Detected(class checker.FaultClass) bool {
+	return r.FirstDetection(class) != nil
+}
+
+// planUnits asks the strategy for units and fills in budget, fuzz seeds and
+// per-unit seeds.
+func (c *Campaign) planUnits() ([]Unit, error) {
+	units, err := c.cfg.strategy.Plan(c.topo, c.cfg.explorers)
+	if err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		return nil, errors.New("dice: strategy planned no units")
+	}
+	// The budget funds the units that do not pin MaxInputs themselves.
+	unpinned, pinnedInputs := 0, 0
+	for i := range units {
+		if units[i].MaxInputs <= 0 {
+			unpinned++
+		} else {
+			pinnedInputs += units[i].MaxInputs
+		}
+	}
+	per, rem := 0, 0
+	if c.cfg.budget.TotalInputs > 0 && unpinned > 0 {
+		remaining := c.cfg.budget.TotalInputs - pinnedInputs
+		if remaining < unpinned {
+			remaining = unpinned // minimum one input per unit
+		}
+		per = remaining / unpinned
+		rem = remaining % unpinned
+	}
+	nextShare := 0
+	for i := range units {
+		if units[i].MaxInputs <= 0 {
+			n := 64
+			if c.cfg.budget.TotalInputs > 0 {
+				n = per
+				if nextShare < rem {
+					n++
+				}
+				nextShare++
+			}
+			units[i].MaxInputs = n
+		}
+		if units[i].FuzzSeeds <= 0 {
+			units[i].FuzzSeeds = c.cfg.fuzzSeeds
+		}
+		if units[i].Seed == 0 {
+			units[i].Seed = c.cfg.seed + int64(i)*1000003
+		}
+	}
+	return units, nil
+}
+
+// Run executes the campaign: plan units, take one consistent snapshot, fan
+// the units out over the worker pool, stream events, and aggregate. It
+// honors ctx cancellation and deadlines (and Budget.MaxDuration): on early
+// termination it returns the partial result together with the context's
+// error. Run may be called once per campaign.
+func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	if c.topo == nil {
+		return nil, ErrNoTopology
+	}
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return nil, ErrCampaignReused
+	}
+	c.started = true
+	c.mu.Unlock()
+
+	if c.cfg.budget.MaxDuration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.budget.MaxDuration)
+		defer cancel()
+	}
+
+	start := time.Now()
+	c.em.start = start
+	defer c.em.close()
+
+	units, err := c.planUnits()
+	if err != nil {
+		return nil, err
+	}
+	c.em.emit(Event{Kind: EventCampaignStart, Units: len(units), Workers: c.cfg.workers})
+
+	// One consistent cut, shared by every unit: checkpoints are immutable
+	// once taken, so concurrent clone restores need no copies.
+	snapStart := time.Now()
+	c.snap = c.live.Snapshot()
+	c.snapStats = snapshotStats{
+		SnapshotDuration: time.Since(snapStart),
+		SnapshotNodes:    len(c.snap.Nodes),
+		InFlightMessages: len(c.snap.InFlight),
+		FullStateBytes:   checker.FullStateDisclosure(c.live),
+	}
+	if data, err := checkpoint.Encode(c.snap); err == nil {
+		c.snapStats.SnapshotBytes = len(data)
+	}
+	c.props = c.cfg.properties
+	if c.props == nil {
+		c.props = checker.DefaultProperties(c.topo)
+	}
+	c.em.emit(Event{Kind: EventSnapshot})
+
+	results := make([]*Result, len(units))
+	unitErrs := make([]error, len(units))
+	var wg sync.WaitGroup
+	for i := range units {
+		wg.Add(1)
+		go func(i int, u Unit) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				unitErrs[i] = ctx.Err()
+				return
+			}
+			c.em.emit(Event{Kind: EventUnitStart, Unit: u, UnitIndex: i})
+			r, err := c.runUnit(ctx, i, u)
+			results[i], unitErrs[i] = r, err
+			c.em.emit(Event{Kind: EventUnitEnd, Unit: u, UnitIndex: i, Result: r, Err: err})
+		}(i, units[i])
+	}
+	wg.Wait()
+
+	res := &CampaignResult{
+		Strategy:         c.cfg.strategy.Name(),
+		Workers:          c.cfg.workers,
+		SnapshotDuration: c.snapStats.SnapshotDuration,
+		SnapshotBytes:    c.snapStats.SnapshotBytes,
+		SnapshotNodes:    c.snapStats.SnapshotNodes,
+		InFlightMessages: c.snapStats.InFlightMessages,
+		FullStateBytes:   c.snapStats.FullStateBytes,
+		Units:            results,
+		UnitErrors:       unitErrs,
+		Cancelled:        ctx.Err() != nil,
+	}
+	seen := make(map[string]bool)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		res.InputsExplored += r.InputsExplored
+		res.DisclosedBytes += r.DisclosedBytes
+		for _, d := range r.Detections {
+			if seen[d.Violation.Key()] {
+				continue
+			}
+			seen[d.Violation.Key()] = true
+			res.Detections = append(res.Detections, d)
+		}
+	}
+	res.Duration = time.Since(start)
+	c.em.emit(Event{Kind: EventCampaignEnd})
+
+	var hard []error
+	for _, e := range unitErrs {
+		if e != nil && !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			hard = append(hard, e)
+		}
+	}
+	if err := errors.Join(hard...); err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

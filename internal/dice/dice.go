@@ -1,37 +1,45 @@
 // Package dice implements the DiCE orchestrator — the paper's core
-// contribution. An Engine runs the workflow of Figure 2 against a deployed
-// (emulated) cluster:
+// contribution. A Campaign runs the workflow of Figure 2 against a deployed
+// (emulated) cluster, continuously and in parallel:
 //
-//  1. choose an explorer node and trigger creation of a consistent shadow
-//     snapshot made of lightweight per-node checkpoints plus channel state;
-//  2. orchestrate exploration: subject the explorer node, in isolated clones
-//     of the snapshot, to many possible inputs — grammar-fuzzed BGP UPDATEs
-//     refined by concolic execution over the node's message handler, policy
-//     interpreter and route-selection condition;
-//  3. check properties of the explored system state through the narrow
-//     information-sharing interface and report the faults found, classified
-//     as operator mistakes, policy conflicts or programming errors.
+//  1. a Strategy plans exploration units — (explorer, peer) pairs whose
+//     behaviour is explored — and the campaign triggers creation of one
+//     consistent shadow snapshot made of lightweight per-node checkpoints
+//     plus channel state;
+//  2. a worker pool orchestrates exploration: each unit subjects its
+//     explorer node, in isolated clones of the snapshot, to many possible
+//     inputs — grammar-fuzzed BGP UPDATEs refined by concolic execution over
+//     the node's message handler, policy interpreter and route-selection
+//     condition. Clone executions are embarrassingly parallel: every worker
+//     restores its own clone;
+//  3. properties of the explored system state are checked through the narrow
+//     information-sharing interface, and detections stream out on the
+//     campaign's event channel as they are found, classified as operator
+//     mistakes, policy conflicts or programming errors.
 //
 // Exploration runs alongside the deployed cluster but never mutates it: every
 // input is evaluated on a fresh clone restored from the snapshot.
+//
+// The Engine type is the legacy single-round API, kept as a thin shim over a
+// single-unit campaign.
 package dice
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/checker"
-	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/concolic"
 	"github.com/dice-project/dice/internal/faults"
-	"github.com/dice-project/dice/internal/fuzz"
 	"github.com/dice-project/dice/internal/topology"
 )
 
-// Options configure one exploration round.
+// Options configure one exploration round of the legacy Engine API. New code
+// should construct a Campaign with functional options instead.
 type Options struct {
 	// Explorer is the node whose behaviour is explored. Empty selects the
 	// router with the highest degree (most sessions), which maximizes the
@@ -82,17 +90,19 @@ func (o Options) withDefaults() Options {
 type Detection struct {
 	Violation checker.Violation
 	Class     checker.FaultClass
-	// InputIndex is the number of inputs that had been explored when the
-	// violation was first observed (1-based).
+	// InputIndex is the number of inputs that had been explored within the
+	// unit when the violation was first observed (1-based).
 	InputIndex int
 	// Input is the input whose exploration surfaced the violation.
 	Input *concolic.Input
-	// Elapsed is the wall-clock time from the start of exploration to the
+	// Elapsed is the wall-clock time from the start of the campaign to the
 	// detection.
 	Elapsed time.Duration
 }
 
-// Result summarizes one exploration round.
+// Result summarizes one exploration unit (one explorer/peer pair). The
+// legacy Engine API returns a single Result; a Campaign returns one per unit
+// inside its CampaignResult.
 type Result struct {
 	Explorer string
 	FromPeer string
@@ -140,7 +150,9 @@ func (r *Result) Detected(class checker.FaultClass) bool {
 	return r.FirstDetection(class) != nil
 }
 
-// Engine drives DiCE exploration against one deployed cluster.
+// Engine drives one DiCE exploration round against a deployed cluster. It is
+// the legacy API, implemented as a shim over a single-unit Campaign; new code
+// should use NewCampaign directly.
 type Engine struct {
 	live *cluster.Cluster
 	topo *topology.Topology
@@ -152,22 +164,17 @@ func New(live *cluster.Cluster, topo *topology.Topology, opts Options) *Engine {
 	return &Engine{live: live, topo: topo, opts: opts.withDefaults()}
 }
 
-// chooseExplorer picks the router with the most neighbors (ties broken by
-// name) when none was configured.
+// chooseExplorer picks the router with the most neighbors (equal-degree ties
+// broken by lexicographically smallest name) when none was configured.
 func (e *Engine) chooseExplorer() string {
 	if e.opts.Explorer != "" {
 		return e.opts.Explorer
 	}
-	best, bestDeg := "", -1
-	for _, name := range e.topo.NodeNames() {
-		deg := len(e.topo.NeighborsOf(name))
-		if deg > bestDeg || (deg == bestDeg && name < best) {
-			best, bestDeg = name, deg
-		}
-	}
-	return best
+	return highestDegreeNode(e.topo)
 }
 
+// choosePeer keeps the legacy peer default: the explorer's first neighbor in
+// topology link order (strategies sort peers lexicographically instead).
 func (e *Engine) choosePeer(explorer string) (string, error) {
 	if e.opts.FromPeer != "" {
 		return e.opts.FromPeer, nil
@@ -199,119 +206,39 @@ func (e *Engine) Run() (*Result, error) {
 	if e.topo == nil {
 		return nil, ErrNoTopology
 	}
-	start := time.Now()
-	explorerNode := e.chooseExplorer()
-	fromPeer, err := e.choosePeer(explorerNode)
+	explorer := e.chooseExplorer()
+	fromPeer, err := e.choosePeer(explorer)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{Explorer: explorerNode, FromPeer: fromPeer}
-
-	// Step 1-2 of Figure 2: trigger creation of the consistent snapshot.
-	snapStart := time.Now()
-	snap := e.live.Snapshot()
-	res.SnapshotDuration = time.Since(snapStart)
-	res.SnapshotNodes = len(snap.Nodes)
-	res.InFlightMessages = len(snap.InFlight)
-	if data, err := checkpoint.Encode(snap); err == nil {
-		res.SnapshotBytes = len(data)
+	copts := []CampaignOption{
+		WithUnits(Unit{
+			Explorer:  explorer,
+			FromPeer:  fromPeer,
+			MaxInputs: e.opts.MaxInputs,
+			FuzzSeeds: e.opts.FuzzSeeds,
+			Seed:      e.opts.Seed,
+		}),
+		WithWorkers(1),
+		WithSeed(e.opts.Seed),
+		WithConcolic(e.opts.UseConcolic),
+		WithCodeFaults(e.opts.CodeFaults...),
+		WithClusterOptions(e.opts.ClusterOptions),
+		WithShadowMaxEvents(e.opts.ShadowMaxEvents),
 	}
-
-	props := e.opts.Properties
-	if props == nil {
-		props = checker.DefaultProperties(e.topo)
+	// Preserve the legacy nil-vs-empty distinction: nil selects the default
+	// property set, an explicitly empty slice disables checking.
+	if e.opts.Properties != nil {
+		copts = append(copts, WithProperties(e.opts.Properties...))
 	}
-	res.FullStateBytes = checker.FullStateDisclosure(e.live)
-
-	// Seed inputs: grammar-fuzzed UPDATEs drawn from the topology's prefix
-	// and AS pools, plus one "observed" message re-announcing a prefix the
-	// peer legitimately originates.
-	var pools fuzz.Options
-	pools.Seed = e.opts.Seed
-	for _, n := range e.topo.Nodes {
-		pools.Prefixes = append(pools.Prefixes, n.Prefixes...)
-		pools.ASNs = append(pools.ASNs, n.AS)
-		pools.NextHops = append(pools.NextHops, uint32(n.RouterID))
+	campaign := NewCampaign(e.live, e.topo, copts...)
+	cres, err := campaign.Run(context.Background())
+	if err != nil {
+		return nil, err
 	}
-	gen := fuzz.New(pools)
-	seeds := gen.Corpus(e.opts.FuzzSeeds)
-	if peerNode := e.topo.Node(fromPeer); peerNode != nil && len(peerNode.Prefixes) > 0 {
-		attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{peerNode.AS}, NextHop: uint32(peerNode.RouterID)}
-		observed := &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{peerNode.Prefixes[0]}}
-		seeds = append(seeds, concolic.NewInput("update", observed.EncodeBody()))
-	}
-
-	seenViolations := make(map[string]bool)
-	inputIndex := 0
-
-	// execute runs one input over a fresh clone of the snapshot and checks
-	// the properties of the resulting system state.
-	execute := func(in *concolic.Input, m *concolic.Machine) error {
-		inputIndex++
-		shadow, err := cluster.FromSnapshot(e.topo, snap, e.opts.ClusterOptions)
-		if err != nil {
-			return fmt.Errorf("dice: clone snapshot: %w", err)
-		}
-		faults.InstallCodeFaults(shadow.Routers, e.opts.CodeFaults...)
-		shadow.Router(explorerNode).ExploreNextUpdate(m, fromPeer)
-		shadow.InjectRaw(fromPeer, explorerNode, wireUpdate(in.Region("update")))
-		shadow.Net.RunQuiescent(e.opts.ShadowMaxEvents)
-
-		report := checker.CheckAll(shadow, props)
-		res.DisclosedBytes += report.DisclosedBytes()
-
-		violations := report.Violations()
-		newFinding := false
-		for _, v := range violations {
-			if seenViolations[v.Key()] {
-				continue
-			}
-			seenViolations[v.Key()] = true
-			newFinding = true
-			res.Detections = append(res.Detections, Detection{
-				Violation:  v,
-				Class:      v.Class,
-				InputIndex: inputIndex,
-				Input:      in.Clone(),
-				Elapsed:    time.Since(start),
-			})
-		}
-		if newFinding {
-			return fmt.Errorf("dice: %d property violations", len(violations))
-		}
-		return nil
-	}
-
-	if e.opts.UseConcolic {
-		explorer := concolic.NewExplorer(execute, concolic.ExplorerOptions{
-			MaxExecutions: e.opts.MaxInputs,
-			Seed:          e.opts.Seed,
-		})
-		for _, s := range seeds {
-			explorer.AddSeed(s)
-		}
-		if _, err := explorer.Run(); err != nil {
-			return nil, err
-		}
-		res.ExplorerStats = explorer.Stats()
-		res.InputsExplored = explorer.Stats().Executions
-	} else {
-		// Fuzzing-only ablation: run each seed once, without constraint
-		// negation.
-		for len(seeds) < e.opts.MaxInputs {
-			seeds = append(seeds, gen.Corpus(1)...)
-		}
-		for i, s := range seeds {
-			if i >= e.opts.MaxInputs {
-				break
-			}
-			m := concolic.NewMachine(s.Clone(), concolic.MachineOptions{})
-			_ = execute(m.Input(), m)
-			res.InputsExplored++
-		}
-	}
-
-	res.Duration = time.Since(start)
+	res := cres.Units[0]
+	// The legacy Result reports the whole round's wall clock, snapshot
+	// included.
+	res.Duration = cres.Duration
 	return res, nil
 }

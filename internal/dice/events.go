@@ -1,0 +1,131 @@
+package dice
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind discriminates streamed campaign events.
+type EventKind int
+
+// Event kinds, in the order a campaign emits them.
+const (
+	// EventCampaignStart is emitted once, after the strategy planned its
+	// units and before the snapshot is taken.
+	EventCampaignStart EventKind = iota
+	// EventSnapshot is emitted when the consistent snapshot has been taken.
+	EventSnapshot
+	// EventUnitStart is emitted when a unit is launched. Units launch
+	// concurrently; the worker pool gates their clone executions, so a
+	// started unit may still be waiting for its first worker slot.
+	EventUnitStart
+	// EventDetection is emitted for every campaign-wide new detection, as it
+	// is found — before Run returns and usually long before the campaign
+	// finishes. A violation already streamed by another unit is deduplicated
+	// (it still appears in that unit's Result).
+	EventDetection
+	// EventUnitEnd is emitted when a unit finishes (its Result is attached).
+	EventUnitEnd
+	// EventCampaignEnd is emitted once, just before Run returns.
+	EventCampaignEnd
+)
+
+// String renders the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCampaignStart:
+		return "campaign-start"
+	case EventSnapshot:
+		return "snapshot"
+	case EventUnitStart:
+		return "unit-start"
+	case EventDetection:
+		return "detection"
+	case EventUnitEnd:
+		return "unit-end"
+	case EventCampaignEnd:
+		return "campaign-end"
+	}
+	return "unknown"
+}
+
+// Event is one streamed campaign occurrence. Fields beyond Kind, Elapsed and
+// Unit are populated per kind: Detection for EventDetection, Result for
+// EventUnitEnd, Units/Workers for EventCampaignStart, Err for a failed unit.
+type Event struct {
+	Kind EventKind
+	// Elapsed is the wall-clock time since Run started.
+	Elapsed time.Duration
+	// Unit identifies the unit for unit-scoped events (zero Unit otherwise).
+	Unit Unit
+	// UnitIndex is the unit's position in the campaign plan.
+	UnitIndex int
+	// Detection is the finding (EventDetection only).
+	Detection *Detection
+	// Result is the finished unit's result (EventUnitEnd only).
+	Result *Result
+	// Units and Workers describe the campaign plan (EventCampaignStart only).
+	Units   int
+	Workers int
+	// Err reports a unit that failed to execute (EventUnitEnd only).
+	Err error
+}
+
+// String renders the event compactly, for log-style consumers.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventCampaignStart:
+		return fmt.Sprintf("[%v] campaign start: %d units on %d workers", e.Elapsed, e.Units, e.Workers)
+	case EventDetection:
+		return fmt.Sprintf("[%v] unit %s: %s", e.Elapsed, e.Unit, e.Detection.Violation)
+	case EventUnitStart:
+		return fmt.Sprintf("[%v] unit %s started", e.Elapsed, e.Unit)
+	case EventUnitEnd:
+		if e.Err != nil {
+			return fmt.Sprintf("[%v] unit %s failed: %v", e.Elapsed, e.Unit, e.Err)
+		}
+		return fmt.Sprintf("[%v] unit %s done (%d inputs, %d detections)", e.Elapsed, e.Unit, e.Result.InputsExplored, len(e.Result.Detections))
+	default:
+		return fmt.Sprintf("[%v] %s", e.Elapsed, e.Kind)
+	}
+}
+
+// emitter fans events out to the subscriber channel (if Events was called)
+// and the OnEvent callback. Sends preserve emission order; concurrent units
+// serialize on the mutex.
+type emitter struct {
+	mu       sync.Mutex
+	start    time.Time
+	ch       chan Event
+	callback func(Event)
+	closed   bool
+}
+
+func (em *emitter) emit(ev Event) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.closed {
+		return
+	}
+	ev.Elapsed = time.Since(em.start)
+	if em.callback != nil {
+		em.callback(ev)
+	}
+	if em.ch != nil {
+		em.ch <- ev
+	}
+}
+
+// close closes the subscriber channel; emissions afterwards are dropped.
+func (em *emitter) close() {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	if em.closed {
+		return
+	}
+	em.closed = true
+	if em.ch != nil {
+		close(em.ch)
+	}
+}

@@ -205,6 +205,9 @@ func (n *Network) Stats() Stats { return n.stats }
 const (
 	evDeliver = iota
 	evTimer
+	// evCall runs a closure on a node's worker goroutine (TCPRunner.Inspect);
+	// the virtual-time emulator never schedules it.
+	evCall
 )
 
 type event struct {

@@ -38,10 +38,12 @@ type TCPRunner struct {
 }
 
 type tcpEvent struct {
-	kind    int // evDeliver or evTimer
+	kind    int // evDeliver, evTimer or evCall
 	from    NodeID
 	payload []byte
 	timer   string
+	call    func()
+	done    chan struct{}
 }
 
 // NewTCPRunner returns an empty runner.
@@ -245,9 +247,44 @@ func (r *TCPRunner) worker(id NodeID) {
 				node.HandleMessage(env, ev.from, ev.payload)
 			case evTimer:
 				node.HandleTimer(env, ev.timer)
+			case evCall:
+				ev.call()
+				close(ev.done)
 			}
 		case <-r.closed:
 			return
+		}
+	}
+}
+
+// Inspect runs fn on the node's worker goroutine, serialized with its
+// message and timer callbacks, and waits for it to return. Nodes are not
+// internally synchronized (they assume the emulator's single-threaded
+// semantics), so any read of node state while the runner is live must go
+// through Inspect. It reports false if the runner is stopped before fn runs.
+func (r *TCPRunner) Inspect(id NodeID, fn func()) bool {
+	r.mu.Lock()
+	inbox, ok := r.inboxes[id]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	done := make(chan struct{})
+	select {
+	case inbox <- tcpEvent{kind: evCall, call: fn, done: done}:
+	case <-r.closed:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-r.closed:
+		// Stop raced completion: if fn did run, report that truthfully.
+		select {
+		case <-done:
+			return true
+		default:
+			return false
 		}
 	}
 }
