@@ -234,6 +234,73 @@ func BenchmarkE8CampaignSerial(b *testing.B) { benchCampaignDemo27(b, 1) }
 // worker restores and drives its own snapshot clone.
 func BenchmarkE8CampaignParallel(b *testing.B) { benchCampaignDemo27(b, runtime.NumCPU()) }
 
+// ---------------------------------------------------------------------------
+// E9 clone-lifecycle benchmarks: the cost of obtaining one shadow clone of
+// the 27-router demo snapshot, via the legacy cold rebuild, a store-backed
+// build, and a pooled in-place reset. The pooled reset is the campaign hot
+// path; the acceptance bar is ≥3x over the cold rebuild.
+// ---------------------------------------------------------------------------
+
+func demo27Snapshot(b *testing.B) (*topology.Topology, *checkpoint.Snapshot) {
+	b.Helper()
+	topo := topology.Demo27()
+	live := cluster.MustBuild(topo, cluster.Options{Seed: 1, GaoRexford: true})
+	live.Converge()
+	return topo, live.Snapshot()
+}
+
+// BenchmarkE9CloneColdRebuild measures the legacy clone path: every call
+// re-validates configs and re-decodes every route record.
+func BenchmarkE9CloneColdRebuild(b *testing.B) {
+	topo, snap := demo27Snapshot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.FromSnapshot(topo, snap, cluster.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9CloneStoreBuild measures a cold build from the decoded snapshot
+// store (the pool's growth path).
+func BenchmarkE9CloneStoreBuild(b *testing.B) {
+	topo, snap := demo27Snapshot(b)
+	store, err := checkpoint.NewStore(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.FromStore(topo, store, cluster.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9ClonePooledReset measures the pooled hot path: lease a clone
+// (rewinding it to the snapshot in place) and release it.
+func BenchmarkE9ClonePooledReset(b *testing.B) {
+	topo, snap := demo27Snapshot(b)
+	store, err := checkpoint.NewStore(snap)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := cluster.NewClonePool(topo, store, cluster.Options{Seed: 1})
+	warm, err := pool.Lease()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool.Release(warm)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := pool.Lease()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool.Release(c)
+	}
+}
+
 // BenchmarkUpdateCodec measures the raw wire-format cost that everything else
 // sits on top of (ancillary micro-benchmark).
 func BenchmarkUpdateCodec(b *testing.B) {

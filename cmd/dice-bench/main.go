@@ -1,11 +1,15 @@
 // Command dice-bench regenerates the paper's evaluation artifacts. Each
-// experiment (e1..e8, see DESIGN.md and EXPERIMENTS.md) can be run
+// experiment (e1..e9, see DESIGN.md and EXPERIMENTS.md) can be run
 // individually or all together; -quick shrinks budgets for a fast smoke run.
 // e8 is the campaign-scaling experiment: the same multi-explorer campaign
-// executed serially and on a full worker pool.
+// executed serially and on a full worker pool. e9 is the clone-lifecycle
+// experiment: cold FromSnapshot rebuilds vs the pooled shadow-cluster
+// runtime; -json writes its machine-readable result (the BENCH_clone.json
+// artifact CI tracks across PRs).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -14,10 +18,69 @@ import (
 	dice "github.com/dice-project/dice"
 )
 
+// cloneBench is the schema of the -json artifact. Field names are stable:
+// CI archives one of these per PR to track the clone-lifecycle perf
+// trajectory.
+type cloneBench struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	Routers    int    `json:"routers"`
+
+	CloneSamples    int     `json:"clone_samples"`
+	ColdNsPerClone  int64   `json:"cold_ns_per_clone"`
+	ResetNsPerClone int64   `json:"reset_ns_per_clone"`
+	CloneSpeedup    float64 `json:"clone_speedup"`
+
+	TotalInputs        int     `json:"total_inputs"`
+	Workers            int     `json:"workers"`
+	ColdCampaignNs     int64   `json:"cold_campaign_ns"`
+	PooledCampaignNs   int64   `json:"pooled_campaign_ns"`
+	ColdInputsPerSec   float64 `json:"cold_inputs_per_sec"`
+	PooledInputsPerSec float64 `json:"pooled_inputs_per_sec"`
+	CampaignSpeedup    float64 `json:"campaign_speedup"`
+
+	Detections     int  `json:"detections"`
+	SameDetections bool `json:"same_detections"`
+
+	MeanNodeBytes  int `json:"mean_node_bytes"`
+	MeanDeltaBytes int `json:"mean_delta_bytes"`
+}
+
+func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) error {
+	out := cloneBench{
+		Experiment:         "e9",
+		Quick:              cfg.Quick,
+		Seed:               cfg.Seed,
+		Routers:            r.Routers,
+		CloneSamples:       r.CloneSamples,
+		ColdNsPerClone:     r.ColdClonePer.Nanoseconds(),
+		ResetNsPerClone:    r.PooledResetPer.Nanoseconds(),
+		CloneSpeedup:       r.CloneSpeedup,
+		TotalInputs:        r.TotalInputs,
+		Workers:            r.Workers,
+		ColdCampaignNs:     r.ColdDuration.Nanoseconds(),
+		PooledCampaignNs:   r.PooledDuration.Nanoseconds(),
+		ColdInputsPerSec:   r.ColdInputsPerSec,
+		PooledInputsPerSec: r.PooledInputsPerSec,
+		CampaignSpeedup:    r.CampaignSpeedup,
+		Detections:         r.Detections,
+		SameDetections:     r.SameDetections,
+		MeanNodeBytes:      r.MeanNodeBytes,
+		MeanDeltaBytes:     r.MeanDeltaBytes,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e8 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e9 or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
+	jsonPath := flag.String("json", "", "write the e9 clone-lifecycle result as JSON to this path (runs e9 if not already selected)")
 	flag.Parse()
 
 	cfg := dice.ExperimentConfig{Quick: *quick, Seed: *seed}
@@ -75,6 +138,18 @@ func main() {
 	if run("e8") {
 		res, err := dice.RunE8(cfg)
 		report("E8", res, err)
+	}
+	if run("e9") || *jsonPath != "" {
+		res, err := dice.RunE9(cfg)
+		report("E9", res, err)
+		if err == nil && *jsonPath != "" {
+			if werr := writeCloneJSON(*jsonPath, cfg, res); werr != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, werr)
+				failed = true
+			} else {
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+		}
 	}
 	if failed {
 		os.Exit(1)

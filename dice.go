@@ -103,6 +103,9 @@ var (
 	WithFuzzSeeds = dice.WithFuzzSeeds
 	// WithConcolic toggles concolic input derivation (on by default).
 	WithConcolic = dice.WithConcolic
+	// WithPooledClones toggles the pooled shadow-cluster runtime (on by
+	// default); disabling it cold-rebuilds a clone per explored input.
+	WithPooledClones = dice.WithPooledClones
 	// WithProperties sets the checked properties.
 	WithProperties = dice.WithProperties
 	// WithCodeFaults installs code faults on every shadow clone.
@@ -224,6 +227,28 @@ type DisputeWheel = faults.DisputeWheel
 // Snapshot is a consistent cut of a deployment: per-node checkpoints plus
 // the in-flight channel state.
 type Snapshot = checkpoint.Snapshot
+
+// SnapshotStore holds a snapshot in decoded, restore-ready form: immutable
+// per-node router images plus decoded baseline state, built once and shared
+// by every clone. Campaigns construct one internally; it is exported for
+// custom clone runtimes.
+type SnapshotStore = checkpoint.Store
+
+// NewSnapshotStore decodes a snapshot into a restore-ready store.
+func NewSnapshotStore(s *Snapshot) (*SnapshotStore, error) { return checkpoint.NewStore(s) }
+
+// ClonePool is the pooled shadow-cluster runtime: workers lease clones that
+// are rewound to the snapshot in place instead of rebuilt.
+type ClonePool = cluster.ClonePool
+
+// NewClonePool returns a clone pool over a snapshot store.
+func NewClonePool(topo *Topology, store *SnapshotStore, opts DeployOptions) *ClonePool {
+	return cluster.NewClonePool(topo, store, opts)
+}
+
+// ClonePoolStats summarizes clone-lifecycle activity: cold builds vs
+// in-place resets and their cumulative cost.
+type ClonePoolStats = cluster.PoolStats
 
 // EncodeSnapshot serializes a snapshot (re-exported from
 // internal/checkpoint); the experiments report its length as the snapshot

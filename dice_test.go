@@ -229,3 +229,31 @@ func TestRunE7Quick(t *testing.T) {
 		t.Errorf("report rendering broken")
 	}
 }
+
+func TestRunE9Quick(t *testing.T) {
+	res, err := RunE9(ExperimentConfig{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("RunE9: %v", err)
+	}
+	if res.Routers != 27 {
+		t.Errorf("routers = %d, want 27", res.Routers)
+	}
+	if res.CloneSpeedup < 1 {
+		t.Errorf("pooled reset slower than cold rebuild: %.2fx", res.CloneSpeedup)
+	}
+	if !res.SameDetections {
+		t.Errorf("pooled campaign found different detections than cold campaign")
+	}
+	if res.Detections == 0 {
+		t.Errorf("campaign found nothing")
+	}
+	if res.PooledColdBuilds < 1 || res.PooledResets == 0 {
+		t.Errorf("pooled campaign lifecycle stats %d cold / %d resets", res.PooledColdBuilds, res.PooledResets)
+	}
+	if res.MeanDeltaBytes <= 0 || res.MeanDeltaBytes >= res.MeanNodeBytes {
+		t.Errorf("delta accounting %d of %d bytes; want a real saving", res.MeanDeltaBytes, res.MeanNodeBytes)
+	}
+	if res.String() == "" {
+		t.Errorf("empty report")
+	}
+}

@@ -807,3 +807,186 @@ func (r *E8Result) String() string {
 		r.Detections, r.DetectionsStreamed, r.SameDetections)
 	return b.String()
 }
+
+// ---------------------------------------------------------------------------
+// E9 — clone lifecycle: cold FromSnapshot rebuilds vs the pooled
+// shadow-cluster runtime (immutable images + snapshot store + in-place
+// resets). The paper's premise is that clones of the running system are
+// cheap; this experiment quantifies how cheap, and that cheapness changes
+// nothing observable: the same campaign finds the same detections either way.
+// ---------------------------------------------------------------------------
+
+// E9Result compares the clone lifecycles.
+type E9Result struct {
+	Routers int
+
+	// Per-clone microbenchmark over CloneSamples clones of the demo
+	// snapshot: a legacy cold rebuild (config re-validation + record
+	// re-parsing per clone) vs an in-place pooled reset.
+	CloneSamples   int
+	ColdClonePer   time.Duration
+	PooledResetPer time.Duration
+	CloneSpeedup   float64
+
+	// The same multi-explorer campaign run twice — cold clones vs pooled
+	// clones — with an identical input budget.
+	TotalInputs        int
+	Workers            int
+	ColdDuration       time.Duration
+	PooledDuration     time.Duration
+	ColdInputsPerSec   float64
+	PooledInputsPerSec float64
+	CampaignSpeedup    float64
+	SameDetections     bool
+	Detections         int
+	PooledColdBuilds   int
+	PooledResets       int
+
+	// Snapshot-store delta accounting: mean encoded node checkpoint vs mean
+	// binary delta against the campaign baseline after one explored input.
+	MeanNodeBytes  int
+	MeanDeltaBytes int
+}
+
+// RunE9 measures the clone lifecycle on the 27-router demo.
+func RunE9(cfg ExperimentConfig) (*E9Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed: cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(
+			faults.MisOrigination{Router: "R12", Prefix: victim},
+			faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	live.Converge()
+
+	out := &E9Result{
+		Routers:      len(topo.Nodes),
+		CloneSamples: cfg.inputs(32, 8),
+		TotalInputs:  cfg.inputs(216, 54),
+		Workers:      runtime.NumCPU(),
+	}
+
+	// 1. Per-clone microbenchmark.
+	snap := live.Snapshot()
+	start := time.Now()
+	for i := 0; i < out.CloneSamples; i++ {
+		if _, err := cluster.FromSnapshot(topo, snap, copts); err != nil {
+			return nil, err
+		}
+	}
+	out.ColdClonePer = time.Since(start) / time.Duration(out.CloneSamples)
+
+	store, err := checkpoint.NewStore(snap)
+	if err != nil {
+		return nil, err
+	}
+	pool := cluster.NewClonePool(topo, store, copts)
+	warm, err := pool.Lease() // first lease is the pool's one cold build
+	if err != nil {
+		return nil, err
+	}
+	pool.Release(warm)
+	for i := 0; i < out.CloneSamples; i++ {
+		c, err := pool.Lease()
+		if err != nil {
+			return nil, err
+		}
+		pool.Release(c)
+	}
+	out.PooledResetPer = pool.Stats().ResetPer()
+	if out.PooledResetPer > 0 {
+		out.CloneSpeedup = float64(out.ColdClonePer) / float64(out.PooledResetPer)
+	}
+
+	// 2. Campaign comparison: identical plan and budget, cold vs pooled.
+	runCampaign := func(pooled bool) (time.Duration, *CampaignResult, error) {
+		campaign := NewCampaign(live, topo,
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: out.TotalInputs}),
+			WithFuzzSeeds(cfg.inputs(8, 2)),
+			WithSeed(cfg.Seed),
+			WithClusterOptions(copts),
+			WithPooledClones(pooled),
+			WithWorkers(out.Workers))
+		start := time.Now()
+		res, err := campaign.Run(context.Background())
+		return time.Since(start), res, err
+	}
+	coldDur, coldRes, err := runCampaign(false)
+	if err != nil {
+		return nil, err
+	}
+	pooledDur, pooledRes, err := runCampaign(true)
+	if err != nil {
+		return nil, err
+	}
+	out.ColdDuration, out.PooledDuration = coldDur, pooledDur
+	if coldDur > 0 {
+		out.ColdInputsPerSec = float64(coldRes.InputsExplored) / coldDur.Seconds()
+	}
+	if pooledDur > 0 {
+		out.PooledInputsPerSec = float64(pooledRes.InputsExplored) / pooledDur.Seconds()
+		out.CampaignSpeedup = float64(coldDur) / float64(pooledDur)
+	}
+	out.SameDetections = detectionFingerprint(coldRes) == detectionFingerprint(pooledRes)
+	out.Detections = len(pooledRes.Detections)
+	out.PooledColdBuilds = pooledRes.CloneStats.ColdBuilds
+	out.PooledResets = pooledRes.CloneStats.Resets
+
+	// 3. Delta accounting: size one diverged clone against the baseline.
+	clone, err := pool.Lease()
+	if err != nil {
+		return nil, err
+	}
+	peer := topo.NeighborsOf("R1")[0]
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{topo.Node(peer).AS, 64999}, NextHop: 99}
+	clone.InjectUpdate(peer, "R1", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{bgp.MustParsePrefix("88.1.0.0/16")}})
+	clone.Net.RunQuiescent(0)
+	totalFull, totalDelta := 0, 0
+	for _, name := range clone.RouterNames() {
+		d, err := store.Delta(name, clone.Router(name).Checkpoint())
+		if err != nil {
+			return nil, err
+		}
+		totalFull += d.FullBytes
+		totalDelta += d.DeltaBytes
+	}
+	out.MeanNodeBytes = totalFull / len(topo.Nodes)
+	out.MeanDeltaBytes = totalDelta / len(topo.Nodes)
+	return out, nil
+}
+
+// detectionFingerprint canonicalizes a campaign's detections: violation keys
+// with the input index each was first seen at.
+func detectionFingerprint(r *CampaignResult) string {
+	ks := make([]string, 0, len(r.Detections))
+	for _, d := range r.Detections {
+		ks = append(ks, fmt.Sprintf("%s@%d", d.Violation.Key(), d.InputIndex))
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ";")
+}
+
+// String renders the clone-lifecycle report.
+func (r *E9Result) String() string {
+	var b strings.Builder
+	b.WriteString("E9 (clone lifecycle: cold rebuild vs pooled reset):\n")
+	fmt.Fprintf(&b, "  topology                  %d routers\n", r.Routers)
+	fmt.Fprintf(&b, "  per-clone (n=%d)          cold %v, pooled reset %v (%.1fx faster)\n",
+		r.CloneSamples, r.ColdClonePer.Round(time.Microsecond), r.PooledResetPer.Round(time.Microsecond), r.CloneSpeedup)
+	fmt.Fprintf(&b, "  campaign, cold clones     %v (%.1f inputs/s)\n", r.ColdDuration.Round(time.Millisecond), r.ColdInputsPerSec)
+	fmt.Fprintf(&b, "  campaign, pooled clones   %v (%.1f inputs/s, %d cold builds + %d resets)\n",
+		r.PooledDuration.Round(time.Millisecond), r.PooledInputsPerSec, r.PooledColdBuilds, r.PooledResets)
+	fmt.Fprintf(&b, "  campaign speedup          %.2fx\n", r.CampaignSpeedup)
+	fmt.Fprintf(&b, "  detections                %d (identical cold vs pooled: %v)\n", r.Detections, r.SameDetections)
+	fmt.Fprintf(&b, "  delta accounting          %d bytes/node full, %d bytes/node delta vs baseline\n",
+		r.MeanNodeBytes, r.MeanDeltaBytes)
+	return b.String()
+}

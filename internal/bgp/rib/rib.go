@@ -45,6 +45,10 @@ func (a *AdjRIBIn) Routes() []*Route {
 	return out
 }
 
+// Clear removes every stored route, retaining the allocated map (the
+// clone-reset path clears and refills RIBs instead of reallocating them).
+func (a *AdjRIBIn) Clear() { clear(a.routes) }
+
 // Clone deep-copies the Adj-RIB-In.
 func (a *AdjRIBIn) Clone() *AdjRIBIn {
 	out := NewAdjRIBIn()
@@ -92,6 +96,9 @@ func (a *AdjRIBOut) Routes() []*Route {
 	SortRoutes(out)
 	return out
 }
+
+// Clear removes every advertised route, retaining the allocated map.
+func (a *AdjRIBOut) Clear() { clear(a.routes) }
 
 // Clone deep-copies the Adj-RIB-Out.
 func (a *AdjRIBOut) Clone() *AdjRIBOut {
@@ -195,6 +202,28 @@ func sameRoute(a, b *Route) bool {
 	return true
 }
 
+// InsertCandidate stores a candidate route without re-running the decision
+// process. It is the bulk-load path used when restoring a RIB from a
+// checkpoint: insert every candidate, then call ReselectAll once. Using it
+// without a subsequent ReselectAll leaves the best-route selections stale.
+func (l *LocRIB) InsertCandidate(r *Route) {
+	e := l.entries[r.Prefix]
+	if e == nil {
+		e = &prefixEntry{candidates: make(map[string]*Route)}
+		l.entries[r.Prefix] = e
+	}
+	e.candidates[r.Peer] = r
+}
+
+// ReselectAll re-runs the decision process for every prefix. The selection is
+// a deterministic function of the candidate set, so the result is identical
+// to having run Update once per candidate, at a fraction of the cost.
+func (l *LocRIB) ReselectAll() {
+	for p, e := range l.entries {
+		l.reselect(nil, p, e)
+	}
+}
+
 // Best returns the selected route for the prefix, or nil.
 func (l *LocRIB) Best(p bgp.Prefix) *Route {
 	if e := l.entries[p]; e != nil {
@@ -239,6 +268,9 @@ func (l *LocRIB) BestRoutes() []*Route {
 	}
 	return out
 }
+
+// Clear removes every entry, retaining the allocated top-level map.
+func (l *LocRIB) Clear() { clear(l.entries) }
 
 // Len returns the number of prefixes in the Loc-RIB.
 func (l *LocRIB) Len() int { return len(l.entries) }

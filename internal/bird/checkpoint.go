@@ -1,7 +1,6 @@
 package bird
 
 import (
-	"fmt"
 	"strings"
 	"time"
 
@@ -228,93 +227,23 @@ func sortedPolicyNames(m map[string]*policy.Policy) []string {
 // Restore builds a fresh Router from a checkpoint. The router resumes with
 // identical configuration, session states, RIB contents and counters; timers
 // are re-armed lazily by the next Start or session event.
+//
+// Restore is the cold path: every call re-validates the configuration
+// (re-parsing the textual policy form when the checkpoint crossed a process
+// boundary) and re-decodes every route record. Callers restoring many clones
+// of the same snapshot should build an Image and a State once (ImageOf,
+// DecodeState — or a checkpoint.Store for whole snapshots) and restore onto
+// those instead.
 func Restore(cp *Checkpoint) (*Router, error) {
-	cfg := cp.cfg
-	if cfg == nil {
-		// The checkpoint crossed a process boundary: reconstruct the
-		// configuration from its serialized form.
-		policies, err := policy.ParsePolicies(cp.PoliciesText)
-		if err != nil {
-			return nil, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
-		}
-		cfg = &Config{
-			Name:              cp.Name,
-			AS:                bgp.ASN(cp.AS),
-			RouterID:          bgp.RouterID(cp.RouterID),
-			Neighbors:         cp.Neighbors,
-			Policies:          policies,
-			HoldTime:          cp.HoldTime,
-			KeepaliveInterval: cp.KeepaliveInterval,
-			ConnectRetry:      cp.ConnectRetry,
-		}
-		for _, ps := range cp.Networks {
-			p, err := bgp.ParsePrefix(ps)
-			if err != nil {
-				return nil, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
-			}
-			cfg.Networks = append(cfg.Networks, p)
-		}
-	}
-	r, err := New(cfg)
+	im, err := ImageOf(cp)
 	if err != nil {
 		return nil, err
 	}
-	// New originated the local networks; clear the Loc-RIB and rebuild it
-	// from the checkpoint so the state matches exactly.
-	r.locRIB = rib.NewLocRIB()
-	for _, rec := range cp.LocRIB {
-		route, err := rec.toRoute()
-		if err != nil {
-			return nil, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
-		}
-		r.locRIB.Update(nil, route)
+	st, err := DecodeState(cp)
+	if err != nil {
+		return nil, err
 	}
-	for _, sr := range cp.Sessions {
-		s := r.sessions[sr.Peer]
-		if s == nil {
-			return nil, fmt.Errorf("bird: restore %s: unknown session %s", cp.Name, sr.Peer)
-		}
-		s.state = SessionState(sr.State)
-		s.peerRouterID = bgp.RouterID(sr.PeerRouterID)
-		s.downCount = sr.DownCount
-		s.notificationsSent = sr.NotificationsSent
-		s.notificationsReceived = sr.NotificationsReceived
-	}
-	for peer, recs := range cp.AdjIn {
-		for _, rec := range recs {
-			route, err := rec.toRoute()
-			if err != nil {
-				return nil, err
-			}
-			r.adjIn[peer].Set(route)
-		}
-	}
-	for peer, recs := range cp.AdjOut {
-		for _, rec := range recs {
-			route, err := rec.toRoute()
-			if err != nil {
-				return nil, err
-			}
-			r.adjOut[peer].Set(route)
-		}
-	}
-	r.stats = cp.Stats
-	r.panicked = cp.Panicked
-	r.lastPanic = cp.LastPanic
-	r.started = cp.Started
-	for _, ev := range cp.Events {
-		p, err := bgp.ParsePrefix(ev.Prefix)
-		if err != nil {
-			return nil, err
-		}
-		r.events = append(r.events, RouteEvent{
-			At:     time.Duration(ev.AtNanos),
-			Prefix: p,
-			OldVia: ev.OldVia,
-			NewVia: ev.NewVia,
-		})
-	}
-	return r, nil
+	return im.Restore(st)
 }
 
 // Clone returns an isolated deep copy of the router by checkpointing and

@@ -16,11 +16,47 @@ import (
 	"encoding/gob"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/netem"
 )
+
+// bufPool recycles the scratch buffers gob encoding writes into. Snapshot
+// measurement encodes every node of every campaign snapshot; without reuse
+// each encoding grows a fresh buffer from scratch.
+var bufPool = sync.Pool{
+	New: func() interface{} { return new(bytes.Buffer) },
+}
+
+// encodeInto gob-encodes v into a pooled buffer and returns a copy of the
+// bytes (the buffer goes back to the pool).
+func encodeInto(v interface{}) ([]byte, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		bufPool.Put(buf)
+	}()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// encodedLen gob-encodes v into a pooled buffer and returns only the encoded
+// length, avoiding the copy when callers need size accounting, not bytes.
+func encodedLen(v interface{}) (int, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer func() {
+		buf.Reset()
+		bufPool.Put(buf)
+	}()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}
 
 // Snapshot is a consistent cut of the emulated system.
 type Snapshot struct {
@@ -75,11 +111,11 @@ func (s *Snapshot) DropChannelState() *Snapshot {
 // overhead experiment reports as "snapshot size"; per-node sizes are
 // available via EncodeNode.
 func Encode(s *Snapshot) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+	data, err := encodeInto(s)
+	if err != nil {
 		return nil, fmt.Errorf("checkpoint: encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return data, nil
 }
 
 // Decode deserializes a snapshot produced by Encode.
@@ -94,35 +130,66 @@ func Decode(data []byte) (*Snapshot, error) {
 // EncodeNode serializes a single node checkpoint, for per-node size
 // accounting.
 func EncodeNode(cp *bird.Checkpoint) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+	data, err := encodeInto(cp)
+	if err != nil {
 		return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.Name, err)
 	}
-	return buf.Bytes(), nil
+	return data, nil
 }
 
 // Sizes summarizes a snapshot's encoded footprint.
 type Sizes struct {
+	// TotalBytes is the snapshot's total encoded footprint: the sum of the
+	// per-node encodings plus the channel-state envelope. (Each part is
+	// encoded exactly once; a single-stream gob encoding of the whole
+	// snapshot is a few hundred bytes smaller because type descriptors are
+	// shared, but requires encoding every node a second time to also get
+	// per-node sizes.)
 	TotalBytes   int
 	PerNodeBytes map[string]int
 	Messages     int
 }
 
-// Measure encodes the snapshot and each node checkpoint and reports their
-// sizes.
+// channelEnvelope is the non-node remainder of a snapshot, encoded separately
+// so Measure can size the whole snapshot without encoding any node twice.
+type channelEnvelope struct {
+	At         time.Duration
+	InFlight   []netem.QueuedMessage
+	Consistent bool
+}
+
+// Measure reports the snapshot's encoded footprint. Every node checkpoint and
+// the channel state are each encoded exactly once: the per-node sizes come
+// from those encodings and TotalBytes is their sum — the full snapshot is
+// never encoded a second time just to size it.
 func Measure(s *Snapshot) (Sizes, error) {
-	out := Sizes{PerNodeBytes: make(map[string]int), Messages: len(s.InFlight)}
-	total, err := Encode(s)
+	perNode, err := MeasureNodes(s)
 	if err != nil {
 		return Sizes{}, err
 	}
-	out.TotalBytes = len(total)
-	for name, cp := range s.Nodes {
-		b, err := EncodeNode(cp)
-		if err != nil {
-			return Sizes{}, err
-		}
-		out.PerNodeBytes[name] = len(b)
+	out := Sizes{PerNodeBytes: perNode, Messages: len(s.InFlight)}
+	env, err := encodedLen(channelEnvelope{At: s.At, InFlight: s.InFlight, Consistent: s.Consistent})
+	if err != nil {
+		return Sizes{}, fmt.Errorf("checkpoint: encode channel state: %w", err)
+	}
+	out.TotalBytes = env
+	for _, n := range perNode {
+		out.TotalBytes += n
 	}
 	return out, nil
+}
+
+// MeasureNodes reports each node checkpoint's encoded size without paying for
+// a full-snapshot encoding — the call for code that only needs per-node size
+// accounting.
+func MeasureNodes(s *Snapshot) (map[string]int, error) {
+	perNode := make(map[string]int, len(s.Nodes))
+	for name, cp := range s.Nodes {
+		n, err := encodedLen(cp)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.Name, err)
+		}
+		perNode[name] = n
+	}
+	return perNode, nil
 }

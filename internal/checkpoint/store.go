@@ -1,0 +1,179 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/dice-project/dice/internal/bird"
+)
+
+// Store holds a campaign snapshot in decoded, restore-ready form: an
+// immutable per-node image (validated config, parsed policies) and a decoded
+// baseline State for every node, built once when the store is created. Clone
+// construction and pooled-clone resets restore from the store instead of
+// re-parsing the snapshot's serialized records for every explored input.
+//
+// The store also owns the snapshot's size accounting: Sizes caches one
+// measurement, and Delta sizes a later checkpoint of a node against the
+// baseline encoding, for delta-based footprint reporting.
+//
+// A Store is immutable after NewStore (lazily computed caches are
+// synchronized) and safe for concurrent use by many workers.
+type Store struct {
+	snap   *Snapshot
+	images map[string]*bird.Image
+	states map[string]*bird.State
+
+	baselineOnce sync.Once
+	baselineErr  error
+	baseline     map[string][]byte
+
+	sizesOnce sync.Once
+	sizesErr  error
+	sizes     Sizes
+}
+
+// NewStore decodes every node checkpoint of the snapshot once and returns the
+// restore-ready store. The snapshot is retained by reference and must not be
+// mutated afterwards (snapshots are immutable by convention once taken).
+func NewStore(snap *Snapshot) (*Store, error) {
+	s := &Store{
+		snap:   snap,
+		images: make(map[string]*bird.Image, len(snap.Nodes)),
+		states: make(map[string]*bird.State, len(snap.Nodes)),
+	}
+	for name, cp := range snap.Nodes {
+		im, err := bird.ImageOf(cp)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: store: %w", err)
+		}
+		st, err := bird.DecodeState(cp)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: store: %w", err)
+		}
+		s.images[name] = im
+		s.states[name] = st
+	}
+	return s, nil
+}
+
+// Snapshot returns the underlying snapshot.
+func (s *Store) Snapshot() *Snapshot { return s.snap }
+
+// NodeNames returns the stored node names, sorted.
+func (s *Store) NodeNames() []string { return s.snap.NodeNames() }
+
+// Image returns the named node's immutable router image, or nil.
+func (s *Store) Image(name string) *bird.Image { return s.images[name] }
+
+// State returns the named node's decoded baseline state, or nil.
+func (s *Store) State(name string) *bird.State { return s.states[name] }
+
+// Restore builds a fresh router for the named node from its image and
+// baseline state.
+func (s *Store) Restore(name string) (*bird.Router, error) {
+	im, st := s.images[name], s.states[name]
+	if im == nil || st == nil {
+		return nil, fmt.Errorf("checkpoint: store has no node %q", name)
+	}
+	return im.Restore(st)
+}
+
+// Sizes measures the snapshot's encoded footprint once and caches the result;
+// every later call is free. This replaces ad-hoc Encode/Measure calls that
+// re-serialized the snapshot at each site.
+func (s *Store) Sizes() (Sizes, error) {
+	s.sizesOnce.Do(func() {
+		s.sizes, s.sizesErr = Measure(s.snap)
+	})
+	return s.sizes, s.sizesErr
+}
+
+// Delta summarizes how a node checkpoint's encoding compares with the
+// baseline captured in the store.
+type Delta struct {
+	Node string
+	// BaselineBytes and FullBytes are the encoded sizes of the baseline and
+	// the new checkpoint.
+	BaselineBytes int
+	FullBytes     int
+	// DeltaBytes is the size of a naive binary delta against the baseline
+	// encoding: the differing middle section (common prefix and suffix
+	// trimmed) plus a small framing header. It bounds what a delta-encoded
+	// checkpoint transfer would cost.
+	DeltaBytes int
+}
+
+// deltaFraming is the fixed cost of describing a contiguous binary patch
+// (prefix length, suffix length, patch length as varints, generously sized).
+const deltaFraming = 16
+
+// Delta encodes the given checkpoint of the named node and sizes it as a
+// binary delta against the node's baseline encoding. Exploration uses it to
+// account for how much smaller "ship the changes" is than "ship the state"
+// once a clone has diverged from the snapshot.
+func (s *Store) Delta(name string, cp *bird.Checkpoint) (Delta, error) {
+	if err := s.encodeBaselines(); err != nil {
+		return Delta{}, err
+	}
+	base, ok := s.baseline[name]
+	if !ok {
+		return Delta{}, fmt.Errorf("checkpoint: store has no node %q", name)
+	}
+	full, err := EncodeNode(cp)
+	if err != nil {
+		return Delta{}, err
+	}
+	prefix := commonPrefix(base, full)
+	suffix := commonSuffix(base[prefix:], full[prefix:])
+	d := Delta{
+		Node:          name,
+		BaselineBytes: len(base),
+		FullBytes:     len(full),
+		DeltaBytes:    len(full) - prefix - suffix + deltaFraming,
+	}
+	return d, nil
+}
+
+// encodeBaselines lazily encodes every node's baseline checkpoint exactly
+// once, for delta comparisons.
+func (s *Store) encodeBaselines() error {
+	s.baselineOnce.Do(func() {
+		s.baseline = make(map[string][]byte, len(s.snap.Nodes))
+		for name, cp := range s.snap.Nodes {
+			data, err := EncodeNode(cp)
+			if err != nil {
+				s.baselineErr = err
+				return
+			}
+			s.baseline[name] = data
+		}
+	})
+	return s.baselineErr
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+func commonSuffix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[len(a)-1-i] != b[len(b)-1-i] {
+			return i
+		}
+	}
+	return n
+}

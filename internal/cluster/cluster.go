@@ -250,6 +250,11 @@ func (c *Cluster) Snapshot() *checkpoint.Snapshot {
 // the snapshot — over the same topology. Router states are restored from
 // their checkpoints and the captured in-flight messages are re-injected so
 // the shadow copy evolves exactly as the deployed system would have.
+//
+// FromSnapshot is the cold rebuild path: every call re-validates configs and
+// re-decodes every route record of every node. Code that clones the same
+// snapshot repeatedly should build a checkpoint.Store once and use FromStore
+// (or a ClonePool) instead.
 func FromSnapshot(topo *topology.Topology, snap *checkpoint.Snapshot, opts Options) (*Cluster, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
@@ -280,9 +285,7 @@ func FromSnapshot(topo *topology.Topology, snap *checkpoint.Snapshot, opts Optio
 		})
 	}
 	// Replay channel state so the cut stays consistent.
-	for _, msg := range snap.InFlight {
-		c.Net.InjectMessage(msg.From, msg.To, msg.Payload, 0)
-	}
+	injectInFlight(c, snap)
 	return c, nil
 }
 

@@ -1,6 +1,7 @@
 package concolic
 
 import (
+	"container/heap"
 	"errors"
 	"sort"
 
@@ -87,6 +88,33 @@ type candidate struct {
 	seq   int
 }
 
+// frontier is a priority queue of candidates ordered by score (highest
+// first), ties broken by insertion order (lowest seq first) so exploration
+// stays deterministic. seq is unique per candidate, making the order total:
+// the dequeue sequence is identical to a linear scan for the best candidate,
+// but each operation is O(log n) instead of O(n).
+type frontier []*candidate
+
+func (f frontier) Len() int { return len(f) }
+func (f frontier) Less(i, j int) bool {
+	if f[i].score != f[j].score {
+		return f[i].score > f[j].score
+	}
+	return f[i].seq < f[j].seq
+}
+func (f frontier) Swap(i, j int) { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) {
+	*f = append(*f, x.(*candidate))
+}
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*f = old[:n-1]
+	return c
+}
+
 // Explorer drives concolic exploration: it maintains a frontier of candidate
 // inputs, executes them through the user-provided ExecuteFunc, and derives
 // new candidates by negating recorded branch constraints and solving for
@@ -95,7 +123,7 @@ type Explorer struct {
 	execute ExecuteFunc
 	opts    ExplorerOptions
 
-	queue      []*candidate
+	queue      frontier
 	seenInput  map[uint64]bool
 	seenPath   map[uint64]bool
 	coverage   map[string]bool
@@ -138,25 +166,16 @@ func (e *Explorer) enqueue(c *candidate) {
 	e.stats.UniqueInputs++
 	c.seq = e.nextSeq
 	e.nextSeq++
-	e.queue = append(e.queue, c)
+	heap.Push(&e.queue, c)
 }
 
 // dequeue removes the best-scoring candidate (ties broken by insertion order
-// for determinism).
+// for determinism) in O(log n).
 func (e *Explorer) dequeue() *candidate {
 	if len(e.queue) == 0 {
 		return nil
 	}
-	best := 0
-	for i := 1; i < len(e.queue); i++ {
-		if e.queue[i].score > e.queue[best].score ||
-			(e.queue[i].score == e.queue[best].score && e.queue[i].seq < e.queue[best].seq) {
-			best = i
-		}
-	}
-	c := e.queue[best]
-	e.queue = append(e.queue[:best], e.queue[best+1:]...)
-	return c
+	return heap.Pop(&e.queue).(*candidate)
 }
 
 // Pending returns the number of candidates waiting to be executed.

@@ -36,6 +36,7 @@ type campaignConfig struct {
 	seed            int64
 	fuzzSeeds       int
 	useConcolic     bool
+	pooledClones    bool
 	properties      []checker.Property
 	codeFaults      []faults.CodeFault
 	clusterOptions  cluster.Options
@@ -50,6 +51,7 @@ func defaultCampaignConfig() campaignConfig {
 		workers:         runtime.NumCPU(),
 		fuzzSeeds:       8,
 		useConcolic:     true,
+		pooledClones:    true,
 		shadowMaxEvents: 20000,
 		eventBuffer:     256,
 	}
@@ -140,6 +142,16 @@ func WithClusterOptions(opts cluster.Options) CampaignOption {
 	return func(c *campaignConfig) { c.clusterOptions = opts }
 }
 
+// WithPooledClones toggles the pooled shadow-cluster runtime (on by default).
+// When enabled, workers lease shadow clusters from a ClonePool that rewinds
+// returned clones to the snapshot in place; when disabled, every explored
+// input pays for a cold cluster.FromSnapshot rebuild (the pre-pool behavior,
+// kept as the baseline the E9 experiment measures against). Both modes
+// explore identical states and find identical detections.
+func WithPooledClones(enabled bool) CampaignOption {
+	return func(c *campaignConfig) { c.pooledClones = enabled }
+}
+
 // WithShadowMaxEvents bounds each clone run (20000 when unset).
 func WithShadowMaxEvents(n int) CampaignOption {
 	return func(c *campaignConfig) {
@@ -192,6 +204,12 @@ type Campaign struct {
 	snap      *checkpoint.Snapshot
 	snapStats snapshotStats
 	props     []checker.Property
+	// clones is the pooled shadow-cluster runtime workers lease from (nil
+	// when pooling is disabled, in which case every clone is a cold
+	// FromSnapshot rebuild accounted in coldStats).
+	clones    *cluster.ClonePool
+	coldMu    sync.Mutex
+	coldStats cluster.PoolStats
 
 	// detSeen dedupes streamed detection events campaign-wide: a violation
 	// already reported by another unit is a per-unit result, not news.
@@ -278,6 +296,14 @@ type CampaignResult struct {
 	// Cancelled reports that the context ended the campaign early; the
 	// result aggregates whatever completed before that.
 	Cancelled bool
+
+	// PooledClones reports whether the campaign ran on the pooled
+	// shadow-cluster runtime; CloneStats breaks the clone lifecycle down
+	// into cold rebuilds vs in-place resets with their cumulative cost.
+	// With pooling enabled, ColdBuilds converges to the worker-pool size and
+	// every further input is a reset.
+	PooledClones bool
+	CloneStats   cluster.PoolStats
 }
 
 // DetectionsByClass groups the merged detections by fault class.
@@ -389,17 +415,26 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	c.em.emit(Event{Kind: EventCampaignStart, Units: len(units), Workers: c.cfg.workers})
 
 	// One consistent cut, shared by every unit: checkpoints are immutable
-	// once taken, so concurrent clone restores need no copies.
+	// once taken, so concurrent clone restores need no copies. The cut is
+	// decoded into a restore-ready store exactly once; workers then lease
+	// pooled shadow clusters (or cold-rebuild, when pooling is off) from it.
 	snapStart := time.Now()
 	c.snap = c.live.Snapshot()
+	if c.cfg.pooledClones {
+		store, err := checkpoint.NewStore(c.snap)
+		if err != nil {
+			return nil, err
+		}
+		c.clones = cluster.NewClonePool(c.topo, store, c.cfg.clusterOptions)
+	}
 	c.snapStats = snapshotStats{
 		SnapshotDuration: time.Since(snapStart),
 		SnapshotNodes:    len(c.snap.Nodes),
 		InFlightMessages: len(c.snap.InFlight),
 		FullStateBytes:   checker.FullStateDisclosure(c.live),
 	}
-	if data, err := checkpoint.Encode(c.snap); err == nil {
-		c.snapStats.SnapshotBytes = len(data)
+	if sizes, err := checkpoint.Measure(c.snap); err == nil {
+		c.snapStats.SnapshotBytes = sizes.TotalBytes
 	}
 	c.props = c.cfg.properties
 	if c.props == nil {
@@ -437,6 +472,13 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		Units:            results,
 		UnitErrors:       unitErrs,
 		Cancelled:        ctx.Err() != nil,
+		PooledClones:     c.cfg.pooledClones,
+	}
+	c.coldMu.Lock()
+	res.CloneStats = c.coldStats
+	c.coldMu.Unlock()
+	if c.clones != nil {
+		res.CloneStats = res.CloneStats.Add(c.clones.Stats())
 	}
 	seen := make(map[string]bool)
 	for _, r := range results {

@@ -390,3 +390,60 @@ func TestEngineShimMatchesCampaign(t *testing.T) {
 			detectionKeys(er.Detections), detectionKeys(cr.Detections))
 	}
 }
+
+// TestCampaignPooledClonesEquivalentToCold verifies the clone-lifecycle
+// overhaul end to end: the same campaign run on the pooled shadow-cluster
+// runtime and on per-input cold rebuilds must explore the same inputs and
+// find the same detections at the same input indices — pooling is purely a
+// performance property.
+func TestCampaignPooledClonesEquivalentToCold(t *testing.T) {
+	topo, live, opts := hijackedLine(t, 4)
+	run := func(pooled bool, workers int) *CampaignResult {
+		campaign := NewCampaign(live, topo,
+			WithUnits(Unit{Explorer: "R2", FromPeer: "R1", MaxInputs: 12, FuzzSeeds: 4, Seed: 1}),
+			WithSeed(1),
+			WithClusterOptions(opts),
+			WithPooledClones(pooled),
+			WithWorkers(workers))
+		res, err := campaign.Run(context.Background())
+		if err != nil {
+			t.Fatalf("campaign (pooled=%v): %v", pooled, err)
+		}
+		return res
+	}
+	cold := run(false, 1)
+	pooled := run(true, 1)
+	pooledParallel := run(true, 4)
+
+	if len(cold.Detections) == 0 {
+		t.Fatal("campaign found nothing; equivalence test is vacuous")
+	}
+	for _, other := range []*CampaignResult{pooled, pooledParallel} {
+		if other.InputsExplored != cold.InputsExplored {
+			t.Errorf("inputs explored %d, cold %d", other.InputsExplored, cold.InputsExplored)
+		}
+		if fmt.Sprint(detectionKeys(other.Detections)) != fmt.Sprint(detectionKeys(cold.Detections)) {
+			t.Errorf("detections differ from cold run")
+		}
+		for i := range cold.Detections {
+			if i < len(other.Detections) && other.Detections[i].InputIndex != cold.Detections[i].InputIndex {
+				t.Errorf("detection %d at input %d, cold at %d", i, other.Detections[i].InputIndex, cold.Detections[i].InputIndex)
+			}
+		}
+	}
+
+	// Lifecycle accounting: the cold run never resets, the pooled serial run
+	// cold-builds exactly once.
+	if cold.PooledClones || cold.CloneStats.Resets != 0 || cold.CloneStats.ColdBuilds != cold.InputsExplored {
+		t.Errorf("cold run clone stats %+v (pooled=%v)", cold.CloneStats, cold.PooledClones)
+	}
+	if !pooled.PooledClones || pooled.CloneStats.ColdBuilds != 1 {
+		t.Errorf("pooled serial run clone stats %+v (pooled=%v)", pooled.CloneStats, pooled.PooledClones)
+	}
+	if got := pooled.CloneStats.Resets + pooled.CloneStats.ColdBuilds; got != pooled.InputsExplored {
+		t.Errorf("pooled leases %d != inputs explored %d", got, pooled.InputsExplored)
+	}
+	if pooledParallel.CloneStats.ColdBuilds > 4 {
+		t.Errorf("parallel pooled run built %d clones for 4 workers", pooledParallel.CloneStats.ColdBuilds)
+	}
+}

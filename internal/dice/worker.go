@@ -49,20 +49,48 @@ type cloneOutcome struct {
 	executed   bool
 }
 
-// runClone restores a fresh shadow cluster from the campaign snapshot,
-// subjects the unit's explorer to one input, runs the clone to quiescence and
-// checks the properties. It is the hot path the worker pool parallelizes:
-// every call is fully isolated (own clone, own machine), so clone executions
-// are embarrassingly parallel.
+// leaseClone obtains a shadow cluster in snapshot state: from the clone pool
+// (which rewinds a returned clone in place, or cold-builds from the decoded
+// store when the pool is empty), or — with pooling disabled — via a cold
+// FromSnapshot rebuild, timed into the campaign's clone stats. The returned
+// release func must be called when the caller is done with the clone.
+func (c *Campaign) leaseClone() (*cluster.Cluster, func(), error) {
+	if c.clones != nil {
+		shadow, err := c.clones.Lease()
+		if err != nil {
+			return nil, nil, err
+		}
+		return shadow, func() { c.clones.Release(shadow) }, nil
+	}
+	start := time.Now()
+	shadow, err := cluster.FromSnapshot(c.topo, c.snap, c.cfg.clusterOptions)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.coldMu.Lock()
+	c.coldStats.Leases++
+	c.coldStats.ColdBuilds++
+	c.coldStats.ColdBuildTime += elapsed
+	c.coldMu.Unlock()
+	return shadow, func() {}, nil
+}
+
+// runClone leases a shadow cluster in snapshot state, subjects the unit's
+// explorer to one input, runs the clone to quiescence and checks the
+// properties. It is the hot path the worker pool parallelizes: every call is
+// fully isolated (own clone, own machine), so clone executions are
+// embarrassingly parallel.
 func (c *Campaign) runClone(ctx context.Context, u Unit, in *concolic.Input, m *concolic.Machine) (cloneOutcome, error) {
 	if err := c.pool.acquire(ctx); err != nil {
 		return cloneOutcome{}, err
 	}
 	defer c.pool.release()
-	shadow, err := cluster.FromSnapshot(c.topo, c.snap, c.cfg.clusterOptions)
+	shadow, release, err := c.leaseClone()
 	if err != nil {
 		return cloneOutcome{}, fmt.Errorf("dice: clone snapshot: %w", err)
 	}
+	defer release()
 	faults.InstallCodeFaults(shadow.Routers, c.cfg.codeFaults...)
 	shadow.Router(u.Explorer).ExploreNextUpdate(m, u.FromPeer)
 	shadow.InjectRaw(u.FromPeer, u.Explorer, wireUpdate(in.Region("update")))

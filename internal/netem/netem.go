@@ -122,6 +122,12 @@ type Network struct {
 	timerGen map[NodeID]map[string]int
 
 	nodeRngs map[NodeID]*rand.Rand
+
+	// rngDirty / dirtyNodeRngs track which random sources have been drawn
+	// from since they were last seeded. Seeding math/rand sources is
+	// expensive; Reset reseeds only the dirty ones.
+	rngDirty      bool
+	dirtyNodeRngs map[NodeID]bool
 }
 
 // New returns an empty network.
@@ -130,12 +136,13 @@ func New(opts Options) *Network {
 		opts.MaxEvents = 10_000_000
 	}
 	return &Network{
-		opts:     opts,
-		nodes:    make(map[NodeID]Node),
-		links:    make(map[NodeID]map[NodeID]LinkConfig),
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		timerGen: make(map[NodeID]map[string]int),
-		nodeRngs: make(map[NodeID]*rand.Rand),
+		opts:          opts,
+		nodes:         make(map[NodeID]Node),
+		links:         make(map[NodeID]map[NodeID]LinkConfig),
+		rng:           rand.New(rand.NewSource(opts.Seed)),
+		timerGen:      make(map[NodeID]map[string]int),
+		nodeRngs:      make(map[NodeID]*rand.Rand),
+		dirtyNodeRngs: make(map[NodeID]bool),
 	}
 }
 
@@ -258,7 +265,10 @@ type env struct {
 func (e *env) Now() time.Duration  { return e.net.now }
 func (e *env) Self() NodeID        { return e.id }
 func (e *env) Neighbors() []NodeID { return e.net.Neighbors(e.id) }
-func (e *env) Rand() *rand.Rand    { return e.net.nodeRngs[e.id] }
+func (e *env) Rand() *rand.Rand {
+	e.net.dirtyNodeRngs[e.id] = true
+	return e.net.nodeRngs[e.id]
+}
 
 func (e *env) Send(to NodeID, payload []byte) {
 	cfg, ok := e.net.links[e.id][to]
@@ -266,12 +276,16 @@ func (e *env) Send(to NodeID, payload []byte) {
 		panic(fmt.Sprintf("netem: %s attempted to send to non-neighbor %s", e.id, to))
 	}
 	e.net.stats.MessagesSent++
-	if cfg.Loss > 0 && e.net.rng.Float64() < cfg.Loss {
-		e.net.stats.MessagesDropped++
-		return
+	if cfg.Loss > 0 {
+		e.net.rngDirty = true
+		if e.net.rng.Float64() < cfg.Loss {
+			e.net.stats.MessagesDropped++
+			return
+		}
 	}
 	delay := cfg.Delay
 	if cfg.Jitter > 0 {
+		e.net.rngDirty = true
 		delay += time.Duration(e.net.rng.Int63n(int64(cfg.Jitter)))
 	}
 	e.net.push(&event{
@@ -394,6 +408,36 @@ func (n *Network) peekTime() time.Duration {
 // PendingEvents returns the number of scheduled (not yet processed) events,
 // including stale timers.
 func (n *Network) PendingEvents() int { return n.events.Len() }
+
+// Reset returns the network to its initial state: virtual time zero, an empty
+// event queue, zeroed stats, cleared timers and freshly seeded randomness —
+// exactly the state a brand-new Network with the same options, nodes and
+// links would be in. Nodes and links are kept; resetting the nodes' own state
+// is the caller's concern. The clone pool uses Reset to rewind a shadow
+// cluster's transport between explored inputs instead of rebuilding it.
+func (n *Network) Reset() {
+	n.now = 0
+	for i := range n.events {
+		n.events[i] = nil
+	}
+	n.events = n.events[:0]
+	n.seq = 0
+	n.started = false
+	n.stats = Stats{}
+	for _, gens := range n.timerGen {
+		for name := range gens {
+			delete(gens, name)
+		}
+	}
+	if n.rngDirty {
+		n.rng = rand.New(rand.NewSource(n.opts.Seed))
+		n.rngDirty = false
+	}
+	for id := range n.dirtyNodeRngs {
+		n.nodeRngs[id] = rand.New(rand.NewSource(n.opts.Seed ^ int64(fnvHash(string(id)))))
+		delete(n.dirtyNodeRngs, id)
+	}
+}
 
 // InFlight returns the messages that have been sent but not yet delivered, in
 // deterministic order. The snapshot coordinator uses this to capture channel
