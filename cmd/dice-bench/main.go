@@ -1,11 +1,14 @@
 // Command dice-bench regenerates the paper's evaluation artifacts. Each
-// experiment (e1..e9, see DESIGN.md and EXPERIMENTS.md) can be run
-// individually or all together; -quick shrinks budgets for a fast smoke run.
-// e8 is the campaign-scaling experiment: the same multi-explorer campaign
-// executed serially and on a full worker pool. e9 is the clone-lifecycle
-// experiment: cold FromSnapshot rebuilds vs the pooled shadow-cluster
-// runtime; -json writes its machine-readable result (the BENCH_clone.json
-// artifact CI tracks across PRs).
+// experiment (e1..e10, see EXPERIMENTS.md) can be run individually or all
+// together; -quick shrinks budgets for a fast smoke run. e8 is the
+// campaign-scaling experiment: the same multi-explorer campaign executed
+// serially and on a full worker pool. e9 is the clone-lifecycle experiment:
+// cold FromSnapshot rebuilds vs the pooled shadow-cluster runtime. e10 is
+// the federation experiment: centralized vs per-AS federated detection on
+// the hijack scenario. -json writes the selected experiment's
+// machine-readable result (`-exp e9 -json BENCH_clone.json` and
+// `-exp e10 -json BENCH_federation.json` are the artifacts CI tracks across
+// PRs).
 package main
 
 import (
@@ -47,6 +50,59 @@ type cloneBench struct {
 	MeanDeltaBytes int `json:"mean_delta_bytes"`
 }
 
+// federationBench is the schema of the e10 -json artifact. Field names are
+// stable: CI archives one per PR so the perf trajectory captures
+// federated-mode overhead alongside the clone-lifecycle numbers.
+type federationBench struct {
+	Experiment string `json:"experiment"`
+	Quick      bool   `json:"quick"`
+	Seed       int64  `json:"seed"`
+	Routers    int    `json:"routers"`
+	Domains    int    `json:"domains"`
+
+	TotalInputs     int     `json:"total_inputs"`
+	Workers         int     `json:"workers"`
+	CentralizedNs   int64   `json:"centralized_ns"`
+	FederatedNs     int64   `json:"federated_ns"`
+	OverheadPercent float64 `json:"overhead_percent"`
+
+	Detections     int  `json:"detections"`
+	SameDetections bool `json:"same_detections"`
+
+	Summaries            int     `json:"summaries"`
+	SummaryBytes         int     `json:"summary_bytes"`
+	SummaryBytesPerInput int     `json:"summary_bytes_per_input"`
+	FullStateBytes       int     `json:"full_state_bytes"`
+	ReductionVsFullState float64 `json:"reduction_vs_full_state"`
+}
+
+func writeFederationJSON(path string, cfg dice.ExperimentConfig, r *dice.E10Result) error {
+	out := federationBench{
+		Experiment:           "e10",
+		Quick:                cfg.Quick,
+		Seed:                 cfg.Seed,
+		Routers:              r.Routers,
+		Domains:              r.Domains,
+		TotalInputs:          r.TotalInputs,
+		Workers:              r.Workers,
+		CentralizedNs:        r.CentralizedDuration.Nanoseconds(),
+		FederatedNs:          r.FederatedDuration.Nanoseconds(),
+		OverheadPercent:      r.OverheadPercent,
+		Detections:           r.Detections,
+		SameDetections:       r.SameDetections,
+		Summaries:            r.Summaries,
+		SummaryBytes:         r.SummaryBytes,
+		SummaryBytesPerInput: r.SummaryBytesPerInput,
+		FullStateBytes:       r.FullStateBytes,
+		ReductionVsFullState: r.ReductionVsFullState,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) error {
 	out := cloneBench{
 		Experiment:         "e9",
@@ -77,10 +133,10 @@ func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) er
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e9 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e10 or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
-	jsonPath := flag.String("json", "", "write the e9 clone-lifecycle result as JSON to this path (runs e9 if not already selected)")
+	jsonPath := flag.String("json", "", "write a machine-readable result to this path: the e10 federation artifact when -exp e10 is selected, otherwise the e9 clone-lifecycle artifact (running e9 if needed)")
 	flag.Parse()
 
 	cfg := dice.ExperimentConfig{Quick: *quick, Seed: *seed}
@@ -139,11 +195,23 @@ func main() {
 		res, err := dice.RunE8(cfg)
 		report("E8", res, err)
 	}
-	if run("e9") || *jsonPath != "" {
+	if run("e9") || (*jsonPath != "" && which != "e10") {
 		res, err := dice.RunE9(cfg)
 		report("E9", res, err)
-		if err == nil && *jsonPath != "" {
+		if err == nil && *jsonPath != "" && which != "e10" {
 			if werr := writeCloneJSON(*jsonPath, cfg, res); werr != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, werr)
+				failed = true
+			} else {
+				fmt.Printf("wrote %s\n", *jsonPath)
+			}
+		}
+	}
+	if run("e10") {
+		res, err := dice.RunE10(cfg)
+		report("E10", res, err)
+		if err == nil && *jsonPath != "" && which == "e10" {
+			if werr := writeFederationJSON(*jsonPath, cfg, res); werr != nil {
 				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, werr)
 				failed = true
 			} else {

@@ -20,6 +20,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel clone executions")
 	campaignMode := flag.Bool("campaign", false, "explore every router of the demo, not just R1")
+	federated := flag.Bool("federated", false, "split the campaign into per-AS administrative domains exchanging only privacy-filtered summaries (implies -campaign)")
 	timeout := flag.Duration("timeout", 0, "optional campaign deadline (e.g. 30s)")
 	flag.Parse()
 
@@ -28,8 +29,8 @@ func main() {
 	fmt.Println("                dispute wheel (R1,R2,R3), community-triggered crash (R1)")
 	fmt.Println()
 
-	if *campaignMode {
-		runCampaign(*quick, *seed, *workers, *timeout)
+	if *campaignMode || *federated {
+		runCampaign(*quick, *seed, *workers, *timeout, *federated)
 		return
 	}
 
@@ -52,8 +53,10 @@ func main() {
 }
 
 // runCampaign deploys the demo with the same fault set and explores every
-// router in one campaign, streaming detections as they are found.
-func runCampaign(quick bool, seed int64, workers int, timeout time.Duration) {
+// router in one campaign, streaming detections as they are found. In
+// federated mode the campaign is split into one administrative domain per
+// AS; only checker.Summary digests cross domain boundaries.
+func runCampaign(quick bool, seed int64, workers int, timeout time.Duration, federated bool) {
 	topo := dice.Demo27()
 	victim := topo.Nodes[26].Prefixes[0]
 	opts := dice.DeployOptions{
@@ -75,12 +78,18 @@ func runCampaign(quick bool, seed int64, workers int, timeout time.Duration) {
 	if quick {
 		budget.TotalInputs = 54
 	}
-	campaign := dice.NewCampaign(deployment, topo,
-		dice.WithStrategy(dice.AllNodesStrategy{}),
+	copts := []dice.CampaignOption{
 		dice.WithBudget(budget),
 		dice.WithSeed(seed),
 		dice.WithClusterOptions(opts),
-		dice.WithWorkers(workers))
+		dice.WithWorkers(workers),
+	}
+	if federated {
+		copts = append(copts, dice.WithFederation(dice.PartitionByAS(topo)))
+	} else {
+		copts = append(copts, dice.WithStrategy(dice.AllNodesStrategy{}))
+	}
+	campaign := dice.NewCampaign(deployment, topo, copts...)
 	events := campaign.Events()
 	done := make(chan struct{})
 	go func() {
@@ -102,6 +111,20 @@ func runCampaign(quick bool, seed int64, workers int, timeout time.Duration) {
 	fmt.Println()
 	fmt.Printf("campaign (%s strategy, %d workers): %d units, %d inputs in %v\n",
 		res.Strategy, res.Workers, len(res.Units), res.InputsExplored, res.Duration.Round(time.Millisecond))
+	if res.BudgetExhausted {
+		fmt.Println("time budget exhausted; results cover what completed in time")
+	}
+	if res.Federated {
+		fmt.Printf("federated: %d domains, %d summaries crossed boundaries (%d bytes disclosed vs %d bytes full state)\n",
+			len(res.Domains), res.Disclosed.Summaries, res.Disclosed.Bytes, res.FullStateBytes)
+		reporting := 0
+		for _, d := range res.Domains {
+			if d.Detections > 0 {
+				reporting++
+			}
+		}
+		fmt.Printf("           %d domains contributed detections\n", reporting)
+	}
 	byClass := res.DetectionsByClass()
 	for _, class := range []dice.FaultClass{dice.OperatorMistake, dice.PolicyConflict, dice.ProgrammingError} {
 		if ds := byClass[class]; len(ds) > 0 {

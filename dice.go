@@ -32,6 +32,7 @@ import (
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/federation"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -118,6 +119,45 @@ var (
 	WithEventBuffer = dice.WithEventBuffer
 	// WithOnEvent registers a synchronous event callback.
 	WithOnEvent = dice.WithOnEvent
+	// WithFederation splits the campaign along administrative-domain
+	// boundaries: per-domain planning, domain-scoped checking, and
+	// checker.Summary digests as the only cross-domain traffic.
+	WithFederation = dice.WithFederation
+)
+
+// Federation — testing a deployment as a federation of administrative
+// domains, the paper's defining scenario. Partition a topology, hand the
+// partition to WithFederation, and the campaign's CampaignResult reports
+// Disclosed bytes plus a per-domain breakdown.
+type (
+	// Domain is one administrative domain: a named set of routers.
+	Domain = federation.Domain
+	// Partition assigns every router to exactly one domain.
+	Partition = federation.Partition
+	// DisclosureStats aggregates the summaries (and bytes) that crossed
+	// domain boundaries during a federated campaign.
+	DisclosureStats = dice.DisclosureStats
+	// DomainResult is one domain's slice of a federated campaign result.
+	DomainResult = dice.DomainResult
+	// Summary is the only message type exchanged between domains: digests
+	// of local check outcomes, never configurations or route state.
+	Summary = checker.Summary
+	// ViolationDigest is the privacy-filtered projection of a Violation.
+	ViolationDigest = checker.ViolationDigest
+	// ForwardingEdge is one (node, prefix, next-hop) entry of the minimized
+	// forwarding projection exchanged for cross-domain loop checking.
+	ForwardingEdge = checker.ForwardingEdge
+)
+
+// Partition constructors.
+var (
+	// PartitionByAS makes every autonomous system its own domain (the
+	// paper's federation model).
+	PartitionByAS = federation.PartitionByAS
+	// PartitionByTier groups routers into one domain per topology tier.
+	PartitionByTier = federation.PartitionByTier
+	// NewPartition builds a partition from explicit domains.
+	NewPartition = federation.NewPartition
 )
 
 // Exploration strategies.
@@ -137,6 +177,7 @@ const (
 	EventSnapshot      = dice.EventSnapshot
 	EventUnitStart     = dice.EventUnitStart
 	EventDetection     = dice.EventDetection
+	EventSummary       = dice.EventSummary
 	EventUnitEnd       = dice.EventUnitEnd
 	EventCampaignEnd   = dice.EventCampaignEnd
 )

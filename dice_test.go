@@ -230,6 +230,31 @@ func TestRunE7Quick(t *testing.T) {
 	}
 }
 
+func TestRunE10Quick(t *testing.T) {
+	res, err := RunE10(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE10: %v", err)
+	}
+	if res.Routers != 27 || res.Domains != 27 {
+		t.Errorf("E10 should federate the demo per AS: %+v", res)
+	}
+	if !res.SameDetections {
+		t.Errorf("federated campaign must find exactly the centralized detections")
+	}
+	if res.Detections == 0 {
+		t.Errorf("campaign found nothing")
+	}
+	if res.Summaries == 0 || res.SummaryBytes == 0 {
+		t.Errorf("federated run disclosed nothing: %+v", res)
+	}
+	if res.ReductionVsFullState <= 1 {
+		t.Errorf("per-input summary traffic should undercut full-state sharing (%.1fx)", res.ReductionVsFullState)
+	}
+	if !strings.Contains(res.String(), "federated vs centralized") {
+		t.Errorf("report rendering broken")
+	}
+}
+
 func TestRunE9Quick(t *testing.T) {
 	res, err := RunE9(ExperimentConfig{Quick: true, Seed: 1})
 	if err != nil {

@@ -963,6 +963,148 @@ func RunE9(cfg ExperimentConfig) (*E9Result, error) {
 	return out, nil
 }
 
+// ---------------------------------------------------------------------------
+// E10 — federated vs centralized testing: the paper's headline scenario. The
+// same hijack campaign runs once with an omniscient checker and once split
+// into per-AS administrative domains that exchange only privacy-filtered
+// checker.Summary digests over the federation bus. Detections must be
+// identical; the experiment reports what federation cost (wall clock) and
+// what it disclosed (summary bytes vs a full-state exchange).
+// ---------------------------------------------------------------------------
+
+// E10Result compares centralized and federated campaigns.
+type E10Result struct {
+	Routers int
+	// Domains is the partition size (one domain per AS); CrossingLinks the
+	// inter-domain sessions.
+	Domains       int
+	CrossingLinks int
+
+	TotalInputs int
+	Workers     int
+
+	CentralizedDuration time.Duration
+	FederatedDuration   time.Duration
+	// OverheadPercent is the federated wall-clock overhead relative to the
+	// centralized run (positive means federation is slower).
+	OverheadPercent float64
+
+	Detections     int
+	SameDetections bool
+
+	// Disclosure accounting for the federated run.
+	Summaries            int
+	SummaryBytes         int
+	SummaryBytesPerInput int
+	FullStateBytes       int
+	// ReductionVsFullState is FullStateBytes divided by the per-input
+	// summary traffic: how much cheaper one round of federated checking is
+	// than shipping full node state once.
+	ReductionVsFullState float64
+	// DomainsReporting counts domains whose exploration contributed at
+	// least one campaign-unique detection.
+	DomainsReporting int
+}
+
+// RunE10 measures federated vs centralized detection on the 27-router
+// hijack scenario.
+func RunE10(cfg ExperimentConfig) (*E10Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed: cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(
+			faults.MisOrigination{Router: "R12", Prefix: victim},
+			faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	live, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	live.Converge()
+
+	partition := PartitionByAS(topo)
+	out := &E10Result{
+		Routers:       len(topo.Nodes),
+		Domains:       len(partition.Domains),
+		CrossingLinks: partition.CrossingLinks(topo),
+		TotalInputs:   cfg.inputs(216, 54),
+		Workers:       runtime.NumCPU(),
+	}
+
+	run := func(extra ...CampaignOption) (time.Duration, *CampaignResult, error) {
+		opts := []CampaignOption{
+			WithBudget(Budget{TotalInputs: out.TotalInputs}),
+			WithFuzzSeeds(cfg.inputs(8, 2)),
+			WithSeed(cfg.Seed),
+			WithClusterOptions(copts),
+			WithWorkers(out.Workers),
+		}
+		campaign := NewCampaign(live, topo, append(opts, extra...)...)
+		start := time.Now()
+		res, err := campaign.Run(context.Background())
+		return time.Since(start), res, err
+	}
+
+	// Centralized baseline: every router explored, one omniscient checker.
+	centDur, centRes, err := run(WithStrategy(AllNodesStrategy{}))
+	if err != nil {
+		return nil, err
+	}
+	// Federated: the same exploration split into per-AS domains (the default
+	// degree strategy explores from each domain's best-connected router —
+	// with one router per AS, the identical plan).
+	fedDur, fedRes, err := run(WithFederation(partition))
+	if err != nil {
+		return nil, err
+	}
+
+	out.CentralizedDuration, out.FederatedDuration = centDur, fedDur
+	if centDur > 0 {
+		out.OverheadPercent = 100 * float64(fedDur-centDur) / float64(centDur)
+	}
+	out.Detections = len(fedRes.Detections)
+	out.SameDetections = detectionFingerprint(centRes) == detectionFingerprint(fedRes)
+	out.Summaries = fedRes.Disclosed.Summaries
+	out.SummaryBytes = fedRes.Disclosed.Bytes
+	if fedRes.InputsExplored > 0 {
+		out.SummaryBytesPerInput = fedRes.Disclosed.Bytes / fedRes.InputsExplored
+	}
+	out.FullStateBytes = fedRes.FullStateBytes
+	if fedRes.Disclosed.Bytes > 0 && fedRes.InputsExplored > 0 {
+		// Full precision: dividing by the truncated per-input int would
+		// overstate the reduction.
+		perInput := float64(fedRes.Disclosed.Bytes) / float64(fedRes.InputsExplored)
+		out.ReductionVsFullState = float64(out.FullStateBytes) / perInput
+	}
+	for _, d := range fedRes.Domains {
+		if d.Detections > 0 {
+			out.DomainsReporting++
+		}
+	}
+	return out, nil
+}
+
+// String renders the federation report.
+func (r *E10Result) String() string {
+	var b strings.Builder
+	b.WriteString("E10 (federated vs centralized testing):\n")
+	fmt.Fprintf(&b, "  topology                  %d routers in %d domains (%d inter-domain links)\n",
+		r.Routers, r.Domains, r.CrossingLinks)
+	fmt.Fprintf(&b, "  input budget              %d clone executions per run (%d workers)\n", r.TotalInputs, r.Workers)
+	fmt.Fprintf(&b, "  centralized               %v\n", r.CentralizedDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  federated                 %v (%.1f%% overhead)\n", r.FederatedDuration.Round(time.Millisecond), r.OverheadPercent)
+	fmt.Fprintf(&b, "  detections                %d (identical to centralized: %v, %d domains reporting)\n",
+		r.Detections, r.SameDetections, r.DomainsReporting)
+	fmt.Fprintf(&b, "  disclosure                %d summaries, %d bytes total (%d bytes/input)\n",
+		r.Summaries, r.SummaryBytes, r.SummaryBytesPerInput)
+	fmt.Fprintf(&b, "  vs full-state sharing     %d bytes once; federated checking is %.1fx cheaper per input\n",
+		r.FullStateBytes, r.ReductionVsFullState)
+	return b.String()
+}
+
 // detectionFingerprint canonicalizes a campaign's detections: violation keys
 // with the input index each was first seen at.
 func detectionFingerprint(r *CampaignResult) string {

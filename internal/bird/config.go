@@ -120,6 +120,67 @@ func (c *Config) Clone() *Config {
 	return &out
 }
 
+// PrivacyClass classifies a configuration field for federated deployments:
+// whether its content is observable outside the administrative domain anyway,
+// or encodes operator intent that must never cross a domain boundary.
+type PrivacyClass int
+
+// Privacy classes.
+const (
+	// PrivacyShared marks fields already visible from outside the domain:
+	// wire-level identifiers (the AS number and router ID travel in every
+	// OPEN and UPDATE) and registry-public data (originated prefixes).
+	PrivacyShared PrivacyClass = iota
+	// PrivacyPrivate marks fields that exist only inside the domain: the
+	// session book with its policy bindings, the policy definitions
+	// themselves, and the local timer tuning. The federation bus carries
+	// checker.Summary values only, which reference none of these; the
+	// privacy test serializes the bus traffic to prove it.
+	PrivacyPrivate
+)
+
+// String renders the privacy class.
+func (p PrivacyClass) String() string {
+	if p == PrivacyPrivate {
+		return "private"
+	}
+	return "shared"
+}
+
+// ConfigPrivacy is the privacy classification of every Config field by name —
+// the contract the federation layer is built against. A completeness test
+// asserts the map covers the struct exactly, so a field added to Config
+// without a deliberate classification fails the build's tests.
+func ConfigPrivacy() map[string]PrivacyClass {
+	return map[string]PrivacyClass{
+		"Name":              PrivacyShared,
+		"AS":                PrivacyShared,
+		"RouterID":          PrivacyShared,
+		"Networks":          PrivacyShared,
+		"Neighbors":         PrivacyPrivate,
+		"Policies":          PrivacyPrivate,
+		"HoldTime":          PrivacyPrivate,
+		"KeepaliveInterval": PrivacyPrivate,
+		"ConnectRetry":      PrivacyPrivate,
+	}
+}
+
+// Redacted returns the shareable projection of the configuration: every
+// PrivacyPrivate field is zeroed, leaving only what other domains could
+// observe anyway. It is what a federated operator could hand to a neighbor
+// without disclosing intent; the running system never needs it because the
+// federation bus ships summaries, not configurations.
+func (c *Config) Redacted() *Config {
+	// Exactly the PrivacyShared fields of ConfigPrivacy; the redaction test
+	// cross-checks this against the classification map.
+	return &Config{
+		Name:     c.Name,
+		AS:       c.AS,
+		RouterID: c.RouterID,
+		Networks: append([]bgp.Prefix(nil), c.Networks...),
+	}
+}
+
 // Neighbor returns the configuration of the named neighbor, or nil.
 func (c *Config) Neighbor(name string) *NeighborConfig {
 	for i := range c.Neighbors {

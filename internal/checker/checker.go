@@ -294,32 +294,90 @@ func (p Reachability) Check(c *cluster.Cluster) Result {
 // LoopFreedom checks that the forwarding graph induced by selected routes is
 // acyclic for every prefix. Nodes disclose only a minimized projection of
 // their state — (prefix, next-hop node) pairs — not attributes, policies or
-// alternative routes.
+// alternative routes. It is the one default property that needs a cross-node
+// view, so it implements ProjectionProperty: federated campaigns assemble
+// the projection from the per-domain summaries and evaluate it at the
+// exploring domain instead of checking each domain's subgraph in isolation
+// (which would miss loops that span domains).
 type LoopFreedom struct{}
 
 // Name implements Property.
 func (LoopFreedom) Name() string { return "loop-freedom" }
 
-// Check implements Property.
+// ForwardingEdge is one entry of the minimized forwarding projection a node
+// discloses for loop checking: for a prefix, the neighbor its selected route
+// forwards to ("" when the node originates the prefix). No attributes,
+// preferences or alternative routes are included.
+type ForwardingEdge struct {
+	Node    string
+	Prefix  bgp.Prefix
+	NextHop string
+}
+
+// size is the edge's disclosure charge: node name, 5 prefix bytes, neighbor
+// name (the same 5+len convention the centralized accounting uses).
+func (e ForwardingEdge) size() int { return len(e.Node) + 5 + len(e.NextHop) }
+
+// ProjectionProperty is a Property that cannot be evaluated per-node or
+// per-domain: it needs a cross-node view assembled from minimized per-node
+// projections. Federated campaigns route such properties through the
+// summary exchange — every domain ships Projection of its own view, and the
+// exploring domain evaluates CheckProjection over the union. Summaries
+// carry a single projection, so a federated campaign checks at most one
+// distinct projection-based property and rejects property sets with more.
+type ProjectionProperty interface {
+	Property
+	// Projection extracts the minimized projection of the (possibly
+	// domain-scoped) cluster view.
+	Projection(c *cluster.Cluster) []ForwardingEdge
+	// CheckProjection evaluates the property over an assembled projection
+	// covering the given node set.
+	CheckProjection(edges []ForwardingEdge, nodes []string) Result
+}
+
+// Projection implements ProjectionProperty.
+func (LoopFreedom) Projection(c *cluster.Cluster) []ForwardingEdge {
+	var edges []ForwardingEdge
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		for _, best := range r.LocRIB().BestRoutes() {
+			e := ForwardingEdge{Node: name, Prefix: best.Prefix}
+			if !best.Local {
+				e.NextHop = best.Peer
+			}
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// Check implements Property: project the whole cluster, then evaluate. The
+// per-edge disclosure charge stays on this path (prefix + neighbor name per
+// edge, as before); CheckProjection charges only its verdicts, since in a
+// federated run the edges are charged by the summary bus instead.
 func (p LoopFreedom) Check(c *cluster.Cluster) Result {
+	edges := p.Projection(c)
+	res := p.CheckProjection(edges, c.RouterNames())
+	for _, e := range edges {
+		res.DisclosedBytes += 5 + len(e.NextHop)
+	}
+	return res
+}
+
+// CheckProjection implements ProjectionProperty.
+func (p LoopFreedom) CheckProjection(edges []ForwardingEdge, nodes []string) Result {
 	res := Result{Property: p.Name()}
 	// nextHop[node][prefix] = neighbor the node forwards to ("" = local).
 	nextHop := make(map[string]map[bgp.Prefix]string)
 	prefixSet := make(map[bgp.Prefix]bool)
-	for _, name := range c.RouterNames() {
-		r := c.Router(name)
-		proj := make(map[bgp.Prefix]string)
-		for _, best := range r.LocRIB().BestRoutes() {
-			if best.Local {
-				proj[best.Prefix] = ""
-			} else {
-				proj[best.Prefix] = best.Peer
-			}
-			prefixSet[best.Prefix] = true
-			// Disclosure: prefix (5 bytes) + neighbor name.
-			res.DisclosedBytes += 5 + len(best.Peer)
+	for _, e := range edges {
+		proj := nextHop[e.Node]
+		if proj == nil {
+			proj = make(map[bgp.Prefix]string)
+			nextHop[e.Node] = proj
 		}
-		nextHop[name] = proj
+		proj[e.Prefix] = e.NextHop
+		prefixSet[e.Prefix] = true
 	}
 	prefixes := make([]bgp.Prefix, 0, len(prefixSet))
 	for pfx := range prefixSet {
@@ -330,7 +388,7 @@ func (p LoopFreedom) Check(c *cluster.Cluster) Result {
 	loopSeen := make(map[string]bool) // start+prefix keys already reported
 	loopByNode := make(map[string]bool)
 	for _, pfx := range prefixes {
-		for _, start := range c.RouterNames() {
+		for _, start := range nodes {
 			seen := map[string]bool{}
 			cur := start
 			for {
@@ -360,7 +418,7 @@ func (p LoopFreedom) Check(c *cluster.Cluster) Result {
 			}
 		}
 	}
-	for _, name := range c.RouterNames() {
+	for _, name := range nodes {
 		v := Verdict{Node: name, Property: p.Name(), OK: !loopByNode[name]}
 		res.Verdicts = append(res.Verdicts, v)
 		res.DisclosedBytes += v.size()

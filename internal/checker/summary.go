@@ -1,0 +1,109 @@
+package checker
+
+import "github.com/dice-project/dice/internal/bgp"
+
+// Summary is the ONLY message type that crosses administrative domain
+// boundaries in a federated campaign. It carries the outcome of a domain's
+// local property checks reduced to registry-public facts: which properties
+// were evaluated, whether they held, and a digest per violation. It never
+// references router configurations, policies, RIB contents or raw route
+// attributes — the federation privacy test serializes every summary that
+// crossed the bus and proves none of that content leaked.
+type Summary struct {
+	// Domain is the administrative domain that produced the summary.
+	Domain string
+	// Checked counts the (property, node) evaluations the summary covers.
+	Checked int
+	// OK reports whether every local check passed; a summary with OK true
+	// carries no digests.
+	OK bool
+	// Digests are the violating findings, one per violation, reduced to the
+	// fields of Violation.Key plus the fault class.
+	Digests []ViolationDigest
+	// Edges is the domain's minimized forwarding projection — the
+	// (node, prefix, next-hop) pairs ProjectionProperty checks (loop
+	// freedom) need a cross-domain view of. It is the same projection the
+	// centralized checker already treats as shareable; nothing about route
+	// attributes, preferences or alternatives rides along.
+	Edges []ForwardingEdge
+}
+
+// ViolationDigest is the privacy-filtered projection of a Violation: exactly
+// the fields that identify the finding across domains (the Key fields and
+// the fault class). The free-form Detail string — which may quote node-local
+// state — deliberately does not cross the boundary.
+type ViolationDigest struct {
+	Property string
+	Class    FaultClass
+	Node     string
+	Prefix   bgp.Prefix
+	HasPfx   bool
+}
+
+// Key identifies the digested violation; it matches Violation.Key for the
+// violation the digest was derived from, so detections deduplicate the same
+// way whether they were found locally or reported through a summary.
+func (d ViolationDigest) Key() string {
+	return Violation{Property: d.Property, Node: d.Node, Prefix: d.Prefix, HasPfx: d.HasPfx}.Key()
+}
+
+// Violation reconstructs a checkable violation from the digest. The detail
+// marks the finding as federated: the receiving domain knows that the
+// property failed and where, but not the reporting domain's local evidence.
+func (d ViolationDigest) Violation() Violation {
+	return Violation{
+		Property: d.Property,
+		Class:    d.Class,
+		Node:     d.Node,
+		Prefix:   d.Prefix,
+		HasPfx:   d.HasPfx,
+		Detail:   "reported via federation summary",
+	}
+}
+
+// size approximates the serialized digest size in bytes: the two strings, a
+// 5-byte prefix (4 address bytes + length), the class byte and the HasPfx
+// flag. The same convention as Verdict.size keeps disclosure accounting
+// comparable between the verdict interface and the federation bus.
+func (d ViolationDigest) size() int {
+	return len(d.Property) + len(d.Node) + 5 + 2
+}
+
+// Size is the serialized size of the summary in bytes under the disclosure
+// accounting convention: domain name, the Checked counter (4 bytes), the OK
+// flag, every digest, and every forwarding edge (usually the dominant term —
+// edges ride on every summary, digests only on failing ones). The federation
+// bus charges exactly this many bytes per published summary, and
+// CampaignResult.Disclosed sums the charges, so "bytes disclosed" always
+// equals bytes actually exchanged.
+func (s Summary) Size() int {
+	n := len(s.Domain) + 4 + 1
+	for _, d := range s.Digests {
+		n += d.size()
+	}
+	for _, e := range s.Edges {
+		n += e.size()
+	}
+	return n
+}
+
+// Summarize reduces a domain-local check report (plus the domain's
+// forwarding projection, when cross-domain properties are checked) to the
+// summary that may leave the domain.
+func Summarize(domain string, rep *Report, edges []ForwardingEdge) Summary {
+	s := Summary{Domain: domain, OK: true, Edges: edges}
+	for _, res := range rep.Results {
+		s.Checked += len(res.Verdicts)
+		for _, v := range res.Violations {
+			s.OK = false
+			s.Digests = append(s.Digests, ViolationDigest{
+				Property: v.Property,
+				Class:    v.Class,
+				Node:     v.Node,
+				Prefix:   v.Prefix,
+				HasPfx:   v.HasPfx,
+			})
+		}
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package checker
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+func TestSummarizeAndDigestKeys(t *testing.T) {
+	v := Violation{
+		Property: "origin-validity",
+		Class:    ClassOperatorMistake,
+		Node:     "R1",
+		Prefix:   bgp.MustParsePrefix("10.1.0.0/16"),
+		HasPfx:   true,
+		Detail:   "prefix owned by AS 65001 is originated by AS 65003",
+	}
+	rep := &Report{Results: []Result{{
+		Property:   v.Property,
+		Violations: []Violation{v},
+		Verdicts:   []Verdict{{Node: "R1", Property: v.Property}, {Node: "R2", Property: v.Property, OK: true}},
+	}}}
+	edges := []ForwardingEdge{{Node: "R1", Prefix: v.Prefix, NextHop: "R2"}}
+	s := Summarize("as65001", rep, edges)
+
+	if s.OK || s.Checked != 2 || len(s.Digests) != 1 || len(s.Edges) != 1 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	d := s.Digests[0]
+	// Key parity is what makes detections deduplicate across the local and
+	// federated paths.
+	if d.Key() != v.Key() {
+		t.Errorf("digest key %q != violation key %q", d.Key(), v.Key())
+	}
+	back := d.Violation()
+	if back.Key() != v.Key() || back.Class != v.Class {
+		t.Errorf("reconstructed violation drifted: %+v", back)
+	}
+	// The free-form local detail must not survive the boundary.
+	if back.Detail == v.Detail {
+		t.Errorf("local detail crossed the boundary: %q", back.Detail)
+	}
+
+	// Size is the sum of its parts and grows with content.
+	empty := Summary{Domain: "as65001"}
+	if s.Size() <= empty.Size() {
+		t.Errorf("size accounting flat: %d vs %d", s.Size(), empty.Size())
+	}
+	want := len("as65001") + 4 + 1 + (len(d.Property) + len(d.Node) + 5 + 2) + (len("R1") + 5 + len("R2"))
+	if s.Size() != want {
+		t.Errorf("Size = %d, want %d", s.Size(), want)
+	}
+}
+
+func TestSummarizeHealthyReport(t *testing.T) {
+	rep := &Report{Results: []Result{{Property: "node-health", Verdicts: []Verdict{{Node: "R1", OK: true}}}}}
+	s := Summarize("d", rep, nil)
+	if !s.OK || len(s.Digests) != 0 || s.Checked != 1 {
+		t.Errorf("healthy summary wrong: %+v", s)
+	}
+}

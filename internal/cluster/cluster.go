@@ -304,6 +304,22 @@ func (c *Cluster) InjectRaw(fromPeer, to string, wire []byte) {
 // RouterNames returns the router names in topology order.
 func (c *Cluster) RouterNames() []string { return c.Topo.NodeNames() }
 
+// Subview returns a read-only, domain-scoped view of the cluster restricted
+// to the given sub-topology (usually built with Topology.Induced): Router,
+// RouterNames and property checks see only that subset of nodes. The view
+// shares router instances and the transport with the parent cluster — it is
+// a visibility boundary, not a copy — so it must not be run or mutated.
+// Federated coordinators evaluate properties over their domain's subview.
+func (c *Cluster) Subview(sub *topology.Topology) *Cluster {
+	routers := make(map[string]*bird.Router, len(sub.Nodes))
+	for _, n := range sub.Nodes {
+		if r, ok := c.Routers[n.Name]; ok {
+			routers[n.Name] = r
+		}
+	}
+	return &Cluster{Topo: sub, Net: c.Net, Routers: routers, opts: c.opts}
+}
+
 // TotalBestChanges sums the best-route changes across all routers, a proxy
 // for control-plane churn used by the overhead experiment.
 func (c *Cluster) TotalBestChanges() int {

@@ -79,14 +79,21 @@ func injectInFlight(c *Cluster, snap *checkpoint.Snapshot) {
 // cluster constructions (first lease of each pooled clone, or every clone
 // when pooling is disabled); Resets are in-place rewinds of a returned clone.
 type PoolStats struct {
-	// Leases counts successful Lease calls.
-	Leases int
+	// Leases counts successful Lease calls; Releases counts clones handed
+	// back. A quiesced pool must have Leases == Releases — anything else is
+	// a leaked clone (see Outstanding).
+	Leases   int
+	Releases int
 	// ColdBuilds / ColdBuildTime count and time full shadow-cluster builds.
 	ColdBuilds    int
 	ColdBuildTime time.Duration
 	// Resets / ResetTime count and time in-place rewinds to the snapshot.
 	Resets    int
 	ResetTime time.Duration
+	// Discards counts pooled clones thrown away because their in-place reset
+	// failed; the lease that hit the failure fell through to the next free
+	// clone (or a cold build) instead of failing the caller.
+	Discards int
 }
 
 // ColdBuildPer returns the mean cold-build cost, or zero.
@@ -108,10 +115,12 @@ func (s PoolStats) ResetPer() time.Duration {
 // Add merges two stat sets.
 func (s PoolStats) Add(o PoolStats) PoolStats {
 	s.Leases += o.Leases
+	s.Releases += o.Releases
 	s.ColdBuilds += o.ColdBuilds
 	s.ColdBuildTime += o.ColdBuildTime
 	s.Resets += o.Resets
 	s.ResetTime += o.ResetTime
+	s.Discards += o.Discards
 	return s
 }
 
@@ -142,45 +151,53 @@ func NewClonePool(topo *topology.Topology, store *checkpoint.Store, opts Options
 func (p *ClonePool) Store() *checkpoint.Store { return p.store }
 
 // Lease returns a shadow cluster in snapshot state: a pooled clone rewound to
-// the snapshot, or a cold-built one when the pool is empty. The caller owns
-// the clone until Release.
+// the snapshot, or a cold-built one when the pool is empty. A pooled clone
+// whose in-place reset fails is discarded (counted in PoolStats.Discards) and
+// the lease falls through to the next free clone or a cold build, so a
+// corrupted clone degrades the pool instead of failing the campaign. The
+// caller owns the clone until Release.
 func (p *ClonePool) Lease() (*Cluster, error) {
-	p.mu.Lock()
-	var c *Cluster
-	if n := len(p.free); n > 0 {
-		c = p.free[n-1]
-		p.free[n-1] = nil
-		p.free = p.free[:n-1]
-	}
-	p.mu.Unlock()
+	for {
+		p.mu.Lock()
+		var c *Cluster
+		if n := len(p.free); n > 0 {
+			c = p.free[n-1]
+			p.free[n-1] = nil
+			p.free = p.free[:n-1]
+		}
+		p.mu.Unlock()
 
-	if c == nil {
+		if c == nil {
+			start := time.Now()
+			built, err := FromStore(p.topo, p.store, p.opts)
+			elapsed := time.Since(start)
+			if err != nil {
+				return nil, err
+			}
+			p.mu.Lock()
+			p.stats.Leases++
+			p.stats.ColdBuilds++
+			p.stats.ColdBuildTime += elapsed
+			p.mu.Unlock()
+			return built, nil
+		}
+
 		start := time.Now()
-		built, err := FromStore(p.topo, p.store, p.opts)
+		err := c.ResetToStore(p.store)
 		elapsed := time.Since(start)
 		if err != nil {
-			return nil, err
+			p.mu.Lock()
+			p.stats.Discards++
+			p.mu.Unlock()
+			continue
 		}
 		p.mu.Lock()
 		p.stats.Leases++
-		p.stats.ColdBuilds++
-		p.stats.ColdBuildTime += elapsed
+		p.stats.Resets++
+		p.stats.ResetTime += elapsed
 		p.mu.Unlock()
-		return built, nil
+		return c, nil
 	}
-
-	start := time.Now()
-	err := c.ResetToStore(p.store)
-	elapsed := time.Since(start)
-	if err != nil {
-		return nil, err
-	}
-	p.mu.Lock()
-	p.stats.Leases++
-	p.stats.Resets++
-	p.stats.ResetTime += elapsed
-	p.mu.Unlock()
-	return c, nil
 }
 
 // Release returns a leased clone to the pool. The clone may be in any state;
@@ -191,7 +208,17 @@ func (p *ClonePool) Release(c *Cluster) {
 	}
 	p.mu.Lock()
 	p.free = append(p.free, c)
+	p.stats.Releases++
 	p.mu.Unlock()
+}
+
+// Outstanding returns the number of leased clones not yet released. A pool
+// whose campaign has finished must report zero — the clone-leak tests assert
+// exactly that.
+func (p *ClonePool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats.Leases - p.stats.Releases
 }
 
 // Size returns the number of idle clones currently pooled.

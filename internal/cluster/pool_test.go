@@ -187,4 +187,57 @@ func TestClonePoolGrowsToDemand(t *testing.T) {
 	if s := pool.Stats(); s.Resets != 1 {
 		t.Errorf("stats = %+v, want 1 reset", s)
 	}
+	if pool.Outstanding() != 1 {
+		t.Errorf("outstanding = %d with one clone leased", pool.Outstanding())
+	}
+	pool.Release(c)
+	if pool.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after full release", pool.Outstanding())
+	}
+}
+
+// TestClonePoolDiscardsOnResetFailure fault-injects a broken pooled clone —
+// one holding a router the snapshot store has never heard of, so its
+// in-place reset must fail — and asserts the pool discards it and serves the
+// lease from a fresh cold build instead of failing the caller, with the
+// books kept straight.
+func TestClonePoolDiscardsOnResetFailure(t *testing.T) {
+	topo := topology.Line(3)
+	opts := Options{Seed: 1}
+	live := MustBuild(topo, opts)
+	live.Converge()
+	store, err := checkpoint.NewStore(live.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewClonePool(topo, store, opts)
+
+	a, err := pool.Lease()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the clone: ResetToStore iterates the clone's routers and the
+	// store has no image for this name.
+	rogue := MustBuild(topology.Line(2), Options{Seed: 1})
+	a.Routers["bogus"] = rogue.Router("R1")
+	pool.Release(a)
+
+	b, err := pool.Lease()
+	if err != nil {
+		t.Fatalf("lease after corrupt release must fall through to a cold build: %v", err)
+	}
+	if b == a {
+		t.Fatalf("pool re-leased the corrupted clone")
+	}
+	s := pool.Stats()
+	if s.Discards != 1 {
+		t.Errorf("discards = %d, want 1 (stats %+v)", s.Discards, s)
+	}
+	if s.ColdBuilds != 2 || s.Resets != 0 {
+		t.Errorf("fallback lease accounting wrong: %+v", s)
+	}
+	pool.Release(b)
+	if pool.Outstanding() != 0 {
+		t.Errorf("outstanding = %d, want 0 (stats %+v)", pool.Outstanding(), pool.Stats())
+	}
 }

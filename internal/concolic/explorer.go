@@ -15,19 +15,27 @@ import (
 // explorer records it and keeps exploring.
 type ExecuteFunc func(in *Input, m *Machine) error
 
+// DefaultMaxBranchesPerPath is the recorded-path bound applied when
+// ExplorerOptions.MaxBranchesPerPath is unset. It matches the machine-level
+// default, so the limit is explicit in the explorer's resolved options
+// instead of silently looking like "unlimited".
+const DefaultMaxBranchesPerPath = 4096
+
 // ExplorerOptions configure an Explorer.
 type ExplorerOptions struct {
 	// MaxExecutions bounds the total number of program executions. Zero
 	// selects 256.
 	MaxExecutions int
 	// MaxBranchesPerPath bounds the recorded path length per execution.
+	// Zero selects DefaultMaxBranchesPerPath.
 	MaxBranchesPerPath int
 	// MaxQueue bounds the number of pending candidate inputs. Zero selects
 	// 4096.
 	MaxQueue int
 	// Solver configures constraint solving.
 	Solver solver.Options
-	// Seed makes exploration deterministic.
+	// Seed makes exploration deterministic. Negative seeds are as valid as
+	// positive ones.
 	Seed int64
 }
 
@@ -35,11 +43,27 @@ func (o ExplorerOptions) withDefaults() ExplorerOptions {
 	if o.MaxExecutions <= 0 {
 		o.MaxExecutions = 256
 	}
+	if o.MaxBranchesPerPath <= 0 {
+		o.MaxBranchesPerPath = DefaultMaxBranchesPerPath
+	}
 	if o.MaxQueue <= 0 {
 		o.MaxQueue = 4096
 	}
 	if o.Solver.Seed == 0 {
-		o.Solver.Seed = o.Seed + 1
+		// Derive the solver seed from the exploration seed, injectively and
+		// never landing on the "unset" sentinel 0: non-negative seeds shift
+		// by one (so the common Seed 0 default derives 1, as before) and
+		// negative seeds map to themselves. The two ranges stay disjoint, so
+		// distinct exploration seeds always drive distinct solver decisions,
+		// and — since no derivation yields 0 — withDefaults is idempotent:
+		// a later defaulting pass can never silently re-seed the solver
+		// (the old Seed == -1 → 0 hole that broke determinism for negative
+		// seeds).
+		if o.Seed >= 0 {
+			o.Solver.Seed = o.Seed + 1
+		} else {
+			o.Solver.Seed = o.Seed
+		}
 	}
 	return o
 }

@@ -1,0 +1,75 @@
+package concolic
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/dice-project/dice/internal/concolic/solver"
+)
+
+// TestExplorerOptionDefaults pins the resolved-option contract: every bound
+// has an explicit default (MaxBranchesPerPath no longer silently means
+// "whatever the machine picks"), and defaulting is idempotent — in
+// particular, a derived solver seed never equals the "unset" sentinel 0, so
+// a second defaulting pass can never silently re-seed the solver.
+func TestExplorerOptionDefaults(t *testing.T) {
+	o := ExplorerOptions{}.withDefaults()
+	if o.MaxBranchesPerPath != DefaultMaxBranchesPerPath {
+		t.Errorf("MaxBranchesPerPath default = %d, want %d", o.MaxBranchesPerPath, DefaultMaxBranchesPerPath)
+	}
+	if o.MaxExecutions != 256 || o.MaxQueue != 4096 {
+		t.Errorf("unexpected defaults: %+v", o)
+	}
+
+	for _, seed := range []int64{-3, -2, -1, 0, 1, 2} {
+		o := ExplorerOptions{Seed: seed}.withDefaults()
+		if o.Solver.Seed == 0 {
+			t.Errorf("Seed %d derived the unset solver sentinel 0", seed)
+		}
+		if again := o.withDefaults(); again.Solver.Seed != o.Solver.Seed {
+			t.Errorf("Seed %d: re-defaulting changed solver seed %d -> %d (non-idempotent)",
+				seed, o.Solver.Seed, again.Solver.Seed)
+		}
+	}
+	// An explicitly configured solver seed always wins over derivation.
+	o = ExplorerOptions{Seed: -1, Solver: solver.Options{Seed: 77}}.withDefaults()
+	if o.Solver.Seed != 77 {
+		t.Errorf("explicit solver seed overridden: %d", o.Solver.Seed)
+	}
+}
+
+// TestExplorerNegativeSeedDeterminism is the regression test for the
+// Seed == -1 hole: two explorations with the same negative seed must take
+// identical decisions, and nearby negative seeds must not be forced onto
+// the same solver seed.
+func TestExplorerNegativeSeedDeterminism(t *testing.T) {
+	run := func(seed int64) (Stats, string) {
+		e := NewExplorer(exploreTarget, ExplorerOptions{MaxExecutions: 40, Seed: seed})
+		e.AddSeed(NewInput("msg", []byte{9, 9, 9}))
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Stats(), fmt.Sprint(e.Coverage())
+	}
+	for _, seed := range []int64{-1, -2, -1000003} {
+		s1, c1 := run(seed)
+		s2, c2 := run(seed)
+		if s1 != s2 || c1 != c2 {
+			t.Errorf("seed %d not deterministic:\n  %+v %s\n  %+v %s", seed, s1, c1, s2, c2)
+		}
+	}
+	// Distinct seeds must derive distinct solver seeds (the -1 collision
+	// used to fold onto seed 0's behavior via downstream re-defaulting),
+	// including at the edges of the negative range.
+	derived := map[int64]int64{}
+	for _, seed := range []int64{-1 << 62, -1<<62 - 1, -1000003, -2, -1, 0, 1, 1 << 40} {
+		derived[seed] = ExplorerOptions{Seed: seed}.withDefaults().Solver.Seed
+	}
+	seenSolver := map[int64]int64{}
+	for seed, sv := range derived {
+		if prev, dup := seenSolver[sv]; dup {
+			t.Errorf("seeds %d and %d derive the same solver seed %d", prev, seed, sv)
+		}
+		seenSolver[sv] = seed
+	}
+}

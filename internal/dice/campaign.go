@@ -11,6 +11,7 @@ import (
 	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/federation"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -23,7 +24,10 @@ type Budget struct {
 	// every unpinned unit the classic per-round default of 64 inputs.
 	TotalInputs int
 	// MaxDuration bounds the campaign wall clock; Run derives a deadline
-	// context from it. Zero means no time limit.
+	// context from it. Expiry is a normal completion — Run returns the
+	// partial result with CampaignResult.BudgetExhausted set and a nil
+	// error, distinct from caller cancellation (Cancelled). Zero means no
+	// time limit.
 	MaxDuration time.Duration
 }
 
@@ -43,6 +47,7 @@ type campaignConfig struct {
 	shadowMaxEvents int
 	eventBuffer     int
 	onEvent         func(Event)
+	partition       *federation.Partition
 }
 
 func defaultCampaignConfig() campaignConfig {
@@ -210,6 +215,17 @@ type Campaign struct {
 	clones    *cluster.ClonePool
 	coldMu    sync.Mutex
 	coldStats cluster.PoolStats
+	// fed is the federation runtime (nil in centralized campaigns).
+	fed *fedState
+
+	// testCloneFault, when set by fault-injecting tests, runs after every
+	// successful clone lease; a returned error simulates an execution or
+	// checking failure mid-clone.
+	testCloneFault func() error
+	// testRetainBusLog makes the federation bus retain every envelope so
+	// the privacy test can re-serialize the exchanged traffic; off by
+	// default, since an unbounded campaign would accumulate the log forever.
+	testRetainBusLog bool
 
 	// detSeen dedupes streamed detection events campaign-wide: a violation
 	// already reported by another unit is a per-unit result, not news.
@@ -293,9 +309,23 @@ type CampaignResult struct {
 	InputsExplored int
 	DisclosedBytes int
 	Duration       time.Duration
-	// Cancelled reports that the context ended the campaign early; the
-	// result aggregates whatever completed before that.
+	// Cancelled reports that the caller's context ended the campaign early
+	// (cancellation or a caller-imposed deadline); the result aggregates
+	// whatever completed before that. Exhausting Budget.MaxDuration is NOT
+	// cancellation — it sets BudgetExhausted instead.
 	Cancelled bool
+	// BudgetExhausted reports that the campaign stopped because its own
+	// Budget.MaxDuration elapsed. That is a normal way for a budgeted
+	// campaign to finish, so Run returns a nil error for it.
+	BudgetExhausted bool
+
+	// Federated reports whether the campaign ran under WithFederation.
+	// Disclosed aggregates the checker.Summary traffic that crossed domain
+	// boundaries, and Domains is the per-domain breakdown in partition
+	// order. All three are zero in centralized campaigns.
+	Federated bool
+	Disclosed DisclosureStats
+	Domains   []DomainResult
 
 	// PooledClones reports whether the campaign ran on the pooled
 	// shadow-cluster runtime; CloneStats breaks the clone lifecycle down
@@ -330,10 +360,16 @@ func (r *CampaignResult) Detected(class checker.FaultClass) bool {
 	return r.FirstDetection(class) != nil
 }
 
-// planUnits asks the strategy for units and fills in budget, fuzz seeds and
-// per-unit seeds.
+// planUnits asks the strategy for units (per domain, in a federated
+// campaign) and fills in budget, fuzz seeds and per-unit seeds.
 func (c *Campaign) planUnits() ([]Unit, error) {
-	units, err := c.cfg.strategy.Plan(c.topo, c.cfg.explorers)
+	var units []Unit
+	var err error
+	if c.cfg.partition != nil {
+		units, err = c.planFederatedUnits()
+	} else {
+		units, err = c.cfg.strategy.Plan(c.topo, c.cfg.explorers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -383,9 +419,12 @@ func (c *Campaign) planUnits() ([]Unit, error) {
 
 // Run executes the campaign: plan units, take one consistent snapshot, fan
 // the units out over the worker pool, stream events, and aggregate. It
-// honors ctx cancellation and deadlines (and Budget.MaxDuration): on early
-// termination it returns the partial result together with the context's
-// error. Run may be called once per campaign.
+// honors ctx cancellation and deadlines: on caller-driven early termination
+// it returns the partial result together with the context's error, with
+// CampaignResult.Cancelled set. Exhausting Budget.MaxDuration is different —
+// the budget belongs to the campaign, so running out of it is a normal
+// completion: the partial result comes back with BudgetExhausted set and a
+// nil error. Run may be called once per campaign.
 func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	if c.topo == nil {
 		return nil, ErrNoTopology
@@ -398,6 +437,11 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	c.started = true
 	c.mu.Unlock()
 
+	// The budget deadline is layered on top of the caller's context so the
+	// two terminations stay distinguishable: parent.Err() reports the
+	// caller's cancellation, ctx.Err() without a parent error reports budget
+	// expiry.
+	parent := ctx
 	if c.cfg.budget.MaxDuration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.budget.MaxDuration)
@@ -408,11 +452,22 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	c.em.start = start
 	defer c.em.close()
 
+	if c.cfg.partition != nil {
+		fed, err := newFedState(c)
+		if err != nil {
+			return nil, err
+		}
+		c.fed = fed
+	}
 	units, err := c.planUnits()
 	if err != nil {
 		return nil, err
 	}
-	c.em.emit(Event{Kind: EventCampaignStart, Units: len(units), Workers: c.cfg.workers})
+	startEv := Event{Kind: EventCampaignStart, Units: len(units), Workers: c.cfg.workers}
+	if c.fed != nil {
+		startEv.Domains = len(c.fed.partition.Domains)
+	}
+	c.em.emit(startEv)
 
 	// One consistent cut, shared by every unit: checkpoints are immutable
 	// once taken, so concurrent clone restores need no copies. The cut is
@@ -439,6 +494,11 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	c.props = c.cfg.properties
 	if c.props == nil {
 		c.props = checker.DefaultProperties(c.topo)
+	}
+	if c.fed != nil {
+		if err := validateFederatedProps(c.props); err != nil {
+			return nil, err
+		}
 	}
 	c.em.emit(Event{Kind: EventSnapshot})
 
@@ -471,7 +531,8 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		FullStateBytes:   c.snapStats.FullStateBytes,
 		Units:            results,
 		UnitErrors:       unitErrs,
-		Cancelled:        ctx.Err() != nil,
+		Cancelled:        parent.Err() != nil,
+		BudgetExhausted:  parent.Err() == nil && ctx.Err() != nil,
 		PooledClones:     c.cfg.pooledClones,
 	}
 	c.coldMu.Lock()
@@ -481,7 +542,10 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		res.CloneStats = res.CloneStats.Add(c.clones.Stats())
 	}
 	seen := make(map[string]bool)
-	for _, r := range results {
+	// detsByUnit counts the campaign-unique detections each unit contributed
+	// first (plan order), feeding the federated per-domain attribution.
+	detsByUnit := make([]int, len(results))
+	for i, r := range results {
 		if r == nil {
 			continue
 		}
@@ -493,7 +557,11 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			}
 			seen[d.Violation.Key()] = true
 			res.Detections = append(res.Detections, d)
+			detsByUnit[i]++
 		}
+	}
+	if c.fed != nil {
+		c.aggregateFederation(res, units, detsByUnit)
 	}
 	res.Duration = time.Since(start)
 	c.em.emit(Event{Kind: EventCampaignEnd})
@@ -507,7 +575,9 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	if err := errors.Join(hard...); err != nil {
 		return res, err
 	}
-	if err := ctx.Err(); err != nil {
+	// Caller cancellation is an error; budget expiry is a normal completion
+	// (reported via res.BudgetExhausted).
+	if err := parent.Err(); err != nil {
 		return res, err
 	}
 	return res, nil

@@ -312,18 +312,53 @@ func TestCampaignContextCancellation(t *testing.T) {
 		t.Errorf("cancellation did not stop exploration early (%d inputs)", res2.InputsExplored)
 	}
 
-	// Budget.MaxDuration behaves like a deadline.
-	topo3, live3, copts3 := hijackedLine(t, 3)
-	campaign3 := NewCampaign(live3, topo3,
+	// Cancellation must not read as budget exhaustion.
+	if res.BudgetExhausted || res2.BudgetExhausted {
+		t.Errorf("cancelled campaigns reported BudgetExhausted")
+	}
+}
+
+// TestCampaignBudgetExhaustionIsNotCancellation is the regression test for
+// the Cancelled/budget conflation: Run wraps the context for
+// Budget.MaxDuration, so a campaign that merely runs out of its own time
+// budget used to come back Cancelled with a DeadlineExceeded error. Budget
+// expiry is a normal completion: nil error, BudgetExhausted set, Cancelled
+// clear.
+func TestCampaignBudgetExhaustionIsNotCancellation(t *testing.T) {
+	topo, live, copts := hijackedLine(t, 3)
+	campaign := NewCampaign(live, topo,
 		WithBudget(Budget{TotalInputs: 100000, MaxDuration: time.Millisecond}),
 		WithSeed(1),
-		WithClusterOptions(copts3))
-	res3, err3 := campaign3.Run(context.Background())
-	if !errors.Is(err3, context.DeadlineExceeded) {
-		t.Fatalf("MaxDuration expiry = %v, want context.DeadlineExceeded", err3)
+		WithClusterOptions(copts))
+	res, err := campaign.Run(context.Background())
+	if err != nil {
+		t.Fatalf("budget expiry must be a normal completion, got error %v", err)
 	}
-	if !res3.Cancelled {
-		t.Errorf("deadline-bounded result not marked cancelled")
+	if !res.BudgetExhausted {
+		t.Errorf("result not marked BudgetExhausted")
+	}
+	if res.Cancelled {
+		t.Errorf("budget expiry misreported as cancellation")
+	}
+	if res.InputsExplored >= 100000 {
+		t.Errorf("budget deadline did not stop exploration early (%d inputs)", res.InputsExplored)
+	}
+
+	// A caller deadline tighter than the budget is the caller's doing:
+	// Cancelled, with the context error surfaced.
+	topo2, live2, copts2 := hijackedLine(t, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	campaign2 := NewCampaign(live2, topo2,
+		WithBudget(Budget{TotalInputs: 100000, MaxDuration: time.Hour}),
+		WithSeed(1),
+		WithClusterOptions(copts2))
+	res2, err2 := campaign2.Run(ctx)
+	if !errors.Is(err2, context.DeadlineExceeded) {
+		t.Fatalf("caller deadline = %v, want context.DeadlineExceeded", err2)
+	}
+	if !res2.Cancelled || res2.BudgetExhausted {
+		t.Errorf("caller deadline misclassified: Cancelled=%v BudgetExhausted=%v", res2.Cancelled, res2.BudgetExhausted)
 	}
 }
 

@@ -106,6 +106,9 @@ type Detection struct {
 type Result struct {
 	Explorer string
 	FromPeer string
+	// Domain is the administrative domain that ran the unit (federated
+	// campaigns only; empty otherwise).
+	Domain string
 
 	SnapshotDuration time.Duration
 	SnapshotBytes    int
@@ -118,7 +121,9 @@ type Result struct {
 	// DisclosedBytes is the total number of bytes that crossed domain
 	// boundaries through the narrow checking interface, across all explored
 	// inputs; FullStateBytes is what a single full-state exchange would have
-	// cost, for comparison.
+	// cost, for comparison. In a federated campaign this counts the
+	// checker.Summary traffic published on the federation bus instead of
+	// per-verdict accounting.
 	DisclosedBytes int
 	FullStateBytes int
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/dice-project/dice/internal/checker"
 )
 
 // EventKind discriminates streamed campaign events.
@@ -25,6 +27,11 @@ const (
 	// finishes. A violation already streamed by another unit is deduplicated
 	// (it still appears in that unit's Result).
 	EventDetection
+	// EventSummary is emitted in federated campaigns when a checker.Summary
+	// carrying violation digests crosses a domain boundary (clean summaries
+	// are exchanged and accounted too, but not streamed). Domain names the
+	// origin; Summary is attached.
+	EventSummary
 	// EventUnitEnd is emitted when a unit finishes (its Result is attached).
 	EventUnitEnd
 	// EventCampaignEnd is emitted once, just before Run returns.
@@ -42,6 +49,8 @@ func (k EventKind) String() string {
 		return "unit-start"
 	case EventDetection:
 		return "detection"
+	case EventSummary:
+		return "summary"
 	case EventUnitEnd:
 		return "unit-end"
 	case EventCampaignEnd:
@@ -68,6 +77,14 @@ type Event struct {
 	// Units and Workers describe the campaign plan (EventCampaignStart only).
 	Units   int
 	Workers int
+	// Domains is the federation domain count (EventCampaignStart of a
+	// federated campaign; zero otherwise).
+	Domains int
+	// Domain is the origin administrative domain (EventSummary only).
+	Domain string
+	// Summary is the privacy-filtered digest that crossed a domain boundary
+	// (EventSummary only).
+	Summary *checker.Summary
 	// Err reports a unit that failed to execute (EventUnitEnd only).
 	Err error
 }
@@ -76,9 +93,14 @@ type Event struct {
 func (e Event) String() string {
 	switch e.Kind {
 	case EventCampaignStart:
+		if e.Domains > 0 {
+			return fmt.Sprintf("[%v] campaign start: %d units across %d domains on %d workers", e.Elapsed, e.Units, e.Domains, e.Workers)
+		}
 		return fmt.Sprintf("[%v] campaign start: %d units on %d workers", e.Elapsed, e.Units, e.Workers)
 	case EventDetection:
 		return fmt.Sprintf("[%v] unit %s: %s", e.Elapsed, e.Unit, e.Detection.Violation)
+	case EventSummary:
+		return fmt.Sprintf("[%v] summary from %s: %d findings, %d bytes disclosed", e.Elapsed, e.Domain, len(e.Summary.Digests), e.Summary.Size())
 	case EventUnitStart:
 		return fmt.Sprintf("[%v] unit %s started", e.Elapsed, e.Unit)
 	case EventUnitEnd:

@@ -1,0 +1,251 @@
+package dice
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/federation"
+)
+
+// WithFederation runs the campaign federated: the topology is split into the
+// partition's administrative domains, units are planned per domain, and each
+// explored clone is checked through one Coordinator per domain — every
+// coordinator sees only its own domain's routers, and what other domains
+// learn of its findings is exactly the checker.Summary digests it publishes
+// on the federation bus. CampaignResult gains the Disclosed accounting and a
+// per-domain breakdown; EventSummary events stream the digests that crossed
+// a boundary.
+//
+// Planning per domain keeps the configured Strategy's semantics within each
+// domain: the default DegreeStrategy explores from each domain's
+// best-connected router; other strategies plan over the domain's node set
+// (intersected with WithExplorers, when given). WithUnits bypasses planning
+// as in centralized campaigns — each pinned unit is assigned to the domain
+// owning its explorer.
+func WithFederation(p *federation.Partition) CampaignOption {
+	return func(c *campaignConfig) { c.partition = p }
+}
+
+// DisclosureStats aggregates what a federated campaign exchanged across
+// domain boundaries: the number of checker.Summary messages published on the
+// bus and their total serialized size. The bus charges each publish its
+// Summary.Size(), so Bytes is by construction the bytes actually exchanged —
+// the federation privacy test re-serializes the bus log to prove it.
+type DisclosureStats struct {
+	Summaries int
+	Bytes     int
+}
+
+// DomainResult is one domain's slice of a federated campaign.
+type DomainResult struct {
+	// Domain is the administrative domain name; Nodes how many routers it
+	// administers.
+	Domain string
+	Nodes  int
+	// Units and InputsExplored cover the exploration this domain ran.
+	Units          int
+	InputsExplored int
+	// Detections counts merged campaign detections first found by this
+	// domain's exploration.
+	Detections int
+	// SummariesSent/BytesSent is what the domain disclosed to others;
+	// SummariesReceived/BytesReceived what it learned from them.
+	SummariesSent, SummariesReceived int
+	BytesSent, BytesReceived         int
+}
+
+// fedState is a federated campaign's runtime: the partition, the summary
+// bus, and one coordinator per domain.
+type fedState struct {
+	partition *federation.Partition
+	bus       *federation.Bus
+	coords    map[string]*federation.Coordinator
+}
+
+func newFedState(c *Campaign) (*fedState, error) {
+	// Rebuild the partition against the campaign's topology and adopt the
+	// result: the caller's value may have been built for a different
+	// topology, or as a bare struct literal whose node index was never
+	// populated.
+	p, err := federation.NewPartition(c.topo, c.cfg.partition.Domains)
+	if err != nil {
+		return nil, err
+	}
+	fs := &fedState{
+		partition: p,
+		bus:       federation.NewBus(),
+		coords:    make(map[string]*federation.Coordinator, len(p.Domains)),
+	}
+	if c.testRetainBusLog {
+		fs.bus.SetRetain(true)
+	}
+	for _, d := range p.Domains {
+		fs.coords[d.Name] = federation.NewCoordinator(c.topo, d, fs.bus)
+	}
+	return fs, nil
+}
+
+// planFederatedUnits plans the campaign's units domain by domain in
+// partition order, so unit indices — and the per-unit seeds derived from
+// them — are deterministic for a given partition. It runs after newFedState,
+// so it plans over the validated, adopted partition.
+func (c *Campaign) planFederatedUnits() ([]Unit, error) {
+	p := c.fed.partition
+	if _, ok := c.cfg.strategy.(fixedStrategy); ok {
+		units, err := c.cfg.strategy.Plan(c.topo, c.cfg.explorers)
+		if err != nil {
+			return nil, err
+		}
+		for i := range units {
+			d := p.DomainOf(units[i].Explorer)
+			if d == "" {
+				return nil, fmt.Errorf("dice: explorer %s belongs to no federation domain", units[i].Explorer)
+			}
+			units[i].Domain = d
+		}
+		return units, nil
+	}
+
+	configured := make(map[string]bool, len(c.cfg.explorers))
+	for _, name := range c.cfg.explorers {
+		if c.topo.Node(name) == nil {
+			return nil, fmt.Errorf("dice: unknown explorer %q", name)
+		}
+		configured[name] = true
+	}
+	var units []Unit
+	for _, d := range p.Domains {
+		var explorers []string
+		switch {
+		case len(configured) > 0:
+			for _, n := range d.Nodes {
+				if configured[n] {
+					explorers = append(explorers, n)
+				}
+			}
+			if len(explorers) == 0 {
+				continue // the configured explorer set skips this domain
+			}
+		default:
+			if _, ok := c.cfg.strategy.(DegreeStrategy); ok {
+				// Preserve degree semantics inside the domain: one default
+				// explorer, the domain's best-connected router.
+				explorers = []string{highestDegreeNodeOf(c.topo, d.Nodes)}
+			} else {
+				explorers = append([]string(nil), d.Nodes...)
+			}
+		}
+		du, err := c.cfg.strategy.Plan(c.topo, explorers)
+		if err != nil {
+			return nil, fmt.Errorf("dice: domain %s: %w", d.Name, err)
+		}
+		for i := range du {
+			du[i].Domain = d.Name
+		}
+		units = append(units, du...)
+	}
+	return units, nil
+}
+
+// validateFederatedProps rejects property sets a federated campaign cannot
+// evaluate faithfully: coordinators extract one forwarding projection per
+// clone and every ProjectionProperty is checked over it, so at most one
+// distinct projection-based property may be configured (several instances
+// of the same property are fine — they share the projection by definition).
+func validateFederatedProps(props []checker.Property) error {
+	first := ""
+	for _, p := range props {
+		if _, ok := p.(checker.ProjectionProperty); ok {
+			if first != "" && first != p.Name() {
+				return fmt.Errorf("dice: federated campaigns support one projection-based property, got both %s and %s", first, p.Name())
+			}
+			first = p.Name()
+		}
+	}
+	return nil
+}
+
+// checkCloneFederated is the federated replacement for the centralized
+// checker.CheckAll call on an explored clone. Every domain's coordinator
+// checks its own scoped view of the clone; the domain that ran the
+// exploration keeps its full local report, while every other domain
+// discloses only its summary over the bus. Cross-domain properties (loop
+// freedom) are evaluated at the exploring domain over the forwarding
+// projection assembled from the summaries. The returned violations are the
+// union the exploring domain ends up knowing about, and disclosed is the
+// bytes that crossed domain boundaries for this input.
+func (c *Campaign) checkCloneFederated(shadow *cluster.Cluster, u Unit) ([]checker.Violation, int) {
+	home := u.Domain
+	if home == "" {
+		home = c.fed.partition.DomainOf(u.Explorer)
+	}
+	var violations []checker.Violation
+	var edges []checker.ForwardingEdge
+	disclosed := 0
+	for _, d := range c.fed.partition.Domains {
+		co := c.fed.coords[d.Name]
+		rep, sum := co.CheckLocal(shadow, c.props)
+		edges = append(edges, sum.Edges...)
+		if d.Name == home {
+			violations = append(violations, rep.Violations()...)
+			continue
+		}
+		// Only the summary leaves the domain; the local report stays behind.
+		disclosed += co.Publish(home, sum)
+		for _, dg := range sum.Digests {
+			violations = append(violations, dg.Violation())
+		}
+		if len(sum.Digests) > 0 {
+			s := sum
+			c.em.emit(Event{Kind: EventSummary, Unit: u, Domain: d.Name, Summary: &s})
+		}
+	}
+	// The exploring domain evaluates projection-based properties over the
+	// assembled cross-domain view.
+	for _, p := range c.props {
+		if pp, ok := p.(checker.ProjectionProperty); ok {
+			violations = append(violations, pp.CheckProjection(edges, c.topo.NodeNames()).Violations...)
+		}
+	}
+	return violations, disclosed
+}
+
+// aggregateFederation fills the federated fields of the campaign result:
+// bus-level disclosure totals and the per-domain breakdown. detsByUnit is
+// the merge loop's attribution — how many campaign-unique detections each
+// unit contributed first — so the per-domain counts always sum to
+// len(res.Detections).
+func (c *Campaign) aggregateFederation(res *CampaignResult, units []Unit, detsByUnit []int) {
+	stats := c.fed.bus.Stats()
+	res.Federated = true
+	res.Disclosed = DisclosureStats{Summaries: stats.Summaries, Bytes: stats.Bytes}
+
+	byDomain := make(map[string]*DomainResult, len(c.fed.partition.Domains))
+	for _, d := range c.fed.partition.Domains {
+		traffic := c.fed.bus.Traffic(d.Name)
+		dr := &DomainResult{
+			Domain:            d.Name,
+			Nodes:             len(d.Nodes),
+			SummariesSent:     traffic.SummariesSent,
+			SummariesReceived: traffic.SummariesReceived,
+			BytesSent:         traffic.BytesSent,
+			BytesReceived:     traffic.BytesReceived,
+		}
+		byDomain[d.Name] = dr
+	}
+	for i, u := range units {
+		dr := byDomain[u.Domain]
+		if dr == nil {
+			continue
+		}
+		dr.Units++
+		dr.Detections += detsByUnit[i]
+		if r := res.Units[i]; r != nil {
+			dr.InputsExplored += r.InputsExplored
+		}
+	}
+	for _, d := range c.fed.partition.Domains {
+		res.Domains = append(res.Domains, *byDomain[d.Name])
+	}
+}

@@ -26,6 +26,9 @@ type Unit struct {
 	// derive a per-unit seed from the campaign seed and the unit's index, so
 	// different units explore different corners of the input space.
 	Seed int64
+	// Domain is the administrative domain that owns the unit's explorer.
+	// Federated planning fills it in; it is empty in centralized campaigns.
+	Domain string
 }
 
 func (u Unit) String() string { return fmt.Sprintf("%s<-%s", u.Explorer, u.FromPeer) }
@@ -45,8 +48,17 @@ type Strategy interface {
 // by lexicographically smallest name regardless of the topology's node order
 // (covered by TestHighestDegreeTieBreak).
 func highestDegreeNode(topo *topology.Topology) string {
+	return highestDegreeNodeOf(topo, topo.NodeNames())
+}
+
+// highestDegreeNodeOf restricts the highest-degree selection to a candidate
+// set (a federation domain's nodes), with the same tie-break. Degree still
+// counts every neighbor, including ones outside the set: a domain's
+// best-connected router is the one with the most sessions, wherever they
+// lead.
+func highestDegreeNodeOf(topo *topology.Topology, names []string) string {
 	best, bestDeg := "", -1
-	for _, name := range topo.NodeNames() {
+	for _, name := range names {
 		deg := len(topo.NeighborsOf(name))
 		if deg > bestDeg || (deg == bestDeg && name < best) {
 			best, bestDeg = name, deg

@@ -73,7 +73,13 @@ func (c *Campaign) leaseClone() (*cluster.Cluster, func(), error) {
 	c.coldStats.ColdBuilds++
 	c.coldStats.ColdBuildTime += elapsed
 	c.coldMu.Unlock()
-	return shadow, func() {}, nil
+	// Cold clones are not pooled, but their release is still accounted so
+	// Leases == Releases holds for both lifecycles.
+	return shadow, func() {
+		c.coldMu.Lock()
+		c.coldStats.Releases++
+		c.coldMu.Unlock()
+	}, nil
 }
 
 // runClone leases a shadow cluster in snapshot state, subjects the unit's
@@ -86,20 +92,41 @@ func (c *Campaign) runClone(ctx context.Context, u Unit, in *concolic.Input, m *
 		return cloneOutcome{}, err
 	}
 	defer c.pool.release()
+	// The wait for a worker slot can outlive the campaign; don't pay for a
+	// lease (or charge the pool's stats) for an input that will never run.
+	if err := ctx.Err(); err != nil {
+		return cloneOutcome{}, err
+	}
 	shadow, release, err := c.leaseClone()
 	if err != nil {
 		return cloneOutcome{}, fmt.Errorf("dice: clone snapshot: %w", err)
 	}
+	// Every path out of this function — execution failure, check failure,
+	// panic unwinding — must hand the clone back, or pooled clones leak and
+	// the pool's Outstanding count drifts. The deferred call is the single
+	// release point; the fault-injecting tests exercise it.
 	defer release()
+	if c.testCloneFault != nil {
+		if err := c.testCloneFault(); err != nil {
+			return cloneOutcome{}, fmt.Errorf("dice: clone execute: %w", err)
+		}
+	}
 	faults.InstallCodeFaults(shadow.Routers, c.cfg.codeFaults...)
 	shadow.Router(u.Explorer).ExploreNextUpdate(m, u.FromPeer)
 	shadow.InjectRaw(u.FromPeer, u.Explorer, wireUpdate(in.Region("update")))
 	shadow.Net.RunQuiescent(c.cfg.shadowMaxEvents)
 
-	report := checker.CheckAll(shadow, c.props)
+	var violations []checker.Violation
+	disclosed := 0
+	if c.fed != nil {
+		violations, disclosed = c.checkCloneFederated(shadow, u)
+	} else {
+		report := checker.CheckAll(shadow, c.props)
+		violations, disclosed = report.Violations(), report.DisclosedBytes()
+	}
 	return cloneOutcome{
-		violations: report.Violations(),
-		disclosed:  report.DisclosedBytes(),
+		violations: violations,
+		disclosed:  disclosed,
 		elapsed:    time.Since(c.em.start),
 		executed:   true,
 	}, nil
@@ -136,6 +163,7 @@ func (c *Campaign) runUnit(ctx context.Context, idx int, u Unit) (*Result, error
 	res := &Result{
 		Explorer:         u.Explorer,
 		FromPeer:         u.FromPeer,
+		Domain:           u.Domain,
 		SnapshotDuration: c.snapStats.SnapshotDuration,
 		SnapshotBytes:    c.snapStats.SnapshotBytes,
 		SnapshotNodes:    c.snapStats.SnapshotNodes,

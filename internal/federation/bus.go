@@ -1,0 +1,125 @@
+package federation
+
+import (
+	"sync"
+
+	"github.com/dice-project/dice/internal/checker"
+)
+
+// Envelope is one summary delivery recorded by the bus: who sent what to
+// whom, and how many bytes the exchange was charged.
+type Envelope struct {
+	Seq      int
+	From, To string
+	Summary  checker.Summary
+	// Bytes is the serialized size charged for the exchange
+	// (Summary.Size()).
+	Bytes int
+}
+
+// Traffic aggregates one domain's bus activity.
+type Traffic struct {
+	SummariesSent, SummariesReceived int
+	BytesSent, BytesReceived         int
+}
+
+// BusStats aggregates the whole bus.
+type BusStats struct {
+	// Summaries is the number of envelopes published; Bytes their total
+	// serialized size. These are the campaign's Disclosed numbers.
+	Summaries int
+	Bytes     int
+}
+
+// Bus is the in-process message bus federated coordinators exchange
+// summaries over. Its API is deliberately narrow: the only publishable
+// payload is a checker.Summary, which structurally prevents raw
+// configurations, policies or route state from crossing a domain boundary.
+// Every publish is charged its serialized size; aggregate and per-domain
+// counters are always kept, while full envelope retention (for audits and
+// the privacy test, which re-serializes exactly what was exchanged) is
+// opt-in via SetRetain — an unbounded campaign would otherwise accumulate
+// one envelope per summary for its whole lifetime.
+//
+// Bus is safe for concurrent use.
+type Bus struct {
+	mu      sync.Mutex
+	retain  bool
+	seq     int
+	log     []Envelope
+	stats   BusStats
+	traffic map[string]*Traffic
+}
+
+// NewBus returns an empty bus that keeps counters only.
+func NewBus() *Bus {
+	return &Bus{traffic: make(map[string]*Traffic)}
+}
+
+// SetRetain toggles full envelope retention. Enable it before traffic
+// flows; envelopes published while retention was off are counted but gone.
+func (b *Bus) SetRetain(retain bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.retain = retain
+}
+
+// Publish delivers a summary from one domain to another and returns the
+// bytes charged for the exchange. Publishing within a single domain is a
+// programming error the bus does not account (it returns zero): only
+// boundary crossings disclose anything.
+func (b *Bus) Publish(from, to string, s checker.Summary) int {
+	if from == to {
+		return 0
+	}
+	n := s.Size()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.retain {
+		b.log = append(b.log, Envelope{Seq: b.seq, From: from, To: to, Summary: s, Bytes: n})
+	}
+	b.seq++
+	b.stats.Summaries++
+	b.stats.Bytes += n
+	b.domainTraffic(from).SummariesSent++
+	b.domainTraffic(from).BytesSent += n
+	b.domainTraffic(to).SummariesReceived++
+	b.domainTraffic(to).BytesReceived += n
+	return n
+}
+
+func (b *Bus) domainTraffic(domain string) *Traffic {
+	t := b.traffic[domain]
+	if t == nil {
+		t = &Traffic{}
+		b.traffic[domain] = t
+	}
+	return t
+}
+
+// Stats returns the aggregate bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Traffic returns the named domain's send/receive counters.
+func (b *Bus) Traffic(domain string) Traffic {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t := b.traffic[domain]; t != nil {
+		return *t
+	}
+	return Traffic{}
+}
+
+// Log returns a copy of every envelope retained so far, in publish order —
+// nil unless SetRetain(true) was called first. The privacy test walks it to
+// prove that nothing beyond Summary content was exchanged and that the
+// charged bytes match the summaries' sizes.
+func (b *Bus) Log() []Envelope {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Envelope(nil), b.log...)
+}

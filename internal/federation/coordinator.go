@@ -1,0 +1,94 @@
+package federation
+
+import (
+	"sync"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// CoordinatorStats counts one coordinator's federated activity.
+type CoordinatorStats struct {
+	// Checks counts domain-scoped check rounds (one per explored clone the
+	// domain evaluated).
+	Checks int
+	// LocalViolations counts violations the domain's own checks produced
+	// (before campaign-level deduplication).
+	LocalViolations int
+}
+
+// Coordinator is one domain's testing authority. It owns the domain-scoped
+// view of every explored shadow cluster — built from the domain's induced
+// sub-topology, so checks can only see the domain's routers — and produces
+// the privacy-filtered summaries that may leave the domain. The full check
+// report never does: CheckLocal hands it back only to the coordinator's own
+// domain logic, while everything bound for another domain goes through
+// Publish.
+type Coordinator struct {
+	domain Domain
+	sub    *topology.Topology
+	bus    *Bus
+
+	mu    sync.Mutex
+	stats CoordinatorStats
+}
+
+// NewCoordinator returns the coordinator for one domain of the partition.
+func NewCoordinator(topo *topology.Topology, d Domain, bus *Bus) *Coordinator {
+	return &Coordinator{
+		domain: d,
+		sub:    topo.Induced(d.Name, d.Nodes),
+		bus:    bus,
+	}
+}
+
+// Domain returns the coordinator's domain.
+func (co *Coordinator) Domain() Domain { return co.domain }
+
+// CheckLocal evaluates the properties over the domain-scoped view of the
+// shadow cluster. Per-node properties are checked directly; a
+// ProjectionProperty (loop freedom) cannot be decided from one domain's
+// subgraph, so the coordinator instead extracts the domain's minimized
+// forwarding projection and ships it in the summary for the exploring
+// domain to assemble. The summary carries one projection, so props may
+// contain at most one distinct ProjectionProperty (the campaign validates
+// this before checking starts). The returned report is domain-private
+// (full violations with local detail); the returned summary is the
+// shareable projection of both.
+func (co *Coordinator) CheckLocal(shadow *cluster.Cluster, props []checker.Property) (*checker.Report, checker.Summary) {
+	view := shadow.Subview(co.sub)
+	var local []checker.Property
+	var edges []checker.ForwardingEdge
+	projected := false
+	for _, p := range props {
+		if pp, ok := p.(checker.ProjectionProperty); ok {
+			if !projected {
+				edges = pp.Projection(view)
+				projected = true
+			}
+			continue
+		}
+		local = append(local, p)
+	}
+	rep := checker.CheckAll(view, local)
+	sum := checker.Summarize(co.domain.Name, rep, edges)
+	co.mu.Lock()
+	co.stats.Checks++
+	co.stats.LocalViolations += len(sum.Digests)
+	co.mu.Unlock()
+	return rep, sum
+}
+
+// Publish sends a summary to another domain over the bus and returns the
+// bytes disclosed.
+func (co *Coordinator) Publish(to string, s checker.Summary) int {
+	return co.bus.Publish(co.domain.Name, to, s)
+}
+
+// Stats returns a snapshot of the coordinator's counters.
+func (co *Coordinator) Stats() CoordinatorStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.stats
+}

@@ -1,0 +1,156 @@
+// Package federation implements the administrative-domain layer of DiCE —
+// the paper's defining scenario. A deployed system like the Internet is not
+// one testable artifact but a federation of domains (autonomous systems)
+// whose operators will not share configurations, policies or full state with
+// each other. Federated testing therefore splits a campaign along domain
+// boundaries:
+//
+//   - a Partition assigns every topology node to exactly one administrative
+//     Domain (per-AS by default, matching the paper's setting of one domain
+//     per autonomous system);
+//   - one Coordinator per domain owns a domain-scoped view of each explored
+//     shadow cluster and evaluates properties over that view only;
+//   - coordinators exchange nothing but checker.Summary messages — digests
+//     of local check outcomes — over an in-process Bus that records every
+//     envelope and charges its serialized size, so disclosure is both
+//     enforced (the Bus API admits no other payload type) and accounted.
+//
+// The dice package wires this into Campaign via WithFederation; the E10
+// experiment compares federated against centralized detection on the
+// hijack scenario and reports the disclosure cost.
+package federation
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// Domain is one administrative domain of a federated deployment: a named
+// subset of the topology's routers under a single operator's control.
+type Domain struct {
+	// Name identifies the domain in summaries, events and results.
+	Name string
+	// Nodes are the router names the domain administers.
+	Nodes []string
+}
+
+// Partition splits a topology into disjoint administrative domains covering
+// every node. Build one with PartitionByAS, PartitionByTier or NewPartition,
+// then hand it to dice.WithFederation.
+type Partition struct {
+	// Domains in deterministic order; campaign planning and aggregation
+	// iterate them in this order.
+	Domains []Domain
+
+	byNode map[string]string
+}
+
+// NewPartition builds a partition from explicit domains. It fails unless the
+// domains are non-empty, disjoint and cover every node of the topology —
+// federation is only meaningful when every router answers to exactly one
+// administration.
+func NewPartition(topo *topology.Topology, domains []Domain) (*Partition, error) {
+	if len(domains) == 0 {
+		return nil, fmt.Errorf("federation: partition with no domains")
+	}
+	p := &Partition{Domains: domains, byNode: make(map[string]string)}
+	seenDomain := make(map[string]bool, len(domains))
+	for _, d := range domains {
+		if d.Name == "" {
+			return nil, fmt.Errorf("federation: domain with empty name")
+		}
+		if seenDomain[d.Name] {
+			return nil, fmt.Errorf("federation: duplicate domain %q", d.Name)
+		}
+		seenDomain[d.Name] = true
+		if len(d.Nodes) == 0 {
+			return nil, fmt.Errorf("federation: domain %q has no nodes", d.Name)
+		}
+		for _, n := range d.Nodes {
+			if topo.Node(n) == nil {
+				return nil, fmt.Errorf("federation: domain %q references unknown node %q", d.Name, n)
+			}
+			if owner, dup := p.byNode[n]; dup {
+				return nil, fmt.Errorf("federation: node %q in domains %q and %q", n, owner, d.Name)
+			}
+			p.byNode[n] = d.Name
+		}
+	}
+	for _, n := range topo.Nodes {
+		if _, ok := p.byNode[n.Name]; !ok {
+			return nil, fmt.Errorf("federation: node %q belongs to no domain", n.Name)
+		}
+	}
+	return p, nil
+}
+
+// PartitionByAS partitions at autonomous-system granularity — the paper's
+// federation model, where every AS is its own administrative domain. With
+// this repository's one-router-per-AS topologies that is one domain per
+// router, named after the AS.
+func PartitionByAS(topo *topology.Topology) *Partition {
+	domains := make([]Domain, 0, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		domains = append(domains, Domain{
+			Name:  fmt.Sprintf("as%d", n.AS),
+			Nodes: []string{n.Name},
+		})
+	}
+	p, err := NewPartition(topo, domains)
+	if err != nil {
+		// Topology.Validate guarantees unique ASes and names; reaching here
+		// means the topology was never validated, which Deploy would reject.
+		panic(err)
+	}
+	return p
+}
+
+// PartitionByTier groups routers by their topology tier — a coarse partition
+// (core operators vs regional vs stubs) useful for demos where 27 per-AS
+// domains would be noise. Nodes keep topology order within each domain.
+func PartitionByTier(topo *topology.Topology) *Partition {
+	byTier := make(map[int][]string)
+	var order []int
+	for _, n := range topo.Nodes {
+		if _, seen := byTier[n.Tier]; !seen {
+			order = append(order, n.Tier)
+		}
+		byTier[n.Tier] = append(byTier[n.Tier], n.Name)
+	}
+	domains := make([]Domain, 0, len(order))
+	for _, tier := range order {
+		domains = append(domains, Domain{Name: fmt.Sprintf("tier%d", tier), Nodes: byTier[tier]})
+	}
+	p, err := NewPartition(topo, domains)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// DomainOf returns the name of the domain administering the node, or "".
+func (p *Partition) DomainOf(node string) string { return p.byNode[node] }
+
+// Domain returns the named domain, or nil.
+func (p *Partition) Domain(name string) *Domain {
+	for i := range p.Domains {
+		if p.Domains[i].Name == name {
+			return &p.Domains[i]
+		}
+	}
+	return nil
+}
+
+// CrossingLinks counts topology links whose endpoints are administered by
+// different domains — the inter-domain sessions whose inputs federated
+// exploration is most interested in.
+func (p *Partition) CrossingLinks(topo *topology.Topology) int {
+	n := 0
+	for _, l := range topo.Links {
+		if p.byNode[l.A] != p.byNode[l.B] {
+			n++
+		}
+	}
+	return n
+}

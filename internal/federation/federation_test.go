@@ -1,0 +1,171 @@
+package federation
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+func TestNewPartitionValidation(t *testing.T) {
+	topo := topology.Line(3)
+	cases := []struct {
+		name    string
+		domains []Domain
+		wantErr string
+	}{
+		{"no domains", nil, "no domains"},
+		{"empty name", []Domain{{Name: "", Nodes: []string{"R1", "R2", "R3"}}}, "empty name"},
+		{"duplicate domain", []Domain{{Name: "a", Nodes: []string{"R1"}}, {Name: "a", Nodes: []string{"R2", "R3"}}}, "duplicate domain"},
+		{"empty domain", []Domain{{Name: "a", Nodes: nil}, {Name: "b", Nodes: []string{"R1", "R2", "R3"}}}, "no nodes"},
+		{"unknown node", []Domain{{Name: "a", Nodes: []string{"R1", "R9"}}, {Name: "b", Nodes: []string{"R2", "R3"}}}, "unknown node"},
+		{"overlap", []Domain{{Name: "a", Nodes: []string{"R1", "R2"}}, {Name: "b", Nodes: []string{"R2", "R3"}}}, "in domains"},
+		{"uncovered", []Domain{{Name: "a", Nodes: []string{"R1"}}, {Name: "b", Nodes: []string{"R2"}}}, "belongs to no domain"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewPartition(topo, tc.domains)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("NewPartition = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	p, err := NewPartition(topo, []Domain{
+		{Name: "edge", Nodes: []string{"R1", "R2"}},
+		{Name: "core", Nodes: []string{"R3"}},
+	})
+	if err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if p.DomainOf("R2") != "edge" || p.DomainOf("R3") != "core" || p.DomainOf("R9") != "" {
+		t.Errorf("DomainOf wrong: %q %q %q", p.DomainOf("R2"), p.DomainOf("R3"), p.DomainOf("R9"))
+	}
+	if p.Domain("core") == nil || p.Domain("nope") != nil {
+		t.Errorf("Domain lookup wrong")
+	}
+	if got := p.CrossingLinks(topo); got != 1 {
+		t.Errorf("CrossingLinks = %d, want 1 (R2-R3)", got)
+	}
+}
+
+func TestPartitionByASAndTier(t *testing.T) {
+	topo := topology.Demo27()
+	byAS := PartitionByAS(topo)
+	if len(byAS.Domains) != 27 {
+		t.Fatalf("per-AS partition has %d domains, want 27", len(byAS.Domains))
+	}
+	if byAS.Domains[0].Name != "as65001" || byAS.DomainOf("R1") != "as65001" {
+		t.Errorf("AS domain naming wrong: %+v", byAS.Domains[0])
+	}
+	// Every link of a per-AS partition crosses a boundary.
+	if got := byAS.CrossingLinks(topo); got != len(topo.Links) {
+		t.Errorf("per-AS crossing links = %d, want all %d", got, len(topo.Links))
+	}
+
+	byTier := PartitionByTier(topo)
+	if len(byTier.Domains) != 3 {
+		t.Fatalf("tier partition has %d domains, want 3", len(byTier.Domains))
+	}
+	total := 0
+	for _, d := range byTier.Domains {
+		total += len(d.Nodes)
+	}
+	if total != 27 {
+		t.Errorf("tier partition covers %d nodes, want 27", total)
+	}
+	if byTier.DomainOf("R1") != "tier1" {
+		t.Errorf("R1 in %q, want tier1", byTier.DomainOf("R1"))
+	}
+}
+
+func TestBusAccounting(t *testing.T) {
+	bus := NewBus()
+	bus.SetRetain(true)
+	sum := checker.Summary{
+		Domain:  "a",
+		Checked: 4,
+		Digests: []checker.ViolationDigest{{Property: "origin-validity", Node: "R1"}},
+	}
+	n := bus.Publish("a", "b", sum)
+	if n != sum.Size() || n == 0 {
+		t.Errorf("Publish charged %d bytes, want Size() = %d", n, sum.Size())
+	}
+	// Intra-domain publishes are not an exchange.
+	if got := bus.Publish("a", "a", sum); got != 0 {
+		t.Errorf("self-publish charged %d bytes", got)
+	}
+	bus.Publish("b", "a", checker.Summary{Domain: "b", OK: true})
+
+	if s := bus.Stats(); s.Summaries != 2 || s.Bytes == 0 {
+		t.Errorf("bus stats %+v", s)
+	}
+	ta, tb := bus.Traffic("a"), bus.Traffic("b")
+	if ta.SummariesSent != 1 || ta.SummariesReceived != 1 || tb.SummariesSent != 1 || tb.SummariesReceived != 1 {
+		t.Errorf("traffic wrong: a=%+v b=%+v", ta, tb)
+	}
+	if ta.BytesSent != tb.BytesReceived || ta.BytesReceived != tb.BytesSent {
+		t.Errorf("byte accounting asymmetric: a=%+v b=%+v", ta, tb)
+	}
+	log := bus.Log()
+	if len(log) != 2 || log[0].From != "a" || log[0].To != "b" || log[0].Bytes != n {
+		t.Errorf("bus log wrong: %+v", log)
+	}
+
+	// Without retention the bus keeps counters, not envelopes — the default,
+	// so unbounded campaigns don't accumulate the log forever.
+	lean := NewBus()
+	lean.Publish("a", "b", sum)
+	if lean.Log() != nil {
+		t.Errorf("unretained bus kept a log")
+	}
+	if s := lean.Stats(); s.Summaries != 1 || s.Bytes != sum.Size() {
+		t.Errorf("unretained bus lost its counters: %+v", s)
+	}
+}
+
+// TestCoordinatorScopedCheck proves the visibility boundary: a coordinator
+// checking a cluster sees verdicts for its own domain's nodes only, and the
+// summary it would disclose carries digests plus the forwarding projection,
+// never more.
+func TestCoordinatorScopedCheck(t *testing.T) {
+	topo := topology.Line(3)
+	live := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	live.Converge()
+
+	p, err := NewPartition(topo, []Domain{
+		{Name: "left", Nodes: []string{"R1", "R2"}},
+		{Name: "right", Nodes: []string{"R3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := NewBus()
+	co := NewCoordinator(topo, *p.Domain("left"), bus)
+	props := checker.DefaultProperties(topo)
+	rep, sum := co.CheckLocal(live, props)
+
+	for _, res := range rep.Results {
+		for _, v := range res.Verdicts {
+			if v.Node != "R1" && v.Node != "R2" {
+				t.Errorf("coordinator saw verdict for foreign node %s (%s)", v.Node, res.Property)
+			}
+		}
+	}
+	if sum.Domain != "left" || !sum.OK || len(sum.Digests) != 0 {
+		t.Errorf("healthy domain summary wrong: %+v", sum)
+	}
+	for _, e := range sum.Edges {
+		if e.Node != "R1" && e.Node != "R2" {
+			t.Errorf("projection leaks foreign node %s", e.Node)
+		}
+	}
+	if len(sum.Edges) == 0 {
+		t.Errorf("converged domain projected no forwarding edges")
+	}
+	if st := co.Stats(); st.Checks != 1 || st.LocalViolations != 0 {
+		t.Errorf("coordinator stats %+v", st)
+	}
+}

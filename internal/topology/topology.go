@@ -171,6 +171,30 @@ func (t *Topology) Validate() error {
 	return nil
 }
 
+// Induced returns the subgraph induced by the given node set: the named
+// nodes plus every link whose two endpoints are both in the set. Unknown
+// names are ignored; node order follows the parent topology, so induced
+// subgraphs are deterministic regardless of the order names are given in.
+// The federation layer uses induced subgraphs as per-domain views.
+func (t *Topology) Induced(name string, nodes []string) *Topology {
+	want := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		want[n] = true
+	}
+	sub := &Topology{Name: name}
+	for _, n := range t.Nodes {
+		if want[n.Name] {
+			sub.Nodes = append(sub.Nodes, n)
+		}
+	}
+	for _, l := range t.Links {
+		if want[l.A] && want[l.B] {
+			sub.Links = append(sub.Links, l)
+		}
+	}
+	return sub
+}
+
 // Connected reports whether the topology graph is connected (ignoring link
 // direction and relationships).
 func (t *Topology) Connected() bool {
