@@ -117,7 +117,7 @@ func BenchmarkE4CheckpointNode(b *testing.B) {
 	r := live.Router("R1")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cp := r.Checkpoint()
+		cp := r.TakeCheckpoint()
 		if _, err := checkpoint.EncodeNode(cp); err != nil {
 			b.Fatal(err)
 		}

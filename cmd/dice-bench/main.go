@@ -1,14 +1,15 @@
 // Command dice-bench regenerates the paper's evaluation artifacts. Each
-// experiment (e1..e10, see EXPERIMENTS.md) can be run individually or all
+// experiment (e1..e11, see EXPERIMENTS.md) can be run individually or all
 // together; -quick shrinks budgets for a fast smoke run. e8 is the
 // campaign-scaling experiment: the same multi-explorer campaign executed
 // serially and on a full worker pool. e9 is the clone-lifecycle experiment:
 // cold FromSnapshot rebuilds vs the pooled shadow-cluster runtime. e10 is
 // the federation experiment: centralized vs per-AS federated detection on
-// the hijack scenario. -json writes the selected experiment's
-// machine-readable result (`-exp e9 -json BENCH_clone.json` and
-// `-exp e10 -json BENCH_federation.json` are the artifacts CI tracks across
-// PRs).
+// the hijack scenario. e11 is the heterogeneity experiment: the mixed
+// bird+frr demo with differential conformance checking. -json writes the
+// selected experiment's machine-readable result (`-exp e9 -json
+// BENCH_clone.json` and `-exp e10 -json BENCH_federation.json` are the
+// artifacts CI tracks across PRs).
 package main
 
 import (
@@ -133,7 +134,7 @@ func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) er
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e10 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonPath := flag.String("json", "", "write a machine-readable result to this path: the e10 federation artifact when -exp e10 is selected, otherwise the e9 clone-lifecycle artifact (running e9 if needed)")
@@ -218,6 +219,10 @@ func main() {
 				fmt.Printf("wrote %s\n", *jsonPath)
 			}
 		}
+	}
+	if run("e11") {
+		res, err := dice.RunE11(cfg)
+		report("E11", res, err)
 	}
 	if failed {
 		os.Exit(1)

@@ -33,6 +33,7 @@ import (
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/node"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -40,6 +41,9 @@ import (
 var (
 	// Demo27 builds the paper's 27-router demo topology.
 	Demo27 = topology.Demo27
+	// Demo27Hetero builds the mixed-implementation demo variant: bird
+	// transit tiers, frr stubs.
+	Demo27Hetero = topology.Demo27Hetero
 	// GaoRexford builds a random Internet-like topology.
 	GaoRexford = topology.GaoRexford
 	// Line, Ring, Clique and Star build small regular topologies.
@@ -48,6 +52,28 @@ var (
 	Clique = topology.Clique
 	Star   = topology.Star
 )
+
+// Heterogeneous backends — deployments that mix router implementations, the
+// paper's heterogeneity scenario. Topology nodes carry an implementation tag
+// (Topology.SetImpl; empty selects the default bird backend), the cluster
+// builds each node with its registered backend, and the
+// CrossImplDivergence property flags nodes whose best-path selection
+// depends on the implementation they run.
+type (
+	// RouterBackend describes one registered router implementation.
+	RouterBackend = node.Backend
+	// RouterNode is the behavioral interface every backend implements.
+	RouterNode = node.Router
+)
+
+var (
+	// RouterImplementations lists the registered backend names.
+	RouterImplementations = node.Implementations
+)
+
+// CrossImplDivergence is the differential conformance property for
+// heterogeneous deployments.
+type CrossImplDivergence = checker.CrossImplDivergence
 
 // Topology describes the routers, ASes and links of a deployment.
 type Topology = topology.Topology
@@ -206,11 +232,13 @@ func NewEngine(live *Deployment, topo *Topology, opts EngineOptions) *Engine {
 	return dice.New(live, topo, opts)
 }
 
-// Fault classes (from the paper).
+// Fault classes (the paper's three, plus the divergence class heterogeneous
+// deployments add).
 const (
 	OperatorMistake  = checker.ClassOperatorMistake
 	PolicyConflict   = checker.ClassPolicyConflict
 	ProgrammingError = checker.ClassProgrammingError
+	ImplDivergence   = checker.ClassImplDivergence
 )
 
 // FaultClass identifies one of the paper's fault classes.

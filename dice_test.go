@@ -255,6 +255,34 @@ func TestRunE10Quick(t *testing.T) {
 	}
 }
 
+func TestRunE11Quick(t *testing.T) {
+	res, err := RunE11(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE11: %v", err)
+	}
+	if res.Routers != 27 || res.Implementations["bird"] != 12 || res.Implementations["frr"] != 15 {
+		t.Errorf("E11 should mix 12 bird + 15 frr routers: %+v", res.Implementations)
+	}
+	if res.Divergences == 0 || len(res.DivergentNodes) == 0 {
+		t.Fatalf("mixed campaign found no implementation divergences")
+	}
+	if !res.SteadyStateDivergence {
+		t.Errorf("seeded divergence must already hold in the converged deployment")
+	}
+	if !res.SameSafetyClasses {
+		t.Errorf("heterogeneity must not mask a fault class")
+	}
+	if res.SafetyDetections == 0 {
+		t.Errorf("mixed campaign found no safety detections")
+	}
+	if !res.DivergenceExplainsDiffs {
+		t.Errorf("%d safety detections moved to nodes the divergence checker did not flag", res.SafetyDiffering)
+	}
+	if !strings.Contains(res.String(), "heterogeneous backends") {
+		t.Errorf("report rendering broken")
+	}
+}
+
 func TestRunE9Quick(t *testing.T) {
 	res, err := RunE9(ExperimentConfig{Quick: true, Seed: 1})
 	if err != nil {

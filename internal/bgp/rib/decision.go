@@ -4,7 +4,44 @@ import (
 	"github.com/dice-project/dice/internal/concolic"
 )
 
-// Better reports whether route a is preferred over route b by the BGP
+// DecisionPolicy selects the final tie-breaking order of the BGP decision
+// process. RFC 4271 §9.1.2.2 pins the early steps (LOCAL_PREF, AS_PATH
+// length, ORIGIN, MED, eBGP over iBGP) but real implementations legally
+// diverge at the end of the ladder: BIRD compares originator router IDs
+// before falling back to the neighbor address, while FRR-lineage daemons
+// (whose "oldest route wins" age rule is not representable in restorable
+// checkpoint state) resolve the tie on the neighbor address first. Both
+// orders are deterministic and RFC-conformant — which is exactly what makes
+// a mixed deployment select different best paths for the same inputs, the
+// divergence the CrossImplDivergence checker hunts.
+type DecisionPolicy int
+
+// Decision policies.
+const (
+	// DecisionRouterIDFirst breaks final ties on the lowest peer router ID,
+	// then the lowest peer name (BIRD's order; the package default).
+	DecisionRouterIDFirst DecisionPolicy = iota
+	// DecisionPeerAddressFirst breaks final ties on the lowest peer name
+	// (the neighbor address in a real deployment), then the lowest peer
+	// router ID (FRR's deterministic stand-in for its route-age preference).
+	DecisionPeerAddressFirst
+)
+
+// String renders the policy.
+func (p DecisionPolicy) String() string {
+	if p == DecisionPeerAddressFirst {
+		return "peer-address-first"
+	}
+	return "router-id-first"
+}
+
+// Better reports whether route a is preferred over route b under the default
+// (BIRD-order) decision policy. See BetterWith.
+func Better(m *concolic.Machine, a, b *Route) bool {
+	return BetterWith(m, a, b, DecisionRouterIDFirst)
+}
+
+// BetterWith reports whether route a is preferred over route b by the BGP
 // decision process (RFC 4271 §9.1.2), recording the decision-relevant
 // comparisons as branch constraints when a tracing machine is supplied:
 //
@@ -14,9 +51,12 @@ import (
 //  4. lower ORIGIN
 //  5. lower MED
 //  6. eBGP over iBGP
-//  7. lower peer router ID
-//  8. lower peer name (final deterministic tie break)
-func Better(m *concolic.Machine, a, b *Route) bool {
+//  7. + 8. the policy's tie-break order over peer router ID and peer name
+//
+// Steps 1–6 are common to every implementation; only the final tie-break
+// order varies with the DecisionPolicy, and it involves no symbolic state,
+// so the recorded path constraints are identical across policies.
+func BetterWith(m *concolic.Machine, a, b *Route, pol DecisionPolicy) bool {
 	if b == nil {
 		return true
 	}
@@ -62,21 +102,34 @@ func Better(m *concolic.Machine, a, b *Route) bool {
 	if a.EBGP != b.EBGP {
 		return a.EBGP
 	}
-	// 7. Lowest peer router ID.
+	// 7. + 8. Implementation-specific tie-break order.
+	if pol == DecisionPeerAddressFirst {
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.PeerRouterID < b.PeerRouterID
+	}
 	if a.PeerRouterID != b.PeerRouterID {
 		return a.PeerRouterID < b.PeerRouterID
 	}
-	// 8. Lowest peer name.
 	return a.Peer < b.Peer
 }
 
-// SelectBest returns the best route among the candidates, or nil when the
-// slice is empty. Candidates are compared pairwise with Better so that the
-// relevant constraints are recorded under exploration.
+// SelectBest returns the best route among the candidates under the default
+// policy, or nil when the slice is empty.
 func SelectBest(m *concolic.Machine, candidates []*Route) *Route {
+	return SelectBestWith(m, candidates, DecisionRouterIDFirst)
+}
+
+// SelectBestWith returns the best route among the candidates under the given
+// decision policy, or nil when the slice is empty. Candidates are compared
+// pairwise with BetterWith so that the relevant constraints are recorded
+// under exploration; every policy induces a total order, so the selection is
+// independent of candidate order.
+func SelectBestWith(m *concolic.Machine, candidates []*Route, pol DecisionPolicy) *Route {
 	var best *Route
 	for _, r := range candidates {
-		if best == nil || Better(m, r, best) {
+		if best == nil || BetterWith(m, r, best, pol) {
 			best = r
 		}
 	}

@@ -121,13 +121,25 @@ type prefixEntry struct {
 // LocRIB is the local RIB: for every prefix, the candidate routes that passed
 // import policy and the best route chosen by the decision process.
 type LocRIB struct {
-	entries map[bgp.Prefix]*prefixEntry
+	entries  map[bgp.Prefix]*prefixEntry
+	decision DecisionPolicy
 }
 
-// NewLocRIB returns an empty Loc-RIB.
+// NewLocRIB returns an empty Loc-RIB using the default (BIRD-order) decision
+// policy.
 func NewLocRIB() *LocRIB {
-	return &LocRIB{entries: make(map[bgp.Prefix]*prefixEntry)}
+	return NewLocRIBFor(DecisionRouterIDFirst)
 }
+
+// NewLocRIBFor returns an empty Loc-RIB whose decision process breaks final
+// ties according to the given policy. Heterogeneous router backends differ
+// exactly here.
+func NewLocRIBFor(pol DecisionPolicy) *LocRIB {
+	return &LocRIB{entries: make(map[bgp.Prefix]*prefixEntry), decision: pol}
+}
+
+// Decision returns the Loc-RIB's decision policy.
+func (l *LocRIB) Decision() DecisionPolicy { return l.decision }
 
 // BestChange describes the effect of an update or withdrawal on the best
 // route of a prefix.
@@ -180,7 +192,7 @@ func (l *LocRIB) reselect(m *concolic.Machine, p bgp.Prefix, e *prefixEntry) Bes
 	for _, s := range sources {
 		candidates = append(candidates, e.candidates[s])
 	}
-	e.best = SelectBest(m, candidates)
+	e.best = SelectBestWith(m, candidates, l.decision)
 	changed := !sameRoute(old, e.best)
 	return BestChange{Prefix: p, Old: old, New: e.best, Changed: changed}
 }
@@ -275,9 +287,10 @@ func (l *LocRIB) Clear() { clear(l.entries) }
 // Len returns the number of prefixes in the Loc-RIB.
 func (l *LocRIB) Len() int { return len(l.entries) }
 
-// Clone deep-copies the Loc-RIB, including candidate sets and selections.
+// Clone deep-copies the Loc-RIB, including candidate sets, selections and the
+// decision policy.
 func (l *LocRIB) Clone() *LocRIB {
-	out := NewLocRIB()
+	out := NewLocRIBFor(l.decision)
 	for p, e := range l.entries {
 		ne := &prefixEntry{candidates: make(map[string]*Route, len(e.candidates))}
 		for s, r := range e.candidates {

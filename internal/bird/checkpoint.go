@@ -4,121 +4,26 @@ import (
 	"strings"
 	"time"
 
-	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/bgp/policy"
-	"github.com/dice-project/dice/internal/bgp/rib"
+	"github.com/dice-project/dice/internal/node"
 )
 
-// RouteRecord is the serializable form of one RIB entry. It carries no
-// pointers or interfaces so it can be encoded with encoding/gob or JSON.
-type RouteRecord struct {
-	Prefix       string
-	Origin       uint8
-	ASPath       []uint32
-	ASSet        []uint32
-	NextHop      uint32
-	HasMED       bool
-	MED          uint32
-	HasLocalPref bool
-	LocalPref    uint32
-	Communities  []uint32
-	Peer         string
-	PeerAS       uint32
-	PeerRouterID uint32
-	EBGP         bool
-	Local        bool
-}
-
-func recordFromRoute(r *rib.Route) RouteRecord {
-	rec := RouteRecord{
-		Prefix:       r.Prefix.String(),
-		Origin:       r.Attrs.Origin,
-		NextHop:      r.Attrs.NextHop,
-		Peer:         r.Peer,
-		PeerAS:       uint32(r.PeerAS),
-		PeerRouterID: uint32(r.PeerRouterID),
-		EBGP:         r.EBGP,
-		Local:        r.Local,
-	}
-	for _, a := range r.Attrs.ASPath {
-		rec.ASPath = append(rec.ASPath, uint32(a))
-	}
-	for _, a := range r.Attrs.ASSet {
-		rec.ASSet = append(rec.ASSet, uint32(a))
-	}
-	for _, c := range r.Attrs.Communities {
-		rec.Communities = append(rec.Communities, uint32(c))
-	}
-	if r.Attrs.MED != nil {
-		rec.HasMED = true
-		rec.MED = *r.Attrs.MED
-	}
-	if r.Attrs.LocalPref != nil {
-		rec.HasLocalPref = true
-		rec.LocalPref = *r.Attrs.LocalPref
-	}
-	return rec
-}
-
-func (rec RouteRecord) toRoute() (*rib.Route, error) {
-	p, err := bgp.ParsePrefix(rec.Prefix)
-	if err != nil {
-		return nil, err
-	}
-	attrs := &bgp.PathAttributes{
-		Origin:  rec.Origin,
-		NextHop: rec.NextHop,
-	}
-	for _, a := range rec.ASPath {
-		attrs.ASPath = append(attrs.ASPath, bgp.ASN(a))
-	}
-	for _, a := range rec.ASSet {
-		attrs.ASSet = append(attrs.ASSet, bgp.ASN(a))
-	}
-	for _, c := range rec.Communities {
-		attrs.Communities = append(attrs.Communities, bgp.Community(c))
-	}
-	if rec.HasMED {
-		attrs.SetMED(rec.MED)
-	}
-	if rec.HasLocalPref {
-		attrs.SetLocalPref(rec.LocalPref)
-	}
-	return &rib.Route{
-		Prefix:       p,
-		Attrs:        attrs,
-		Peer:         rec.Peer,
-		PeerAS:       bgp.ASN(rec.PeerAS),
-		PeerRouterID: bgp.RouterID(rec.PeerRouterID),
-		EBGP:         rec.EBGP,
-		Local:        rec.Local,
-	}, nil
-}
-
-// SessionRecord is the serializable form of one session's state.
-type SessionRecord struct {
-	Peer                  string
-	PeerAS                uint32
-	State                 int
-	PeerRouterID          uint32
-	DownCount             int
-	NotificationsSent     int
-	NotificationsReceived int
-}
-
-// EventRecord is the serializable form of a RouteEvent.
-type EventRecord struct {
-	AtNanos int64
-	Prefix  string
-	OldVia  string
-	NewVia  string
-}
+// Serializable record forms are shared across backends through package node.
+type (
+	// RouteRecord is the serializable form of one RIB entry.
+	RouteRecord = node.RouteRecord
+	// SessionRecord is the serializable form of one session's state.
+	SessionRecord = node.SessionRecord
+	// EventRecord is the serializable form of a RouteEvent.
+	EventRecord = node.EventRecord
+)
 
 // Checkpoint is a lightweight checkpoint of one router: its configuration,
 // session states, RIB contents and counters. It contains only plain data and
 // can be serialized (the checkpoint package wraps it with gob), cloned, and
 // restored into a fresh Router that behaves identically from that state
-// onward — which is exactly what DiCE's exploration needs.
+// onward — which is exactly what DiCE's exploration needs. The configuration
+// travels in bird's dialect: the BIRD-filter policy syntax of PoliciesText.
 type Checkpoint struct {
 	Name              string
 	AS                uint32
@@ -147,6 +52,12 @@ type Checkpoint struct {
 	// a process boundary restores from the textual form.
 	cfg *Config
 }
+
+// NodeName implements node.Checkpoint.
+func (cp *Checkpoint) NodeName() string { return cp.Name }
+
+// Implementation implements node.Checkpoint.
+func (cp *Checkpoint) Implementation() string { return Implementation }
 
 // Checkpoint captures the router's current state.
 func (r *Router) Checkpoint() *Checkpoint {
@@ -187,15 +98,15 @@ func (r *Router) Checkpoint() *Checkpoint {
 			NotificationsReceived: s.notificationsReceived,
 		})
 		for _, route := range r.adjIn[n.Name].Routes() {
-			cp.AdjIn[n.Name] = append(cp.AdjIn[n.Name], recordFromRoute(route))
+			cp.AdjIn[n.Name] = append(cp.AdjIn[n.Name], node.RecordFromRoute(route))
 		}
 		for _, route := range r.adjOut[n.Name].Routes() {
-			cp.AdjOut[n.Name] = append(cp.AdjOut[n.Name], recordFromRoute(route))
+			cp.AdjOut[n.Name] = append(cp.AdjOut[n.Name], node.RecordFromRoute(route))
 		}
 	}
 	for _, p := range r.locRIB.Prefixes() {
 		for _, cand := range r.locRIB.Candidates(p) {
-			cp.LocRIB = append(cp.LocRIB, recordFromRoute(cand))
+			cp.LocRIB = append(cp.LocRIB, node.RecordFromRoute(cand))
 		}
 	}
 	for _, ev := range r.events {

@@ -8,6 +8,7 @@ import (
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/bgp/policy"
 	"github.com/dice-project/dice/internal/bgp/rib"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // Image is the immutable, shareable part of a router: its validated
@@ -28,7 +29,7 @@ type Image struct {
 // into routers built from the image.
 func NewImage(cfg *Config) (*Image, error) {
 	cfg = cfg.Clone()
-	cfg.withDefaults()
+	cfg.ApplyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -73,6 +74,9 @@ func (im *Image) Config() *Config { return im.cfg }
 
 // Name returns the imaged router's name.
 func (im *Image) Name() string { return im.cfg.Name }
+
+// Implementation implements node.Image.
+func (im *Image) Implementation() string { return Implementation }
 
 // State is the decoded, restore-ready mutable state of one checkpoint: the
 // session records, RIB routes and counters with all string parsing and
@@ -213,7 +217,7 @@ func DecodeState(cp *Checkpoint) (*State, error) {
 	addRecords := func(recs []RouteRecord) (span, error) {
 		from := len(st.tmpl.routes)
 		for _, rec := range recs {
-			route, err := rec.toRoute()
+			route, err := rec.Route()
 			if err != nil {
 				return span{}, fmt.Errorf("bird: restore %s: %w", cp.Name, err)
 			}
@@ -285,8 +289,17 @@ func (im *Image) Restore(st *State) (*Router, error) {
 // crash flags, armed explorations and injected fault hooks — is overwritten.
 // This is the pooled-clone hot path: resetting an existing router is
 // equivalent to (and much cheaper than) restoring a fresh one from the
-// checkpoint.
-func (r *Router) ResetTo(im *Image, st *State) error {
+// checkpoint. It implements node.Router, so the image and state arrive
+// behind the neutral interfaces and must be this backend's own.
+func (r *Router) ResetTo(nim node.Image, nst node.State) error {
+	im, ok := nim.(*Image)
+	if !ok {
+		return fmt.Errorf("bird: reset %s: image is %T, not a bird image", r.cfg.Name, nim)
+	}
+	st, ok := nst.(*State)
+	if !ok {
+		return fmt.Errorf("bird: reset %s: state is %T, not a bird state", r.cfg.Name, nst)
+	}
 	r.cfg = im.cfg
 	r.explore = exploration{}
 	r.activeMachine = nil

@@ -9,6 +9,7 @@ import (
 	"github.com/dice-project/dice/internal/bgp/policy"
 	"github.com/dice-project/dice/internal/bgp/rib"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // canonical returns a deterministic byte form of a checkpoint (encoding/json
@@ -103,7 +104,7 @@ func TestResetToRewindsDirtyRouter(t *testing.T) {
 	clone.sessions["R2"].downCount++
 	clone.panicked = true
 	clone.lastPanic = "boom"
-	clone.SetUpdateHook(func(r *Router, from string, u *bgp.Update) error { return nil })
+	clone.SetUpdateHook(func(r node.HookContext, from string, u *bgp.Update) error { return nil })
 	if canonical(t, clone.Checkpoint()) == baseline {
 		t.Fatal("dirtying the clone did not change its checkpoint; test is vacuous")
 	}

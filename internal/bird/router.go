@@ -1,6 +1,7 @@
 package bird
 
 import (
+	"encoding/gob"
 	"fmt"
 	"time"
 
@@ -9,44 +10,62 @@ import (
 	"github.com/dice-project/dice/internal/bgp/rib"
 	"github.com/dice-project/dice/internal/concolic"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 )
 
-// UpdateHook is called after an UPDATE has been parsed and before it is
-// processed. The faults package uses it to inject programming errors into the
-// message handler: a hook may mutate the update or the router, and a non-nil
-// return is treated as a crash of the handler.
-type UpdateHook func(r *Router, from string, u *bgp.Update) error
+// Implementation is this backend's registry tag.
+const Implementation = "bird"
+
+// init registers the backend so implementation-neutral code (cluster builds,
+// snapshot stores) can construct and restore bird routers by tag, and makes
+// bird checkpoints gob-encodable inside mixed-implementation snapshots.
+func init() {
+	gob.Register(&Checkpoint{})
+	node.Register(node.Backend{
+		Name:     Implementation,
+		Decision: rib.DecisionRouterIDFirst,
+		Build: func(cfg *Config) (node.Router, error) {
+			return New(cfg)
+		},
+		ImageOf: func(cp node.Checkpoint) (node.Image, error) {
+			bcp, ok := cp.(*Checkpoint)
+			if !ok {
+				return nil, fmt.Errorf("bird: checkpoint for %s is %T, not a bird checkpoint", cp.NodeName(), cp)
+			}
+			return ImageOf(bcp)
+		},
+		DecodeState: func(cp node.Checkpoint) (node.State, error) {
+			bcp, ok := cp.(*Checkpoint)
+			if !ok {
+				return nil, fmt.Errorf("bird: checkpoint for %s is %T, not a bird checkpoint", cp.NodeName(), cp)
+			}
+			return DecodeState(bcp)
+		},
+		Restore: func(im node.Image, st node.State) (node.Router, error) {
+			bim, ok := im.(*Image)
+			if !ok {
+				return nil, fmt.Errorf("bird: image for %s is %T, not a bird image", im.Name(), im)
+			}
+			bst, ok := st.(*State)
+			if !ok {
+				return nil, fmt.Errorf("bird: restore %s: state is %T, not a bird state", im.Name(), st)
+			}
+			return bim.Restore(bst)
+		},
+	})
+}
+
+// UpdateHook is the shared hook type through which the faults package injects
+// programming errors into any backend's UPDATE handler.
+type UpdateHook = node.UpdateHook
 
 // RouterStats counts router activity. All counters are cumulative since the
 // router was created (and survive checkpointing).
-type RouterStats struct {
-	UpdatesReceived    int
-	UpdatesSent        int
-	WithdrawalsSent    int
-	OpensSent          int
-	KeepalivesSent     int
-	NotificationsSent  int
-	ParseErrors        int
-	ImportRejected     int
-	ExportRejected     int
-	ASLoopsIgnored     int
-	BestChanges        int
-	SessionResets      int
-	HandlerCrashes     int
-	ExploredSymbolic   int
-	InvariantFailures  int
-	RoutesOriginated   int
-	UpdatesHookDropped int
-}
+type RouterStats = node.RouterStats
 
 // RouteEvent records one change of the best route for a prefix. The
 // oscillation (policy conflict) checker consumes the sequence of events.
-type RouteEvent struct {
-	At     time.Duration
-	Prefix bgp.Prefix
-	OldVia string
-	NewVia string
-}
+type RouteEvent = node.RouteEvent
 
 // exploration carries the armed symbolic-input request.
 type exploration struct {
@@ -83,7 +102,7 @@ type Router struct {
 // originated routes into the Loc-RIB.
 func New(cfg *Config) (*Router, error) {
 	cfg = cfg.Clone()
-	cfg.withDefaults()
+	cfg.ApplyDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,8 +154,18 @@ func (r *Router) originateNetworks() {
 	}
 }
 
+// Interface check: bird.Router is a full node.Router backend.
+var _ node.Router = (*Router)(nil)
+
 // ID implements netem.Node.
 func (r *Router) ID() netem.NodeID { return netem.NodeID(r.cfg.Name) }
+
+// Implementation implements node.Router.
+func (r *Router) Implementation() string { return Implementation }
+
+// TakeCheckpoint implements node.Router: it is Checkpoint behind the
+// implementation-neutral interface.
+func (r *Router) TakeCheckpoint() node.Checkpoint { return r.Checkpoint() }
 
 // Config returns the router's configuration.
 func (r *Router) Config() *Config { return r.cfg }

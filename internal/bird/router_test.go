@@ -10,6 +10,7 @@ import (
 	"github.com/dice-project/dice/internal/bgp/policy"
 	"github.com/dice-project/dice/internal/concolic"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // buildLine builds a line topology R1-R2-...-Rn of routers with accept-all
@@ -368,7 +369,7 @@ func TestExploreNextUpdateRecordsConstraints(t *testing.T) {
 func TestUpdateHookSimulatesCrash(t *testing.T) {
 	net, routers := buildLine(t, 2)
 	r2 := routers["R2"]
-	r2.SetUpdateHook(func(r *Router, from string, u *bgp.Update) error {
+	r2.SetUpdateHook(func(r node.HookContext, from string, u *bgp.Update) error {
 		for _, p := range u.NLRI {
 			if p.Len == 24 {
 				return errors.New("injected bug: /24 announcements crash the handler")

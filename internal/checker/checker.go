@@ -24,7 +24,8 @@ import (
 	"github.com/dice-project/dice/internal/topology"
 )
 
-// FaultClass is one of the paper's three fault classes.
+// FaultClass is one of the paper's three fault classes, extended with the
+// cross-implementation divergence class heterogeneous deployments add.
 type FaultClass int
 
 // Fault classes.
@@ -33,6 +34,11 @@ const (
 	ClassOperatorMistake
 	ClassPolicyConflict
 	ClassProgrammingError
+	// ClassImplDivergence marks findings where two conformant router
+	// implementations legally disagree — not a bug in either node, but an
+	// emergent hazard of a heterogeneous federation (route selection that
+	// depends on which vendor a node runs).
+	ClassImplDivergence
 )
 
 // String renders the fault class.
@@ -44,6 +50,8 @@ func (c FaultClass) String() string {
 		return "policy-conflict"
 	case ClassProgrammingError:
 		return "programming-error"
+	case ClassImplDivergence:
+		return "implementation-divergence"
 	}
 	return "unknown"
 }
@@ -181,7 +189,7 @@ func DefaultProperties(topo *topology.Topology) []Property {
 func FullStateDisclosure(c *cluster.Cluster) int {
 	total := 0
 	for _, name := range c.RouterNames() {
-		data, err := checkpoint.EncodeNode(c.Router(name).Checkpoint())
+		data, err := checkpoint.EncodeNode(c.Router(name).TakeCheckpoint())
 		if err != nil {
 			continue
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/dice-project/dice/internal/bgp/policy"
 	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/node"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -136,7 +137,7 @@ func TestNodeHealthDetectsCrash(t *testing.T) {
 	topo, c := convergedLine(t, 2, nil)
 	_ = topo
 	// Simulate a crashed handler.
-	c.Router("R2").SetUpdateHook(func(r *bird.Router, from string, u *bgp.Update) error {
+	c.Router("R2").SetUpdateHook(func(r node.HookContext, from string, u *bgp.Update) error {
 		return errInjected
 	})
 	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}

@@ -1,0 +1,126 @@
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dice-project/dice/internal/bgp/rib"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/node"
+)
+
+// CrossImplDivergence is the differential conformance check for
+// heterogeneous deployments: it flags nodes whose best-path selection for a
+// prefix depends on which router implementation the node runs. For every
+// node and prefix with more than one candidate route, the node's candidate
+// set — state the node already owns, so nothing extra crosses a domain
+// boundary — is replayed through the decision process of each
+// implementation deployed in the cluster. A selection that differs between
+// implementations is a divergence: two conformant vendors would forward the
+// same traffic differently from the same state, the cross-implementation
+// hazard the paper's heterogeneity scenario is about.
+//
+// In a homogeneous cluster there is nothing to compare, so the property is
+// inert: every verdict passes and no violations are produced, keeping
+// homogeneous campaign results byte-identical whether or not the property is
+// configured. Set CompareAll to instead compare every registered backend —
+// useful for asking "would this deployment be safe to diversify?" before
+// any frr node is rolled out.
+type CrossImplDivergence struct {
+	// CompareAll compares the decision processes of every registered
+	// backend rather than only those deployed in the checked cluster.
+	CompareAll bool
+}
+
+// Name implements Property.
+func (CrossImplDivergence) Name() string { return "cross-impl-divergence" }
+
+// implPolicies resolves the (implementation, decision policy) pairs to
+// compare, sorted by implementation name.
+func (p CrossImplDivergence) implPolicies(c *cluster.Cluster) ([]string, []rib.DecisionPolicy) {
+	var impls []string
+	if p.CompareAll {
+		impls = node.Implementations()
+	} else {
+		impls = c.Implementations()
+	}
+	sort.Strings(impls)
+	names := make([]string, 0, len(impls))
+	policies := make([]rib.DecisionPolicy, 0, len(impls))
+	for _, impl := range impls {
+		be, err := node.BackendFor(impl)
+		if err != nil {
+			continue
+		}
+		names = append(names, be.Name)
+		policies = append(policies, be.Decision)
+	}
+	return names, policies
+}
+
+// Check implements Property. Disclosure accounting matches the other
+// per-node properties: each node shares one verdict; the candidate replay
+// happens node-locally.
+func (p CrossImplDivergence) Check(c *cluster.Cluster) Result {
+	res := Result{Property: p.Name()}
+	impls, policies := p.implPolicies(c)
+	for _, name := range c.RouterNames() {
+		r := c.Router(name)
+		ok := true
+		if len(impls) > 1 {
+			lr := r.LocRIB()
+			for _, pfx := range lr.Prefixes() {
+				cands := lr.Candidates(pfx)
+				if len(cands) < 2 {
+					continue
+				}
+				first := rib.SelectBestWith(nil, cands, policies[0])
+				for i := 1; i < len(impls); i++ {
+					other := rib.SelectBestWith(nil, cands, policies[i])
+					if sameSelection(first, other) {
+						continue
+					}
+					ok = false
+					res.Violations = append(res.Violations, Violation{
+						Property: p.Name(),
+						Class:    ClassImplDivergence,
+						Node:     name,
+						Prefix:   pfx,
+						HasPfx:   true,
+						Detail: fmt.Sprintf("best path depends on implementation: %s selects via %s, %s selects via %s",
+							impls[0], selectionVia(first), impls[i], selectionVia(other)),
+					})
+					break // one divergence per (node, prefix) is the finding
+				}
+			}
+		}
+		v := Verdict{Node: name, Property: p.Name(), OK: ok}
+		if !ok {
+			v.Detail = "implementation-dependent best path"
+		}
+		res.Verdicts = append(res.Verdicts, v)
+		res.DisclosedBytes += v.size()
+	}
+	return res
+}
+
+// sameSelection compares two selections by source: the decision process
+// picks among candidates keyed by (peer, local), so equal sources mean the
+// same route object.
+func sameSelection(a, b *rib.Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Peer == b.Peer && a.Local == b.Local
+}
+
+func selectionVia(r *rib.Route) string {
+	switch {
+	case r == nil:
+		return "none"
+	case r.Local:
+		return "local"
+	default:
+		return r.Peer
+	}
+}

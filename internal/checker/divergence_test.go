@@ -1,0 +1,97 @@
+package checker
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// divergenceTopo builds the minimal diamond on which the two backends'
+// decision processes legally disagree: RX is dual-homed to R5 and R10, both
+// of which reach the origin R1. RX's two candidates for R1's prefix tie
+// through the RFC-mandated comparison steps (equal path length, no
+// LOCAL_PREF policy, both eBGP), so the selection comes down to the final
+// tie-break — lowest router ID picks R5, lowest neighbor name picks R10.
+func divergenceTopo() *topology.Topology {
+	mk := func(name string, id uint32) topology.Node {
+		return topology.Node{
+			Name: name, AS: bgp.ASN(65000 + id), RouterID: bgp.RouterID(id),
+			Prefixes: []bgp.Prefix{{Addr: 10<<24 | id<<16, Len: 16}},
+		}
+	}
+	return &topology.Topology{
+		Name:  "divergence-diamond",
+		Nodes: []topology.Node{mk("R1", 1), mk("R5", 5), mk("R10", 10), mk("RX", 42)},
+		Links: []topology.Link{
+			{A: "R5", B: "R1", Rel: topology.RelPeer, Delay: time.Millisecond},
+			{A: "R10", B: "R1", Rel: topology.RelPeer, Delay: time.Millisecond},
+			{A: "RX", B: "R5", Rel: topology.RelPeer, Delay: time.Millisecond},
+			{A: "RX", B: "R10", Rel: topology.RelPeer, Delay: time.Millisecond},
+		},
+	}
+}
+
+func TestCrossImplDivergenceFlagsMixedDeployment(t *testing.T) {
+	topo := divergenceTopo().SetImpl("frr", "RX")
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	c.Converge()
+
+	res := CrossImplDivergence{}.Check(c)
+	if res.OK() {
+		t.Fatalf("mixed deployment with a tied dual-homed node reported no divergence")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Class != ClassImplDivergence {
+			t.Errorf("violation class = %v, want %v", v.Class, ClassImplDivergence)
+		}
+		if v.Node == "RX" && v.Prefix == bgp.MustParsePrefix("10.1.0.0/16") {
+			found = true
+			if !strings.Contains(v.Detail, "bird selects via R5") || !strings.Contains(v.Detail, "frr selects via R10") {
+				t.Errorf("divergence detail does not name both selections: %s", v.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("RX's divergence on R1's prefix not flagged: %v", res.Violations)
+	}
+	// Verdicts cover every node and charge disclosure like other properties.
+	if len(res.Verdicts) != len(topo.Nodes) || res.DisclosedBytes == 0 {
+		t.Errorf("verdict accounting: %d verdicts, %d bytes", len(res.Verdicts), res.DisclosedBytes)
+	}
+	// The class renders for reports.
+	if ClassImplDivergence.String() != "implementation-divergence" {
+		t.Errorf("class renders as %q", ClassImplDivergence)
+	}
+}
+
+// TestCrossImplDivergenceInertWhenHomogeneous pins the compatibility
+// guarantee: on a single-implementation deployment the property produces no
+// violations and all-OK verdicts, so configuring it changes nothing about a
+// homogeneous campaign's detections.
+func TestCrossImplDivergenceInertWhenHomogeneous(t *testing.T) {
+	c := cluster.MustBuild(divergenceTopo(), cluster.Options{Seed: 1})
+	c.Converge()
+	res := CrossImplDivergence{}.Check(c)
+	if !res.OK() {
+		t.Fatalf("homogeneous deployment flagged: %v", res.Violations)
+	}
+	for _, v := range res.Verdicts {
+		if !v.OK {
+			t.Errorf("verdict for %s not OK", v.Node)
+		}
+	}
+
+	// CompareAll asks the counterfactual question instead: would this
+	// deployment diverge if its nodes were diversified across the registered
+	// backends? The same tied candidate set must then be flagged even though
+	// every node runs bird today.
+	all := CrossImplDivergence{CompareAll: true}.Check(c)
+	if all.OK() {
+		t.Fatalf("CompareAll missed the latent divergence")
+	}
+}

@@ -1,6 +1,7 @@
 // Package checkpoint defines the consistent snapshot that DiCE explores over:
-// a set of lightweight per-node checkpoints (from package bird) plus the
-// channel state — the messages that were in flight when the cut was taken.
+// a set of lightweight per-node checkpoints (opaque node.Checkpoint values,
+// possibly from different router implementations) plus the channel state —
+// the messages that were in flight when the cut was taken.
 //
 // Snapshots are taken between emulator events, so the cut is consistent by
 // construction: no node state reflects the receipt of a message that is not
@@ -19,8 +20,8 @@ import (
 	"sync"
 	"time"
 
-	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // bufPool recycles the scratch buffers gob encoding writes into. Snapshot
@@ -62,8 +63,12 @@ func encodedLen(v interface{}) (int, error) {
 type Snapshot struct {
 	// At is the virtual time at which the cut was taken.
 	At time.Duration
-	// Nodes maps router names to their checkpoints.
-	Nodes map[string]*bird.Checkpoint
+	// Nodes maps router names to their checkpoints. Checkpoints are opaque
+	// backend values; each names the implementation that can restore it, so
+	// one snapshot may mix implementations. Backends gob-register their
+	// concrete checkpoint types, which is what lets the interface-typed map
+	// cross process boundaries.
+	Nodes map[string]node.Checkpoint
 	// InFlight is the channel state: messages sent but not yet delivered at
 	// the cut.
 	InFlight []netem.QueuedMessage
@@ -76,7 +81,7 @@ type Snapshot struct {
 // shared: they are immutable once taken (restoring builds new routers).
 func (s *Snapshot) Clone() *Snapshot {
 	out := &Snapshot{At: s.At, Consistent: s.Consistent}
-	out.Nodes = make(map[string]*bird.Checkpoint, len(s.Nodes))
+	out.Nodes = make(map[string]node.Checkpoint, len(s.Nodes))
 	for k, v := range s.Nodes {
 		out.Nodes[k] = v
 	}
@@ -129,10 +134,10 @@ func Decode(data []byte) (*Snapshot, error) {
 
 // EncodeNode serializes a single node checkpoint, for per-node size
 // accounting.
-func EncodeNode(cp *bird.Checkpoint) ([]byte, error) {
+func EncodeNode(cp node.Checkpoint) ([]byte, error) {
 	data, err := encodeInto(cp)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.Name, err)
+		return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.NodeName(), err)
 	}
 	return data, nil
 }
@@ -187,7 +192,7 @@ func MeasureNodes(s *Snapshot) (map[string]int, error) {
 	for name, cp := range s.Nodes {
 		n, err := encodedLen(cp)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.Name, err)
+			return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.NodeName(), err)
 		}
 		perNode[name] = n
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/dice-project/dice/internal/bgp/policy"
 	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 )
 
 func sampleSnapshot(t *testing.T) *Snapshot {
@@ -25,7 +26,7 @@ func sampleSnapshot(t *testing.T) *Snapshot {
 	}
 	return &Snapshot{
 		At: 3 * time.Second,
-		Nodes: map[string]*bird.Checkpoint{
+		Nodes: map[string]node.Checkpoint{
 			"A": mk("A", 65001, 1),
 			"B": mk("B", 65002, 2),
 		},
@@ -52,15 +53,19 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if got.At != s.At || !got.Consistent {
 		t.Errorf("metadata lost: %+v", got)
 	}
-	if len(got.Nodes) != 2 || got.Nodes["A"] == nil || got.Nodes["A"].Name != "A" {
+	if len(got.Nodes) != 2 || got.Nodes["A"] == nil || got.Nodes["A"].NodeName() != "A" {
 		t.Errorf("nodes lost: %+v", got.NodeNames())
+	}
+	if impl := got.Nodes["A"].Implementation(); impl != "bird" {
+		t.Errorf("decoded checkpoint implementation = %q, want bird", impl)
 	}
 	if len(got.InFlight) != 1 || string(got.InFlight[0].Payload) != string([]byte{1, 2, 3}) {
 		t.Errorf("in-flight messages lost: %+v", got.InFlight)
 	}
 	// A decoded checkpoint (which lost its in-process config) must still
-	// restore via its textual policy form.
-	if _, err := bird.Restore(got.Nodes["A"]); err != nil {
+	// restore via its textual policy form, dispatched through the backend
+	// registry.
+	if _, err := node.RestoreRouter(got.Nodes["A"]); err != nil {
 		t.Errorf("decoded node checkpoint does not restore: %v", err)
 	}
 }

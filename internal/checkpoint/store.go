@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync"
 
-	"github.com/dice-project/dice/internal/bird"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // Store holds a campaign snapshot in decoded, restore-ready form: an
@@ -13,6 +13,10 @@ import (
 // construction and pooled-clone resets restore from the store instead of
 // re-parsing the snapshot's serialized records for every explored input.
 //
+// Every per-node operation dispatches through the node backend registry, so
+// a store over a mixed-implementation snapshot decodes and restores each
+// node with its own backend.
+//
 // The store also owns the snapshot's size accounting: Sizes caches one
 // measurement, and Delta sizes a later checkpoint of a node against the
 // baseline encoding, for delta-based footprint reporting.
@@ -20,9 +24,10 @@ import (
 // A Store is immutable after NewStore (lazily computed caches are
 // synchronized) and safe for concurrent use by many workers.
 type Store struct {
-	snap   *Snapshot
-	images map[string]*bird.Image
-	states map[string]*bird.State
+	snap     *Snapshot
+	backends map[string]node.Backend
+	images   map[string]node.Image
+	states   map[string]node.State
 
 	baselineOnce sync.Once
 	baselineErr  error
@@ -38,19 +43,25 @@ type Store struct {
 // mutated afterwards (snapshots are immutable by convention once taken).
 func NewStore(snap *Snapshot) (*Store, error) {
 	s := &Store{
-		snap:   snap,
-		images: make(map[string]*bird.Image, len(snap.Nodes)),
-		states: make(map[string]*bird.State, len(snap.Nodes)),
+		snap:     snap,
+		backends: make(map[string]node.Backend, len(snap.Nodes)),
+		images:   make(map[string]node.Image, len(snap.Nodes)),
+		states:   make(map[string]node.State, len(snap.Nodes)),
 	}
 	for name, cp := range snap.Nodes {
-		im, err := bird.ImageOf(cp)
+		be, err := node.BackendFor(cp.Implementation())
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: store: %w", err)
 		}
-		st, err := bird.DecodeState(cp)
+		im, err := be.ImageOf(cp)
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: store: %w", err)
 		}
+		st, err := be.DecodeState(cp)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: store: %w", err)
+		}
+		s.backends[name] = be
 		s.images[name] = im
 		s.states[name] = st
 	}
@@ -64,19 +75,19 @@ func (s *Store) Snapshot() *Snapshot { return s.snap }
 func (s *Store) NodeNames() []string { return s.snap.NodeNames() }
 
 // Image returns the named node's immutable router image, or nil.
-func (s *Store) Image(name string) *bird.Image { return s.images[name] }
+func (s *Store) Image(name string) node.Image { return s.images[name] }
 
 // State returns the named node's decoded baseline state, or nil.
-func (s *Store) State(name string) *bird.State { return s.states[name] }
+func (s *Store) State(name string) node.State { return s.states[name] }
 
 // Restore builds a fresh router for the named node from its image and
-// baseline state.
-func (s *Store) Restore(name string) (*bird.Router, error) {
-	im, st := s.images[name], s.states[name]
-	if im == nil || st == nil {
+// baseline state, using the backend that produced the checkpoint.
+func (s *Store) Restore(name string) (node.Router, error) {
+	be, ok := s.backends[name]
+	if !ok {
 		return nil, fmt.Errorf("checkpoint: store has no node %q", name)
 	}
-	return im.Restore(st)
+	return be.Restore(s.images[name], s.states[name])
 }
 
 // Sizes measures the snapshot's encoded footprint once and caches the result;
@@ -112,7 +123,7 @@ const deltaFraming = 16
 // binary delta against the node's baseline encoding. Exploration uses it to
 // account for how much smaller "ship the changes" is than "ship the state"
 // once a clone has diverged from the snapshot.
-func (s *Store) Delta(name string, cp *bird.Checkpoint) (Delta, error) {
+func (s *Store) Delta(name string, cp node.Checkpoint) (Delta, error) {
 	if err := s.encodeBaselines(); err != nil {
 		return Delta{}, err
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bird"
 )
 
 func TestStoreRestoresNodes(t *testing.T) {
@@ -88,7 +89,10 @@ func TestStoreDelta(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diverged := r.Checkpoint()
+	diverged, ok := r.TakeCheckpoint().(*bird.Checkpoint)
+	if !ok {
+		t.Fatalf("restored router checkpoint is %T, want *bird.Checkpoint", r.TakeCheckpoint())
+	}
 	diverged.Stats.UpdatesReceived += 3
 	d, err := store.Delta("A", diverged)
 	if err != nil {

@@ -8,14 +8,21 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/bgp/policy"
-	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 	"github.com/dice-project/dice/internal/topology"
+
+	// Router backends register themselves with the node registry; importing
+	// them here makes every deployment built through this package able to
+	// resolve the implementations a topology names.
+	_ "github.com/dice-project/dice/internal/bird"
+	_ "github.com/dice-project/dice/internal/frr"
 )
 
 // Relationship tag communities attached by the generated import policies, in
@@ -53,15 +60,17 @@ type Options struct {
 	MaxEvents int
 	// ConfigOverride, when non-nil, is applied to each generated router
 	// configuration before the router is built. Fault injection uses it to
-	// plant operator mistakes and policy conflicts.
-	ConfigOverride func(cfg *bird.Config)
+	// plant operator mistakes and policy conflicts. The semantic
+	// configuration is implementation-neutral, so one override applies to
+	// every backend.
+	ConfigOverride func(cfg *node.Config)
 }
 
 // Cluster is a running emulated deployment.
 type Cluster struct {
 	Topo    *topology.Topology
 	Net     *netem.Network
-	Routers map[string]*bird.Router
+	Routers map[string]node.Router
 	opts    Options
 }
 
@@ -128,16 +137,16 @@ func gaoRexfordPolicies() map[string]*policy.Policy {
 // ConfigFor builds the router configuration for one topology node under the
 // given options (without building the router). Exported so fault injectors
 // and tests can inspect or modify configurations.
-func ConfigFor(topo *topology.Topology, name string, opts Options) (*bird.Config, error) {
-	node := topo.Node(name)
-	if node == nil {
+func ConfigFor(topo *topology.Topology, name string, opts Options) (*node.Config, error) {
+	tn := topo.Node(name)
+	if tn == nil {
 		return nil, fmt.Errorf("cluster: unknown node %q", name)
 	}
-	cfg := &bird.Config{
-		Name:              node.Name,
-		AS:                node.AS,
-		RouterID:          node.RouterID,
-		Networks:          append([]bgp.Prefix(nil), node.Prefixes...),
+	cfg := &node.Config{
+		Name:              tn.Name,
+		AS:                tn.AS,
+		RouterID:          tn.RouterID,
+		Networks:          append([]bgp.Prefix(nil), tn.Prefixes...),
 		KeepaliveInterval: opts.KeepaliveInterval,
 		Policies:          map[string]*policy.Policy{"ALL": policy.AcceptAll("ALL")},
 	}
@@ -152,7 +161,7 @@ func ConfigFor(topo *topology.Topology, name string, opts Options) (*bird.Config
 			peerName = l.A
 		}
 		peer := topo.Node(peerName)
-		nc := bird.NeighborConfig{Name: peer.Name, AS: peer.AS, Import: "ALL", Export: "ALL"}
+		nc := node.NeighborConfig{Name: peer.Name, AS: peer.AS, Import: "ALL", Export: "ALL"}
 		if opts.GaoRexford {
 			switch relationOf(l, name) {
 			case "customer":
@@ -183,19 +192,19 @@ func Build(topo *topology.Topology, opts Options) (*Cluster, error) {
 	c := &Cluster{
 		Topo:    topo,
 		Net:     netem.New(netem.Options{Seed: opts.Seed, Trace: opts.Trace, MaxEvents: opts.MaxEvents}),
-		Routers: make(map[string]*bird.Router),
+		Routers: make(map[string]node.Router),
 		opts:    opts,
 	}
-	for _, node := range topo.Nodes {
-		cfg, err := ConfigFor(topo, node.Name, opts)
+	for _, tn := range topo.Nodes {
+		cfg, err := ConfigFor(topo, tn.Name, opts)
 		if err != nil {
 			return nil, err
 		}
-		r, err := bird.New(cfg)
+		r, err := node.BuildRouter(tn.Impl, cfg)
 		if err != nil {
 			return nil, err
 		}
-		c.Routers[node.Name] = r
+		c.Routers[tn.Name] = r
 		c.Net.AddNode(r)
 	}
 	for _, l := range topo.Links {
@@ -218,7 +227,22 @@ func MustBuild(topo *topology.Topology, opts Options) *Cluster {
 }
 
 // Router returns the named router, or nil.
-func (c *Cluster) Router(name string) *bird.Router { return c.Routers[name] }
+func (c *Cluster) Router(name string) node.Router { return c.Routers[name] }
+
+// Implementations returns the distinct router implementations deployed in
+// the cluster, sorted. A heterogeneous deployment reports more than one.
+func (c *Cluster) Implementations() []string {
+	seen := make(map[string]bool)
+	for _, r := range c.Routers {
+		seen[r.Implementation()] = true
+	}
+	out := make([]string, 0, len(seen))
+	for impl := range seen {
+		out = append(out, impl)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Converge runs the emulation until quiescence (routing converged) and
 // returns the number of events processed.
@@ -236,12 +260,12 @@ func (c *Cluster) Run(until time.Duration) int {
 func (c *Cluster) Snapshot() *checkpoint.Snapshot {
 	s := &checkpoint.Snapshot{
 		At:         c.Net.Now(),
-		Nodes:      make(map[string]*bird.Checkpoint, len(c.Routers)),
+		Nodes:      make(map[string]node.Checkpoint, len(c.Routers)),
 		InFlight:   c.Net.InFlight(),
 		Consistent: true,
 	}
 	for name, r := range c.Routers {
-		s.Nodes[name] = r.Checkpoint()
+		s.Nodes[name] = r.TakeCheckpoint()
 	}
 	return s
 }
@@ -262,19 +286,19 @@ func FromSnapshot(topo *topology.Topology, snap *checkpoint.Snapshot, opts Optio
 	c := &Cluster{
 		Topo:    topo,
 		Net:     netem.New(netem.Options{Seed: opts.Seed, Trace: opts.Trace, MaxEvents: opts.MaxEvents}),
-		Routers: make(map[string]*bird.Router),
+		Routers: make(map[string]node.Router),
 		opts:    opts,
 	}
-	for _, node := range topo.Nodes {
-		cp, ok := snap.Nodes[node.Name]
+	for _, tn := range topo.Nodes {
+		cp, ok := snap.Nodes[tn.Name]
 		if !ok {
-			return nil, fmt.Errorf("cluster: snapshot missing node %s", node.Name)
+			return nil, fmt.Errorf("cluster: snapshot missing node %s", tn.Name)
 		}
-		r, err := bird.Restore(cp)
+		r, err := node.RestoreRouter(cp)
 		if err != nil {
 			return nil, err
 		}
-		c.Routers[node.Name] = r
+		c.Routers[tn.Name] = r
 		c.Net.AddNode(r)
 	}
 	for _, l := range topo.Links {
@@ -311,7 +335,7 @@ func (c *Cluster) RouterNames() []string { return c.Topo.NodeNames() }
 // a visibility boundary, not a copy — so it must not be run or mutated.
 // Federated coordinators evaluate properties over their domain's subview.
 func (c *Cluster) Subview(sub *topology.Topology) *Cluster {
-	routers := make(map[string]*bird.Router, len(sub.Nodes))
+	routers := make(map[string]node.Router, len(sub.Nodes))
 	for _, n := range sub.Nodes {
 		if r, ok := c.Routers[n.Name]; ok {
 			routers[n.Name] = r

@@ -7,6 +7,7 @@ import (
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/node"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -232,7 +233,7 @@ func TestBuildErrors(t *testing.T) {
 	if _, err := ConfigFor(topology.Line(2), "nope", Options{}); err == nil {
 		t.Errorf("unknown node must not produce a config")
 	}
-	snap := &checkpoint.Snapshot{Nodes: map[string]*bird.Checkpoint{}}
+	snap := &checkpoint.Snapshot{Nodes: map[string]node.Checkpoint{}}
 	if _, err := FromSnapshot(topology.Line(2), snap, Options{}); err == nil {
 		t.Errorf("snapshot missing nodes must not restore")
 	}

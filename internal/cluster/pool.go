@@ -5,9 +5,9 @@ import (
 	"sync"
 	"time"
 
-	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/netem"
+	"github.com/dice-project/dice/internal/node"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -23,15 +23,15 @@ func FromStore(topo *topology.Topology, store *checkpoint.Store, opts Options) (
 	c := &Cluster{
 		Topo:    topo,
 		Net:     netem.New(netem.Options{Seed: opts.Seed, Trace: opts.Trace, MaxEvents: opts.MaxEvents}),
-		Routers: make(map[string]*bird.Router, len(topo.Nodes)),
+		Routers: make(map[string]node.Router, len(topo.Nodes)),
 		opts:    opts,
 	}
-	for _, node := range topo.Nodes {
-		r, err := store.Restore(node.Name)
+	for _, tn := range topo.Nodes {
+		r, err := store.Restore(tn.Name)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: %w", err)
 		}
-		c.Routers[node.Name] = r
+		c.Routers[tn.Name] = r
 		c.Net.AddNode(r)
 	}
 	for _, l := range topo.Links {

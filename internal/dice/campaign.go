@@ -48,6 +48,10 @@ type campaignConfig struct {
 	eventBuffer     int
 	onEvent         func(Event)
 	partition       *federation.Partition
+	// budgetTimer provides the channel that fires when Budget.MaxDuration
+	// elapses; nil selects time.After. Tests inject a hand-driven channel so
+	// budget-expiry behavior is exercised without racing the wall clock.
+	budgetTimer func(time.Duration) <-chan time.Time
 }
 
 func defaultCampaignConfig() campaignConfig {
@@ -440,12 +444,34 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	// The budget deadline is layered on top of the caller's context so the
 	// two terminations stay distinguishable: parent.Err() reports the
 	// caller's cancellation, ctx.Err() without a parent error reports budget
-	// expiry.
+	// expiry. The expiry signal comes from a timer channel rather than
+	// context.WithTimeout so tests can drive it deterministically.
 	parent := ctx
 	if c.cfg.budget.MaxDuration > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.cfg.budget.MaxDuration)
+		budgetCtx, cancel := context.WithCancel(ctx)
 		defer cancel()
+		if fire := c.cfg.budgetTimer; fire != nil {
+			go func(ch <-chan time.Time) {
+				select {
+				case <-ch:
+					cancel()
+				case <-budgetCtx.Done():
+				}
+			}(fire(c.cfg.budget.MaxDuration))
+		} else {
+			// A real timer, stopped when the campaign finishes first so a
+			// short campaign with a long budget leaves nothing pending.
+			timer := time.NewTimer(c.cfg.budget.MaxDuration)
+			go func() {
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+					cancel()
+				case <-budgetCtx.Done():
+				}
+			}()
+		}
+		ctx = budgetCtx
 	}
 
 	start := time.Now()

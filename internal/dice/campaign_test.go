@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -324,12 +325,32 @@ func TestCampaignContextCancellation(t *testing.T) {
 // budget used to come back Cancelled with a DeadlineExceeded error. Budget
 // expiry is a normal completion: nil error, BudgetExhausted set, Cancelled
 // clear.
+//
+// The budget timer is injected, so expiry is driven by the test rather than
+// the wall clock: the timer "fires" right after the first clone executes,
+// deterministically on any machine. (The earlier version used a real
+// 1ms MaxDuration, which raced both ways — a loaded CI runner could expire
+// the budget before anything ran, and a fast machine could drain the whole
+// explorer frontier before the deadline, leaving BudgetExhausted unset.)
 func TestCampaignBudgetExhaustionIsNotCancellation(t *testing.T) {
 	topo, live, copts := hijackedLine(t, 3)
 	campaign := NewCampaign(live, topo,
-		WithBudget(Budget{TotalInputs: 100000, MaxDuration: time.Millisecond}),
+		WithBudget(Budget{TotalInputs: 100000, MaxDuration: time.Hour}),
 		WithSeed(1),
 		WithClusterOptions(copts))
+	// Hand-driven budget timer: fires once the first clone has run.
+	fire := make(chan time.Time)
+	campaign.cfg.budgetTimer = func(d time.Duration) <-chan time.Time {
+		if d != time.Hour {
+			t.Errorf("budget timer armed with %v, want the configured MaxDuration", d)
+		}
+		return fire
+	}
+	var once sync.Once
+	campaign.testCloneFault = func() error {
+		once.Do(func() { close(fire) })
+		return nil
+	}
 	res, err := campaign.Run(context.Background())
 	if err != nil {
 		t.Fatalf("budget expiry must be a normal completion, got error %v", err)
@@ -341,18 +362,26 @@ func TestCampaignBudgetExhaustionIsNotCancellation(t *testing.T) {
 		t.Errorf("budget expiry misreported as cancellation")
 	}
 	if res.InputsExplored >= 100000 {
-		t.Errorf("budget deadline did not stop exploration early (%d inputs)", res.InputsExplored)
+		t.Errorf("budget expiry did not stop exploration early (%d inputs)", res.InputsExplored)
 	}
 
 	// A caller deadline tighter than the budget is the caller's doing:
-	// Cancelled, with the context error surfaced.
+	// Cancelled, with the context error surfaced. The clone hook blocks
+	// until the caller's deadline has actually passed, so the campaign can
+	// neither finish before the deadline nor exhaust its frontier first —
+	// the outcome is the same on any machine; only the (generous) deadline
+	// bounds the test's duration.
 	topo2, live2, copts2 := hijackedLine(t, 3)
-	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
 	campaign2 := NewCampaign(live2, topo2,
 		WithBudget(Budget{TotalInputs: 100000, MaxDuration: time.Hour}),
 		WithSeed(1),
 		WithClusterOptions(copts2))
+	campaign2.testCloneFault = func() error {
+		<-ctx.Done() // hold the first clone until the caller deadline fires
+		return nil
+	}
 	res2, err2 := campaign2.Run(ctx)
 	if !errors.Is(err2, context.DeadlineExceeded) {
 		t.Fatalf("caller deadline = %v, want context.DeadlineExceeded", err2)

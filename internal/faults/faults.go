@@ -6,9 +6,14 @@
 // planted through a cluster.Options.ConfigOverride before the routers are
 // built (the misconfiguration exists from the start, as it would in a real
 // deployment; DiCE's job is to detect its consequences by exploration).
-// Programming errors are code-level: they are installed as bird.UpdateHook
+// Programming errors are code-level: they are installed as node.UpdateHook
 // values on the routers, both on the deployed cluster and on every shadow
 // clone the orchestrator explores.
+//
+// Every fault targets the implementation-neutral node layer — the semantic
+// configuration and the shared hook interface — so the same fault plants
+// identically on a bird node and an frr node; heterogeneous campaigns rely
+// on that to compare detections across backends.
 package faults
 
 import (
@@ -16,9 +21,9 @@ import (
 
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/bgp/policy"
-	"github.com/dice-project/dice/internal/bird"
 	"github.com/dice-project/dice/internal/checker"
 	"github.com/dice-project/dice/internal/concolic"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // Fault describes one injected fault.
@@ -36,7 +41,7 @@ type ConfigFault interface {
 	Fault
 	// Apply mutates the configuration of the router it targets; it is a
 	// no-op for other routers.
-	Apply(cfg *bird.Config)
+	Apply(cfg *node.Config)
 }
 
 // CodeFault is a fault planted by hooking a router's UPDATE handler.
@@ -45,13 +50,13 @@ type CodeFault interface {
 	// Target returns the router the hook is installed on.
 	Target() string
 	// Hook returns the faulty handler hook.
-	Hook() bird.UpdateHook
+	Hook() node.UpdateHook
 }
 
 // ApplyConfigFaults returns a cluster ConfigOverride that applies every
 // config-level fault.
-func ApplyConfigFaults(faults ...ConfigFault) func(cfg *bird.Config) {
-	return func(cfg *bird.Config) {
+func ApplyConfigFaults(faults ...ConfigFault) func(cfg *node.Config) {
+	return func(cfg *node.Config) {
 		for _, f := range faults {
 			f.Apply(cfg)
 		}
@@ -81,7 +86,7 @@ func (f MisOrigination) Description() string {
 }
 
 // Apply implements ConfigFault.
-func (f MisOrigination) Apply(cfg *bird.Config) {
+func (f MisOrigination) Apply(cfg *node.Config) {
 	if cfg.Name != f.Router {
 		return
 	}
@@ -110,7 +115,7 @@ func (f MissingImportFilter) Description() string {
 }
 
 // Apply implements ConfigFault.
-func (f MissingImportFilter) Apply(cfg *bird.Config) {
+func (f MissingImportFilter) Apply(cfg *node.Config) {
 	if cfg.Name != f.Router {
 		return
 	}
@@ -151,7 +156,7 @@ func (f DisputeWheel) Description() string {
 }
 
 // Apply implements ConfigFault.
-func (f DisputeWheel) Apply(cfg *bird.Config) {
+func (f DisputeWheel) Apply(cfg *node.Config) {
 	idx := -1
 	for i, name := range f.Routers {
 		if name == cfg.Name {
@@ -212,7 +217,7 @@ type HandlerBug struct {
 	Router      string
 	BugName     string
 	Explanation string
-	HookFn      bird.UpdateHook
+	HookFn      node.UpdateHook
 }
 
 // Class implements Fault.
@@ -230,7 +235,7 @@ func (b HandlerBug) Description() string {
 func (b HandlerBug) Target() string { return b.Router }
 
 // Hook implements CodeFault.
-func (b HandlerBug) Hook() bird.UpdateHook { return b.HookFn }
+func (b HandlerBug) Hook() node.UpdateHook { return b.HookFn }
 
 // CommunityCrash builds a programming error where the handler crashes when an
 // UPDATE carries a specific community value — a narrow input condition of the
@@ -243,7 +248,7 @@ func CommunityCrash(router string, trigger bgp.Community) HandlerBug {
 		Router:      router,
 		BugName:     "community-crash",
 		Explanation: fmt.Sprintf("handler dereferences a nil entry when community %s is present", trigger),
-		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+		HookFn: func(r node.HookContext, from string, u *bgp.Update) error {
 			m := r.ActiveMachine()
 			if m != nil && u.Sym != nil {
 				for _, cv := range u.Sym.Communities {
@@ -268,7 +273,7 @@ func LongPathCrash(router string, limit int) HandlerBug {
 		Router:      router,
 		BugName:     "long-aspath-crash",
 		Explanation: fmt.Sprintf("fixed-size path buffer overflows when AS_PATH exceeds %d hops", limit),
-		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+		HookFn: func(r node.HookContext, from string, u *bgp.Update) error {
 			m := r.ActiveMachine()
 			if m != nil && u.Sym != nil && u.Sym.ASPathLen.Width != 0 {
 				over := concolic.Gt(concolic.ZExt(u.Sym.ASPathLen, 32), concolic.Const(uint64(limit), 32))
@@ -294,7 +299,7 @@ func DroppedWithdrawals(router string) HandlerBug {
 		Router:      router,
 		BugName:     "dropped-withdrawals",
 		Explanation: "withdrawals are discarded when the UPDATE also carries announcements",
-		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+		HookFn: func(r node.HookContext, from string, u *bgp.Update) error {
 			if len(u.NLRI) > 0 && len(u.Withdrawn) > 0 {
 				u.Withdrawn = nil // silently lose the withdrawal
 			}
@@ -310,7 +315,7 @@ func MEDZeroCrash(router string) HandlerBug {
 		Router:      router,
 		BugName:     "med-zero-crash",
 		Explanation: "metric normalization divides by MED and crashes when MED == 0",
-		HookFn: func(r *bird.Router, from string, u *bgp.Update) error {
+		HookFn: func(r node.HookContext, from string, u *bgp.Update) error {
 			m := r.ActiveMachine()
 			if m != nil && u.Sym != nil && u.Sym.HasMED {
 				if m.Branch("bug/med-zero", concolic.EqConst(u.Sym.MED, 0)) {
@@ -329,7 +334,7 @@ func MEDZeroCrash(router string) HandlerBug {
 // InstallCodeFaults installs every code fault on its target router in the
 // given router map. It is applied both to the deployed cluster and to each
 // shadow clone before exploration.
-func InstallCodeFaults(routers map[string]*bird.Router, faults ...CodeFault) {
+func InstallCodeFaults(routers map[string]node.Router, faults ...CodeFault) {
 	for _, f := range faults {
 		if r, ok := routers[f.Target()]; ok {
 			r.SetUpdateHook(f.Hook())

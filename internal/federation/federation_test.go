@@ -22,7 +22,9 @@ func TestNewPartitionValidation(t *testing.T) {
 		{"empty domain", []Domain{{Name: "a", Nodes: nil}, {Name: "b", Nodes: []string{"R1", "R2", "R3"}}}, "no nodes"},
 		{"unknown node", []Domain{{Name: "a", Nodes: []string{"R1", "R9"}}, {Name: "b", Nodes: []string{"R2", "R3"}}}, "unknown node"},
 		{"overlap", []Domain{{Name: "a", Nodes: []string{"R1", "R2"}}, {Name: "b", Nodes: []string{"R2", "R3"}}}, "in domains"},
+		{"self overlap", []Domain{{Name: "a", Nodes: []string{"R1", "R1", "R2", "R3"}}}, "in domains"},
 		{"uncovered", []Domain{{Name: "a", Nodes: []string{"R1"}}, {Name: "b", Nodes: []string{"R2"}}}, "belongs to no domain"},
+		{"all uncovered", []Domain{{Name: "a", Nodes: []string{"R1"}}}, "belongs to no domain"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -48,6 +50,30 @@ func TestNewPartitionValidation(t *testing.T) {
 	}
 	if got := p.CrossingLinks(topo); got != 1 {
 		t.Errorf("CrossingLinks = %d, want 1 (R2-R3)", got)
+	}
+}
+
+// TestNewPartitionSingleDomainDegenerate pins the degenerate but legal case:
+// one domain administering every node. The partition validates, nothing
+// crosses a boundary, and every node answers to the one administration —
+// the configuration under which a federated campaign collapses to a
+// centralized one.
+func TestNewPartitionSingleDomainDegenerate(t *testing.T) {
+	topo := topology.Line(3)
+	p, err := NewPartition(topo, []Domain{{Name: "world", Nodes: []string{"R1", "R2", "R3"}}})
+	if err != nil {
+		t.Fatalf("single-domain partition rejected: %v", err)
+	}
+	if len(p.Domains) != 1 {
+		t.Fatalf("domains = %d, want 1", len(p.Domains))
+	}
+	for _, n := range topo.NodeNames() {
+		if p.DomainOf(n) != "world" {
+			t.Errorf("DomainOf(%s) = %q, want world", n, p.DomainOf(n))
+		}
+	}
+	if got := p.CrossingLinks(topo); got != 0 {
+		t.Errorf("single-domain partition has %d crossing links, want 0", got)
 	}
 }
 

@@ -1,0 +1,481 @@
+package frr
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/bgp/rib"
+	"github.com/dice-project/dice/internal/concolic"
+	"github.com/dice-project/dice/internal/node"
+)
+
+// This file is the frr backend's configuration dialect: an FRR vtysh-flavored
+// text rendering of the semantic node.Config, with policies expressed as
+// route-maps. It is what an frr checkpoint carries across process boundaries
+// (where bird carries its BIRD-filter PoliciesText), and what the
+// examples/heterogeneous walkthrough prints. Render and ParseConfig are
+// inverses: Render(ParseConfig(Render(cfg))) == Render(cfg), covered by the
+// dialect round-trip test.
+
+// defaultSeq is the route-map sequence number reserved for a policy's
+// default disposition; statements take 10, 20, 30, …
+const defaultSeq = 65535
+
+// Render serializes the semantic configuration in the frr dialect. The
+// output is deterministic: neighbors keep configuration order, route-maps
+// are sorted by name.
+func Render(cfg *node.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frr version dice-1\n!\n")
+	fmt.Fprintf(&b, "router bgp %d\n", cfg.AS)
+	fmt.Fprintf(&b, " bgp router-id %s\n", renderRouterID(cfg.RouterID))
+	fmt.Fprintf(&b, " bgp node-name %s\n", cfg.Name)
+	fmt.Fprintf(&b, " timers bgp hold %s connect-retry %s keepalive %s\n",
+		cfg.HoldTime, cfg.ConnectRetry, cfg.KeepaliveInterval)
+	for _, p := range cfg.Networks {
+		fmt.Fprintf(&b, " network %s\n", p)
+	}
+	for _, n := range cfg.Neighbors {
+		fmt.Fprintf(&b, " neighbor %s remote-as %d\n", n.Name, n.AS)
+		if n.Import != "" {
+			fmt.Fprintf(&b, " neighbor %s route-map %s in\n", n.Name, n.Import)
+		}
+		if n.Export != "" {
+			fmt.Fprintf(&b, " neighbor %s route-map %s out\n", n.Name, n.Export)
+		}
+	}
+	b.WriteString("exit\n")
+	names := make([]string, 0, len(cfg.Policies))
+	for name := range cfg.Policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteString("!\n")
+		renderRouteMap(&b, cfg.Policies[name])
+	}
+	return b.String()
+}
+
+func renderRouterID(id bgp.RouterID) string {
+	v := uint32(id)
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24, v>>16&0xff, v>>8&0xff, v&0xff)
+}
+
+func parseRouterID(s string) (bgp.RouterID, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("frr: router-id %q is not dotted quad", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		o, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("frr: router-id %q: %v", s, err)
+		}
+		v = v<<8 | uint32(o)
+	}
+	return bgp.RouterID(v), nil
+}
+
+func renderRouteMap(b *strings.Builder, pol *policy.Policy) {
+	for i, st := range pol.Statements {
+		seq := (i + 1) * 10
+		kind, sets, cont := statementDisposition(st)
+		fmt.Fprintf(b, "route-map %s %s %d\n", pol.Name, kind, seq)
+		for _, c := range st.Conds {
+			fmt.Fprintf(b, " %s\n", renderCond(c))
+		}
+		for _, a := range sets {
+			fmt.Fprintf(b, " %s\n", renderAction(a))
+		}
+		if cont {
+			fmt.Fprintf(b, " continue\n")
+		}
+	}
+	kind := "permit"
+	if pol.Default == policy.ResultReject {
+		kind = "deny"
+	}
+	fmt.Fprintf(b, "route-map %s %s %d\n", pol.Name, kind, defaultSeq)
+}
+
+// statementDisposition splits a statement's action list into its non-terminal
+// set actions and its disposition: "permit" / "deny" when it ends in a
+// terminal accept/reject, or "permit" plus an explicit continue when the
+// statement falls through to the next one.
+func statementDisposition(st *policy.Statement) (kind string, sets []policy.Action, cont bool) {
+	for _, a := range st.Actions {
+		switch a.(type) {
+		case policy.ActionAccept:
+			return "permit", sets, false
+		case policy.ActionReject:
+			return "deny", sets, false
+		default:
+			sets = append(sets, a)
+		}
+	}
+	return "permit", sets, true
+}
+
+func renderPrefixSpec(c policy.MatchPrefix) string {
+	var b strings.Builder
+	b.WriteString(c.Prefix.String())
+	if c.Exact {
+		b.WriteString(" exact")
+	}
+	if c.MinLen != 0 {
+		fmt.Fprintf(&b, " ge %d", c.MinLen)
+	}
+	if c.MaxLen != 0 {
+		fmt.Fprintf(&b, " le %d", c.MaxLen)
+	}
+	return b.String()
+}
+
+func renderCond(c policy.Condition) string {
+	switch c := c.(type) {
+	case policy.MatchPrefix:
+		return "match ip address prefix " + renderPrefixSpec(c)
+	case policy.MatchPrefixList:
+		entries := make([]string, len(c.Entries))
+		for i, e := range c.Entries {
+			entries[i] = renderPrefixSpec(e)
+		}
+		return fmt.Sprintf("match ip address prefix-list %s (%s)", c.Name, strings.Join(entries, "; "))
+	case policy.MatchASPathContains:
+		return fmt.Sprintf("match as-path contains %d", c.AS)
+	case policy.MatchOriginAS:
+		return fmt.Sprintf("match origin-as %d", c.AS)
+	case policy.MatchASPathLen:
+		return fmt.Sprintf("match as-path length %s %d", opOrEq(c.Op), c.N)
+	case policy.MatchCommunity:
+		return fmt.Sprintf("match community %s", c.Community)
+	case policy.MatchLocalPref:
+		return fmt.Sprintf("match local-preference %s %d", opOrEq(c.Op), c.N)
+	}
+	return fmt.Sprintf("match unknown %T", c)
+}
+
+// opOrEq canonicalizes the empty comparison operator to "=": the policy
+// engine treats both spellings as equality, and the dialect needs one token
+// per field. The canonicalization is one-way by design — parsing returns
+// "=" — so the round-trip property holds on the rendered form, not on the
+// never-rendered empty spelling.
+func opOrEq(op string) string {
+	if op == "" {
+		return "="
+	}
+	return op
+}
+
+func renderAction(a policy.Action) string {
+	switch a := a.(type) {
+	case policy.ActionSetLocalPref:
+		return fmt.Sprintf("set local-preference %d", a.Value)
+	case policy.ActionSetMED:
+		return fmt.Sprintf("set metric %d", a.Value)
+	case policy.ActionAddCommunity:
+		return fmt.Sprintf("set community %s additive", a.Community)
+	case policy.ActionClearCommunities:
+		return "set comm-list all delete"
+	case policy.ActionPrepend:
+		return fmt.Sprintf("set as-path prepend %d x%d", a.AS, a.Count)
+	}
+	return fmt.Sprintf("set unknown %T", a)
+}
+
+// ParseConfig parses the frr dialect back into the semantic configuration.
+func ParseConfig(text string) (*node.Config, error) {
+	cfg := &node.Config{Policies: make(map[string]*policy.Policy)}
+	var curMap *policy.Policy // route-map under construction
+	var curStmt *policy.Statement
+	var curKind string // permit / deny of the current entry
+	var curSeq int
+	inRouter := false
+
+	finishEntry := func() {
+		if curMap == nil || curStmt == nil {
+			return
+		}
+		if curSeq == defaultSeq {
+			if curKind == "deny" {
+				curMap.Default = policy.ResultReject
+			} else {
+				curMap.Default = policy.ResultAccept
+			}
+			curStmt = nil
+			return
+		}
+		// A statement without an explicit continue terminates in its entry
+		// kind; the continue marker was consumed while parsing.
+		if !stmtContinues(curStmt) {
+			if curKind == "deny" {
+				curStmt.Actions = append(curStmt.Actions, policy.ActionReject{})
+			} else {
+				curStmt.Actions = append(curStmt.Actions, policy.ActionAccept{})
+			}
+		} else {
+			curStmt.Actions = curStmt.Actions[:len(curStmt.Actions)-1] // drop marker
+		}
+		curMap.Statements = append(curMap.Statements, curStmt)
+		curStmt = nil
+	}
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || line == "!" || strings.HasPrefix(line, "frr version") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...interface{}) (*node.Config, error) {
+			return nil, fmt.Errorf("frr: config line %d (%q): %s", lineNo+1, line, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case f[0] == "router" && len(f) == 3 && f[1] == "bgp":
+			as, err := strconv.ParseUint(f[2], 10, 32)
+			if err != nil {
+				return fail("bad AS: %v", err)
+			}
+			cfg.AS = bgp.ASN(as)
+			inRouter = true
+		case f[0] == "exit":
+			inRouter = false
+		case inRouter && f[0] == "bgp" && len(f) == 3 && f[1] == "router-id":
+			id, err := parseRouterID(f[2])
+			if err != nil {
+				return fail("%v", err)
+			}
+			cfg.RouterID = id
+		case inRouter && f[0] == "bgp" && len(f) == 3 && f[1] == "node-name":
+			cfg.Name = f[2]
+		case inRouter && f[0] == "timers" && len(f) == 8:
+			hold, err1 := time.ParseDuration(f[3])
+			retry, err2 := time.ParseDuration(f[5])
+			keep, err3 := time.ParseDuration(f[7])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return fail("bad timers")
+			}
+			cfg.HoldTime, cfg.ConnectRetry, cfg.KeepaliveInterval = hold, retry, keep
+		case inRouter && f[0] == "network" && len(f) == 2:
+			p, err := bgp.ParsePrefix(f[1])
+			if err != nil {
+				return fail("%v", err)
+			}
+			cfg.Networks = append(cfg.Networks, p)
+		case inRouter && f[0] == "neighbor" && len(f) == 4 && f[2] == "remote-as":
+			as, err := strconv.ParseUint(f[3], 10, 32)
+			if err != nil {
+				return fail("bad remote-as: %v", err)
+			}
+			cfg.Neighbors = append(cfg.Neighbors, node.NeighborConfig{Name: f[1], AS: bgp.ASN(as)})
+		case inRouter && f[0] == "neighbor" && len(f) == 5 && f[2] == "route-map":
+			nc := cfg.Neighbor(f[1])
+			if nc == nil {
+				return fail("route-map for unknown neighbor %s", f[1])
+			}
+			switch f[4] {
+			case "in":
+				nc.Import = f[3]
+			case "out":
+				nc.Export = f[3]
+			default:
+				return fail("route-map direction %q", f[4])
+			}
+		case f[0] == "route-map" && len(f) == 4:
+			finishEntry()
+			name, kind := f[1], f[2]
+			seq, err := strconv.Atoi(f[3])
+			if err != nil || (kind != "permit" && kind != "deny") {
+				return fail("bad route-map header")
+			}
+			if cfg.Policies[name] == nil {
+				cfg.Policies[name] = &policy.Policy{Name: name}
+			}
+			curMap, curKind, curSeq = cfg.Policies[name], kind, seq
+			curStmt = &policy.Statement{}
+		case f[0] == "match" && curStmt != nil:
+			c, err := parseCond(line)
+			if err != nil {
+				return fail("%v", err)
+			}
+			curStmt.Conds = append(curStmt.Conds, c)
+		case f[0] == "set" && curStmt != nil:
+			a, err := parseAction(line)
+			if err != nil {
+				return fail("%v", err)
+			}
+			curStmt.Actions = append(curStmt.Actions, a)
+		case f[0] == "continue" && curStmt != nil:
+			curStmt.Actions = append(curStmt.Actions, continueMarker{})
+		default:
+			return fail("unrecognized directive")
+		}
+	}
+	finishEntry()
+	return cfg, nil
+}
+
+// continueMarker is a parse-time placeholder for an explicit fall-through;
+// finishEntry strips it.
+type continueMarker struct{}
+
+func (continueMarker) Apply(*concolic.Machine, *rib.Route) *policy.Result { return nil }
+func (continueMarker) String() string                                     { return "continue" }
+
+func stmtContinues(st *policy.Statement) bool {
+	if len(st.Actions) == 0 {
+		return false
+	}
+	_, ok := st.Actions[len(st.Actions)-1].(continueMarker)
+	return ok
+}
+
+func parsePrefixSpec(fields []string) (policy.MatchPrefix, error) {
+	var out policy.MatchPrefix
+	if len(fields) == 0 {
+		return out, fmt.Errorf("empty prefix spec")
+	}
+	p, err := bgp.ParsePrefix(fields[0])
+	if err != nil {
+		return out, err
+	}
+	out.Prefix = p
+	i := 1
+	for i < len(fields) {
+		switch fields[i] {
+		case "exact":
+			out.Exact = true
+			i++
+		case "ge", "le":
+			if i+1 >= len(fields) {
+				return out, fmt.Errorf("%s without value", fields[i])
+			}
+			v, err := strconv.ParseUint(fields[i+1], 10, 8)
+			if err != nil {
+				return out, err
+			}
+			if fields[i] == "ge" {
+				out.MinLen = uint8(v)
+			} else {
+				out.MaxLen = uint8(v)
+			}
+			i += 2
+		default:
+			return out, fmt.Errorf("prefix spec token %q", fields[i])
+		}
+	}
+	return out, nil
+}
+
+func parseCond(line string) (policy.Condition, error) {
+	f := strings.Fields(line)
+	switch {
+	case strings.HasPrefix(line, "match ip address prefix-list "):
+		rest := strings.TrimPrefix(line, "match ip address prefix-list ")
+		open := strings.IndexByte(rest, '(')
+		if open < 0 || !strings.HasSuffix(rest, ")") {
+			return nil, fmt.Errorf("malformed prefix-list")
+		}
+		out := policy.MatchPrefixList{Name: strings.TrimSpace(rest[:open])}
+		body := rest[open+1 : len(rest)-1]
+		if strings.TrimSpace(body) != "" {
+			for _, spec := range strings.Split(body, ";") {
+				e, err := parsePrefixSpec(strings.Fields(spec))
+				if err != nil {
+					return nil, err
+				}
+				out.Entries = append(out.Entries, e)
+			}
+		}
+		return out, nil
+	case strings.HasPrefix(line, "match ip address prefix "):
+		return parsePrefixSpec(f[4:])
+	case strings.HasPrefix(line, "match as-path contains ") && len(f) == 4:
+		as, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchASPathContains{AS: bgp.ASN(as)}, nil
+	case strings.HasPrefix(line, "match origin-as ") && len(f) == 3:
+		as, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchOriginAS{AS: bgp.ASN(as)}, nil
+	case strings.HasPrefix(line, "match as-path length ") && len(f) == 5:
+		n, err := strconv.ParseUint(f[4], 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchASPathLen{Op: f[3], N: uint8(n)}, nil
+	case strings.HasPrefix(line, "match community ") && len(f) == 3:
+		c, err := parseCommunity(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchCommunity{Community: c}, nil
+	case strings.HasPrefix(line, "match local-preference ") && len(f) == 4:
+		n, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchLocalPref{Op: f[2], N: uint32(n)}, nil
+	}
+	return nil, fmt.Errorf("unknown match %q", line)
+}
+
+func parseCommunity(s string) (bgp.Community, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("community %q", s)
+	}
+	a, err1 := strconv.ParseUint(parts[0], 10, 16)
+	b, err2 := strconv.ParseUint(parts[1], 10, 16)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("community %q", s)
+	}
+	return bgp.NewCommunity(uint16(a), uint16(b)), nil
+}
+
+func parseAction(line string) (policy.Action, error) {
+	f := strings.Fields(line)
+	switch {
+	case strings.HasPrefix(line, "set local-preference ") && len(f) == 3:
+		v, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionSetLocalPref{Value: uint32(v)}, nil
+	case strings.HasPrefix(line, "set metric ") && len(f) == 3:
+		v, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionSetMED{Value: uint32(v)}, nil
+	case strings.HasPrefix(line, "set community ") && len(f) == 4 && f[3] == "additive":
+		c, err := parseCommunity(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionAddCommunity{Community: c}, nil
+	case line == "set comm-list all delete":
+		return policy.ActionClearCommunities{}, nil
+	case strings.HasPrefix(line, "set as-path prepend ") && len(f) == 5:
+		as, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		count, err := strconv.Atoi(strings.TrimPrefix(f[4], "x"))
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionPrepend{AS: bgp.ASN(as), Count: count}, nil
+	}
+	return nil, fmt.Errorf("unknown set %q", line)
+}

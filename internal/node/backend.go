@@ -1,0 +1,118 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dice-project/dice/internal/bgp/rib"
+)
+
+// DefaultImplementation is the backend used for topology nodes that do not
+// tag one explicitly, preserving the homogeneous behavior of earlier
+// releases byte for byte.
+const DefaultImplementation = "bird"
+
+// Backend is one registered router implementation. The cluster and snapshot
+// layers drive every per-implementation operation through it, so a new
+// backend plugs in by registering — no cluster, checkpoint or campaign code
+// names a concrete speaker.
+type Backend struct {
+	// Name is the implementation tag topology nodes and checkpoints carry.
+	Name string
+	// Decision is the backend's RIB tie-breaking order. The
+	// CrossImplDivergence checker replays candidate sets through the
+	// deployed backends' policies to flag selections that depend on which
+	// implementation a node runs.
+	Decision rib.DecisionPolicy
+	// Build constructs a running router from the semantic configuration.
+	Build func(cfg *Config) (Router, error)
+	// ImageOf decodes a checkpoint's immutable half (validated config).
+	ImageOf func(cp Checkpoint) (Image, error)
+	// DecodeState decodes a checkpoint's mutable half into restore-ready
+	// form.
+	DecodeState func(cp Checkpoint) (State, error)
+	// Restore builds a fresh router from a decoded image and state.
+	Restore func(im Image, st State) (Router, error)
+}
+
+var (
+	backendMu  sync.RWMutex
+	backendSet = make(map[string]Backend)
+)
+
+// Register adds a backend to the registry. Backends register from their
+// package init, so importing an implementation package makes it available;
+// re-registering a name panics (two packages claiming one implementation is
+// a programming error, not a runtime condition).
+func Register(b Backend) {
+	if b.Name == "" || b.Build == nil || b.ImageOf == nil || b.DecodeState == nil || b.Restore == nil {
+		panic("node: incomplete backend registration")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backendSet[b.Name]; dup {
+		panic(fmt.Sprintf("node: backend %q registered twice", b.Name))
+	}
+	backendSet[b.Name] = b
+}
+
+// BackendFor resolves an implementation tag ("" selects the default).
+func BackendFor(impl string) (Backend, error) {
+	if impl == "" {
+		impl = DefaultImplementation
+	}
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	b, ok := backendSet[impl]
+	if !ok {
+		return Backend{}, fmt.Errorf("node: unknown router implementation %q (registered: %v)", impl, registeredLocked())
+	}
+	return b, nil
+}
+
+// Implementations returns the registered backend names, sorted.
+func Implementations() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return registeredLocked()
+}
+
+func registeredLocked() []string {
+	names := make([]string, 0, len(backendSet))
+	for name := range backendSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuildRouter constructs a router of the given implementation ("" selects
+// the default) from the semantic configuration.
+func BuildRouter(impl string, cfg *Config) (Router, error) {
+	b, err := BackendFor(impl)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(cfg)
+}
+
+// RestoreRouter rebuilds a router from a checkpoint by dispatching to the
+// backend the checkpoint names. It is the cold path: every call re-decodes
+// the checkpoint; code restoring many clones of one snapshot should decode
+// an image and state once (checkpoint.Store does) and restore onto those.
+func RestoreRouter(cp Checkpoint) (Router, error) {
+	b, err := BackendFor(cp.Implementation())
+	if err != nil {
+		return nil, err
+	}
+	im, err := b.ImageOf(cp)
+	if err != nil {
+		return nil, err
+	}
+	st, err := b.DecodeState(cp)
+	if err != nil {
+		return nil, err
+	}
+	return b.Restore(im, st)
+}

@@ -1,0 +1,183 @@
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+)
+
+// NeighborConfig describes one BGP session of a router.
+type NeighborConfig struct {
+	// Name is the netem node ID of the peer router.
+	Name string
+	// AS is the peer's autonomous system.
+	AS bgp.ASN
+	// Import and Export name policies in Config.Policies applied to routes
+	// received from / advertised to this neighbor. Empty means accept all.
+	Import string
+	Export string
+}
+
+// Config is the implementation-neutral semantic configuration of one router —
+// the part of node state that, in a federated deployment, an operator keeps
+// private. The cluster layer derives it from the topology; each backend
+// lowers it into (and serializes it as) its own configuration dialect: the
+// bird backend renders policies in the BIRD-filter syntax, the frr backend
+// renders the whole configuration as FRR vtysh-style text with route-maps.
+type Config struct {
+	// Name is the router's netem node ID.
+	Name string
+	// AS is the router's autonomous system number.
+	AS bgp.ASN
+	// RouterID is the BGP identifier.
+	RouterID bgp.RouterID
+	// Networks are locally originated prefixes.
+	Networks []bgp.Prefix
+	// Neighbors are the configured sessions.
+	Neighbors []NeighborConfig
+	// Policies holds the named import/export policies.
+	Policies map[string]*policy.Policy
+
+	// HoldTime is the negotiated hold time (default 90s).
+	HoldTime time.Duration
+	// KeepaliveInterval enables periodic KEEPALIVEs when non-zero. The
+	// experiments leave it at zero so that the virtual-time emulator reaches
+	// quiescence when routing has converged.
+	KeepaliveInterval time.Duration
+	// ConnectRetry is how long to wait before re-sending an OPEN that got no
+	// answer (default 5s).
+	ConnectRetry time.Duration
+}
+
+// ApplyDefaults fills the zero-valued timer fields with their defaults.
+func (c *Config) ApplyDefaults() {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90 * time.Second
+	}
+	if c.ConnectRetry == 0 {
+		c.ConnectRetry = 5 * time.Second
+	}
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("node: config without name")
+	}
+	if c.AS == 0 {
+		return fmt.Errorf("node: %s: AS must be non-zero", c.Name)
+	}
+	if c.RouterID == 0 {
+		return fmt.Errorf("node: %s: router ID must be non-zero", c.Name)
+	}
+	seen := make(map[string]bool)
+	for _, n := range c.Neighbors {
+		if n.Name == "" || n.AS == 0 {
+			return fmt.Errorf("node: %s: neighbor with empty name or AS", c.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("node: %s: duplicate neighbor %s", c.Name, n.Name)
+		}
+		seen[n.Name] = true
+		for _, pol := range []string{n.Import, n.Export} {
+			if pol == "" {
+				continue
+			}
+			if _, ok := c.Policies[pol]; !ok {
+				return fmt.Errorf("node: %s: neighbor %s references unknown policy %q", c.Name, n.Name, pol)
+			}
+		}
+	}
+	for _, p := range c.Networks {
+		if !p.Valid() {
+			return fmt.Errorf("node: %s: invalid network %s", c.Name, p)
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the configuration. Policies are copied by re-using the
+// same (immutable) policy values.
+func (c *Config) Clone() *Config {
+	out := *c
+	out.Networks = append([]bgp.Prefix(nil), c.Networks...)
+	out.Neighbors = append([]NeighborConfig(nil), c.Neighbors...)
+	out.Policies = make(map[string]*policy.Policy, len(c.Policies))
+	for k, v := range c.Policies {
+		out.Policies[k] = v
+	}
+	return &out
+}
+
+// PrivacyClass classifies a configuration field for federated deployments:
+// whether its content is observable outside the administrative domain anyway,
+// or encodes operator intent that must never cross a domain boundary.
+type PrivacyClass int
+
+// Privacy classes.
+const (
+	// PrivacyShared marks fields already visible from outside the domain:
+	// wire-level identifiers (the AS number and router ID travel in every
+	// OPEN and UPDATE) and registry-public data (originated prefixes).
+	PrivacyShared PrivacyClass = iota
+	// PrivacyPrivate marks fields that exist only inside the domain: the
+	// session book with its policy bindings, the policy definitions
+	// themselves, and the local timer tuning. The federation bus carries
+	// checker.Summary values only, which reference none of these; the
+	// privacy test serializes the bus traffic to prove it.
+	PrivacyPrivate
+)
+
+// String renders the privacy class.
+func (p PrivacyClass) String() string {
+	if p == PrivacyPrivate {
+		return "private"
+	}
+	return "shared"
+}
+
+// ConfigPrivacy is the privacy classification of every Config field by name —
+// the contract the federation layer is built against. A completeness test
+// asserts the map covers the struct exactly, so a field added to Config
+// without a deliberate classification fails the build's tests.
+func ConfigPrivacy() map[string]PrivacyClass {
+	return map[string]PrivacyClass{
+		"Name":              PrivacyShared,
+		"AS":                PrivacyShared,
+		"RouterID":          PrivacyShared,
+		"Networks":          PrivacyShared,
+		"Neighbors":         PrivacyPrivate,
+		"Policies":          PrivacyPrivate,
+		"HoldTime":          PrivacyPrivate,
+		"KeepaliveInterval": PrivacyPrivate,
+		"ConnectRetry":      PrivacyPrivate,
+	}
+}
+
+// Redacted returns the shareable projection of the configuration: every
+// PrivacyPrivate field is zeroed, leaving only what other domains could
+// observe anyway. It is what a federated operator could hand to a neighbor
+// without disclosing intent; the running system never needs it because the
+// federation bus ships summaries, not configurations.
+func (c *Config) Redacted() *Config {
+	// Exactly the PrivacyShared fields of ConfigPrivacy; the redaction test
+	// cross-checks this against the classification map.
+	return &Config{
+		Name:     c.Name,
+		AS:       c.AS,
+		RouterID: c.RouterID,
+		Networks: append([]bgp.Prefix(nil), c.Networks...),
+	}
+}
+
+// Neighbor returns the configuration of the named neighbor, or nil.
+func (c *Config) Neighbor(name string) *NeighborConfig {
+	for i := range c.Neighbors {
+		if c.Neighbors[i].Name == name {
+			return &c.Neighbors[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package node_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/node"
+)
+
+func validConfig() *node.Config {
+	return &node.Config{
+		Name: "R1", AS: 65001, RouterID: 1,
+		Networks: []bgp.Prefix{bgp.MustParsePrefix("10.1.0.0/16")},
+		Policies: map[string]*policy.Policy{"ALL": policy.AcceptAll("ALL")},
+		Neighbors: []node.NeighborConfig{
+			{Name: "R2", AS: 65002, Import: "ALL", Export: "ALL"},
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := validConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*node.Config)
+		wantErr string
+	}{
+		{"no name", func(c *node.Config) { c.Name = "" }, "without name"},
+		{"zero AS", func(c *node.Config) { c.AS = 0 }, "AS must be non-zero"},
+		{"zero router ID", func(c *node.Config) { c.RouterID = 0 }, "router ID"},
+		{"anonymous neighbor", func(c *node.Config) { c.Neighbors[0].Name = "" }, "empty name or AS"},
+		{"duplicate neighbor", func(c *node.Config) { c.Neighbors = append(c.Neighbors, c.Neighbors[0]) }, "duplicate neighbor"},
+		{"unknown policy", func(c *node.Config) { c.Neighbors[0].Import = "NOPE" }, "unknown policy"},
+		{"invalid network", func(c *node.Config) { c.Networks = append(c.Networks, bgp.Prefix{Addr: 1, Len: 40}) }, "invalid network"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(cfg)
+			if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigApplyDefaultsAndClone(t *testing.T) {
+	cfg := validConfig()
+	cfg.ApplyDefaults()
+	if cfg.HoldTime != 90*time.Second || cfg.ConnectRetry != 5*time.Second {
+		t.Errorf("defaults not applied: %+v", cfg)
+	}
+	clone := cfg.Clone()
+	clone.Networks[0] = bgp.MustParsePrefix("99.9.0.0/16")
+	clone.Neighbors[0].Import = "X"
+	clone.Policies["NEW"] = policy.AcceptAll("NEW")
+	if cfg.Networks[0] != bgp.MustParsePrefix("10.1.0.0/16") || cfg.Neighbors[0].Import != "ALL" {
+		t.Errorf("Clone shares slices with the original")
+	}
+	if _, leaked := cfg.Policies["NEW"]; leaked {
+		t.Errorf("Clone shares the policy map")
+	}
+	if cfg.Neighbor("R2") == nil || cfg.Neighbor("R9") != nil {
+		t.Errorf("Neighbor lookup wrong")
+	}
+}
+
+// TestConfigPrivacyCoversStruct is the completeness check the federation
+// layer relies on: every Config field must carry a deliberate privacy
+// classification, and Redacted must zero exactly the private ones.
+func TestConfigPrivacyCoversStruct(t *testing.T) {
+	classes := node.ConfigPrivacy()
+	typ := reflect.TypeOf(node.Config{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := classes[name]; !ok {
+			t.Errorf("Config field %s has no privacy classification", name)
+		}
+	}
+	if len(classes) != typ.NumField() {
+		t.Errorf("classification names %d fields, struct has %d", len(classes), typ.NumField())
+	}
+
+	cfg := validConfig()
+	cfg.ApplyDefaults()
+	red := cfg.Redacted()
+	val := reflect.ValueOf(*red)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		zero := val.Field(i).IsZero()
+		switch classes[name] {
+		case node.PrivacyShared:
+			if zero && !reflect.ValueOf(*cfg).Field(i).IsZero() {
+				t.Errorf("shared field %s was redacted", name)
+			}
+		case node.PrivacyPrivate:
+			if !zero {
+				t.Errorf("private field %s survived redaction", name)
+			}
+		}
+	}
+	if node.PrivacyShared.String() != "shared" || node.PrivacyPrivate.String() != "private" {
+		t.Errorf("privacy class rendering broken")
+	}
+}

@@ -12,9 +12,11 @@ package topology
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/node"
 )
 
 // Relation is the business relationship of a link, following the Gao–Rexford
@@ -48,6 +50,11 @@ type Node struct {
 	// Prefixes are the prefixes this AS legitimately originates. The
 	// ownership registry used by the hijack checker is derived from them.
 	Prefixes []bgp.Prefix
+	// Impl names the router implementation (backend) deployed on this node;
+	// empty selects the default backend. The topology layer treats the tag
+	// as an opaque string — the cluster layer resolves it against the node
+	// backend registry when routers are built.
+	Impl string
 }
 
 // Link is an adjacency between two nodes.
@@ -195,6 +202,60 @@ func (t *Topology) Induced(name string, nodes []string) *Topology {
 	return sub
 }
 
+// SetImpl tags the named nodes with a router implementation. With no names,
+// every node is tagged. Unknown names are ignored; the receiver is returned
+// for chaining.
+func (t *Topology) SetImpl(impl string, names ...string) *Topology {
+	if len(names) == 0 {
+		for i := range t.Nodes {
+			t.Nodes[i].Impl = impl
+		}
+		return t
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	for i := range t.Nodes {
+		if want[t.Nodes[i].Name] {
+			t.Nodes[i].Impl = impl
+		}
+	}
+	return t
+}
+
+// Implementations returns the distinct implementations deployed in the
+// topology, sorted. The empty tag is normalized to the default backend, so
+// tagging a node with the default's name explicitly does not make an
+// otherwise-uniform topology look mixed.
+func (t *Topology) Implementations() []string {
+	counts := t.ImplementationCounts()
+	out := make([]string, 0, len(counts))
+	for impl := range counts {
+		out = append(out, impl)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ImplementationCounts returns how many nodes run each implementation, with
+// the empty (default) tag normalized to the default backend's name.
+func (t *Topology) ImplementationCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, n := range t.Nodes {
+		impl := n.Impl
+		if impl == "" {
+			impl = node.DefaultImplementation
+		}
+		counts[impl]++
+	}
+	return counts
+}
+
+// Heterogeneous reports whether the topology mixes more than one router
+// implementation.
+func (t *Topology) Heterogeneous() bool { return len(t.Implementations()) > 1 }
+
 // Connected reports whether the topology graph is connected (ignoring link
 // direction and relationships).
 func (t *Topology) Connected() bool {
@@ -302,6 +363,24 @@ func Demo27() *Topology {
 		)
 	}
 	return t
+}
+
+// Demo27Hetero is the mixed-implementation variant of the paper's demo: the
+// same 27 routers and links, with every tier-3 stub running the "frr"
+// backend while the transit tiers stay on the default "bird" backend. The
+// heterogeneity is confined to the edge, so safety detections match the
+// homogeneous demo while the stubs' dual-homed candidate sets expose the
+// backends' different-but-legal decision tie-breaking (experiment E11).
+func Demo27Hetero() *Topology {
+	t := Demo27()
+	t.Name = "demo27-hetero"
+	var stubs []string
+	for _, n := range t.Nodes {
+		if n.Tier == 3 {
+			stubs = append(stubs, n.Name)
+		}
+	}
+	return t.SetImpl("frr", stubs...)
 }
 
 // GaoRexford builds a random three-tier Internet-like topology with the given

@@ -216,3 +216,35 @@ func TestQuickGaoRexfordAlwaysValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestImplementationTagsNormalize(t *testing.T) {
+	topo := Line(3)
+	if got := topo.Implementations(); len(got) != 1 || got[0] != "bird" {
+		t.Errorf("untagged topology implementations = %v, want [bird]", got)
+	}
+	// Tagging nodes with the default backend explicitly must not make the
+	// topology look mixed.
+	topo.SetImpl("bird", "R2")
+	if topo.Heterogeneous() {
+		t.Errorf("explicitly-default tag reported as heterogeneous")
+	}
+	topo.SetImpl("frr", "R3")
+	if !topo.Heterogeneous() {
+		t.Errorf("bird+frr topology not reported heterogeneous")
+	}
+	counts := topo.ImplementationCounts()
+	if counts["bird"] != 2 || counts["frr"] != 1 {
+		t.Errorf("ImplementationCounts = %v", counts)
+	}
+	if got := topo.Implementations(); len(got) != 2 || got[0] != "bird" || got[1] != "frr" {
+		t.Errorf("Implementations = %v", got)
+	}
+
+	hetero := Demo27Hetero()
+	if !hetero.Heterogeneous() || hetero.ImplementationCounts()["frr"] != 15 {
+		t.Errorf("Demo27Hetero counts = %v", hetero.ImplementationCounts())
+	}
+	if err := hetero.Validate(); err != nil {
+		t.Errorf("Demo27Hetero invalid: %v", err)
+	}
+}

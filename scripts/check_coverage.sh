@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check_coverage.sh FLOOR LOGFILE
+#
+# Enforces a per-package coverage floor over the output of
+# `go test -cover ./...` (captured in LOGFILE). Every package that ran tests
+# must report coverage >= FLOOR percent; packages without test files (main
+# packages, examples) are listed but not gated.
+set -eu
+
+floor="${1:?usage: check_coverage.sh FLOOR LOGFILE}"
+log="${2:?usage: check_coverage.sh FLOOR LOGFILE}"
+
+fail=0
+checked=0
+while read -r pkg pct; do
+  checked=$((checked + 1))
+  p="${pct%\%}"
+  if awk -v a="$p" -v b="$floor" 'BEGIN{exit !(a+0 < b+0)}'; then
+    echo "FAIL  $pkg  $pct < ${floor}%"
+    fail=1
+  else
+    echo "ok    $pkg  $pct"
+  fi
+done < <(awk '$1 == "ok" { for (i = 1; i <= NF; i++) if ($i == "coverage:" && $(i+1) ~ /^[0-9.]+%$/) print $2, $(i+1) }' "$log")
+
+if [ "$checked" -eq 0 ]; then
+  echo "FAIL  no coverage lines found in $log"
+  exit 1
+fi
+
+echo
+grep -E '^\?' "$log" | sed 's/^/untested (not gated): /' || true
+
+exit "$fail"
