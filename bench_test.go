@@ -301,6 +301,41 @@ func BenchmarkE9ClonePooledReset(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// E12 live-mode benchmarks: the continuous checkpoint→explore→report loop.
+// ---------------------------------------------------------------------------
+
+// BenchmarkE12LiveSoak runs the bounded live soak (epoch checkpoints,
+// scenario campaigns, dedupe, group-minimized traces) in its quick
+// configuration; the full-size run is `dice-bench -exp e12`.
+func BenchmarkE12LiveSoak(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunE12(ExperimentConfig{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Findings == 0 {
+			b.Fatal("soak found nothing")
+		}
+	}
+}
+
+// BenchmarkE12EpochCheckpoint measures one live-mode checkpoint beat: the
+// consistent cut plus the ring push (store decode, measure, delta) of the
+// 27-router demo — the recurring cost the pause budget governs.
+func BenchmarkE12EpochCheckpoint(b *testing.B) {
+	topo := topology.Demo27()
+	live := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	live.Converge()
+	ring := checkpoint.NewRing(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ring.Push(live.Snapshot(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkUpdateCodec measures the raw wire-format cost that everything else
 // sits on top of (ancillary micro-benchmark).
 func BenchmarkUpdateCodec(b *testing.B) {

@@ -1,15 +1,22 @@
 // Command dice-bench regenerates the paper's evaluation artifacts. Each
-// experiment (e1..e11, see EXPERIMENTS.md) can be run individually or all
+// experiment (e1..e12, see EXPERIMENTS.md) can be run individually or all
 // together; -quick shrinks budgets for a fast smoke run. e8 is the
 // campaign-scaling experiment: the same multi-explorer campaign executed
 // serially and on a full worker pool. e9 is the clone-lifecycle experiment:
 // cold FromSnapshot rebuilds vs the pooled shadow-cluster runtime. e10 is
 // the federation experiment: centralized vs per-AS federated detection on
 // the hijack scenario. e11 is the heterogeneity experiment: the mixed
-// bird+frr demo with differential conformance checking. -json writes the
-// selected experiment's machine-readable result (`-exp e9 -json
-// BENCH_clone.json` and `-exp e10 -json BENCH_federation.json` are the
+// bird+frr demo with differential conformance checking. e12 is the live-mode
+// experiment: a bounded online soak (checkpoint epochs, scenario campaigns,
+// dedupe, minimized traces). -json writes the selected experiment's
+// machine-readable result (`-exp e9 -json BENCH_clone.json`, `-exp e10 -json
+// BENCH_federation.json` and `-exp e12 -json BENCH_live.json` are the
 // artifacts CI tracks across PRs).
+//
+// Every JSON artifact is stamped with a schema version, the experiment id,
+// the seed and the Go runtime metadata (version, GOOS/GOARCH, GOMAXPROCS),
+// so the bench trajectory is self-describing and comparable across PRs and
+// machines.
 package main
 
 import (
@@ -17,19 +24,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	dice "github.com/dice-project/dice"
 )
 
-// cloneBench is the schema of the -json artifact. Field names are stable:
+// benchSchemaVersion is bumped whenever any artifact's field set changes
+// incompatibly; consumers of the bench trajectory key on it.
+const benchSchemaVersion = 2
+
+// benchMeta is the self-describing header embedded in every BENCH_*.json
+// artifact.
+type benchMeta struct {
+	SchemaVersion int    `json:"schema_version"`
+	Experiment    string `json:"experiment"`
+	Quick         bool   `json:"quick"`
+	Seed          int64  `json:"seed"`
+	GoVersion     string `json:"go_version"`
+	GOOS          string `json:"goos"`
+	GOARCH        string `json:"goarch"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+}
+
+func newBenchMeta(exp string, cfg dice.ExperimentConfig) benchMeta {
+	return benchMeta{
+		SchemaVersion: benchSchemaVersion,
+		Experiment:    exp,
+		Quick:         cfg.Quick,
+		Seed:          cfg.Seed,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// cloneBench is the schema of the e9 -json artifact. Field names are stable:
 // CI archives one of these per PR to track the clone-lifecycle perf
 // trajectory.
 type cloneBench struct {
-	Experiment string `json:"experiment"`
-	Quick      bool   `json:"quick"`
-	Seed       int64  `json:"seed"`
-	Routers    int    `json:"routers"`
+	benchMeta
+	Routers int `json:"routers"`
 
 	CloneSamples    int     `json:"clone_samples"`
 	ColdNsPerClone  int64   `json:"cold_ns_per_clone"`
@@ -51,15 +87,11 @@ type cloneBench struct {
 	MeanDeltaBytes int `json:"mean_delta_bytes"`
 }
 
-// federationBench is the schema of the e10 -json artifact. Field names are
-// stable: CI archives one per PR so the perf trajectory captures
-// federated-mode overhead alongside the clone-lifecycle numbers.
+// federationBench is the schema of the e10 -json artifact.
 type federationBench struct {
-	Experiment string `json:"experiment"`
-	Quick      bool   `json:"quick"`
-	Seed       int64  `json:"seed"`
-	Routers    int    `json:"routers"`
-	Domains    int    `json:"domains"`
+	benchMeta
+	Routers int `json:"routers"`
+	Domains int `json:"domains"`
 
 	TotalInputs     int     `json:"total_inputs"`
 	Workers         int     `json:"workers"`
@@ -77,11 +109,48 @@ type federationBench struct {
 	ReductionVsFullState float64 `json:"reduction_vs_full_state"`
 }
 
+// liveBench is the schema of the e12 -json artifact: the live-mode soak's
+// checkpoint pauses, epoch footprints, shadow overhead, dedupe savings and
+// minimized-trace sizes.
+type liveBench struct {
+	benchMeta
+	Routers int `json:"routers"`
+	Epochs  int `json:"epochs"`
+
+	PauseMeanNs         int64 `json:"pause_mean_ns"`
+	PauseMaxNs          int64 `json:"pause_max_ns"`
+	PauseBudgetExceeded int   `json:"pause_budget_exceeded"`
+	CheckpointStride    int   `json:"checkpoint_stride"`
+
+	SnapshotBytesPerEpoch int `json:"snapshot_bytes_per_epoch"`
+	DeltaBytesPerEpoch    int `json:"delta_bytes_per_epoch"`
+
+	Campaigns             int     `json:"campaigns"`
+	CampaignsDeduped      int     `json:"campaigns_deduped"`
+	InputsExplored        int     `json:"inputs_explored"`
+	InputsSaved           int     `json:"inputs_saved"`
+	PathsSaved            int     `json:"paths_saved"`
+	DedupeSavedFraction   float64 `json:"dedupe_saved_fraction"`
+	ShadowOverheadPercent float64 `json:"shadow_overhead_percent"`
+
+	Findings            int  `json:"findings"`
+	FirstDetectionEpoch int  `json:"first_detection_epoch"`
+	AllReverified       bool `json:"all_reverified"`
+	TraceStepsBefore    int  `json:"trace_steps_before"`
+	TraceStepsAfter     int  `json:"trace_steps_after"`
+}
+
+func writeJSON(path string, out interface{}) error {
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func writeFederationJSON(path string, cfg dice.ExperimentConfig, r *dice.E10Result) error {
-	out := federationBench{
-		Experiment:           "e10",
-		Quick:                cfg.Quick,
-		Seed:                 cfg.Seed,
+	return writeJSON(path, federationBench{
+		benchMeta:            newBenchMeta("e10", cfg),
 		Routers:              r.Routers,
 		Domains:              r.Domains,
 		TotalInputs:          r.TotalInputs,
@@ -96,19 +165,12 @@ func writeFederationJSON(path string, cfg dice.ExperimentConfig, r *dice.E10Resu
 		SummaryBytesPerInput: r.SummaryBytesPerInput,
 		FullStateBytes:       r.FullStateBytes,
 		ReductionVsFullState: r.ReductionVsFullState,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	})
 }
 
 func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) error {
-	out := cloneBench{
-		Experiment:         "e9",
-		Quick:              cfg.Quick,
-		Seed:               cfg.Seed,
+	return writeJSON(path, cloneBench{
+		benchMeta:          newBenchMeta("e9", cfg),
 		Routers:            r.Routers,
 		CloneSamples:       r.CloneSamples,
 		ColdNsPerClone:     r.ColdClonePer.Nanoseconds(),
@@ -125,19 +187,40 @@ func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) er
 		SameDetections:     r.SameDetections,
 		MeanNodeBytes:      r.MeanNodeBytes,
 		MeanDeltaBytes:     r.MeanDeltaBytes,
-	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	})
+}
+
+func writeLiveJSON(path string, cfg dice.ExperimentConfig, r *dice.E12Result) error {
+	return writeJSON(path, liveBench{
+		benchMeta:             newBenchMeta("e12", cfg),
+		Routers:               r.Routers,
+		Epochs:                r.Epochs,
+		PauseMeanNs:           r.PauseMean.Nanoseconds(),
+		PauseMaxNs:            r.PauseMax.Nanoseconds(),
+		PauseBudgetExceeded:   r.PauseBudgetExceeded,
+		CheckpointStride:      r.CheckpointStride,
+		SnapshotBytesPerEpoch: r.SnapshotBytesPerEpoch,
+		DeltaBytesPerEpoch:    r.DeltaBytesPerEpoch,
+		Campaigns:             r.Campaigns,
+		CampaignsDeduped:      r.CampaignsDeduped,
+		InputsExplored:        r.InputsExplored,
+		InputsSaved:           r.InputsSaved,
+		PathsSaved:            r.PathsSaved,
+		DedupeSavedFraction:   r.DedupeSavedFraction,
+		ShadowOverheadPercent: r.ShadowOverheadPercent,
+		Findings:              r.Findings,
+		FirstDetectionEpoch:   r.FirstDetectionEpoch,
+		AllReverified:         r.AllReverified,
+		TraceStepsBefore:      r.TraceStepsBefore,
+		TraceStepsAfter:       r.TraceStepsAfter,
+	})
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e11 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
-	jsonPath := flag.String("json", "", "write a machine-readable result to this path: the e10 federation artifact when -exp e10 is selected, otherwise the e9 clone-lifecycle artifact (running e9 if needed)")
+	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10 and e12 write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
 	flag.Parse()
 
 	cfg := dice.ExperimentConfig{Quick: *quick, Seed: *seed}
@@ -152,6 +235,22 @@ func main() {
 			return
 		}
 		fmt.Println(out.String())
+	}
+
+	wrote := func(path string, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			failed = true
+			return
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	// The -json artifact follows the selected experiment when it has its own
+	// schema (e10, e12); every other selection tracks the e9 clone artifact.
+	jsonOwner := "e9"
+	if which == "e10" || which == "e12" {
+		jsonOwner = which
 	}
 
 	if run("e1") {
@@ -196,33 +295,30 @@ func main() {
 		res, err := dice.RunE8(cfg)
 		report("E8", res, err)
 	}
-	if run("e9") || (*jsonPath != "" && which != "e10") {
+	if run("e9") || (*jsonPath != "" && jsonOwner == "e9") {
 		res, err := dice.RunE9(cfg)
 		report("E9", res, err)
-		if err == nil && *jsonPath != "" && which != "e10" {
-			if werr := writeCloneJSON(*jsonPath, cfg, res); werr != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, werr)
-				failed = true
-			} else {
-				fmt.Printf("wrote %s\n", *jsonPath)
-			}
+		if err == nil && *jsonPath != "" && jsonOwner == "e9" {
+			wrote(*jsonPath, writeCloneJSON(*jsonPath, cfg, res))
 		}
 	}
 	if run("e10") {
 		res, err := dice.RunE10(cfg)
 		report("E10", res, err)
-		if err == nil && *jsonPath != "" && which == "e10" {
-			if werr := writeFederationJSON(*jsonPath, cfg, res); werr != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, werr)
-				failed = true
-			} else {
-				fmt.Printf("wrote %s\n", *jsonPath)
-			}
+		if err == nil && *jsonPath != "" && jsonOwner == "e10" {
+			wrote(*jsonPath, writeFederationJSON(*jsonPath, cfg, res))
 		}
 	}
 	if run("e11") {
 		res, err := dice.RunE11(cfg)
 		report("E11", res, err)
+	}
+	if run("e12") {
+		res, err := dice.RunE12(cfg)
+		report("E12", res, err)
+		if err == nil && *jsonPath != "" && jsonOwner == "e12" {
+			wrote(*jsonPath, writeLiveJSON(*jsonPath, cfg, res))
+		}
 	}
 	if failed {
 		os.Exit(1)

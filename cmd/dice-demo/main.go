@@ -2,6 +2,17 @@
 // report: it deploys 27 emulated BGP routers under Internet-like conditions,
 // plants one fault of each class, runs a multi-explorer DiCE campaign on a
 // parallel worker pool, and streams each detection as exploration finds it.
+// With -live, the same deployment is soaked online instead: live churn
+// flows, the runtime checkpoints it into epoch rings and explores every
+// fresh epoch with scheduler-drawn scenario campaigns.
+//
+// Exit status encodes the outcome so CI smoke jobs can assert on it instead
+// of grepping output:
+//
+//	0  the run completed and detected no violations
+//	1  the run itself failed (deploy error, campaign error, ...)
+//	2  violations were detected (the expected outcome for this demo,
+//	   which plants faults on purpose)
 package main
 
 import (
@@ -10,10 +21,29 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	dice "github.com/dice-project/dice"
 )
+
+// Exit codes (see the command comment).
+const (
+	exitClean      = 0
+	exitError      = 1
+	exitViolations = 2
+)
+
+// finish reports the outcome and exits with the matching status.
+func finish(violations int) {
+	fmt.Println()
+	if violations == 0 {
+		fmt.Println("no violations detected (exit 0)")
+		os.Exit(exitClean)
+	}
+	fmt.Printf("%d violations detected (exit %d)\n", violations, exitViolations)
+	os.Exit(exitViolations)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced exploration budgets")
@@ -21,7 +51,9 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel clone executions")
 	campaignMode := flag.Bool("campaign", false, "explore every router of the demo, not just R1")
 	federated := flag.Bool("federated", false, "split the campaign into per-AS administrative domains exchanging only privacy-filtered summaries (implies -campaign)")
-	timeout := flag.Duration("timeout", 0, "optional campaign deadline (e.g. 30s)")
+	liveMode := flag.Bool("live", false, "soak the deployment online: periodic epoch checkpoints, scheduler-drawn scenario campaigns, minimized traces")
+	epochs := flag.Int("epochs", 6, "checkpoint epochs for the -live soak")
+	timeout := flag.Duration("timeout", 0, "optional campaign/soak deadline (e.g. 30s)")
 	flag.Parse()
 
 	fmt.Println("DiCE demo: online testing of a federated 27-router BGP deployment")
@@ -29,6 +61,10 @@ func main() {
 	fmt.Println("                dispute wheel (R1,R2,R3), community-triggered crash (R1)")
 	fmt.Println()
 
+	if *liveMode {
+		runLive(*quick, *seed, *workers, *epochs, *timeout)
+		return
+	}
 	if *campaignMode || *federated {
 		runCampaign(*quick, *seed, *workers, *timeout, *federated)
 		return
@@ -37,19 +73,117 @@ func main() {
 	res, err := dice.RunE1(dice.ExperimentConfig{Quick: *quick, Seed: *seed})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "demo failed: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitError)
 	}
 	fmt.Print(res.String())
 
-	fmt.Println()
-	if len(res.DetectedClasses) == 0 {
+	violations := 0
+	for _, n := range res.Detections {
+		violations += n
+	}
+	if violations > 0 {
+		fmt.Println()
+		fmt.Println("fault classes detected this round:")
+		for class := range res.DetectedClasses {
+			fmt.Printf("  - %s\n", class)
+		}
+	} else {
+		fmt.Println()
 		fmt.Println("no faults detected in this round — increase the input budget")
-		os.Exit(1)
 	}
-	fmt.Println("fault classes detected this round:")
-	for class := range res.DetectedClasses {
-		fmt.Printf("  - %s\n", class)
+	finish(violations)
+}
+
+// runLive soaks the demo deployment online: the deployment keeps carrying
+// churn while the live runtime checkpoints it into a rolling epoch ring and
+// drives scenario campaigns against every fresh epoch. Detections stream as
+// they are found, each with epoch/scenario provenance and a minimized,
+// cold-clone-re-verified trace.
+func runLive(quick bool, seed int64, workers, epochs int, timeout time.Duration) {
+	topo := dice.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	opts := dice.DeployOptions{
+		Seed: seed,
+		ConfigOverride: dice.ApplyConfigFaults(
+			dice.MisOrigination{Router: "R12", Prefix: victim},
+			dice.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
 	}
+	deployment, err := dice.Deploy(topo, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deploy failed: %v\n", err)
+		os.Exit(exitError)
+	}
+	deployment.Converge()
+
+	inputs := 16
+	if quick {
+		inputs = 6
+	}
+	findings := 0
+	rt, err := dice.NewLiveRuntime(deployment, topo, dice.LiveOptions{
+		Seed:              seed,
+		ClusterOptions:    opts,
+		MaxEpochs:         epochs,
+		Workers:           workers,
+		InputsPerScenario: inputs,
+		FuzzSeeds:         4,
+		ScenariosPerEpoch: 0, // every registered scenario each epoch
+		Explorers:         []string{"R1"},
+		// Findings are streamed via OnFinding below; the trace channel keeps
+		// only the per-epoch progress lines.
+		Trace: func(line string) {
+			if len(line) < 8 || line[:8] != "finding:" {
+				fmt.Println("  " + line)
+			}
+		},
+		OnFinding: func(f *dice.LiveFinding) {
+			findings++
+			if findings <= 8 {
+				fmt.Printf("  FINDING %s\n", f)
+			} else if findings == 9 {
+				fmt.Println("  ... (further findings summarized below)")
+			}
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "live runtime: %v\n", err)
+		os.Exit(exitError)
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	fmt.Printf("live soak: %d epochs, %d scenarios/epoch, %d inputs/scenario\n", epochs, rt.Scheduler().Len(), inputs)
+	report, err := rt.Run(ctx)
+	if err != nil && err != context.DeadlineExceeded {
+		fmt.Fprintf(os.Stderr, "soak failed: %v\n", err)
+		os.Exit(exitError)
+	}
+
+	stats := rt.Stats()
+	fmt.Println()
+	fmt.Printf("soak: %d epochs, %d campaigns (%d deduped), %d inputs explored (%d saved)\n",
+		stats.Epochs, stats.Campaigns, stats.CampaignsDeduped, stats.InputsExplored, stats.InputsSaved)
+	fmt.Printf("checkpoint pause: mean %v, max %v; shadow overhead %.1f%%\n",
+		stats.PauseMean().Round(time.Microsecond), stats.CheckpointPauseMax.Round(time.Microsecond), stats.ShadowOverheadPercent())
+	fmt.Printf("findings: %d (%d re-verified from cold clones; traces %d -> %d steps)\n",
+		stats.Findings, stats.FindingsReverified, stats.TraceStepsBefore, stats.TraceStepsAfter)
+	fmt.Println("scheduler weights after the soak:")
+	weights := rt.Scheduler().Weights()
+	names := make([]string, 0, len(weights))
+	for name := range weights {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-22s %.2f\n", name, weights[name])
+	}
+	finish(report.Len())
 }
 
 // runCampaign deploys the demo with the same fault set and explores every
@@ -70,7 +204,7 @@ func runCampaign(quick bool, seed int64, workers int, timeout time.Duration, fed
 	deployment, err := dice.Deploy(topo, opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "deploy failed: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitError)
 	}
 	deployment.Converge()
 
@@ -106,7 +240,7 @@ func runCampaign(quick bool, seed int64, workers int, timeout time.Duration, fed
 	<-done
 	if err != nil && (res == nil || !res.Cancelled) {
 		fmt.Fprintf(os.Stderr, "campaign failed: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitError)
 	}
 	fmt.Println()
 	fmt.Printf("campaign (%s strategy, %d workers): %d units, %d inputs in %v\n",
@@ -133,6 +267,6 @@ func runCampaign(quick bool, seed int64, workers int, timeout time.Duration, fed
 	}
 	if len(res.Detections) == 0 {
 		fmt.Println("no faults detected — increase the input budget")
-		os.Exit(1)
 	}
+	finish(len(res.Detections))
 }

@@ -33,6 +33,7 @@ import (
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/live"
 	"github.com/dice-project/dice/internal/node"
 	"github.com/dice-project/dice/internal/topology"
 )
@@ -213,6 +214,60 @@ const (
 func NewCampaign(live *Deployment, topo *Topology, opts ...CampaignOption) *Campaign {
 	return dice.NewCampaign(live, topo, opts...)
 }
+
+// Live mode — the paper's defining "online" scenario as a runtime: attach to
+// a deployment carrying live traffic, checkpoint it periodically into a
+// rolling epoch ring, and soak each fresh epoch with scheduler-drawn shadow
+// campaigns under a resource governor. Detections land in a LiveReport with
+// per-epoch provenance and a minimized, cold-clone-re-verified trace.
+type (
+	// LiveRuntime is the online shadow-testing runtime.
+	LiveRuntime = live.Runtime
+	// LiveOptions configure a live runtime (traffic, governor, exploration).
+	LiveOptions = live.Options
+	// LiveStats aggregates a soak's counters (pauses, deltas, dedupe, overhead).
+	LiveStats = live.Stats
+	// LiveReport is the soak's violation store.
+	LiveReport = live.Report
+	// LiveFinding is one detection with epoch/scenario provenance and its
+	// minimized replayable trace.
+	LiveFinding = live.Finding
+	// LiveTraceStep is one injected message of a finding's trace.
+	LiveTraceStep = live.TraceStep
+	// LiveScheduler is the adaptive weighted scenario queue.
+	LiveScheduler = live.Scheduler
+	// LivePathCache is the persistable cross-epoch path-dedupe cache.
+	LivePathCache = live.PathCache
+	// TrafficDriver injects an epoch's live traffic into the deployment.
+	TrafficDriver = live.TrafficDriver
+	// ChurnScenario is a named churn generator the live scheduler draws
+	// (link flap, session reset, prefix churn, staged policy updates, ...).
+	ChurnScenario = faults.Scenario
+	// EpochRing is the bounded, delta-measured checkpoint history.
+	EpochRing = checkpoint.Ring
+	// Epoch is one entry of the ring.
+	Epoch = checkpoint.Epoch
+)
+
+var (
+	// NewLiveRuntime attaches a live runtime to a deployment.
+	NewLiveRuntime = live.NewRuntime
+	// DefaultTraffic builds the default background-churn traffic driver.
+	DefaultTraffic = live.DefaultTraffic
+	// NewLivePathCache builds an empty dedupe cache (persist with Save/Load).
+	NewLivePathCache = live.NewPathCache
+	// LiveScenarios builds the default churn-scenario set for a topology.
+	LiveScenarios = faults.Scenarios
+	// FaultCatalog returns a prototype of every registered fault and
+	// scenario, the stable name/class registry the scheduler keys on.
+	FaultCatalog = faults.Catalog
+	// WithSnapshotStore runs a campaign against a pre-taken epoch store
+	// instead of snapshotting the live cluster (the campaign-from-epoch
+	// entry point the live runtime uses).
+	WithSnapshotStore = dice.WithSnapshotStore
+	// WithClonePrelude primes every shadow clone before its explored input.
+	WithClonePrelude = dice.WithClonePrelude
+)
 
 // Engine drives DiCE exploration rounds against a deployment. It is the
 // legacy single-round API, now a thin shim over a single-unit Campaign.

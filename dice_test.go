@@ -283,6 +283,40 @@ func TestRunE11Quick(t *testing.T) {
 	}
 }
 
+func TestRunE12Quick(t *testing.T) {
+	res, err := RunE12(quickCfg)
+	if err != nil {
+		t.Fatalf("E12: %v", err)
+	}
+	if res.Epochs < 2 {
+		t.Fatalf("soak took %d epochs, want >= 2", res.Epochs)
+	}
+	if res.Findings == 0 || !res.DetectedClasses["operator-mistake"] {
+		t.Fatalf("live soak missed the planted mis-origination: %+v", res)
+	}
+	if res.FirstDetectionEpoch < 1 || res.FirstDetectionEpoch > 2 {
+		t.Errorf("first detection in epoch %d, want within the first two", res.FirstDetectionEpoch)
+	}
+	if !res.AllReverified {
+		t.Errorf("not every finding's minimized trace re-reproduced from a cold clone")
+	}
+	if res.TraceStepsAfter > res.TraceStepsBefore {
+		t.Errorf("minimization grew traces: %d -> %d", res.TraceStepsBefore, res.TraceStepsAfter)
+	}
+	if res.CampaignsDeduped == 0 || res.InputsSaved == 0 {
+		t.Errorf("idle epochs not deduped: %+v", res)
+	}
+	if res.SnapshotBytesPerEpoch <= 0 || res.DeltaBytesPerEpoch <= 0 {
+		t.Errorf("epoch footprint not measured: %+v", res)
+	}
+	if res.DeltaBytesPerEpoch >= res.SnapshotBytesPerEpoch {
+		t.Errorf("delta measurement not smaller than full: %d vs %d", res.DeltaBytesPerEpoch, res.SnapshotBytesPerEpoch)
+	}
+	if s := res.String(); !strings.Contains(s, "E12") || !strings.Contains(s, "dedupe") {
+		t.Errorf("report rendering broken:\n%s", s)
+	}
+}
+
 func TestRunE9Quick(t *testing.T) {
 	res, err := RunE9(ExperimentConfig{Quick: true, Seed: 1})
 	if err != nil {

@@ -3,6 +3,7 @@ package dice
 import (
 	"context"
 	"fmt"
+	mrand "math/rand"
 	"runtime"
 	"sort"
 	"strings"
@@ -17,6 +18,7 @@ import (
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/fuzz"
+	"github.com/dice-project/dice/internal/live"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -438,15 +440,7 @@ func RunE4(cfg ExperimentConfig) (*E4Result, error) {
 }
 
 // buildWire wraps an UPDATE body with the BGP message header.
-func buildWire(body []byte) []byte {
-	total := 19 + len(body)
-	out := make([]byte, 0, total)
-	for i := 0; i < 16; i++ {
-		out = append(out, 0xff)
-	}
-	out = append(out, byte(total>>8), byte(total), byte(bgp.MsgUpdate))
-	return append(out, body...)
-}
+func buildWire(body []byte) []byte { return bgp.FrameUpdate(body) }
 
 // timeUpdates measures average per-UPDATE processing time on a converged
 // two-router deployment, optionally arming DiCE's symbolic tracing for every
@@ -1317,6 +1311,169 @@ func detectionFingerprint(r *CampaignResult) string {
 	}
 	sort.Strings(ks)
 	return strings.Join(ks, ";")
+}
+
+// ---------------------------------------------------------------------------
+// E12 — live mode: the continuous checkpoint→explore→report loop. A soak on
+// the 27-router demo with a planted mis-origination and missing import
+// filter: live churn flows, the runtime takes low-pause epochs into the
+// rolling ring, and scheduler-drawn scenario campaigns explore every fresh
+// epoch. The second half of the soak goes idle so consecutive epochs capture
+// identical state — the cross-epoch dedupe cache must then skip their
+// campaigns outright. Measured: checkpoint pause, per-epoch snapshot and
+// delta footprint, steady-state shadow overhead, detection latency in
+// epochs, minimized trace sizes and the dedupe savings.
+// ---------------------------------------------------------------------------
+
+// E12Result summarizes a bounded live soak.
+type E12Result struct {
+	Routers int
+	Epochs  int
+
+	// Checkpoint pause (the consistent cut + fingerprint only) and the final
+	// governor cadence.
+	PauseMean, PauseMax time.Duration
+	PauseBudgetExceeded int
+	CheckpointStride    int
+
+	// Mean per-epoch footprint: full encoding vs fingerprint-driven delta.
+	SnapshotBytesPerEpoch int
+	DeltaBytesPerEpoch    int
+
+	// Exploration volume and the dedupe savings on unchanged epochs.
+	Campaigns           int
+	CampaignsDeduped    int
+	InputsExplored      int
+	InputsSaved         int
+	PathsSaved          int
+	DedupeSavedFraction float64
+
+	// ShadowOverheadPercent is exploration wall clock relative to the live
+	// side (traffic + checkpointing).
+	ShadowOverheadPercent float64
+
+	// Findings: how many, how fast (in epochs), and how small the minimized
+	// traces are.
+	Findings            int
+	FirstDetectionEpoch int
+	AllReverified       bool
+	TraceStepsBefore    int
+	TraceStepsAfter     int
+	DetectedClasses     map[string]bool
+}
+
+// RunE12 runs the bounded live soak on the demo deployment.
+func RunE12(cfg ExperimentConfig) (*E12Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed: cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(
+			faults.MisOrigination{Router: "R12", Prefix: victim},
+			faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	deployed, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	deployed.Converge()
+
+	epochs := cfg.inputs(8, 4)
+	churnEpochs := epochs / 2
+	churn := live.DefaultTraffic(3)
+	// Churn for the first half of the soak, then go idle: the idle epochs
+	// capture identical state, which is exactly what the dedupe cache must
+	// recognize and skip.
+	traffic := func(c *cluster.Cluster, rng *mrand.Rand, epoch int) {
+		if epoch <= churnEpochs {
+			churn(c, rng, epoch)
+		}
+	}
+
+	rt, err := live.NewRuntime(deployed, topo, live.Options{
+		Seed:              cfg.Seed,
+		ClusterOptions:    copts,
+		Traffic:           traffic,
+		MaxEpochs:         epochs,
+		ScenariosPerEpoch: 0, // every registered scenario, every epoch
+		InputsPerScenario: cfg.inputs(16, 6),
+		FuzzSeeds:         cfg.inputs(4, 2),
+		Explorers:         []string{"R1"},
+		// The experiment pins the governor: with an effectively unlimited
+		// pause budget the checkpoint cadence never stretches, so the soak
+		// explores identical epoch states on any machine speed (including
+		// under -race) and the results stay comparable across PRs. The
+		// adaptive cadence itself is pinned by the governor tests in
+		// internal/live.
+		PauseBudget: time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	report, err := rt.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	stats := rt.Stats()
+
+	out := &E12Result{
+		Routers:               len(topo.Nodes),
+		Epochs:                stats.Epochs,
+		PauseMean:             stats.PauseMean(),
+		PauseMax:              stats.CheckpointPauseMax,
+		PauseBudgetExceeded:   stats.PauseBudgetExceeded,
+		CheckpointStride:      stats.CheckpointStride,
+		Campaigns:             stats.Campaigns,
+		CampaignsDeduped:      stats.CampaignsDeduped,
+		InputsExplored:        stats.InputsExplored,
+		InputsSaved:           stats.InputsSaved,
+		PathsSaved:            stats.PathsSaved,
+		DedupeSavedFraction:   stats.DedupeSavedFraction(),
+		ShadowOverheadPercent: stats.ShadowOverheadPercent(),
+		Findings:              stats.Findings,
+		FirstDetectionEpoch:   stats.FirstDetectionEpoch,
+		AllReverified:         stats.FindingsReverified == stats.Findings,
+		TraceStepsBefore:      stats.TraceStepsBefore,
+		TraceStepsAfter:       stats.TraceStepsAfter,
+		DetectedClasses:       map[string]bool{},
+	}
+	if stats.Epochs > 0 {
+		out.SnapshotBytesPerEpoch = stats.SnapshotBytesTotal / stats.Epochs
+		out.DeltaBytesPerEpoch = stats.DeltaBytesTotal / stats.Epochs
+	}
+	for _, f := range report.Findings() {
+		out.DetectedClasses[f.Class.String()] = true
+	}
+	return out, nil
+}
+
+// String renders the live-mode report.
+func (r *E12Result) String() string {
+	var b strings.Builder
+	b.WriteString("E12 (live mode: online checkpoint→explore→report soak):\n")
+	fmt.Fprintf(&b, "  topology                  %d routers, %d epochs (final stride %d)\n", r.Routers, r.Epochs, r.CheckpointStride)
+	fmt.Fprintf(&b, "  checkpoint pause          mean %v, max %v (%d over budget)\n",
+		r.PauseMean.Round(time.Microsecond), r.PauseMax.Round(time.Microsecond), r.PauseBudgetExceeded)
+	fmt.Fprintf(&b, "  epoch footprint           %d bytes full, %d bytes delta (mean/epoch)\n",
+		r.SnapshotBytesPerEpoch, r.DeltaBytesPerEpoch)
+	fmt.Fprintf(&b, "  exploration               %d campaigns, %d inputs (shadow overhead %.1f%%)\n",
+		r.Campaigns, r.InputsExplored, r.ShadowOverheadPercent)
+	fmt.Fprintf(&b, "  cross-epoch dedupe        %d campaigns skipped, %d inputs + %d paths saved (%.0f%% of would-be inputs)\n",
+		r.CampaignsDeduped, r.InputsSaved, r.PathsSaved, 100*r.DedupeSavedFraction)
+	fmt.Fprintf(&b, "  findings                  %d (first in epoch %d, all traces re-verified: %v)\n",
+		r.Findings, r.FirstDetectionEpoch, r.AllReverified)
+	fmt.Fprintf(&b, "  trace minimization        %d steps -> %d steps across findings\n", r.TraceStepsBefore, r.TraceStepsAfter)
+	classes := make([]string, 0, len(r.DetectedClasses))
+	for class := range r.DetectedClasses {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		fmt.Fprintf(&b, "  detected class            %s\n", class)
+	}
+	return b.String()
 }
 
 // String renders the clone-lifecycle report.

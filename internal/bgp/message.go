@@ -65,6 +65,23 @@ func Encode(m Message) []byte {
 	return out
 }
 
+// FrameUpdate wraps a raw (possibly malformed) UPDATE body with the BGP
+// message header. Encode frames a decoded Message; FrameUpdate is for bodies
+// that exist only as bytes — explored inputs the campaign injects into
+// clones and the live runtime replays from traces. Both must produce
+// identical framing or replayed traces stop being byte-compatible with
+// campaign injections.
+func FrameUpdate(body []byte) []byte {
+	total := HeaderLen + len(body)
+	out := make([]byte, 0, total)
+	for i := 0; i < MarkerLen; i++ {
+		out = append(out, 0xff)
+	}
+	out = appendU16(out, uint16(total))
+	out = append(out, byte(MsgUpdate))
+	return append(out, body...)
+}
+
 // Decode parses one complete BGP message from data. The slice must contain
 // exactly one message (header plus body), as produced by Encode or by the
 // stream splitter in the transport layer.

@@ -1,0 +1,60 @@
+package bird
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/concolic"
+)
+
+// TestEBGPLocalPrefScrubbedSymbolically pins the instrumentation-fidelity
+// rule the live runtime's cold-clone re-verification depends on: when an
+// eBGP announcement carries LOCAL_PREF, the router discards it concretely
+// AND scrubs the symbolic shadow, so an armed (explored) execution reasons
+// about the same effective preference a concrete replay of the identical
+// wire message would use. Before the scrub covered route.Sym, exploration
+// could select a best route on the strength of a LOCAL_PREF the router
+// never honors — a detection no replay could reproduce.
+func TestEBGPLocalPrefScrubbedSymbolically(t *testing.T) {
+	victim := prefixOf(2) // R2's own prefix; the hijack must NOT win
+	mkBody := func() []byte {
+		attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{65001}, NextHop: 1}
+		attrs.SetLocalPref(500) // would beat R2's local route if honored
+		return (&bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{victim}}).EncodeBody()
+	}
+	wire := bgp.FrameUpdate
+
+	check := func(t *testing.T, armed bool) {
+		net, routers := buildLine(t, 2)
+		net.RunQuiescent(0)
+		r2 := routers["R2"]
+		body := mkBody()
+		if armed {
+			m := concolic.NewMachine(concolic.NewInput("update", body), concolic.MachineOptions{})
+			r2.ExploreNextUpdate(m, "R1")
+		}
+		net.InjectMessage("R1", "R2", wire(body), 0)
+		net.RunQuiescent(0)
+
+		best := r2.LocRIB().Best(victim)
+		if best == nil {
+			t.Fatalf("victim prefix lost entirely")
+		}
+		if !best.Local {
+			t.Fatalf("armed=%v: eBGP LOCAL_PREF hijacked the selection: %v", armed, best)
+		}
+		for _, cand := range r2.LocRIB().Candidates(victim) {
+			if cand.Local {
+				continue
+			}
+			if cand.Attrs.LocalPref != nil {
+				t.Errorf("armed=%v: received LOCAL_PREF survived concretely: %v", armed, cand)
+			}
+			if cand.Sym != nil && cand.Sym.HasLocalPref {
+				t.Errorf("armed=%v: symbolic LOCAL_PREF shadow not scrubbed: %v", armed, cand)
+			}
+		}
+	}
+	t.Run("concrete", func(t *testing.T) { check(t, false) })
+	t.Run("armed", func(t *testing.T) { check(t, true) })
+}

@@ -496,9 +496,15 @@ func (r *Router) processAnnouncements(env netem.Env, s *session, m *concolic.Mac
 		}
 
 		// LOCAL_PREF is an iBGP attribute: on eBGP sessions the received
-		// value is discarded and import policy assigns a fresh one.
+		// value is discarded and import policy assigns a fresh one. The
+		// symbolic shadow must be scrubbed with it, or exploration reasons
+		// about a LOCAL_PREF the router concretely ignores and derives
+		// detections no concrete replay can reproduce.
 		if route.EBGP {
 			route.Attrs.LocalPref = nil
+			if route.Sym != nil {
+				route.Sym.HasLocalPref = false
+			}
 		}
 
 		// Import policy (interpreted; constraints recorded when tracing).

@@ -1,0 +1,211 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Epoch is one entry of the live runtime's rolling checkpoint history: a
+// consistent snapshot decoded into a restore-ready Store, tagged with a
+// monotonically increasing sequence number and measured both absolutely (its
+// encoded footprint) and as a delta against the previous epoch.
+//
+// Delta accounting is fingerprint-driven: the caller supplies a deterministic
+// per-node fingerprint of the captured state, and a node whose fingerprint
+// matches the previous epoch's is unchanged — shipping the epoch as a delta
+// would skip it. (Byte-level diffs of the gob encodings would be noise: gob
+// serializes the checkpoint maps in randomized iteration order, so identical
+// states do not encode identically.)
+type Epoch struct {
+	// Seq is the epoch number, 1-based and monotonically increasing across
+	// the ring's lifetime (eviction never reuses a sequence number).
+	Seq int
+	// At is the virtual time the cut was taken at.
+	At time.Duration
+	// Taken is the wall-clock time the epoch entered the ring.
+	Taken time.Time
+	// Store holds the snapshot in decoded, restore-ready form; Store.Snapshot
+	// recovers the raw cut.
+	Store *Store
+	// Bytes is the snapshot's total encoded footprint.
+	Bytes int
+	// DeltaBytes is what shipping this epoch as a delta against the previous
+	// one would cost: the encodings of the changed nodes plus the
+	// channel-state envelope (which ships every epoch). The first epoch is a
+	// full shipment.
+	DeltaBytes int
+	// NodesChanged counts the nodes whose fingerprint differs from the
+	// previous epoch (all of them for the first epoch, or when fingerprints
+	// are not supplied).
+	NodesChanged int
+	// Fingerprint is a stable digest of the whole captured state, combined
+	// from the per-node fingerprints and the channel state. Two epochs with
+	// equal fingerprints captured behaviorally identical systems; the live
+	// runtime's cross-epoch dedupe cache keys on it. Zero when the caller
+	// supplied no fingerprints.
+	Fingerprint uint64
+
+	// nodeFPs keeps the per-node fingerprints for the next epoch's delta.
+	nodeFPs map[string]uint64
+}
+
+// Ring is a bounded, epoch-tagged history of checkpoints: the live runtime
+// pushes one consistent snapshot per checkpoint interval and the ring retains
+// the most recent ones, evicting the oldest beyond its capacity. Pushing
+// decodes the snapshot into a Store once (off the deployment's critical
+// path — the snapshot is already immutable) and performs the size and delta
+// measurements.
+//
+// A Ring is safe for concurrent use.
+type Ring struct {
+	mu       sync.Mutex
+	capacity int
+	seq      int
+	epochs   []*Epoch // oldest first
+}
+
+// NewRing returns an empty ring retaining at most capacity epochs (8 when
+// capacity is not positive).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &Ring{capacity: capacity}
+}
+
+// Push decodes the snapshot, measures it, tags it with the next epoch number
+// and appends it, evicting the oldest epoch if the ring is full. nodeFPs is
+// the caller's deterministic per-node state fingerprint; nil disables change
+// tracking (every node counts as changed and the epoch fingerprint is zero).
+func (r *Ring) Push(snap *Snapshot, nodeFPs map[string]uint64) (*Epoch, error) {
+	store, err := NewStore(snap)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: ring push: %w", err)
+	}
+	sizes, err := store.Sizes()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: ring push: %w", err)
+	}
+	ep := &Epoch{
+		At:    snap.At,
+		Taken: time.Now(),
+		Store: store,
+		Bytes: sizes.TotalBytes,
+	}
+	if nodeFPs != nil {
+		ep.nodeFPs = make(map[string]uint64, len(nodeFPs))
+		for k, v := range nodeFPs {
+			ep.nodeFPs[k] = v
+		}
+		ep.Fingerprint = combineFingerprints(snap, ep.nodeFPs)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	ep.Seq = r.seq
+
+	// Delta vs the previous epoch: changed nodes ship their full encoding,
+	// unchanged nodes ship nothing, and the channel-state envelope (total
+	// minus the per-node parts) ships every time.
+	perNodeTotal := 0
+	for _, n := range sizes.PerNodeBytes {
+		perNodeTotal += n
+	}
+	envelope := sizes.TotalBytes - perNodeTotal
+	var prev *Epoch
+	if n := len(r.epochs); n > 0 {
+		prev = r.epochs[n-1]
+	}
+	ep.DeltaBytes = envelope
+	for name, bytes := range sizes.PerNodeBytes {
+		changed := true
+		if prev != nil && prev.nodeFPs != nil && ep.nodeFPs != nil {
+			pfp, ok := prev.nodeFPs[name]
+			changed = !ok || pfp != ep.nodeFPs[name]
+		}
+		if changed {
+			ep.DeltaBytes += bytes
+			ep.NodesChanged++
+		}
+	}
+
+	r.epochs = append(r.epochs, ep)
+	if len(r.epochs) > r.capacity {
+		over := len(r.epochs) - r.capacity
+		for i := 0; i < over; i++ {
+			r.epochs[i] = nil
+		}
+		r.epochs = append(r.epochs[:0], r.epochs[over:]...)
+	}
+	return ep, nil
+}
+
+// Latest returns the most recent epoch, or nil for an empty ring.
+func (r *Ring) Latest() *Epoch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.epochs) == 0 {
+		return nil
+	}
+	return r.epochs[len(r.epochs)-1]
+}
+
+// Get returns the epoch with the given sequence number, or nil when it was
+// never pushed or has been evicted.
+func (r *Ring) Get(seq int) *Epoch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ep := range r.epochs {
+		if ep.Seq == seq {
+			return ep
+		}
+	}
+	return nil
+}
+
+// Len returns the number of retained epochs.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.epochs)
+}
+
+// Capacity returns the ring's retention bound.
+func (r *Ring) Capacity() int { return r.capacity }
+
+// Seqs returns the retained epoch numbers, oldest first.
+func (r *Ring) Seqs() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, len(r.epochs))
+	for i, ep := range r.epochs {
+		out[i] = ep.Seq
+	}
+	return out
+}
+
+// combineFingerprints folds the per-node fingerprints (in sorted node order)
+// and the channel state into one epoch digest.
+func combineFingerprints(snap *Snapshot, nodeFPs map[string]uint64) uint64 {
+	h := fnv.New64a()
+	for _, name := range snap.NodeNames() {
+		h.Write([]byte(name))
+		var buf [8]byte
+		fp := nodeFPs[name]
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(fp >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, m := range snap.InFlight {
+		h.Write([]byte(m.From))
+		h.Write([]byte{0})
+		h.Write([]byte(m.To))
+		h.Write([]byte{0})
+		h.Write(m.Payload)
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,132 @@
+package checkpoint
+
+import (
+	"testing"
+)
+
+// ringFPs builds a synthetic per-node fingerprint map over the sample
+// snapshot's nodes; the ring only compares values, never interprets them.
+func ringFPs(s *Snapshot, salt uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, name := range s.NodeNames() {
+		out[name] = salt
+	}
+	return out
+}
+
+func TestRingSeqAndRetention(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := NewRing(2)
+	if r.Capacity() != 2 {
+		t.Fatalf("capacity = %d", r.Capacity())
+	}
+	for i := 1; i <= 4; i++ {
+		ep, err := r.Push(s, ringFPs(s, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ep.Seq != i {
+			t.Fatalf("epoch %d got seq %d", i, ep.Seq)
+		}
+		if ep.Store == nil || ep.Bytes <= 0 {
+			t.Fatalf("epoch %d not measured: store=%v bytes=%d", i, ep.Store, ep.Bytes)
+		}
+		if ep.At != s.At {
+			t.Fatalf("epoch At = %v, want %v", ep.At, s.At)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("retention: len = %d, want 2", r.Len())
+	}
+	if got := r.Seqs(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("retained seqs = %v, want [3 4]", got)
+	}
+	if r.Get(1) != nil {
+		t.Fatalf("evicted epoch 1 still retrievable")
+	}
+	if ep := r.Get(4); ep == nil || ep != r.Latest() {
+		t.Fatalf("Get(4)/Latest mismatch")
+	}
+}
+
+func TestRingDeltaAccounting(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := NewRing(4)
+
+	// First epoch: everything counts as changed (full shipment).
+	ep1, err := r.Push(s, ringFPs(s, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep1.NodesChanged != len(s.Nodes) {
+		t.Fatalf("first epoch NodesChanged = %d, want %d", ep1.NodesChanged, len(s.Nodes))
+	}
+	if ep1.DeltaBytes != ep1.Bytes {
+		t.Fatalf("first epoch delta %d != full %d", ep1.DeltaBytes, ep1.Bytes)
+	}
+
+	// Unchanged fingerprints: the delta collapses to the channel envelope.
+	ep2, err := r.Push(s, ringFPs(s, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep2.NodesChanged != 0 {
+		t.Fatalf("unchanged epoch NodesChanged = %d, want 0", ep2.NodesChanged)
+	}
+	if ep2.DeltaBytes >= ep2.Bytes/2 {
+		t.Fatalf("unchanged epoch delta %d not collapsed (full %d)", ep2.DeltaBytes, ep2.Bytes)
+	}
+	if ep1.Fingerprint != ep2.Fingerprint {
+		t.Fatalf("identical fingerprint inputs produced different epoch fingerprints")
+	}
+
+	// One node changed: its bytes (and only its) rejoin the delta.
+	fps := ringFPs(s, 7)
+	fps["B"] = 99
+	ep3, err := r.Push(s, fps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep3.NodesChanged != 1 {
+		t.Fatalf("NodesChanged = %d, want 1", ep3.NodesChanged)
+	}
+	if ep3.DeltaBytes <= ep2.DeltaBytes || ep3.DeltaBytes >= ep3.Bytes {
+		t.Fatalf("one-node delta %d out of range (envelope %d, full %d)", ep3.DeltaBytes, ep2.DeltaBytes, ep3.Bytes)
+	}
+	if ep3.Fingerprint == ep2.Fingerprint {
+		t.Fatalf("changed state kept the same epoch fingerprint")
+	}
+}
+
+func TestRingWithoutFingerprints(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := NewRing(0) // default capacity
+	if r.Capacity() != 8 {
+		t.Fatalf("default capacity = %d", r.Capacity())
+	}
+	ep1, err := r.Push(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := r.Push(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No fingerprints: change tracking degrades to "everything changed".
+	for _, ep := range []*Epoch{ep1, ep2} {
+		if ep.Fingerprint != 0 {
+			t.Fatalf("fingerprint without node fps = %x, want 0", ep.Fingerprint)
+		}
+		if ep.NodesChanged != len(s.Nodes) || ep.DeltaBytes != ep.Bytes {
+			t.Fatalf("degraded delta tracking: changed=%d delta=%d full=%d", ep.NodesChanged, ep.DeltaBytes, ep.Bytes)
+		}
+	}
+	// An epoch's store restores working routers.
+	router, err := r.Latest().Store.Restore("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if router.Config().Name != "A" {
+		t.Fatalf("restored router %q, want A", router.Config().Name)
+	}
+}

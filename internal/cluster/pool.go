@@ -124,6 +124,20 @@ func (s PoolStats) Add(o PoolStats) PoolStats {
 	return s
 }
 
+// Sub removes a baseline from a stat set: callers sharing a pool across
+// sequential campaigns snapshot Stats before starting and subtract it after,
+// attributing only their own activity.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	s.Leases -= o.Leases
+	s.Releases -= o.Releases
+	s.ColdBuilds -= o.ColdBuilds
+	s.ColdBuildTime -= o.ColdBuildTime
+	s.Resets -= o.Resets
+	s.ResetTime -= o.ResetTime
+	s.Discards -= o.Discards
+	return s
+}
+
 // ClonePool is a pool of reusable shadow clusters over one snapshot store.
 // Workers lease a clone, drive one explored input on it, and release it;
 // released clones are rewound to the snapshot on their next lease rather

@@ -48,6 +48,9 @@ type campaignConfig struct {
 	eventBuffer     int
 	onEvent         func(Event)
 	partition       *federation.Partition
+	store           *checkpoint.Store
+	clonePool       *cluster.ClonePool
+	prelude         func(shadow *cluster.Cluster)
 	// budgetTimer provides the channel that fires when Budget.MaxDuration
 	// elapses; nil selects time.After. Tests inject a hand-driven channel so
 	// budget-expiry behavior is exercised without racing the wall clock.
@@ -161,6 +164,41 @@ func WithPooledClones(enabled bool) CampaignOption {
 	return func(c *campaignConfig) { c.pooledClones = enabled }
 }
 
+// WithSnapshotStore runs the campaign against a pre-taken consistent cut
+// instead of snapshotting the deployed cluster inside Run. The store's
+// snapshot is the explored state; the campaign never touches the live
+// cluster (which may be nil), so exploration can proceed while the
+// deployment keeps running. The live runtime uses this to drive back-to-back
+// shadow campaigns against each checkpoint epoch. The reported
+// SnapshotDuration is (near) zero — the checkpoint pause was paid, and is
+// reported, by whoever took the cut — and FullStateBytes is derived from the
+// store's per-node encodings.
+func WithSnapshotStore(store *checkpoint.Store) CampaignOption {
+	return func(c *campaignConfig) { c.store = store }
+}
+
+// WithClonePool shares a caller-owned clone pool instead of building one per
+// campaign. Only meaningful together with WithSnapshotStore, and the pool
+// must be over that same store: the live runtime runs several back-to-back
+// scenario campaigns against one epoch, and sharing the pool amortizes the
+// cold clone builds to one per worker per epoch instead of one per worker
+// per campaign. CampaignResult.CloneStats reports only this campaign's
+// share of the pool's activity. Campaigns sharing a pool must run
+// sequentially (each campaign's workers already serialize on their own
+// leases; two concurrent campaigns would interleave stats attribution).
+func WithClonePool(pool *cluster.ClonePool) CampaignOption {
+	return func(c *campaignConfig) { c.clonePool = pool }
+}
+
+// WithClonePrelude registers fn to run on every leased shadow clone after
+// code faults are installed and before the explored input is injected. The
+// live runtime uses it to prime clones with a scenario's churn; fn must be
+// deterministic (it runs once per explored input, on pooled and cold clones
+// alike) and must only touch the given clone.
+func WithClonePrelude(fn func(shadow *cluster.Cluster)) CampaignOption {
+	return func(c *campaignConfig) { c.prelude = fn }
+}
+
 // WithShadowMaxEvents bounds each clone run (20000 when unset).
 func WithShadowMaxEvents(n int) CampaignOption {
 	return func(c *campaignConfig) {
@@ -216,7 +254,11 @@ type Campaign struct {
 	// clones is the pooled shadow-cluster runtime workers lease from (nil
 	// when pooling is disabled, in which case every clone is a cold
 	// FromSnapshot rebuild accounted in coldStats).
-	clones    *cluster.ClonePool
+	clones *cluster.ClonePool
+	// cloneBase is the shared pool's stats at campaign start (zero when the
+	// campaign owns its pool): CloneStats reports the delta, so a shared
+	// pool's earlier campaigns are not re-counted.
+	cloneBase cluster.PoolStats
 	coldMu    sync.Mutex
 	coldStats cluster.PoolStats
 	// fed is the federation runtime (nil in centralized campaigns).
@@ -284,6 +326,10 @@ func (c *Campaign) Events() <-chan Event {
 
 // ErrCampaignReused is returned when Run is called more than once.
 var ErrCampaignReused = errors.New("dice: campaign already run; construct a new one")
+
+// ErrNoDeployment is returned when a campaign has neither a live cluster to
+// snapshot nor a pre-taken snapshot store (WithSnapshotStore) to explore.
+var ErrNoDeployment = errors.New("dice: campaign requires a deployed cluster or a snapshot store")
 
 // CampaignResult aggregates a finished (or cancelled) campaign.
 type CampaignResult struct {
@@ -499,23 +545,52 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	// once taken, so concurrent clone restores need no copies. The cut is
 	// decoded into a restore-ready store exactly once; workers then lease
 	// pooled shadow clusters (or cold-rebuild, when pooling is off) from it.
+	// A campaign constructed WithSnapshotStore explores a cut somebody else
+	// already took and decoded — it never touches the live cluster.
 	snapStart := time.Now()
-	c.snap = c.live.Snapshot()
-	if c.cfg.pooledClones {
-		store, err := checkpoint.NewStore(c.snap)
-		if err != nil {
-			return nil, err
+	if c.cfg.store != nil {
+		c.snap = c.cfg.store.Snapshot()
+		if c.cfg.pooledClones {
+			if c.cfg.clonePool != nil {
+				c.clones = c.cfg.clonePool
+				c.cloneBase = c.clones.Stats()
+			} else {
+				c.clones = cluster.NewClonePool(c.topo, c.cfg.store, c.cfg.clusterOptions)
+			}
 		}
-		c.clones = cluster.NewClonePool(c.topo, store, c.cfg.clusterOptions)
-	}
-	c.snapStats = snapshotStats{
-		SnapshotDuration: time.Since(snapStart),
-		SnapshotNodes:    len(c.snap.Nodes),
-		InFlightMessages: len(c.snap.InFlight),
-		FullStateBytes:   checker.FullStateDisclosure(c.live),
-	}
-	if sizes, err := checkpoint.Measure(c.snap); err == nil {
-		c.snapStats.SnapshotBytes = sizes.TotalBytes
+		c.snapStats = snapshotStats{
+			SnapshotNodes:    len(c.snap.Nodes),
+			InFlightMessages: len(c.snap.InFlight),
+		}
+		if sizes, err := c.cfg.store.Sizes(); err == nil {
+			c.snapStats.SnapshotBytes = sizes.TotalBytes
+			// The store's baseline encodings are what a full-state exchange
+			// would ship; the live cluster (possibly nil) stays untouched.
+			for _, n := range sizes.PerNodeBytes {
+				c.snapStats.FullStateBytes += n
+			}
+		}
+	} else {
+		if c.live == nil {
+			return nil, ErrNoDeployment
+		}
+		c.snap = c.live.Snapshot()
+		if c.cfg.pooledClones {
+			store, err := checkpoint.NewStore(c.snap)
+			if err != nil {
+				return nil, err
+			}
+			c.clones = cluster.NewClonePool(c.topo, store, c.cfg.clusterOptions)
+		}
+		c.snapStats = snapshotStats{
+			SnapshotDuration: time.Since(snapStart),
+			SnapshotNodes:    len(c.snap.Nodes),
+			InFlightMessages: len(c.snap.InFlight),
+			FullStateBytes:   checker.FullStateDisclosure(c.live),
+		}
+		if sizes, err := checkpoint.Measure(c.snap); err == nil {
+			c.snapStats.SnapshotBytes = sizes.TotalBytes
+		}
 	}
 	c.props = c.cfg.properties
 	if c.props == nil {
@@ -565,7 +640,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	res.CloneStats = c.coldStats
 	c.coldMu.Unlock()
 	if c.clones != nil {
-		res.CloneStats = res.CloneStats.Add(c.clones.Stats())
+		res.CloneStats = res.CloneStats.Add(c.clones.Stats().Sub(c.cloneBase))
 	}
 	seen := make(map[string]bool)
 	// detsByUnit counts the campaign-unique detections each unit contributed

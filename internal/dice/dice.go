@@ -192,15 +192,7 @@ func (e *Engine) choosePeer(explorer string) (string, error) {
 }
 
 // wireUpdate wraps an UPDATE body with the BGP message header.
-func wireUpdate(body []byte) []byte {
-	total := bgp.HeaderLen + len(body)
-	out := make([]byte, 0, total)
-	for i := 0; i < bgp.MarkerLen; i++ {
-		out = append(out, 0xff)
-	}
-	out = append(out, byte(total>>8), byte(total), byte(bgp.MsgUpdate))
-	return append(out, body...)
-}
+func wireUpdate(body []byte) []byte { return bgp.FrameUpdate(body) }
 
 // ErrNoTopology is returned when the engine is constructed without a topology.
 var ErrNoTopology = errors.New("dice: engine requires a topology")

@@ -48,7 +48,7 @@ type Strategy interface {
 // by lexicographically smallest name regardless of the topology's node order
 // (covered by TestHighestDegreeTieBreak).
 func highestDegreeNode(topo *topology.Topology) string {
-	return highestDegreeNodeOf(topo, topo.NodeNames())
+	return topo.BestConnected()
 }
 
 // highestDegreeNodeOf restricts the highest-degree selection to a candidate
@@ -57,14 +57,7 @@ func highestDegreeNode(topo *topology.Topology) string {
 // best-connected router is the one with the most sessions, wherever they
 // lead.
 func highestDegreeNodeOf(topo *topology.Topology, names []string) string {
-	best, bestDeg := "", -1
-	for _, name := range names {
-		deg := len(topo.NeighborsOf(name))
-		if deg > bestDeg || (deg == bestDeg && name < best) {
-			best, bestDeg = name, deg
-		}
-	}
-	return best
+	return topo.BestConnected(names...)
 }
 
 // peersOf returns up to max neighbors of the explorer (all when max <= 0),

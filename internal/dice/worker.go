@@ -112,6 +112,17 @@ func (c *Campaign) runClone(ctx context.Context, u Unit, in *concolic.Input, m *
 		}
 	}
 	faults.InstallCodeFaults(shadow.Routers, c.cfg.codeFaults...)
+	if c.cfg.prelude != nil {
+		// Scenario priming: deterministic churn injected before the explored
+		// input, so every clone of this campaign starts from the same primed
+		// state (the live runtime records the same injections as the
+		// detection's replayable trace). The churn must fully settle before
+		// the machine is armed — an armed router substitutes the machine's
+		// input region for the next UPDATE from the explored peer, which
+		// would swallow a still-undelivered prelude message.
+		c.cfg.prelude(shadow)
+		shadow.Net.RunQuiescent(c.cfg.shadowMaxEvents)
+	}
 	shadow.Router(u.Explorer).ExploreNextUpdate(m, u.FromPeer)
 	shadow.InjectRaw(u.FromPeer, u.Explorer, wireUpdate(in.Region("update")))
 	shadow.Net.RunQuiescent(c.cfg.shadowMaxEvents)

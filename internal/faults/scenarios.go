@@ -1,0 +1,294 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// ChurnTarget is where a scenario's churn lands. The live runtime primes
+// every shadow clone through it before the explored input is injected, and
+// records the same injections as the detection's replayable trace.
+// *cluster.Cluster satisfies it.
+type ChurnTarget interface {
+	// InjectUpdate delivers a BGP UPDATE to a router as if sent by the named
+	// peer.
+	InjectUpdate(fromPeer, to string, update *bgp.Update)
+}
+
+// Scenario is a named generator of exploration pressure for the live
+// runtime's scenario scheduler: a deterministic burst of control-plane churn
+// a shadow clone is primed with before exploration. Unlike the config and
+// code faults above — which plant a defect — a scenario plants nothing; it
+// shakes the system so latent defects surface. Class reports the fault class
+// the scenario is tuned to expose (ClassUnknown for unbiased scenarios); the
+// scheduler keys its weighted queue on Name and reports by Class.
+type Scenario interface {
+	Fault
+	// Prime injects the scenario's churn into the target. Priming must be
+	// deterministic in the scenario's fields: the live runtime replays the
+	// identical sequence into many clones and into trace minimization.
+	Prime(t ChurnTarget)
+}
+
+// announceAttrs builds the legitimate announcement attributes of a peer.
+func announceAttrs(peerAS bgp.ASN, peerID uint32, prepend int) *bgp.PathAttributes {
+	path := make([]bgp.ASN, 0, 1+prepend)
+	for i := 0; i <= prepend; i++ {
+		path = append(path, peerAS)
+	}
+	return &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: path, NextHop: peerID}
+}
+
+// Baseline is the no-churn scenario: the epoch state is explored exactly as
+// captured. Keeping it in the registry means pure exploration competes for
+// scheduler weight against the churn generators.
+type Baseline struct{}
+
+// Class implements Fault.
+func (Baseline) Class() checker.FaultClass { return checker.ClassUnknown }
+
+// Name implements Fault.
+func (Baseline) Name() string { return "baseline" }
+
+// Description implements Fault.
+func (Baseline) Description() string { return "no churn; explore the captured state as-is" }
+
+// Prime implements Scenario.
+func (Baseline) Prime(t ChurnTarget) {}
+
+// LinkFlap models a flapping session: the peer's prefixes are rapidly
+// withdrawn and re-announced over one session, the churn pattern that excites
+// preference cycles into visible oscillation.
+type LinkFlap struct {
+	// Router is the node whose session flaps; Peer is the neighbor on it.
+	Router, Peer string
+	// PeerAS and PeerID are the peer's AS and router ID, used to re-announce
+	// with legitimate attributes.
+	PeerAS bgp.ASN
+	PeerID uint32
+	// Prefixes are the routes carried on the session (typically the peer's
+	// own originations).
+	Prefixes []bgp.Prefix
+	// Flaps is the number of down/up cycles (1 when not positive).
+	Flaps int
+}
+
+// Class implements Fault.
+func (LinkFlap) Class() checker.FaultClass { return checker.ClassPolicyConflict }
+
+// Name implements Fault.
+func (LinkFlap) Name() string { return "link-flap" }
+
+// Description implements Fault.
+func (s LinkFlap) Description() string {
+	return fmt.Sprintf("session %s<-%s flaps %d times over %d prefixes", s.Router, s.Peer, s.flaps(), len(s.Prefixes))
+}
+
+func (s LinkFlap) flaps() int {
+	if s.Flaps <= 0 {
+		return 1
+	}
+	return s.Flaps
+}
+
+// Prime implements Scenario.
+func (s LinkFlap) Prime(t ChurnTarget) {
+	if len(s.Prefixes) == 0 {
+		return
+	}
+	for i := 0; i < s.flaps(); i++ {
+		t.InjectUpdate(s.Peer, s.Router, &bgp.Update{Withdrawn: append([]bgp.Prefix(nil), s.Prefixes...)})
+		t.InjectUpdate(s.Peer, s.Router, &bgp.Update{
+			Attrs: announceAttrs(s.PeerAS, s.PeerID, 0),
+			NLRI:  append([]bgp.Prefix(nil), s.Prefixes...),
+		})
+	}
+}
+
+// SessionReset models a peer going down without coming back within the
+// explored window: everything learned on the session is withdrawn, surfacing
+// blackholes behind missing alternatives and stale-route bugs (a handler that
+// drops withdrawals keeps forwarding into the dead session).
+type SessionReset struct {
+	Router, Peer string
+	// Prefixes are the routes the dead session had contributed.
+	Prefixes []bgp.Prefix
+}
+
+// Class implements Fault.
+func (SessionReset) Class() checker.FaultClass { return checker.ClassOperatorMistake }
+
+// Name implements Fault.
+func (SessionReset) Name() string { return "session-reset" }
+
+// Description implements Fault.
+func (s SessionReset) Description() string {
+	return fmt.Sprintf("session %s<-%s resets, withdrawing %d prefixes", s.Router, s.Peer, len(s.Prefixes))
+}
+
+// Prime implements Scenario.
+func (s SessionReset) Prime(t ChurnTarget) {
+	if len(s.Prefixes) == 0 {
+		return
+	}
+	t.InjectUpdate(s.Peer, s.Router, &bgp.Update{Withdrawn: append([]bgp.Prefix(nil), s.Prefixes...)})
+}
+
+// PrefixChurn alternates announcements of one prefix between a short and a
+// prepended AS path, forcing repeated best-route reselection for that
+// destination — pressure on tie-breaking, MED handling and oscillation
+// thresholds.
+type PrefixChurn struct {
+	Router, Peer string
+	PeerAS       bgp.ASN
+	PeerID       uint32
+	Prefix       bgp.Prefix
+	// Rounds is the number of short/long alternations (1 when not positive).
+	Rounds int
+}
+
+// Class implements Fault.
+func (PrefixChurn) Class() checker.FaultClass { return checker.ClassPolicyConflict }
+
+// Name implements Fault.
+func (PrefixChurn) Name() string { return "prefix-churn" }
+
+// Description implements Fault.
+func (s PrefixChurn) Description() string {
+	return fmt.Sprintf("prefix %s churns %d rounds on %s<-%s", s.Prefix, s.rounds(), s.Router, s.Peer)
+}
+
+func (s PrefixChurn) rounds() int {
+	if s.Rounds <= 0 {
+		return 1
+	}
+	return s.Rounds
+}
+
+// Prime implements Scenario.
+func (s PrefixChurn) Prime(t ChurnTarget) {
+	for i := 0; i < s.rounds(); i++ {
+		t.InjectUpdate(s.Peer, s.Router, &bgp.Update{
+			Attrs: announceAttrs(s.PeerAS, s.PeerID, 3),
+			NLRI:  []bgp.Prefix{s.Prefix},
+		})
+		t.InjectUpdate(s.Peer, s.Router, &bgp.Update{
+			Attrs: announceAttrs(s.PeerAS, s.PeerID, 0),
+			NLRI:  []bgp.Prefix{s.Prefix},
+		})
+	}
+}
+
+// StagedPolicyUpdate models an operator rolling out an export-policy change
+// in stages: the same prefix is re-announced with progressively longer
+// prepending, the way traffic engineering is deployed one step at a time.
+// Each stage shifts best-path selection a little further.
+type StagedPolicyUpdate struct {
+	Router, Peer string
+	PeerAS       bgp.ASN
+	PeerID       uint32
+	Prefix       bgp.Prefix
+	// Stages is the number of rollout steps (2 when not positive).
+	Stages int
+}
+
+// Class implements Fault.
+func (StagedPolicyUpdate) Class() checker.FaultClass { return checker.ClassPolicyConflict }
+
+// Name implements Fault.
+func (StagedPolicyUpdate) Name() string { return "staged-policy-update" }
+
+// Description implements Fault.
+func (s StagedPolicyUpdate) Description() string {
+	return fmt.Sprintf("staged prepend rollout for %s in %d steps on %s<-%s", s.Prefix, s.stages(), s.Router, s.Peer)
+}
+
+func (s StagedPolicyUpdate) stages() int {
+	if s.Stages <= 0 {
+		return 2
+	}
+	return s.Stages
+}
+
+// Prime implements Scenario.
+func (s StagedPolicyUpdate) Prime(t ChurnTarget) {
+	for step := 1; step <= s.stages(); step++ {
+		t.InjectUpdate(s.Peer, s.Router, &bgp.Update{
+			Attrs: announceAttrs(s.PeerAS, s.PeerID, step),
+			NLRI:  []bgp.Prefix{s.Prefix},
+		})
+	}
+}
+
+// Catalog returns one prototype instance of every fault and scenario this
+// package defines, sorted by name. The live scheduler and the registry tests
+// key on the prototypes' Name/Class pairs, which are stable identifiers:
+// renaming a fault invalidates persisted scheduler state and dedupe caches,
+// so names must never be reused for different behavior.
+func Catalog() []Fault {
+	out := []Fault{
+		// Planted faults.
+		MisOrigination{},
+		MissingImportFilter{},
+		DisputeWheel{},
+		CommunityCrash("", 0),
+		LongPathCrash("", 0),
+		MEDZeroCrash(""),
+		DroppedWithdrawals(""),
+		// Churn scenarios.
+		Baseline{},
+		LinkFlap{},
+		SessionReset{},
+		PrefixChurn{},
+		StagedPolicyUpdate{},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Scenarios builds the default scenario set for a topology: every churn
+// generator bound to the topology's best-connected router, its first
+// neighbor and seed-chosen prefixes, plus the baseline. This is the registry
+// the live runtime's scheduler draws from when the caller configures none.
+func Scenarios(topo *topology.Topology, seed int64) []Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	explorer := topo.BestConnected()
+	neighbors := append([]string(nil), topo.NeighborsOf(explorer)...)
+	if len(neighbors) == 0 {
+		return []Scenario{Baseline{}}
+	}
+	sort.Strings(neighbors)
+	peerName := neighbors[0]
+	peer := topo.Node(peerName)
+
+	// The flapped/reset prefixes are the peer's own originations; the churned
+	// prefix is a random remote node's, so reselection ripples through the
+	// explorer instead of stopping at the origin.
+	victim := peer.Prefixes
+	var churned bgp.Prefix
+	withPrefixes := make([]string, 0, len(topo.Nodes))
+	for _, n := range topo.Nodes {
+		if n.Name != explorer && n.Name != peerName && len(n.Prefixes) > 0 {
+			withPrefixes = append(withPrefixes, n.Name)
+		}
+	}
+	sort.Strings(withPrefixes)
+	if len(withPrefixes) > 0 {
+		churned = topo.Node(withPrefixes[rng.Intn(len(withPrefixes))]).Prefixes[0]
+	} else if len(victim) > 0 {
+		churned = victim[0]
+	}
+
+	return []Scenario{
+		Baseline{},
+		LinkFlap{Router: explorer, Peer: peerName, PeerAS: peer.AS, PeerID: uint32(peer.RouterID), Prefixes: victim, Flaps: 3},
+		SessionReset{Router: explorer, Peer: peerName, Prefixes: victim},
+		PrefixChurn{Router: explorer, Peer: peerName, PeerAS: peer.AS, PeerID: uint32(peer.RouterID), Prefix: churned, Rounds: 3},
+		StagedPolicyUpdate{Router: explorer, Peer: peerName, PeerAS: peer.AS, PeerID: uint32(peer.RouterID), Prefix: churned, Stages: 3},
+	}
+}

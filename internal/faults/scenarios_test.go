@@ -1,0 +1,273 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/node"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// TestCatalogNamesUniqueAndStable pins the registry contract the live
+// scheduler depends on: every registered fault and scenario has a unique
+// name, a known class, and both are stable across calls (persisted scheduler
+// weights and dedupe caches key on them).
+func TestCatalogNamesUniqueAndStable(t *testing.T) {
+	first := Catalog()
+	if len(first) == 0 {
+		t.Fatal("empty catalog")
+	}
+	validClasses := map[checker.FaultClass]bool{
+		checker.ClassUnknown:          true, // unbiased scenarios only
+		checker.ClassOperatorMistake:  true,
+		checker.ClassPolicyConflict:   true,
+		checker.ClassProgrammingError: true,
+	}
+	seen := make(map[string]checker.FaultClass)
+	for _, f := range first {
+		name := f.Name()
+		if name == "" {
+			t.Fatalf("%T has an empty name", f)
+		}
+		if _, dup := seen[name]; dup {
+			t.Fatalf("duplicate registered name %q", name)
+		}
+		if !validClasses[f.Class()] {
+			t.Fatalf("%s: unregistered class %v", name, f.Class())
+		}
+		seen[name] = f.Class()
+	}
+	// Stability: a second catalog reports identical name/class pairs.
+	second := Catalog()
+	if len(second) != len(first) {
+		t.Fatalf("catalog size changed between calls: %d vs %d", len(first), len(second))
+	}
+	for i, f := range second {
+		if f.Name() != first[i].Name() || f.Class() != first[i].Class() {
+			t.Fatalf("catalog entry %d unstable: %s/%v vs %s/%v",
+				i, first[i].Name(), first[i].Class(), f.Name(), f.Class())
+		}
+	}
+}
+
+// permutations returns every ordering of the index set [0, n).
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for pos := 0; pos <= len(sub); pos++ {
+			perm := make([]int, 0, n)
+			perm = append(perm, sub[:pos]...)
+			perm = append(perm, n-1)
+			perm = append(perm, sub[pos:]...)
+			out = append(out, perm)
+		}
+	}
+	return out
+}
+
+// TestApplyConfigFaultsOrderIndependent drives every config-fault type in
+// the registry through ApplyConfigFaults in all orders. Faults that target
+// disjoint routers — and faults on the same router that rewrite disjoint
+// pieces of its configuration — must compose to the identical configuration
+// regardless of order. (Two faults rewriting the same neighbor's import
+// policy genuinely conflict; composing those is an operator error the tables
+// deliberately avoid, as the demo scenarios do.)
+func TestApplyConfigFaultsOrderIndependent(t *testing.T) {
+	topo := topology.Ring(5)
+	cases := []struct {
+		name   string
+		faults []ConfigFault
+	}{
+		{
+			name: "disjoint-routers",
+			faults: []ConfigFault{
+				MisOrigination{Router: "R1", Prefix: bgp.MustParsePrefix("203.0.113.0/24")},
+				MissingImportFilter{Router: "R2", Peer: "R1"},
+				DisputeWheel{Routers: []string{"R3", "R4", "R5"}, Prefix: topo.Nodes[0].Prefixes[0]},
+			},
+		},
+		{
+			name: "same-router-disjoint-fields",
+			faults: []ConfigFault{
+				MisOrigination{Router: "R1", Prefix: bgp.MustParsePrefix("198.51.100.0/24")},
+				MisOrigination{Router: "R1", Prefix: bgp.MustParsePrefix("203.0.113.0/24")},
+				MissingImportFilter{Router: "R1", Peer: "R2"},
+			},
+		},
+		{
+			name: "every-registered-config-fault",
+			faults: func() []ConfigFault {
+				// One concrete instance per registered ConfigFault type, on
+				// disjoint routers.
+				var out []ConfigFault
+				for _, f := range Catalog() {
+					switch f.(type) {
+					case MisOrigination:
+						out = append(out, MisOrigination{Router: "R1", Prefix: bgp.MustParsePrefix("203.0.113.0/24")})
+					case MissingImportFilter:
+						out = append(out, MissingImportFilter{Router: "R2", Peer: "R3"})
+					case DisputeWheel:
+						out = append(out, DisputeWheel{Routers: []string{"R3", "R4", "R5"}, Prefix: topo.Nodes[0].Prefixes[0]})
+					}
+				}
+				return out
+			}(),
+		},
+	}
+
+	baseConfig := func(name string) *node.Config {
+		tn := topo.Node(name)
+		cfg := &node.Config{Name: tn.Name, AS: tn.AS, RouterID: tn.RouterID,
+			Networks: append([]bgp.Prefix(nil), tn.Prefixes...)}
+		for _, nb := range topo.NeighborsOf(name) {
+			peer := topo.Node(nb)
+			cfg.Neighbors = append(cfg.Neighbors, node.NeighborConfig{Name: peer.Name, AS: peer.AS, Import: "ALL", Export: "ALL"})
+		}
+		return cfg
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.faults) < 2 {
+				t.Fatalf("composition case needs at least two faults, got %d", len(tc.faults))
+			}
+			// Reference: apply in declaration order.
+			reference := make(map[string]*node.Config)
+			for _, name := range topo.NodeNames() {
+				cfg := baseConfig(name)
+				ApplyConfigFaults(tc.faults...)(cfg)
+				reference[name] = cfg
+			}
+			// MisOrigination appends: two instances on one router must both
+			// land regardless of order, so compare as sets via DeepEqual of
+			// the final configs only (below); the permutation loop is the
+			// actual assertion.
+			for _, perm := range permutations(len(tc.faults)) {
+				ordered := make([]ConfigFault, len(perm))
+				for i, idx := range perm {
+					ordered[i] = tc.faults[idx]
+				}
+				for _, name := range topo.NodeNames() {
+					cfg := baseConfig(name)
+					ApplyConfigFaults(ordered...)(cfg)
+					if !configsEquivalent(reference[name], cfg) {
+						t.Fatalf("order %v: router %s config diverged\nref:  %+v\ngot:  %+v",
+							perm, name, reference[name], cfg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// configsEquivalent compares configurations up to ordering of appended
+// networks (the only order-sensitive field a commuting fault set touches).
+func configsEquivalent(a, b *node.Config) bool {
+	an := append([]bgp.Prefix(nil), a.Networks...)
+	bn := append([]bgp.Prefix(nil), b.Networks...)
+	bgp.SortPrefixes(an)
+	bgp.SortPrefixes(bn)
+	if !reflect.DeepEqual(an, bn) {
+		return false
+	}
+	ac, bc := *a, *b
+	ac.Networks, bc.Networks = nil, nil
+	return reflect.DeepEqual(&ac, &bc)
+}
+
+// fakeTarget records scenario injections for assertion.
+type fakeTarget struct {
+	updates []*bgp.Update
+	from    []string
+	to      []string
+}
+
+func (f *fakeTarget) InjectUpdate(fromPeer, to string, u *bgp.Update) {
+	f.from = append(f.from, fromPeer)
+	f.to = append(f.to, to)
+	f.updates = append(f.updates, u)
+}
+
+func TestScenarioPrimingIsDeterministic(t *testing.T) {
+	pfx := bgp.MustParsePrefix("10.9.0.0/16")
+	scenarios := []Scenario{
+		Baseline{},
+		LinkFlap{Router: "R1", Peer: "R2", PeerAS: 65002, PeerID: 2, Prefixes: []bgp.Prefix{pfx}, Flaps: 2},
+		SessionReset{Router: "R1", Peer: "R2", Prefixes: []bgp.Prefix{pfx}},
+		PrefixChurn{Router: "R1", Peer: "R2", PeerAS: 65002, PeerID: 2, Prefix: pfx, Rounds: 2},
+		StagedPolicyUpdate{Router: "R1", Peer: "R2", PeerAS: 65002, PeerID: 2, Prefix: pfx, Stages: 3},
+	}
+	wantInjections := map[string]int{
+		"baseline":             0,
+		"link-flap":            4, // 2 flaps x (withdraw + announce)
+		"session-reset":        1,
+		"prefix-churn":         4, // 2 rounds x (long + short)
+		"staged-policy-update": 3,
+	}
+	for _, sc := range scenarios {
+		var a, b fakeTarget
+		sc.Prime(&a)
+		sc.Prime(&b)
+		if want, ok := wantInjections[sc.Name()]; !ok || len(a.updates) != want {
+			t.Errorf("%s: %d injections, want %d", sc.Name(), len(a.updates), want)
+		}
+		if !reflect.DeepEqual(a.updates, b.updates) {
+			t.Errorf("%s: priming not deterministic", sc.Name())
+		}
+		for i := range a.from {
+			if a.from[i] != "R2" || a.to[i] != "R1" {
+				t.Errorf("%s: injection %d on wrong session %s->%s", sc.Name(), i, a.from[i], a.to[i])
+			}
+		}
+		if sc.Description() == "" {
+			t.Errorf("%s: empty description", sc.Name())
+		}
+	}
+}
+
+func TestStagedPolicyUpdatePrependsProgressively(t *testing.T) {
+	pfx := bgp.MustParsePrefix("10.9.0.0/16")
+	sc := StagedPolicyUpdate{Router: "R1", Peer: "R2", PeerAS: 65002, PeerID: 2, Prefix: pfx, Stages: 3}
+	var tgt fakeTarget
+	sc.Prime(&tgt)
+	for i, u := range tgt.updates {
+		if got, want := len(u.Attrs.ASPath), i+2; got != want {
+			t.Fatalf("stage %d: AS path length %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestScenariosForTopology(t *testing.T) {
+	topo := topology.Demo27()
+	a := Scenarios(topo, 1)
+	b := Scenarios(topo, 1)
+	if len(a) != 5 {
+		t.Fatalf("expected 5 default scenarios, got %d", len(a))
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() || !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("Scenarios not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Every churn scenario targets a real session of the topology.
+	for _, sc := range a {
+		var tgt fakeTarget
+		sc.Prime(&tgt)
+		for i := range tgt.from {
+			found := false
+			for _, n := range topo.NeighborsOf(tgt.to[i]) {
+				if n == tgt.from[i] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%s: injects on non-session %s->%s", sc.Name(), tgt.from[i], tgt.to[i])
+			}
+		}
+	}
+}

@@ -479,9 +479,15 @@ func (r *Router) applyAnnouncements(env netem.Env, p *peer, m *concolic.Machine,
 		}
 
 		// LOCAL_PREF is an iBGP attribute: on eBGP sessions the received
-		// value is discarded and import policy assigns a fresh one.
+		// value is discarded and import policy assigns a fresh one. The
+		// symbolic shadow is scrubbed with it so exploration cannot reason
+		// about a LOCAL_PREF the router concretely ignores (kept in lockstep
+		// with the bird backend).
 		if route.EBGP {
 			route.Attrs.LocalPref = nil
+			if route.Sym != nil {
+				route.Sym.HasLocalPref = false
+			}
 		}
 
 		// Import route-map (interpreted; constraints recorded when tracing).

@@ -1,0 +1,261 @@
+package live
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/dice-project/dice/internal/faults"
+)
+
+// Scheduler weight dynamics. A scenario that just surfaced a new violation is
+// the most promising thing to run again (the fault may have siblings); one
+// that at least explored fresh paths keeps earning a small boost; one that
+// produced nothing — or was skipped by the dedupe cache because the state it
+// would explore is unchanged — decays toward the floor. The floor keeps every
+// scenario drawable: a quiet scenario is cheap insurance, not dead weight.
+const (
+	weightInitial        = 1.0
+	weightViolationBoost = 2.0
+	weightPathBoost      = 1.25
+	weightDecay          = 0.85
+	weightFloor          = 0.05
+	weightCeiling        = 16.0
+)
+
+// Scheduler is the live runtime's adaptive scenario queue: a weighted
+// priority queue over the registered scenario generators whose weights adapt
+// online to what each scenario has recently produced. Draws are weighted
+// sampling without replacement from a seeded source, so a soak is
+// reproducible given its seed and reward history.
+//
+// A Scheduler is safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	entries []*schedEntry
+	byName  map[string]*schedEntry
+}
+
+type schedEntry struct {
+	scenario faults.Scenario
+	weight   float64
+}
+
+// NewScheduler returns a scheduler over the scenarios, all at the initial
+// weight, drawing from a source seeded with seed.
+func NewScheduler(seed int64, scenarios []faults.Scenario) *Scheduler {
+	s := &Scheduler{
+		rng:    rand.New(rand.NewSource(seed)),
+		byName: make(map[string]*schedEntry, len(scenarios)),
+	}
+	for _, sc := range scenarios {
+		if _, dup := s.byName[sc.Name()]; dup {
+			panic(fmt.Sprintf("live: duplicate scenario %q", sc.Name()))
+		}
+		e := &schedEntry{scenario: sc, weight: weightInitial}
+		s.entries = append(s.entries, e)
+		s.byName[sc.Name()] = e
+	}
+	return s
+}
+
+// Len returns the number of registered scenarios.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Draw returns k scenarios sampled without replacement, proportionally to
+// their current weights. k not positive, or at least the registry size,
+// returns every scenario in registration order (the "run them all" setting
+// of small deployments and the E12 experiment).
+func (s *Scheduler) Draw(k int) []faults.Scenario {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k <= 0 || k >= len(s.entries) {
+		out := make([]faults.Scenario, len(s.entries))
+		for i, e := range s.entries {
+			out[i] = e.scenario
+		}
+		return out
+	}
+	pool := append([]*schedEntry(nil), s.entries...)
+	out := make([]faults.Scenario, 0, k)
+	for len(out) < k {
+		total := 0.0
+		for _, e := range pool {
+			total += e.weight
+		}
+		pick := s.rng.Float64() * total
+		idx := len(pool) - 1
+		for i, e := range pool {
+			pick -= e.weight
+			if pick < 0 {
+				idx = i
+				break
+			}
+		}
+		out = append(out, pool[idx].scenario)
+		pool = append(pool[:idx], pool[idx+1:]...)
+	}
+	return out
+}
+
+// Reward adapts the named scenario's weight after a campaign (or a dedupe
+// skip, with both counts zero): new violations double it, new explored paths
+// nudge it up, nothing decays it.
+func (s *Scheduler) Reward(name string, newViolations, newPaths int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byName[name]
+	if e == nil {
+		return
+	}
+	switch {
+	case newViolations > 0:
+		e.weight *= weightViolationBoost
+	case newPaths > 0:
+		e.weight *= weightPathBoost
+	default:
+		e.weight *= weightDecay
+	}
+	if e.weight < weightFloor {
+		e.weight = weightFloor
+	}
+	if e.weight > weightCeiling {
+		e.weight = weightCeiling
+	}
+}
+
+// Weight returns the named scenario's current weight (zero when unknown).
+func (s *Scheduler) Weight(name string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.byName[name]; e != nil {
+		return e.weight
+	}
+	return 0
+}
+
+// Weights returns a copy of the current weight table.
+func (s *Scheduler) Weights() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.entries))
+	for name, e := range s.byName {
+		out[name] = e.weight
+	}
+	return out
+}
+
+// CacheEntry records what one (epoch state, scenario) campaign explored; a
+// later epoch with the same state fingerprint skips the campaign and charges
+// these to the dedupe savings instead.
+type CacheEntry struct {
+	Inputs int `json:"inputs"`
+	Paths  int `json:"paths"`
+}
+
+// PathCache is the cross-epoch path-dedupe cache: it remembers which (state
+// fingerprint, scenario) combinations have been explored, so epochs whose
+// state did not change since they were last explored are not re-explored.
+// Campaign seeds derive from the state fingerprint, not the epoch number, so
+// a cache hit really would have re-run a byte-identical campaign.
+//
+// Retention is bounded: beyond the capacity the oldest entries are evicted
+// (a fingerprint of state that has since changed never recurs, so an
+// unbounded soak would otherwise accumulate dead keys forever). The cache
+// persists: Save/Load serialize it as JSON, so a soak can resume where the
+// previous one left off. It is safe for concurrent use.
+type PathCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]CacheEntry
+	order    []string // insertion order, oldest first, for eviction
+}
+
+// defaultPathCacheCapacity bounds the dedupe cache of an unbounded soak:
+// enough for thousands of (fingerprint, scenario) pairs — many days of
+// epochs — at negligible memory.
+const defaultPathCacheCapacity = 4096
+
+// NewPathCache returns an empty cache with the default retention bound.
+func NewPathCache() *PathCache {
+	return &PathCache{capacity: defaultPathCacheCapacity, entries: make(map[string]CacheEntry)}
+}
+
+// cacheKey builds the lookup key for one explored combination: the epoch's
+// state fingerprint, the exploration-config digest, and the scenario. The
+// config digest is what keeps a persisted cache sound across soaks — a
+// resumed soak with a bigger input budget or a different property set must
+// re-explore state a shallower configuration only skimmed, so entries from
+// other configurations must never hit.
+func cacheKey(fingerprint, configDigest uint64, scenario string) string {
+	return fmt.Sprintf("%016x|%016x|%s", fingerprint, configDigest, scenario)
+}
+
+// Lookup returns the cached entry for the key, if present.
+func (c *PathCache) Lookup(key string) (CacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Store records an entry, evicting the oldest beyond the capacity.
+func (c *PathCache) Store(key string, e CacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.entries[key] = e
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *PathCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Save writes the cache as JSON.
+func (c *PathCache) Save(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return json.NewEncoder(w).Encode(c.entries)
+}
+
+// Load replaces the cache contents with a previously saved JSON form
+// (restored entries age in sorted-key order for eviction purposes).
+func (c *PathCache) Load(r io.Reader) error {
+	entries := make(map[string]CacheEntry)
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("live: load path cache: %w", err)
+	}
+	order := make([]string, 0, len(entries))
+	for k := range entries {
+		order = append(order, k)
+	}
+	sort.Strings(order)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = entries
+	c.order = order
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	return nil
+}

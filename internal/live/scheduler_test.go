@@ -1,0 +1,176 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+func testScenarios(t *testing.T) []faults.Scenario {
+	t.Helper()
+	return faults.Scenarios(topology.Line(3), 1)
+}
+
+func TestSchedulerRewardDynamics(t *testing.T) {
+	s := NewScheduler(1, testScenarios(t))
+	name := "link-flap"
+	if w := s.Weight(name); w != 1.0 {
+		t.Fatalf("initial weight = %v", w)
+	}
+	s.Reward(name, 3, 100)
+	if w := s.Weight(name); w != 2.0 {
+		t.Fatalf("violation boost: weight = %v, want 2.0", w)
+	}
+	s.Reward(name, 0, 5)
+	if w := s.Weight(name); w != 2.5 {
+		t.Fatalf("path boost: weight = %v, want 2.5", w)
+	}
+	s.Reward(name, 0, 0)
+	if w := s.Weight(name); w != 2.125 {
+		t.Fatalf("decay: weight = %v, want 2.125", w)
+	}
+	// Clamping on both ends.
+	for i := 0; i < 64; i++ {
+		s.Reward(name, 1, 0)
+	}
+	if w := s.Weight(name); w != weightCeiling {
+		t.Fatalf("ceiling: weight = %v", w)
+	}
+	for i := 0; i < 256; i++ {
+		s.Reward(name, 0, 0)
+	}
+	if w := s.Weight(name); w != weightFloor {
+		t.Fatalf("floor: weight = %v (must stay drawable)", w)
+	}
+	if s.Weight("no-such-scenario") != 0 {
+		t.Fatalf("unknown scenario has a weight")
+	}
+}
+
+func TestSchedulerDrawDeterministicAndWeighted(t *testing.T) {
+	draw := func() []string {
+		s := NewScheduler(7, testScenarios(t))
+		s.Reward("session-reset", 5, 0) // heavily boosted
+		var names []string
+		for _, sc := range s.Draw(2) {
+			names = append(names, sc.Name())
+		}
+		return names
+	}
+	a := draw()
+	if got := draw(); !reflect.DeepEqual(a, got) {
+		t.Fatalf("same seed drew %v then %v", a, got)
+	}
+	// Drawing everything (k <= 0 or k >= len) returns the full registry.
+	s := NewScheduler(7, testScenarios(t))
+	if got := s.Draw(0); len(got) != s.Len() {
+		t.Fatalf("Draw(0) returned %d of %d", len(got), s.Len())
+	}
+	if got := s.Draw(99); len(got) != s.Len() {
+		t.Fatalf("Draw(99) returned %d of %d", len(got), s.Len())
+	}
+	// A heavily boosted scenario dominates repeated single draws.
+	s = NewScheduler(7, testScenarios(t))
+	for i := 0; i < 6; i++ {
+		s.Reward("session-reset", 1, 0)
+	}
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if s.Draw(1)[0].Name() == "session-reset" {
+			hits++
+		}
+	}
+	if hits < 25 {
+		t.Fatalf("boosted scenario drawn %d/40 times; weights not driving the draw", hits)
+	}
+}
+
+// TestConfigDigestSeparatesCacheKeys pins the resume-soundness rule: a
+// persisted cache from one exploration configuration must never satisfy a
+// soak with a deeper or different configuration.
+func TestConfigDigestSeparatesCacheKeys(t *testing.T) {
+	topo := topology.Line(3)
+	props := checker.DefaultProperties(topo)
+	base := Options{InputsPerScenario: 8, FuzzSeeds: 2}.withDefaults()
+	digest := exploreConfigDigest(base, base.Strategy.Name(), props)
+	if again := exploreConfigDigest(base, base.Strategy.Name(), props); again != digest {
+		t.Fatalf("identical config produced different digests")
+	}
+	variants := []Options{
+		func() Options { o := base; o.InputsPerScenario = 64; return o }(),
+		func() Options { o := base; o.FuzzSeeds = 8; return o }(),
+		func() Options { o := base; o.ShadowMaxEvents = 999; return o }(),
+		func() Options { o := base; o.Explorers = []string{"R2"}; return o }(),
+		func() Options { o := base; o.CodeFaults = []faults.CodeFault{faults.MEDZeroCrash("R2")}; return o }(),
+	}
+	for i, v := range variants {
+		if exploreConfigDigest(v, v.Strategy.Name(), props) == digest {
+			t.Errorf("variant %d shares the base digest; stale cache entries would hit", i)
+		}
+	}
+	if exploreConfigDigest(base, base.Strategy.Name(), props[:2]) == digest {
+		t.Errorf("different property set shares the base digest")
+	}
+	if cacheKey(1, digest, "baseline") == cacheKey(1, digest+1, "baseline") {
+		t.Errorf("cache key ignores the config digest")
+	}
+}
+
+func TestPathCacheSaveLoadAndEviction(t *testing.T) {
+	c := NewPathCache()
+	key1 := cacheKey(0xabc, 0x1, "link-flap")
+	c.Store(key1, CacheEntry{Inputs: 8, Paths: 3})
+	c.Store(cacheKey(0xdef, 0x1, "baseline"), CacheEntry{Inputs: 4, Paths: 1})
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if e, ok := c.Lookup(key1); !ok || e.Inputs != 8 || e.Paths != 3 {
+		t.Fatalf("lookup = %+v %v", e, ok)
+	}
+	if _, ok := c.Lookup(cacheKey(0x123, 0x1, "baseline")); ok {
+		t.Fatalf("phantom hit")
+	}
+
+	// Round-trip through the persisted form.
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewPathCache()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored len = %d", restored.Len())
+	}
+	if e, ok := restored.Lookup(key1); !ok || e != (CacheEntry{Inputs: 8, Paths: 3}) {
+		t.Fatalf("restored entry = %+v %v", e, ok)
+	}
+
+	// Retention is bounded: the oldest entries are evicted.
+	small := &PathCache{capacity: 3, entries: make(map[string]CacheEntry)}
+	for i := 0; i < 5; i++ {
+		small.Store(fmt.Sprintf("key-%d", i), CacheEntry{Inputs: i})
+	}
+	if small.Len() != 3 {
+		t.Fatalf("bounded cache holds %d entries, want 3", small.Len())
+	}
+	if _, ok := small.Lookup("key-0"); ok {
+		t.Fatalf("oldest entry not evicted")
+	}
+	if _, ok := small.Lookup("key-4"); !ok {
+		t.Fatalf("newest entry evicted")
+	}
+	// Re-storing an existing key must not grow the order queue unboundedly.
+	for i := 0; i < 10; i++ {
+		small.Store("key-4", CacheEntry{Inputs: i})
+	}
+	if small.Len() != 3 {
+		t.Fatalf("re-store changed size: %d", small.Len())
+	}
+}

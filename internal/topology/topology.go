@@ -107,6 +107,25 @@ func (t *Topology) NeighborsOf(name string) []string {
 	return out
 }
 
+// BestConnected returns the router with the most neighbors among names (all
+// nodes when names is empty), equal-degree ties broken by lexicographically
+// smallest name. Degree counts every neighbor, including ones outside the
+// candidate set. Campaign strategies and the live scenario registry share
+// this one rule, so scenario targeting stays aligned with campaign planning.
+func (t *Topology) BestConnected(names ...string) string {
+	if len(names) == 0 {
+		names = t.NodeNames()
+	}
+	best, bestDeg := "", -1
+	for _, name := range names {
+		deg := len(t.NeighborsOf(name))
+		if deg > bestDeg || (deg == bestDeg && name < best) {
+			best, bestDeg = name, deg
+		}
+	}
+	return best
+}
+
 // LinksOf returns the links incident to the named node.
 func (t *Topology) LinksOf(name string) []Link {
 	var out []Link
