@@ -1,0 +1,55 @@
+// Command dice-agent is the execution side of distributed DiCE: it dials a
+// dice-control plane outbound, registers its capabilities, fetches the
+// campaign baseline snapshot once, then leases shards and runs each through
+// the ordinary campaign/clone-pool machinery locally. Only per-unit results
+// and checker.Summary envelopes are posted back — node state never leaves
+// the agent. The process exits 0 once the control plane reports the
+// campaign done.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	dice "github.com/dice-project/dice"
+)
+
+func main() {
+	name := flag.String("name", hostname(), "agent display name")
+	controlURL := flag.String("control", "http://127.0.0.1:7777", "control plane base URL")
+	workers := flag.Int("workers", runtime.NumCPU(), "local clone parallelism")
+	poll := flag.Duration("poll", 50*time.Millisecond, "idle wait between lease polls")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ag := dice.NewAgent(dice.AgentConfig{
+		Name:         *name,
+		ControlURL:   *controlURL,
+		Workers:      *workers,
+		PollInterval: *poll,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err := ag.Run(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "dice-agent:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("agent %s: %d shards run\n", *name, ag.ShardsRun())
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "agent"
+	}
+	return h
+}

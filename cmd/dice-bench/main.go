@@ -8,10 +8,12 @@
 // the hijack scenario. e11 is the heterogeneity experiment: the mixed
 // bird+frr demo with differential conformance checking. e12 is the live-mode
 // experiment: a bounded online soak (checkpoint epochs, scenario campaigns,
-// dedupe, minimized traces). -json writes the selected experiment's
+// dedupe, minimized traces). e13 is the distributed-execution experiment:
+// the same campaign in-process, on one agent, and sharded across three
+// agents through the control plane. -json writes the selected experiment's
 // machine-readable result (`-exp e9 -json BENCH_clone.json`, `-exp e10 -json
-// BENCH_federation.json` and `-exp e12 -json BENCH_live.json` are the
-// artifacts CI tracks across PRs).
+// BENCH_federation.json`, `-exp e12 -json BENCH_live.json` and `-exp e13
+// -json BENCH_distributed.json` are the artifacts CI tracks across PRs).
 //
 // Every JSON artifact is stamped with a schema version, the experiment id,
 // the seed and the Go runtime metadata (version, GOOS/GOARCH, GOMAXPROCS),
@@ -140,6 +142,36 @@ type liveBench struct {
 	TraceStepsAfter     int  `json:"trace_steps_after"`
 }
 
+// distributedBench is the schema of the e13 -json artifact: the same
+// campaign in-process vs 1 agent vs 3 agents, with the wire accounting of
+// the shard protocol (baseline shipment, lease traffic, summary-only
+// results) against the full-state counterfactual.
+type distributedBench struct {
+	benchMeta
+	Routers int `json:"routers"`
+	Shards  int `json:"shards"`
+
+	TotalInputs  int   `json:"total_inputs"`
+	Workers      int   `json:"workers"`
+	InProcessNs  int64 `json:"in_process_ns"`
+	OneAgentNs   int64 `json:"one_agent_ns"`
+	ThreeAgentNs int64 `json:"three_agent_ns"`
+
+	Detections                int  `json:"detections"`
+	SameDetectionsOneAgent    bool `json:"same_detections_one_agent"`
+	SameDetectionsThreeAgents bool `json:"same_detections_three_agents"`
+
+	AgentsLeased int `json:"agents_leased"`
+	Reassigned   int `json:"reassigned"`
+
+	BaselineBytes        int     `json:"baseline_bytes"`
+	ShardBytes           int     `json:"shard_bytes"`
+	ResultBytes          int     `json:"result_bytes"`
+	ResultBytesPerInput  int     `json:"result_bytes_per_input"`
+	FullStatePerInput    int     `json:"full_state_bytes_per_input"`
+	ReductionVsFullState float64 `json:"reduction_vs_full_state"`
+}
+
 func writeJSON(path string, out interface{}) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -216,11 +248,35 @@ func writeLiveJSON(path string, cfg dice.ExperimentConfig, r *dice.E12Result) er
 	})
 }
 
+func writeDistributedJSON(path string, cfg dice.ExperimentConfig, r *dice.E13Result) error {
+	return writeJSON(path, distributedBench{
+		benchMeta:                 newBenchMeta("e13", cfg),
+		Routers:                   r.Routers,
+		Shards:                    r.Shards,
+		TotalInputs:               r.TotalInputs,
+		Workers:                   r.Workers,
+		InProcessNs:               r.InProcessDuration.Nanoseconds(),
+		OneAgentNs:                r.OneAgentDuration.Nanoseconds(),
+		ThreeAgentNs:              r.ThreeAgentDuration.Nanoseconds(),
+		Detections:                r.Detections,
+		SameDetectionsOneAgent:    r.SameDetectionsOneAgent,
+		SameDetectionsThreeAgents: r.SameDetectionsThreeAgents,
+		AgentsLeased:              r.AgentsLeased,
+		Reassigned:                r.Reassigned,
+		BaselineBytes:             r.BaselineBytes,
+		ShardBytes:                r.ShardBytes,
+		ResultBytes:               r.ResultBytes,
+		ResultBytesPerInput:       r.ResultBytesPerInput,
+		FullStatePerInput:         r.FullStatePerInput,
+		ReductionVsFullState:      r.ReductionVsFullState,
+	})
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e12 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
-	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10 and e12 write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
+	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10, e12 and e13 write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
 	flag.Parse()
 
 	cfg := dice.ExperimentConfig{Quick: *quick, Seed: *seed}
@@ -247,9 +303,10 @@ func main() {
 	}
 
 	// The -json artifact follows the selected experiment when it has its own
-	// schema (e10, e12); every other selection tracks the e9 clone artifact.
+	// schema (e10, e12, e13); every other selection tracks the e9 clone
+	// artifact.
 	jsonOwner := "e9"
-	if which == "e10" || which == "e12" {
+	if which == "e10" || which == "e12" || which == "e13" {
 		jsonOwner = which
 	}
 
@@ -318,6 +375,13 @@ func main() {
 		report("E12", res, err)
 		if err == nil && *jsonPath != "" && jsonOwner == "e12" {
 			wrote(*jsonPath, writeLiveJSON(*jsonPath, cfg, res))
+		}
+	}
+	if run("e13") {
+		res, err := dice.RunE13(cfg)
+		report("E13", res, err)
+		if err == nil && *jsonPath != "" && jsonOwner == "e13" {
+			wrote(*jsonPath, writeDistributedJSON(*jsonPath, cfg, res))
 		}
 	}
 	if failed {

@@ -27,9 +27,11 @@ package dice
 import (
 	"time"
 
+	"github.com/dice-project/dice/internal/agent"
 	"github.com/dice-project/dice/internal/checker"
 	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/control"
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/federation"
@@ -394,3 +396,49 @@ func ConvergeAndSnapshotSize(d *Deployment) (time.Duration, int, error) {
 	}
 	return elapsed, len(data), nil
 }
+
+// Distributed execution — running one campaign's clone fan-out across
+// dice-agent processes coordinated by a dice-control plane. The control
+// plane shards the planned units, leases shards to registered agents with
+// heartbeat-renewed expiry (lost agents' shards are reassigned), ships each
+// shard as a snapshot delta against a baseline the agent fetched once, and
+// aggregates only checker.Summary results back — the federation privacy
+// boundary becomes the wire protocol.
+type (
+	// Controller is the campaign-side control plane; it implements
+	// RemoteExecutor, so hand it to WithRemoteExecution.
+	Controller = control.Controller
+	// ControllerConfig configures a Controller (shard size, lease TTL,
+	// minimum agent count, attempt cap).
+	ControllerConfig = control.Config
+	// Agent executes leased shards against a control plane, reusing the
+	// campaign/clone-pool machinery locally.
+	Agent = agent.Agent
+	// AgentConfig configures an Agent (name, control URL, workers, poll
+	// interval).
+	AgentConfig = agent.Config
+	// RemoteExecutor executes a campaign's planned units remotely; the
+	// campaign keeps planning, snapshotting, dedup and aggregation local.
+	RemoteExecutor = dice.RemoteExecutor
+	// RemoteExecStats accounts the distributed run: shards, agents,
+	// reassignments, and baseline/shard/result wire bytes.
+	RemoteExecStats = dice.RemoteStats
+)
+
+var (
+	// NewController builds a campaign-side control plane.
+	NewController = control.NewController
+	// NewControlHandler exposes a Controller over HTTP; agents dial it
+	// outbound (serve it with net/http, or wrap it with NewInProcessClient
+	// for same-process agents).
+	NewControlHandler = control.NewHandler
+	// NewInProcessClient adapts a control handler into an http.Client
+	// whose transport dispatches in process through the identical frame
+	// encoding as TCP.
+	NewInProcessClient = control.InProcessClient
+	// NewAgent builds a shard-executing agent.
+	NewAgent = agent.New
+	// WithRemoteExecution routes a campaign's unit execution through a
+	// RemoteExecutor instead of the in-process worker pool.
+	WithRemoteExecution = dice.WithRemoteExecution
+)

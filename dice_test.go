@@ -344,3 +344,30 @@ func TestRunE9Quick(t *testing.T) {
 		t.Errorf("empty report")
 	}
 }
+
+func TestRunE13Quick(t *testing.T) {
+	res, err := RunE13(quickCfg)
+	if err != nil {
+		t.Fatalf("E13: %v", err)
+	}
+	if !res.SameDetectionsOneAgent || !res.SameDetectionsThreeAgents {
+		t.Fatalf("distributed runs diverged from in-process: 1-agent same=%v 3-agent same=%v",
+			res.SameDetectionsOneAgent, res.SameDetectionsThreeAgents)
+	}
+	if res.Detections == 0 {
+		t.Fatal("campaign found no detections; the planted hijack should be caught")
+	}
+	if res.Shards == 0 || res.AgentsLeased == 0 {
+		t.Fatalf("no distribution happened: %d shards, %d agents leased", res.Shards, res.AgentsLeased)
+	}
+	if res.BaselineBytes == 0 || res.ShardBytes == 0 || res.ResultBytes == 0 {
+		t.Fatalf("wire accounting empty: baseline=%d shard=%d result=%d",
+			res.BaselineBytes, res.ShardBytes, res.ResultBytes)
+	}
+	if res.ReductionVsFullState <= 1 {
+		t.Errorf("result traffic not below full-state counterfactual: %.2fx", res.ReductionVsFullState)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}

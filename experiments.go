@@ -7,14 +7,17 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/dice-project/dice/internal/agent"
 	"github.com/dice-project/dice/internal/bgp"
 	"github.com/dice-project/dice/internal/checker"
 	"github.com/dice-project/dice/internal/checkpoint"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/concolic"
+	"github.com/dice-project/dice/internal/control"
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/fuzz"
@@ -1490,5 +1493,192 @@ func (r *E9Result) String() string {
 	fmt.Fprintf(&b, "  detections                %d (identical cold vs pooled: %v)\n", r.Detections, r.SameDetections)
 	fmt.Fprintf(&b, "  delta accounting          %d bytes/node full, %d bytes/node delta vs baseline\n",
 		r.MeanNodeBytes, r.MeanDeltaBytes)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E13 — distributed campaign execution: the same demo hijack campaign run
+// in-process, on one dice-agent, and sharded across three dice-agents through
+// the control plane's lease protocol. Measured: wall-clock per mode, the wire
+// footprint of the one-time baseline shipment and of shard leases and results
+// (summaries and verdicts only — never node state), and the headline
+// guarantee that every mode finds the identical detection set.
+// ---------------------------------------------------------------------------
+
+// E13Result compares in-process and distributed execution of one campaign.
+type E13Result struct {
+	Routers     int
+	TotalInputs int
+	Workers     int
+	Shards      int
+
+	InProcessDuration  time.Duration
+	OneAgentDuration   time.Duration
+	ThreeAgentDuration time.Duration
+
+	// Detections of the 3-agent run; the Same* fields report fingerprint
+	// equality against the in-process run.
+	Detections                int
+	SameDetectionsOneAgent    bool
+	SameDetectionsThreeAgents bool
+
+	// AgentsLeased counts agents that executed at least one shard in the
+	// 3-agent run; Reassigned counts lease reassignments (0 in a calm run).
+	AgentsLeased int
+	Reassigned   int
+
+	// Wire accounting of the 3-agent run. BaselineBytes is the one-time
+	// snapshot shipment (paid once per agent); ShardBytes the lease traffic;
+	// ResultBytes the streamed-back results.
+	BaselineBytes int
+	ShardBytes    int
+	ResultBytes   int
+	// ResultBytesPerInput compares against FullStatePerInput, the bytes a
+	// full-state exchange per explored input would have cost; Reduction is
+	// their ratio.
+	ResultBytesPerInput  int
+	FullStatePerInput    int
+	ReductionVsFullState float64
+}
+
+// RunE13 measures distributed execution on the 27-router hijack scenario.
+func RunE13(cfg ExperimentConfig) (*E13Result, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed: cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(
+			faults.MisOrigination{Router: "R12", Prefix: victim},
+			faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	out := &E13Result{
+		Routers:     len(topo.Nodes),
+		TotalInputs: cfg.inputs(216, 54),
+		Workers:     runtime.NumCPU(),
+	}
+	baseOpts := func() []CampaignOption {
+		return []CampaignOption{
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: out.TotalInputs}),
+			WithFuzzSeeds(cfg.inputs(8, 2)),
+			WithSeed(cfg.Seed),
+			WithClusterOptions(copts),
+			WithWorkers(out.Workers),
+		}
+	}
+	deploy := func() (*cluster.Cluster, error) {
+		live, err := cluster.Build(topo, copts)
+		if err != nil {
+			return nil, err
+		}
+		live.Converge()
+		return live, nil
+	}
+
+	// In-process reference.
+	live, err := deploy()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	localRes, err := NewCampaign(live, topo, baseOpts()...).Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	out.InProcessDuration = time.Since(start)
+	localPrint := detectionFingerprint(localRes)
+
+	runDistributed := func(agents int) (time.Duration, *CampaignResult, *control.Controller, error) {
+		live, err := deploy()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		ctrl := control.NewController(control.Config{
+			Campaign:      "e13",
+			MinAgents:     agents,
+			UnitsPerShard: 2,
+			LeaseTTL:      30 * time.Second,
+		})
+		client := control.InProcessClient(control.NewHandler(ctrl))
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var wg sync.WaitGroup
+		for i := 0; i < agents; i++ {
+			ag := agent.New(agent.Config{
+				Name:         fmt.Sprintf("agent-%d", i),
+				ControlURL:   "http://control.inproc",
+				Client:       client,
+				PollInterval: 2 * time.Millisecond,
+			})
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = ag.Run(ctx)
+			}()
+		}
+		opts := append(baseOpts(), dice.WithRemoteExecution(ctrl))
+		start := time.Now()
+		res, err := NewCampaign(live, topo, opts...).Run(context.Background())
+		dur := time.Since(start)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		wg.Wait()
+		return dur, res, ctrl, nil
+	}
+
+	oneDur, oneRes, _, err := runDistributed(1)
+	if err != nil {
+		return nil, err
+	}
+	threeDur, threeRes, ctrl, err := runDistributed(3)
+	if err != nil {
+		return nil, err
+	}
+
+	out.OneAgentDuration, out.ThreeAgentDuration = oneDur, threeDur
+	out.Detections = len(threeRes.Detections)
+	out.SameDetectionsOneAgent = detectionFingerprint(oneRes) == localPrint
+	out.SameDetectionsThreeAgents = detectionFingerprint(threeRes) == localPrint
+	for _, n := range ctrl.AgentShardCounts() {
+		if n > 0 {
+			out.AgentsLeased++
+		}
+	}
+	stats := ctrl.RemoteStats()
+	out.Shards = stats.Shards
+	out.Reassigned = stats.Reassigned
+	out.BaselineBytes = stats.BaselineBytes
+	out.ShardBytes = stats.ShardBytes
+	out.ResultBytes = stats.ResultBytes
+	if threeRes.InputsExplored > 0 {
+		out.ResultBytesPerInput = stats.ResultBytes / threeRes.InputsExplored
+	}
+	out.FullStatePerInput = threeRes.FullStateBytes
+	if stats.ResultBytes > 0 && threeRes.InputsExplored > 0 {
+		perInput := float64(stats.ResultBytes) / float64(threeRes.InputsExplored)
+		out.ReductionVsFullState = float64(out.FullStatePerInput) / perInput
+	}
+	return out, nil
+}
+
+// String renders the distributed-execution report.
+func (r *E13Result) String() string {
+	var b strings.Builder
+	b.WriteString("E13 (distributed execution: control plane + agents):\n")
+	fmt.Fprintf(&b, "  topology                  %d routers, %d shards of the %d-input budget (%d workers)\n",
+		r.Routers, r.Shards, r.TotalInputs, r.Workers)
+	fmt.Fprintf(&b, "  in-process                %v\n", r.InProcessDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  1 agent                   %v (identical detections: %v)\n",
+		r.OneAgentDuration.Round(time.Millisecond), r.SameDetectionsOneAgent)
+	fmt.Fprintf(&b, "  3 agents                  %v (identical detections: %v, %d agents leased, %d reassignments)\n",
+		r.ThreeAgentDuration.Round(time.Millisecond), r.SameDetectionsThreeAgents, r.AgentsLeased, r.Reassigned)
+	fmt.Fprintf(&b, "  detections                %d\n", r.Detections)
+	fmt.Fprintf(&b, "  wire footprint            baseline %d B, leases %d B, results %d B\n",
+		r.BaselineBytes, r.ShardBytes, r.ResultBytes)
+	fmt.Fprintf(&b, "  privacy boundary          %d result B/input vs %d full-state B/input (%.1fx smaller)\n",
+		r.ResultBytesPerInput, r.FullStatePerInput, r.ReductionVsFullState)
 	return b.String()
 }

@@ -1,0 +1,408 @@
+// Package agent is the execution side of distributed DiCE campaigns: an
+// agent dials the control plane outbound, registers its capabilities
+// (supported router backends, worker parallelism), fetches the campaign
+// baseline once, then leases shards, runs each through the ordinary
+// dice.Campaign/ClonePool machinery against the shipped snapshot, and posts
+// back per-unit results plus the checker.Summary envelopes its local
+// federation bus published — never node state.
+package agent
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/control"
+	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/node"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// Config parameterizes an Agent.
+type Config struct {
+	// Name is the agent's self-chosen display name.
+	Name string
+	// ControlURL is the control plane's base URL (e.g. http://127.0.0.1:7777).
+	ControlURL string
+	// Client carries the HTTP transport; nil selects http.DefaultClient. The
+	// in-process transport mode passes control.InProcessClient here.
+	Client *http.Client
+	// Workers bounds local clone parallelism (0 keeps the shipped spec's
+	// hint, which itself defaults to NumCPU agent-side).
+	Workers int
+	// PollInterval is the idle wait between lease polls (default 50ms).
+	PollInterval time.Duration
+	// ShardDelay, when positive, sleeps before executing each shard — the
+	// chaos test uses it to widen the window in which an agent can be killed
+	// mid-lease.
+	ShardDelay time.Duration
+	// Logf, when set, receives agent progress lines.
+	Logf func(format string, args ...any)
+
+	// TestShardFault, when set by fault-injecting tests, runs before each
+	// leased shard executes; a returned error abandons the shard mid-lease
+	// exactly as a crash would (no result is posted).
+	TestShardFault func(shard int) error
+}
+
+// Agent runs the lease-execute-report loop against one control plane.
+type Agent struct {
+	cfg    Config
+	client *http.Client
+
+	id      string
+	welcome control.Welcome
+
+	mu        sync.Mutex
+	pool      *cluster.ClonePool
+	poolStats cluster.PoolStats
+	shardsRun int
+}
+
+// New returns an agent ready to Run.
+func New(cfg Config) *Agent {
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 50 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Agent{cfg: cfg, client: client}
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
+// ShardsRun reports how many shards this agent completed.
+func (a *Agent) ShardsRun() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shardsRun
+}
+
+// PoolStats reports the cumulative clone-pool activity across the agent's
+// shards — the shard-boundary fault tests assert Leases == Releases here.
+func (a *Agent) PoolStats() cluster.PoolStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	stats := a.poolStats
+	if a.pool != nil {
+		stats = stats.Add(a.pool.Stats())
+	}
+	return stats
+}
+
+// errUnavailable marks a 503 from the control plane (campaign not started
+// yet); the agent retries.
+var errUnavailable = errors.New("agent: control plane not ready")
+
+// post sends one frame and decodes the single-frame response.
+func (a *Agent) post(ctx context.Context, path string, msg any) (any, error) {
+	var body bytes.Buffer
+	if _, err := control.EncodeFrame(&body, msg); err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.cfg.ControlURL+path, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-dice-frame")
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		return nil, errUnavailable
+	}
+	if resp.StatusCode != http.StatusOK {
+		text, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("agent: %s: %s: %s", path, resp.Status, bytes.TrimSpace(text))
+	}
+	return control.DecodeFrame(resp.Body)
+}
+
+// Run registers, fetches the baseline, and leases shards until the control
+// plane reports the campaign done or ctx ends.
+func (a *Agent) Run(ctx context.Context) error {
+	welcome, err := a.register(ctx)
+	if err != nil {
+		return err
+	}
+	a.id, a.welcome = welcome.AgentID, *welcome
+	a.logf("agent %s: registered as %s for campaign %q", a.cfg.Name, a.id, welcome.Campaign)
+
+	topo, baseStore, spec, err := a.fetchBaseline(ctx)
+	if err != nil {
+		return err
+	}
+	a.logf("agent %s: baseline fetched (%d nodes)", a.id, len(topo.Nodes))
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		msg, err := a.post(ctx, "/v1/lease", &control.LeaseRequest{AgentID: a.id})
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		switch m := msg.(type) {
+		case *control.NoWork:
+			if m.Done {
+				a.logf("agent %s: campaign done, exiting", a.id)
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(a.cfg.PollInterval):
+			}
+		case *control.Lease:
+			if err := a.runShard(ctx, topo, baseStore, spec, m); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("agent: unexpected lease response %T", msg)
+		}
+	}
+}
+
+func (a *Agent) register(ctx context.Context) (*control.Welcome, error) {
+	hello := &control.Hello{
+		Agent:    a.cfg.Name,
+		Backends: node.Implementations(),
+		Workers:  a.cfg.Workers,
+	}
+	msg, err := a.post(ctx, "/v1/register", hello)
+	if err != nil {
+		return nil, err
+	}
+	w, ok := msg.(*control.Welcome)
+	if !ok {
+		return nil, fmt.Errorf("agent: unexpected register response %T", msg)
+	}
+	return w, nil
+}
+
+// fetchBaseline polls until the control plane has a campaign, then decodes
+// the one-time baseline shipment into a restore-ready store.
+func (a *Agent) fetchBaseline(ctx context.Context) (*topology.Topology, *checkpoint.Store, dice.RemoteSpec, error) {
+	for {
+		msg, err := a.post(ctx, "/v1/baseline", &control.BaselineRequest{AgentID: a.id})
+		if errors.Is(err, errUnavailable) {
+			select {
+			case <-ctx.Done():
+				return nil, nil, dice.RemoteSpec{}, ctx.Err()
+			case <-time.After(a.cfg.PollInterval):
+				continue
+			}
+		}
+		if err != nil {
+			return nil, nil, dice.RemoteSpec{}, err
+		}
+		b, ok := msg.(*control.Baseline)
+		if !ok {
+			return nil, nil, dice.RemoteSpec{}, fmt.Errorf("agent: unexpected baseline response %T", msg)
+		}
+		snap, err := checkpoint.Decode(b.Snapshot)
+		if err != nil {
+			return nil, nil, dice.RemoteSpec{}, fmt.Errorf("agent: decode baseline snapshot: %w", err)
+		}
+		store, err := checkpoint.NewStore(snap)
+		if err != nil {
+			return nil, nil, dice.RemoteSpec{}, fmt.Errorf("agent: baseline store: %w", err)
+		}
+		topo := b.Topo
+		return &topo, store, b.Spec, nil
+	}
+}
+
+// envelopeCapture records the shard campaign's federation bus publishes for
+// shipment in the shard result.
+type envelopeCapture struct {
+	mu   sync.Mutex
+	envs []federation.Envelope
+}
+
+func (c *envelopeCapture) Deliver(e federation.Envelope) {
+	c.mu.Lock()
+	c.envs = append(c.envs, e)
+	c.mu.Unlock()
+}
+
+// runShard executes one leased shard through a local campaign and posts the
+// result. Heartbeats renew the lease while the campaign runs.
+func (a *Agent) runShard(ctx context.Context, topo *topology.Topology, baseStore *checkpoint.Store, spec dice.RemoteSpec, lease *control.Lease) error {
+	shardCtx, cancelShard := context.WithCancel(ctx)
+	defer cancelShard()
+
+	// Heartbeat until the shard is done; a Cancel ack aborts the shard.
+	hbDone := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		every := a.welcome.HeartbeatEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbDone:
+				return
+			case <-shardCtx.Done():
+				return
+			case <-ticker.C:
+				msg, err := a.post(shardCtx, "/v1/heartbeat", &control.Heartbeat{AgentID: a.id})
+				if err != nil {
+					continue // transient; the lease survives until TTL
+				}
+				if ack, ok := msg.(*control.HeartbeatAck); ok && ack.Cancel {
+					cancelShard()
+					return
+				}
+			}
+		}
+	}()
+	defer hbWG.Wait()
+	defer close(hbDone)
+
+	if a.cfg.ShardDelay > 0 {
+		select {
+		case <-shardCtx.Done():
+			return shardCtx.Err()
+		case <-time.After(a.cfg.ShardDelay):
+		}
+	}
+	if a.cfg.TestShardFault != nil {
+		if err := a.cfg.TestShardFault(lease.Shard); err != nil {
+			return fmt.Errorf("agent: shard %d: %w", lease.Shard, err)
+		}
+	}
+
+	// An empty delta means the shard explores the baseline cut itself, so
+	// sequential shards share one clone pool over the baseline store — the
+	// same amortization the live runtime gets from WithClonePool. A non-empty
+	// delta is a different cut: the shard campaign gets its own store (and
+	// builds its own pool over it).
+	store := baseStore
+	var pool *cluster.ClonePool
+	if lease.Delta.Empty() {
+		a.mu.Lock()
+		if a.pool == nil {
+			a.pool = cluster.NewClonePool(topo, baseStore, cluster.Options{
+				Seed:              spec.ClusterSeed,
+				MaxEvents:         spec.ClusterMaxEvents,
+				GaoRexford:        spec.ClusterGaoRexford,
+				KeepaliveInterval: spec.ClusterKeepalive,
+			})
+		}
+		pool = a.pool
+		a.mu.Unlock()
+	} else {
+		target, err := baseStore.ApplyDelta(&lease.Delta)
+		if err != nil {
+			return fmt.Errorf("agent: shard %d: apply delta: %w", lease.Shard, err)
+		}
+		store, err = checkpoint.NewStore(target)
+		if err != nil {
+			return fmt.Errorf("agent: shard %d: delta store: %w", lease.Shard, err)
+		}
+	}
+
+	opts, err := spec.CampaignOptions(topo, store, pool)
+	if err != nil {
+		return fmt.Errorf("agent: shard %d: %w", lease.Shard, err)
+	}
+	opts = append(opts, dice.WithUnits(lease.Units...))
+	if a.cfg.Workers > 0 {
+		opts = append(opts, dice.WithWorkers(a.cfg.Workers))
+	}
+	var capture *envelopeCapture
+	if len(spec.Domains) > 0 {
+		capture = &envelopeCapture{}
+		opts = append(opts, dice.WithFederationTransport(capture))
+	}
+
+	a.logf("agent %s: running shard %d (%d units)", a.id, lease.Shard, len(lease.Units))
+	res, runErr := dice.NewCampaign(nil, topo, opts...).Run(shardCtx)
+	if ctx.Err() != nil {
+		// Dying mid-lease: no result is posted; the lease expires and the
+		// control plane reassigns the shard.
+		return ctx.Err()
+	}
+	if shardCtx.Err() != nil {
+		// The control plane cancelled the campaign via heartbeat ack; a
+		// partial result would be rejected as stale work anyway.
+		return nil
+	}
+	if res == nil {
+		return fmt.Errorf("agent: shard %d: %w", lease.Shard, runErr)
+	}
+
+	sr := &control.ShardResult{
+		AgentID: a.id,
+		Shard:   lease.Shard,
+		Attempt: lease.Attempt,
+	}
+	for j, idx := range lease.UnitIndexes {
+		ur := control.UnitResult{Index: idx}
+		if j < len(res.Units) {
+			ur.Result = res.Units[j]
+			if e := res.UnitErrors[j]; e != nil {
+				ur.Result = nil
+				ur.Err = e.Error()
+			}
+		} else if runErr != nil {
+			ur.Err = runErr.Error()
+		}
+		sr.Units = append(sr.Units, ur)
+	}
+	if capture != nil {
+		capture.mu.Lock()
+		sr.Envelopes = append(sr.Envelopes, capture.envs...)
+		capture.mu.Unlock()
+	}
+	msg, err := a.post(ctx, "/v1/result", sr)
+	if err != nil {
+		return err
+	}
+	ack, ok := msg.(*control.ResultAck)
+	if !ok {
+		return fmt.Errorf("agent: unexpected result response %T", msg)
+	}
+	if !ack.Accepted {
+		a.logf("agent %s: shard %d result rejected (lease superseded)", a.id, lease.Shard)
+		return nil
+	}
+	a.mu.Lock()
+	a.shardsRun++
+	// Fold a per-shard pool's stats into the cumulative account before it is
+	// dropped with its store.
+	if pool == nil && store != baseStore {
+		// The shard campaign built its own pool internally; its stats are in
+		// the campaign result instead.
+		a.poolStats = a.poolStats.Add(res.CloneStats)
+	}
+	a.mu.Unlock()
+	a.logf("agent %s: shard %d done (%d inputs)", a.id, lease.Shard, res.InputsExplored)
+	return nil
+}

@@ -36,9 +36,9 @@ type Checkpoint struct {
 	ConnectRetry      time.Duration
 
 	Sessions []SessionRecord
-	AdjIn    map[string][]RouteRecord
+	AdjIn    node.PeerRouteMap
 	LocRIB   []RouteRecord
-	AdjOut   map[string][]RouteRecord
+	AdjOut   node.PeerRouteMap
 
 	Stats     RouterStats
 	Events    []EventRecord

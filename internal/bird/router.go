@@ -1,6 +1,7 @@
 package bird
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"time"
@@ -51,6 +52,13 @@ func init() {
 				return nil, fmt.Errorf("bird: restore %s: state is %T, not a bird state", im.Name(), st)
 			}
 			return bim.Restore(bst)
+		},
+		DecodeCheckpoint: func(data []byte) (node.Checkpoint, error) {
+			var cp Checkpoint
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
+				return nil, fmt.Errorf("bird: decode checkpoint: %w", err)
+			}
+			return &cp, nil
 		},
 	})
 }

@@ -182,6 +182,35 @@ func DefaultProperties(topo *topology.Topology) []Property {
 	}
 }
 
+// PropertiesByName constructs standard properties from their registry names
+// ("origin-validity", "reachability", "loop-freedom", "convergence",
+// "node-health"), configured exactly as DefaultProperties configures them.
+// Distributed execution uses it to rebuild a campaign's property set on the
+// agent side of the wire: property values carry funcs and derived maps that
+// cannot be serialized, but the standard set is reconstructible from names
+// plus the topology alone.
+func PropertiesByName(topo *topology.Topology, names ...string) ([]Property, error) {
+	own := OwnershipFromTopology(topo)
+	out := make([]Property, 0, len(names))
+	for _, name := range names {
+		switch name {
+		case "origin-validity":
+			out = append(out, OriginValidity{Ownership: own})
+		case "reachability":
+			out = append(out, Reachability{Ownership: own})
+		case "loop-freedom":
+			out = append(out, LoopFreedom{})
+		case "convergence":
+			out = append(out, Convergence{MaxChangesPerPrefix: 8})
+		case "node-health":
+			out = append(out, NodeHealth{})
+		default:
+			return nil, fmt.Errorf("checker: unknown property %q", name)
+		}
+	}
+	return out, nil
+}
+
 // FullStateDisclosure computes the number of bytes that would cross domain
 // boundaries if nodes shared their entire checkpoints with the checking plane
 // instead of verdicts — the baseline the narrow interface is compared against

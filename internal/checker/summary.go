@@ -1,6 +1,12 @@
 package checker
 
-import "github.com/dice-project/dice/internal/bgp"
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
 
 // Summary is the ONLY message type that crosses administrative domain
 // boundaries in a federated campaign. It carries the outcome of a domain's
@@ -51,13 +57,35 @@ func (d ViolationDigest) Key() string {
 // marks the finding as federated: the receiving domain knows that the
 // property failed and where, but not the reporting domain's local evidence.
 func (d ViolationDigest) Violation() Violation {
+	return d.ViolationVia("federation summary")
+}
+
+// ViolationVia reconstructs a checkable violation from the digest with an
+// explicit source in the detail — "federation summary" for bus traffic,
+// "remote agent summary" for detections that crossed the distributed-execution
+// wire. The detail never affects Violation.Key, so deduplication is identical
+// however the finding arrived.
+func (d ViolationDigest) ViolationVia(source string) Violation {
 	return Violation{
 		Property: d.Property,
 		Class:    d.Class,
 		Node:     d.Node,
 		Prefix:   d.Prefix,
 		HasPfx:   d.HasPfx,
-		Detail:   "reported via federation summary",
+		Detail:   "reported via " + source,
+	}
+}
+
+// DigestOf reduces a violation to its privacy-filtered digest — exactly the
+// projection Summarize applies, exposed for code (the distributed agent) that
+// ships individual detections rather than whole reports.
+func DigestOf(v Violation) ViolationDigest {
+	return ViolationDigest{
+		Property: v.Property,
+		Class:    v.Class,
+		Node:     v.Node,
+		Prefix:   v.Prefix,
+		HasPfx:   v.HasPfx,
 	}
 }
 
@@ -87,6 +115,29 @@ func (s Summary) Size() int {
 	return n
 }
 
+// Key identifies the summary by content alone, for cross-process
+// deduplication on the distributed-execution wire. It is deliberately free of
+// anything process-local — no pointers, no map iteration order, no sequence
+// numbers: digests and edges are each rendered to canonical strings and
+// sorted, so two summaries with the same content produce the same key no
+// matter which process built them or in what order their slices were
+// appended. Encoding a summary, shipping it, and decoding it never changes
+// its key (covered by the cross-process parity test).
+func (s Summary) Key() string {
+	digests := make([]string, len(s.Digests))
+	for i, d := range s.Digests {
+		digests[i] = fmt.Sprintf("%s|%d", d.Key(), d.Class)
+	}
+	sort.Strings(digests)
+	edges := make([]string, len(s.Edges))
+	for i, e := range s.Edges {
+		edges[i] = fmt.Sprintf("%s|%s|%s", e.Node, e.Prefix, e.NextHop)
+	}
+	sort.Strings(edges)
+	return fmt.Sprintf("%s|%d|%t|%s|%s",
+		s.Domain, s.Checked, s.OK, strings.Join(digests, ";"), strings.Join(edges, ";"))
+}
+
 // Summarize reduces a domain-local check report (plus the domain's
 // forwarding projection, when cross-domain properties are checked) to the
 // summary that may leave the domain.
@@ -96,13 +147,7 @@ func Summarize(domain string, rep *Report, edges []ForwardingEdge) Summary {
 		s.Checked += len(res.Verdicts)
 		for _, v := range res.Violations {
 			s.OK = false
-			s.Digests = append(s.Digests, ViolationDigest{
-				Property: v.Property,
-				Class:    v.Class,
-				Node:     v.Node,
-				Prefix:   v.Prefix,
-				HasPfx:   v.HasPfx,
-			})
+			s.Digests = append(s.Digests, DigestOf(v))
 		}
 	}
 	return s

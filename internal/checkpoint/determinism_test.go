@@ -1,0 +1,122 @@
+package checkpoint_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// multiPeerSnapshot converges a line cluster whose middle routers hold
+// multi-entry AdjIn/AdjOut maps — the shape that exposes any map-iteration
+// nondeterminism in the checkpoint encoding.
+func multiPeerSnapshot(t *testing.T) *checkpoint.Snapshot {
+	t.Helper()
+	c := cluster.MustBuild(topology.Line(4), cluster.Options{Seed: 1})
+	c.Converge()
+	return c.Snapshot()
+}
+
+// TestEncodeNodeDeterministic: identical checkpoints must always encode to
+// identical bytes. The snapshot-delta wire format patches node encodings
+// byte-wise against a baseline both ends compute independently, so a single
+// unstable byte would corrupt every shipped shard.
+func TestEncodeNodeDeterministic(t *testing.T) {
+	snap := multiPeerSnapshot(t)
+	for name, cp := range snap.Nodes {
+		first, err := checkpoint.EncodeNode(cp)
+		if err != nil {
+			t.Fatalf("EncodeNode(%s): %v", name, err)
+		}
+		for i := 0; i < 32; i++ {
+			again, err := checkpoint.EncodeNode(cp)
+			if err != nil {
+				t.Fatalf("EncodeNode(%s) #%d: %v", name, i, err)
+			}
+			if !bytes.Equal(first, again) {
+				t.Fatalf("node %s encoding unstable: run %d differs from first", name, i)
+			}
+		}
+	}
+}
+
+// TestDiffSnapshotSelfIsEmpty: a snapshot diffed against a store built from
+// that same snapshot must produce zero patches — the control plane relies on
+// this to ship empty deltas when the campaign cut is the baseline.
+func TestDiffSnapshotSelfIsEmpty(t *testing.T) {
+	snap := multiPeerSnapshot(t)
+	store, err := checkpoint.NewStore(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := store.DiffSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("self-diff produced %d patches, want none", len(d.Patches))
+	}
+}
+
+// TestDeltaSurvivesEncodedBaseline simulates the process boundary: the agent
+// side holds a store rebuilt from the *encoded* baseline (decode ∘ encode),
+// not the original objects, and a delta computed control-side must still
+// apply there. This is exactly the distributed shard path.
+func TestDeltaSurvivesEncodedBaseline(t *testing.T) {
+	base := multiPeerSnapshot(t)
+	controlStore, err := checkpoint.NewStore(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The campaign cut: the same node set with drifted state — a hijack
+	// changes RIBs (and config text) on several nodes.
+	topo := topology.Line(4)
+	c := cluster.MustBuild(topo, cluster.Options{
+		Seed:           1,
+		ConfigOverride: faults.ApplyConfigFaults(faults.MisOrigination{Router: "R4", Prefix: topo.Nodes[0].Prefixes[0]}),
+	})
+	c.Converge()
+	target := c.Snapshot()
+	delta, err := controlStore.DiffSnapshot(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Empty() {
+		t.Fatal("distinct snapshots produced an empty delta; the test is vacuous")
+	}
+
+	// Agent side: the baseline crossed the wire as bytes.
+	encoded, err := checkpoint.Encode(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := checkpoint.Decode(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agentStore, err := checkpoint.NewStore(decoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := agentStore.ApplyDelta(delta)
+	if err != nil {
+		t.Fatalf("delta did not survive the encoded baseline: %v", err)
+	}
+	for name, cp := range target.Nodes {
+		want, err := checkpoint.EncodeNode(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := checkpoint.EncodeNode(rebuilt.Nodes[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("node %s reconstructed differently across the boundary", name)
+		}
+	}
+}

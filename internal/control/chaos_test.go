@@ -1,0 +1,146 @@
+package control_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/agent"
+	"github.com/dice-project/dice/internal/control"
+	"github.com/dice-project/dice/internal/dice"
+)
+
+// TestMain doubles as the chaos test's agent subprocess: when re-executed
+// with DICE_AGENT_MODE=1, the test binary runs a single dice-agent against
+// the control URL in the environment instead of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("DICE_AGENT_MODE") == "1" {
+		runAgentSubprocess()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runAgentSubprocess() {
+	delay, _ := time.ParseDuration(os.Getenv("DICE_SHARD_DELAY"))
+	ag := agent.New(agent.Config{
+		Name:         os.Getenv("DICE_AGENT_NAME"),
+		ControlURL:   os.Getenv("DICE_CONTROL_URL"),
+		Workers:      2,
+		PollInterval: 5 * time.Millisecond,
+		ShardDelay:   delay,
+	})
+	if err := ag.Run(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// TestChaosAgentSIGKILLMidCampaign: 3 agent subprocesses over loopback TCP,
+// one SIGKILLed while it holds a lease (its ShardDelay pins it inside the
+// execution window). The control plane must reassign the orphaned shard after
+// lease expiry and the surviving agents must finish with detections identical
+// to the in-process run — a crashed agent loses time, never results.
+func TestChaosAgentSIGKILLMidCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test skipped in -short mode")
+	}
+	local := runInProcess(t, false)
+
+	topo, live, copts := hijackedFixture(t, 4)
+	ctrl := control.NewController(control.Config{
+		Campaign:      "chaos",
+		MinAgents:     3,
+		UnitsPerShard: 1,
+		LeaseTTL:      500 * time.Millisecond,
+	})
+	srv := httptest.NewServer(control.NewHandler(ctrl))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	spawn := func(name, delay string) *exec.Cmd {
+		cmd := exec.CommandContext(ctx, os.Args[0])
+		cmd.Env = append(os.Environ(),
+			"DICE_AGENT_MODE=1",
+			"DICE_AGENT_NAME="+name,
+			"DICE_CONTROL_URL="+srv.URL,
+			"DICE_SHARD_DELAY="+delay,
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start agent %s: %v", name, err)
+		}
+		return cmd
+	}
+	// The victim dawdles before executing each shard so the kill reliably
+	// lands while it holds an unfinished lease.
+	victim := spawn("victim", "30s")
+	survivors := []*exec.Cmd{spawn("s1", "10ms"), spawn("s2", "10ms")}
+	defer func() {
+		victim.Process.Kill()
+		for _, s := range survivors {
+			s.Process.Kill()
+		}
+	}()
+
+	campDone := make(chan *dice.CampaignResult, 1)
+	go func() {
+		opts := append(baseOptions(topo, copts, false), dice.WithRemoteExecution(ctrl))
+		res, err := dice.NewCampaign(live, topo, opts...).Run(context.Background())
+		if err != nil {
+			t.Errorf("distributed Run: %v", err)
+		}
+		campDone <- res
+	}()
+
+	// Kill the victim the moment the lease ledger shows it holding a shard:
+	// it is then sleeping out its ShardDelay, mid-lease by construction.
+	victimID := ""
+	for victimID == "" {
+		select {
+		case <-ctx.Done():
+			t.Fatal("victim never leased a shard")
+		case <-time.After(5 * time.Millisecond):
+		}
+		for id, name := range ctrl.AgentNames() {
+			if name == "victim" && ctrl.AgentShardCounts()[id] > 0 {
+				victimID = id
+			}
+		}
+	}
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL victim: %v", err)
+	}
+	victim.Wait()
+
+	res := <-campDone
+	if res == nil {
+		t.Fatal("no campaign result")
+	}
+	for i, s := range survivors {
+		if err := s.Wait(); err != nil {
+			t.Errorf("survivor %d exited with error: %v", i, err)
+		}
+	}
+
+	if got, want := detectionFingerprint(res.Detections), detectionFingerprint(local.Detections); got != want {
+		t.Errorf("detections after SIGKILL differ:\n  distributed %s\n  in-process  %s", got, want)
+	}
+	if res.InputsExplored != local.InputsExplored {
+		t.Errorf("inputs explored differ: distributed=%d in-process=%d", res.InputsExplored, local.InputsExplored)
+	}
+	stats := ctrl.RemoteStats()
+	if stats.Reassigned == 0 {
+		t.Error("the killed agent's lease was never reassigned")
+	}
+	if stats.Agents != 3 {
+		t.Errorf("agents registered = %d, want 3", stats.Agents)
+	}
+}

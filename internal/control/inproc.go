@@ -1,0 +1,60 @@
+package control
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// InProcessClient returns an *http.Client whose transport dispatches
+// requests straight into the handler, no socket involved. The distributed
+// runtime's in-process transport mode runs control and agents in one process
+// through the exact same frames and endpoints as loopback TCP — only the
+// byte carrier differs — which is what lets tests prove the wire protocol
+// itself preserves campaign results.
+func InProcessClient(h http.Handler) *http.Client {
+	return &http.Client{Transport: inprocTransport{h: h}}
+}
+
+type inprocTransport struct {
+	h http.Handler
+}
+
+func (t inprocTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{code: http.StatusOK, header: make(http.Header)}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.code, http.StatusText(rec.code)),
+		StatusCode:    rec.code,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(&rec.body),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is a minimal in-memory http.ResponseWriter.
+type responseRecorder struct {
+	code        int
+	header      http.Header
+	body        bytes.Buffer
+	wroteHeader bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.code = code
+		r.wroteHeader = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.wroteHeader = true
+	return r.body.Write(p)
+}

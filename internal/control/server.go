@@ -1,0 +1,102 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// NewHandler exposes the controller over HTTP. Every endpoint exchanges one
+// wire frame per request/response body; agents always dial these endpoints
+// outbound, so the control plane is the only listening socket in a
+// distributed deployment.
+func NewHandler(c *Controller) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		hello, err := decodeAs[*Hello](r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, c.Register(hello))
+	})
+	mux.HandleFunc("POST /v1/baseline", func(w http.ResponseWriter, r *http.Request) {
+		req, err := decodeAs[*BaselineRequest](r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		b, err := c.BaselinePayload(req)
+		if errors.Is(err, ErrNoCampaign) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, b)
+	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		req, err := decodeAs[*LeaseRequest](r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		msg, err := c.LeaseNext(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, msg)
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		hb, err := decodeAs[*Heartbeat](r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ack, err := c.HeartbeatRenew(hb)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, ack)
+	})
+	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, r *http.Request) {
+		sr, err := decodeAs[*ShardResult](r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		ack, err := c.SubmitResult(sr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		reply(w, ack)
+	})
+	return mux
+}
+
+// decodeAs decodes the request body's single frame as a specific payload.
+func decodeAs[T any](r *http.Request) (T, error) {
+	var zero T
+	msg, err := DecodeFrame(r.Body)
+	if err != nil {
+		return zero, err
+	}
+	typed, ok := msg.(T)
+	if !ok {
+		return zero, fmt.Errorf("control: expected %T, got %T", zero, msg)
+	}
+	return typed, nil
+}
+
+func reply(w http.ResponseWriter, msg any) {
+	w.Header().Set("Content-Type", "application/x-dice-frame")
+	if _, err := EncodeFrame(w, msg); err != nil {
+		// Headers are already out; nothing recoverable remains.
+		return
+	}
+}

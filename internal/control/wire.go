@@ -1,0 +1,296 @@
+// Package control is the control plane of distributed DiCE campaign
+// execution: it holds the campaign's topology and baseline snapshot,
+// partitions the plan into shards, leases shards to agents that dial in
+// outbound over HTTP, reassigns the shards of agents that stop heartbeating,
+// and aggregates streamed shard results into the exact merge the in-process
+// campaign performs — so a campaign sharded across N agents provably equals
+// the same campaign run in one process.
+//
+// The federation privacy boundary becomes the wire protocol here: shard
+// results carry checker.Summary envelopes and per-unit result records, never
+// node state, and the bytes are accounted with the same Summary.Size()
+// convention the in-process bus charges.
+package control
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// Wire framing: a fixed header of magic "DW", a version byte, a message-type
+// byte and a big-endian uint32 payload length, followed by the gob-encoded
+// payload. The version byte is checked before anything is decoded, so a
+// future incompatible revision fails loudly instead of misparsing.
+const (
+	wireMagic0 = 'D'
+	wireMagic1 = 'W'
+	// WireVersion is the protocol revision; bump on incompatible change.
+	WireVersion = 1
+	// maxFramePayload caps a frame's payload so a corrupt or hostile length
+	// field cannot make the decoder allocate unboundedly.
+	maxFramePayload = 64 << 20
+	frameHeaderLen  = 8
+)
+
+// MsgType tags a frame's payload type.
+type MsgType byte
+
+const (
+	MsgHello MsgType = iota + 1
+	MsgWelcome
+	MsgBaselineRequest
+	MsgBaseline
+	MsgLeaseRequest
+	MsgLease
+	MsgNoWork
+	MsgHeartbeat
+	MsgHeartbeatAck
+	MsgShardResult
+	MsgResultAck
+	msgTypeEnd
+)
+
+// Hello registers an agent: its self-chosen name, the router backends its
+// binary supports and the worker parallelism it offers.
+type Hello struct {
+	Agent    string
+	Backends []string
+	Workers  int
+}
+
+// Welcome acknowledges registration with the control-assigned agent ID and
+// the cadence contract: heartbeat at least every HeartbeatEvery or leased
+// shards are reassigned after LeaseTTL.
+type Welcome struct {
+	AgentID        string
+	Campaign       string
+	HeartbeatEvery time.Duration
+	LeaseTTL       time.Duration
+}
+
+// BaselineRequest asks for the campaign baseline; agents send it once after
+// registering.
+type BaselineRequest struct {
+	AgentID string
+}
+
+// Baseline is the one-time shipment each agent fetches before leasing: the
+// topology, the gob-encoded baseline snapshot (checkpoint.Encode form) and
+// the campaign's wire-shippable spec. Subsequent shard leases ship only
+// deltas against this snapshot.
+type Baseline struct {
+	Campaign string
+	Topo     topology.Topology
+	Snapshot []byte
+	Spec     dice.RemoteSpec
+}
+
+// LeaseRequest asks for the next available shard.
+type LeaseRequest struct {
+	AgentID string
+}
+
+// Lease grants a shard: the units with their plan indices, the lease attempt
+// (stale results from a superseded attempt are rejected), and the snapshot
+// delta against the agent's baseline. An empty delta means the shard explores
+// the baseline cut itself.
+type Lease struct {
+	Shard       int
+	Attempt     int
+	UnitIndexes []int
+	Units       []dice.Unit
+	Delta       checkpoint.SnapshotDelta
+}
+
+// NoWork answers a lease request when nothing is assignable. Done reports
+// that the campaign has finished and the agent may exit its poll loop.
+type NoWork struct {
+	Done bool
+}
+
+// Heartbeat renews the sender's leases.
+type Heartbeat struct {
+	AgentID string
+}
+
+// HeartbeatAck answers a heartbeat; Cancel tells the agent to abandon its
+// current shards (campaign cancelled).
+type HeartbeatAck struct {
+	Cancel bool
+}
+
+// UnitResult is one unit's outcome inside a shard result, addressed by plan
+// index. Err carries a failed unit's error text (Result nil in that case).
+type UnitResult struct {
+	Index  int
+	Result *dice.Result
+	Err    string
+}
+
+// ShardResult reports a completed shard: per-unit outcomes plus the
+// federation envelopes the agent's local bus published while exploring
+// (checker.Summary payloads only — this is everything that crosses the wire
+// back and the basis of the disclosure accounting).
+type ShardResult struct {
+	AgentID   string
+	Shard     int
+	Attempt   int
+	Units     []UnitResult
+	Envelopes []federation.Envelope
+}
+
+// ResultAck acknowledges a shard result. Accepted is false when the result
+// belonged to a superseded lease attempt and was discarded.
+type ResultAck struct {
+	Accepted bool
+}
+
+// msgTypeOf maps a payload value to its frame tag.
+func msgTypeOf(msg any) (MsgType, error) {
+	switch msg.(type) {
+	case *Hello:
+		return MsgHello, nil
+	case *Welcome:
+		return MsgWelcome, nil
+	case *BaselineRequest:
+		return MsgBaselineRequest, nil
+	case *Baseline:
+		return MsgBaseline, nil
+	case *LeaseRequest:
+		return MsgLeaseRequest, nil
+	case *Lease:
+		return MsgLease, nil
+	case *NoWork:
+		return MsgNoWork, nil
+	case *Heartbeat:
+		return MsgHeartbeat, nil
+	case *HeartbeatAck:
+		return MsgHeartbeatAck, nil
+	case *ShardResult:
+		return MsgShardResult, nil
+	case *ResultAck:
+		return MsgResultAck, nil
+	default:
+		return 0, fmt.Errorf("control: cannot frame %T", msg)
+	}
+}
+
+// newMessage returns a fresh payload value for a frame tag.
+func newMessage(t MsgType) (any, error) {
+	switch t {
+	case MsgHello:
+		return &Hello{}, nil
+	case MsgWelcome:
+		return &Welcome{}, nil
+	case MsgBaselineRequest:
+		return &BaselineRequest{}, nil
+	case MsgBaseline:
+		return &Baseline{}, nil
+	case MsgLeaseRequest:
+		return &LeaseRequest{}, nil
+	case MsgLease:
+		return &Lease{}, nil
+	case MsgNoWork:
+		return &NoWork{}, nil
+	case MsgHeartbeat:
+		return &Heartbeat{}, nil
+	case MsgHeartbeatAck:
+		return &HeartbeatAck{}, nil
+	case MsgShardResult:
+		return &ShardResult{}, nil
+	case MsgResultAck:
+		return &ResultAck{}, nil
+	default:
+		return nil, fmt.Errorf("control: unknown message type %d", t)
+	}
+}
+
+// EncodeFrame writes msg as one versioned frame and returns the bytes
+// written (header plus payload) — the number the wire accounting records.
+func EncodeFrame(w io.Writer, msg any) (int, error) {
+	t, err := msgTypeOf(msg)
+	if err != nil {
+		return 0, err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(msg); err != nil {
+		return 0, fmt.Errorf("control: encode %T: %w", msg, err)
+	}
+	if payload.Len() > maxFramePayload {
+		return 0, fmt.Errorf("control: %T payload %d exceeds frame cap %d", msg, payload.Len(), maxFramePayload)
+	}
+	hdr := [frameHeaderLen]byte{wireMagic0, wireMagic1, WireVersion, byte(t)}
+	binary.BigEndian.PutUint32(hdr[4:], uint32(payload.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(payload.Bytes())
+	return frameHeaderLen + n, err
+}
+
+// DecodeFrame reads one frame and returns its decoded payload. Malformed
+// input — bad magic, unsupported version, unknown type, oversized or
+// truncated payload, corrupt gob — returns an error; it never panics, since
+// frames arrive from the network.
+func DecodeFrame(r io.Reader) (msg any, err error) {
+	defer func() {
+		// gob decodes attacker-controlled bytes; a decoder panic must not
+		// take the process down.
+		if rec := recover(); rec != nil {
+			msg, err = nil, fmt.Errorf("control: frame decode panicked: %v", rec)
+		}
+	}()
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("control: frame header: %w", err)
+	}
+	if hdr[0] != wireMagic0 || hdr[1] != wireMagic1 {
+		return nil, errors.New("control: bad frame magic")
+	}
+	if hdr[2] != WireVersion {
+		return nil, fmt.Errorf("control: unsupported wire version %d (have %d)", hdr[2], WireVersion)
+	}
+	t := MsgType(hdr[3])
+	if t == 0 || t >= msgTypeEnd {
+		return nil, fmt.Errorf("control: unknown message type %d", t)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("control: frame payload %d exceeds cap %d", n, maxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("control: frame payload: %w", err)
+	}
+	out, err := newMessage(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(out); err != nil {
+		return nil, fmt.Errorf("control: decode %T: %w", out, err)
+	}
+	return out, nil
+}
+
+// FrameSize returns the encoded frame size of msg without writing it.
+func FrameSize(msg any) (int, error) {
+	var cw countWriter
+	return EncodeFrame(&cw, msg)
+}
+
+type countWriter int
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	*c += countWriter(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,164 @@
+package control
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// sampleMessages returns one populated instance of every wire message.
+func sampleMessages() []any {
+	return []any{
+		&Hello{Agent: "a1", Backends: []string{"bird", "frr"}, Workers: 4},
+		&Welcome{AgentID: "agent-1", Campaign: "demo", HeartbeatEvery: time.Second, LeaseTTL: 3 * time.Second},
+		&BaselineRequest{AgentID: "agent-1"},
+		&Baseline{
+			Campaign: "demo",
+			Topo:     *topology.Line(3),
+			Snapshot: []byte{1, 2, 3, 4},
+			Spec: dice.RemoteSpec{
+				Seed: 7, FuzzSeeds: 4, UseConcolic: true, ShadowMaxEvents: 1000,
+				HasProperties: true, Properties: []string{"origin-validity"},
+				Domains:     []federation.Domain{{Name: "as1", Nodes: []string{"R1"}}},
+				ClusterSeed: 1, ClusterMaxEvents: 2000,
+			},
+		},
+		&LeaseRequest{AgentID: "agent-1"},
+		&Lease{
+			Shard: 2, Attempt: 1,
+			UnitIndexes: []int{4, 5},
+			Units: []dice.Unit{
+				{Explorer: "R1", FromPeer: "R2", MaxInputs: 8, FuzzSeeds: 4, Seed: 11, Domain: "as1"},
+				{Explorer: "R2", FromPeer: "R1", MaxInputs: 8, FuzzSeeds: 4, Seed: 12},
+			},
+			Delta: checkpoint.SnapshotDelta{
+				At:         5 * time.Second,
+				Consistent: true,
+				Patches: []checkpoint.NodePatch{
+					{Node: "R1", Impl: "bird", PrefixLen: 3, SuffixLen: 2, Patch: []byte{9, 9}, FullLen: 7},
+				},
+			},
+		},
+		&NoWork{Done: true},
+		&Heartbeat{AgentID: "agent-1"},
+		&HeartbeatAck{Cancel: true},
+		&ShardResult{
+			AgentID: "agent-1", Shard: 2, Attempt: 1,
+			Units: []UnitResult{
+				{Index: 4, Result: &dice.Result{Explorer: "R1", FromPeer: "R2", InputsExplored: 8}},
+				{Index: 5, Err: "boom"},
+			},
+			Envelopes: []federation.Envelope{
+				{Seq: 0, From: "as1", To: "as2", Bytes: 42, Summary: checker.Summary{
+					Domain: "as1", Checked: 3,
+					Digests: []checker.ViolationDigest{{Property: "origin-validity", Class: checker.ClassOperatorMistake, Node: "R1"}},
+				}},
+			},
+		},
+		&ResultAck{Accepted: true},
+	}
+}
+
+// TestWireRoundTrip: every message type must encode to one frame and decode
+// back equal, and FrameSize must agree with the bytes written.
+func TestWireRoundTrip(t *testing.T) {
+	for _, msg := range sampleMessages() {
+		var buf bytes.Buffer
+		n, err := EncodeFrame(&buf, msg)
+		if err != nil {
+			t.Fatalf("EncodeFrame(%T): %v", msg, err)
+		}
+		if n != buf.Len() {
+			t.Errorf("%T: EncodeFrame reported %d bytes, wrote %d", msg, n, buf.Len())
+		}
+		if size, err := FrameSize(msg); err != nil || size != n {
+			t.Errorf("%T: FrameSize = %d (%v), want %d", msg, size, err, n)
+		}
+		got, err := DecodeFrame(&buf)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%T): %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%T: round trip mismatch:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}
+
+// TestWireRejectsMalformed: corrupted headers and truncated payloads error
+// cleanly.
+func TestWireRejectsMalformed(t *testing.T) {
+	var good bytes.Buffer
+	if _, err := EncodeFrame(&good, &Heartbeat{AgentID: "agent-1"}); err != nil {
+		t.Fatal(err)
+	}
+	frame := good.Bytes()
+
+	corrupt := func(mutate func([]byte)) []byte {
+		b := append([]byte(nil), frame...)
+		mutate(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"bad magic":        corrupt(func(b []byte) { b[0] = 'X' }),
+		"bad version":      corrupt(func(b []byte) { b[2] = 99 }),
+		"zero type":        corrupt(func(b []byte) { b[3] = 0 }),
+		"unknown type":     corrupt(func(b []byte) { b[3] = byte(msgTypeEnd) }),
+		"huge length":      corrupt(func(b []byte) { b[4], b[5], b[6], b[7] = 0xff, 0xff, 0xff, 0xff }),
+		"truncated header": frame[:4],
+		"truncated body":   frame[:len(frame)-1],
+		"empty":            nil,
+		"wrong payload":    corrupt(func(b []byte) { b[3] = byte(MsgBaseline) }),
+	}
+	for name, data := range cases {
+		if _, err := DecodeFrame(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: decoded successfully, want error", name)
+		}
+	}
+}
+
+// TestWireVersionGate: a future version byte must be rejected before any
+// payload is touched.
+func TestWireVersionGate(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := EncodeFrame(&buf, &NoWork{}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[2] = WireVersion + 1
+	_, err := DecodeFrame(bytes.NewReader(b))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Fatalf("future version decoded: %v", err)
+	}
+}
+
+// TestWireStreamsMultipleFrames: frames are self-delimiting on one stream.
+func TestWireStreamsMultipleFrames(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []any{&Heartbeat{AgentID: "a"}, &HeartbeatAck{}, &NoWork{Done: true}}
+	for _, m := range msgs {
+		if _, err := EncodeFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := DecodeFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("stream decode: got %+v want %+v", got, want)
+		}
+	}
+	if _, err := DecodeFrame(&buf); err == nil || !bytes.Contains([]byte(err.Error()), []byte("header")) {
+		t.Errorf("exhausted stream should report a header error, got %v", err)
+	}
+	_ = io.EOF
+}

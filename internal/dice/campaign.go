@@ -51,6 +51,8 @@ type campaignConfig struct {
 	store           *checkpoint.Store
 	clonePool       *cluster.ClonePool
 	prelude         func(shadow *cluster.Cluster)
+	remote          RemoteExecutor
+	fedTransport    federation.Transport
 	// budgetTimer provides the channel that fires when Budget.MaxDuration
 	// elapses; nil selects time.After. Tests inject a hand-driven channel so
 	// budget-expiry behavior is exercised without racing the wall clock.
@@ -384,6 +386,12 @@ type CampaignResult struct {
 	// every further input is a reset.
 	PooledClones bool
 	CloneStats   cluster.PoolStats
+
+	// Remote carries the distribution statistics of a campaign run under
+	// WithRemoteExecution (nil otherwise). Detections, Disclosed and the
+	// other aggregates above are computed by the same local machinery either
+	// way — only where the clones ran differs.
+	Remote *RemoteStats
 }
 
 // DetectionsByClass groups the merged detections by fault class.
@@ -550,7 +558,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	snapStart := time.Now()
 	if c.cfg.store != nil {
 		c.snap = c.cfg.store.Snapshot()
-		if c.cfg.pooledClones {
+		if c.cfg.pooledClones && c.cfg.remote == nil {
 			if c.cfg.clonePool != nil {
 				c.clones = c.cfg.clonePool
 				c.cloneBase = c.clones.Stats()
@@ -575,7 +583,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			return nil, ErrNoDeployment
 		}
 		c.snap = c.live.Snapshot()
-		if c.cfg.pooledClones {
+		if c.cfg.pooledClones && c.cfg.remote == nil {
 			store, err := checkpoint.NewStore(c.snap)
 			if err != nil {
 				return nil, err
@@ -605,22 +613,34 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 
 	results := make([]*Result, len(units))
 	unitErrs := make([]error, len(units))
-	var wg sync.WaitGroup
-	for i := range units {
-		wg.Add(1)
-		go func(i int, u Unit) {
-			defer wg.Done()
-			if ctx.Err() != nil {
-				unitErrs[i] = ctx.Err()
-				return
-			}
-			c.em.emit(Event{Kind: EventUnitStart, Unit: u, UnitIndex: i})
-			r, err := c.runUnit(ctx, i, u)
-			results[i], unitErrs[i] = r, err
-			c.em.emit(Event{Kind: EventUnitEnd, Unit: u, UnitIndex: i, Result: r, Err: err})
-		}(i, units[i])
+	var remoteErr error
+	if c.cfg.remote != nil {
+		// Validate and project the configuration onto the wire-shippable
+		// spec, then hand the whole plan to the executor. Everything after —
+		// merge, dedupe, federation aggregation — is the in-process path.
+		spec, err := c.remoteSpec()
+		if err != nil {
+			return nil, err
+		}
+		remoteErr = c.runRemote(ctx, spec, units, results, unitErrs)
+	} else {
+		var wg sync.WaitGroup
+		for i := range units {
+			wg.Add(1)
+			go func(i int, u Unit) {
+				defer wg.Done()
+				if ctx.Err() != nil {
+					unitErrs[i] = ctx.Err()
+					return
+				}
+				c.em.emit(Event{Kind: EventUnitStart, Unit: u, UnitIndex: i})
+				r, err := c.runUnit(ctx, i, u)
+				results[i], unitErrs[i] = r, err
+				c.em.emit(Event{Kind: EventUnitEnd, Unit: u, UnitIndex: i, Result: r, Err: err})
+			}(i, units[i])
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 
 	res := &CampaignResult{
 		Strategy:         c.cfg.strategy.Name(),
@@ -634,7 +654,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		UnitErrors:       unitErrs,
 		Cancelled:        parent.Err() != nil,
 		BudgetExhausted:  parent.Err() == nil && ctx.Err() != nil,
-		PooledClones:     c.cfg.pooledClones,
+		PooledClones:     c.cfg.pooledClones && c.cfg.remote == nil,
 	}
 	c.coldMu.Lock()
 	res.CloneStats = c.coldStats
@@ -664,12 +684,19 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	if c.fed != nil {
 		c.aggregateFederation(res, units, detsByUnit)
 	}
+	if c.cfg.remote != nil {
+		stats := c.cfg.remote.RemoteStats()
+		res.Remote = &stats
+	}
 	res.Duration = time.Since(start)
 	c.em.emit(Event{Kind: EventCampaignEnd})
 
 	var hard []error
+	if remoteErr != nil {
+		hard = append(hard, remoteErr)
+	}
 	for _, e := range unitErrs {
-		if e != nil && !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+		if e != nil && !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) && !errors.Is(e, errRemoteAborted) {
 			hard = append(hard, e)
 		}
 	}

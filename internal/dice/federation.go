@@ -80,6 +80,9 @@ func newFedState(c *Campaign) (*fedState, error) {
 	if c.testRetainBusLog {
 		fs.bus.SetRetain(true)
 	}
+	if c.cfg.fedTransport != nil {
+		fs.bus.SetTransport(c.cfg.fedTransport)
+	}
 	for _, d := range p.Domains {
 		fs.coords[d.Name] = federation.NewCoordinator(c.topo, d, fs.bus)
 	}

@@ -1,0 +1,276 @@
+package dice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"time"
+
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// RemoteSpec is the wire-shippable projection of a campaign's configuration:
+// everything an agent needs to execute a shard of units exactly as the
+// in-process campaign would, and nothing that cannot cross a process
+// boundary. Funcs (event callbacks, preludes, cluster trace hooks) never
+// ship; properties ship as registry names the agent rebuilds against the
+// topology; code faults are rejected outright — a remote campaign that needs
+// them must install them agent-side.
+type RemoteSpec struct {
+	// Seed, FuzzSeeds, UseConcolic, ShadowMaxEvents and Workers mirror the
+	// campaign options of the same names. Workers is a hint: agents may
+	// override it with their local capacity.
+	Seed            int64
+	FuzzSeeds       int
+	UseConcolic     bool
+	ShadowMaxEvents int
+	Workers         int
+	// HasProperties distinguishes "default property set" (false) from an
+	// explicit set — possibly empty, which disables checking — rebuilt from
+	// Properties registry names.
+	HasProperties bool
+	Properties    []string
+	// Domains, when non-empty, run each agent-side shard federated under the
+	// same partition the control-side campaign validated.
+	Domains []federation.Domain
+	// The encodable subset of cluster.Options shadow clones restore with.
+	ClusterSeed       int64
+	ClusterMaxEvents  int
+	ClusterGaoRexford bool
+	ClusterKeepalive  time.Duration
+}
+
+// CampaignOptions reconstructs the agent-side campaign options for one shard:
+// the receiving half of remoteSpec. The caller supplies the decoded snapshot
+// store (and optionally a shared clone pool over it) plus the topology the
+// spec's property names resolve against.
+func (s RemoteSpec) CampaignOptions(topo *topology.Topology, store *checkpoint.Store, pool *cluster.ClonePool) ([]CampaignOption, error) {
+	opts := []CampaignOption{
+		WithSnapshotStore(store),
+		WithSeed(s.Seed),
+		WithConcolic(s.UseConcolic),
+		WithShadowMaxEvents(s.ShadowMaxEvents),
+		WithClusterOptions(cluster.Options{
+			Seed:              s.ClusterSeed,
+			MaxEvents:         s.ClusterMaxEvents,
+			GaoRexford:        s.ClusterGaoRexford,
+			KeepaliveInterval: s.ClusterKeepalive,
+		}),
+	}
+	if s.FuzzSeeds > 0 {
+		opts = append(opts, WithFuzzSeeds(s.FuzzSeeds))
+	}
+	if s.Workers > 0 {
+		opts = append(opts, WithWorkers(s.Workers))
+	}
+	if pool != nil {
+		opts = append(opts, WithClonePool(pool))
+	}
+	if s.HasProperties {
+		props, err := checker.PropertiesByName(topo, s.Properties...)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithProperties(props...))
+	}
+	if len(s.Domains) > 0 {
+		opts = append(opts, WithFederation(&federation.Partition{Domains: s.Domains}))
+	}
+	return opts, nil
+}
+
+// RemoteStats summarizes a remote executor's run for the campaign result:
+// fleet shape, shard lifecycle, and the wire-byte breakdown (what shipped to
+// agents — baseline plus per-shard deltas — and what came back, which is
+// checker.Summary content only).
+type RemoteStats struct {
+	// Agents that registered; Shards the campaign was partitioned into;
+	// Reassigned counts shard leases re-issued after an agent was lost.
+	Agents     int
+	Shards     int
+	Reassigned int
+	// BaselineBytes is the encoded baseline snapshot each agent fetched once
+	// (total across agents). ShardBytes is the shard leases' wire size
+	// (units plus snapshot deltas against the baseline). ResultBytes is the
+	// shard results' wire size — summaries and digests, never node state.
+	BaselineBytes int
+	ShardBytes    int
+	ResultBytes   int
+}
+
+// RemoteSink receives a remote executor's streamed outcomes. UnitDone must be
+// called exactly once per completed plan index (a nil Result with a non-nil
+// error for units that failed); Envelope (non-nil only in federated
+// campaigns) replays each federation envelope an agent's bus published, in
+// arrival order. Both are safe for concurrent use.
+type RemoteSink struct {
+	UnitDone func(index int, r *Result, err error)
+	Envelope func(env federation.Envelope)
+}
+
+// RemoteExecutor executes a campaign's planned units somewhere else — the
+// control plane of the distributed runtime implements it by sharding units
+// across registered agents. ExecuteUnits must honor ctx and must not return
+// until every UnitDone/Envelope callback it will ever make has returned.
+type RemoteExecutor interface {
+	ExecuteUnits(ctx context.Context, topo *topology.Topology, snap *checkpoint.Snapshot, spec RemoteSpec, units []Unit, sink RemoteSink) error
+	// RemoteStats reports the execution's distribution statistics; called
+	// once, after ExecuteUnits returns.
+	RemoteStats() RemoteStats
+}
+
+// WithRemoteExecution delegates the campaign's unit execution to a remote
+// executor instead of the local worker pool. Planning, snapshotting,
+// deduplication and aggregation stay local and unchanged — which is what
+// makes the distributed result provably equal to the in-process run — while
+// clone fan-out happens wherever the executor's agents live. The local clone
+// pool is not built (agents pool their own clones), so CloneStats is zero;
+// CampaignResult.Remote carries the executor's statistics instead.
+func WithRemoteExecution(x RemoteExecutor) CampaignOption {
+	return func(c *campaignConfig) { c.remote = x }
+}
+
+// WithFederationTransport installs a transport on the campaign's federation
+// bus (meaningful only together with WithFederation). The agent side of the
+// distributed runtime uses it to capture every envelope its local bus
+// publishes for shipment to the control plane.
+func WithFederationTransport(t federation.Transport) CampaignOption {
+	return func(c *campaignConfig) { c.fedTransport = t }
+}
+
+// Shard is one schedulable slice of a campaign plan: a contiguous run of
+// units, carried with their plan indices so results map back to the plan
+// positions the in-process merge order is defined over.
+type Shard struct {
+	ID          int
+	UnitIndexes []int
+	Units       []Unit
+}
+
+// PlanShards slices the plan into shards of at most perShard units each
+// (perShard <= 0 selects 1), preserving plan order. Smaller shards reassign
+// more cheaply when an agent dies; larger ones amortize lease round-trips.
+func PlanShards(units []Unit, perShard int) []Shard {
+	if perShard <= 0 {
+		perShard = 1
+	}
+	var shards []Shard
+	for start := 0; start < len(units); start += perShard {
+		end := min(start+perShard, len(units))
+		sh := Shard{ID: len(shards)}
+		for i := start; i < end; i++ {
+			sh.UnitIndexes = append(sh.UnitIndexes, i)
+			sh.Units = append(sh.Units, units[i])
+		}
+		shards = append(shards, sh)
+	}
+	return shards
+}
+
+// errRemoteAborted marks units that never produced a result because remote
+// execution stopped first; the campaign reports the underlying executor
+// error once instead of once per unfinished unit.
+var errRemoteAborted = errors.New("dice: remote execution aborted")
+
+// remoteSpec projects the campaign configuration onto the wire-shippable
+// spec, rejecting configurations whose semantics cannot survive the trip.
+func (c *Campaign) remoteSpec() (RemoteSpec, error) {
+	if len(c.cfg.codeFaults) > 0 {
+		return RemoteSpec{}, errors.New("dice: remote execution cannot ship code faults (funcs); install them agent-side")
+	}
+	if c.cfg.prelude != nil {
+		return RemoteSpec{}, errors.New("dice: remote execution cannot ship a clone prelude (func)")
+	}
+	spec := RemoteSpec{
+		Seed:              c.cfg.seed,
+		FuzzSeeds:         c.cfg.fuzzSeeds,
+		UseConcolic:       c.cfg.useConcolic,
+		ShadowMaxEvents:   c.cfg.shadowMaxEvents,
+		Workers:           c.cfg.workers,
+		ClusterSeed:       c.cfg.clusterOptions.Seed,
+		ClusterMaxEvents:  c.cfg.clusterOptions.MaxEvents,
+		ClusterGaoRexford: c.cfg.clusterOptions.GaoRexford,
+		ClusterKeepalive:  c.cfg.clusterOptions.KeepaliveInterval,
+	}
+	if c.cfg.properties != nil {
+		names := make([]string, len(c.cfg.properties))
+		for i, p := range c.cfg.properties {
+			names[i] = p.Name()
+		}
+		rebuilt, err := checker.PropertiesByName(c.topo, names...)
+		if err != nil || !reflect.DeepEqual(rebuilt, c.cfg.properties) {
+			return RemoteSpec{}, errors.New("dice: remote execution supports only the standard checker properties (agents rebuild them by name)")
+		}
+		spec.HasProperties = true
+		spec.Properties = names
+	}
+	if c.fed != nil {
+		spec.Domains = append([]federation.Domain(nil), c.fed.partition.Domains...)
+	}
+	return spec, nil
+}
+
+// runRemote replaces the local worker fan-out: the executor runs the units
+// on its agents and streams results back through the sink, which feeds the
+// exact event/dedupe/aggregation machinery the in-process path uses. Any
+// units left unreported when the executor returns get the context's error
+// (cancellation, budget expiry) or the errRemoteAborted marker.
+func (c *Campaign) runRemote(ctx context.Context, spec RemoteSpec, units []Unit, results []*Result, unitErrs []error) error {
+	sink := RemoteSink{
+		UnitDone: func(i int, r *Result, err error) {
+			if i < 0 || i >= len(units) {
+				return
+			}
+			u := units[i]
+			c.em.emit(Event{Kind: EventUnitStart, Unit: u, UnitIndex: i})
+			if r != nil {
+				r.SnapshotDuration = c.snapStats.SnapshotDuration
+				r.SnapshotBytes = c.snapStats.SnapshotBytes
+				r.SnapshotNodes = c.snapStats.SnapshotNodes
+				r.InFlightMessages = c.snapStats.InFlightMessages
+				r.FullStateBytes = c.snapStats.FullStateBytes
+				for j := range r.Detections {
+					c.emitDetection(u, i, &r.Detections[j])
+				}
+			}
+			results[i], unitErrs[i] = r, err
+			c.em.emit(Event{Kind: EventUnitEnd, Unit: u, UnitIndex: i, Result: r, Err: err})
+		},
+	}
+	if c.fed != nil {
+		sink.Envelope = func(env federation.Envelope) {
+			c.fed.bus.Record(env)
+			if len(env.Summary.Digests) > 0 {
+				s := env.Summary
+				c.em.emit(Event{Kind: EventSummary, Domain: env.From, Summary: &s})
+			}
+		}
+	}
+	execErr := c.cfg.remote.ExecuteUnits(ctx, c.topo, c.snap, spec, units, sink)
+	fill := ctx.Err()
+	if fill == nil {
+		fill = errRemoteAborted
+	}
+	missing := 0
+	for i := range unitErrs {
+		if results[i] == nil && unitErrs[i] == nil {
+			unitErrs[i] = fill
+			missing++
+		}
+	}
+	if ctx.Err() != nil {
+		return nil // the normal cancellation/budget paths report this
+	}
+	if execErr != nil {
+		return execErr
+	}
+	if missing > 0 {
+		return fmt.Errorf("dice: remote executor returned without completing %d of %d units", missing, len(units))
+	}
+	return nil
+}

@@ -1,0 +1,298 @@
+package dice
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/federation"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+func TestPlanShards(t *testing.T) {
+	units := []Unit{{Explorer: "R1"}, {Explorer: "R2"}, {Explorer: "R3"}, {Explorer: "R4"}, {Explorer: "R5"}}
+	shards := PlanShards(units, 2)
+	if len(shards) != 3 {
+		t.Fatalf("PlanShards(5, 2) = %d shards, want 3", len(shards))
+	}
+	next := 0
+	for si, sh := range shards {
+		if sh.ID != si {
+			t.Errorf("shard %d has ID %d", si, sh.ID)
+		}
+		if len(sh.UnitIndexes) != len(sh.Units) {
+			t.Fatalf("shard %d: %d indexes vs %d units", si, len(sh.UnitIndexes), len(sh.Units))
+		}
+		for j, idx := range sh.UnitIndexes {
+			if idx != next {
+				t.Errorf("shard %d unit %d: index %d, want plan order %d", si, j, idx, next)
+			}
+			if sh.Units[j].Explorer != units[idx].Explorer {
+				t.Errorf("shard %d unit %d does not match plan index %d", si, j, idx)
+			}
+			next++
+		}
+	}
+	if next != len(units) {
+		t.Errorf("shards cover %d units, want %d", next, len(units))
+	}
+	// Degenerate perShard pins one unit per shard.
+	if got := len(PlanShards(units, 0)); got != len(units) {
+		t.Errorf("PlanShards(5, 0) = %d shards, want 5", got)
+	}
+	if got := len(PlanShards(nil, 3)); got != 0 {
+		t.Errorf("PlanShards(0, 3) = %d shards, want 0", got)
+	}
+}
+
+// envelopeCapture implements federation.Transport by recording every
+// envelope the bus publishes — the test-local twin of the agent's capture.
+type envelopeCapture struct {
+	mu   sync.Mutex
+	envs []federation.Envelope
+}
+
+func (c *envelopeCapture) Deliver(e federation.Envelope) {
+	c.mu.Lock()
+	c.envs = append(c.envs, e)
+	c.mu.Unlock()
+}
+
+// loopbackExecutor is a RemoteExecutor that executes each shard through a
+// nested in-process campaign over its own store decoded from the snapshot —
+// the agent's execution model without the wire. It exists to prove the
+// remote seam itself preserves results; the control/agent packages prove the
+// wire on top of it.
+type loopbackExecutor struct {
+	perShard int
+	failAt   int // plan index whose unit reports an error instead of a result (-1 off)
+	stats    RemoteStats
+}
+
+func (x *loopbackExecutor) RemoteStats() RemoteStats { return x.stats }
+
+func (x *loopbackExecutor) ExecuteUnits(ctx context.Context, topo *topology.Topology, snap *checkpoint.Snapshot, spec RemoteSpec, units []Unit, sink RemoteSink) error {
+	shards := PlanShards(units, x.perShard)
+	x.stats = RemoteStats{Agents: 1, Shards: len(shards)}
+	for _, sh := range shards {
+		store, err := checkpoint.NewStore(snap)
+		if err != nil {
+			return err
+		}
+		opts, err := spec.CampaignOptions(topo, store, nil)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, WithUnits(sh.Units...))
+		var cap *envelopeCapture
+		if len(spec.Domains) > 0 && sink.Envelope != nil {
+			cap = &envelopeCapture{}
+			opts = append(opts, WithFederationTransport(cap))
+		}
+		res, err := NewCampaign(nil, topo, opts...).Run(ctx)
+		if err != nil {
+			return err
+		}
+		for j, idx := range sh.UnitIndexes {
+			if idx == x.failAt {
+				sink.UnitDone(idx, nil, errors.New("injected shard failure"))
+				continue
+			}
+			sink.UnitDone(idx, res.Units[j], res.UnitErrors[j])
+		}
+		if cap != nil {
+			for _, env := range cap.envs {
+				sink.Envelope(env)
+			}
+		}
+	}
+	return nil
+}
+
+// TestRemoteExecutionMatchesInProcess: the same seeded campaign run in
+// process and run through a remote executor (nested campaigns over shipped
+// shards) must find identical detections with identical exploration
+// accounting — the provable-equality contract the distributed runtime
+// inherits.
+func TestRemoteExecutionMatchesInProcess(t *testing.T) {
+	run := func(opts ...CampaignOption) *CampaignResult {
+		topo, live, copts := hijackedLine(t, 4)
+		base := []CampaignOption{
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: 12}),
+			WithFuzzSeeds(4),
+			WithSeed(3),
+			WithClusterOptions(copts),
+			WithWorkers(2),
+		}
+		res, err := NewCampaign(live, topo, append(base, opts...)...).Run(context.Background())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	local := run()
+	remote := run(WithRemoteExecution(&loopbackExecutor{perShard: 2, failAt: -1}))
+
+	if len(local.Detections) == 0 {
+		t.Fatal("in-process campaign found nothing; equivalence is vacuous")
+	}
+	if got, want := detectionFingerprint(remote.Detections), detectionFingerprint(local.Detections); got != want {
+		t.Errorf("remote detections differ from in-process:\n  remote %s\n  local  %s", got, want)
+	}
+	if remote.InputsExplored != local.InputsExplored {
+		t.Errorf("inputs explored differ: remote=%d local=%d", remote.InputsExplored, local.InputsExplored)
+	}
+	if remote.Remote == nil || remote.Remote.Shards != 2 || remote.Remote.Agents != 1 {
+		t.Errorf("Remote stats = %+v, want 2 shards on 1 agent", remote.Remote)
+	}
+	if local.Remote != nil {
+		t.Errorf("in-process campaign reports Remote stats: %+v", local.Remote)
+	}
+	if remote.PooledClones {
+		t.Errorf("remote campaign must not report a local clone pool")
+	}
+	if remote.CloneStats.Leases != 0 || remote.CloneStats.ColdBuilds != 0 {
+		t.Errorf("remote campaign built local clones: %+v", remote.CloneStats)
+	}
+}
+
+// TestRemoteFederatedMatchesInProcess extends the equality to federated
+// campaigns: agents publish summaries on their local buses, envelopes are
+// replayed into the control-side bus, and the disclosure accounting must
+// come out identical to the in-process federated run.
+func TestRemoteFederatedMatchesInProcess(t *testing.T) {
+	run := func(opts ...CampaignOption) *CampaignResult {
+		topo, live, copts := hijackedLine(t, 4)
+		base := []CampaignOption{
+			WithFederation(federation.PartitionByAS(topo)),
+			WithBudget(Budget{TotalInputs: 16}),
+			WithFuzzSeeds(4),
+			WithSeed(3),
+			WithClusterOptions(copts),
+			WithWorkers(2),
+		}
+		res, err := NewCampaign(live, topo, append(base, opts...)...).Run(context.Background())
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	local := run()
+	remote := run(WithRemoteExecution(&loopbackExecutor{perShard: 1, failAt: -1}))
+
+	if len(local.Detections) == 0 {
+		t.Fatal("federated in-process campaign found nothing; equivalence is vacuous")
+	}
+	if got, want := detectionFingerprint(remote.Detections), detectionFingerprint(local.Detections); got != want {
+		t.Errorf("remote federated detections differ:\n  remote %s\n  local  %s", got, want)
+	}
+	if !remote.Federated {
+		t.Fatal("remote campaign lost the Federated flag")
+	}
+	if remote.Disclosed != local.Disclosed {
+		t.Errorf("disclosure accounting differs: remote=%+v local=%+v", remote.Disclosed, local.Disclosed)
+	}
+	if remote.DisclosedBytes != local.DisclosedBytes {
+		t.Errorf("per-unit disclosed bytes differ: remote=%d local=%d", remote.DisclosedBytes, local.DisclosedBytes)
+	}
+	for i := range local.Domains {
+		if remote.Domains[i] != local.Domains[i] {
+			t.Errorf("domain %s breakdown differs:\n  remote %+v\n  local  %+v",
+				local.Domains[i].Domain, remote.Domains[i], local.Domains[i])
+		}
+	}
+}
+
+// TestRemoteUnitFailureSurfaces: an agent-side unit error must fail the
+// campaign (like a local unit error) while the other units' results survive.
+func TestRemoteUnitFailureSurfaces(t *testing.T) {
+	topo, live, copts := hijackedLine(t, 4)
+	res, err := NewCampaign(live, topo,
+		WithStrategy(AllNodesStrategy{}),
+		WithBudget(Budget{TotalInputs: 8}),
+		WithFuzzSeeds(2),
+		WithSeed(3),
+		WithClusterOptions(copts),
+		WithRemoteExecution(&loopbackExecutor{perShard: 2, failAt: 1}),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "injected shard failure") {
+		t.Fatalf("Run error = %v, want the injected shard failure", err)
+	}
+	if res == nil {
+		t.Fatal("failed campaign must still return the partial result")
+	}
+	if res.Units[1] != nil || res.UnitErrors[1] == nil {
+		t.Errorf("failed unit should have nil result and an error: %v / %v", res.Units[1], res.UnitErrors[1])
+	}
+	done := 0
+	for i, r := range res.Units {
+		if i != 1 && r != nil {
+			done++
+		}
+	}
+	if done == 0 {
+		t.Errorf("no other unit completed despite a single-unit failure")
+	}
+}
+
+// TestRemoteSpecRejectsUnshippable: configurations carrying funcs cannot
+// cross the wire and must fail fast, before any unit runs.
+func TestRemoteSpecRejectsUnshippable(t *testing.T) {
+	cases := map[string]CampaignOption{
+		"code faults": WithCodeFaults(faults.HandlerBug{Router: "R1", BugName: "b"}),
+		"prelude":     WithClonePrelude(func(*cluster.Cluster) {}),
+	}
+	for name, opt := range cases {
+		t.Run(name, func(t *testing.T) {
+			topo, live, copts := hijackedLine(t, 3)
+			_, err := NewCampaign(live, topo,
+				WithUnits(Unit{Explorer: "R2", FromPeer: "R1"}),
+				WithBudget(Budget{TotalInputs: 1}),
+				WithSeed(1),
+				WithClusterOptions(copts),
+				WithRemoteExecution(silentExecutor{}),
+				opt,
+			).Run(context.Background())
+			if err == nil || !strings.Contains(err.Error(), "remote execution cannot ship") {
+				t.Fatalf("Run = %v, want the unshippable-config rejection", err)
+			}
+		})
+	}
+}
+
+// TestRemoteAbortedExecutorReported: an executor that returns success while
+// leaving units unreported is a contract violation the campaign must surface
+// rather than silently under-reporting.
+func TestRemoteAbortedExecutorReported(t *testing.T) {
+	topo, live, copts := hijackedLine(t, 3)
+	res, err := NewCampaign(live, topo,
+		WithStrategy(AllNodesStrategy{}),
+		WithBudget(Budget{TotalInputs: 3}),
+		WithFuzzSeeds(2),
+		WithSeed(1),
+		WithClusterOptions(copts),
+		WithRemoteExecution(silentExecutor{}),
+	).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "without completing") {
+		t.Fatalf("Run error = %v, want the incomplete-executor report", err)
+	}
+	for i, e := range res.UnitErrors {
+		if !errors.Is(e, errRemoteAborted) {
+			t.Errorf("unit %d error = %v, want errRemoteAborted", i, e)
+		}
+	}
+}
+
+// silentExecutor violates the executor contract by reporting nothing.
+type silentExecutor struct{}
+
+func (silentExecutor) ExecuteUnits(context.Context, *topology.Topology, *checkpoint.Snapshot, RemoteSpec, []Unit, RemoteSink) error {
+	return nil
+}
+func (silentExecutor) RemoteStats() RemoteStats { return RemoteStats{} }

@@ -31,6 +31,20 @@ type BusStats struct {
 	Bytes     int
 }
 
+// Transport carries published envelopes beyond the in-process bus — the
+// seam where the federation privacy boundary becomes a wire protocol. The
+// bus's own counters and retention are unaffected by a transport: Deliver is
+// invoked after the publish has been accounted, with the final envelope
+// (sequence number and charged bytes filled in). The distributed agent
+// installs a transport that accumulates envelopes for shipment to the
+// control plane, which replays them into its own bus via Record; an
+// in-process federated campaign simply has no transport. Deliver is called
+// synchronously from Publish (outside the bus lock) and must be safe for
+// concurrent use.
+type Transport interface {
+	Deliver(Envelope)
+}
+
 // Bus is the in-process message bus federated coordinators exchange
 // summaries over. Its API is deliberately narrow: the only publishable
 // payload is a checker.Summary, which structurally prevents raw
@@ -43,12 +57,13 @@ type BusStats struct {
 //
 // Bus is safe for concurrent use.
 type Bus struct {
-	mu      sync.Mutex
-	retain  bool
-	seq     int
-	log     []Envelope
-	stats   BusStats
-	traffic map[string]*Traffic
+	mu        sync.Mutex
+	retain    bool
+	seq       int
+	log       []Envelope
+	stats     BusStats
+	traffic   map[string]*Traffic
+	transport Transport
 }
 
 // NewBus returns an empty bus that keeps counters only.
@@ -64,6 +79,15 @@ func (b *Bus) SetRetain(retain bool) {
 	b.retain = retain
 }
 
+// SetTransport installs a transport that receives every subsequently
+// published envelope after local accounting. Install it before traffic
+// flows; a nil transport restores purely in-process operation.
+func (b *Bus) SetTransport(t Transport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.transport = t
+}
+
 // Publish delivers a summary from one domain to another and returns the
 // bytes charged for the exchange. Publishing within a single domain is a
 // programming error the bus does not account (it returns zero): only
@@ -72,20 +96,51 @@ func (b *Bus) Publish(from, to string, s checker.Summary) int {
 	if from == to {
 		return 0
 	}
-	n := s.Size()
+	env := Envelope{From: from, To: to, Summary: s, Bytes: s.Size()}
+	b.mu.Lock()
+	env.Seq = b.seq
+	b.account(env)
+	t := b.transport
+	b.mu.Unlock()
+	if t != nil {
+		t.Deliver(env)
+	}
+	return env.Bytes
+}
+
+// Record accounts an envelope that was published on a bus in another process
+// — the receiving half of a Transport. The control plane replays every
+// envelope an agent shipped with its shard results, so a distributed
+// federated campaign's Stats, Traffic and retained Log match the in-process
+// run envelope for envelope. The charge is recomputed from the summary
+// (never trusted from the wire) and the sequence number is reassigned in
+// arrival order; the recomputed bytes are returned. Same-domain envelopes
+// are ignored, exactly as Publish ignores them.
+func (b *Bus) Record(e Envelope) int {
+	if e.From == e.To {
+		return 0
+	}
+	e.Bytes = e.Summary.Size()
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	e.Seq = b.seq
+	b.account(e)
+	return e.Bytes
+}
+
+// account applies one envelope to the counters and the retained log. The
+// caller holds b.mu and has already assigned the sequence number.
+func (b *Bus) account(e Envelope) {
 	if b.retain {
-		b.log = append(b.log, Envelope{Seq: b.seq, From: from, To: to, Summary: s, Bytes: n})
+		b.log = append(b.log, e)
 	}
 	b.seq++
 	b.stats.Summaries++
-	b.stats.Bytes += n
-	b.domainTraffic(from).SummariesSent++
-	b.domainTraffic(from).BytesSent += n
-	b.domainTraffic(to).SummariesReceived++
-	b.domainTraffic(to).BytesReceived += n
-	return n
+	b.stats.Bytes += e.Bytes
+	b.domainTraffic(e.From).SummariesSent++
+	b.domainTraffic(e.From).BytesSent += e.Bytes
+	b.domainTraffic(e.To).SummariesReceived++
+	b.domainTraffic(e.To).BytesReceived += e.Bytes
 }
 
 func (b *Bus) domainTraffic(domain string) *Traffic {

@@ -1,0 +1,114 @@
+package federation
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checker"
+)
+
+type captureTransport struct {
+	mu   sync.Mutex
+	envs []Envelope
+}
+
+func (t *captureTransport) Deliver(e Envelope) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.envs = append(t.envs, e)
+}
+
+func transportSummary(domain string) checker.Summary {
+	return checker.Summary{
+		Domain:  domain,
+		Checked: 4,
+		OK:      false,
+		Digests: []checker.ViolationDigest{{
+			Property: "origin-validity",
+			Class:    checker.ClassOperatorMistake,
+			Node:     "R2",
+			Prefix:   bgp.MustParsePrefix("10.0.9.0/24"),
+			HasPfx:   true,
+		}},
+	}
+}
+
+// TestBusTransportDelivery: an installed transport sees every cross-domain
+// publish with the accounted envelope, and local accounting is unchanged by
+// its presence.
+func TestBusTransportDelivery(t *testing.T) {
+	bus := NewBus()
+	cap := &captureTransport{}
+	bus.SetTransport(cap)
+
+	s := transportSummary("as1")
+	n := bus.Publish("as1", "as2", s)
+	if n != s.Size() {
+		t.Fatalf("charged %d bytes, want %d", n, s.Size())
+	}
+	if bus.Publish("as1", "as1", s) != 0 {
+		t.Fatalf("same-domain publish was charged")
+	}
+	if len(cap.envs) != 1 {
+		t.Fatalf("transport saw %d envelopes, want 1 (same-domain publish must not be delivered)", len(cap.envs))
+	}
+	env := cap.envs[0]
+	if env.From != "as1" || env.To != "as2" || env.Bytes != s.Size() || env.Seq != 0 {
+		t.Fatalf("unexpected envelope: %+v", env)
+	}
+	if got := bus.Stats(); got.Summaries != 1 || got.Bytes != s.Size() {
+		t.Fatalf("stats %+v, want 1 summary / %d bytes", got, s.Size())
+	}
+}
+
+// TestBusRecordMatchesPublish: replaying a remote bus's envelopes through
+// Record reproduces the in-process bus exactly — stats, per-domain traffic
+// and retained log. This is the equivalence the distributed control plane
+// relies on when it replays agent envelopes.
+func TestBusRecordMatchesPublish(t *testing.T) {
+	local := NewBus()
+	local.SetRetain(true)
+	remote := NewBus()
+	remote.SetRetain(true)
+	cap := &captureTransport{}
+	remote.SetTransport(cap)
+
+	pubs := []struct{ from, to string }{
+		{"as1", "as2"}, {"as2", "as1"}, {"as3", "as1"},
+	}
+	for _, p := range pubs {
+		s := transportSummary(p.from)
+		local.Publish(p.from, p.to, s)
+	}
+	for _, p := range pubs {
+		s := transportSummary(p.from)
+		remote.Publish(p.from, p.to, s)
+	}
+
+	replay := NewBus()
+	replay.SetRetain(true)
+	for _, e := range cap.envs {
+		// Wire bytes are never trusted: Record recomputes the charge.
+		e.Bytes = -1
+		if got := replay.Record(e); got != e.Summary.Size() {
+			t.Fatalf("recorded %d bytes, want %d", got, e.Summary.Size())
+		}
+	}
+	if replay.Record(Envelope{From: "as1", To: "as1"}) != 0 {
+		t.Fatalf("same-domain record was charged")
+	}
+
+	if !reflect.DeepEqual(replay.Stats(), local.Stats()) {
+		t.Fatalf("stats diverge: replay %+v local %+v", replay.Stats(), local.Stats())
+	}
+	for _, d := range []string{"as1", "as2", "as3"} {
+		if !reflect.DeepEqual(replay.Traffic(d), local.Traffic(d)) {
+			t.Fatalf("traffic for %s diverges: replay %+v local %+v", d, replay.Traffic(d), local.Traffic(d))
+		}
+	}
+	if !reflect.DeepEqual(replay.Log(), local.Log()) {
+		t.Fatalf("retained logs diverge:\n replay %+v\n local  %+v", replay.Log(), local.Log())
+	}
+}

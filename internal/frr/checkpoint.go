@@ -20,9 +20,9 @@ type Checkpoint struct {
 	ConfigText string
 
 	Sessions []node.SessionRecord
-	AdjIn    map[string][]node.RouteRecord
+	AdjIn    node.PeerRouteMap
 	LocRIB   []node.RouteRecord
-	AdjOut   map[string][]node.RouteRecord
+	AdjOut   node.PeerRouteMap
 
 	Stats     node.RouterStats
 	Events    []node.EventRecord

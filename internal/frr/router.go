@@ -22,6 +22,7 @@
 package frr
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"strings"
@@ -73,6 +74,13 @@ func init() {
 				return nil, fmt.Errorf("frr: restore %s: state is %T, not an frr state", im.Name(), st)
 			}
 			return fim.Restore(fst)
+		},
+		DecodeCheckpoint: func(data []byte) (node.Checkpoint, error) {
+			var cp Checkpoint
+			if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&cp); err != nil {
+				return nil, fmt.Errorf("frr: decode checkpoint: %w", err)
+			}
+			return &cp, nil
 		},
 	})
 }

@@ -34,6 +34,13 @@ type Backend struct {
 	DecodeState func(cp Checkpoint) (State, error)
 	// Restore builds a fresh router from a decoded image and state.
 	Restore func(im Image, st State) (Router, error)
+	// DecodeCheckpoint deserializes one checkpoint from its single-node gob
+	// encoding (checkpoint.EncodeNode's output). Single-node encodings are
+	// concrete-typed — unlike a whole snapshot's interface-valued node map —
+	// so crossing a process boundary node by node (the distributed snapshot
+	// deltas) needs the backend to name the concrete type to decode into.
+	// Optional: backends without it cannot receive shipped node patches.
+	DecodeCheckpoint func(data []byte) (Checkpoint, error)
 }
 
 var (
