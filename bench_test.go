@@ -330,7 +330,7 @@ func BenchmarkE12EpochCheckpoint(b *testing.B) {
 	ring := checkpoint.NewRing(4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ring.Push(live.Snapshot(), nil); err != nil {
+		if _, err := ring.Push(live.Snapshot()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,10 +10,14 @@
 // experiment: a bounded online soak (checkpoint epochs, scenario campaigns,
 // dedupe, minimized traces). e13 is the distributed-execution experiment:
 // the same campaign in-process, on one agent, and sharded across three
-// agents through the control plane. -json writes the selected experiment's
-// machine-readable result (`-exp e9 -json BENCH_clone.json`, `-exp e10 -json
-// BENCH_federation.json`, `-exp e12 -json BENCH_live.json` and `-exp e13
-// -json BENCH_distributed.json` are the artifacts CI tracks across PRs).
+// agents through the control plane. codec is the checkpoint-serialization
+// experiment: gob vs the deterministic binary codec on encode/decode/
+// measure/restore, plus the content-addressed ring's quiet-epoch retention.
+// -json writes the selected experiment's machine-readable result (`-exp e9
+// -json BENCH_clone.json`, `-exp e10 -json BENCH_federation.json`, `-exp e12
+// -json BENCH_live.json`, `-exp e13 -json BENCH_distributed.json` and
+// `-exp codec -json BENCH_codec.json` are the artifacts CI tracks across
+// PRs).
 //
 // Every JSON artifact is stamped with a schema version, the experiment id,
 // the seed and the Go runtime metadata (version, GOOS/GOARCH, GOMAXPROCS),
@@ -34,7 +38,10 @@ import (
 
 // benchSchemaVersion is bumped whenever any artifact's field set changes
 // incompatibly; consumers of the bench trajectory key on it.
-const benchSchemaVersion = 2
+// v3: e9 gained gob-vs-codec snapshot encode/decode fields, e13 gained the
+// gob baseline counterfactual, and the codec experiment (BENCH_codec.json)
+// was added.
+const benchSchemaVersion = 3
 
 // benchMeta is the self-describing header embedded in every BENCH_*.json
 // artifact.
@@ -87,6 +94,17 @@ type cloneBench struct {
 
 	MeanNodeBytes  int `json:"mean_node_bytes"`
 	MeanDeltaBytes int `json:"mean_delta_bytes"`
+
+	CodecIters         int     `json:"codec_iters"`
+	GobEncodeNs        int64   `json:"gob_encode_ns"`
+	CodecEncodeNs      int64   `json:"codec_encode_ns"`
+	CodecEncodeSpeedup float64 `json:"codec_encode_speedup"`
+	GobDecodeNs        int64   `json:"gob_decode_ns"`
+	CodecDecodeNs      int64   `json:"codec_decode_ns"`
+	CodecDecodeSpeedup float64 `json:"codec_decode_speedup"`
+	GobSnapshotBytes   int     `json:"gob_snapshot_bytes"`
+	CodecSnapshotBytes int     `json:"codec_snapshot_bytes"`
+	CodecSizeRatio     float64 `json:"codec_size_ratio"`
 }
 
 // federationBench is the schema of the e10 -json artifact.
@@ -170,6 +188,44 @@ type distributedBench struct {
 	ResultBytesPerInput  int     `json:"result_bytes_per_input"`
 	FullStatePerInput    int     `json:"full_state_bytes_per_input"`
 	ReductionVsFullState float64 `json:"reduction_vs_full_state"`
+
+	GobBaselineSnapshotBytes   int     `json:"gob_baseline_snapshot_bytes"`
+	CodecBaselineSnapshotBytes int     `json:"codec_baseline_snapshot_bytes"`
+	BaselineReductionVsGob     float64 `json:"baseline_reduction_vs_gob"`
+}
+
+// codecBench is the schema of the codec -json artifact (BENCH_codec.json):
+// gob vs deterministic-codec encode/decode/measure/restore on the same
+// snapshot, plus the content-addressed ring's quiet-epoch retention.
+type codecBench struct {
+	benchMeta
+	Routers    int `json:"routers"`
+	Iterations int `json:"iterations"`
+
+	GobEncodeNs   int64   `json:"gob_encode_ns"`
+	CodecEncodeNs int64   `json:"codec_encode_ns"`
+	EncodeSpeedup float64 `json:"encode_speedup"`
+	GobDecodeNs   int64   `json:"gob_decode_ns"`
+	CodecDecodeNs int64   `json:"codec_decode_ns"`
+	DecodeSpeedup float64 `json:"decode_speedup"`
+
+	GobBytes   int     `json:"gob_bytes"`
+	CodecBytes int     `json:"codec_bytes"`
+	SizeRatio  float64 `json:"size_ratio"`
+
+	GobMeasureNs   int64   `json:"gob_measure_ns"`
+	CodecMeasureNs int64   `json:"codec_measure_ns"`
+	MeasureSpeedup float64 `json:"measure_speedup"`
+
+	GobRestoreNs   int64   `json:"gob_restore_ns"`
+	CodecRestoreNs int64   `json:"codec_restore_ns"`
+	RestoreSpeedup float64 `json:"restore_speedup"`
+
+	RingEpochs        int `json:"ring_epochs"`
+	RingCopiedBytes   int `json:"ring_copied_bytes"`
+	RingRetainedBytes int `json:"ring_retained_bytes"`
+	QuietEpochDeltaB  int `json:"quiet_epoch_delta_bytes"`
+	QuietEpochChanged int `json:"quiet_epoch_nodes_changed"`
 }
 
 func writeJSON(path string, out interface{}) error {
@@ -219,6 +275,44 @@ func writeCloneJSON(path string, cfg dice.ExperimentConfig, r *dice.E9Result) er
 		SameDetections:     r.SameDetections,
 		MeanNodeBytes:      r.MeanNodeBytes,
 		MeanDeltaBytes:     r.MeanDeltaBytes,
+		CodecIters:         r.CodecIters,
+		GobEncodeNs:        r.GobEncodePer.Nanoseconds(),
+		CodecEncodeNs:      r.CodecEncodePer.Nanoseconds(),
+		CodecEncodeSpeedup: r.CodecEncodeSpeedup,
+		GobDecodeNs:        r.GobDecodePer.Nanoseconds(),
+		CodecDecodeNs:      r.CodecDecodePer.Nanoseconds(),
+		CodecDecodeSpeedup: r.CodecDecodeSpeedup,
+		GobSnapshotBytes:   r.GobSnapshotBytes,
+		CodecSnapshotBytes: r.CodecSnapshotBytes,
+		CodecSizeRatio:     r.CodecSizeRatio,
+	})
+}
+
+func writeCodecJSON(path string, cfg dice.ExperimentConfig, r *dice.ECodecResult) error {
+	return writeJSON(path, codecBench{
+		benchMeta:         newBenchMeta("codec", cfg),
+		Routers:           r.Routers,
+		Iterations:        r.Iterations,
+		GobEncodeNs:       r.GobEncodePer.Nanoseconds(),
+		CodecEncodeNs:     r.CodecEncodePer.Nanoseconds(),
+		EncodeSpeedup:     r.EncodeSpeedup,
+		GobDecodeNs:       r.GobDecodePer.Nanoseconds(),
+		CodecDecodeNs:     r.CodecDecodePer.Nanoseconds(),
+		DecodeSpeedup:     r.DecodeSpeedup,
+		GobBytes:          r.GobBytes,
+		CodecBytes:        r.CodecBytes,
+		SizeRatio:         r.SizeRatio,
+		GobMeasureNs:      r.GobMeasurePer.Nanoseconds(),
+		CodecMeasureNs:    r.CodecMeasurePer.Nanoseconds(),
+		MeasureSpeedup:    r.MeasureSpeedup,
+		GobRestoreNs:      r.GobRestorePer.Nanoseconds(),
+		CodecRestoreNs:    r.CodecRestorePer.Nanoseconds(),
+		RestoreSpeedup:    r.RestoreSpeedup,
+		RingEpochs:        r.RingEpochs,
+		RingCopiedBytes:   r.RingCopiedBytes,
+		RingRetainedBytes: r.RingRetainedBytes,
+		QuietEpochDeltaB:  r.QuietEpochDeltaB,
+		QuietEpochChanged: r.QuietEpochChanged,
 	})
 }
 
@@ -269,14 +363,18 @@ func writeDistributedJSON(path string, cfg dice.ExperimentConfig, r *dice.E13Res
 		ResultBytesPerInput:       r.ResultBytesPerInput,
 		FullStatePerInput:         r.FullStatePerInput,
 		ReductionVsFullState:      r.ReductionVsFullState,
+
+		GobBaselineSnapshotBytes:   r.GobBaselineSnapshotBytes,
+		CodecBaselineSnapshotBytes: r.CodecBaselineSnapshotBytes,
+		BaselineReductionVsGob:     r.BaselineReductionVsGob,
 	})
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e13 or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13, codec, or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
-	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10, e12 and e13 write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
+	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10, e12, e13 and codec write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
 	flag.Parse()
 
 	cfg := dice.ExperimentConfig{Quick: *quick, Seed: *seed}
@@ -303,10 +401,10 @@ func main() {
 	}
 
 	// The -json artifact follows the selected experiment when it has its own
-	// schema (e10, e12, e13); every other selection tracks the e9 clone
-	// artifact.
+	// schema (e10, e12, e13, codec); every other selection tracks the e9
+	// clone artifact.
 	jsonOwner := "e9"
-	if which == "e10" || which == "e12" || which == "e13" {
+	if which == "e10" || which == "e12" || which == "e13" || which == "codec" {
 		jsonOwner = which
 	}
 
@@ -382,6 +480,13 @@ func main() {
 		report("E13", res, err)
 		if err == nil && *jsonPath != "" && jsonOwner == "e13" {
 			wrote(*jsonPath, writeDistributedJSON(*jsonPath, cfg, res))
+		}
+	}
+	if run("codec") {
+		res, err := dice.RunECodec(cfg)
+		report("ECodec", res, err)
+		if err == nil && *jsonPath != "" && jsonOwner == "codec" {
+			wrote(*jsonPath, writeCodecJSON(*jsonPath, cfg, res))
 		}
 	}
 	if failed {

@@ -220,6 +220,12 @@ func (a *Agent) fetchBaseline(ctx context.Context) (*topology.Topology, *checkpo
 		if !ok {
 			return nil, nil, dice.RemoteSpec{}, fmt.Errorf("agent: unexpected baseline response %T", msg)
 		}
+		// Verify the content hash before decoding: every later shard delta is
+		// applied against these bytes, so a corrupt fetch must die here.
+		if got := checkpoint.HashBytes(b.Snapshot); got != checkpoint.Hash(b.SnapshotSHA256) {
+			return nil, nil, dice.RemoteSpec{}, fmt.Errorf("agent: baseline snapshot hash %s does not match announced %s",
+				got, checkpoint.Hash(b.SnapshotSHA256))
+		}
 		snap, err := checkpoint.Decode(b.Snapshot)
 		if err != nil {
 			return nil, nil, dice.RemoteSpec{}, fmt.Errorf("agent: decode baseline snapshot: %w", err)

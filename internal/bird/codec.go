@@ -1,0 +1,89 @@
+package bird
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/checkpoint/codec"
+)
+
+// This file is bird's canonical checkpoint payload: the deterministic binary
+// form the checkpoint layer content-addresses and ships. The field order is
+// the Checkpoint struct's; everything map-shaped travels sorted, so identical
+// router state always encodes to identical bytes — the property the
+// content-addressed store, the ring's byte-level delta accounting and the
+// distributed shard patches are built on.
+
+// encodeCanonical serializes a checkpoint into the codec payload (the body
+// checkpoint.EncodeNode frames with the codec header and implementation tag).
+func encodeCanonical(cp *Checkpoint) []byte {
+	w := codec.NewWriter()
+	w.String(cp.Name)
+	w.Uvarint(uint64(cp.AS))
+	w.Uvarint(uint64(cp.RouterID))
+	codec.PutStrings(w, cp.Networks)
+	w.Uvarint(uint64(len(cp.Neighbors)))
+	for i := range cp.Neighbors {
+		n := &cp.Neighbors[i]
+		w.String(n.Name)
+		w.Uvarint(uint64(n.AS))
+		w.String(n.Import)
+		w.String(n.Export)
+	}
+	w.String(cp.PoliciesText)
+	w.Varint(int64(cp.HoldTime))
+	w.Varint(int64(cp.KeepaliveInterval))
+	w.Varint(int64(cp.ConnectRetry))
+	codec.PutSessionRecords(w, cp.Sessions)
+	codec.PutPeerRouteMap(w, cp.AdjIn)
+	codec.PutRouteRecords(w, cp.LocRIB)
+	codec.PutPeerRouteMap(w, cp.AdjOut)
+	codec.PutStats(w, cp.Stats)
+	codec.PutEventRecords(w, cp.Events)
+	w.Bool(cp.Panicked)
+	w.String(cp.LastPanic)
+	w.Bool(cp.Started)
+	return w.Bytes()
+}
+
+// decodeCanonical parses a canonical payload back into a checkpoint. The
+// result has no in-process config (like any checkpoint that crossed a
+// process boundary); restoring re-parses the textual policy form.
+func decodeCanonical(payload []byte) (*Checkpoint, error) {
+	r := codec.NewReader(payload)
+	cp := &Checkpoint{
+		Name:     r.String(),
+		AS:       uint32(r.Uvarint()),
+		RouterID: uint32(r.Uvarint()),
+		Networks: codec.Strings(r),
+	}
+	if n := r.Count(); r.Err() == nil && n > 0 {
+		cp.Neighbors = make([]NeighborConfig, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			cp.Neighbors = append(cp.Neighbors, NeighborConfig{
+				Name:   r.String(),
+				AS:     bgp.ASN(r.Uvarint()),
+				Import: r.String(),
+				Export: r.String(),
+			})
+		}
+	}
+	cp.PoliciesText = r.String()
+	cp.HoldTime = time.Duration(r.Varint())
+	cp.KeepaliveInterval = time.Duration(r.Varint())
+	cp.ConnectRetry = time.Duration(r.Varint())
+	cp.Sessions = codec.SessionRecords(r)
+	cp.AdjIn = codec.PeerRouteMap(r)
+	cp.LocRIB = codec.RouteRecords(r)
+	cp.AdjOut = codec.PeerRouteMap(r)
+	cp.Stats = codec.Stats(r)
+	cp.Events = codec.EventRecords(r)
+	cp.Panicked = r.Bool()
+	cp.LastPanic = r.String()
+	cp.Started = r.Bool()
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("bird: decode canonical checkpoint: %w", err)
+	}
+	return cp, nil
+}

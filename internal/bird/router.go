@@ -60,6 +60,16 @@ func init() {
 			}
 			return &cp, nil
 		},
+		EncodeCanonical: func(cp node.Checkpoint) ([]byte, error) {
+			bcp, ok := cp.(*Checkpoint)
+			if !ok {
+				return nil, fmt.Errorf("bird: checkpoint for %s is %T, not a bird checkpoint", cp.NodeName(), cp)
+			}
+			return encodeCanonical(bcp), nil
+		},
+		DecodeCanonical: func(payload []byte) (node.Checkpoint, error) {
+			return decodeCanonical(payload)
+		},
 	})
 }
 

@@ -5,11 +5,19 @@
 //
 // Snapshots are taken between emulator events, so the cut is consistent by
 // construction: no node state reflects the receipt of a message that is not
-// either recorded as delivered or captured in InFlight. The package also
-// provides a gob-based codec so a snapshot can be measured (checkpoint sizes
-// for the overhead experiment) and moved across process boundaries, and an
-// option to deliberately drop the channel state, which the experiments use as
-// the "naive, inconsistent per-node checkpoints" baseline.
+// either recorded as delivered or captured in InFlight.
+//
+// Serialization uses the deterministic binary codec (subpackage codec): a
+// versioned header, varint fields, length-prefixed flat slabs and
+// always-sorted map iteration, with each node's payload produced by its
+// backend's registered canonical encoder. Identical state always encodes to
+// identical bytes, which is what makes the content-addressed store (SHA-256
+// of the canonical node encoding), the ring's byte-level delta accounting
+// and the distributed snapshot patches sound. Artifacts written by earlier
+// releases used encoding/gob; Decode and DecodeNode detect the missing codec
+// header and fall back to the gob decoder, so old artifacts still load. The
+// gob encoders survive as the benchmark baseline (EncodeGob, MeasureGob) and
+// as the fallback for backends that register no canonical codec.
 package checkpoint
 
 import (
@@ -20,13 +28,13 @@ import (
 	"sync"
 	"time"
 
+	"github.com/dice-project/dice/internal/checkpoint/codec"
 	"github.com/dice-project/dice/internal/netem"
 	"github.com/dice-project/dice/internal/node"
 )
 
-// bufPool recycles the scratch buffers gob encoding writes into. Snapshot
-// measurement encodes every node of every campaign snapshot; without reuse
-// each encoding grows a fresh buffer from scratch.
+// bufPool recycles the scratch buffers gob encoding writes into (the legacy
+// paths still materialize encodings).
 var bufPool = sync.Pool{
 	New: func() interface{} { return new(bytes.Buffer) },
 }
@@ -45,18 +53,35 @@ func encodeInto(v interface{}) ([]byte, error) {
 	return append([]byte(nil), buf.Bytes()...), nil
 }
 
-// encodedLen gob-encodes v into a pooled buffer and returns only the encoded
-// length, avoiding the copy when callers need size accounting, not bytes.
+// countingWriter counts bytes written without retaining them.
+type countingWriter int
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	*c += countingWriter(len(p))
+	return len(p), nil
+}
+
+// encodedLen gob-encodes v into a counting writer and returns only the
+// encoded length: size accounting runs per node per snapshot, and streaming
+// into a counter never materializes (or grows) an encoding just to read its
+// length.
 func encodedLen(v interface{}) (int, error) {
-	buf := bufPool.Get().(*bytes.Buffer)
-	defer func() {
-		buf.Reset()
-		bufPool.Put(buf)
-	}()
-	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+	var cw countingWriter
+	if err := gob.NewEncoder(&cw).Encode(v); err != nil {
 		return 0, err
 	}
-	return buf.Len(), nil
+	return int(cw), nil
+}
+
+// gobDecode decodes data into out, converting a decoder panic (gob decodes
+// attacker-controllable bytes on the legacy fallback path) into an error.
+func gobDecode(data []byte, out interface{}) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("gob decode panicked: %v", rec)
+		}
+	}()
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(out)
 }
 
 // Snapshot is a consistent cut of the emulated system.
@@ -65,9 +90,10 @@ type Snapshot struct {
 	At time.Duration
 	// Nodes maps router names to their checkpoints. Checkpoints are opaque
 	// backend values; each names the implementation that can restore it, so
-	// one snapshot may mix implementations. Backends gob-register their
-	// concrete checkpoint types, which is what lets the interface-typed map
-	// cross process boundaries.
+	// one snapshot may mix implementations. Backends register canonical
+	// codec encoders (and gob-register their concrete types for the legacy
+	// fallback), which is what lets the interface-typed map cross process
+	// boundaries.
 	Nodes map[string]node.Checkpoint
 	// InFlight is the channel state: messages sent but not yet delivered at
 	// the cut.
@@ -112,89 +138,234 @@ func (s *Snapshot) DropChannelState() *Snapshot {
 	return out
 }
 
-// Encode serializes the snapshot with encoding/gob. The result is what the
-// overhead experiment reports as "snapshot size"; per-node sizes are
-// available via EncodeNode.
+// Encode serializes the snapshot in the deterministic codec format: header,
+// envelope fields, the sorted node table (each entry a name plus the node's
+// canonical encoding, byte-identical to EncodeNode's output), and the
+// in-flight messages. The result is what the overhead experiment reports as
+// "snapshot size".
 func Encode(s *Snapshot) ([]byte, error) {
+	w := codec.NewWriter()
+	w.Header(codec.KindSnapshot)
+	w.Varint(int64(s.At))
+	w.Bool(s.Consistent)
+	names := s.NodeNames()
+	w.Uvarint(uint64(len(names)))
+	for _, name := range names {
+		enc, err := EncodeNode(s.Nodes[name])
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: encode: %w", err)
+		}
+		w.String(name)
+		w.Blob(enc)
+	}
+	putInFlight(w, s.InFlight)
+	return w.Bytes(), nil
+}
+
+// EncodeGob serializes the snapshot with encoding/gob — the legacy format.
+// It exists as the measured baseline the codec is compared against and to
+// exercise the compatibility fallback; new artifacts use Encode.
+func EncodeGob(s *Snapshot) ([]byte, error) {
 	data, err := encodeInto(s)
 	if err != nil {
-		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+		return nil, fmt.Errorf("checkpoint: gob encode: %w", err)
 	}
 	return data, nil
 }
 
-// Decode deserializes a snapshot produced by Encode.
+// Decode deserializes a snapshot produced by Encode. Data without the codec
+// header is routed to the legacy gob decoder, so artifacts written before
+// the codec existed still load.
 func Decode(data []byte) (*Snapshot, error) {
-	var s Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+	if !codec.IsEncoded(data) {
+		var s Snapshot
+		if err := gobDecode(data, &s); err != nil {
+			return nil, fmt.Errorf("checkpoint: decode (legacy gob): %w", err)
+		}
+		return &s, nil
+	}
+	r := codec.NewReader(data)
+	r.Header(codec.KindSnapshot)
+	s := &Snapshot{
+		At:         time.Duration(r.Varint()),
+		Consistent: r.Bool(),
+	}
+	n := r.Count()
+	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("checkpoint: decode: %w", err)
 	}
-	return &s, nil
+	s.Nodes = make(map[string]node.Checkpoint, n)
+	for i := 0; i < n; i++ {
+		name := r.String()
+		enc := r.Blob()
+		if err := r.Err(); err != nil {
+			return nil, fmt.Errorf("checkpoint: decode: %w", err)
+		}
+		cp, err := DecodeNode("", enc)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decode node %q: %w", name, err)
+		}
+		s.Nodes[name] = cp
+	}
+	s.InFlight = inFlight(r)
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return s, nil
 }
 
-// EncodeNode serializes a single node checkpoint, for per-node size
-// accounting.
+// EncodeNode serializes a single node checkpoint in its canonical form: the
+// codec header, the implementation tag, and the backend's canonical payload.
+// This is the content-addressed unit — Store hashes, ring deltas and shipped
+// node patches are all computed over exactly these bytes. Backends that
+// register no canonical encoder fall back to the legacy gob form.
 func EncodeNode(cp node.Checkpoint) ([]byte, error) {
-	data, err := encodeInto(cp)
+	be, err := node.BackendFor(cp.Implementation())
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.NodeName(), err)
 	}
+	if be.EncodeCanonical == nil {
+		return EncodeNodeGob(cp)
+	}
+	payload, err := be.EncodeCanonical(cp)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.NodeName(), err)
+	}
+	w := codec.NewWriter()
+	w.Header(codec.KindNode)
+	w.String(cp.Implementation())
+	w.Blob(payload)
+	return w.Bytes(), nil
+}
+
+// EncodeNodeGob serializes a single node checkpoint with encoding/gob (the
+// legacy concrete-typed form) — the benchmark baseline and the fallback for
+// backends without a canonical codec.
+func EncodeNodeGob(cp node.Checkpoint) ([]byte, error) {
+	data, err := encodeInto(cp)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: gob encode node %s: %w", cp.NodeName(), err)
+	}
 	return data, nil
+}
+
+// putInFlight writes the in-flight message list.
+func putInFlight(w *codec.Writer, msgs []netem.QueuedMessage) {
+	w.Uvarint(uint64(len(msgs)))
+	for i := range msgs {
+		m := &msgs[i]
+		w.String(string(m.From))
+		w.String(string(m.To))
+		w.Blob(m.Payload)
+		w.Varint(int64(m.Deliver))
+	}
+}
+
+// inFlight reads the in-flight message list; zero count decodes to nil.
+func inFlight(r *codec.Reader) []netem.QueuedMessage {
+	n := r.Count()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	out := make([]netem.QueuedMessage, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		out = append(out, netem.QueuedMessage{
+			From:    netem.NodeID(r.String()),
+			To:      netem.NodeID(r.String()),
+			Payload: r.Blob(),
+			Deliver: time.Duration(r.Varint()),
+		})
+	}
+	return out
+}
+
+// inFlightLen returns the encoded size of the in-flight message list,
+// byte-exact with putInFlight.
+func inFlightLen(msgs []netem.QueuedMessage) int {
+	n := codec.UvarintLen(uint64(len(msgs)))
+	for i := range msgs {
+		m := &msgs[i]
+		n += codec.StringLen(string(m.From)) + codec.StringLen(string(m.To)) +
+			codec.BlobLen(m.Payload) + codec.VarintLen(int64(m.Deliver))
+	}
+	return n
 }
 
 // Sizes summarizes a snapshot's encoded footprint.
 type Sizes struct {
-	// TotalBytes is the snapshot's total encoded footprint: the sum of the
-	// per-node encodings plus the channel-state envelope. (Each part is
-	// encoded exactly once; a single-stream gob encoding of the whole
-	// snapshot is a few hundred bytes smaller because type descriptors are
-	// shared, but requires encoding every node a second time to also get
-	// per-node sizes.)
+	// TotalBytes is the snapshot's total encoded footprint: byte-exact with
+	// len(Encode(s)) — the per-node canonical encodings plus the envelope
+	// (header, cut metadata, node table framing, in-flight messages).
 	TotalBytes   int
 	PerNodeBytes map[string]int
 	Messages     int
 }
 
-// channelEnvelope is the non-node remainder of a snapshot, encoded separately
-// so Measure can size the whole snapshot without encoding any node twice.
-type channelEnvelope struct {
-	At         time.Duration
-	InFlight   []netem.QueuedMessage
-	Consistent bool
-}
-
-// Measure reports the snapshot's encoded footprint. Every node checkpoint and
-// the channel state are each encoded exactly once: the per-node sizes come
-// from those encodings and TotalBytes is their sum — the full snapshot is
-// never encoded a second time just to size it.
+// Measure reports the snapshot's encoded footprint. Every node checkpoint is
+// encoded exactly once (the canonical codec form); the envelope's size is
+// computed arithmetically, so TotalBytes equals len(Encode(s)) without ever
+// materializing the full snapshot encoding.
 func Measure(s *Snapshot) (Sizes, error) {
 	perNode, err := MeasureNodes(s)
 	if err != nil {
 		return Sizes{}, err
 	}
-	out := Sizes{PerNodeBytes: perNode, Messages: len(s.InFlight)}
-	env, err := encodedLen(channelEnvelope{At: s.At, InFlight: s.InFlight, Consistent: s.Consistent})
-	if err != nil {
-		return Sizes{}, fmt.Errorf("checkpoint: encode channel state: %w", err)
-	}
-	out.TotalBytes = env
-	for _, n := range perNode {
-		out.TotalBytes += n
-	}
-	return out, nil
+	return measureFromEncodedLens(s, perNode), nil
 }
 
-// MeasureNodes reports each node checkpoint's encoded size without paying for
-// a full-snapshot encoding — the call for code that only needs per-node size
-// accounting.
+// measureFromEncodedLens assembles Sizes from per-node canonical encoding
+// lengths, adding the envelope arithmetic shared with Encode.
+func measureFromEncodedLens(s *Snapshot, perNode map[string]int) Sizes {
+	out := Sizes{PerNodeBytes: perNode, Messages: len(s.InFlight)}
+	total := codec.HeaderLen + codec.VarintLen(int64(s.At)) + 1 +
+		codec.UvarintLen(uint64(len(s.Nodes))) + inFlightLen(s.InFlight)
+	for name, n := range perNode {
+		total += codec.StringLen(name) + codec.UvarintLen(uint64(n)) + n
+	}
+	out.TotalBytes = total
+	return out
+}
+
+// MeasureNodes reports each node checkpoint's canonical encoded size without
+// paying for a full-snapshot encoding — the call for code that only needs
+// per-node size accounting.
 func MeasureNodes(s *Snapshot) (map[string]int, error) {
 	perNode := make(map[string]int, len(s.Nodes))
 	for name, cp := range s.Nodes {
-		n, err := encodedLen(cp)
+		enc, err := EncodeNode(cp)
 		if err != nil {
-			return nil, fmt.Errorf("checkpoint: encode node %s: %w", cp.NodeName(), err)
+			return nil, err
 		}
-		perNode[name] = n
+		perNode[name] = len(enc)
 	}
 	return perNode, nil
+}
+
+// gobChannelEnvelope is the non-node remainder of a snapshot under the
+// legacy gob accounting.
+type gobChannelEnvelope struct {
+	At         time.Duration
+	InFlight   []netem.QueuedMessage
+	Consistent bool
+}
+
+// MeasureGob reports the snapshot's footprint under the legacy gob encoding
+// (per-node gob encodings plus a gob channel-state envelope) — the measured
+// baseline the codec's Measure is benchmarked against.
+func MeasureGob(s *Snapshot) (Sizes, error) {
+	out := Sizes{PerNodeBytes: make(map[string]int, len(s.Nodes)), Messages: len(s.InFlight)}
+	env, err := encodedLen(gobChannelEnvelope{At: s.At, InFlight: s.InFlight, Consistent: s.Consistent})
+	if err != nil {
+		return Sizes{}, fmt.Errorf("checkpoint: gob encode channel state: %w", err)
+	}
+	out.TotalBytes = env
+	for name, cp := range s.Nodes {
+		n, err := encodedLen(cp)
+		if err != nil {
+			return Sizes{}, fmt.Errorf("checkpoint: gob encode node %s: %w", cp.NodeName(), err)
+		}
+		out.PerNodeBytes[name] = n
+		out.TotalBytes += n
+	}
+	return out, nil
 }

@@ -11,7 +11,7 @@ import (
 	"github.com/dice-project/dice/internal/node"
 )
 
-func sampleSnapshot(t *testing.T) *Snapshot {
+func sampleSnapshot(t testing.TB) *Snapshot {
 	t.Helper()
 	mk := func(name string, as bgp.ASN, id bgp.RouterID) *bird.Checkpoint {
 		r := bird.MustNew(&bird.Config{
@@ -73,6 +73,89 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 func TestDecodeGarbage(t *testing.T) {
 	if _, err := Decode([]byte("not a gob stream")); err == nil {
 		t.Errorf("garbage must not decode")
+	}
+}
+
+// TestDecodeLegacyGob pins the compatibility fallback: artifacts written with
+// the pre-codec gob encoder (no codec header) must still load through Decode,
+// and gob-encoded single nodes through DecodeNode.
+func TestDecodeLegacyGob(t *testing.T) {
+	s := sampleSnapshot(t)
+	data, err := EncodeGob(s)
+	if err != nil {
+		t.Fatalf("EncodeGob: %v", err)
+	}
+	if codecIs := len(data) >= 2 && data[0] == 0xD1 && data[1] == 0xCE; codecIs {
+		t.Fatalf("gob encoding unexpectedly carries the codec magic")
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode(legacy gob): %v", err)
+	}
+	if got.At != s.At || len(got.Nodes) != 2 || got.Nodes["A"].NodeName() != "A" {
+		t.Errorf("legacy decode lost state: %+v", got)
+	}
+
+	nodeData, err := EncodeNodeGob(s.Nodes["A"])
+	if err != nil {
+		t.Fatalf("EncodeNodeGob: %v", err)
+	}
+	cp, err := DecodeNode("bird", nodeData)
+	if err != nil {
+		t.Fatalf("DecodeNode(legacy gob): %v", err)
+	}
+	if cp.NodeName() != "A" {
+		t.Errorf("legacy node decode = %q", cp.NodeName())
+	}
+	// Without the in-band tag of the codec form, a gob node encoding is
+	// undecodable when no implementation is supplied.
+	if _, err := DecodeNode("", nodeData); err == nil {
+		t.Errorf("tagless gob node decode must fail")
+	}
+}
+
+// TestEncodeNodeRoundTrip pins the canonical single-node form: decodable with
+// the matching tag, with no tag (in-band), and rejected with a wrong tag.
+func TestEncodeNodeRoundTrip(t *testing.T) {
+	s := sampleSnapshot(t)
+	enc, err := EncodeNode(s.Nodes["A"])
+	if err != nil {
+		t.Fatalf("EncodeNode: %v", err)
+	}
+	for _, impl := range []string{"", "bird"} {
+		cp, err := DecodeNode(impl, enc)
+		if err != nil {
+			t.Fatalf("DecodeNode(%q): %v", impl, err)
+		}
+		if cp.NodeName() != "A" || cp.Implementation() != "bird" {
+			t.Errorf("DecodeNode(%q) = %s/%s", impl, cp.NodeName(), cp.Implementation())
+		}
+	}
+	if _, err := DecodeNode("frr", enc); err == nil {
+		t.Errorf("mismatched implementation tag must be rejected")
+	}
+}
+
+// TestMeasureMatchesEncodeExactly pins the arithmetic envelope: Measure
+// never materializes the snapshot encoding, yet must agree with it to the
+// byte — that identity is what lets stores and rings account for sizes
+// without serializing.
+func TestMeasureMatchesEncodeExactly(t *testing.T) {
+	for _, s := range []*Snapshot{
+		sampleSnapshot(t),
+		sampleSnapshot(t).DropChannelState(),
+	} {
+		data, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		sizes, err := Measure(s)
+		if err != nil {
+			t.Fatalf("Measure: %v", err)
+		}
+		if sizes.TotalBytes != len(data) {
+			t.Errorf("Measure total %d != len(Encode) %d (consistent=%v)", sizes.TotalBytes, len(data), s.Consistent)
+		}
 	}
 }
 

@@ -1,0 +1,211 @@
+package codec
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	uvals := []uint64{0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, math.MaxUint32, math.MaxUint64}
+	ivals := []int64{0, 1, -1, 63, -64, 64, -65, math.MinInt64, math.MaxInt64}
+	strs := []string{"", "a", "R12", strings.Repeat("x", 300)}
+	blobs := [][]byte{nil, {0}, []byte("payload"), make([]byte, 1<<12)}
+
+	w := NewWriter()
+	w.Header(KindNode)
+	w.Byte(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	for _, v := range uvals {
+		w.Uvarint(v)
+	}
+	for _, v := range ivals {
+		w.Varint(v)
+	}
+	for _, s := range strs {
+		w.String(s)
+	}
+	for _, b := range blobs {
+		w.Blob(b)
+	}
+
+	r := NewReader(w.Bytes())
+	r.Header(KindNode)
+	if got := r.Byte(); got != 0xAB {
+		t.Fatalf("Byte = %#x, want 0xAB", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	for _, v := range uvals {
+		if got := r.Uvarint(); got != v {
+			t.Fatalf("Uvarint = %d, want %d", got, v)
+		}
+	}
+	for _, v := range ivals {
+		if got := r.Varint(); got != v {
+			t.Fatalf("Varint = %d, want %d", got, v)
+		}
+	}
+	for _, s := range strs {
+		if got := r.String(); got != s {
+			t.Fatalf("String = %q, want %q", got, s)
+		}
+	}
+	for _, b := range blobs {
+		got := r.Blob()
+		if string(got) != string(b) {
+			t.Fatalf("Blob length %d, want %d", len(got), len(b))
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestLenHelpersMatchEncoder(t *testing.T) {
+	for _, v := range []uint64{0, 1, 0x7F, 0x80, 0x3FFF, 0x4000, 1 << 40, math.MaxUint64} {
+		if got, want := UvarintLen(v), len(binary.AppendUvarint(nil, v)); got != want {
+			t.Errorf("UvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for _, v := range []int64{0, -1, 1, -64, 64, math.MinInt64, math.MaxInt64} {
+		if got, want := VarintLen(v), len(binary.AppendVarint(nil, v)); got != want {
+			t.Errorf("VarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+	for _, s := range []string{"", "a", strings.Repeat("y", 200)} {
+		w := NewWriter()
+		w.String(s)
+		if got := StringLen(s); got != w.Len() {
+			t.Errorf("StringLen(%q) = %d, want %d", s, got, w.Len())
+		}
+		w2 := NewWriter()
+		w2.Blob([]byte(s))
+		if got := BlobLen([]byte(s)); got != w2.Len() {
+			t.Errorf("BlobLen(%d bytes) = %d, want %d", len(s), got, w2.Len())
+		}
+	}
+}
+
+func TestSlabRoundTripAndMisconsumption(t *testing.T) {
+	w := NewWriter()
+	w.Header(KindSnapshot)
+	mark := w.BeginSlab()
+	w.Uvarint(7)
+	w.String("inner")
+	w.EndSlab(mark)
+	w.Uvarint(99)
+
+	r := NewReader(w.Bytes())
+	r.Header(KindSnapshot)
+	end := r.BeginSlab()
+	if got := r.Uvarint(); got != 7 {
+		t.Fatalf("slab uvarint = %d, want 7", got)
+	}
+	if got := r.String(); got != "inner" {
+		t.Fatalf("slab string = %q", got)
+	}
+	r.EndSlab(end)
+	if got := r.Uvarint(); got != 99 {
+		t.Fatalf("post-slab uvarint = %d, want 99", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// A decoder that under-consumes the slab body must fail at EndSlab.
+	r2 := NewReader(w.Bytes())
+	r2.Header(KindSnapshot)
+	end2 := r2.BeginSlab()
+	_ = r2.Uvarint() // leave the string unread
+	r2.EndSlab(end2)
+	if r2.Err() == nil {
+		t.Fatal("EndSlab accepted an under-consumed slab")
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	good := NewWriter()
+	good.Header(KindNode)
+	enc := good.Bytes()
+
+	cases := map[string][]byte{
+		"truncated":    enc[:HeaderLen-1],
+		"bad magic0":   {0x00, Magic1, Version, KindNode},
+		"bad magic1":   {Magic0, 0x00, Version, KindNode},
+		"bad version":  {Magic0, Magic1, Version + 1, KindNode},
+		"wrong kind":   {Magic0, Magic1, Version, KindSnapshot},
+		"zero version": {Magic0, Magic1, 0, KindNode},
+	}
+	for name, data := range cases {
+		r := NewReader(data)
+		r.Header(KindNode)
+		if r.Err() == nil {
+			t.Errorf("%s: Header accepted %v", name, data)
+		}
+	}
+
+	r := NewReader(enc)
+	r.Header(KindNode)
+	if err := r.Close(); err != nil {
+		t.Fatalf("valid header rejected: %v", err)
+	}
+}
+
+func TestIsEncoded(t *testing.T) {
+	w := NewWriter()
+	w.Header(KindSnapshot)
+	if !IsEncoded(w.Bytes()) {
+		t.Fatal("IsEncoded false for a codec artifact")
+	}
+	for _, data := range [][]byte{nil, {Magic0}, {Magic0, Magic1, Version}, {0x3A, 0xFF, 0, 0}} {
+		if IsEncoded(data) {
+			t.Fatalf("IsEncoded true for %v", data)
+		}
+	}
+}
+
+func TestStickyErrorAndBounds(t *testing.T) {
+	// A count larger than the remaining input must fail before allocating.
+	w := NewWriter()
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	if r.Blob() != nil || r.Err() == nil {
+		t.Fatal("oversized blob count not rejected")
+	}
+	// After the first failure every accessor is inert and returns zero values.
+	if r.Uvarint() != 0 || r.Varint() != 0 || r.String() != "" || r.Byte() != 0 || r.Bool() {
+		t.Fatal("reader not inert after sticky error")
+	}
+	firstErr := r.Err()
+	_ = r.String()
+	if r.Err() != firstErr {
+		t.Fatal("sticky error was overwritten")
+	}
+
+	// Non-canonical bool bytes are malformed.
+	rb := NewReader([]byte{2})
+	rb.Bool()
+	if rb.Err() == nil {
+		t.Fatal("Bool accepted byte 2")
+	}
+
+	// Trailing bytes fail Close.
+	rt := NewReader([]byte{0, 0xEE})
+	if rt.Uvarint() != 0 {
+		t.Fatal("uvarint")
+	}
+	if err := rt.Close(); err == nil {
+		t.Fatal("Close accepted trailing bytes")
+	}
+
+	// A slab length past the end of input is rejected at BeginSlab.
+	rs := NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	rs.BeginSlab()
+	if rs.Err() == nil {
+		t.Fatal("BeginSlab accepted an oversized slab length")
+	}
+}

@@ -1,0 +1,140 @@
+package checkpoint_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// TestMain doubles as the cross-process determinism check's subprocess: when
+// re-executed with DICE_HASH_MODE=1, the test binary builds the golden mixed
+// bird+frr snapshot, prints each node's content hash and exits instead of
+// running the suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("DICE_HASH_MODE") == "1" {
+		printGoldenHashes()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// goldenMixedSnapshot is the fixture both processes build independently: a
+// converged 4-line cluster with one frr node, so the hashes cover both
+// backends' canonical codecs and multi-entry RIB maps.
+func goldenMixedSnapshot() *checkpoint.Snapshot {
+	topo := topology.Line(4).SetImpl("frr", "R2")
+	c := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+	c.Converge()
+	return c.Snapshot()
+}
+
+func printGoldenHashes() {
+	snap := goldenMixedSnapshot()
+	for _, name := range snap.NodeNames() {
+		h, err := checkpoint.HashNode(snap.Nodes[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s %s\n", name, h)
+	}
+	os.Exit(0)
+}
+
+// TestMixedBackendEncodeDeterministic: a snapshot mixing bird and frr nodes
+// must encode stably — per node and as a whole — across repeated encodings.
+// Both backends' canonical payloads share the codec's record slabs, so this
+// pins the full cross-backend surface, not just bird's.
+func TestMixedBackendEncodeDeterministic(t *testing.T) {
+	snap := goldenMixedSnapshot()
+	impls := map[string]bool{}
+	for _, cp := range snap.Nodes {
+		impls[cp.Implementation()] = true
+	}
+	if !impls["bird"] || !impls["frr"] {
+		t.Fatalf("fixture not mixed: %v", impls)
+	}
+	firstHashes := make(map[string]checkpoint.Hash, len(snap.Nodes))
+	for name, cp := range snap.Nodes {
+		h, err := checkpoint.HashNode(cp)
+		if err != nil {
+			t.Fatalf("HashNode(%s): %v", name, err)
+		}
+		firstHashes[name] = h
+	}
+	whole, err := checkpoint.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		for name, cp := range snap.Nodes {
+			h, err := checkpoint.HashNode(cp)
+			if err != nil {
+				t.Fatalf("HashNode(%s) #%d: %v", name, i, err)
+			}
+			if h != firstHashes[name] {
+				t.Fatalf("node %s content hash unstable at iteration %d", name, i)
+			}
+		}
+		again, err := checkpoint.Encode(snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(again) != string(whole) {
+			t.Fatalf("whole-snapshot encoding unstable at iteration %d", i)
+		}
+	}
+}
+
+// TestContentHashesStableAcrossProcesses is the golden cross-process check:
+// a separate process (this binary re-executed) builds the same mixed
+// snapshot from scratch and must compute byte-identical content hashes.
+// Per-process stability would be satisfied by any fingerprint; the
+// content-addressed store, the dedupe cache and the control plane's baseline
+// verification all need hashes that are exchangeable BETWEEN processes,
+// which only a deterministic encoding provides.
+func TestContentHashesStableAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	snap := goldenMixedSnapshot()
+	want := make(map[string]string, len(snap.Nodes))
+	for name, cp := range snap.Nodes {
+		h, err := checkpoint.HashNode(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = h.String()
+	}
+
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "DICE_HASH_MODE=1")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("subprocess: %v", err)
+	}
+	got := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(string(out)))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			t.Fatalf("malformed subprocess line %q", sc.Text())
+		}
+		got[fields[0]] = fields[1]
+	}
+	if len(got) != len(want) {
+		t.Fatalf("subprocess hashed %d nodes, want %d", len(got), len(want))
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("node %s: cross-process hash mismatch\n  this process: %s\n  subprocess:   %s", name, w, got[name])
+		}
+	}
+}

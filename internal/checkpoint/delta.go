@@ -4,17 +4,41 @@ import (
 	"bytes"
 	"fmt"
 
+	"github.com/dice-project/dice/internal/checkpoint/codec"
 	"github.com/dice-project/dice/internal/netem"
 	"github.com/dice-project/dice/internal/node"
 	"time"
 )
 
 // DecodeNode deserializes a single node checkpoint produced by EncodeNode.
-// Unlike a whole snapshot — whose interface-valued node map gob-encodes with
-// type indirection — a single-node encoding is concrete-typed, so the
-// implementation tag selects the backend that knows the concrete type to
-// decode into.
+// Canonical encodings carry their implementation tag in-band, so impl may be
+// empty for them; it must match when supplied. Data without the codec header
+// is legacy gob, where the tag is essential: the concrete-typed gob bytes
+// say nothing about which backend's type to decode into.
 func DecodeNode(impl string, data []byte) (node.Checkpoint, error) {
+	if codec.IsEncoded(data) {
+		r := codec.NewReader(data)
+		r.Header(codec.KindNode)
+		tagged := r.String()
+		payload := r.Blob()
+		if err := r.Close(); err != nil {
+			return nil, fmt.Errorf("checkpoint: decode node: %w", err)
+		}
+		if impl != "" && impl != tagged {
+			return nil, fmt.Errorf("checkpoint: decode node: encoding is %q, not %q", tagged, impl)
+		}
+		be, err := node.BackendFor(tagged)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decode node: %w", err)
+		}
+		if be.DecodeCanonical == nil {
+			return nil, fmt.Errorf("checkpoint: backend %q cannot decode canonical checkpoints", tagged)
+		}
+		return be.DecodeCanonical(payload)
+	}
+	if impl == "" {
+		return nil, fmt.Errorf("checkpoint: decode node: no codec header and no implementation tag")
+	}
 	be, err := node.BackendFor(impl)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: decode node: %w", err)
@@ -22,6 +46,17 @@ func DecodeNode(impl string, data []byte) (node.Checkpoint, error) {
 	if be.DecodeCheckpoint == nil {
 		return nil, fmt.Errorf("checkpoint: backend %q cannot decode shipped checkpoints", impl)
 	}
+	return decodeNodeGob(be, data)
+}
+
+// decodeNodeGob runs the backend's legacy gob decoder, converting decoder
+// panics on malformed bytes into errors.
+func decodeNodeGob(be node.Backend, data []byte) (cp node.Checkpoint, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			cp, err = nil, fmt.Errorf("checkpoint: legacy gob decode panicked: %v", rec)
+		}
+	}()
 	return be.DecodeCheckpoint(data)
 }
 
@@ -44,6 +79,11 @@ type NodePatch struct {
 	// FullLen is the patched encoding's total length, validated on apply:
 	// FullLen == PrefixLen + len(Patch) + SuffixLen.
 	FullLen int
+	// FullHash is the content address of the patched encoding (SHA-256 of
+	// the canonical bytes). Apply verifies the reconstruction against it
+	// when set, so a patch applied to the wrong baseline fails loudly
+	// instead of decoding into a silently wrong snapshot.
+	FullHash Hash
 }
 
 // SnapshotDelta is the wire shipping form of a snapshot relative to a
@@ -105,6 +145,7 @@ func (s *Store) DiffSnapshot(snap *Snapshot) (*SnapshotDelta, error) {
 			SuffixLen: suffix,
 			Patch:     full[prefix : len(full)-suffix],
 			FullLen:   len(full),
+			FullHash:  HashBytes(full),
 		})
 	}
 	return d, nil
@@ -141,6 +182,12 @@ func (s *Store) ApplyDelta(d *SnapshotDelta) (*Snapshot, error) {
 		full = append(full, base[:p.PrefixLen]...)
 		full = append(full, p.Patch...)
 		full = append(full, base[len(base)-p.SuffixLen:]...)
+		if !p.FullHash.IsZero() {
+			if got := HashBytes(full); got != p.FullHash {
+				return nil, fmt.Errorf("checkpoint: patch for node %q reconstructs content %s, want %s (baseline mismatch or corrupt patch)",
+					p.Node, got, p.FullHash)
+			}
+		}
 		cp, err := DecodeNode(p.Impl, full)
 		if err != nil {
 			return nil, fmt.Errorf("checkpoint: apply patch for node %q: %w", p.Node, err)
@@ -150,16 +197,13 @@ func (s *Store) ApplyDelta(d *SnapshotDelta) (*Snapshot, error) {
 	return out, nil
 }
 
-// WireSize approximates the delta's shipping cost: the channel envelope plus
-// each patch's content and framing, matching Store.Delta's per-node
-// DeltaBytes convention.
+// WireSize approximates the delta's shipping cost: the codec-sized channel
+// envelope plus each patch's content, framing and content hash, matching
+// Store.Delta's per-node DeltaBytes convention.
 func (d *SnapshotDelta) WireSize() int {
-	n, err := encodedLen(channelEnvelope{At: d.At, InFlight: d.InFlight, Consistent: d.Consistent})
-	if err != nil {
-		n = 0
-	}
+	n := codec.VarintLen(int64(d.At)) + 1 + inFlightLen(d.InFlight)
 	for _, p := range d.Patches {
-		n += len(p.Patch) + deltaFraming
+		n += len(p.Patch) + deltaFraming + HashSize
 	}
 	return n
 }

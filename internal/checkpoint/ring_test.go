@@ -2,16 +2,30 @@ package checkpoint
 
 import (
 	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/bird"
 )
 
-// ringFPs builds a synthetic per-node fingerprint map over the sample
-// snapshot's nodes; the ring only compares values, never interprets them.
-func ringFPs(s *Snapshot, salt uint64) map[string]uint64 {
-	out := make(map[string]uint64)
-	for _, name := range s.NodeNames() {
-		out[name] = salt
+// variantCheckpoint builds a bird checkpoint whose content differs per extra
+// originated network — the ring only sees canonical bytes, so distinct
+// config means distinct content hash.
+func variantCheckpoint(t testing.TB, name string, as bgp.ASN, id bgp.RouterID, extra ...string) *bird.Checkpoint {
+	t.Helper()
+	nets := []bgp.Prefix{bgp.MustParsePrefix("10.1.0.0/16")}
+	for _, e := range extra {
+		nets = append(nets, bgp.MustParsePrefix(e))
 	}
-	return out
+	r := bird.MustNew(&bird.Config{
+		Name: name, AS: as, RouterID: id,
+		Networks: nets,
+		Policies: map[string]*policy.Policy{"ALL": policy.AcceptAll("ALL")},
+		Neighbors: []bird.NeighborConfig{
+			{Name: "peer", AS: 65099, Import: "ALL", Export: "ALL"},
+		},
+	})
+	return r.Checkpoint()
 }
 
 func TestRingSeqAndRetention(t *testing.T) {
@@ -21,7 +35,7 @@ func TestRingSeqAndRetention(t *testing.T) {
 		t.Fatalf("capacity = %d", r.Capacity())
 	}
 	for i := 1; i <= 4; i++ {
-		ep, err := r.Push(s, ringFPs(s, uint64(i)))
+		ep, err := r.Push(s.Clone())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +68,7 @@ func TestRingDeltaAccounting(t *testing.T) {
 	r := NewRing(4)
 
 	// First epoch: everything counts as changed (full shipment).
-	ep1, err := r.Push(s, ringFPs(s, 7))
+	ep1, err := r.Push(s.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,26 +78,43 @@ func TestRingDeltaAccounting(t *testing.T) {
 	if ep1.DeltaBytes != ep1.Bytes {
 		t.Fatalf("first epoch delta %d != full %d", ep1.DeltaBytes, ep1.Bytes)
 	}
+	if ep1.Fingerprint == 0 {
+		t.Fatalf("content-derived epoch fingerprint is zero")
+	}
 
-	// Unchanged fingerprints: the delta collapses to the channel envelope.
-	ep2, err := r.Push(s, ringFPs(s, 7))
+	// Identical content: the delta collapses to the channel envelope plus one
+	// hash reference per node — byte-exact, no fingerprint convention.
+	ep2, err := r.Push(s.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ep2.NodesChanged != 0 {
 		t.Fatalf("unchanged epoch NodesChanged = %d, want 0", ep2.NodesChanged)
 	}
+	perNodeTotal := 0
+	for _, n := range ep2.Store.sizes.PerNodeBytes {
+		perNodeTotal += n
+	}
+	wantDelta := ep2.Bytes - perNodeTotal + len(s.Nodes)*HashSize
+	if ep2.DeltaBytes != wantDelta {
+		t.Fatalf("unchanged epoch delta %d, want envelope+refs %d", ep2.DeltaBytes, wantDelta)
+	}
 	if ep2.DeltaBytes >= ep2.Bytes/2 {
 		t.Fatalf("unchanged epoch delta %d not collapsed (full %d)", ep2.DeltaBytes, ep2.Bytes)
 	}
 	if ep1.Fingerprint != ep2.Fingerprint {
-		t.Fatalf("identical fingerprint inputs produced different epoch fingerprints")
+		t.Fatalf("identical content produced different epoch fingerprints")
+	}
+	for name, h := range ep1.Hashes {
+		if ep2.Hashes[name] != h {
+			t.Fatalf("node %s content hash drifted between identical epochs", name)
+		}
 	}
 
-	// One node changed: its bytes (and only its) rejoin the delta.
-	fps := ringFPs(s, 7)
-	fps["B"] = 99
-	ep3, err := r.Push(s, fps)
+	// One node's state changed: its bytes (and only its) rejoin the delta.
+	s3 := s.Clone()
+	s3.Nodes["B"] = variantCheckpoint(t, "B", 65002, 2, "10.9.0.0/16")
+	ep3, err := r.Push(s3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,30 +127,116 @@ func TestRingDeltaAccounting(t *testing.T) {
 	if ep3.Fingerprint == ep2.Fingerprint {
 		t.Fatalf("changed state kept the same epoch fingerprint")
 	}
+	if ep3.Hashes["A"] != ep2.Hashes["A"] {
+		t.Fatalf("unchanged node A's content hash drifted")
+	}
+	if ep3.Hashes["B"] == ep2.Hashes["B"] {
+		t.Fatalf("changed node B kept its content hash")
+	}
 }
 
-func TestRingWithoutFingerprints(t *testing.T) {
+// TestRingStructuralSharing pins the point of content addressing: pushing
+// identical state twice retains ONE copy of every node's encoding and the
+// later epoch's store shares the earlier epoch's decoded objects outright.
+func TestRingStructuralSharing(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := NewRing(4)
+	ep1, err := r.Push(s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := r.Push(s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.UniqueBlobs(); got != len(s.Nodes) {
+		t.Fatalf("unique blobs = %d, want %d (identical epochs must dedupe)", got, len(s.Nodes))
+	}
+	for _, name := range s.NodeNames() {
+		if ep1.Store.State(name) != ep2.Store.State(name) {
+			t.Errorf("node %s decoded state not shared across identical epochs", name)
+		}
+		if ep1.Store.Image(name) != ep2.Store.Image(name) {
+			t.Errorf("node %s image not shared across identical epochs", name)
+		}
+		if ep1.Store.Snapshot().Nodes[name] != ep2.Store.Snapshot().Nodes[name] {
+			t.Errorf("node %s checkpoint value not adopted from the CAS", name)
+		}
+	}
+}
+
+// TestRingQuietNodeRetention is the delta-accounting regression test from the
+// codec change: a quiet system's retained bytes must stay near ONE snapshot's
+// footprint regardless of how many epochs the ring holds — each extra epoch
+// of an unchanged node costs a hash reference, not a re-encoded copy.
+func TestRingQuietNodeRetention(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := NewRing(4)
+	var perNodeTotal int
+	for i := 0; i < 4; i++ {
+		ep, err := r.Push(s.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if perNodeTotal == 0 {
+			sizes, err := ep.Store.Sizes()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range sizes.PerNodeBytes {
+				perNodeTotal += n
+			}
+		}
+	}
+	if r.Len() != 4 {
+		t.Fatalf("ring len = %d", r.Len())
+	}
+	if got := r.RetainedBytes(); got != perNodeTotal {
+		t.Fatalf("4 quiet epochs retain %d bytes, want one snapshot's %d", got, perNodeTotal)
+	}
+}
+
+// TestRingEvictionReleasesContent: when epochs fall off the ring, content
+// referenced only by them is freed; content still referenced survives.
+func TestRingEvictionReleasesContent(t *testing.T) {
+	s := sampleSnapshot(t)
+	r := NewRing(2)
+	variants := []string{"10.9.0.0/16", "10.10.0.0/16", "10.11.0.0/16", "10.12.0.0/16"}
+	var hashes []Hash
+	for _, extra := range variants {
+		si := s.Clone()
+		si.Nodes["B"] = variantCheckpoint(t, "B", 65002, 2, extra)
+		ep, err := r.Push(si)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, ep.Hashes["B"])
+	}
+	// Node A never changed: one blob, shared by both retained epochs. Node B
+	// changed every epoch: only the two retained epochs' blobs survive.
+	if got := r.UniqueBlobs(); got != 3 {
+		t.Fatalf("unique blobs = %d, want 3 (one A + two retained B variants)", got)
+	}
+	if r.cas.Contains(hashes[0]) || r.cas.Contains(hashes[1]) {
+		t.Fatalf("evicted epochs' B content still retained")
+	}
+	if !r.cas.Contains(hashes[2]) || !r.cas.Contains(hashes[3]) {
+		t.Fatalf("retained epochs' B content missing")
+	}
+	aHash := r.Latest().Hashes["A"]
+	if got := r.cas.Refs(aHash); got != 2 {
+		t.Fatalf("shared node A refcount = %d, want 2", got)
+	}
+}
+
+func TestRingDefaultCapacityAndRestore(t *testing.T) {
 	s := sampleSnapshot(t)
 	r := NewRing(0) // default capacity
 	if r.Capacity() != 8 {
 		t.Fatalf("default capacity = %d", r.Capacity())
 	}
-	ep1, err := r.Push(s, nil)
-	if err != nil {
+	if _, err := r.Push(s.Clone()); err != nil {
 		t.Fatal(err)
-	}
-	ep2, err := r.Push(s, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// No fingerprints: change tracking degrades to "everything changed".
-	for _, ep := range []*Epoch{ep1, ep2} {
-		if ep.Fingerprint != 0 {
-			t.Fatalf("fingerprint without node fps = %x, want 0", ep.Fingerprint)
-		}
-		if ep.NodesChanged != len(s.Nodes) || ep.DeltaBytes != ep.Bytes {
-			t.Fatalf("degraded delta tracking: changed=%d delta=%d full=%d", ep.NodesChanged, ep.DeltaBytes, ep.Bytes)
-		}
 	}
 	// An epoch's store restores working routers.
 	router, err := r.Latest().Store.Restore("A")

@@ -32,6 +32,7 @@ type Store struct {
 	baselineOnce sync.Once
 	baselineErr  error
 	baseline     map[string][]byte
+	hashes       map[string]Hash
 
 	sizesOnce sync.Once
 	sizesErr  error
@@ -68,6 +69,29 @@ func NewStore(snap *Snapshot) (*Store, error) {
 	return s, nil
 }
 
+// newStoreShared builds a store whose decoded forms and baseline encodings
+// were already produced elsewhere (the ring's content-addressed blobs). The
+// lazy caches are pre-completed, so a ring-built store never re-encodes or
+// re-decodes anything: an unchanged node's image, state, canonical bytes and
+// hash are the same objects across every epoch that retains it.
+func newStoreShared(snap *Snapshot, backends map[string]node.Backend,
+	images map[string]node.Image, states map[string]node.State,
+	baseline map[string][]byte, hashes map[string]Hash) *Store {
+	s := &Store{snap: snap, backends: backends, images: images, states: states}
+	s.baselineOnce.Do(func() {
+		s.baseline = baseline
+		s.hashes = hashes
+	})
+	s.sizesOnce.Do(func() {
+		perNode := make(map[string]int, len(baseline))
+		for name, data := range baseline {
+			perNode[name] = len(data)
+		}
+		s.sizes = measureFromEncodedLens(snap, perNode)
+	})
+	return s
+}
+
 // Snapshot returns the underlying snapshot.
 func (s *Store) Snapshot() *Snapshot { return s.snap }
 
@@ -98,6 +122,30 @@ func (s *Store) Sizes() (Sizes, error) {
 		s.sizes, s.sizesErr = Measure(s.snap)
 	})
 	return s.sizes, s.sizesErr
+}
+
+// NodeHash returns the content hash of the named node's baseline checkpoint:
+// the SHA-256 of its canonical encoding. Equal state has equal hash across
+// processes, so these hashes are exchangeable identities — the control plane
+// uses the combined form to let agents verify a fetched baseline.
+func (s *Store) NodeHash(name string) (Hash, error) {
+	if err := s.encodeBaselines(); err != nil {
+		return Hash{}, err
+	}
+	h, ok := s.hashes[name]
+	if !ok {
+		return Hash{}, fmt.Errorf("checkpoint: store has no node %q", name)
+	}
+	return h, nil
+}
+
+// Hashes returns the content hash of every node's baseline checkpoint. The
+// returned map is shared; callers must not mutate it.
+func (s *Store) Hashes() (map[string]Hash, error) {
+	if err := s.encodeBaselines(); err != nil {
+		return nil, err
+	}
+	return s.hashes, nil
 }
 
 // Delta summarizes how a node checkpoint's encoding compares with the
@@ -147,10 +195,13 @@ func (s *Store) Delta(name string, cp node.Checkpoint) (Delta, error) {
 }
 
 // encodeBaselines lazily encodes every node's baseline checkpoint exactly
-// once, for delta comparisons.
+// once and content-addresses each encoding, for delta comparisons and hash
+// lookups. Stores built by the ring skip this entirely: their encodings and
+// hashes are pre-filled from the content-addressed blobs.
 func (s *Store) encodeBaselines() error {
 	s.baselineOnce.Do(func() {
 		s.baseline = make(map[string][]byte, len(s.snap.Nodes))
+		s.hashes = make(map[string]Hash, len(s.snap.Nodes))
 		for name, cp := range s.snap.Nodes {
 			data, err := EncodeNode(cp)
 			if err != nil {
@@ -158,6 +209,7 @@ func (s *Store) encodeBaselines() error {
 				return
 			}
 			s.baseline[name] = data
+			s.hashes[name] = HashBytes(data)
 		}
 	})
 	return s.baselineErr

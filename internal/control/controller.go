@@ -400,10 +400,11 @@ func (c *Controller) ExecuteUnits(ctx context.Context, topo *topology.Topology, 
 		spec: spec,
 		sink: sink,
 		baseline: Baseline{
-			Campaign: c.cfg.Campaign,
-			Topo:     *topo,
-			Snapshot: encoded,
-			Spec:     spec,
+			Campaign:       c.cfg.Campaign,
+			Topo:           *topo,
+			Snapshot:       encoded,
+			SnapshotSHA256: checkpoint.HashBytes(encoded),
+			Spec:           spec,
 		},
 		baseStore: baseStore,
 		delta:     *delta,

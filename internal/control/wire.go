@@ -35,7 +35,12 @@ const (
 	wireMagic0 = 'D'
 	wireMagic1 = 'W'
 	// WireVersion is the protocol revision; bump on incompatible change.
-	WireVersion = 1
+	// Version 2: baseline snapshots ship in the deterministic codec encoding
+	// (not gob) and Baseline carries the snapshot's content hash; node
+	// patches inside Lease deltas carry per-node content hashes. A version-1
+	// peer would misaccount and fail to verify these, so the mismatch is
+	// rejected at the frame header, before any payload is decoded.
+	WireVersion = 2
 	// maxFramePayload caps a frame's payload so a corrupt or hostile length
 	// field cannot make the decoder allocate unboundedly.
 	maxFramePayload = 64 << 20
@@ -85,14 +90,18 @@ type BaselineRequest struct {
 }
 
 // Baseline is the one-time shipment each agent fetches before leasing: the
-// topology, the gob-encoded baseline snapshot (checkpoint.Encode form) and
-// the campaign's wire-shippable spec. Subsequent shard leases ship only
-// deltas against this snapshot.
+// topology, the baseline snapshot in its deterministic codec encoding
+// (checkpoint.Encode form) and the campaign's wire-shippable spec.
+// Subsequent shard leases ship only deltas against this snapshot.
 type Baseline struct {
 	Campaign string
 	Topo     topology.Topology
 	Snapshot []byte
-	Spec     dice.RemoteSpec
+	// SnapshotSHA256 is the content hash of Snapshot. The agent recomputes
+	// it after fetching, so a corrupted or mismatched baseline fails at the
+	// fetch instead of poisoning every delta applied on top of it.
+	SnapshotSHA256 [32]byte
+	Spec           dice.RemoteSpec
 }
 
 // LeaseRequest asks for the next available shard.

@@ -2,6 +2,8 @@ package control
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"reflect"
 	"testing"
@@ -124,17 +126,56 @@ func TestWireRejectsMalformed(t *testing.T) {
 	}
 }
 
-// TestWireVersionGate: a future version byte must be rejected before any
-// payload is touched.
+// TestWireVersionGate: version skew in either direction must be rejected at
+// the header — cleanly, before any payload is decoded — never misparsed.
+// Version 2 changed the baseline encoding and the delta patch schema, so a
+// mixed-version deployment that slipped past this gate would corrupt
+// snapshots rather than error.
 func TestWireVersionGate(t *testing.T) {
-	var buf bytes.Buffer
-	if _, err := EncodeFrame(&buf, &NoWork{}); err != nil {
-		t.Fatal(err)
+	frame := func(msg any) []byte {
+		var buf bytes.Buffer
+		if _, err := EncodeFrame(&buf, msg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
 	}
-	b := buf.Bytes()
-	b[2] = WireVersion + 1
-	_, err := DecodeFrame(bytes.NewReader(b))
+
+	// Old agent → new controller: a version-1 Hello (the first frame an
+	// agent ever sends) is refused by a version-2 decoder.
+	oldHello := frame(&Hello{Agent: "legacy", Backends: []string{"bird"}, Workers: 2})
+	oldHello[2] = 1
+	_, err := DecodeFrame(bytes.NewReader(oldHello))
 	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Fatalf("version-1 agent frame decoded by version-%d controller: %v", WireVersion, err)
+	}
+
+	// New controller → old agent: the version-1 decoder checked the header's
+	// version byte against 1 before touching the payload (same gate, older
+	// constant). A current Baseline frame announces version 2, so the old
+	// binary rejects at the header instead of gob-misparsing the new fields.
+	baseline := frame(&Baseline{Campaign: "c", Snapshot: []byte{0xD1, 0xCE, 1, 1}})
+	if got := baseline[2]; got != WireVersion || got == 1 {
+		t.Fatalf("baseline frame announces version %d, want %d (≠ 1)", got, WireVersion)
+	}
+	legacyDecode := func(b []byte) error { // the version-1 gate, verbatim
+		if len(b) < frameHeaderLen || b[0] != wireMagic0 || b[1] != wireMagic1 {
+			return errors.New("control: bad frame magic")
+		}
+		if b[2] != 1 {
+			return fmt.Errorf("control: unsupported wire version %d (have 1)", b[2])
+		}
+		return nil
+	}
+	if err := legacyDecode(baseline); err == nil ||
+		!bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Fatalf("version-1 agent accepted a version-%d baseline: %v", WireVersion, err)
+	}
+
+	// And a later revision than ours is equally refused.
+	future := frame(&NoWork{})
+	future[2] = WireVersion + 1
+	if _, err := DecodeFrame(bytes.NewReader(future)); err == nil ||
+		!bytes.Contains([]byte(err.Error()), []byte("version")) {
 		t.Fatalf("future version decoded: %v", err)
 	}
 }

@@ -1,0 +1,53 @@
+package frr
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/checkpoint/codec"
+)
+
+// This file is frr's canonical checkpoint payload, the counterpart of
+// bird's: where bird serializes discrete config fields plus policy text, frr
+// carries its whole configuration as one dialect blob (ConfigText) — but the
+// RIB, session, counter and event slabs are the shared codec forms, so a
+// mixed-implementation snapshot is canonical end to end.
+
+// encodeCanonical serializes a checkpoint into the codec payload.
+func encodeCanonical(cp *Checkpoint) []byte {
+	w := codec.NewWriter()
+	w.String(cp.Name)
+	w.String(cp.ConfigText)
+	codec.PutSessionRecords(w, cp.Sessions)
+	codec.PutPeerRouteMap(w, cp.AdjIn)
+	codec.PutRouteRecords(w, cp.LocRIB)
+	codec.PutPeerRouteMap(w, cp.AdjOut)
+	codec.PutStats(w, cp.Stats)
+	codec.PutEventRecords(w, cp.Events)
+	w.Bool(cp.Panicked)
+	w.String(cp.LastPanic)
+	w.Bool(cp.Started)
+	return w.Bytes()
+}
+
+// decodeCanonical parses a canonical payload back into a checkpoint. The
+// result has no in-process config; restoring re-parses the dialect text.
+func decodeCanonical(payload []byte) (*Checkpoint, error) {
+	r := codec.NewReader(payload)
+	cp := &Checkpoint{
+		Name:       r.String(),
+		ConfigText: r.String(),
+	}
+	cp.Sessions = codec.SessionRecords(r)
+	cp.AdjIn = codec.PeerRouteMap(r)
+	cp.LocRIB = codec.RouteRecords(r)
+	cp.AdjOut = codec.PeerRouteMap(r)
+	cp.Stats = codec.Stats(r)
+	cp.Events = codec.EventRecords(r)
+	cp.Panicked = r.Bool()
+	cp.LastPanic = r.String()
+	cp.Started = r.Bool()
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("frr: decode canonical checkpoint: %w", err)
+	}
+	return cp, nil
+}

@@ -82,6 +82,16 @@ func init() {
 			}
 			return &cp, nil
 		},
+		EncodeCanonical: func(cp node.Checkpoint) ([]byte, error) {
+			fcp, ok := cp.(*Checkpoint)
+			if !ok {
+				return nil, fmt.Errorf("frr: checkpoint for %s is %T, not an frr checkpoint", cp.NodeName(), cp)
+			}
+			return encodeCanonical(fcp), nil
+		},
+		DecodeCanonical: func(payload []byte) (node.Checkpoint, error) {
+			return decodeCanonical(payload)
+		},
 	})
 }
 

@@ -476,10 +476,10 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 		}
 		trafficTime := time.Since(tStart)
 
-		// The pause: consistent cut plus state fingerprint, nothing else.
+		// The pause: the consistent cut, nothing else. Content hashing rides
+		// with the other off-critical-path work inside Ring.Push.
 		pauseStart := time.Now()
 		snap := rt.live.Snapshot()
-		fps := fingerprintNodes(rt.live)
 		pause := time.Since(pauseStart)
 
 		// Governor: stretch the cadence when the pause ran over budget,
@@ -492,9 +492,10 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 		}
 
 		// Off the critical path (the snapshot is immutable; traffic could
-		// already be flowing again): decode, measure, delta, ring.
+		// already be flowing again): encode, content-hash, measure, delta,
+		// ring.
 		procStart := time.Now()
-		ep, err := rt.ring.Push(snap, fps)
+		ep, err := rt.ring.Push(snap)
 		procTime := time.Since(procStart)
 		if err != nil {
 			return rt.report, err
@@ -726,32 +727,6 @@ func (rt *Runtime) runCampaign(ctx context.Context, ep *checkpoint.Epoch, sc fau
 	// must never touch the deployment, which may be driving traffic on
 	// another goroutine in Overlap mode.
 	return dice.NewCampaign(nil, rt.topo, opts...).Run(ctx)
-}
-
-// fingerprintNodes computes a deterministic behavioral fingerprint per
-// router: implementation, counters, crash state, the full candidate RIB and
-// the event-log length. Byte-hashing the encoded checkpoints would not work —
-// gob serializes maps in randomized order — and this projection is also what
-// "unchanged behavior" should mean for dedupe purposes.
-func fingerprintNodes(c *cluster.Cluster) map[string]uint64 {
-	out := make(map[string]uint64, len(c.Routers))
-	for _, name := range c.RouterNames() {
-		r := c.Router(name)
-		h := fnv.New64a()
-		fmt.Fprintf(h, "%s|%s|%+v", r.Implementation(), name, r.Stats())
-		crashed, reason := r.Panicked()
-		fmt.Fprintf(h, "|%v|%s", crashed, reason)
-		rib := r.LocRIB()
-		for _, p := range rib.Prefixes() {
-			fmt.Fprintf(h, "|%s", p)
-			for _, cand := range rib.Candidates(p) {
-				fmt.Fprintf(h, ";%s", cand)
-			}
-		}
-		fmt.Fprintf(h, "|events=%d", len(r.Events()))
-		out[name] = h.Sum64()
-	}
-	return out
 }
 
 // traceRecorder captures a scenario's injections as trace steps.

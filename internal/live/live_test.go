@@ -201,7 +201,7 @@ func TestMinimizerShrinksTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ep, err := rt.Ring().Push(deployed.Snapshot(), fingerprintNodes(deployed))
+	ep, err := rt.Ring().Push(deployed.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,11 +292,11 @@ func TestDeliverSupersedesStaleEpoch(t *testing.T) {
 	c := cluster.MustBuild(deployedTopo, cluster.Options{Seed: 1})
 	c.Converge()
 	ring := checkpoint.NewRing(2)
-	ep1, err := ring.Push(c.Snapshot(), nil)
+	ep1, err := ring.Push(c.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ep2, err := ring.Push(c.Snapshot(), nil)
+	ep2, err := ring.Push(c.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}

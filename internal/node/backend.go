@@ -34,13 +34,24 @@ type Backend struct {
 	DecodeState func(cp Checkpoint) (State, error)
 	// Restore builds a fresh router from a decoded image and state.
 	Restore func(im Image, st State) (Router, error)
-	// DecodeCheckpoint deserializes one checkpoint from its single-node gob
-	// encoding (checkpoint.EncodeNode's output). Single-node encodings are
-	// concrete-typed — unlike a whole snapshot's interface-valued node map —
-	// so crossing a process boundary node by node (the distributed snapshot
-	// deltas) needs the backend to name the concrete type to decode into.
-	// Optional: backends without it cannot receive shipped node patches.
+	// DecodeCheckpoint deserializes one checkpoint from its single-node
+	// legacy gob encoding. Single-node encodings are concrete-typed — unlike
+	// a whole snapshot's interface-valued node map — so crossing a process
+	// boundary node by node needs the backend to name the concrete type to
+	// decode into. Optional; it is only the fallback for artifacts written
+	// before the deterministic codec (EncodeCanonical) existed.
 	DecodeCheckpoint func(data []byte) (Checkpoint, error)
+	// EncodeCanonical serializes a checkpoint into the backend's
+	// deterministic canonical codec payload: identical state always encodes
+	// to identical bytes (sorted map iteration, varint slabs). This is the
+	// byte form content hashes and binary deltas are computed over, framed
+	// by checkpoint.EncodeNode with the codec header and implementation tag.
+	// Optional: backends without it fall back to gob encoding and lose
+	// content addressing.
+	EncodeCanonical func(cp Checkpoint) ([]byte, error)
+	// DecodeCanonical parses a canonical payload produced by EncodeCanonical
+	// back into a checkpoint. Malformed payloads error, never panic.
+	DecodeCanonical func(payload []byte) (Checkpoint, error)
 }
 
 var (
