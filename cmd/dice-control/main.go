@@ -120,5 +120,11 @@ func run(listen string, agents, unitsPerShard int, leaseTTL time.Duration, input
 	for _, id := range ids {
 		fmt.Printf("control: agent %s ran %d shards\n", names[id], counts[id])
 	}
+	// Linger until every agent has seen campaign-done through a lease poll;
+	// returning earlier closes the listener mid-poll and turns the agents'
+	// clean protocol exit into a connection-reset failure.
+	if !ctrl.AwaitDrain(5 * time.Second) {
+		fmt.Println("control: exiting with undrained agents (killed or partitioned)")
+	}
 	return nil
 }

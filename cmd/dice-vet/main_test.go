@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSelfCheck: the full suite must run clean over the repository itself.
+// This is the same gate CI applies; it keeps every //dice:allow honest (an
+// unused or unjustified one is itself a finding) and makes re-introducing a
+// flagged pattern a test failure, not just a lint failure.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-repo analysis is not short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", moduleRoot(t), "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("dice-vet over the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed findings:\n%s", stdout.String())
+	}
+}
+
+// TestFindingsExit: a package with violations exits 1 and prints them.
+func TestFindingsExit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", moduleRoot(t), "./internal/analysis/detrange/testdata/a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "detrange:") {
+		t.Errorf("findings missing detrange diagnostics:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing finding count: %s", stderr.String())
+	}
+}
+
+// TestChecksFlag: -checks narrows the suite — the detrange fixture is clean
+// under detsource alone.
+func TestChecksFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", moduleRoot(t), "-checks", "detsource", "./internal/analysis/detrange/testdata/a"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestSARIF: -sarif writes a report alongside the text findings.
+func TestSARIF(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "vet.sarif")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", moduleRoot(t), "-sarif", out, "./internal/analysis/detrange/testdata/a"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"2.1.0"`, `"dice-vet"`, `"detrange"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("SARIF output missing %s", want)
+		}
+	}
+}
+
+// TestList prints every analyzer.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	for _, a := range all() {
+		if !strings.Contains(stdout.String(), a.Name) {
+			t.Errorf("-list output missing %s:\n%s", a.Name, stdout.String())
+		}
+	}
+}
+
+// TestBadInvocation: unknown analyzers and unknown flags are operational
+// errors (exit 2), distinct from findings (exit 1).
+func TestBadInvocation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-checks", "nonesuch"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr missing analyzer error: %s", stderr.String())
+	}
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-sarif", filepath.Join(t.TempDir(), "no", "such", "dir", "x.sarif"),
+		"-C", moduleRoot(t), "./internal/analysis/detrange/testdata/a"}, &stdout, &stderr); code != 2 {
+		t.Errorf("uncreatable SARIF path: exit %d, want 2", code)
+	}
+}

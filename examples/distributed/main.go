@@ -119,10 +119,14 @@ func main() {
 			fatalf("dice-agent %d failed: %v", i+1, err)
 		}
 	}
+	// Drain the scanner before Wait: Wait closes the stdout pipe, and
+	// closing it mid-read loses the tail of control's output (the shard
+	// count lines asserted below). EOF arrives when the process exits, so
+	// this does not deadlock.
+	scanWG.Wait()
 	if err := control.Wait(); err != nil {
 		fatalf("dice-control failed: %v", err)
 	}
-	scanWG.Wait()
 
 	if len(shardCounts) != 2 {
 		fatalf("control reported shard counts for %d agents, want 2: %v", len(shardCounts), shardCounts)

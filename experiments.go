@@ -957,6 +957,7 @@ func RunE9(cfg ExperimentConfig) (*E9Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer pool.Release(clone)
 	peer := topo.NeighborsOf("R1")[0]
 	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, ASPath: []bgp.ASN{topo.Node(peer).AS, 64999}, NextHop: 99}
 	clone.InjectUpdate(peer, "R1", &bgp.Update{Attrs: attrs, NLRI: []bgp.Prefix{bgp.MustParsePrefix("88.1.0.0/16")}})

@@ -372,7 +372,9 @@ func (a *Agent) runShard(ctx context.Context, topo *topology.Topology, baseStore
 	for j, idx := range lease.UnitIndexes {
 		ur := control.UnitResult{Index: idx}
 		if j < len(res.Units) {
-			ur.Result = res.Units[j]
+			// Results ship in their wire projection: detections reduced to
+			// violation digests, so no local evidence leaves the domain.
+			ur.Result = control.RemoteResultOf(res.Units[j])
 			if e := res.UnitErrors[j]; e != nil {
 				ur.Result = nil
 				ur.Err = e.Error()

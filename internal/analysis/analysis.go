@@ -1,0 +1,136 @@
+// Package analysis is a self-contained static-analysis framework for the
+// dice repository: a deliberately small mirror of the
+// golang.org/x/tools/go/analysis API, built entirely on the standard
+// library's go/ast and go/types so the module keeps its zero-dependency
+// policy. The dice-vet multichecker (cmd/dice-vet) drives the five
+// domain-specific analyzers in internal/analysis/{detrange,detsource,
+// leasebalance,privleak,codecpin} over every package in the module.
+//
+// The framework differs from x/tools in three deliberate ways:
+//
+//   - Packages are loaded with `go list -deps -export -json` and
+//     type-checked from source against the toolchain's compiled export
+//     data, so a run needs nothing beyond the go command and a warm build
+//     cache (the driver warms it itself).
+//   - Facts are plain string-keyed values in a store shared across the
+//     whole run. Packages are analyzed in dependency order, so an analyzer
+//     always sees the facts its imports exported. Keys embed the package
+//     path, which keeps them stable across separately type-checked units.
+//   - Suppressions are `//dice:allow <analyzer> <reason>` comments (see
+//     directives.go); a suppression without a reason is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check. Run reports findings through
+// Pass.Report; a non-nil error aborts the whole vet run (reserved for
+// internal failures, never for findings).
+type Analyzer struct {
+	// Name is the analyzer identifier used on the command line, in
+	// diagnostics, and in //dice:allow suppressions.
+	Name string
+	// Doc is the one-paragraph description shown by dice-vet -help.
+	Doc string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed source files of the package under analysis.
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types results for those files.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	facts *FactStore
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact publishes a fact for downstream packages. Facts are namespaced
+// per analyzer, so two analyzers can use the same key without collision.
+func (p *Pass) ExportFact(key string, value any) {
+	p.facts.set(p.Analyzer.Name, key, value)
+}
+
+// Fact retrieves a fact exported by this analyzer while processing this or
+// any previously analyzed package (the driver runs packages in dependency
+// order, so imports are always processed first).
+func (p *Pass) Fact(key string) (any, bool) {
+	return p.facts.get(p.Analyzer.Name, key)
+}
+
+// FuncKey returns the stable fact key for a function or method object:
+// "pkgpath.Name" for package functions, "pkgpath.(Recv).Name" for methods
+// (pointerness of the receiver is erased — a fact about (*T).M and T.M is
+// the same fact). Objects outside any package (builtins) key as their name.
+func FuncKey(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path() + "."
+	}
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "(" + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// FactStore is the run-wide fact table shared by every pass.
+type FactStore struct {
+	m map[string]any
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[string]any)} }
+
+func (s *FactStore) set(analyzer, key string, v any) { s.m[analyzer+"\x00"+key] = v }
+
+func (s *FactStore) get(analyzer, key string) (any, bool) {
+	v, ok := s.m[analyzer+"\x00"+key]
+	return v, ok
+}
+
+// Keys returns every key exported by the named analyzer, sorted — used by
+// tests to assert fact propagation.
+func (s *FactStore) Keys(analyzer string) []string {
+	prefix := analyzer + "\x00"
+	var out []string
+	for k := range s.m {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out
+}

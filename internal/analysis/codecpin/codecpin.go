@@ -1,0 +1,285 @@
+// Package codecpin verifies that every struct with a registered canonical
+// encoder keeps its field-count pin in sync with its definition, so adding
+// a field without teaching the codec about it fails vet instead of
+// producing silently-lossy checkpoints in production. The
+// statsFieldCount=17 pin in internal/checkpoint/codec is the pattern: the
+// encoder writes the count into every artifact and the decoder rejects a
+// mismatch, but until this analyzer the only thing keeping the CONSTANT
+// honest was a reflect-based test.
+//
+// Two rules:
+//
+//  1. A `//dice:fieldpin T` directive on a constant declaration asserts
+//     that the constant's value equals the number of fields of struct T
+//     (T may be package-qualified, e.g. `//dice:fieldpin node.RouterStats`).
+//     A mismatch, an unresolvable T, or a directive on something that is
+//     not an integer constant is a finding.
+//
+//  2. In a package whose doc carries `//dice:codec` (the canonical-encoder
+//     package), every externally-defined struct whose fields the package
+//     reads or writes must either be fully covered — all of its fields
+//     referenced somewhere in the package — or carry a fieldpin. A struct
+//     the codec touches only partially, with no pin, is exactly the
+//     "added a field, forgot the codec" hole.
+//
+// Suppression: `//dice:allow codecpin <reason>`.
+package codecpin
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/dice-project/dice/internal/analysis"
+)
+
+// Analyzer is the codecpin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecpin",
+	Doc:  "verifies field-count pins match struct definitions in canonical-encoder packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pinned := checkFieldPins(pass)
+	if isCodecPackage(pass) {
+		checkFieldCoverage(pass, pinned)
+	}
+	return nil
+}
+
+// isCodecPackage reports whether any file carries the //dice:codec package
+// directive.
+func isCodecPackage(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		for _, d := range analysis.ParseDirectives(pass.Fset, f) {
+			if d.Name == "codec" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFieldPins enforces rule 1 and returns the set of struct types
+// (by types.Type identity string) that have pins.
+func checkFieldPins(pass *analysis.Pass) map[string]bool {
+	pinned := make(map[string]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				target := pinDirectiveTarget(gd, vs)
+				if target == "" {
+					continue
+				}
+				checkOnePin(pass, vs, target, pinned)
+			}
+		}
+	}
+	return pinned
+}
+
+// pinDirectiveTarget extracts the //dice:fieldpin argument from the spec's
+// or declaration's doc comment.
+func pinDirectiveTarget(gd *ast.GenDecl, vs *ast.ValueSpec) string {
+	for _, doc := range []*ast.CommentGroup{vs.Doc, gd.Doc, vs.Comment} {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			if rest, ok := strings.CutPrefix(c.Text, "//dice:fieldpin"); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+	}
+	return ""
+}
+
+// checkOnePin validates one pinned constant against its struct.
+func checkOnePin(pass *analysis.Pass, vs *ast.ValueSpec, target string, pinned map[string]bool) {
+	if len(vs.Names) != 1 {
+		pass.Reportf(vs.Pos(), "//dice:fieldpin must annotate exactly one constant")
+		return
+	}
+	name := vs.Names[0]
+	obj, ok := pass.TypesInfo.Defs[name].(*types.Const)
+	if !ok {
+		pass.Reportf(vs.Pos(), "//dice:fieldpin %s: %s is not a constant", target, name.Name)
+		return
+	}
+	if obj.Val().Kind() != constant.Int {
+		pass.Reportf(vs.Pos(), "//dice:fieldpin %s: %s is not an integer constant", target, name.Name)
+		return
+	}
+	val, exact := constant.Int64Val(obj.Val())
+	if !exact {
+		pass.Reportf(vs.Pos(), "//dice:fieldpin %s: %s is not an integer constant", target, name.Name)
+		return
+	}
+	st, typeName := resolveStruct(pass, target)
+	if st == nil {
+		pass.Reportf(vs.Pos(), "//dice:fieldpin %s: cannot resolve to a struct type (is the package imported?)", target)
+		return
+	}
+	pinned[typeName] = true
+	if int64(st.NumFields()) != val {
+		pass.Reportf(name.Pos(),
+			"field-count pin %s=%d does not match %s, which has %d fields — a field was added or removed without updating the codec (update the encoder/decoder and the pin together, and bump the format version)",
+			name.Name, val, target, st.NumFields())
+	}
+}
+
+// resolveStruct resolves "T" (package scope) or "pkg.T" (an import, matched
+// by package name) to its struct type. The returned key is the types
+// package path + name, matching referencedFields' keys.
+func resolveStruct(pass *analysis.Pass, target string) (*types.Struct, string) {
+	var obj types.Object
+	if pkgName, typeName, ok := strings.Cut(target, "."); ok {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Name() == pkgName {
+				obj = imp.Scope().Lookup(typeName)
+				break
+			}
+		}
+	} else {
+		obj = pass.Pkg.Scope().Lookup(target)
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, ""
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, ""
+	}
+	return st, typeKey(tn)
+}
+
+func typeKey(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// checkFieldCoverage enforces rule 2: external structs partially referenced
+// in a //dice:codec package must be pinned or fully covered.
+func checkFieldCoverage(pass *analysis.Pass, pinned map[string]bool) {
+	type structRef struct {
+		tn     *types.TypeName
+		st     *types.Struct
+		fields map[string]bool
+		pos    ast.Node
+	}
+	refs := make(map[string]*structRef)
+
+	record := func(field *types.Var, at ast.Node) {
+		if field == nil || !field.IsField() {
+			return
+		}
+		owner := ownerStruct(pass, field)
+		if owner == nil {
+			return
+		}
+		tn := owner.Obj()
+		if tn.Pkg() == nil || tn.Pkg() == pass.Pkg || !analysis.IsModulePkg(tn.Pkg().Path()) {
+			return // only module-external-to-this-package structs matter
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		key := typeKey(tn)
+		r := refs[key]
+		if r == nil {
+			r = &structRef{tn: tn, st: st, fields: make(map[string]bool), pos: at}
+			refs[key] = r
+		}
+		r.fields[field.Name()] = true
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						record(v, n)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if id, ok := n.Key.(*ast.Ident); ok {
+					if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+						record(v, n)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	keys := make([]string, 0, len(refs))
+	for k := range refs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r := refs[k]
+		if pinned[k] {
+			continue
+		}
+		var missing []string
+		for i := 0; i < r.st.NumFields(); i++ {
+			if name := r.st.Field(i).Name(); !r.fields[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		pass.Reportf(r.pos.Pos(),
+			"codec package references only %d of %d fields of %s (missing: %s) with no //dice:fieldpin — encode the missing fields or pin the count to make the omission explicit",
+			len(r.fields), r.st.NumFields(), k, strings.Join(missing, ", "))
+	}
+}
+
+// ownerStruct finds the named struct type that declares the field, by
+// scanning the field's package scope (go/types does not link fields back to
+// their owner).
+func ownerStruct(pass *analysis.Pass, field *types.Var) *types.Named {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return named
+			}
+		}
+	}
+	return nil
+}

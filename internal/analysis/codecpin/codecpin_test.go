@@ -1,0 +1,13 @@
+package codecpin_test
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/analysis"
+	"github.com/dice-project/dice/internal/analysis/codecpin"
+	"github.com/dice-project/dice/internal/analysis/vettest"
+)
+
+func TestCodecpin(t *testing.T) {
+	vettest.Run(t, []*analysis.Analyzer{codecpin.Analyzer}, "testdata/a", "testdata/b")
+}

@@ -1,0 +1,47 @@
+// Package a exercises codecpin rule 1: //dice:fieldpin constants must match
+// their struct's field count. staleFields is the statsFieldCount bug shape —
+// a field added without updating the codec.
+package a
+
+// Rec is the pinned struct.
+type Rec struct {
+	A int
+	B string
+	C bool
+}
+
+// Pinned is partially encoded downstream; the pin there makes it explicit.
+type Pinned struct {
+	X int
+	Y int
+}
+
+// Full is fully covered downstream.
+type Full struct {
+	M int
+	N int
+}
+
+// recFields pins Rec's field count correctly.
+//
+//dice:fieldpin Rec
+const recFields = 3
+
+// staleFields is the forgotten-update case.
+//
+//dice:fieldpin Rec
+const staleFields = 2 // want `does not match`
+
+// missingTarget names a type that does not exist.
+//
+//dice:fieldpin Gone
+const missingTarget = 1 // want `cannot resolve`
+
+// notInt pins with a non-integer constant.
+//
+//dice:fieldpin Rec
+const notInt = "three" // want `not an integer constant`
+
+var _ = recFields + staleFields + missingTarget
+
+var _ = notInt

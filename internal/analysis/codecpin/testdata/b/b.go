@@ -1,0 +1,36 @@
+// Package b is a canonical-encoder package (rule 2): every external struct
+// it reads partially must be pinned or fully covered.
+//
+//dice:codec
+package b
+
+import (
+	a "github.com/dice-project/dice/fixture/a"
+)
+
+// pinnedCount makes the partial coverage of Pinned explicit.
+//
+//dice:fieldpin a.Pinned
+const pinnedCount = 2
+
+// EncodePartial touches only part of Rec with no pin — the "added a field,
+// forgot the codec" hole.
+func EncodePartial(r a.Rec) []int {
+	return []int{r.A, len(r.B)} // want `references only 2 of 3 fields`
+}
+
+// EncodePinned touches only X; the pin suppresses the coverage finding.
+func EncodePinned(p a.Pinned) int {
+	return p.X + pinnedCount
+}
+
+// EncodeFull reads M; DecodeFull's composite literal covers N too, so Full
+// is fully covered between them.
+func EncodeFull(f a.Full) int {
+	return f.M
+}
+
+// DecodeFull rebuilds Full with a keyed composite literal.
+func DecodeFull(m, n int) a.Full {
+	return a.Full{M: m, N: n}
+}

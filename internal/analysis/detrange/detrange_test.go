@@ -1,0 +1,13 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/analysis"
+	"github.com/dice-project/dice/internal/analysis/detrange"
+	"github.com/dice-project/dice/internal/analysis/vettest"
+)
+
+func TestDetrange(t *testing.T) {
+	vettest.Run(t, []*analysis.Analyzer{detrange.Analyzer}, "testdata/a", "testdata/b")
+}

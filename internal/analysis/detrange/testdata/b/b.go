@@ -1,0 +1,33 @@
+// Package b exercises detrange's cross-package taint: the encoder-reaching
+// helper lives in fixture a and taints this package's map range through an
+// exported fact.
+package b
+
+import (
+	"hash"
+
+	a "github.com/dice-project/dice/fixture/a"
+)
+
+// BadCrossPackage reaches a hasher only through a helper in another package.
+func BadCrossPackage(h hash.Hash, m map[string]bool) {
+	for k := range m { // want `range over map`
+		a.Absorb(h, k)
+	}
+}
+
+// GoodCrossPackage iterates a slice, not a map.
+func GoodCrossPackage(h hash.Hash, keys []string) {
+	for _, k := range keys {
+		a.Absorb(h, k)
+	}
+}
+
+// GoodNoSink ranges a map without any byte-producing call.
+func GoodNoSink(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

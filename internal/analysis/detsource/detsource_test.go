@@ -1,0 +1,13 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/analysis"
+	"github.com/dice-project/dice/internal/analysis/detsource"
+	"github.com/dice-project/dice/internal/analysis/vettest"
+)
+
+func TestDetsource(t *testing.T) {
+	vettest.Run(t, []*analysis.Analyzer{detsource.Analyzer}, "testdata/a", "testdata/b")
+}

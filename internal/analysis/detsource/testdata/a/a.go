@@ -1,0 +1,86 @@
+// Package a exercises the detsource analyzer inside an opted-in
+// deterministic package. BadNow is the PR 5 unscrubbed-shadow bug class:
+// one wall-clock read makes replays diverge.
+//
+//dice:deterministic
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock is the injected-time seam.
+type Clock struct {
+	// Now yields the campaign's logical time.
+	Now func() time.Time
+}
+
+// NewClock wires the default by value assignment — legal: only calls are
+// nondeterminism.
+func NewClock() Clock {
+	return Clock{Now: time.Now}
+}
+
+// BadNow reads the wall clock.
+func BadNow() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+// BadSleep stalls on real time.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+}
+
+// BadGlobalRand draws from the process-global, process-seeded generator.
+func BadGlobalRand(n int) int {
+	return rand.Intn(n) // want `global rand\.Intn`
+}
+
+// GoodSeededRand draws from an injected, seeded instance; the constructors
+// themselves are the approved pattern.
+func GoodSeededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// BadPick selects whichever map element iteration happens to visit first.
+func BadPick(m map[string]int) string {
+	var pick string
+	for k := range m {
+		pick = k
+		break // want `break out of range over map`
+	}
+	return pick
+}
+
+// GoodPick reduces over every entry; no order dependence.
+func GoodPick(m map[string]int) string {
+	best := ""
+	for k := range m {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// GoodNestedBreak breaks an inner slice loop, not the map range.
+func GoodNestedBreak(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		for _, v := range vs {
+			if v < 0 {
+				break
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+// AllowedWallClock is the escape hatch for genuinely wall-clock code.
+func AllowedWallClock() time.Time {
+	//dice:allow detsource fixture models the real-TCP integration runner
+	return time.Now()
+}

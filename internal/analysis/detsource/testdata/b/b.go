@@ -1,0 +1,10 @@
+// Package b is neither in the built-in deterministic set nor opted in;
+// wall-clock reads here are none of detsource's business.
+package b
+
+import "time"
+
+// Stamp reads real time in a wall-clock package.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repository's analyzer directives all share the //dice: prefix:
+//
+//	//dice:allow <analyzer> <reason>   suppress a finding on this or the
+//	                                   next line; the reason is mandatory
+//	//dice:deterministic               (package doc) opt a package into
+//	                                   detsource's deterministic set
+//	//dice:fieldpin <Type>             (const decl) pin a codec field count
+//	                                   to a struct definition (codecpin)
+//	//dice:lease                       (func decl) the returned func() is a
+//	                                   release obligation (leasebalance)
+//	//dice:boundary                    (type decl) the type crosses the
+//	                                   federation/control privacy boundary
+//	                                   (privleak)
+//
+// Directive comments are load-bearing configuration, not prose: they are
+// parsed by position (same line or the line immediately above the code they
+// govern), exactly like //go: directives.
+
+// Directive is one parsed //dice: comment.
+type Directive struct {
+	Pos  token.Pos
+	Line int // 1-based line in its file
+	// Name is the directive verb: "allow", "deterministic", "fieldpin", ...
+	Name string
+	// Args is the remainder after the verb, space-trimmed.
+	Args string
+}
+
+// Verb and first argument accessors for the common two-field shapes.
+
+// Arg1 returns the first whitespace-separated argument and the rest.
+func (d Directive) Arg1() (string, string) {
+	s := strings.TrimSpace(d.Args)
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i], strings.TrimSpace(s[i+1:])
+	}
+	return s, ""
+}
+
+const directivePrefix = "//dice:"
+
+// ParseDirectives extracts every //dice: directive from a file's comments.
+func ParseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			body := c.Text[len(directivePrefix):]
+			name, args := body, ""
+			if i := strings.IndexAny(body, " \t"); i >= 0 {
+				name, args = body[:i], strings.TrimSpace(body[i+1:])
+			}
+			out = append(out, Directive{
+				Pos:  c.Pos(),
+				Line: fset.Position(c.Pos()).Line,
+				Name: name,
+				Args: args,
+			})
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether a declaration's doc comment group carries the
+// named directive.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directivePrefix+name) {
+			rest := c.Text[len(directivePrefix+name):]
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allowDirective is one parsed //dice:allow suppression.
+type allowDirective struct {
+	d        Directive
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// suppressions indexes a unit's //dice:allow directives by file and line.
+type suppressions struct {
+	fset *token.FileSet
+	// byFileLine maps filename -> line -> directives on that line.
+	byFileLine map[string]map[int][]*allowDirective
+	all        []*allowDirective
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{fset: fset, byFileLine: make(map[string]map[int][]*allowDirective)}
+	for _, f := range files {
+		for _, d := range ParseDirectives(fset, f) {
+			if d.Name != "allow" {
+				continue
+			}
+			analyzer, reason := d.Arg1()
+			ad := &allowDirective{d: d, analyzer: analyzer, reason: reason}
+			pos := fset.Position(d.Pos)
+			lines := s.byFileLine[pos.Filename]
+			if lines == nil {
+				lines = make(map[int][]*allowDirective)
+				s.byFileLine[pos.Filename] = lines
+			}
+			lines[pos.Line] = append(lines[pos.Line], ad)
+			s.all = append(s.all, ad)
+		}
+	}
+	return s
+}
+
+// suppressed reports whether a diagnostic at pos from the named analyzer is
+// covered by an //dice:allow on the same line or the line above, marking the
+// directive used.
+func (s *suppressions) suppressed(analyzer string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	lines := s.byFileLine[p.Filename]
+	if lines == nil {
+		return false
+	}
+	hit := false
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, ad := range lines[line] {
+			if ad.analyzer == analyzer {
+				ad.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is a resolved diagnostic with its source position filled in.
+type Finding struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Driver runs a set of analyzers over loaded units, applies //dice:allow
+// suppressions, and collects the surviving findings.
+type Driver struct {
+	Analyzers []*Analyzer
+	// Known lists every analyzer name that exists, whether or not it is
+	// running — suppressions for a known-but-unselected analyzer are left
+	// alone, while a typo'd name is a finding. Defaults to Analyzers.
+	Known []string
+	facts *FactStore
+}
+
+// NewDriver returns a driver over the given analyzers sharing one fact
+// store for the whole run.
+func NewDriver(analyzers ...*Analyzer) *Driver {
+	return &Driver{Analyzers: analyzers, facts: NewFactStore()}
+}
+
+// Facts exposes the run's fact store (tests assert propagation through it).
+func (d *Driver) Facts() *FactStore { return d.facts }
+
+// Run analyzes the units in order and returns all unsuppressed findings,
+// sorted by position. Units must arrive in dependency order (Loader.Load
+// guarantees it) for cross-package facts to resolve.
+func (d *Driver) Run(units []*Unit) ([]Finding, error) {
+	var findings []Finding
+	for _, u := range units {
+		fs, err := d.runUnit(u)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// runUnit applies every analyzer to one unit.
+func (d *Driver) runUnit(u *Unit) ([]Finding, error) {
+	sup := collectSuppressions(u.Fset, u.Files)
+	ran := make(map[string]bool, len(d.Analyzers))
+	var diags []Diagnostic
+	for _, a := range d.Analyzers {
+		ran[a.Name] = true
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     u.Files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.Info,
+			facts:     d.facts,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, u.ImportPath, err)
+		}
+	}
+
+	var findings []Finding
+	for _, diag := range diags {
+		if sup.suppressed(diag.Analyzer, diag.Pos) {
+			continue
+		}
+		findings = append(findings, Finding{
+			Position: u.Fset.Position(diag.Pos),
+			Analyzer: diag.Analyzer,
+			Message:  diag.Message,
+		})
+	}
+	// Suppression hygiene: an //dice:allow must name a real analyzer,
+	// carry a reason, and actually suppress something — otherwise it is
+	// stale armor that would silently swallow a future real finding.
+	known := d.Known
+	if known == nil {
+		for _, a := range d.Analyzers {
+			known = append(known, a.Name)
+		}
+	}
+	isKnown := func(name string) bool {
+		for _, k := range known {
+			if k == name {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(ad *allowDirective, format string, args ...any) {
+		findings = append(findings, Finding{
+			Position: u.Fset.Position(ad.d.Pos),
+			Analyzer: "allowdirective",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, ad := range sup.all {
+		switch {
+		case ad.analyzer == "":
+			report(ad, "//dice:allow requires an analyzer name and a reason")
+		case !isKnown(ad.analyzer):
+			report(ad, "//dice:allow names unknown analyzer %q", ad.analyzer)
+		case strings.TrimSpace(ad.reason) == "":
+			report(ad, "//dice:allow %s requires a reason", ad.analyzer)
+		case !ad.used && ran[ad.analyzer]:
+			report(ad, "unused //dice:allow %s (nothing was suppressed here)", ad.analyzer)
+		}
+	}
+	return findings, nil
+}
+
+// WriteText renders findings in the canonical file:line:col form.
+func WriteText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f)
+	}
+}

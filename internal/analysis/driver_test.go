@@ -1,0 +1,148 @@
+package analysis_test
+
+import (
+	"bytes"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/dice-project/dice/internal/analysis"
+)
+
+// boomAnalyzer flags every call to a function literally named boom — a toy
+// check that exercises the driver's suppression and hygiene machinery
+// without dragging in real analyzer logic.
+var boomAnalyzer = &analysis.Analyzer{
+	Name: "boom",
+	Doc:  "flags calls to boom",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+					pass.Reportf(call.Pos(), "call to boom")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const hygieneFixture = `// Package p is a driver fixture.
+package p
+
+func boom() {}
+
+// Flagged is a plain finding.
+func Flagged() { boom() }
+
+// Suppressed carries a valid allow with a reason.
+func Suppressed() {
+	//dice:allow boom reason documented here
+	boom()
+}
+
+//dice:allow boom covers nothing on this or the next line
+var unused = 1
+
+//dice:allow nosuchcheck some reason
+var unknown = 2
+
+//dice:allow boom
+var noReason = 3
+
+//dice:allow
+var noName = 4
+`
+
+func TestDriverSuppressionAndHygiene(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(hygieneFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(dir)
+	u, err := l.LoadDir(dir, analysis.ModulePath+"/fixture/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := analysis.NewDriver(boomAnalyzer)
+	findings, err := d.Run([]*analysis.Unit{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, f.Analyzer+": "+f.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+
+	expect := []string{
+		"boom: call to boom", // Flagged, unsuppressed
+		"allowdirective: unused //dice:allow boom",
+		`allowdirective: //dice:allow names unknown analyzer "nosuchcheck"`,
+		"allowdirective: //dice:allow boom requires a reason",
+		"allowdirective: //dice:allow requires an analyzer name and a reason",
+	}
+	for _, want := range expect {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	if got := len(findings); got != len(expect) {
+		t.Errorf("got %d findings, want %d:\n%s", got, len(expect), joined)
+	}
+	// The valid suppression must have swallowed the second boom call.
+	if strings.Count(joined, "call to boom") != 1 {
+		t.Errorf("suppression failed, findings:\n%s", joined)
+	}
+
+	var text bytes.Buffer
+	analysis.WriteText(&text, findings)
+	if !strings.Contains(text.String(), "p.go:7") {
+		t.Errorf("WriteText output missing position: %s", text.String())
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc boom() {}\n\nfunc f() { boom() }\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(dir)
+	u, err := l.LoadDir(dir, analysis.ModulePath+"/fixture/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := analysis.NewDriver(boomAnalyzer)
+	findings, err := d.Run([]*analysis.Unit{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want 1 finding, got %v", findings)
+	}
+	var buf bytes.Buffer
+	if err := analysis.WriteSARIF(&buf, dir, []*analysis.Analyzer{boomAnalyzer}, findings); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"version": "2.1.0"`,
+		`"name": "dice-vet"`,
+		`"ruleId": "boom"`,
+		`"uri": "p.go"`, // root-relativized
+		`"startLine": 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SARIF output missing %s:\n%s", want, out)
+		}
+	}
+}

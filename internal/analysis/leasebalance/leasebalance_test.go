@@ -1,0 +1,13 @@
+package leasebalance_test
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/analysis"
+	"github.com/dice-project/dice/internal/analysis/leasebalance"
+	"github.com/dice-project/dice/internal/analysis/vettest"
+)
+
+func TestLeasebalance(t *testing.T) {
+	vettest.Run(t, []*analysis.Analyzer{leasebalance.Analyzer}, "testdata/a")
+}

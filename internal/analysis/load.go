@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Unit is one loaded, type-checked package ready for analysis.
+type Unit struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepsErrors []*struct{ Err string }
+}
+
+// Loader turns package patterns into type-checked Units. It resolves every
+// import through the toolchain's compiled export data (`go list -deps
+// -export`), so loading is fast and exactly matches what the compiler saw,
+// while the analyzed packages themselves are parsed and type-checked from
+// source (analyzers need the ASTs).
+type Loader struct {
+	// Dir is the working directory for go commands (module root or below).
+	Dir string
+
+	fset    *token.FileSet
+	exports map[string]string         // import path -> export data file
+	srcPkgs map[string]*types.Package // import path -> source-checked package
+	imp     types.Importer
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		srcPkgs: make(map[string]*types.Package),
+	}
+}
+
+// Fset returns the loader's file set (shared across all loaded units).
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list` with the given arguments and decodes the JSON stream.
+func (l *Loader) goList(args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves the patterns to module packages, type-checks each from
+// source, and returns them in dependency order (imports before importers),
+// which is what the driver's fact propagation relies on.
+func (l *Loader) Load(patterns ...string) ([]*Unit, error) {
+	// One -deps -export walk gives every transitive dependency's compiled
+	// export data (building anything stale as a side effect) plus the set
+	// of target packages themselves.
+	all, err := l.goList(append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPackage, len(all))
+	for _, p := range all {
+		if p.Error != nil && p.Standard {
+			continue
+		}
+		byPath[p.ImportPath] = p
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+
+	inTarget := make(map[string]bool, len(targets))
+	order := make([]string, 0, len(targets))
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if t.Name == "" {
+			continue // pattern matched nothing concrete
+		}
+		inTarget[t.ImportPath] = true
+		order = append(order, t.ImportPath)
+	}
+	// Dependency order: `go list -deps` already emits dependencies first;
+	// filter that stream down to the targets.
+	ordered := make([]string, 0, len(order))
+	seen := make(map[string]bool, len(order))
+	for _, p := range all {
+		if inTarget[p.ImportPath] && !seen[p.ImportPath] {
+			seen[p.ImportPath] = true
+			ordered = append(ordered, p.ImportPath)
+		}
+	}
+	for _, p := range order { // targets that -deps somehow missed
+		if !seen[p] {
+			seen[p] = true
+			ordered = append(ordered, p)
+		}
+	}
+
+	units := make([]*Unit, 0, len(ordered))
+	for _, path := range ordered {
+		lp := byPath[path]
+		if lp == nil {
+			for _, t := range targets {
+				if t.ImportPath == path {
+					lp = t
+				}
+			}
+		}
+		u, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// LoadDir type-checks a single directory of Go files as one synthetic
+// package — the fixture-test entry point, where packages live under
+// testdata and are invisible to go list. Imports still resolve through the
+// export map, so fixtures may import real module packages; the caller must
+// have Loaded (or Warmed) those first.
+func (l *Loader) LoadDir(dir, importPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	lp := &listPackage{ImportPath: importPath, Dir: dir, GoFiles: files}
+	return l.check(lp)
+}
+
+// Warm ensures export data exists for the patterns' transitive dependencies
+// without type-checking anything — used before LoadDir so fixture imports
+// resolve.
+func (l *Loader) Warm(patterns ...string) error {
+	all, err := l.goList(append([]string{"-deps", "-export"}, patterns...)...)
+	if err != nil {
+		return err
+	}
+	for _, p := range all {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// check parses and type-checks one package from source.
+func (l *Loader) check(lp *listPackage) (*Unit, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l.exportImporter(),
+		Error:    func(error) {}, // collect the first hard error below
+	}
+	pkg, err := conf.Check(lp.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %v", lp.ImportPath, err)
+	}
+	l.srcPkgs[lp.ImportPath] = pkg
+	return &Unit{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Fset:       l.fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// exportImporter resolves imports: packages already type-checked from source
+// in this run (module units, earlier fixture dirs) are reused by identity;
+// everything else comes from the compiled export data recorded by Load/Warm.
+// One importer instance serves the whole run, so every unit sees the same
+// *types.Package for a given import path.
+func (l *Loader) exportImporter() types.Importer {
+	if l.imp == nil {
+		lookup := func(path string) (io.ReadCloser, error) {
+			exp, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q (not a dependency of the loaded patterns)", path)
+			}
+			return os.Open(exp)
+		}
+		l.imp = &loaderImporter{src: l.srcPkgs, gc: importer.ForCompiler(l.fset, "gc", lookup)}
+	}
+	return l.imp
+}
+
+// loaderImporter prefers source-checked packages over export data.
+type loaderImporter struct {
+	src map[string]*types.Package
+	gc  types.Importer
+}
+
+func (i *loaderImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.src[path]; ok {
+		return p, nil
+	}
+	return i.gc.Import(path)
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoaderLoadsModulePackageInDependencyOrder(t *testing.T) {
+	l := NewLoader(moduleRoot(t))
+	units, err := l.Load("github.com/dice-project/dice/internal/cluster", "github.com/dice-project/dice/internal/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 {
+		t.Fatalf("got %d units, want 2", len(units))
+	}
+	// checkpoint is a dependency of cluster, so it must come first.
+	if units[0].ImportPath != "github.com/dice-project/dice/internal/checkpoint" {
+		t.Fatalf("dependency order violated: first unit is %s", units[0].ImportPath)
+	}
+	for _, u := range units {
+		if u.Pkg == nil || !u.Pkg.Complete() {
+			t.Fatalf("%s: incomplete type-check", u.ImportPath)
+		}
+		if len(u.Files) == 0 {
+			t.Fatalf("%s: no files", u.ImportPath)
+		}
+	}
+	// The cluster package must see ClonePool with its Lease method.
+	pool := units[1].Pkg.Scope().Lookup("ClonePool")
+	if pool == nil {
+		t.Fatal("cluster.ClonePool not found")
+	}
+}
+
+func TestLoadDirResolvesModuleImports(t *testing.T) {
+	root := moduleRoot(t)
+	l := NewLoader(root)
+	if err := l.Warm("github.com/dice-project/dice/internal/checker"); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	src := `package fixture
+
+import "github.com/dice-project/dice/internal/checker"
+
+func S() checker.Summary { return checker.Summary{Domain: "d"} }
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	u, err := l.LoadDir(dir, "example.test/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Pkg.Name(); got != "fixture" {
+		t.Fatalf("package name %q", got)
+	}
+}

@@ -1,0 +1,13 @@
+package privleak_test
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/analysis"
+	"github.com/dice-project/dice/internal/analysis/privleak"
+	"github.com/dice-project/dice/internal/analysis/vettest"
+)
+
+func TestPrivleak(t *testing.T) {
+	vettest.Run(t, []*analysis.Analyzer{privleak.Analyzer}, "testdata/a")
+}

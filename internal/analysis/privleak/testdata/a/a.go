@@ -1,0 +1,74 @@
+// Package a exercises the privleak boundary walker: only checker.Summary
+// content may be reachable from a //dice:boundary type. BadViolation is the
+// pre-PR 8 control-wire shape (full violations, Detail included, crossing
+// the result frame).
+package a
+
+import (
+	"github.com/dice-project/dice/internal/checker"
+	"github.com/dice-project/dice/internal/node"
+)
+
+// GoodFrame carries only digest-level content and the summary itself.
+//
+//dice:boundary
+type GoodFrame struct {
+	Seq     int
+	Domain  string
+	Digests []checker.ViolationDigest
+	Summary checker.Summary
+}
+
+// BadViolation ships full violations; Detail quotes node-local evidence.
+//
+//dice:boundary
+type BadViolation struct { // want `reaches checker\.Violation`
+	V []checker.Violation
+}
+
+// BadRecord drags a raw route record across the boundary.
+//
+//dice:boundary
+type BadRecord struct { // want `reaches node\.RouteRecord`
+	R node.RouteRecord
+}
+
+// payload hides the poison one indirection down.
+type payload struct {
+	Records map[string]node.PeerRouteMap
+}
+
+// BadNested reaches node state only transitively.
+//
+//dice:boundary
+type BadNested struct { // want `reaches node\.PeerRouteMap`
+	P *payload
+}
+
+// BadAny defeats static checking with an empty interface.
+//
+//dice:boundary
+type BadAny struct { // want `defeats static privacy checking`
+	Payload any
+}
+
+// BadChan cannot cross a process boundary at all.
+//
+//dice:boundary
+type BadChan struct { // want `channel or func`
+	C chan int
+}
+
+// Internal is not a boundary root; poison inside the domain is fine.
+type Internal struct {
+	V checker.Violation
+	R node.RouteRecord
+}
+
+// AllowedFrame documents the emergency escape hatch.
+//
+//dice:boundary
+//dice:allow privleak fixture demonstrates the emergency escape hatch
+type AllowedFrame struct {
+	V checker.Violation
+}

@@ -206,3 +206,20 @@ func TestNodeNamesSorted(t *testing.T) {
 		t.Errorf("NodeNames = %v", names)
 	}
 }
+
+// TestDecodeSubHeaderInputs: the codec-vs-gob sniff must route zero-length
+// and sub-header inputs to a clean error on both decode surfaces — a
+// truncated artifact can never slice-panic the snapshot loader.
+func TestDecodeSubHeaderInputs(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {0xD1}, {0xD1, 0xCE}, {0xD1, 0xCE, 1}} {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%#v): no error", data)
+		}
+		if _, err := DecodeNode("bird", data); err == nil {
+			t.Errorf("DecodeNode(bird, %#v): no error", data)
+		}
+		if _, err := DecodeNode("", data); err == nil {
+			t.Errorf("DecodeNode(untagged, %#v): no error", data)
+		}
+	}
+}

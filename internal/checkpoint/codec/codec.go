@@ -29,6 +29,13 @@
 // Decoding is strictly non-panicking: the Reader carries a sticky error,
 // every count is validated against the remaining bytes before it sizes an
 // allocation, and truncated or trailing input fails the final EOF check.
+//
+// The //dice:codec directive below opts this package into dice-vet's
+// codecpin field-coverage rule: any external struct these encoders touch
+// only partially must carry a //dice:fieldpin, so "added a field, forgot
+// the codec" fails vet instead of shipping lossy checkpoints.
+//
+//dice:codec
 package codec
 
 import (

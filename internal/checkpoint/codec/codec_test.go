@@ -209,3 +209,51 @@ func TestStickyErrorAndBounds(t *testing.T) {
 		t.Fatal("BeginSlab accepted an oversized slab length")
 	}
 }
+
+// TestSubHeaderInputs: zero-length and one-byte inputs — anything shorter
+// than the 4-byte header — must come back as false from IsEncoded or as a
+// sticky error from the Reader, never as a slice panic. These are the decoder
+// entry points the snapshot sniffer hits on truncated artifacts.
+func TestSubHeaderInputs(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {Magic0}, {Magic0, Magic1}, {Magic0, Magic1, Version}} {
+		if IsEncoded(data) {
+			t.Errorf("IsEncoded(%#v) = true, want false", data)
+		}
+		r := NewReader(data)
+		r.Header(KindSnapshot)
+		if r.Err() == nil {
+			t.Errorf("Header accepted %d-byte input", len(data))
+		}
+	}
+
+	// Every accessor on empty and on a lone continuation byte: zero value
+	// plus sticky error, no panic.
+	accessors := []struct {
+		name string
+		read func(r *Reader)
+	}{
+		{"Byte", func(r *Reader) { r.Byte() }},
+		{"Bool", func(r *Reader) { r.Bool() }},
+		{"Uvarint", func(r *Reader) { r.Uvarint() }},
+		{"Varint", func(r *Reader) { r.Varint() }},
+		{"Count", func(r *Reader) { r.Count() }},
+		{"String", func(r *Reader) { _ = r.String() }},
+		{"Blob", func(r *Reader) { r.Blob() }},
+		{"BeginSlab", func(r *Reader) { r.BeginSlab() }},
+	}
+	for _, tc := range accessors {
+		for _, data := range [][]byte{nil, {0x80}} {
+			r := NewReader(data)
+			tc.read(r)
+			if len(data) == 0 && r.Err() == nil {
+				t.Errorf("%s on empty input: no error", tc.name)
+			}
+		}
+	}
+	// A one-byte count that promises more than the remaining input must be
+	// rejected before sizing an allocation.
+	r := NewReader([]byte{0x02})
+	if r.Blob() != nil || r.Err() == nil {
+		t.Error("Blob accepted count past end of 1-byte input")
+	}
+}

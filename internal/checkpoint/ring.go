@@ -69,6 +69,7 @@ type Ring struct {
 	seq      int
 	epochs   []*Epoch // oldest first
 	cas      *CAS
+	clock    func() time.Time
 }
 
 // NewRing returns an empty ring retaining at most capacity epochs (8 when
@@ -77,7 +78,18 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 8
 	}
-	return &Ring{capacity: capacity, cas: NewCAS()}
+	return &Ring{capacity: capacity, cas: NewCAS(), clock: time.Now}
+}
+
+// SetClock injects the time source stamped into Epoch.Taken — the seam
+// deterministic harnesses use so replayed pushes carry reproducible
+// wall-clock tags. The default is the real clock.
+func (r *Ring) SetClock(clock func() time.Time) {
+	if clock != nil {
+		r.mu.Lock()
+		r.clock = clock
+		r.mu.Unlock()
+	}
 }
 
 // Push interns the snapshot's node checkpoints into the content-addressed
@@ -131,7 +143,6 @@ func (r *Ring) Push(snap *Snapshot) (*Epoch, error) {
 
 	ep := &Epoch{
 		At:          snap.At,
-		Taken:       time.Now(),
 		Store:       store,
 		Bytes:       sizes.TotalBytes,
 		Hashes:      hashes,
@@ -142,6 +153,7 @@ func (r *Ring) Push(snap *Snapshot) (*Epoch, error) {
 	defer r.mu.Unlock()
 	r.seq++
 	ep.Seq = r.seq
+	ep.Taken = r.clock()
 
 	// Byte-level delta vs the previous epoch: changed nodes ship their full
 	// canonical encoding, unchanged nodes ship a HashSize content reference,

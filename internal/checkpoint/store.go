@@ -202,6 +202,7 @@ func (s *Store) encodeBaselines() error {
 	s.baselineOnce.Do(func() {
 		s.baseline = make(map[string][]byte, len(s.snap.Nodes))
 		s.hashes = make(map[string]Hash, len(s.snap.Nodes))
+		//dice:allow detrange each node is encoded and hashed independently into name-keyed maps; no cross-entry byte stream exists
 		for name, cp := range s.snap.Nodes {
 			data, err := EncodeNode(cp)
 			if err != nil {

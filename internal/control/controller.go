@@ -102,6 +102,10 @@ type Controller struct {
 	// agentsEverLeased names agents that held at least one lease — reported
 	// by AgentShardCounts for smoke assertions.
 	shardsByAgent map[string]int
+	// drained names agents whose lease poll has already been answered with
+	// Done — they are exiting through the protocol, so the control process
+	// can close its listener without cutting them off mid-poll.
+	drained map[string]bool
 }
 
 // NewController returns a controller ready to serve agents; start the
@@ -126,6 +130,7 @@ func NewController(cfg Config) *Controller {
 		cfg:           cfg,
 		agents:        make(map[string]*agentState),
 		shardsByAgent: make(map[string]int),
+		drained:       make(map[string]bool),
 	}
 }
 
@@ -189,9 +194,13 @@ func (c *Controller) LeaseNext(req *LeaseRequest) (any, error) {
 	defer c.mu.Unlock()
 	run := c.run
 	if run == nil {
+		if c.done {
+			c.drained[req.AgentID] = true
+		}
 		return &NoWork{Done: c.done}, nil
 	}
 	if run.remaining == 0 || run.ctx.Err() != nil {
+		c.drained[req.AgentID] = true
 		return &NoWork{Done: true}, nil
 	}
 	ag := c.agents[req.AgentID]
@@ -294,7 +303,7 @@ func (c *Controller) SubmitResult(sr *ShardResult) (*ResultAck, error) {
 		if ur.Err != "" {
 			err = errors.New(ur.Err)
 		}
-		sink.UnitDone(ur.Index, ur.Result, err)
+		sink.UnitDone(ur.Index, ur.Result.Result(), err)
 	}
 	if sink.Envelope != nil {
 		for _, env := range sr.Envelopes {
@@ -423,6 +432,7 @@ func (c *Controller) ExecuteUnits(ctx context.Context, topo *topology.Topology, 
 	}
 	c.run = run
 	c.done = false
+	c.drained = make(map[string]bool)
 	c.stats.Shards = len(shards)
 	c.mu.Unlock()
 	c.logf("control: campaign %q: %d units in %d shards", c.cfg.Campaign, len(units), len(shards))
@@ -485,4 +495,34 @@ func (c *Controller) AgentShardCounts() map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+// AwaitDrain blocks until every registered agent has observed the
+// campaign-done signal through a lease poll, or the timeout elapses. The
+// control process calls this before closing its listener: shutting the
+// socket earlier turns an agent's next poll into a connection reset and a
+// spurious nonzero exit. Returns false if some agent never drained — a
+// killed or partitioned agent, which the caller may report but not wait
+// on forever.
+func (c *Controller) AwaitDrain(timeout time.Duration) bool {
+	// Real time, not cfg.Clock: the wait paces on time.Sleep, and a test
+	// clock that never advances would otherwise spin forever.
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		pending := 0
+		for id := range c.agents {
+			if !c.drained[id] {
+				pending++
+			}
+		}
+		c.mu.Unlock()
+		if pending == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }

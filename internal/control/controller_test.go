@@ -125,8 +125,8 @@ func TestControllerLeaseExpiryAndReassignment(t *testing.T) {
 	ack, err := c.SubmitResult(&ShardResult{
 		AgentID: wb.AgentID, Shard: leaseB.Shard, Attempt: leaseB.Attempt,
 		Units: []UnitResult{
-			{Index: leaseB.UnitIndexes[0], Result: &dice.Result{InputsExplored: 1}},
-			{Index: leaseB.UnitIndexes[1], Result: &dice.Result{InputsExplored: 1}},
+			{Index: leaseB.UnitIndexes[0], Result: &RemoteResult{InputsExplored: 1}},
+			{Index: leaseB.UnitIndexes[1], Result: &RemoteResult{InputsExplored: 1}},
 		},
 	})
 	if err != nil || !ack.Accepted {
@@ -160,8 +160,8 @@ func TestControllerLeaseExpiryAndReassignment(t *testing.T) {
 	fresh, err := c.SubmitResult(&ShardResult{
 		AgentID: wb.AgentID, Shard: leaseB2.Shard, Attempt: leaseB2.Attempt,
 		Units: []UnitResult{
-			{Index: leaseB2.UnitIndexes[0], Result: &dice.Result{InputsExplored: 1}},
-			{Index: leaseB2.UnitIndexes[1], Result: &dice.Result{InputsExplored: 1}},
+			{Index: leaseB2.UnitIndexes[0], Result: &RemoteResult{InputsExplored: 1}},
+			{Index: leaseB2.UnitIndexes[1], Result: &RemoteResult{InputsExplored: 1}},
 		},
 	})
 	if err != nil || !fresh.Accepted {
@@ -278,4 +278,51 @@ func waitForRun(t *testing.T, c *Controller) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("campaign run never started")
+}
+
+// TestAwaitDrain: the controller tracks which agents have observed the
+// campaign-done signal through a lease poll, so the control process can hold
+// its listener open until every agent is exiting through the protocol
+// instead of cutting them off with a connection reset.
+func TestAwaitDrain(t *testing.T) {
+	topo, snap := testSnapshot(t)
+	c := NewController(Config{Campaign: "test", LeaseTTL: time.Minute, MinAgents: 2})
+	w1 := c.Register(&Hello{Agent: "a", Workers: 1})
+	w2 := c.Register(&Hello{Agent: "b", Workers: 1})
+
+	// No agent has polled past campaign end yet: the wait must time out.
+	if c.AwaitDrain(10 * time.Millisecond) {
+		t.Fatal("AwaitDrain succeeded with no agent drained")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := newRecordingSink()
+	execDone := make(chan error, 1)
+	go func() {
+		execDone <- c.ExecuteUnits(ctx, topo, snap, dice.RemoteSpec{Seed: 1}, testUnits(2), rec.sink())
+	}()
+	waitForRun(t, c)
+	cancel()
+	if err := <-execDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExecuteUnits after cancel = %v, want context.Canceled", err)
+	}
+
+	// A Done lease response drains exactly the polling agent.
+	if msg, err := c.LeaseNext(&LeaseRequest{AgentID: w1.AgentID}); err != nil {
+		t.Fatal(err)
+	} else if nw, ok := msg.(*NoWork); !ok || !nw.Done {
+		t.Fatalf("lease after campaign end = %+v, want NoWork{Done: true}", msg)
+	}
+	if c.AwaitDrain(10 * time.Millisecond) {
+		t.Fatal("AwaitDrain succeeded with one of two agents drained")
+	}
+
+	drainDone := make(chan bool, 1)
+	go func() { drainDone <- c.AwaitDrain(5 * time.Second) }()
+	if _, err := c.LeaseNext(&LeaseRequest{AgentID: w2.AgentID}); err != nil {
+		t.Fatal(err)
+	}
+	if !<-drainDone {
+		t.Fatal("AwaitDrain timed out after both agents drained")
+	}
 }

@@ -1,0 +1,52 @@
+package control_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSubprocessSkipReason covers the chaos test's skip decision: a failing
+// probe must yield an explicit reason (naming CI when CI=true) and a passing
+// probe must not skip — so the de-flake path is itself asserted, not just
+// exercised when an environment happens to be restricted.
+func TestSubprocessSkipReason(t *testing.T) {
+	probeErr := errors.New("fork/exec: operation not permitted")
+	fail := func() error { return probeErr }
+	pass := func() error { return nil }
+
+	r := subprocessSkipReason(true, fail)
+	if !strings.Contains(r, "CI environment (CI=true)") {
+		t.Errorf("CI skip reason missing CI marker: %q", r)
+	}
+	if !strings.Contains(r, probeErr.Error()) {
+		t.Errorf("skip reason dropped the probe error: %q", r)
+	}
+
+	r = subprocessSkipReason(false, fail)
+	if strings.Contains(r, "CI") {
+		t.Errorf("non-CI skip reason claims CI: %q", r)
+	}
+	if !strings.Contains(r, probeErr.Error()) {
+		t.Errorf("skip reason dropped the probe error: %q", r)
+	}
+
+	if r := subprocessSkipReason(true, pass); r != "" {
+		t.Errorf("passing probe produced skip reason %q", r)
+	}
+	if r := subprocessSkipReason(false, pass); r != "" {
+		t.Errorf("passing probe produced skip reason %q", r)
+	}
+}
+
+// TestProbeSubprocess: in any environment where the suite itself runs, the
+// probe must terminate (either outcome) without panicking; where it succeeds,
+// the chaos test is expected to run rather than skip.
+func TestProbeSubprocess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec probe skipped in -short mode")
+	}
+	if err := probeSubprocess(); err != nil {
+		t.Logf("probe failed here (chaos test would skip): %v", err)
+	}
+}

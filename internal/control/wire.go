@@ -21,7 +21,9 @@ import (
 	"io"
 	"time"
 
+	"github.com/dice-project/dice/internal/checker"
 	"github.com/dice-project/dice/internal/checkpoint"
+	"github.com/dice-project/dice/internal/concolic"
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/federation"
 	"github.com/dice-project/dice/internal/topology"
@@ -37,10 +39,15 @@ const (
 	// WireVersion is the protocol revision; bump on incompatible change.
 	// Version 2: baseline snapshots ship in the deterministic codec encoding
 	// (not gob) and Baseline carries the snapshot's content hash; node
-	// patches inside Lease deltas carry per-node content hashes. A version-1
-	// peer would misaccount and fail to verify these, so the mismatch is
-	// rejected at the frame header, before any payload is decoded.
-	WireVersion = 2
+	// patches inside Lease deltas carry per-node content hashes.
+	// Version 3: unit results cross the wire as RemoteResult projections —
+	// detections carry checker.ViolationDigest (never a Violation's free-form
+	// Detail) and snapshot provenance is recomputed control-side, so the
+	// result path discloses exactly what a federation summary would. A peer
+	// speaking an older version would ship or expect full dice.Result values,
+	// so the mismatch is rejected at the frame header, before any payload is
+	// decoded.
+	WireVersion = 3
 	// maxFramePayload caps a frame's payload so a corrupt or hostile length
 	// field cannot make the decoder allocate unboundedly.
 	maxFramePayload = 64 << 20
@@ -138,18 +145,107 @@ type HeartbeatAck struct {
 	Cancel bool
 }
 
+// RemoteDetection is one detection's wire form: the violation reduced to its
+// privacy-filtered checker.ViolationDigest plus the reproduction coordinates
+// (which explored input triggered it, and when). A Violation's free-form
+// Detail — the reporting domain's local evidence — never crosses the control
+// wire; the digest's Class stands in for the detection's, which the campaign
+// always sets from the violation anyway.
+type RemoteDetection struct {
+	Digest     checker.ViolationDigest
+	InputIndex int
+	Input      *concolic.Input
+	Elapsed    time.Duration
+}
+
+// RemoteResult is one unit's dice.Result projected onto the wire: the
+// exploration counters and digested detections, without the snapshot
+// provenance fields (SnapshotDuration/Bytes/Nodes, InFlightMessages,
+// FullStateBytes) — the control plane owns the snapshot and restamps those
+// from its own stats when it reassembles the result.
+type RemoteResult struct {
+	Explorer       string
+	FromPeer       string
+	Domain         string
+	InputsExplored int
+	Detections     []RemoteDetection
+	DisclosedBytes int
+	Duration       time.Duration
+	ExplorerStats  concolic.Stats
+}
+
+// RemoteResultOf projects a unit result onto its wire form — the agent-side
+// half of the privacy boundary, where every detection's Violation collapses
+// to checker.DigestOf. A nil result projects to nil.
+func RemoteResultOf(r *dice.Result) *RemoteResult {
+	if r == nil {
+		return nil
+	}
+	out := &RemoteResult{
+		Explorer:       r.Explorer,
+		FromPeer:       r.FromPeer,
+		Domain:         r.Domain,
+		InputsExplored: r.InputsExplored,
+		DisclosedBytes: r.DisclosedBytes,
+		Duration:       r.Duration,
+		ExplorerStats:  r.ExplorerStats,
+	}
+	for _, d := range r.Detections {
+		out.Detections = append(out.Detections, RemoteDetection{
+			Digest:     checker.DigestOf(d.Violation),
+			InputIndex: d.InputIndex,
+			Input:      d.Input,
+			Elapsed:    d.Elapsed,
+		})
+	}
+	return out
+}
+
+// Result reassembles the control-side dice.Result: violations are rebuilt
+// from their digests with a Detail marking remote provenance, and the
+// snapshot fields are left zero for the caller to restamp. A nil receiver
+// reassembles to nil.
+func (r *RemoteResult) Result() *dice.Result {
+	if r == nil {
+		return nil
+	}
+	out := &dice.Result{
+		Explorer:       r.Explorer,
+		FromPeer:       r.FromPeer,
+		Domain:         r.Domain,
+		InputsExplored: r.InputsExplored,
+		DisclosedBytes: r.DisclosedBytes,
+		Duration:       r.Duration,
+		ExplorerStats:  r.ExplorerStats,
+	}
+	for _, d := range r.Detections {
+		out.Detections = append(out.Detections, dice.Detection{
+			Violation:  d.Digest.ViolationVia("remote agent"),
+			Class:      d.Digest.Class,
+			InputIndex: d.InputIndex,
+			Input:      d.Input,
+			Elapsed:    d.Elapsed,
+		})
+	}
+	return out
+}
+
 // UnitResult is one unit's outcome inside a shard result, addressed by plan
 // index. Err carries a failed unit's error text (Result nil in that case).
 type UnitResult struct {
 	Index  int
-	Result *dice.Result
+	Result *RemoteResult
 	Err    string
 }
 
 // ShardResult reports a completed shard: per-unit outcomes plus the
 // federation envelopes the agent's local bus published while exploring
 // (checker.Summary payloads only — this is everything that crosses the wire
-// back and the basis of the disclosure accounting).
+// back and the basis of the disclosure accounting). It crosses the federation
+// privacy boundary, so dice-vet's privleak analyzer proves nothing beyond
+// summary-grade content is reachable from it.
+//
+//dice:boundary
 type ShardResult struct {
 	AgentID   string
 	Shard     int

@@ -55,7 +55,7 @@ func sampleMessages() []any {
 		&ShardResult{
 			AgentID: "agent-1", Shard: 2, Attempt: 1,
 			Units: []UnitResult{
-				{Index: 4, Result: &dice.Result{Explorer: "R1", FromPeer: "R2", InputsExplored: 8}},
+				{Index: 4, Result: &RemoteResult{Explorer: "R1", FromPeer: "R2", InputsExplored: 8}},
 				{Index: 5, Err: "boom"},
 			},
 			Envelopes: []federation.Envelope{
@@ -141,7 +141,7 @@ func TestWireVersionGate(t *testing.T) {
 	}
 
 	// Old agent → new controller: a version-1 Hello (the first frame an
-	// agent ever sends) is refused by a version-2 decoder.
+	// agent ever sends) is refused by the current decoder.
 	oldHello := frame(&Hello{Agent: "legacy", Backends: []string{"bird"}, Workers: 2})
 	oldHello[2] = 1
 	_, err := DecodeFrame(bytes.NewReader(oldHello))
@@ -151,7 +151,7 @@ func TestWireVersionGate(t *testing.T) {
 
 	// New controller → old agent: the version-1 decoder checked the header's
 	// version byte against 1 before touching the payload (same gate, older
-	// constant). A current Baseline frame announces version 2, so the old
+	// constant). A current Baseline frame announces a later version, so the old
 	// binary rejects at the header instead of gob-misparsing the new fields.
 	baseline := frame(&Baseline{Campaign: "c", Snapshot: []byte{0xD1, 0xCE, 1, 1}})
 	if got := baseline[2]; got != WireVersion || got == 1 {
@@ -202,4 +202,18 @@ func TestWireStreamsMultipleFrames(t *testing.T) {
 		t.Errorf("exhausted stream should report a header error, got %v", err)
 	}
 	_ = io.EOF
+}
+
+// TestFrameSubHeaderInputs: inputs shorter than the 8-byte frame header —
+// including empty and single-byte reads — must error cleanly, never panic.
+func TestFrameSubHeaderInputs(t *testing.T) {
+	var good bytes.Buffer
+	if _, err := EncodeFrame(&good, &Heartbeat{AgentID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < frameHeaderLen; n++ {
+		if _, err := DecodeFrame(bytes.NewReader(good.Bytes()[:n])); err == nil {
+			t.Errorf("%d-byte frame prefix decoded without error", n)
+		}
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/dice-project/dice/internal/checker"
@@ -322,10 +323,10 @@ func TestCampaignCloneLeaseNeverLeaks(t *testing.T) {
 			WithClusterOptions(copts),
 			WithWorkers(2))
 		boom := errors.New("injected clone fault")
-		var calls int
+		var calls atomic.Int64
 		campaign.testCloneFault = func() error {
-			calls++
-			if calls%3 == 0 {
+			// Workers call this concurrently; the counter must not race.
+			if calls.Add(1)%3 == 0 {
 				return boom
 			}
 			return nil

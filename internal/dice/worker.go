@@ -54,6 +54,8 @@ type cloneOutcome struct {
 // store when the pool is empty), or — with pooling disabled — via a cold
 // FromSnapshot rebuild, timed into the campaign's clone stats. The returned
 // release func must be called when the caller is done with the clone.
+//
+//dice:lease
 func (c *Campaign) leaseClone() (*cluster.Cluster, func(), error) {
 	if c.clones != nil {
 		shadow, err := c.clones.Lease()

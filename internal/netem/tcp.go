@@ -97,6 +97,7 @@ func (r *TCPRunner) Start() error {
 		return errors.New("netem: TCPRunner already started")
 	}
 	r.started = true
+	//dice:allow detsource TCPRunner is the real-network integration backend; wall-clock start anchors its virtual time
 	r.start = time.Now()
 
 	// Listeners first so that dialers have an address to reach.
@@ -177,6 +178,7 @@ func (r *TCPRunner) Start() error {
 
 	// Give accept loops a moment to register inbound connections before
 	// Start handlers begin sending.
+	//dice:allow detsource real-TCP startup polls actual socket readiness; nothing downstream replays this wait
 	deadline := time.Now().Add(2 * time.Second)
 	for {
 		ready := true
@@ -187,10 +189,12 @@ func (r *TCPRunner) Start() error {
 				}
 			}
 		}
+		//dice:allow detsource real-TCP startup polls actual socket readiness; nothing downstream replays this wait
 		if ready || time.Now().After(deadline) {
 			break
 		}
 		r.mu.Unlock()
+		//dice:allow detsource real-TCP startup polls actual socket readiness; nothing downstream replays this wait
 		time.Sleep(5 * time.Millisecond)
 		r.mu.Lock()
 	}
@@ -358,6 +362,7 @@ type tcpEnv struct {
 	rng    *rand.Rand
 }
 
+//dice:allow detsource the TCP env's virtual time IS elapsed wall time; that is the point of the integration backend
 func (e *tcpEnv) Now() time.Duration { return time.Since(e.runner.start) }
 func (e *tcpEnv) Self() NodeID       { return e.id }
 
@@ -393,6 +398,7 @@ func (e *tcpEnv) SetTimer(name string, d time.Duration) {
 		old.Stop()
 	}
 	id := e.id
+	//dice:allow detsource TCP-backend timers fire on the real clock by design; the simulated backend owns determinism
 	e.runner.timers[e.id][name] = time.AfterFunc(d, func() {
 		select {
 		case e.runner.inboxes[id] <- tcpEvent{kind: evTimer, timer: name}:
