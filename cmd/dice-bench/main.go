@@ -10,14 +10,17 @@
 // experiment: a bounded online soak (checkpoint epochs, scenario campaigns,
 // dedupe, minimized traces). e13 is the distributed-execution experiment:
 // the same campaign in-process, on one agent, and sharded across three
-// agents through the control plane. codec is the checkpoint-serialization
+// agents through the control plane. e14 is the three-way conformance
+// experiment: the bird+obgpd+frr demo under the majority-vote differential
+// oracle, plus the out-of-process driver's result-equivalence leg (skipped
+// where the environment cannot fork/exec). codec is the checkpoint-serialization
 // experiment: gob vs the deterministic binary codec on encode/decode/
 // measure/restore, plus the content-addressed ring's quiet-epoch retention.
 // -json writes the selected experiment's machine-readable result (`-exp e9
 // -json BENCH_clone.json`, `-exp e10 -json BENCH_federation.json`, `-exp e12
-// -json BENCH_live.json`, `-exp e13 -json BENCH_distributed.json` and
-// `-exp codec -json BENCH_codec.json` are the artifacts CI tracks across
-// PRs).
+// -json BENCH_live.json`, `-exp e13 -json BENCH_distributed.json`, `-exp e14
+// -json BENCH_hetero3.json` and `-exp codec -json BENCH_codec.json` are the
+// artifacts CI tracks across PRs).
 //
 // Every JSON artifact is stamped with a schema version, the experiment id,
 // the seed and the Go runtime metadata (version, GOOS/GOARCH, GOMAXPROCS),
@@ -34,6 +37,7 @@ import (
 	"strings"
 
 	dice "github.com/dice-project/dice"
+	"github.com/dice-project/dice/internal/node/procdriver"
 )
 
 // benchSchemaVersion is bumped whenever any artifact's field set changes
@@ -41,7 +45,9 @@ import (
 // v3: e9 gained gob-vs-codec snapshot encode/decode fields, e13 gained the
 // gob baseline counterfactual, and the codec experiment (BENCH_codec.json)
 // was added.
-const benchSchemaVersion = 3
+// v4: the e14 three-way conformance experiment (BENCH_hetero3.json) was
+// added; existing artifact schemas are unchanged.
+const benchSchemaVersion = 4
 
 // benchMeta is the self-describing header embedded in every BENCH_*.json
 // artifact.
@@ -228,6 +234,40 @@ type codecBench struct {
 	QuietEpochChanged int `json:"quiet_epoch_nodes_changed"`
 }
 
+// hetero3Bench is the schema of the e14 -json artifact (BENCH_hetero3.json):
+// the three-way differential conformance oracle's vote breakdown and the
+// out-of-process driver's result-equivalence leg.
+type hetero3Bench struct {
+	benchMeta
+	Routers         int            `json:"routers"`
+	Implementations map[string]int `json:"implementations"`
+
+	TotalInputs   int   `json:"total_inputs"`
+	Workers       int   `json:"workers"`
+	HomogeneousNs int64 `json:"homogeneous_ns"`
+	MixedNs       int64 `json:"mixed_ns"`
+
+	SafetyDetections        int  `json:"safety_detections"`
+	SameSafetyClasses       bool `json:"same_safety_classes"`
+	SafetyDiffering         int  `json:"safety_differing"`
+	DivergenceExplainsDiffs bool `json:"divergence_explains_diffs"`
+
+	Divergences             int      `json:"divergences"`
+	DivergentNodes          []string `json:"divergent_nodes"`
+	MajorityOutvoted        int      `json:"majority_outvoted"`
+	PairwiseLegal           int      `json:"pairwise_legal"`
+	DeterministicDivergence bool     `json:"deterministic_divergence"`
+	SteadyStateDivergence   bool     `json:"steady_state_divergence"`
+
+	ProcChecked         bool    `json:"proc_checked"`
+	ProcSkipReason      string  `json:"proc_skip_reason,omitempty"`
+	ProcRouters         int     `json:"proc_routers"`
+	InProcNs            int64   `json:"in_proc_ns"`
+	ProcNs              int64   `json:"proc_ns"`
+	ProcSameDetections  bool    `json:"proc_same_detections"`
+	ProcOverheadPercent float64 `json:"proc_overhead_percent"`
+}
+
 func writeJSON(path string, out interface{}) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -342,6 +382,35 @@ func writeLiveJSON(path string, cfg dice.ExperimentConfig, r *dice.E12Result) er
 	})
 }
 
+func writeHetero3JSON(path string, cfg dice.ExperimentConfig, r *dice.E14Result) error {
+	return writeJSON(path, hetero3Bench{
+		benchMeta:               newBenchMeta("e14", cfg),
+		Routers:                 r.Routers,
+		Implementations:         r.Implementations,
+		TotalInputs:             r.TotalInputs,
+		Workers:                 r.Workers,
+		HomogeneousNs:           r.HomogeneousDuration.Nanoseconds(),
+		MixedNs:                 r.MixedDuration.Nanoseconds(),
+		SafetyDetections:        r.SafetyDetections,
+		SameSafetyClasses:       r.SameSafetyClasses,
+		SafetyDiffering:         r.SafetyDiffering,
+		DivergenceExplainsDiffs: r.DivergenceExplainsDiffs,
+		Divergences:             r.Divergences,
+		DivergentNodes:          r.DivergentNodes,
+		MajorityOutvoted:        r.MajorityOutvoted,
+		PairwiseLegal:           r.PairwiseLegal,
+		DeterministicDivergence: r.DeterministicDivergence,
+		SteadyStateDivergence:   r.SteadyStateDivergence,
+		ProcChecked:             r.ProcChecked,
+		ProcSkipReason:          r.ProcSkipReason,
+		ProcRouters:             r.ProcRouters,
+		InProcNs:                r.InProcDuration.Nanoseconds(),
+		ProcNs:                  r.ProcDuration.Nanoseconds(),
+		ProcSameDetections:      r.ProcSameDetections,
+		ProcOverheadPercent:     r.ProcOverheadPercent,
+	})
+}
+
 func writeDistributedJSON(path string, cfg dice.ExperimentConfig, r *dice.E13Result) error {
 	return writeJSON(path, distributedBench{
 		benchMeta:                 newBenchMeta("e13", cfg),
@@ -371,7 +440,10 @@ func writeDistributedJSON(path string, cfg dice.ExperimentConfig, r *dice.E13Res
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e13, codec, or all")
+	// E14's process-isolation leg re-execs this binary as a backend
+	// subprocess; divert those re-executions before flag parsing.
+	procdriver.MaybeRunChild()
+	exp := flag.String("exp", "all", "experiment to run: e1..e14, codec, or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10, e12, e13 and codec write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
@@ -401,10 +473,10 @@ func main() {
 	}
 
 	// The -json artifact follows the selected experiment when it has its own
-	// schema (e10, e12, e13, codec); every other selection tracks the e9
-	// clone artifact.
+	// schema (e10, e12, e13, e14, codec); every other selection tracks the
+	// e9 clone artifact.
 	jsonOwner := "e9"
-	if which == "e10" || which == "e12" || which == "e13" || which == "codec" {
+	if which == "e10" || which == "e12" || which == "e13" || which == "e14" || which == "codec" {
 		jsonOwner = which
 	}
 
@@ -480,6 +552,13 @@ func main() {
 		report("E13", res, err)
 		if err == nil && *jsonPath != "" && jsonOwner == "e13" {
 			wrote(*jsonPath, writeDistributedJSON(*jsonPath, cfg, res))
+		}
+	}
+	if run("e14") {
+		res, err := dice.RunE14(cfg)
+		report("E14", res, err)
+		if err == nil && *jsonPath != "" && jsonOwner == "e14" {
+			wrote(*jsonPath, writeHetero3JSON(*jsonPath, cfg, res))
 		}
 	}
 	if run("codec") {

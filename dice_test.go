@@ -283,6 +283,51 @@ func TestRunE11Quick(t *testing.T) {
 	}
 }
 
+func TestRunE14Quick(t *testing.T) {
+	res, err := RunE14(quickCfg)
+	if err != nil {
+		t.Fatalf("RunE14: %v", err)
+	}
+	if res.Routers != 27 || len(res.Implementations) != 3 {
+		t.Fatalf("E14 should run a three-way 27-router mix: %+v", res.Implementations)
+	}
+	if res.Implementations["bird"] == 0 || res.Implementations["obgpd"] == 0 || res.Implementations["frr"] == 0 {
+		t.Errorf("a backend is missing from the mix: %+v", res.Implementations)
+	}
+	if res.Divergences == 0 || len(res.DivergentNodes) == 0 {
+		t.Fatalf("three-way campaign found no implementation divergences")
+	}
+	if res.MajorityOutvoted+res.PairwiseLegal != res.Divergences {
+		t.Errorf("vote classes don't partition the divergences: %d + %d != %d",
+			res.MajorityOutvoted, res.PairwiseLegal, res.Divergences)
+	}
+	if res.MajorityOutvoted == 0 {
+		t.Errorf("no divergence classified as majority-outvoted (2-vs-1)")
+	}
+	if !res.DeterministicDivergence {
+		t.Errorf("re-running the mixed campaign changed the divergence set")
+	}
+	if !res.SteadyStateDivergence {
+		t.Errorf("seeded divergence must already hold in the converged deployment")
+	}
+	if !res.SameSafetyClasses {
+		t.Errorf("three-way heterogeneity must not mask a fault class")
+	}
+	if !res.DivergenceExplainsDiffs {
+		t.Errorf("%d safety detections moved to nodes the divergence checker did not flag", res.SafetyDiffering)
+	}
+	if res.ProcChecked {
+		if !res.ProcSameDetections {
+			t.Errorf("proc:obgpd campaign detections differ from in-process obgpd")
+		}
+	} else if res.ProcSkipReason == "" {
+		t.Errorf("process-isolation leg skipped without a recorded reason")
+	}
+	if !strings.Contains(res.String(), "three-way differential conformance") {
+		t.Errorf("report rendering broken")
+	}
+}
+
 func TestRunE12Quick(t *testing.T) {
 	res, err := RunE12(quickCfg)
 	if err != nil {

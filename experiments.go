@@ -22,6 +22,7 @@ import (
 	"github.com/dice-project/dice/internal/faults"
 	"github.com/dice-project/dice/internal/fuzz"
 	"github.com/dice-project/dice/internal/live"
+	"github.com/dice-project/dice/internal/node/procdriver"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -1974,5 +1975,284 @@ func (r *ECodecResult) String() string {
 		r.GobRestorePer.Round(time.Microsecond), r.CodecRestorePer.Round(time.Microsecond), r.RestoreSpeedup)
 	fmt.Fprintf(&b, "  quiet ring (%d epochs)     %d B if copied, %d B retained; last delta %d B, %d nodes changed\n",
 		r.RingEpochs, r.RingCopiedBytes, r.RingRetainedBytes, r.QuietEpochDeltaB, r.QuietEpochChanged)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E14 — three-way differential conformance and process isolation. E11's
+// oracle had two points of comparison; with the obgpd backend deployed the
+// transit tier runs a third legal tie-break order and every divergence is a
+// genuine vote: majority-outvoted (2-vs-1) or pairwise-legal (all three
+// select differently). The same hijack campaign as E11 runs homogeneous and
+// on the three-way Demo27Hetero3 mix — the mixed run twice, to demonstrate
+// the divergence set is deterministic. A second leg re-runs a small seeded
+// campaign with the obgpd backend behind the out-of-process driver
+// (proc:obgpd subprocess per node) and asserts detection fingerprints are
+// identical to in-process — process isolation is unobservable in results —
+// while recording its wall-clock cost. The leg degrades to a recorded skip
+// where the environment cannot fork/exec.
+// ---------------------------------------------------------------------------
+
+// E14Result compares homogeneous, three-way-mixed and subprocess-backed
+// campaigns.
+type E14Result struct {
+	Routers int
+	// Implementations deployed in the three-way run and their node counts.
+	Implementations map[string]int
+
+	TotalInputs int
+	Workers     int
+
+	HomogeneousDuration time.Duration
+	MixedDuration       time.Duration
+
+	// Safety equivalences, as in E11: the mix masks no fault class, and the
+	// detections that legitimately move sit at divergence-flagged nodes.
+	SafetyDetections        int
+	SameSafetyClasses       bool
+	SafetyDiffering         int
+	DivergenceExplainsDiffs bool
+
+	// The three-way vote. MajorityOutvoted counts 2-vs-1 divergences,
+	// PairwiseLegal the three-way splits; together they partition
+	// Divergences. DeterministicDivergence reports that a second run of the
+	// same mixed campaign produced an identical divergence set.
+	Divergences             int
+	DivergentNodes          []string
+	MajorityOutvoted        int
+	PairwiseLegal           int
+	DeterministicDivergence bool
+	SteadyStateDivergence   bool
+
+	// Process-isolation leg: the same seeded campaign over in-process obgpd
+	// and over proc:obgpd subprocess nodes. ProcChecked is false (with the
+	// reason recorded) where the sandbox forbids fork/exec.
+	ProcChecked         bool
+	ProcSkipReason      string
+	ProcRouters         int
+	InProcDuration      time.Duration
+	ProcDuration        time.Duration
+	ProcSameDetections  bool
+	ProcOverheadPercent float64
+}
+
+// RunE14 measures the three-way differential oracle on the mixed 27-router
+// demo and the out-of-process driver's result equivalence.
+func RunE14(cfg ExperimentConfig) (*E14Result, error) {
+	optsFor := func(topo *topology.Topology) cluster.Options {
+		return cluster.Options{
+			Seed: cfg.Seed,
+			ConfigOverride: faults.ApplyConfigFaults(
+				faults.MisOrigination{Router: "R12", Prefix: topo.Nodes[26].Prefixes[0]},
+				faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+			),
+			MaxEvents: 300000,
+		}
+	}
+
+	out := &E14Result{
+		TotalInputs:     cfg.inputs(216, 54),
+		Workers:         runtime.NumCPU(),
+		Implementations: make(map[string]int),
+	}
+
+	run := func(topo *topology.Topology) (time.Duration, *CampaignResult, *cluster.Cluster, error) {
+		copts := optsFor(topo)
+		live, err := cluster.Build(topo, copts)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		live.Converge()
+		props := append(checker.DefaultProperties(topo), checker.CrossImplDivergence{})
+		campaign := NewCampaign(live, topo,
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: out.TotalInputs}),
+			WithFuzzSeeds(cfg.inputs(8, 2)),
+			WithSeed(cfg.Seed),
+			WithProperties(props...),
+			WithClusterOptions(copts),
+			WithWorkers(out.Workers))
+		start := time.Now()
+		res, err := campaign.Run(context.Background())
+		return time.Since(start), res, live, err
+	}
+
+	homoDur, homoRes, _, err := run(topology.Demo27())
+	if err != nil {
+		return nil, err
+	}
+	mixedDur, mixedRes, mixedLive, err := run(topology.Demo27Hetero3())
+	if err != nil {
+		return nil, err
+	}
+	// Determinism check: the identical mixed campaign again, divergences
+	// compared below.
+	_, mixedRes2, _, err := run(topology.Demo27Hetero3())
+	if err != nil {
+		return nil, err
+	}
+
+	mixedTopo := topology.Demo27Hetero3()
+	out.Routers = len(mixedTopo.Nodes)
+	out.Implementations = mixedTopo.ImplementationCounts()
+	out.HomogeneousDuration, out.MixedDuration = homoDur, mixedDur
+
+	safetyKeys := func(r *CampaignResult) (map[string]Detection, map[checker.FaultClass]bool, int) {
+		keys := make(map[string]Detection)
+		classes := make(map[checker.FaultClass]bool)
+		n := 0
+		for _, d := range r.Detections {
+			if d.Class == checker.ClassImplDivergence {
+				continue
+			}
+			keys[fmt.Sprintf("%s@%d", d.Violation.Key(), d.InputIndex)] = d
+			classes[d.Class] = true
+			n++
+		}
+		return keys, classes, n
+	}
+	homoKeys, homoClasses, _ := safetyKeys(homoRes)
+	mixedKeys, mixedClasses, mixedSafety := safetyKeys(mixedRes)
+	out.SafetyDetections = mixedSafety
+	out.SameSafetyClasses = true
+	for cl := range homoClasses {
+		if !mixedClasses[cl] {
+			out.SameSafetyClasses = false
+		}
+	}
+
+	// The divergence set, canonicalized with the vote classification so the
+	// determinism comparison covers the classifications too.
+	divergenceSet := func(r *CampaignResult) []string {
+		var ks []string
+		for _, d := range r.Detections {
+			if d.Class == checker.ClassImplDivergence {
+				ks = append(ks, d.Violation.Key()+" "+d.Violation.Detail)
+			}
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	set1, set2 := divergenceSet(mixedRes), divergenceSet(mixedRes2)
+	out.DeterministicDivergence = strings.Join(set1, ";") == strings.Join(set2, ";")
+
+	divergent := make(map[string]bool)
+	for _, d := range mixedRes.Detections {
+		if d.Class != checker.ClassImplDivergence {
+			continue
+		}
+		out.Divergences++
+		divergent[d.Violation.Node] = true
+		switch {
+		case strings.HasPrefix(d.Violation.Detail, checker.DivergenceMajorityOutvoted):
+			out.MajorityOutvoted++
+		case strings.HasPrefix(d.Violation.Detail, checker.DivergencePairwiseLegal):
+			out.PairwiseLegal++
+		}
+	}
+	for n := range divergent {
+		out.DivergentNodes = append(out.DivergentNodes, n)
+	}
+	sort.Strings(out.DivergentNodes)
+
+	out.DivergenceExplainsDiffs = true
+	diff := func(a, b map[string]Detection) {
+		for k, d := range a {
+			if _, ok := b[k]; ok {
+				continue
+			}
+			out.SafetyDiffering++
+			if !divergent[d.Violation.Node] {
+				out.DivergenceExplainsDiffs = false
+			}
+		}
+	}
+	diff(homoKeys, mixedKeys)
+	diff(mixedKeys, homoKeys)
+
+	out.SteadyStateDivergence = !checker.CrossImplDivergence{}.Check(mixedLive).OK()
+
+	// Process-isolation leg. The harness binary must route procdriver child
+	// re-executions (cmd/dice-bench and the test binaries call
+	// procdriver.MaybeRunChild in main); environments that cannot fork/exec
+	// degrade to a recorded skip.
+	if err := procdriver.SpawnCheck(); err != nil {
+		out.ProcSkipReason = err.Error()
+		return out, nil
+	}
+	defer procdriver.KillAll()
+	procRun := func(impl string) (time.Duration, *CampaignResult, error) {
+		topo := topology.Line(4)
+		topo.SetImpl(impl, topo.NodeNames()...)
+		copts := cluster.Options{
+			Seed:           cfg.Seed,
+			ConfigOverride: faults.ApplyConfigFaults(faults.MisOrigination{Router: "R4", Prefix: topo.Nodes[0].Prefixes[0]}),
+		}
+		live, err := cluster.Build(topo, copts)
+		if err != nil {
+			return 0, nil, err
+		}
+		live.Converge()
+		campaign := NewCampaign(live, topo,
+			WithStrategy(AllNodesStrategy{}),
+			WithBudget(Budget{TotalInputs: cfg.inputs(48, 12)}),
+			WithFuzzSeeds(cfg.inputs(4, 2)),
+			WithSeed(cfg.Seed),
+			WithClusterOptions(copts),
+			WithWorkers(out.Workers))
+		start := time.Now()
+		res, err := campaign.Run(context.Background())
+		return time.Since(start), res, err
+	}
+	inprocDur, inprocRes, err := procRun("obgpd")
+	if err != nil {
+		return nil, err
+	}
+	procDur, procRes, err := procRun("proc:obgpd")
+	if err != nil {
+		return nil, err
+	}
+	out.ProcChecked = true
+	out.ProcRouters = 4
+	out.InProcDuration, out.ProcDuration = inprocDur, procDur
+	out.ProcSameDetections = detectionFingerprint(procRes) == detectionFingerprint(inprocRes) && len(inprocRes.Detections) > 0
+	if inprocDur > 0 {
+		out.ProcOverheadPercent = 100 * (float64(procDur) - float64(inprocDur)) / float64(inprocDur)
+	}
+	return out, nil
+}
+
+// String renders the three-way conformance report.
+func (r *E14Result) String() string {
+	var b strings.Builder
+	b.WriteString("E14 (three-way differential conformance, process isolation):\n")
+	impls := make([]string, 0, len(r.Implementations))
+	for impl := range r.Implementations {
+		impls = append(impls, impl)
+	}
+	sort.Strings(impls)
+	fmt.Fprintf(&b, "  topology                  %d routers (", r.Routers)
+	for i, impl := range impls {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d %s", r.Implementations[impl], impl)
+	}
+	b.WriteString(")\n")
+	fmt.Fprintf(&b, "  input budget              %d clone executions per run (%d workers)\n", r.TotalInputs, r.Workers)
+	fmt.Fprintf(&b, "  homogeneous campaign      %v\n", r.HomogeneousDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  three-way campaign        %v\n", r.MixedDuration.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  safety detections         %d (same fault classes as homogeneous: %v)\n", r.SafetyDetections, r.SameSafetyClasses)
+	fmt.Fprintf(&b, "  detections that moved     %d, all at divergence-flagged nodes: %v\n", r.SafetyDiffering, r.DivergenceExplainsDiffs)
+	fmt.Fprintf(&b, "  divergences               %d at %d nodes %v (deterministic: %v, steady-state: %v)\n",
+		r.Divergences, len(r.DivergentNodes), r.DivergentNodes, r.DeterministicDivergence, r.SteadyStateDivergence)
+	fmt.Fprintf(&b, "  vote classification       %d majority-outvoted (2-vs-1), %d pairwise-legal (three-way)\n", r.MajorityOutvoted, r.PairwiseLegal)
+	if !r.ProcChecked {
+		fmt.Fprintf(&b, "  process isolation         skipped: %s\n", r.ProcSkipReason)
+	} else {
+		fmt.Fprintf(&b, "  process isolation         %d-router line, in-process %v vs proc:obgpd %v (%.0f%% overhead), identical detections: %v\n",
+			r.ProcRouters, r.InProcDuration.Round(time.Millisecond), r.ProcDuration.Round(time.Millisecond),
+			r.ProcOverheadPercent, r.ProcSameDetections)
+	}
 	return b.String()
 }

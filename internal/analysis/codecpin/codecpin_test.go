@@ -9,5 +9,5 @@ import (
 )
 
 func TestCodecpin(t *testing.T) {
-	vettest.Run(t, []*analysis.Analyzer{codecpin.Analyzer}, "testdata/a", "testdata/b")
+	vettest.Run(t, []*analysis.Analyzer{codecpin.Analyzer}, "testdata/a", "testdata/b", "testdata/c")
 }

@@ -1,0 +1,26 @@
+// Package c mirrors the obgpd checkpoint pin: the dialect-only EngineStats
+// counter block travels in its own pinned field run, so growing the struct
+// without touching putEngineStats/engineStats must fail vet — the decoder
+// would otherwise misalign the three-way mixed snapshot.
+package c
+
+// EngineStats is the obgpd-only counter block (SE<->RDE imsg counts and
+// decision-process runs), as serialized by the codec.
+type EngineStats struct {
+	ImsgsSEToRDE int
+	ImsgsRDEToSE int
+	RDEDecisions int
+}
+
+// engineStatsFieldCount is the correct pin, matching internal/obgpd.
+//
+//dice:fieldpin EngineStats
+const engineStatsFieldCount = 3
+
+// staleEngineStatsFieldCount is the forgotten-update shape: a counter was
+// added to EngineStats but the codec kept the old count.
+//
+//dice:fieldpin EngineStats
+const staleEngineStatsFieldCount = 2 // want `does not match`
+
+var _ = engineStatsFieldCount + staleEngineStatsFieldCount

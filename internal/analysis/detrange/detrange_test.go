@@ -9,5 +9,5 @@ import (
 )
 
 func TestDetrange(t *testing.T) {
-	vettest.Run(t, []*analysis.Analyzer{detrange.Analyzer}, "testdata/a", "testdata/b")
+	vettest.Run(t, []*analysis.Analyzer{detrange.Analyzer}, "testdata/a", "testdata/b", "testdata/c")
 }

@@ -1,0 +1,66 @@
+// Package c mirrors the obgpd renderer and checkpoint shapes: neighbor
+// stanzas and per-peer counter slabs are keyed by map, and both the config
+// fingerprint and the canonical codec writer are order-sensitive sinks. The
+// real dialect sorts before it writes; re-introducing a raw map range into
+// either path must fail vet.
+package c
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"github.com/dice-project/dice/internal/checkpoint/codec"
+)
+
+// Neighbor is the per-peer stanza input.
+type Neighbor struct {
+	AS   int
+	Desc string
+}
+
+// BadRender fingerprints the rendered config in map iteration order — the
+// Render/ParseConfig round-trip would flake between runs.
+func BadRender(neighbors map[string]Neighbor) []byte {
+	h := sha256.New()
+	for addr, n := range neighbors { // want `range over map`
+		fmt.Fprintf(h, "neighbor %s { remote-as %d }\n", addr, n.AS)
+	}
+	return h.Sum(nil)
+}
+
+// GoodRender renders neighbors sorted by address, as the dialect does.
+func GoodRender(neighbors map[string]Neighbor) []byte {
+	addrs := make([]string, 0, len(neighbors))
+	for a := range neighbors {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	h := sha256.New()
+	for _, a := range addrs {
+		fmt.Fprintf(h, "neighbor %s { remote-as %d }\n", a, neighbors[a].AS)
+	}
+	return h.Sum(nil)
+}
+
+// BadStats streams the per-neighbor counter slab into the checkpoint
+// writer unsorted.
+func BadStats(w *codec.Writer, counters map[string]uint64) {
+	for addr, n := range counters { // want `range over map`
+		w.String(addr)
+		w.Uvarint(n)
+	}
+}
+
+// GoodStats writes the slab over sorted keys.
+func GoodStats(w *codec.Writer, counters map[string]uint64) {
+	addrs := make([]string, 0, len(counters))
+	for a := range counters {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		w.String(a)
+		w.Uvarint(counters[a])
+	}
+}

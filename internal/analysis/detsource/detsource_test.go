@@ -9,5 +9,5 @@ import (
 )
 
 func TestDetsource(t *testing.T) {
-	vettest.Run(t, []*analysis.Analyzer{detsource.Analyzer}, "testdata/a", "testdata/b")
+	vettest.Run(t, []*analysis.Analyzer{detsource.Analyzer}, "testdata/a", "testdata/b", "testdata/c")
 }

@@ -1,0 +1,76 @@
+// Package c mirrors the obgpd decision process: oldest-first preference
+// ranks routes by an injected logical age stamp, so a wall-clock read, a
+// global-rand tie-break or an order-dependent map pick would make a clone
+// and its replay disagree on the best path.
+//
+//dice:deterministic
+package c
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Route is a candidate path with its logical age stamp.
+type Route struct {
+	Peer string
+	Age  uint64 // logical install counter, injected by the engine
+}
+
+// Engine carries the injected seams.
+type Engine struct {
+	// Now yields the campaign's logical time.
+	Now func() time.Time
+	// Tie is the seeded tie-breaker.
+	Tie *rand.Rand
+}
+
+// NewEngine wires defaults by assignment, never by call — legal.
+func NewEngine(seed int64) *Engine {
+	return &Engine{Now: time.Now, Tie: rand.New(rand.NewSource(seed))}
+}
+
+// BadStamp ages a new route off the wall clock instead of the counter.
+func BadStamp(r *Route) {
+	r.Age = uint64(time.Now().UnixNano()) // want `time\.Now in deterministic package`
+}
+
+// BadTieBreak resolves an age tie from the process-global generator.
+func BadTieBreak(a, b Route) Route {
+	if a.Age == b.Age && rand.Intn(2) == 0 { // want `global rand\.Intn`
+		return b
+	}
+	return a
+}
+
+// GoodTieBreak draws from the injected seeded instance.
+func (e *Engine) GoodTieBreak(a, b Route) Route {
+	if a.Age == b.Age && e.Tie.Intn(2) == 0 {
+		return b
+	}
+	return a
+}
+
+// BadOldest keeps whichever candidate map iteration yields first.
+func BadOldest(byPeer map[string]Route) Route {
+	var pick Route
+	for _, r := range byPeer {
+		pick = r
+		break // want `break out of range over map`
+	}
+	return pick
+}
+
+// GoodOldest scans every candidate; ties fall back to the peer name, so
+// the pick is a pure function of the map's contents.
+func GoodOldest(byPeer map[string]Route) Route {
+	var pick Route
+	first := true
+	for _, r := range byPeer {
+		if first || r.Age < pick.Age || (r.Age == pick.Age && r.Peer < pick.Peer) {
+			pick = r
+			first = false
+		}
+	}
+	return pick
+}

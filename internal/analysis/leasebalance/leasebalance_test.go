@@ -9,5 +9,5 @@ import (
 )
 
 func TestLeasebalance(t *testing.T) {
-	vettest.Run(t, []*analysis.Analyzer{leasebalance.Analyzer}, "testdata/a")
+	vettest.Run(t, []*analysis.Analyzer{leasebalance.Analyzer}, "testdata/a", "testdata/b")
 }

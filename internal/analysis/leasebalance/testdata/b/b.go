@@ -1,0 +1,79 @@
+// Package b mirrors the procdriver child lifecycle on the //dice:lease
+// protocol: spawning a backend subprocess returns a stop closure that kills
+// and reaps it, and a caller that drops the closure strands a live child —
+// the LiveChildren()!=0 audit shape from the proc-backend tests.
+package b
+
+// Proc stands in for a spawned backend child process.
+type Proc struct {
+	PID int
+}
+
+func drive(*Proc) {}
+
+// spawn launches a child speaker; the returned closure kills and reaps it.
+//
+//dice:lease
+func spawn(impl string) (*Proc, func(), error) {
+	_ = impl
+	p := &Proc{PID: 1}
+	return p, func() { p.PID = 0 }, nil
+}
+
+// GoodUnit reaps the child when the unit ends.
+func GoodUnit() error {
+	p, stop, err := spawn("obgpd")
+	if err != nil {
+		return err
+	}
+	defer stop()
+	drive(p)
+	return nil
+}
+
+// BadUnit leaves the child running after the unit returns.
+func BadUnit() error {
+	p, stop, err := spawn("obgpd") // want `release func returned by spawn is not released`
+	if err != nil {
+		return err
+	}
+	_ = stop
+	drive(p)
+	return nil
+}
+
+// BadRetryLoop strands one child per retry.
+func BadRetryLoop(attempts int) {
+	for i := 0; i < attempts; i++ {
+		p, stop, err := spawn("frr") // want `release func returned by spawn is not released`
+		if err != nil {
+			continue
+		}
+		_ = stop
+		drive(p)
+	}
+}
+
+// GoodRetryLoop reaps within the iteration.
+func GoodRetryLoop(attempts int) {
+	for i := 0; i < attempts; i++ {
+		p, stop, err := spawn("frr")
+		if err != nil {
+			continue
+		}
+		drive(p)
+		stop()
+	}
+}
+
+// GoodHandoff registers the reaper with the test cleanup hook; the
+// obligation transfers with the closure.
+func GoodHandoff(cleanup func(func())) error {
+	p, stop, err := spawn("bird")
+	if err != nil {
+		return err
+	}
+	cleanup(stop)
+	drive(p)
+	return nil
+}

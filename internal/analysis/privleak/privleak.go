@@ -59,6 +59,7 @@ const (
 var poisonPkgs = map[string]bool{
 	analysis.ModulePath + "/internal/bird":       true,
 	analysis.ModulePath + "/internal/frr":        true,
+	analysis.ModulePath + "/internal/obgpd":      true,
 	analysis.ModulePath + "/internal/checkpoint": true,
 	analysis.ModulePath + "/internal/bgp/rib":    true,
 	analysis.ModulePath + "/internal/netem":      true,

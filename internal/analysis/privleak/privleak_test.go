@@ -9,5 +9,5 @@ import (
 )
 
 func TestPrivleak(t *testing.T) {
-	vettest.Run(t, []*analysis.Analyzer{privleak.Analyzer}, "testdata/a")
+	vettest.Run(t, []*analysis.Analyzer{privleak.Analyzer}, "testdata/a", "testdata/b")
 }

@@ -8,12 +8,13 @@ import (
 // process. RFC 4271 §9.1.2.2 pins the early steps (LOCAL_PREF, AS_PATH
 // length, ORIGIN, MED, eBGP over iBGP) but real implementations legally
 // diverge at the end of the ladder: BIRD compares originator router IDs
-// before falling back to the neighbor address, while FRR-lineage daemons
-// (whose "oldest route wins" age rule is not representable in restorable
-// checkpoint state) resolve the tie on the neighbor address first. Both
-// orders are deterministic and RFC-conformant — which is exactly what makes
-// a mixed deployment select different best paths for the same inputs, the
-// divergence the CrossImplDivergence checker hunts.
+// before falling back to the neighbor address, FRR-lineage daemons resolve
+// the tie on the neighbor address first, and OpenBGPD-lineage daemons prefer
+// the longest-established path ("oldest route wins", restorable here through
+// the Route.Age arrival stamp) before falling back to the router ID. All
+// three orders are deterministic and RFC-conformant — which is exactly what
+// makes a mixed deployment select different best paths for the same inputs,
+// the divergence the CrossImplDivergence checker hunts.
 type DecisionPolicy int
 
 // Decision policies.
@@ -25,12 +26,28 @@ const (
 	// (the neighbor address in a real deployment), then the lowest peer
 	// router ID (FRR's deterministic stand-in for its route-age preference).
 	DecisionPeerAddressFirst
+	// DecisionOldestFirst breaks final ties on the oldest route (the lowest
+	// nonzero Age arrival stamp — OpenBGPD's route-age stability rule), then
+	// the lowest peer router ID, then the lowest peer name. Routes without a
+	// stamp (Age zero, e.g. hand-built candidates) skip the age step, so the
+	// policy degrades to the router-ID order rather than picking arbitrarily.
+	DecisionOldestFirst
 )
+
+// AllDecisionPolicies is the canonical policy universe, in constant order.
+// The three-way differential oracle replays every candidate set through all
+// of them to classify disagreements by majority vote.
+var AllDecisionPolicies = []DecisionPolicy{
+	DecisionRouterIDFirst, DecisionPeerAddressFirst, DecisionOldestFirst,
+}
 
 // String renders the policy.
 func (p DecisionPolicy) String() string {
-	if p == DecisionPeerAddressFirst {
+	switch p {
+	case DecisionPeerAddressFirst:
 		return "peer-address-first"
+	case DecisionOldestFirst:
+		return "oldest-first"
 	}
 	return "router-id-first"
 }
@@ -51,7 +68,8 @@ func Better(m *concolic.Machine, a, b *Route) bool {
 //  4. lower ORIGIN
 //  5. lower MED
 //  6. eBGP over iBGP
-//  7. + 8. the policy's tie-break order over peer router ID and peer name
+//  7. + 8. the policy's tie-break order over route age, peer router ID and
+//     peer name
 //
 // Steps 1–6 are common to every implementation; only the final tie-break
 // order varies with the DecisionPolicy, and it involves no symbolic state,
@@ -102,12 +120,19 @@ func BetterWith(m *concolic.Machine, a, b *Route, pol DecisionPolicy) bool {
 	if a.EBGP != b.EBGP {
 		return a.EBGP
 	}
-	// 7. + 8. Implementation-specific tie-break order.
-	if pol == DecisionPeerAddressFirst {
+	// 7. + 8. Implementation-specific tie-break order. None of the tail
+	// steps involve symbolic state, so the recorded path constraints stay
+	// identical across policies.
+	switch pol {
+	case DecisionPeerAddressFirst:
 		if a.Peer != b.Peer {
 			return a.Peer < b.Peer
 		}
 		return a.PeerRouterID < b.PeerRouterID
+	case DecisionOldestFirst:
+		if a.Age != b.Age && a.Age != 0 && b.Age != 0 {
+			return a.Age < b.Age
+		}
 	}
 	if a.PeerRouterID != b.PeerRouterID {
 		return a.PeerRouterID < b.PeerRouterID

@@ -1,0 +1,170 @@
+package rib
+
+import (
+	"testing"
+
+	"github.com/dice-project/dice/internal/bgp"
+)
+
+// tiedRoute builds a candidate that ties through decision steps 1–6, so the
+// outcome is decided entirely by the policy tail.
+func tiedRoute(peer string, id bgp.RouterID, age uint64) *Route {
+	r := route("10.0.0.0/8", peer, 65000+bgp.ASN(id), 100, 2)
+	r.PeerRouterID = id
+	r.Age = age
+	return r
+}
+
+func TestOldestFirstPrefersLowerStamp(t *testing.T) {
+	older := tiedRoute("R9", 9, 1)
+	younger := tiedRoute("R2", 2, 2)
+	if !BetterWith(nil, older, younger, DecisionOldestFirst) {
+		t.Errorf("the older stamp must win under oldest-first")
+	}
+	if BetterWith(nil, younger, older, DecisionOldestFirst) {
+		t.Errorf("asymmetry violated")
+	}
+	// The same pair resolves the other way under both other policies: R2 has
+	// the lower router ID and the lower peer name.
+	if BetterWith(nil, older, younger, DecisionRouterIDFirst) {
+		t.Errorf("router-id-first must prefer the lower ID")
+	}
+	if BetterWith(nil, older, younger, DecisionPeerAddressFirst) {
+		t.Errorf("peer-address-first must prefer the lower peer name")
+	}
+}
+
+func TestOldestFirstZeroAgeFallsBackToRouterID(t *testing.T) {
+	a := tiedRoute("R9", 9, 0)
+	b := tiedRoute("R2", 2, 0)
+	if BetterWith(nil, a, b, DecisionOldestFirst) || !BetterWith(nil, b, a, DecisionOldestFirst) {
+		t.Errorf("unstamped candidates must fall back to the router-ID order")
+	}
+	// One stamped, one not: the age step is skipped, not half-applied.
+	a.Age = 1
+	if BetterWith(nil, a, b, DecisionOldestFirst) {
+		t.Errorf("a single stamp must not beat the router-ID fallback")
+	}
+}
+
+// TestThreeWayTieBreakSplits pins the fixtures the differential oracle relies
+// on: candidate sets where the three legal policies split 2-vs-1 in either
+// direction, and one where all three pick a different path.
+func TestThreeWayTieBreakSplits(t *testing.T) {
+	sel := func(pol DecisionPolicy, rs ...*Route) string {
+		return SelectBestWith(nil, rs, pol).Peer
+	}
+
+	// Oldest-first outvoted 2-vs-1: the oldest path has both the highest
+	// router ID and the highest peer name.
+	x, y := tiedRoute("R9", 9, 1), tiedRoute("R2", 2, 2)
+	if got := sel(DecisionRouterIDFirst, x, y); got != "R2" {
+		t.Errorf("router-id-first picked %s, want R2", got)
+	}
+	if got := sel(DecisionPeerAddressFirst, x, y); got != "R2" {
+		t.Errorf("peer-address-first picked %s, want R2", got)
+	}
+	if got := sel(DecisionOldestFirst, x, y); got != "R9" {
+		t.Errorf("oldest-first picked %s, want R9", got)
+	}
+
+	// Router-id-first outvoted: the lowest ID belongs to the youngest path
+	// with the highest peer name.
+	x, y = tiedRoute("Ra", 9, 1), tiedRoute("Rb", 2, 2)
+	if got := sel(DecisionRouterIDFirst, x, y); got != "Rb" {
+		t.Errorf("router-id-first picked %s, want Rb", got)
+	}
+	if got := sel(DecisionPeerAddressFirst, x, y); got != "Ra" {
+		t.Errorf("peer-address-first picked %s, want Ra", got)
+	}
+	if got := sel(DecisionOldestFirst, x, y); got != "Ra" {
+		t.Errorf("oldest-first picked %s, want Ra", got)
+	}
+
+	// All three distinct (pairwise-legal): a has the lowest ID, b the lowest
+	// peer name, c the oldest stamp.
+	a := tiedRoute("Rc", 1, 3)
+	b := tiedRoute("Ra", 2, 2)
+	c := tiedRoute("Rb", 3, 1)
+	if got := sel(DecisionRouterIDFirst, a, b, c); got != "Rc" {
+		t.Errorf("router-id-first picked %s, want Rc", got)
+	}
+	if got := sel(DecisionPeerAddressFirst, a, b, c); got != "Ra" {
+		t.Errorf("peer-address-first picked %s, want Ra", got)
+	}
+	if got := sel(DecisionOldestFirst, a, b, c); got != "Rb" {
+		t.Errorf("oldest-first picked %s, want Rb", got)
+	}
+}
+
+func TestLocRIBArrivalStamps(t *testing.T) {
+	l := NewLocRIBFor(DecisionOldestFirst)
+	p := bgp.MustParsePrefix("10.0.0.0/8")
+
+	first := tiedRoute("R9", 9, 0)
+	l.Update(nil, first)
+	if first.Age != 1 {
+		t.Fatalf("first candidate stamped %d, want 1", first.Age)
+	}
+	second := tiedRoute("R2", 2, 0)
+	l.Update(nil, second)
+	if second.Age != 2 {
+		t.Fatalf("second candidate stamped %d, want 2", second.Age)
+	}
+	// Oldest-first keeps the first-installed candidate despite R2's lower ID
+	// and name.
+	if best := l.Best(p); best == nil || best.Peer != "R9" {
+		t.Fatalf("best = %v, want the older R9 path", best)
+	}
+
+	// A refresh of the same (prefix, peer) inherits the original stamp.
+	refresh := tiedRoute("R9", 9, 0)
+	l.Update(nil, refresh)
+	if refresh.Age != 1 {
+		t.Fatalf("refresh stamped %d, want the inherited 1", refresh.Age)
+	}
+
+	// Withdraw + re-announce is a new path: it gets a fresh (younger) stamp
+	// and loses the tie to the surviving older candidate.
+	l.Withdraw(nil, p, "R9")
+	if best := l.Best(p); best == nil || best.Peer != "R2" {
+		t.Fatalf("best after withdraw = %v, want R2", best)
+	}
+	again := tiedRoute("R9", 9, 0)
+	l.Update(nil, again)
+	if again.Age != 3 {
+		t.Fatalf("re-announced candidate stamped %d, want 3", again.Age)
+	}
+	if best := l.Best(p); best == nil || best.Peer != "R2" {
+		t.Fatalf("best after re-announce = %v, want the now-older R2", best)
+	}
+
+	// Restore path: InsertCandidate preserves stamps and advances the
+	// counter, Clear rewinds it with the content.
+	l2 := NewLocRIBFor(DecisionOldestFirst)
+	for _, r := range l.Candidates(p) {
+		l2.InsertCandidate(r.Clone())
+	}
+	l2.ReselectAll()
+	if best := l2.Best(p); best == nil || best.Peer != "R2" {
+		t.Fatalf("restored best = %v, want R2", best)
+	}
+	next := tiedRoute("R7", 7, 0)
+	l2.Update(nil, next)
+	if next.Age != 4 {
+		t.Fatalf("post-restore stamp %d, want 4 (counter must resume past restored stamps)", next.Age)
+	}
+	l2.Clear()
+	reseed := tiedRoute("R1", 1, 0)
+	l2.Update(nil, reseed)
+	if reseed.Age != 1 {
+		t.Fatalf("post-Clear stamp %d, want 1 (counter rewinds with the content)", reseed.Age)
+	}
+}
+
+func TestRouteAgeSurvivesCloneAndRecord(t *testing.T) {
+	r := tiedRoute("R9", 9, 42)
+	if got := r.Clone().Age; got != 42 {
+		t.Fatalf("Clone dropped the arrival stamp: %d", got)
+	}
+}

@@ -123,6 +123,10 @@ type prefixEntry struct {
 type LocRIB struct {
 	entries  map[bgp.Prefix]*prefixEntry
 	decision DecisionPolicy
+	// age is the arrival-stamp counter behind Route.Age: it advances once per
+	// newly installed candidate, in event order, so "older" is a deterministic,
+	// restorable property of the candidate set (see DecisionOldestFirst).
+	age uint64
 }
 
 // NewLocRIB returns an empty Loc-RIB using the default (BIRD-order) decision
@@ -152,11 +156,26 @@ type BestChange struct {
 
 // Update installs (or replaces) a candidate route and re-runs the decision
 // process for its prefix. It returns the resulting best-route change.
+//
+// Unstamped routes (Age zero) receive an arrival stamp: a fresh counter value
+// for a new (prefix, peer) candidate, or the replaced candidate's stamp when
+// the peer refreshes an existing one — a refresh does not make a path young
+// again, matching the stability intent of the route-age tie-break.
 func (l *LocRIB) Update(m *concolic.Machine, r *Route) BestChange {
 	e := l.entries[r.Prefix]
 	if e == nil {
 		e = &prefixEntry{candidates: make(map[string]*Route)}
 		l.entries[r.Prefix] = e
+	}
+	if r.Age == 0 {
+		if prev := e.candidates[r.Peer]; prev != nil && prev.Age != 0 {
+			r.Age = prev.Age
+		} else {
+			l.age++
+			r.Age = l.age
+		}
+	} else if r.Age > l.age {
+		l.age = r.Age
 	}
 	e.candidates[r.Peer] = r
 	return l.reselect(m, r.Prefix, e)
@@ -218,11 +237,16 @@ func sameRoute(a, b *Route) bool {
 // process. It is the bulk-load path used when restoring a RIB from a
 // checkpoint: insert every candidate, then call ReselectAll once. Using it
 // without a subsequent ReselectAll leaves the best-route selections stale.
+// Restored arrival stamps advance the counter, so stamps handed out after a
+// restore continue the checkpointed sequence instead of colliding with it.
 func (l *LocRIB) InsertCandidate(r *Route) {
 	e := l.entries[r.Prefix]
 	if e == nil {
 		e = &prefixEntry{candidates: make(map[string]*Route)}
 		l.entries[r.Prefix] = e
+	}
+	if r.Age > l.age {
+		l.age = r.Age
 	}
 	e.candidates[r.Peer] = r
 }
@@ -281,8 +305,13 @@ func (l *LocRIB) BestRoutes() []*Route {
 	return out
 }
 
-// Clear removes every entry, retaining the allocated top-level map.
-func (l *LocRIB) Clear() { clear(l.entries) }
+// Clear removes every entry, retaining the allocated top-level map. The
+// arrival-stamp counter rewinds with the content, so a cleared-and-refilled
+// RIB is indistinguishable from a cold-built one.
+func (l *LocRIB) Clear() {
+	clear(l.entries)
+	l.age = 0
+}
 
 // Len returns the number of prefixes in the Loc-RIB.
 func (l *LocRIB) Len() int { return len(l.entries) }
@@ -291,6 +320,7 @@ func (l *LocRIB) Len() int { return len(l.entries) }
 // decision policy.
 func (l *LocRIB) Clone() *LocRIB {
 	out := NewLocRIBFor(l.decision)
+	out.age = l.age
 	for p, e := range l.entries {
 		ne := &prefixEntry{candidates: make(map[string]*Route, len(e.candidates))}
 		for s, r := range e.candidates {

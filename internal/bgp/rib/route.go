@@ -77,6 +77,15 @@ type Route struct {
 	// Local marks locally originated (network statement) routes.
 	Local bool
 
+	// Age is the Loc-RIB arrival stamp: a monotone per-RIB counter assigned
+	// when the candidate is first installed and retained across refreshes of
+	// the same (prefix, peer) candidate. A lower nonzero stamp means an older
+	// — longer-established — path; zero means "never stamped". The stamp is
+	// part of the checkpoint-representable route state, which is what lets
+	// OpenBGPD's "oldest route wins" tie-break replay deterministically from
+	// restored state (the DecisionOldestFirst policy).
+	Age uint64
+
 	// Sym is the symbolic view of the decision-relevant attributes; nil for
 	// routes that were not learned from an explored input.
 	Sym *SymAttrs

@@ -2,11 +2,27 @@ package checker
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 
 	"github.com/dice-project/dice/internal/bgp/rib"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/node"
+)
+
+// Divergence classifications. Every flagged disagreement is replayed through
+// the full decision-policy universe and classified by vote; the class leads
+// the violation detail so reports and experiments can bucket findings
+// without re-running the replay.
+const (
+	// DivergenceMajorityOutvoted marks a 2-vs-1 split: two of the three
+	// conformant tie-break orders agree and one selects differently. The
+	// outvoted implementation is not wrong — but a deployment mixing it with
+	// either of the others forwards differently than the majority would.
+	DivergenceMajorityOutvoted = "majority-outvoted"
+	// DivergencePairwiseLegal marks a three-way split: every policy selects
+	// a different best path, so any heterogeneous pairing of backends
+	// diverges on this state and no majority exists to arbitrate.
+	DivergencePairwiseLegal = "pairwise-legal"
 )
 
 // CrossImplDivergence is the differential conformance check for
@@ -14,60 +30,72 @@ import (
 // prefix depends on which router implementation the node runs. For every
 // node and prefix with more than one candidate route, the node's candidate
 // set — state the node already owns, so nothing extra crosses a domain
-// boundary — is replayed through the decision process of each
-// implementation deployed in the cluster. A selection that differs between
-// implementations is a divergence: two conformant vendors would forward the
-// same traffic differently from the same state, the cross-implementation
-// hazard the paper's heterogeneity scenario is about.
+// boundary — is replayed through the decision policy of each implementation
+// deployed in the cluster. A selection that differs between deployed
+// policies is a divergence: two conformant vendors would forward the same
+// traffic differently from the same state, the cross-implementation hazard
+// the paper's heterogeneity scenario is about.
 //
-// In a homogeneous cluster there is nothing to compare, so the property is
-// inert: every verdict passes and no violations are produced, keeping
-// homogeneous campaign results byte-identical whether or not the property is
-// configured. Set CompareAll to instead compare every registered backend —
-// useful for asking "would this deployment be safe to diversify?" before
-// any frr node is rolled out.
+// The oracle is three-way: whenever deployed policies disagree, the
+// candidate set is additionally replayed through the full policy universe
+// (rib.AllDecisionPolicies) and the finding is classified by vote —
+// majority-outvoted when exactly one policy dissents (2-vs-1), or
+// pairwise-legal when all three select differently. Out-of-process backends
+// ("proc:bird", "proc:obgpd", ...) resolve to the decision policy of the
+// implementation they wrap, and implementations sharing a policy are
+// deduplicated, so a cluster mixing bird with proc:bird is — correctly —
+// not heterogeneous at the decision level.
+//
+// In a deployment with a single decision policy there is nothing to
+// compare, so the property is inert: every verdict passes and no violations
+// are produced, keeping homogeneous campaign results byte-identical whether
+// or not the property is configured. Set CompareAll to instead compare the
+// full policy universe — useful for asking "would this deployment be safe
+// to diversify?" before any second implementation is rolled out.
 type CrossImplDivergence struct {
-	// CompareAll compares the decision processes of every registered
-	// backend rather than only those deployed in the checked cluster.
+	// CompareAll compares the full decision-policy universe rather than
+	// only the policies deployed in the checked cluster.
 	CompareAll bool
 }
 
 // Name implements Property.
 func (CrossImplDivergence) Name() string { return "cross-impl-divergence" }
 
-// implPolicies resolves the (implementation, decision policy) pairs to
-// compare, sorted by implementation name.
-func (p CrossImplDivergence) implPolicies(c *cluster.Cluster) ([]string, []rib.DecisionPolicy) {
-	var impls []string
+// comparedPolicies resolves the set of decision policies to compare, in the
+// canonical rib.AllDecisionPolicies order. Deployed implementations that
+// share a tie-break order collapse to one entry.
+func (p CrossImplDivergence) comparedPolicies(c *cluster.Cluster) []rib.DecisionPolicy {
 	if p.CompareAll {
-		impls = node.Implementations()
-	} else {
-		impls = c.Implementations()
+		return rib.AllDecisionPolicies
 	}
-	sort.Strings(impls)
-	names := make([]string, 0, len(impls))
-	policies := make([]rib.DecisionPolicy, 0, len(impls))
-	for _, impl := range impls {
+	deployed := make(map[rib.DecisionPolicy]bool)
+	for _, impl := range c.Implementations() {
 		be, err := node.BackendFor(impl)
 		if err != nil {
 			continue
 		}
-		names = append(names, be.Name)
-		policies = append(policies, be.Decision)
+		deployed[be.Decision] = true
 	}
-	return names, policies
+	out := make([]rib.DecisionPolicy, 0, len(deployed))
+	for _, pol := range rib.AllDecisionPolicies {
+		if deployed[pol] {
+			out = append(out, pol)
+		}
+	}
+	return out
 }
 
 // Check implements Property. Disclosure accounting matches the other
 // per-node properties: each node shares one verdict; the candidate replay
-// happens node-locally.
+// happens node-locally. Nodes, prefixes and policies are all iterated in
+// sorted order, so the violation set is deterministic.
 func (p CrossImplDivergence) Check(c *cluster.Cluster) Result {
 	res := Result{Property: p.Name()}
-	impls, policies := p.implPolicies(c)
+	policies := p.comparedPolicies(c)
 	for _, name := range c.RouterNames() {
 		r := c.Router(name)
 		ok := true
-		if len(impls) > 1 {
+		if len(policies) > 1 {
 			lr := r.LocRIB()
 			for _, pfx := range lr.Prefixes() {
 				cands := lr.Candidates(pfx)
@@ -75,23 +103,25 @@ func (p CrossImplDivergence) Check(c *cluster.Cluster) Result {
 					continue
 				}
 				first := rib.SelectBestWith(nil, cands, policies[0])
-				for i := 1; i < len(impls); i++ {
-					other := rib.SelectBestWith(nil, cands, policies[i])
-					if sameSelection(first, other) {
-						continue
+				diverged := false
+				for _, pol := range policies[1:] {
+					if !sameSelection(first, rib.SelectBestWith(nil, cands, pol)) {
+						diverged = true
+						break
 					}
-					ok = false
-					res.Violations = append(res.Violations, Violation{
-						Property: p.Name(),
-						Class:    ClassImplDivergence,
-						Node:     name,
-						Prefix:   pfx,
-						HasPfx:   true,
-						Detail: fmt.Sprintf("best path depends on implementation: %s selects via %s, %s selects via %s",
-							impls[0], selectionVia(first), impls[i], selectionVia(other)),
-					})
-					break // one divergence per (node, prefix) is the finding
 				}
+				if !diverged {
+					continue
+				}
+				ok = false
+				res.Violations = append(res.Violations, Violation{
+					Property: p.Name(),
+					Class:    ClassImplDivergence,
+					Node:     name,
+					Prefix:   pfx,
+					HasPfx:   true,
+					Detail:   classifyDivergence(cands),
+				})
 			}
 		}
 		v := Verdict{Node: name, Property: p.Name(), OK: ok}
@@ -102,6 +132,57 @@ func (p CrossImplDivergence) Check(c *cluster.Cluster) Result {
 		res.DisclosedBytes += v.size()
 	}
 	return res
+}
+
+// classifyDivergence replays a divergent candidate set through the full
+// policy universe and renders the vote: the classification, then each
+// policy's selection. Policies agreeing on a selection are grouped.
+func classifyDivergence(cands []*rib.Route) string {
+	type ballot struct {
+		sel  *rib.Route
+		pols []rib.DecisionPolicy
+	}
+	var ballots []ballot
+	for _, pol := range rib.AllDecisionPolicies {
+		sel := rib.SelectBestWith(nil, cands, pol)
+		placed := false
+		for i := range ballots {
+			if sameSelection(ballots[i].sel, sel) {
+				ballots[i].pols = append(ballots[i].pols, pol)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			ballots = append(ballots, ballot{sel: sel, pols: []rib.DecisionPolicy{pol}})
+		}
+	}
+	switch len(ballots) {
+	case 1:
+		// The full universe agrees even though a subset of deployed policies
+		// did not — impossible while deployed ⊆ universe, but render it
+		// rather than misclassify if the universe ever narrows.
+		return fmt.Sprintf("universe-agrees: all policies select via %s", selectionVia(ballots[0].sel))
+	case len(rib.AllDecisionPolicies):
+		parts := make([]string, len(ballots))
+		for i, b := range ballots {
+			parts[i] = fmt.Sprintf("%s selects via %s", b.pols[0], selectionVia(b.sel))
+		}
+		return DivergencePairwiseLegal + ": " + strings.Join(parts, ", ")
+	default:
+		// 2-vs-1: name the dissenter first, then the majority.
+		loser, winner := ballots[0], ballots[1]
+		if len(loser.pols) > len(winner.pols) {
+			loser, winner = winner, loser
+		}
+		names := make([]string, len(winner.pols))
+		for i, pol := range winner.pols {
+			names[i] = pol.String()
+		}
+		return fmt.Sprintf("%s: %s alone selects via %s; %s select via %s",
+			DivergenceMajorityOutvoted, loser.pols[0], selectionVia(loser.sel),
+			strings.Join(names, " and "), selectionVia(winner.sel))
+	}
 }
 
 // sameSelection compares two selections by source: the decision process

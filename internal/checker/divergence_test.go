@@ -6,16 +6,18 @@ import (
 	"time"
 
 	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/rib"
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/topology"
 )
 
-// divergenceTopo builds the minimal diamond on which the two backends'
-// decision processes legally disagree: RX is dual-homed to R5 and R10, both
-// of which reach the origin R1. RX's two candidates for R1's prefix tie
-// through the RFC-mandated comparison steps (equal path length, no
-// LOCAL_PREF policy, both eBGP), so the selection comes down to the final
-// tie-break — lowest router ID picks R5, lowest neighbor name picks R10.
+// divergenceTopo builds the minimal diamond on which the backends' decision
+// processes legally disagree: RX is dual-homed to R5 and R10, both of which
+// reach the origin R1. RX's two candidates for R1's prefix tie through the
+// RFC-mandated comparison steps (equal path length, no LOCAL_PREF policy,
+// both eBGP), so the selection comes down to the final tie-break — lowest
+// router ID picks R5, lowest neighbor name picks R10, and the oldest-route
+// rule picks whichever announcement arrived first.
 func divergenceTopo() *topology.Topology {
 	mk := func(name string, id uint32) topology.Node {
 		return topology.Node{
@@ -49,10 +51,18 @@ func TestCrossImplDivergenceFlagsMixedDeployment(t *testing.T) {
 		if v.Class != ClassImplDivergence {
 			t.Errorf("violation class = %v, want %v", v.Class, ClassImplDivergence)
 		}
+		if !strings.HasPrefix(v.Detail, DivergenceMajorityOutvoted) && !strings.HasPrefix(v.Detail, DivergencePairwiseLegal) {
+			t.Errorf("detail not classified: %s", v.Detail)
+		}
 		if v.Node == "RX" && v.Prefix == bgp.MustParsePrefix("10.1.0.0/16") {
 			found = true
-			if !strings.Contains(v.Detail, "bird selects via R5") || !strings.Contains(v.Detail, "frr selects via R10") {
-				t.Errorf("divergence detail does not name both selections: %s", v.Detail)
+			// The vote names the policies that disagree, not the backends:
+			// bird's router-id order and frr's peer-address order must both
+			// appear, with their picks.
+			for _, want := range []string{"router-id-first", "peer-address-first", "selects via"} {
+				if !strings.Contains(v.Detail, want) {
+					t.Errorf("divergence detail missing %q: %s", want, v.Detail)
+				}
 			}
 		}
 	}
@@ -69,29 +79,132 @@ func TestCrossImplDivergenceFlagsMixedDeployment(t *testing.T) {
 	}
 }
 
+// TestCrossImplDivergenceThreeWayMix deploys all three backends at once and
+// pins determinism: two runs from the same seed produce identical violation
+// sets, and every finding carries a vote classification.
+func TestCrossImplDivergenceThreeWayMix(t *testing.T) {
+	run := func() Result {
+		topo := divergenceTopo().SetImpl("frr", "RX").SetImpl("obgpd", "R5")
+		c := cluster.MustBuild(topo, cluster.Options{Seed: 7})
+		c.Converge()
+		return CrossImplDivergence{}.Check(c)
+	}
+	res := run()
+	if res.OK() {
+		t.Fatalf("three-way mixed deployment reported no divergence")
+	}
+	for _, v := range res.Violations {
+		if !strings.HasPrefix(v.Detail, DivergenceMajorityOutvoted) && !strings.HasPrefix(v.Detail, DivergencePairwiseLegal) {
+			t.Errorf("unclassified finding: %s", v.Detail)
+		}
+	}
+	again := run()
+	if len(again.Violations) != len(res.Violations) {
+		t.Fatalf("divergence set not deterministic: %d vs %d", len(res.Violations), len(again.Violations))
+	}
+	for i := range res.Violations {
+		if res.Violations[i] != again.Violations[i] {
+			t.Errorf("violation %d differs across identical runs:\n%v\n%v", i, res.Violations[i], again.Violations[i])
+		}
+	}
+}
+
 // TestCrossImplDivergenceInertWhenHomogeneous pins the compatibility
 // guarantee: on a single-implementation deployment the property produces no
 // violations and all-OK verdicts, so configuring it changes nothing about a
-// homogeneous campaign's detections.
+// homogeneous campaign's detections — for every backend, including the
+// non-default ones.
 func TestCrossImplDivergenceInertWhenHomogeneous(t *testing.T) {
-	c := cluster.MustBuild(divergenceTopo(), cluster.Options{Seed: 1})
-	c.Converge()
-	res := CrossImplDivergence{}.Check(c)
-	if !res.OK() {
-		t.Fatalf("homogeneous deployment flagged: %v", res.Violations)
-	}
-	for _, v := range res.Verdicts {
-		if !v.OK {
-			t.Errorf("verdict for %s not OK", v.Node)
+	for _, impl := range []string{"", "frr", "obgpd"} {
+		topo := divergenceTopo()
+		if impl != "" {
+			topo = topo.SetImpl(impl)
+		}
+		c := cluster.MustBuild(topo, cluster.Options{Seed: 1})
+		c.Converge()
+		res := CrossImplDivergence{}.Check(c)
+		if !res.OK() {
+			t.Fatalf("homogeneous %q deployment flagged: %v", impl, res.Violations)
+		}
+		for _, v := range res.Verdicts {
+			if !v.OK {
+				t.Errorf("homogeneous %q: verdict for %s not OK", impl, v.Node)
+			}
 		}
 	}
 
 	// CompareAll asks the counterfactual question instead: would this
-	// deployment diverge if its nodes were diversified across the registered
-	// backends? The same tied candidate set must then be flagged even though
+	// deployment diverge if its nodes were diversified across the policy
+	// universe? The same tied candidate set must then be flagged even though
 	// every node runs bird today.
+	c := cluster.MustBuild(divergenceTopo(), cluster.Options{Seed: 1})
+	c.Converge()
 	all := CrossImplDivergence{CompareAll: true}.Check(c)
 	if all.OK() {
 		t.Fatalf("CompareAll missed the latent divergence")
+	}
+}
+
+// mkCand builds a hand-crafted candidate that ties through the shared
+// decision steps, so only the policy tails distinguish it.
+func mkCand(peer string, id bgp.RouterID, age uint64) *rib.Route {
+	attrs := &bgp.PathAttributes{Origin: bgp.OriginIGP, NextHop: 0x0a000001, ASPath: []bgp.ASN{64500}}
+	attrs.SetLocalPref(100)
+	return &rib.Route{
+		Prefix:       bgp.MustParsePrefix("10.1.0.0/16"),
+		Attrs:        attrs,
+		Peer:         peer,
+		PeerAS:       65000 + bgp.ASN(id),
+		PeerRouterID: id,
+		EBGP:         true,
+		Age:          age,
+	}
+}
+
+// TestClassifyDivergenceVotes pins the vote classifier against candidate
+// sets constructed to split each possible way.
+func TestClassifyDivergenceVotes(t *testing.T) {
+	cases := []struct {
+		name  string
+		cands []*rib.Route
+		want  []string
+	}{
+		{
+			// router-id-first → R9 (ID 1); peer-address-first → R1 (lowest
+			// name); oldest-first → R5 (age 1). Three distinct selections.
+			name:  "pairwise-legal three-way split",
+			cands: []*rib.Route{mkCand("R9", 1, 5), mkCand("R1", 2, 6), mkCand("R5", 3, 1)},
+			want:  []string{DivergencePairwiseLegal, "router-id-first selects via R9", "peer-address-first selects via R1", "oldest-first selects via R5"},
+		},
+		{
+			// Ages tie the oldest rule back to router-ID order, so
+			// router-id-first and oldest-first both pick R9 and the
+			// peer-address order is the lone dissenter.
+			name:  "peer-address outvoted",
+			cands: []*rib.Route{mkCand("R9", 1, 0), mkCand("R1", 2, 0)},
+			want:  []string{DivergenceMajorityOutvoted, "peer-address-first alone selects via R1", "router-id-first and oldest-first select via R9"},
+		},
+		{
+			// The younger route wins both name and ID order; only the age
+			// rule prefers the incumbent.
+			name:  "oldest outvoted",
+			cands: []*rib.Route{mkCand("R2", 2, 1), mkCand("R1", 1, 5)},
+			want:  []string{DivergenceMajorityOutvoted, "oldest-first alone selects via R2", "router-id-first and peer-address-first select via R1"},
+		},
+		{
+			// Lowest name and oldest age agree on R1; only the router-ID
+			// order prefers R9.
+			name:  "router-id outvoted",
+			cands: []*rib.Route{mkCand("R9", 1, 5), mkCand("R1", 2, 1)},
+			want:  []string{DivergenceMajorityOutvoted, "router-id-first alone selects via R9", "peer-address-first and oldest-first select via R1"},
+		},
+	}
+	for _, tc := range cases {
+		got := classifyDivergence(tc.cands)
+		for _, want := range tc.want {
+			if !strings.Contains(got, want) {
+				t.Errorf("%s: classification %q missing %q", tc.name, got, want)
+			}
+		}
 	}
 }

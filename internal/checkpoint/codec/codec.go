@@ -193,6 +193,11 @@ func (r *Reader) fail(format string, args ...any) {
 	}
 }
 
+// Fail records a decode error at the current offset, for decoders layered
+// on the Reader outside this package (backend payloads, wire frames). Like
+// every other error path it is sticky: only the first failure is kept.
+func (r *Reader) Fail(format string, args ...any) { r.fail(format, args...) }
+
 // Header consumes and validates the 4-byte format header, requiring the
 // given artifact kind.
 func (r *Reader) Header(wantKind byte) {

@@ -103,6 +103,7 @@ func putRoute(w *Writer, rec *node.RouteRecord) {
 	w.String(rec.Peer)
 	w.Uvarint(uint64(rec.PeerAS))
 	w.Uvarint(uint64(rec.PeerRouterID))
+	w.Uvarint(rec.Age)
 }
 
 func route(r *Reader) node.RouteRecord {
@@ -132,6 +133,7 @@ func route(r *Reader) node.RouteRecord {
 	rec.Peer = r.String()
 	rec.PeerAS = uint32(r.Uvarint())
 	rec.PeerRouterID = uint32(r.Uvarint())
+	rec.Age = r.Uvarint()
 	return rec
 }
 

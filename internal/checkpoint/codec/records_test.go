@@ -16,7 +16,7 @@ func sampleRoutes() []node.RouteRecord {
 			HasLocalPref: true, LocalPref: 120,
 			Communities: []uint32{0xFDE80001},
 			Peer:        "R2", PeerAS: 65002, PeerRouterID: 0x02020202,
-			EBGP: true,
+			EBGP: true, Age: 7,
 		},
 		{Prefix: "192.168.0.0/16", Local: true, NextHop: 0},
 	}

@@ -23,6 +23,8 @@ import (
 	// resolve the implementations a topology names.
 	_ "github.com/dice-project/dice/internal/bird"
 	_ "github.com/dice-project/dice/internal/frr"
+	_ "github.com/dice-project/dice/internal/node/procdriver"
+	_ "github.com/dice-project/dice/internal/obgpd"
 )
 
 // Relationship tag communities attached by the generated import policies, in
@@ -242,6 +244,23 @@ func (c *Cluster) Implementations() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// Unhealthy reports the first router whose driver can no longer faithfully
+// run it — an out-of-process node whose subprocess crashed, stalled, or broke
+// protocol. In-process routers are always healthy; drivers opt in by
+// implementing `Unhealthy() error`. The campaign layer checks this after
+// every execution so a dead driver becomes a unit error instead of a silently
+// frozen node, and the clone pool discards unhealthy clones at release.
+func (c *Cluster) Unhealthy() error {
+	for _, name := range c.RouterNames() {
+		if probe, ok := c.Routers[name].(interface{ Unhealthy() error }); ok {
+			if err := probe.Unhealthy(); err != nil {
+				return fmt.Errorf("cluster: node %s: %w", name, err)
+			}
+		}
+	}
+	return nil
 }
 
 // Converge runs the emulation until quiescence (routing converged) and

@@ -215,13 +215,20 @@ func (p *ClonePool) Lease() (*Cluster, error) {
 }
 
 // Release returns a leased clone to the pool. The clone may be in any state;
-// it is rewound to the snapshot on its next lease.
+// it is rewound to the snapshot on its next lease. A clone with an unhealthy
+// driver (dead subprocess) is discarded instead of pooled — the release is
+// still counted, so Leases==Releases holds and the leak tests stay sound.
 func (p *ClonePool) Release(c *Cluster) {
 	if c == nil {
 		return
 	}
+	dead := c.Unhealthy() != nil
 	p.mu.Lock()
-	p.free = append(p.free, c)
+	if dead {
+		p.stats.Discards++
+	} else {
+		p.free = append(p.free, c)
+	}
 	p.stats.Releases++
 	p.mu.Unlock()
 }

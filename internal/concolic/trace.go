@@ -1,0 +1,100 @@
+package concolic
+
+import "github.com/dice-project/dice/internal/concolic/expr"
+
+// VarRef locates the input byte backing one symbolic variable: the named
+// region and the byte index within it. It is the exported, serializable form
+// of the machine's internal variable→region mapping.
+type VarRef struct {
+	Region string
+	Index  int
+}
+
+// Trace is the portable record of (part of) one concolic execution: the
+// branches taken from some starting index, plus the full variable assignment,
+// variable→input mapping and input regions needed to interpret them. A
+// machine split across a process boundary ships Traces back to the
+// coordinating side, which merges them with ImportTrace so the combined
+// machine is indistinguishable from one that ran the whole execution locally.
+type Trace struct {
+	Branches   []Branch
+	Assignment expr.Assignment
+	Vars       map[string]VarRef
+	Regions    map[string][]byte
+	Truncated  bool
+}
+
+// MaxBranches returns the machine's branch-recording bound.
+func (m *Machine) MaxBranches() int {
+	if m == nil {
+		return 0
+	}
+	return m.maxBranches
+}
+
+// ExportTrace captures the execution record from branch index `from` onward.
+// The branch slice is the increment (so repeated exports ship each branch
+// once); the assignment, variable mapping and regions are always complete —
+// they are unioned on import, so resending them is idempotent. Everything is
+// deep-copied: the trace stays valid after the machine keeps executing.
+func (m *Machine) ExportTrace(from int) *Trace {
+	if m == nil {
+		return nil
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(m.path) {
+		from = len(m.path)
+	}
+	t := &Trace{
+		Branches:   append([]Branch(nil), m.path[from:]...),
+		Assignment: make(expr.Assignment, len(m.asn)),
+		Vars:       make(map[string]VarRef, len(m.varRegion)),
+		Regions:    make(map[string][]byte),
+		Truncated:  m.truncated,
+	}
+	for name, val := range m.asn {
+		t.Assignment[name] = val
+	}
+	for name, ref := range m.varRegion {
+		t.Vars[name] = VarRef{Region: ref.region, Index: ref.index}
+	}
+	if m.in != nil {
+		for name, data := range m.in.Regions {
+			t.Regions[name] = append([]byte(nil), data...)
+		}
+	}
+	return t
+}
+
+// ImportTrace merges a trace exported by another machine (typically across a
+// process boundary): branches are appended in order, the assignment and
+// variable mapping are unioned (existing entries win — the two machines were
+// built over the same input, so they agree), regions the input does not know
+// yet are installed, and truncation is sticky. Importing on a nil machine is
+// a no-op, matching the concrete execution path.
+func (m *Machine) ImportTrace(t *Trace) {
+	if m == nil || t == nil {
+		return
+	}
+	for name, data := range t.Regions {
+		if m.in.Region(name) == nil {
+			m.in.SetRegion(name, data)
+		}
+	}
+	for name, val := range t.Assignment {
+		if _, ok := m.asn[name]; !ok {
+			m.asn[name] = val
+		}
+	}
+	for name, ref := range t.Vars {
+		if _, ok := m.varRegion[name]; !ok {
+			m.varRegion[name] = regionRef{region: ref.Region, index: ref.Index}
+		}
+	}
+	m.path = append(m.path, t.Branches...)
+	if t.Truncated {
+		m.truncated = true
+	}
+}

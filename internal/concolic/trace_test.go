@@ -1,0 +1,136 @@
+package concolic
+
+import (
+	"reflect"
+	"testing"
+)
+
+// traceMachine builds a machine over a two-byte input region and records two
+// symbolic branches, the minimal execution worth splitting across a process
+// boundary.
+func traceMachine(t *testing.T) *Machine {
+	t.Helper()
+	m := NewMachine(NewInput("update", []byte{0x07, 0x00}), MachineOptions{})
+	sb := m.Bytes("update", nil)
+	if !m.Branch("site/a", EqConst(sb.Byte(0), 7)) {
+		t.Fatal("branch a should concretely hold")
+	}
+	if m.Branch("site/b", EqConst(sb.Byte(1), 7)) {
+		t.Fatal("branch b should concretely fail")
+	}
+	return m
+}
+
+func TestExportTraceIncrement(t *testing.T) {
+	m := traceMachine(t)
+
+	full := m.ExportTrace(0)
+	if len(full.Branches) != 2 {
+		t.Fatalf("ExportTrace(0) carries %d branches, want 2", len(full.Branches))
+	}
+	inc := m.ExportTrace(1)
+	if len(inc.Branches) != 1 || inc.Branches[0].Site != "site/b" {
+		t.Fatalf("ExportTrace(1) = %+v, want only site/b", inc.Branches)
+	}
+	// The assignment, variable mapping and regions are always complete, even
+	// on an incremental export.
+	for _, tr := range []*Trace{full, inc} {
+		if tr.Assignment["update[0]"] != 7 || tr.Assignment["update[1]"] != 0 {
+			t.Errorf("assignment incomplete: %v", tr.Assignment)
+		}
+		if tr.Vars["update[0]"] != (VarRef{Region: "update", Index: 0}) {
+			t.Errorf("vars incomplete: %v", tr.Vars)
+		}
+		if !reflect.DeepEqual(tr.Regions["update"], []byte{0x07, 0x00}) {
+			t.Errorf("regions incomplete: %v", tr.Regions)
+		}
+	}
+	// Out-of-range indices clamp instead of panicking.
+	if got := m.ExportTrace(99); len(got.Branches) != 0 {
+		t.Errorf("ExportTrace past end carries %d branches", len(got.Branches))
+	}
+	if got := m.ExportTrace(-3); len(got.Branches) != 2 {
+		t.Errorf("ExportTrace(-3) carries %d branches, want 2", len(got.Branches))
+	}
+
+	// The export is a deep copy: branches recorded afterwards don't leak in.
+	sb := m.Bytes("update", nil)
+	m.Branch("site/c", EqConst(sb.Byte(0), 7))
+	if len(full.Branches) != 2 {
+		t.Errorf("exported trace grew with the machine")
+	}
+
+	if m.ExportTrace(0).Truncated {
+		t.Errorf("trace reports truncation, machine is not truncated")
+	}
+	if (*Machine)(nil).ExportTrace(0) != nil {
+		t.Errorf("nil machine must export a nil trace")
+	}
+}
+
+// TestImportTraceMerge is the cross-process contract: a fresh machine over the
+// same input that imports the exported trace must be indistinguishable from
+// the machine that executed locally.
+func TestImportTraceMerge(t *testing.T) {
+	src := traceMachine(t)
+	tr := src.ExportTrace(0)
+
+	dst := NewMachine(NewInput("seed", []byte{1}), MachineOptions{})
+	dst.ImportTrace(tr)
+
+	if !reflect.DeepEqual(dst.Path(), src.Path()) {
+		t.Errorf("imported path differs:\n got %+v\nwant %+v", dst.Path(), src.Path())
+	}
+	if !reflect.DeepEqual(dst.Assignment(), src.Assignment()) {
+		t.Errorf("imported assignment differs: got %v want %v", dst.Assignment(), src.Assignment())
+	}
+	if !reflect.DeepEqual(dst.in.Region("update"), []byte{0x07, 0x00}) {
+		t.Errorf("imported region not installed: %v", dst.in.Regions)
+	}
+	if dst.varRegion["update[0]"] != (regionRef{region: "update", index: 0}) {
+		t.Errorf("imported var mapping wrong: %+v", dst.varRegion["update[0]"])
+	}
+
+	// Importing the same complete trace again must not duplicate anything but
+	// the branch increment (which the exporter never resends in practice).
+	dst.ImportTrace(src.ExportTrace(2))
+	if got := len(dst.Path()); got != 2 {
+		t.Errorf("re-import of empty increment changed path to %d branches", got)
+	}
+}
+
+func TestImportTraceExistingWins(t *testing.T) {
+	dst := NewMachine(NewInput("update", []byte{0xAA}), MachineOptions{})
+	dst.Bytes("update", nil) // binds update[0]=0xAA
+
+	tr := &Trace{
+		Assignment: map[string]uint64{"update[0]": 1, "fresh": 2},
+		Vars:       map[string]VarRef{"update[0]": {Region: "other", Index: 9}, "fresh": {Region: "f", Index: 0}},
+		Regions:    map[string][]byte{"update": {0x55}, "extra": {0x01}},
+		Truncated:  true,
+	}
+	dst.ImportTrace(tr)
+
+	if dst.asn["update[0]"] != 0xAA {
+		t.Errorf("import overwrote existing assignment: %v", dst.asn["update[0]"])
+	}
+	if dst.asn["fresh"] != 2 {
+		t.Errorf("import dropped new assignment entry")
+	}
+	if dst.varRegion["update[0]"].region != "update" {
+		t.Errorf("import overwrote existing var mapping: %+v", dst.varRegion["update[0]"])
+	}
+	if !reflect.DeepEqual(dst.in.Region("update"), []byte{0xAA}) {
+		t.Errorf("import overwrote existing region bytes")
+	}
+	if !reflect.DeepEqual(dst.in.Region("extra"), []byte{0x01}) {
+		t.Errorf("import did not install unknown region")
+	}
+	if !dst.Truncated() {
+		t.Errorf("truncation must be sticky across import")
+	}
+
+	// Nil handling on both sides is a no-op, matching the concrete path.
+	dst.ImportTrace(nil)
+	(*Machine)(nil).ImportTrace(tr)
+}

@@ -13,12 +13,16 @@ import (
 	"github.com/dice-project/dice/internal/agent"
 	"github.com/dice-project/dice/internal/control"
 	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/node/procdriver"
 )
 
 // TestMain doubles as the chaos test's agent subprocess: when re-executed
 // with DICE_AGENT_MODE=1, the test binary runs a single dice-agent against
 // the control URL in the environment instead of the test suite.
 func TestMain(m *testing.M) {
+	// Campaigns over proc: topologies re-exec this binary as a backend
+	// subprocess; divert those before anything else runs.
+	procdriver.MaybeRunChild()
 	switch os.Getenv("DICE_AGENT_MODE") {
 	case "1":
 		runAgentSubprocess()

@@ -1,0 +1,124 @@
+package control_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/agent"
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/control"
+	"github.com/dice-project/dice/internal/dice"
+	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/node/procdriver"
+	"github.com/dice-project/dice/internal/topology"
+)
+
+// hijackedProcFixture is hijackedFixture with every router re-tagged onto
+// impl — "obgpd" for the in-process reference, "proc:obgpd" for the
+// subprocess-backed deployment.
+func hijackedProcFixture(t *testing.T, n int, impl string) (*topology.Topology, *cluster.Cluster, cluster.Options) {
+	t.Helper()
+	topo := topology.Line(n)
+	topo.SetImpl(impl, topo.NodeNames()...)
+	victim := topo.Nodes[0].Prefixes[0]
+	last := topo.Nodes[n-1].Name
+	opts := cluster.Options{Seed: 1, ConfigOverride: faults.ApplyConfigFaults(faults.MisOrigination{Router: last, Prefix: victim})}
+	c := cluster.MustBuild(topo, opts)
+	c.Converge()
+	return topo, c, opts
+}
+
+// runProcCampaign runs the standard seeded campaign over the impl-tagged
+// fixture, optionally through a Controller with loopback-TCP agents.
+func runProcCampaign(t *testing.T, impl string, agents int) *dice.CampaignResult {
+	t.Helper()
+	topo, live, copts := hijackedProcFixture(t, 4, impl)
+	opts := baseOptions(topo, copts, false)
+
+	if agents > 0 {
+		ctrl := control.NewController(control.Config{
+			Campaign:      "proc-itest",
+			MinAgents:     agents,
+			UnitsPerShard: 1,
+			LeaseTTL:      5 * time.Second,
+		})
+		srv := httptest.NewServer(control.NewHandler(ctrl))
+		t.Cleanup(srv.Close)
+
+		agentCtx, cancelAgents := context.WithCancel(context.Background())
+		t.Cleanup(cancelAgents)
+		var wg sync.WaitGroup
+		agentErrs := make([]error, agents)
+		for i := 0; i < agents; i++ {
+			ag := agent.New(agent.Config{
+				Name:         fmt.Sprintf("proc-agent-%d", i),
+				ControlURL:   srv.URL,
+				Client:       srv.Client(),
+				PollInterval: 2 * time.Millisecond,
+			})
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				agentErrs[i] = ag.Run(agentCtx)
+			}(i)
+		}
+		defer func() {
+			wg.Wait()
+			for i, e := range agentErrs {
+				if e != nil {
+					t.Errorf("agent %d exited with error: %v", i, e)
+				}
+			}
+		}()
+		opts = append(opts, dice.WithRemoteExecution(ctrl))
+	}
+
+	res, err := dice.NewCampaign(live, topo, opts...).Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s campaign (%d agents): %v", impl, agents, err)
+	}
+	return res
+}
+
+// TestDistributedProcBackendMatchesInProcess closes the process-isolation
+// equivalence over the real distributed path: a campaign over proc:obgpd
+// subprocess nodes must yield detection fingerprints identical to in-process
+// obgpd, both run directly and run through a Controller sharding units to
+// agents over loopback TCP.
+func TestDistributedProcBackendMatchesInProcess(t *testing.T) {
+	if reason := subprocessSkipReason(false, procdriver.SpawnCheck); reason != "" {
+		t.Skip(reason)
+	}
+	t.Cleanup(func() {
+		procdriver.KillAll()
+		if n := procdriver.LiveChildren(); n != 0 {
+			t.Errorf("%d backend subprocesses leaked", n)
+		}
+	})
+
+	reference := runProcCampaign(t, "obgpd", 0)
+	if len(reference.Detections) == 0 {
+		t.Fatal("in-process obgpd campaign found nothing; equivalence is vacuous")
+	}
+	want := detectionFingerprint(reference.Detections)
+
+	direct := runProcCampaign(t, "proc:obgpd", 0)
+	if got := detectionFingerprint(direct.Detections); got != want {
+		t.Errorf("proc:obgpd detections differ from in-process obgpd:\n  proc       %s\n  in-process %s", got, want)
+	}
+
+	distributed := runProcCampaign(t, "proc:obgpd", 2)
+	if got := detectionFingerprint(distributed.Detections); got != want {
+		t.Errorf("distributed proc:obgpd detections differ from in-process obgpd:\n  distributed %s\n  in-process  %s", got, want)
+	}
+	if distributed.InputsExplored != reference.InputsExplored {
+		t.Errorf("inputs explored differ: distributed=%d in-process=%d", distributed.InputsExplored, reference.InputsExplored)
+	}
+	if distributed.Remote == nil || distributed.Remote.Agents != 2 {
+		t.Errorf("Remote stats = %+v, want 2 agents", distributed.Remote)
+	}
+}

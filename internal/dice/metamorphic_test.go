@@ -155,8 +155,9 @@ func TestMetamorphicPooledEqualsCold(t *testing.T) {
 
 // TestMetamorphicHeterogeneousFindsSameClasses asserts the heterogeneity
 // variant of the metamorphic property on a random topology: re-tagging the
-// stub tier onto the frr backend must not lose any detected fault class,
-// and the divergence checker must stay silent on the homogeneous run.
+// transit tier onto obgpd and the stub tier onto frr — a genuine three-way
+// bird/obgpd/frr deployment — must not lose any detected fault class
+// relative to the homogeneous run.
 func TestMetamorphicHeterogeneousFindsSameClasses(t *testing.T) {
 	for _, mc := range metamorphicCases(t) {
 		t.Run(mc.name, func(t *testing.T) {
@@ -165,15 +166,31 @@ func TestMetamorphicHeterogeneousFindsSameClasses(t *testing.T) {
 			mixedTopo := mc.topo // mutate a copy of the node list, not the shared case
 			cp := *mixedTopo
 			cp.Nodes = append([]topology.Node(nil), mixedTopo.Nodes...)
-			var stubs []string
+			var transits, stubs []string
 			for _, n := range cp.Nodes {
-				if n.Tier == 3 {
+				switch n.Tier {
+				case 2:
+					transits = append(transits, n.Name)
+				case 3:
 					stubs = append(stubs, n.Name)
 				}
 			}
+			cp.SetImpl("obgpd", transits...)
 			cp.SetImpl("frr", stubs...)
 			mcMixed := metamorphicCase{name: mc.name + "-mixed", topo: &cp, opts: mc.opts}
 			mixed := mcMixed.campaign(t, mcMixed.deploy(t))
+
+			impls := map[string]bool{}
+			for _, n := range cp.Nodes {
+				impl := n.Impl
+				if impl == "" {
+					impl = "bird"
+				}
+				impls[impl] = true
+			}
+			if len(impls) != 3 {
+				t.Fatalf("mixed topology runs %d implementations, want a three-way mix: %v", len(impls), impls)
+			}
 
 			classes := func(r *CampaignResult) map[string]bool {
 				out := map[string]bool{}
@@ -184,7 +201,7 @@ func TestMetamorphicHeterogeneousFindsSameClasses(t *testing.T) {
 			}
 			for cl := range classes(homo) {
 				if !classes(mixed)[cl] {
-					t.Errorf("mixed deployment lost fault class %s", cl)
+					t.Errorf("three-way mixed deployment lost fault class %s", cl)
 				}
 			}
 		})

@@ -129,6 +129,14 @@ func (c *Campaign) runClone(ctx context.Context, u Unit, in *concolic.Input, m *
 	shadow.InjectRaw(u.FromPeer, u.Explorer, wireUpdate(in.Region("update")))
 	shadow.Net.RunQuiescent(c.cfg.shadowMaxEvents)
 
+	// An out-of-process node whose subprocess died during the execution has
+	// been silently dropping traffic since the crash; its state is not the
+	// state this input produces. Surface a unit error (and let the deferred
+	// release discard the dead clone) instead of checking fabricated results.
+	if err := shadow.Unhealthy(); err != nil {
+		return cloneOutcome{}, fmt.Errorf("dice: clone execute: %w", err)
+	}
+
 	var violations []checker.Violation
 	disclosed := 0
 	if c.fed != nil {
@@ -242,13 +250,22 @@ func (c *Campaign) runUnitConcolic(ctx context.Context, idx int, u Unit, seeds [
 	for _, s := range seeds {
 		explorer.AddSeed(s)
 	}
-	if _, err := explorer.RunWhile(func() bool { return ctx.Err() == nil }); err != nil {
+	report, err := explorer.RunWhile(func() bool { return ctx.Err() == nil })
+	if err != nil {
 		return err
 	}
 	res.ExplorerStats = explorer.Stats()
 	// Count the clones actually driven, not explorer steps: a step aborted by
 	// cancellation while waiting for a worker slot explored nothing.
 	res.InputsExplored = executed
+	// Transient clone failures are tolerated — the explorer routes around
+	// them and the pool discards the dead clone. But a unit where *every*
+	// execution failed (a crashing subprocess backend, a broken store) found
+	// nothing and proved nothing; surface its first failure as the unit error
+	// instead of reporting a silently vacuous result.
+	if executed == 0 && len(report.Errors) > 0 {
+		return fmt.Errorf("dice: unit %s from %s explored no inputs: %w", u.Explorer, u.FromPeer, report.Errors[0].Err)
+	}
 	return nil
 }
 

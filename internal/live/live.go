@@ -861,8 +861,21 @@ func (rt *Runtime) minimizeGroup(ep *checkpoint.Epoch, group []*Finding) {
 			i++
 		}
 	}
+	// The joint pass minimizes to the union requirement: a steady-state
+	// violation grouped with an input-dependent one keeps whatever steps its
+	// groupmates need. One extra replay of the empty trace refines that —
+	// any finding the cold clone already exhibits gets the empty trace, its
+	// true minimum, no matter what it was co-detected with.
+	var steady map[string]bool
+	if len(steps) > 0 && replays < budget {
+		steady = replay(nil)
+	}
 	for _, f := range verifiable {
-		f.Trace = cloneSteps(steps)
+		if steady[f.Violation.Key()] {
+			f.Trace = nil
+		} else {
+			f.Trace = cloneSteps(steps)
+		}
 		f.Reverified = true
 	}
 }

@@ -54,51 +54,63 @@ type Backend struct {
 	DecodeCanonical func(payload []byte) (Checkpoint, error)
 }
 
-var (
-	backendMu  sync.RWMutex
-	backendSet = make(map[string]Backend)
-)
+// Registry is an isolated backend namespace. Production code uses the
+// process-wide default registry that the package-level functions delegate
+// to; tests that need throwaway backends (crash stand-ins, wrapped drivers)
+// construct their own Registry so nothing leaks across test boundaries and
+// duplicate-name panics cannot depend on registration order across tests.
+//
+// The zero value is ready to use.
+type Registry struct {
+	mu  sync.RWMutex
+	set map[string]Backend
+}
 
-// Register adds a backend to the registry. Backends register from their
-// package init, so importing an implementation package makes it available;
-// re-registering a name panics (two packages claiming one implementation is
-// a programming error, not a runtime condition).
-func Register(b Backend) {
+// NewRegistry returns an empty backend registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a backend to the registry. Registering an incomplete
+// backend or re-registering a name panics (two packages claiming one
+// implementation is a programming error, not a runtime condition).
+func (reg *Registry) Register(b Backend) {
 	if b.Name == "" || b.Build == nil || b.ImageOf == nil || b.DecodeState == nil || b.Restore == nil {
 		panic("node: incomplete backend registration")
 	}
-	backendMu.Lock()
-	defer backendMu.Unlock()
-	if _, dup := backendSet[b.Name]; dup {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.set == nil {
+		reg.set = make(map[string]Backend)
+	}
+	if _, dup := reg.set[b.Name]; dup {
 		panic(fmt.Sprintf("node: backend %q registered twice", b.Name))
 	}
-	backendSet[b.Name] = b
+	reg.set[b.Name] = b
 }
 
 // BackendFor resolves an implementation tag ("" selects the default).
-func BackendFor(impl string) (Backend, error) {
+func (reg *Registry) BackendFor(impl string) (Backend, error) {
 	if impl == "" {
 		impl = DefaultImplementation
 	}
-	backendMu.RLock()
-	defer backendMu.RUnlock()
-	b, ok := backendSet[impl]
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	b, ok := reg.set[impl]
 	if !ok {
-		return Backend{}, fmt.Errorf("node: unknown router implementation %q (registered: %v)", impl, registeredLocked())
+		return Backend{}, fmt.Errorf("node: unknown router implementation %q (registered: %v)", impl, reg.registeredLocked())
 	}
 	return b, nil
 }
 
 // Implementations returns the registered backend names, sorted.
-func Implementations() []string {
-	backendMu.RLock()
-	defer backendMu.RUnlock()
-	return registeredLocked()
+func (reg *Registry) Implementations() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.registeredLocked()
 }
 
-func registeredLocked() []string {
-	names := make([]string, 0, len(backendSet))
-	for name := range backendSet {
+func (reg *Registry) registeredLocked() []string {
+	names := make([]string, 0, len(reg.set))
+	for name := range reg.set {
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -107,8 +119,8 @@ func registeredLocked() []string {
 
 // BuildRouter constructs a router of the given implementation ("" selects
 // the default) from the semantic configuration.
-func BuildRouter(impl string, cfg *Config) (Router, error) {
-	b, err := BackendFor(impl)
+func (reg *Registry) BuildRouter(impl string, cfg *Config) (Router, error) {
+	b, err := reg.BackendFor(impl)
 	if err != nil {
 		return nil, err
 	}
@@ -119,8 +131,8 @@ func BuildRouter(impl string, cfg *Config) (Router, error) {
 // backend the checkpoint names. It is the cold path: every call re-decodes
 // the checkpoint; code restoring many clones of one snapshot should decode
 // an image and state once (checkpoint.Store does) and restore onto those.
-func RestoreRouter(cp Checkpoint) (Router, error) {
-	b, err := BackendFor(cp.Implementation())
+func (reg *Registry) RestoreRouter(cp Checkpoint) (Router, error) {
+	b, err := reg.BackendFor(cp.Implementation())
 	if err != nil {
 		return nil, err
 	}
@@ -133,4 +145,30 @@ func RestoreRouter(cp Checkpoint) (Router, error) {
 		return nil, err
 	}
 	return b.Restore(im, st)
+}
+
+// defaultRegistry is the process-wide namespace backend packages register
+// into from their init functions.
+var defaultRegistry = NewRegistry()
+
+// Register adds a backend to the default registry. Backends register from
+// their package init, so importing an implementation package makes it
+// available; re-registering a name panics.
+func Register(b Backend) { defaultRegistry.Register(b) }
+
+// BackendFor resolves an implementation tag in the default registry ("" selects
+// the default implementation).
+func BackendFor(impl string) (Backend, error) { return defaultRegistry.BackendFor(impl) }
+
+// Implementations returns the default registry's backend names, sorted.
+func Implementations() []string { return defaultRegistry.Implementations() }
+
+// BuildRouter constructs a router via the default registry.
+func BuildRouter(impl string, cfg *Config) (Router, error) {
+	return defaultRegistry.BuildRouter(impl, cfg)
+}
+
+// RestoreRouter rebuilds a router from a checkpoint via the default registry.
+func RestoreRouter(cp Checkpoint) (Router, error) {
+	return defaultRegistry.RestoreRouter(cp)
 }

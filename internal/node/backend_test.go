@@ -97,6 +97,9 @@ func TestBackendsRejectForeignCheckpoints(t *testing.T) {
 }
 
 func TestRegisterRejectsIncompleteAndDuplicate(t *testing.T) {
+	// A scoped registry exercises the panic paths without touching the
+	// process-wide default registry.
+	reg := node.NewRegistry()
 	mustPanic := func(name string, b node.Backend) {
 		t.Helper()
 		defer func() {
@@ -104,9 +107,44 @@ func TestRegisterRejectsIncompleteAndDuplicate(t *testing.T) {
 				t.Errorf("%s: Register did not panic", name)
 			}
 		}()
-		node.Register(b)
+		reg.Register(b)
 	}
 	mustPanic("incomplete", node.Backend{Name: "half-baked"})
 	full, _ := node.BackendFor("bird")
+	reg.Register(full)
 	mustPanic("duplicate", full)
+}
+
+// TestScopedRegistryIsolation pins the test seam: registrations in a scoped
+// Registry are invisible to the default registry and vice versa, and each
+// scoped registry dispatches builds through its own backend set.
+func TestScopedRegistryIsolation(t *testing.T) {
+	reg := node.NewRegistry()
+	if impls := reg.Implementations(); len(impls) != 0 {
+		t.Fatalf("fresh registry not empty: %v", impls)
+	}
+	if _, err := reg.BackendFor("bird"); err == nil {
+		t.Fatal("scoped registry must not see the default registry's backends")
+	}
+
+	full, _ := node.BackendFor("bird")
+	fake := full
+	fake.Name = "fake-speaker"
+	reg.Register(fake)
+	if got := reg.Implementations(); len(got) != 1 || got[0] != "fake-speaker" {
+		t.Fatalf("scoped registry contents: %v", got)
+	}
+	if _, err := node.BackendFor("fake-speaker"); err == nil {
+		t.Fatal("scoped registration leaked into the default registry")
+	}
+
+	r, err := reg.BuildRouter("fake-speaker", testConfig("R1"))
+	if err != nil {
+		t.Fatalf("scoped BuildRouter: %v", err)
+	}
+	// The builder is bird's, so the checkpoint carries the "bird" tag — and
+	// restore dispatches through the scoped set, where that tag is unknown.
+	if _, err := reg.RestoreRouter(r.TakeCheckpoint()); err == nil {
+		t.Fatal("scoped RestoreRouter resolved a tag only the default registry knows")
+	}
 }

@@ -1,0 +1,189 @@
+package procdriver
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RPCTimeout bounds how long the proxy waits for any single child reply
+// before declaring the subprocess stalled and killing it. Tests that
+// exercise the stall path may lower it; set it before building clusters.
+var RPCTimeout = 30 * time.Second
+
+// frame is one child→parent message. The stream ending (child death) is
+// signalled by closing the frames channel, not by an in-band value.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// child is the parent-side handle of one subprocess.
+type child struct {
+	cmd    *exec.Cmd
+	in     *childStdin
+	frames chan frame
+	stderr *boundedBuf
+	closed chan struct{}
+	waited chan struct{}
+	once   sync.Once
+}
+
+// childStdin serializes writes to the child's pipe; the proxy writes
+// requests and hook replies from whatever goroutine drives the emulator.
+type childStdin struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  interface{ Close() error }
+}
+
+func (cs *childStdin) writeFrame(typ byte, payload []byte) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if err := writeFrame(cs.w, typ, payload); err != nil {
+		return err
+	}
+	return cs.w.Flush()
+}
+
+// boundedBuf keeps the tail of the child's stderr for crash diagnostics.
+type boundedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *boundedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.buf.Len() < 1<<16 {
+		b.buf.Write(p)
+	}
+	return len(p), nil
+}
+
+func (b *boundedBuf) tail() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := strings.TrimSpace(b.buf.String())
+	if len(s) > 512 {
+		s = "..." + s[len(s)-512:]
+	}
+	return s
+}
+
+func childCommand(mode string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), childEnvVar+"="+mode)
+	return cmd
+}
+
+// children tracks every live subprocess so tests can assert cleanup and kill
+// the fleet. Children also die on their own when the parent exits, because
+// their stdin pipes close.
+var (
+	childrenMu sync.Mutex
+	children   = make(map[*child]struct{})
+)
+
+// LiveChildren returns the number of subprocesses currently running.
+func LiveChildren() int {
+	childrenMu.Lock()
+	defer childrenMu.Unlock()
+	return len(children)
+}
+
+// KillAll terminates every live subprocess and waits for each to be reaped,
+// returning how many were killed. It is the test-suite cleanup seam; nothing
+// in the production path calls it.
+func KillAll() int {
+	childrenMu.Lock()
+	live := make([]*child, 0, len(children))
+	for c := range children {
+		live = append(live, c)
+	}
+	childrenMu.Unlock()
+	for _, c := range live {
+		c.kill()
+		<-c.waited
+	}
+	return len(live)
+}
+
+// spawnChild re-execs the current binary in serve mode and wires up the
+// frame stream.
+func spawnChild() (*child, error) {
+	cmd := childCommand("serve")
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	c := &child{
+		cmd:    cmd,
+		frames: make(chan frame),
+		stderr: &boundedBuf{},
+		closed: make(chan struct{}),
+		waited: make(chan struct{}),
+	}
+	c.in = &childStdin{w: bufio.NewWriter(stdin), c: stdin}
+	cmd.Stderr = c.stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("procdriver: spawn child: %w", err)
+	}
+	childrenMu.Lock()
+	children[c] = struct{}{}
+	childrenMu.Unlock()
+
+	br := bufio.NewReader(stdout)
+	go func() {
+		// Closing the channel is the death signal: a proxy blocked in a
+		// request sees it immediately instead of waiting out the RPC timeout.
+		defer close(c.frames)
+		for {
+			typ, payload, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			select {
+			case c.frames <- frame{typ: typ, payload: payload}:
+			case <-c.closed:
+				return
+			}
+		}
+	}()
+	go func() {
+		_ = cmd.Wait()
+		childrenMu.Lock()
+		delete(children, c)
+		childrenMu.Unlock()
+		close(c.waited)
+	}()
+	return c, nil
+}
+
+// kill tears the subprocess down; idempotent.
+func (c *child) kill() {
+	c.once.Do(func() {
+		close(c.closed)
+		_ = c.in.c.Close()
+		if c.cmd.Process != nil {
+			_ = c.cmd.Process.Kill()
+		}
+	})
+}
+
+// pid returns the subprocess PID, for tests that crash it externally.
+func (c *child) pid() int {
+	if c.cmd.Process == nil {
+		return 0
+	}
+	return c.cmd.Process.Pid
+}

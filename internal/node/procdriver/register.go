@@ -1,0 +1,24 @@
+package procdriver
+
+import (
+	"github.com/dice-project/dice/internal/node"
+
+	// The wrapped speakers must be present in both the parent (mirrors,
+	// checkpoint decoding) and the child (the actual router), so the driver
+	// links all three in.
+	_ "github.com/dice-project/dice/internal/bird"
+	_ "github.com/dice-project/dice/internal/frr"
+	_ "github.com/dice-project/dice/internal/obgpd"
+)
+
+// prefix tags the out-of-process variant of an implementation.
+const prefix = "proc:"
+
+// Wrapped lists the implementations the driver registers proc variants for.
+func Wrapped() []string { return []string{"bird", "frr", "obgpd"} }
+
+func init() {
+	for _, impl := range Wrapped() {
+		node.Register(makeBackend(impl))
+	}
+}

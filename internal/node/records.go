@@ -29,6 +29,9 @@ type RouteRecord struct {
 	PeerRouterID uint32
 	EBGP         bool
 	Local        bool
+	// Age is the Loc-RIB arrival stamp (rib.Route.Age); zero for routes that
+	// never received one (Adj-RIB entries, legacy checkpoints).
+	Age uint64
 }
 
 // RecordFromRoute flattens a RIB route into its serializable record.
@@ -42,6 +45,7 @@ func RecordFromRoute(r *rib.Route) RouteRecord {
 		PeerRouterID: uint32(r.PeerRouterID),
 		EBGP:         r.EBGP,
 		Local:        r.Local,
+		Age:          r.Age,
 	}
 	for _, a := range r.Attrs.ASPath {
 		rec.ASPath = append(rec.ASPath, uint32(a))
@@ -96,6 +100,7 @@ func (rec RouteRecord) Route() (*rib.Route, error) {
 		PeerRouterID: bgp.RouterID(rec.PeerRouterID),
 		EBGP:         rec.EBGP,
 		Local:        rec.Local,
+		Age:          rec.Age,
 	}, nil
 }
 

@@ -1,0 +1,83 @@
+package obgpd
+
+import (
+	"fmt"
+
+	"github.com/dice-project/dice/internal/checkpoint/codec"
+)
+
+// This file is obgpd's canonical checkpoint payload, the third alongside
+// bird's and frr's: the whole configuration travels as one dialect blob
+// (ConfigText), the RIB, session, counter and event slabs are the shared
+// codec forms, and the obgpd-only EngineStats counters ride in their own
+// pinned field run — so a three-way mixed snapshot is canonical end to end.
+
+// engineStatsFieldCount pins the EngineStats field set the codec
+// serializes. Changing EngineStats requires bumping this constant together
+// with putEngineStats/engineStats — the decoder rejects any other count
+// instead of misaligning. dice-vet's codecpin analyzer verifies the pin
+// against the struct.
+//
+//dice:fieldpin EngineStats
+const engineStatsFieldCount = 3
+
+func putEngineStats(w *codec.Writer, s EngineStats) {
+	w.Uvarint(engineStatsFieldCount)
+	w.Varint(int64(s.ImsgsSEToRDE))
+	w.Varint(int64(s.ImsgsRDEToSE))
+	w.Varint(int64(s.RDEDecisions))
+}
+
+func engineStats(r *codec.Reader) EngineStats {
+	var s EngineStats
+	if n := r.Uvarint(); r.Err() == nil && n != engineStatsFieldCount {
+		r.Fail("engine stats field count %d, want %d", n, engineStatsFieldCount)
+		return s
+	}
+	s.ImsgsSEToRDE = int(r.Varint())
+	s.ImsgsRDEToSE = int(r.Varint())
+	s.RDEDecisions = int(r.Varint())
+	return s
+}
+
+// encodeCanonical serializes a checkpoint into the codec payload.
+func encodeCanonical(cp *Checkpoint) []byte {
+	w := codec.NewWriter()
+	w.String(cp.Name)
+	w.String(cp.ConfigText)
+	codec.PutSessionRecords(w, cp.Sessions)
+	codec.PutPeerRouteMap(w, cp.AdjIn)
+	codec.PutRouteRecords(w, cp.LocRIB)
+	codec.PutPeerRouteMap(w, cp.AdjOut)
+	codec.PutStats(w, cp.Stats)
+	putEngineStats(w, cp.Engine)
+	codec.PutEventRecords(w, cp.Events)
+	w.Bool(cp.Panicked)
+	w.String(cp.LastPanic)
+	w.Bool(cp.Started)
+	return w.Bytes()
+}
+
+// decodeCanonical parses a canonical payload back into a checkpoint. The
+// result has no in-process config; restoring re-parses the dialect text.
+func decodeCanonical(payload []byte) (*Checkpoint, error) {
+	r := codec.NewReader(payload)
+	cp := &Checkpoint{
+		Name:       r.String(),
+		ConfigText: r.String(),
+	}
+	cp.Sessions = codec.SessionRecords(r)
+	cp.AdjIn = codec.PeerRouteMap(r)
+	cp.LocRIB = codec.RouteRecords(r)
+	cp.AdjOut = codec.PeerRouteMap(r)
+	cp.Stats = codec.Stats(r)
+	cp.Engine = engineStats(r)
+	cp.Events = codec.EventRecords(r)
+	cp.Panicked = r.Bool()
+	cp.LastPanic = r.String()
+	cp.Started = r.Bool()
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("obgpd: decode canonical checkpoint: %w", err)
+	}
+	return cp, nil
+}

@@ -1,0 +1,518 @@
+package obgpd
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/node"
+)
+
+// This file is the obgpd backend's configuration dialect: a bgpd.conf-style
+// text rendering of the semantic node.Config, with global statements at the
+// top level and brace-nested neighbor and filter blocks — where frr renders
+// flat vtysh commands and bird carries discrete fields plus policy text. It
+// is what an obgpd checkpoint carries across process boundaries. Render and
+// ParseConfig are inverses: Render(ParseConfig(Render(cfg))) == Render(cfg),
+// covered by the dialect round-trip test and the native fuzz targets.
+
+// Render serializes the semantic configuration in the obgpd dialect. The
+// output is deterministic: neighbors keep configuration order, filters are
+// sorted by name.
+func Render(cfg *node.Config) string {
+	var b strings.Builder
+	b.WriteString("# bgpd.conf — dice obgpd dialect\n")
+	fmt.Fprintf(&b, "AS %d\n", cfg.AS)
+	fmt.Fprintf(&b, "router-id %s\n", renderRouterID(cfg.RouterID))
+	fmt.Fprintf(&b, "socket %q\n", cfg.Name)
+	fmt.Fprintf(&b, "holdtime %s\n", cfg.HoldTime)
+	fmt.Fprintf(&b, "connect-retry %s\n", cfg.ConnectRetry)
+	fmt.Fprintf(&b, "keepalive %s\n", cfg.KeepaliveInterval)
+	for _, p := range cfg.Networks {
+		fmt.Fprintf(&b, "network %s\n", p)
+	}
+	for _, n := range cfg.Neighbors {
+		fmt.Fprintf(&b, "\nneighbor %q {\n", n.Name)
+		fmt.Fprintf(&b, "\tremote-as %d\n", n.AS)
+		if n.Import != "" {
+			fmt.Fprintf(&b, "\tfilter in %q\n", n.Import)
+		}
+		if n.Export != "" {
+			fmt.Fprintf(&b, "\tfilter out %q\n", n.Export)
+		}
+		b.WriteString("}\n")
+	}
+	names := make([]string, 0, len(cfg.Policies))
+	for name := range cfg.Policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b.WriteString("\n")
+		renderFilter(&b, cfg.Policies[name])
+	}
+	return b.String()
+}
+
+func renderRouterID(id bgp.RouterID) string {
+	v := uint32(id)
+	return fmt.Sprintf("%d.%d.%d.%d", v>>24, v>>16&0xff, v>>8&0xff, v&0xff)
+}
+
+func parseRouterID(s string) (bgp.RouterID, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("obgpd: router-id %q is not dotted quad", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		o, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("obgpd: router-id %q: %v", s, err)
+		}
+		v = v<<8 | uint32(o)
+	}
+	return bgp.RouterID(v), nil
+}
+
+func renderFilter(b *strings.Builder, pol *policy.Policy) {
+	fmt.Fprintf(b, "filter %q {\n", pol.Name)
+	if pol.Default == policy.ResultReject {
+		b.WriteString("\tdefault deny\n")
+	} else {
+		b.WriteString("\tdefault allow\n")
+	}
+	for _, st := range pol.Statements {
+		kind, sets := ruleDisposition(st)
+		fmt.Fprintf(b, "\trule %s {\n", kind)
+		for _, c := range st.Conds {
+			fmt.Fprintf(b, "\t\t%s\n", renderCond(c))
+		}
+		for _, a := range sets {
+			fmt.Fprintf(b, "\t\t%s\n", renderAction(a))
+		}
+		b.WriteString("\t}\n")
+	}
+	b.WriteString("}\n")
+}
+
+// ruleDisposition splits a statement's action list into its non-terminal
+// set actions and the rule kind: "allow" / "deny" when it ends in a
+// terminal accept/reject, "continue" when the statement falls through to
+// the next one. The inverse lives in finishRule.
+func ruleDisposition(st *policy.Statement) (kind string, sets []policy.Action) {
+	for _, a := range st.Actions {
+		switch a.(type) {
+		case policy.ActionAccept:
+			return "allow", sets
+		case policy.ActionReject:
+			return "deny", sets
+		default:
+			sets = append(sets, a)
+		}
+	}
+	return "continue", sets
+}
+
+// renderPrefixSpec renders a prefix match in a fixed token order so the
+// round trip is lossless: prefix, then "exact", then the length bounds.
+func renderPrefixSpec(c policy.MatchPrefix) string {
+	var b strings.Builder
+	b.WriteString(c.Prefix.String())
+	if c.Exact {
+		b.WriteString(" exact")
+	}
+	if c.MinLen != 0 {
+		fmt.Fprintf(&b, " prefixlen >= %d", c.MinLen)
+	}
+	if c.MaxLen != 0 {
+		fmt.Fprintf(&b, " prefixlen <= %d", c.MaxLen)
+	}
+	return b.String()
+}
+
+func renderCond(c policy.Condition) string {
+	switch c := c.(type) {
+	case policy.MatchPrefix:
+		return "match prefix " + renderPrefixSpec(c)
+	case policy.MatchPrefixList:
+		entries := make([]string, len(c.Entries))
+		for i, e := range c.Entries {
+			entries[i] = renderPrefixSpec(e)
+		}
+		return fmt.Sprintf("match prefix-set %q { %s }", c.Name, strings.Join(entries, ", "))
+	case policy.MatchASPathContains:
+		return fmt.Sprintf("match transit-as %d", c.AS)
+	case policy.MatchOriginAS:
+		return fmt.Sprintf("match source-as %d", c.AS)
+	case policy.MatchASPathLen:
+		return fmt.Sprintf("match as-len %s %d", opOrEq(c.Op), c.N)
+	case policy.MatchCommunity:
+		return fmt.Sprintf("match community %s", c.Community)
+	case policy.MatchLocalPref:
+		return fmt.Sprintf("match localpref %s %d", opOrEq(c.Op), c.N)
+	}
+	return fmt.Sprintf("match unknown %T", c)
+}
+
+// opOrEq canonicalizes the empty comparison operator to "=": the policy
+// engine treats both spellings as equality, and the dialect needs one
+// token per field. The canonicalization is one-way by design — parsing
+// returns "=" — so the round-trip property holds on the rendered form,
+// not on the never-rendered empty spelling.
+func opOrEq(op string) string {
+	if op == "" {
+		return "="
+	}
+	return op
+}
+
+func renderAction(a policy.Action) string {
+	switch a := a.(type) {
+	case policy.ActionSetLocalPref:
+		return fmt.Sprintf("set localpref %d", a.Value)
+	case policy.ActionSetMED:
+		return fmt.Sprintf("set med %d", a.Value)
+	case policy.ActionAddCommunity:
+		return fmt.Sprintf("set community %s", a.Community)
+	case policy.ActionClearCommunities:
+		return "set community delete all"
+	case policy.ActionPrepend:
+		return fmt.Sprintf("set prepend %d %d", a.AS, a.Count)
+	}
+	return fmt.Sprintf("set unknown %T", a)
+}
+
+// parser state: which block the current line is inside.
+type parseScope int
+
+const (
+	scopeTop parseScope = iota
+	scopeNeighbor
+	scopeFilter
+	scopeRule
+)
+
+// ParseConfig parses the obgpd dialect back into the semantic
+// configuration. Malformed input errors with the line number; it never
+// panics (the fuzz targets hold it to that).
+func ParseConfig(text string) (*node.Config, error) {
+	cfg := &node.Config{Policies: make(map[string]*policy.Policy)}
+	scope := scopeTop
+	var curNeighbor *node.NeighborConfig
+	var curFilter *policy.Policy
+	var curRule *policy.Statement
+	var curKind string
+
+	finishRule := func() {
+		// The inverse of ruleDisposition: an allow/deny rule terminates in
+		// the matching action, a continue rule falls through bare.
+		switch curKind {
+		case "allow":
+			curRule.Actions = append(curRule.Actions, policy.ActionAccept{})
+		case "deny":
+			curRule.Actions = append(curRule.Actions, policy.ActionReject{})
+		}
+		curFilter.Statements = append(curFilter.Statements, curRule)
+		curRule = nil
+	}
+
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(format string, args ...interface{}) (*node.Config, error) {
+			return nil, fmt.Errorf("obgpd: config line %d (%q): %s", lineNo+1, line, fmt.Sprintf(format, args...))
+		}
+		switch scope {
+		case scopeTop:
+			switch {
+			case f[0] == "AS" && len(f) == 2:
+				as, err := strconv.ParseUint(f[1], 10, 32)
+				if err != nil {
+					return fail("bad AS: %v", err)
+				}
+				cfg.AS = bgp.ASN(as)
+			case f[0] == "router-id" && len(f) == 2:
+				id, err := parseRouterID(f[1])
+				if err != nil {
+					return fail("%v", err)
+				}
+				cfg.RouterID = id
+			case f[0] == "socket" && len(f) == 2:
+				name, err := strconv.Unquote(f[1])
+				if err != nil {
+					return fail("bad socket name: %v", err)
+				}
+				cfg.Name = name
+			case (f[0] == "holdtime" || f[0] == "connect-retry" || f[0] == "keepalive") && len(f) == 2:
+				d, err := time.ParseDuration(f[1])
+				if err != nil {
+					return fail("bad duration: %v", err)
+				}
+				switch f[0] {
+				case "holdtime":
+					cfg.HoldTime = d
+				case "connect-retry":
+					cfg.ConnectRetry = d
+				default:
+					cfg.KeepaliveInterval = d
+				}
+			case f[0] == "network" && len(f) == 2:
+				p, err := bgp.ParsePrefix(f[1])
+				if err != nil {
+					return fail("%v", err)
+				}
+				cfg.Networks = append(cfg.Networks, p)
+			case f[0] == "neighbor" && len(f) == 3 && f[2] == "{":
+				name, err := strconv.Unquote(f[1])
+				if err != nil {
+					return fail("bad neighbor name: %v", err)
+				}
+				cfg.Neighbors = append(cfg.Neighbors, node.NeighborConfig{Name: name})
+				curNeighbor = &cfg.Neighbors[len(cfg.Neighbors)-1]
+				scope = scopeNeighbor
+			case f[0] == "filter" && len(f) == 3 && f[2] == "{":
+				name, err := strconv.Unquote(f[1])
+				if err != nil {
+					return fail("bad filter name: %v", err)
+				}
+				if cfg.Policies[name] != nil {
+					return fail("filter %q defined twice", name)
+				}
+				curFilter = &policy.Policy{Name: name}
+				cfg.Policies[name] = curFilter
+				scope = scopeFilter
+			default:
+				return fail("unrecognized statement")
+			}
+		case scopeNeighbor:
+			switch {
+			case f[0] == "}" && len(f) == 1:
+				curNeighbor = nil
+				scope = scopeTop
+			case f[0] == "remote-as" && len(f) == 2:
+				as, err := strconv.ParseUint(f[1], 10, 32)
+				if err != nil {
+					return fail("bad remote-as: %v", err)
+				}
+				curNeighbor.AS = bgp.ASN(as)
+			case f[0] == "filter" && len(f) == 3:
+				name, err := strconv.Unquote(f[2])
+				if err != nil {
+					return fail("bad filter reference: %v", err)
+				}
+				switch f[1] {
+				case "in":
+					curNeighbor.Import = name
+				case "out":
+					curNeighbor.Export = name
+				default:
+					return fail("filter direction %q", f[1])
+				}
+			default:
+				return fail("unrecognized neighbor statement")
+			}
+		case scopeFilter:
+			switch {
+			case f[0] == "}" && len(f) == 1:
+				curFilter = nil
+				scope = scopeTop
+			case f[0] == "default" && len(f) == 2 && (f[1] == "allow" || f[1] == "deny"):
+				if f[1] == "deny" {
+					curFilter.Default = policy.ResultReject
+				} else {
+					curFilter.Default = policy.ResultAccept
+				}
+			case f[0] == "rule" && len(f) == 3 && f[2] == "{":
+				if f[1] != "allow" && f[1] != "deny" && f[1] != "continue" {
+					return fail("rule kind %q", f[1])
+				}
+				curRule, curKind = &policy.Statement{}, f[1]
+				scope = scopeRule
+			default:
+				return fail("unrecognized filter statement")
+			}
+		case scopeRule:
+			switch {
+			case f[0] == "}" && len(f) == 1:
+				finishRule()
+				scope = scopeFilter
+			case f[0] == "match":
+				c, err := parseCond(line)
+				if err != nil {
+					return fail("%v", err)
+				}
+				curRule.Conds = append(curRule.Conds, c)
+			case f[0] == "set":
+				a, err := parseAction(line)
+				if err != nil {
+					return fail("%v", err)
+				}
+				curRule.Actions = append(curRule.Actions, a)
+			default:
+				return fail("unrecognized rule statement")
+			}
+		}
+	}
+	if scope != scopeTop {
+		return nil, fmt.Errorf("obgpd: config ends inside an unclosed block")
+	}
+	return cfg, nil
+}
+
+// parsePrefixSpec parses the fixed-order prefix spec renderPrefixSpec
+// emits: prefix [exact] [prefixlen >= N] [prefixlen <= N].
+func parsePrefixSpec(fields []string) (policy.MatchPrefix, error) {
+	var out policy.MatchPrefix
+	if len(fields) == 0 {
+		return out, fmt.Errorf("empty prefix spec")
+	}
+	p, err := bgp.ParsePrefix(fields[0])
+	if err != nil {
+		return out, err
+	}
+	out.Prefix = p
+	i := 1
+	for i < len(fields) {
+		switch fields[i] {
+		case "exact":
+			out.Exact = true
+			i++
+		case "prefixlen":
+			if i+2 >= len(fields) || (fields[i+1] != ">=" && fields[i+1] != "<=") {
+				return out, fmt.Errorf("malformed prefixlen bound")
+			}
+			v, err := strconv.ParseUint(fields[i+2], 10, 8)
+			if err != nil {
+				return out, err
+			}
+			if fields[i+1] == ">=" {
+				out.MinLen = uint8(v)
+			} else {
+				out.MaxLen = uint8(v)
+			}
+			i += 3
+		default:
+			return out, fmt.Errorf("prefix spec token %q", fields[i])
+		}
+	}
+	return out, nil
+}
+
+func parseCond(line string) (policy.Condition, error) {
+	f := strings.Fields(line)
+	switch {
+	case strings.HasPrefix(line, "match prefix-set "):
+		rest := strings.TrimPrefix(line, "match prefix-set ")
+		open := strings.IndexByte(rest, '{')
+		if open < 0 || !strings.HasSuffix(rest, "}") {
+			return nil, fmt.Errorf("malformed prefix-set")
+		}
+		name, err := strconv.Unquote(strings.TrimSpace(rest[:open]))
+		if err != nil {
+			return nil, fmt.Errorf("bad prefix-set name: %v", err)
+		}
+		out := policy.MatchPrefixList{Name: name}
+		body := rest[open+1 : len(rest)-1]
+		if strings.TrimSpace(body) != "" {
+			for _, spec := range strings.Split(body, ",") {
+				e, err := parsePrefixSpec(strings.Fields(spec))
+				if err != nil {
+					return nil, err
+				}
+				out.Entries = append(out.Entries, e)
+			}
+		}
+		return out, nil
+	case strings.HasPrefix(line, "match prefix "):
+		return parsePrefixSpec(f[2:])
+	case strings.HasPrefix(line, "match transit-as ") && len(f) == 3:
+		as, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchASPathContains{AS: bgp.ASN(as)}, nil
+	case strings.HasPrefix(line, "match source-as ") && len(f) == 3:
+		as, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchOriginAS{AS: bgp.ASN(as)}, nil
+	case strings.HasPrefix(line, "match as-len ") && len(f) == 4:
+		n, err := strconv.ParseUint(f[3], 10, 8)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchASPathLen{Op: f[2], N: uint8(n)}, nil
+	case strings.HasPrefix(line, "match community ") && len(f) == 3:
+		c, err := parseCommunity(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchCommunity{Community: c}, nil
+	case strings.HasPrefix(line, "match localpref ") && len(f) == 4:
+		n, err := strconv.ParseUint(f[3], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.MatchLocalPref{Op: f[2], N: uint32(n)}, nil
+	}
+	return nil, fmt.Errorf("unknown match %q", line)
+}
+
+func parseCommunity(s string) (bgp.Community, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("community %q", s)
+	}
+	a, err1 := strconv.ParseUint(parts[0], 10, 16)
+	b, err2 := strconv.ParseUint(parts[1], 10, 16)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("community %q", s)
+	}
+	return bgp.NewCommunity(uint16(a), uint16(b)), nil
+}
+
+func parseAction(line string) (policy.Action, error) {
+	f := strings.Fields(line)
+	switch {
+	case strings.HasPrefix(line, "set localpref ") && len(f) == 3:
+		v, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionSetLocalPref{Value: uint32(v)}, nil
+	case strings.HasPrefix(line, "set med ") && len(f) == 3:
+		v, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionSetMED{Value: uint32(v)}, nil
+	case line == "set community delete all":
+		return policy.ActionClearCommunities{}, nil
+	case strings.HasPrefix(line, "set community ") && len(f) == 3:
+		c, err := parseCommunity(f[2])
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionAddCommunity{Community: c}, nil
+	case strings.HasPrefix(line, "set prepend ") && len(f) == 4:
+		as, err := strconv.ParseUint(f[2], 10, 32)
+		if err != nil {
+			return nil, err
+		}
+		count, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, err
+		}
+		return policy.ActionPrepend{AS: bgp.ASN(as), Count: count}, nil
+	}
+	return nil, fmt.Errorf("unknown set %q", line)
+}

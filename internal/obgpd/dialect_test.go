@@ -1,0 +1,159 @@
+package obgpd
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dice-project/dice/internal/bgp"
+	"github.com/dice-project/dice/internal/bgp/policy"
+	"github.com/dice-project/dice/internal/node"
+)
+
+// fullFeatureConfig exercises every condition and action of the policy
+// language plus all config fields, so the round-trip test covers the whole
+// dialect grammar.
+func fullFeatureConfig() *node.Config {
+	pfx := bgp.MustParsePrefix("10.0.0.0/8")
+	kitchen := &policy.Policy{
+		Name:    "KITCHEN-SINK",
+		Default: policy.ResultReject,
+		Statements: []*policy.Statement{
+			{
+				Conds: []policy.Condition{
+					policy.MatchPrefix{Prefix: pfx, MinLen: 9, MaxLen: 24},
+					policy.MatchCommunity{Community: bgp.NewCommunity(65535, 1)},
+					policy.MatchASPathLen{Op: "<=", N: 5},
+				},
+				Actions: []policy.Action{
+					policy.ActionClearCommunities{},
+					policy.ActionSetLocalPref{Value: 150},
+					policy.ActionAddCommunity{Community: bgp.NewCommunity(65000, 7)},
+					policy.ActionAccept{},
+				},
+			},
+			{
+				Conds: []policy.Condition{
+					policy.MatchPrefix{Prefix: bgp.MustParsePrefix("192.168.0.0/16"), Exact: true},
+					policy.MatchOriginAS{AS: 65001},
+				},
+				Actions: []policy.Action{policy.ActionReject{}},
+			},
+			{
+				// Non-terminal rule: mutations fall through.
+				Conds: []policy.Condition{
+					policy.MatchPrefixList{Name: "PL", Entries: []policy.MatchPrefix{
+						{Prefix: bgp.MustParsePrefix("172.16.0.0/12"), MinLen: 13},
+						{Prefix: bgp.MustParsePrefix("10.9.0.0/16"), Exact: true},
+					}},
+					policy.MatchASPathContains{AS: 666},
+					policy.MatchLocalPref{Op: ">", N: 10},
+				},
+				Actions: []policy.Action{
+					policy.ActionSetMED{Value: 30},
+					policy.ActionPrepend{AS: 65002, Count: 3},
+				},
+			},
+		},
+	}
+	return &node.Config{
+		Name:              "R7",
+		AS:                65007,
+		RouterID:          0x01020304,
+		Networks:          []bgp.Prefix{bgp.MustParsePrefix("10.7.0.0/16"), bgp.MustParsePrefix("10.77.0.0/16")},
+		HoldTime:          90 * time.Second,
+		KeepaliveInterval: 5 * time.Second,
+		ConnectRetry:      7 * time.Second,
+		Policies: map[string]*policy.Policy{
+			"KITCHEN-SINK": kitchen,
+			"ALL":          policy.AcceptAll("ALL"),
+			"NONE":         policy.RejectAll("NONE"),
+		},
+		Neighbors: []node.NeighborConfig{
+			{Name: "R1", AS: 65001, Import: "KITCHEN-SINK", Export: "ALL"},
+			{Name: "R2", AS: 65002, Import: "ALL", Export: "NONE"},
+			{Name: "R3", AS: 65003},
+		},
+	}
+}
+
+func TestDialectRoundTrip(t *testing.T) {
+	cfg := fullFeatureConfig()
+	text := Render(cfg)
+	parsed, err := ParseConfig(text)
+	if err != nil {
+		t.Fatalf("ParseConfig of rendered dialect: %v\n%s", err, text)
+	}
+	// Render is deterministic, so a lossless parse re-renders byte-identically.
+	if again := Render(parsed); again != text {
+		t.Fatalf("dialect round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, again)
+	}
+	// Structural spot checks: fields survived, not just text.
+	if parsed.Name != "R7" || parsed.AS != 65007 || parsed.RouterID != 0x01020304 {
+		t.Errorf("identity lost: %+v", parsed)
+	}
+	if parsed.ConnectRetry != 7*time.Second || parsed.KeepaliveInterval != 5*time.Second {
+		t.Errorf("timers lost: %+v", parsed)
+	}
+	if len(parsed.Networks) != 2 || len(parsed.Neighbors) != 3 {
+		t.Errorf("networks/neighbors lost: %+v", parsed)
+	}
+	if nc := parsed.Neighbor("R1"); nc == nil || nc.Import != "KITCHEN-SINK" || nc.Export != "ALL" {
+		t.Errorf("filter bindings lost: %+v", nc)
+	}
+	// Policy semantics survived: the parsed policy renders the same policy
+	// language text as the original.
+	for name, pol := range cfg.Policies {
+		got, ok := parsed.Policies[name]
+		if !ok {
+			t.Fatalf("filter %s lost in round trip", name)
+		}
+		if got.String() != pol.String() {
+			t.Errorf("filter %s changed:\n--- original ---\n%s\n--- parsed ---\n%s", name, pol, got)
+		}
+	}
+	// The dialect is recognizably bgpd.conf-flavored: global statements at
+	// the top, brace-nested neighbor and filter blocks, not vtysh commands
+	// or bird policy syntax.
+	for _, want := range []string{"AS 65007", "router-id 1.2.3.4", `neighbor "R1" {`, `filter in "KITCHEN-SINK"`, `filter "KITCHEN-SINK" {`, "rule allow {", "set localpref 150", "default deny"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dialect missing %q:\n%s", want, text)
+		}
+	}
+	for _, reject := range []string{"router bgp", "route-map"} {
+		if strings.Contains(text, reject) {
+			t.Errorf("dialect leaked frr syntax %q:\n%s", reject, text)
+		}
+	}
+}
+
+func TestParseConfigRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"AS notanumber",
+		"router-id 1.2.3",
+		"socket unquoted",
+		`neighbor "R1" {`,
+		`neighbor "R1" {` + "\n\twat\n}",
+		`filter "X" {` + "\n\trule wat {\n\t}\n}",
+		`filter "X" {` + "\n\trule allow {\n\t\tmatch community not-a-community\n\t}\n}",
+		`filter "X" {` + "\n\tdefault maybe\n}",
+		"}",
+	} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("ParseConfig(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestRouterIDDottedQuad(t *testing.T) {
+	if got := renderRouterID(bgp.RouterID(0x0a000001)); got != "10.0.0.1" {
+		t.Errorf("renderRouterID = %s", got)
+	}
+	id, err := parseRouterID("10.0.0.1")
+	if err != nil || id != bgp.RouterID(0x0a000001) {
+		t.Errorf("parseRouterID = %v, %v", id, err)
+	}
+	if _, err := parseRouterID("1.2.3"); err == nil {
+		t.Errorf("short dotted quad accepted")
+	}
+}

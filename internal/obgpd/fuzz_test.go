@@ -1,0 +1,37 @@
+package obgpd
+
+import "testing"
+
+// FuzzOBGPDConfigParse fuzzes the dialect parser that checkpoint restore
+// trusts (an obgpd checkpoint carries its whole configuration as dialect
+// text). Properties: the parser never panics on arbitrary text, and
+// accepted text round-trips — rendering the parsed configuration and
+// parsing again yields the same rendering (Render∘ParseConfig is a fixed
+// point), so a checkpoint written by one process is read back identically
+// by another.
+func FuzzOBGPDConfigParse(f *testing.F) {
+	f.Add(Render(fullFeatureConfig()))
+	f.Add("AS 65001\nrouter-id 10.0.0.1\nsocket \"R1\"\nnetwork 10.1.0.0/16\n")
+	f.Add("neighbor \"R2\" {\n\tremote-as 65002\n\tfilter in \"ALL\"\n}\n")
+	f.Add("filter \"F\" {\n\tdefault deny\n\trule allow {\n\t\tmatch prefix 10.0.0.0/8 prefixlen >= 9 prefixlen <= 24\n\t\tset localpref 150\n\t}\n}\n")
+	f.Add("filter \"F\" {\n\trule continue {\n\t\tmatch prefix-set \"PL\" { 172.16.0.0/12 exact, 10.9.0.0/16 }\n\t\tset prepend 65002 3\n\t}\n}\n")
+	f.Add("holdtime 1m30s\nconnect-retry 7s\nkeepalive 5s\n")
+	f.Add("filter \"F\" {")
+	f.Add("}")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		cfg, err := ParseConfig(text)
+		if err != nil {
+			return // rejecting malformed text is fine; not panicking is the property
+		}
+		first := Render(cfg)
+		again, err := ParseConfig(first)
+		if err != nil {
+			t.Fatalf("rendered form of accepted input does not parse: %v\ninput    %q\nrendered %q", err, text, first)
+		}
+		if second := Render(again); second != first {
+			t.Fatalf("Render∘ParseConfig is not a fixed point:\nfirst  %q\nsecond %q", first, second)
+		}
+	})
+}

@@ -402,6 +402,28 @@ func Demo27Hetero() *Topology {
 	return t.SetImpl("frr", stubs...)
 }
 
+// Demo27Hetero3 is the three-way mixed variant of the paper's demo: the same
+// 27 routers and links with the tier-1 core on "bird", every tier-2 transit
+// on "obgpd" and every tier-3 stub on "frr". All three decision policies are
+// deployed at once, so the differential conformance oracle sees the full
+// vote: disagreements classify as majority-outvoted (2-vs-1) or
+// pairwise-legal (three-way) instead of mere pairwise difference
+// (experiment E14).
+func Demo27Hetero3() *Topology {
+	t := Demo27()
+	t.Name = "demo27-hetero3"
+	var transits, stubs []string
+	for _, n := range t.Nodes {
+		switch n.Tier {
+		case 2:
+			transits = append(transits, n.Name)
+		case 3:
+			stubs = append(stubs, n.Name)
+		}
+	}
+	return t.SetImpl("obgpd", transits...).SetImpl("frr", stubs...)
+}
+
 // GaoRexford builds a random three-tier Internet-like topology with the given
 // tier sizes. Tier-1 routers form a full peer mesh; every lower-tier router
 // picks one or two providers from the tier above; some same-tier pairs peer.

@@ -1,0 +1,16 @@
+package dice
+
+import (
+	"os"
+	"testing"
+
+	"github.com/dice-project/dice/internal/node/procdriver"
+)
+
+// TestMain lets this test binary double as the procdriver's backend
+// subprocess: experiment legs over proc: topologies (E14) re-exec the binary,
+// and MaybeRunChild diverts those re-executions before the suite runs.
+func TestMain(m *testing.M) {
+	procdriver.MaybeRunChild()
+	os.Exit(m.Run())
+}
