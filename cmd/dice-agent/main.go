@@ -11,6 +11,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -18,6 +20,8 @@ import (
 	"time"
 
 	dice "github.com/dice-project/dice"
+	"github.com/dice-project/dice/internal/agent"
+	"github.com/dice-project/dice/internal/obs"
 )
 
 func main() {
@@ -25,6 +29,7 @@ func main() {
 	controlURL := flag.String("control", "http://127.0.0.1:7777", "control plane base URL")
 	workers := flag.Int("workers", runtime.NumCPU(), "local clone parallelism")
 	poll := flag.Duration("poll", 50*time.Millisecond, "idle wait between lease polls")
+	metricsAddr := flag.String("metrics", "", "optional address to serve /metrics and /healthz on")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -39,6 +44,28 @@ func main() {
 			fmt.Printf(format+"\n", args...)
 		},
 	})
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dice-agent:", err)
+			os.Exit(1)
+		}
+		reg := obs.NewRegistry()
+		agent.RegisterMetrics(reg, func() *agent.Agent { return ag })
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"shards_run\":%d}\n", ag.ShardsRun())
+		})
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("agent %s: metrics on http://%s\n", *name, ln.Addr())
+	}
 	if err := ag.Run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "dice-agent:", err)
 		os.Exit(1)

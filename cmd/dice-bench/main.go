@@ -13,14 +13,17 @@
 // agents through the control plane. e14 is the three-way conformance
 // experiment: the bird+obgpd+frr demo under the majority-vote differential
 // oracle, plus the out-of-process driver's result-equivalence leg (skipped
-// where the environment cannot fork/exec). codec is the checkpoint-serialization
+// where the environment cannot fork/exec). e15 is the observability
+// experiment: the same soak bare vs under the full dice-serve
+// instrumentation layer, with exposition latency/determinism and the
+// codec-persisted soak history. codec is the checkpoint-serialization
 // experiment: gob vs the deterministic binary codec on encode/decode/
 // measure/restore, plus the content-addressed ring's quiet-epoch retention.
 // -json writes the selected experiment's machine-readable result (`-exp e9
 // -json BENCH_clone.json`, `-exp e10 -json BENCH_federation.json`, `-exp e12
 // -json BENCH_live.json`, `-exp e13 -json BENCH_distributed.json`, `-exp e14
-// -json BENCH_hetero3.json` and `-exp codec -json BENCH_codec.json` are the
-// artifacts CI tracks across PRs).
+// -json BENCH_hetero3.json`, `-exp e15 -json BENCH_serve.json` and `-exp
+// codec -json BENCH_codec.json` are the artifacts CI tracks across PRs).
 //
 // Every JSON artifact is stamped with a schema version, the experiment id,
 // the seed and the Go runtime metadata (version, GOOS/GOARCH, GOMAXPROCS),
@@ -47,7 +50,9 @@ import (
 // was added.
 // v4: the e14 three-way conformance experiment (BENCH_hetero3.json) was
 // added; existing artifact schemas are unchanged.
-const benchSchemaVersion = 4
+// v5: the e15 observability-overhead experiment (BENCH_serve.json) was
+// added; existing artifact schemas are unchanged.
+const benchSchemaVersion = 5
 
 // benchMeta is the self-describing header embedded in every BENCH_*.json
 // artifact.
@@ -268,6 +273,30 @@ type hetero3Bench struct {
 	ProcOverheadPercent float64 `json:"proc_overhead_percent"`
 }
 
+// serveBench is the schema of the e15 -json artifact (BENCH_serve.json):
+// the dice-serve observability layer's soak overhead against the bare soak,
+// plus exposition size/latency/determinism and the soak-history artifact.
+type serveBench struct {
+	benchMeta
+	Routers int `json:"routers"`
+	Epochs  int `json:"epochs"`
+
+	BareNs          int64   `json:"bare_ns"`
+	InstrumentedNs  int64   `json:"instrumented_ns"`
+	OverheadPercent float64 `json:"overhead_percent"`
+
+	SeriesCount             int   `json:"series_count"`
+	ExpositionBytes         int   `json:"exposition_bytes"`
+	ExpositionMeanNs        int64 `json:"exposition_mean_ns"`
+	ExpositionDeterministic bool  `json:"exposition_deterministic"`
+
+	Findings          int  `json:"findings"`
+	SameFindings      bool `json:"same_findings"`
+	SpansRecorded     int  `json:"spans_recorded"`
+	HistoryBytes      int  `json:"history_bytes"`
+	HistoryRoundTrips bool `json:"history_round_trips"`
+}
+
 func writeJSON(path string, out interface{}) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -439,11 +468,31 @@ func writeDistributedJSON(path string, cfg dice.ExperimentConfig, r *dice.E13Res
 	})
 }
 
+func writeServeJSON(path string, cfg dice.ExperimentConfig, r *dice.E15Result) error {
+	return writeJSON(path, serveBench{
+		benchMeta:               newBenchMeta("e15", cfg),
+		Routers:                 r.Routers,
+		Epochs:                  r.Epochs,
+		BareNs:                  r.BareDuration.Nanoseconds(),
+		InstrumentedNs:          r.InstrumentedDuration.Nanoseconds(),
+		OverheadPercent:         r.OverheadPercent,
+		SeriesCount:             r.SeriesCount,
+		ExpositionBytes:         r.ExpositionBytes,
+		ExpositionMeanNs:        r.ExpositionMean.Nanoseconds(),
+		ExpositionDeterministic: r.ExpositionDeterministic,
+		Findings:                r.Findings,
+		SameFindings:            r.SameFindings,
+		SpansRecorded:           r.SpansRecorded,
+		HistoryBytes:            r.HistoryBytes,
+		HistoryRoundTrips:       r.HistoryRoundTrips,
+	})
+}
+
 func main() {
 	// E14's process-isolation leg re-execs this binary as a backend
 	// subprocess; divert those re-executions before flag parsing.
 	procdriver.MaybeRunChild()
-	exp := flag.String("exp", "all", "experiment to run: e1..e14, codec, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e15, codec, or all")
 	quick := flag.Bool("quick", false, "use reduced budgets")
 	seed := flag.Int64("seed", 1, "random seed")
 	jsonPath := flag.String("json", "", "write the selected experiment's machine-readable artifact to this path (e10, e12, e13 and codec write their own schemas; any other selection writes the e9 clone-lifecycle artifact, running e9 if needed)")
@@ -473,10 +522,10 @@ func main() {
 	}
 
 	// The -json artifact follows the selected experiment when it has its own
-	// schema (e10, e12, e13, e14, codec); every other selection tracks the
-	// e9 clone artifact.
+	// schema (e10, e12, e13, e14, e15, codec); every other selection tracks
+	// the e9 clone artifact.
 	jsonOwner := "e9"
-	if which == "e10" || which == "e12" || which == "e13" || which == "e14" || which == "codec" {
+	if which == "e10" || which == "e12" || which == "e13" || which == "e14" || which == "e15" || which == "codec" {
 		jsonOwner = which
 	}
 
@@ -559,6 +608,13 @@ func main() {
 		report("E14", res, err)
 		if err == nil && *jsonPath != "" && jsonOwner == "e14" {
 			wrote(*jsonPath, writeHetero3JSON(*jsonPath, cfg, res))
+		}
+	}
+	if run("e15") {
+		res, err := dice.RunE15(cfg)
+		report("E15", res, err)
+		if err == nil && *jsonPath != "" && jsonOwner == "e15" {
+			wrote(*jsonPath, writeServeJSON(*jsonPath, cfg, res))
 		}
 	}
 	if run("codec") {

@@ -21,6 +21,8 @@ import (
 	"time"
 
 	dice "github.com/dice-project/dice"
+	"github.com/dice-project/dice/internal/control"
+	"github.com/dice-project/dice/internal/obs"
 )
 
 func main() {
@@ -73,7 +75,19 @@ func run(listen string, agents, unitsPerShard int, leaseTTL time.Duration, input
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: dice.NewControlHandler(ctrl)}
+	reg := obs.NewRegistry()
+	control.RegisterMetrics(reg, func() *control.Controller { return ctrl })
+	mux := http.NewServeMux()
+	mux.Handle("/", dice.NewControlHandler(ctrl))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"agents\":%d}\n", len(ctrl.AgentNames()))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	defer srv.Close()
 	// The line agents (and the smoke driver) parse for the dial address.

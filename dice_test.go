@@ -416,3 +416,34 @@ func TestRunE13Quick(t *testing.T) {
 		t.Error("empty report")
 	}
 }
+
+func TestRunE15Quick(t *testing.T) {
+	res, err := RunE15(quickCfg)
+	if err != nil {
+		t.Fatalf("E15: %v", err)
+	}
+	if res.Routers != 27 || res.Epochs == 0 {
+		t.Fatalf("E15 should soak the 27-router demo: %d routers, %d epochs", res.Routers, res.Epochs)
+	}
+	if !res.SameFindings {
+		t.Fatal("instrumented soak changed the finding set")
+	}
+	if res.Findings == 0 {
+		t.Fatal("soak over the planted faults produced no findings")
+	}
+	if !res.ExpositionDeterministic {
+		t.Fatal("32 scrapes of settled state were not byte-identical")
+	}
+	if res.SeriesCount == 0 || res.ExpositionBytes == 0 {
+		t.Fatalf("exposition empty: %d series, %d bytes", res.SeriesCount, res.ExpositionBytes)
+	}
+	if res.SpansRecorded == 0 {
+		t.Error("no campaign spans recorded")
+	}
+	if res.HistoryBytes == 0 || !res.HistoryRoundTrips {
+		t.Fatalf("soak history artifact broken: %d bytes, round-trips=%v", res.HistoryBytes, res.HistoryRoundTrips)
+	}
+	if res.String() == "" {
+		t.Error("empty report")
+	}
+}

@@ -1,0 +1,266 @@
+// Serve: the dice-serve daemon operated over its HTTP API, kill and all.
+// This driver builds the dice-serve binary, starts it with a history file,
+// attaches the 27-router demo, runs a short soak, and asserts the key
+// observability guarantees from the outside: /metrics carries live
+// (nonzero) series from every instrumented subsystem and scrapes
+// byte-identically in stable state, /api/v1/findings carries provenance,
+// and after killing and restarting the daemon the persisted soak history
+// resumes — same soak count, next soak numbered after the old one. This is
+// the CI smoke for the observability subsystem, so it exits non-zero on
+// any deviation.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "serve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// moduleRoot finds the repository root so the driver works from any cwd.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		fatalf("locate module root: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		fatalf("not inside a Go module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// daemon is one running dice-serve process.
+type daemon struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startDaemon launches the binary and waits for its listen announcement.
+func startDaemon(bin, history string) *daemon {
+	cmd := exec.Command(bin, "-listen", "127.0.0.1:0", "-history", history)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatalf("start dice-serve: %v", err)
+	}
+	urlCh := make(chan string, 1)
+	go func() {
+		listenRE := regexp.MustCompile(`listening on (http://\S+)`)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Println(line)
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case urlCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case url := <-urlCh:
+		return &daemon{cmd: cmd, url: url}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		fatalf("daemon never announced its listen address")
+		return nil
+	}
+}
+
+func (d *daemon) get(path string) (int, []byte) {
+	resp, err := http.Get(d.url + path)
+	if err != nil {
+		fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func (d *daemon) post(path, body string) (int, []byte) {
+	resp, err := http.Post(d.url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, b
+}
+
+// soak attaches (when needed) and runs one bounded soak to completion.
+func (d *daemon) soak() {
+	if code, body := d.get("/api/v1/status"); code != http.StatusOK {
+		fatalf("status: %d %s", code, body)
+	} else {
+		var st struct {
+			Attached bool `json:"attached"`
+		}
+		json.Unmarshal(body, &st)
+		if !st.Attached {
+			if code, body := d.post("/api/v1/attach", `{"deployment":"demo27","seed":7}`); code != http.StatusOK {
+				fatalf("attach: %d %s", code, body)
+			}
+		}
+	}
+	if code, body := d.post("/api/v1/soak/start",
+		`{"epochs":2,"inputs_per_scenario":4,"fuzz_seeds":2,"workers":2}`); code != http.StatusOK {
+		fatalf("soak start: %d %s", code, body)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		_, body := d.get("/api/v1/status")
+		var st struct {
+			SoakRunning bool `json:"soak_running"`
+		}
+		json.Unmarshal(body, &st)
+		if !st.SoakRunning {
+			return
+		}
+		if time.Now().After(deadline) {
+			fatalf("soak did not finish in time")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// metricValue extracts an unlabeled sample's value, -1 when absent.
+func metricValue(body []byte, name string) float64 {
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+func historySoaks(d *daemon) int {
+	_, body := d.get("/api/v1/history")
+	var h struct {
+		Soaks int `json:"soaks"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		fatalf("history: %v", err)
+	}
+	return h.Soaks
+}
+
+func main() {
+	root := moduleRoot()
+	workdir, err := os.MkdirTemp("", "dice-serve-*")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer os.RemoveAll(workdir)
+
+	bin := filepath.Join(workdir, "dice-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/dice-serve")
+	build.Dir = root
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		fatalf("build dice-serve: %v", err)
+	}
+	history := filepath.Join(workdir, "history.bin")
+
+	// First life: health, one soak, metrics and findings assertions.
+	d := startDaemon(bin, history)
+	if code, body := d.get("/healthz"); code != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		fatalf("healthz: %d %s", code, body)
+	}
+	d.soak()
+
+	_, metrics := d.get("/metrics")
+	for _, series := range []string{
+		"dice_live_epochs_total",
+		"dice_live_campaigns_total",
+		"dice_live_findings_total",
+		"dice_pool_leases_total",
+		"dice_checkpoint_ring_epochs",
+		"dice_federation_summaries_total",
+		"dice_serve_soaks_total",
+		"dice_serve_history_epochs",
+	} {
+		if v := metricValue(metrics, series); v <= 0 {
+			fatalf("series %s = %v, want > 0\n%s", series, v, metrics)
+		}
+	}
+	if _, again := d.get("/metrics"); !bytes.Equal(metrics, again) {
+		fatalf("two scrapes of stable state differ")
+	}
+
+	_, body := d.get("/api/v1/findings")
+	var findings []struct {
+		Epoch    int    `json:"epoch"`
+		Scenario string `json:"scenario"`
+		Explorer string `json:"explorer"`
+		Key      string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &findings); err != nil {
+		fatalf("findings: %v", err)
+	}
+	if len(findings) == 0 {
+		fatalf("soak over the planted faults produced no findings")
+	}
+	for _, f := range findings {
+		if f.Scenario == "" || f.Explorer == "" || f.Key == "" {
+			fatalf("finding missing provenance: %+v", f)
+		}
+	}
+	if got := historySoaks(d); got != 1 {
+		fatalf("history soaks = %d after first soak, want 1", got)
+	}
+
+	// Kill the daemon mid-flight (SIGTERM, as an operator would).
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	d.cmd.Wait()
+
+	// Second life: the history must resume, and the next soak must extend it.
+	d = startDaemon(bin, history)
+	if got := historySoaks(d); got != 1 {
+		fatalf("restarted daemon resumed %d soaks, want 1", got)
+	}
+	d.soak()
+	if got := historySoaks(d); got != 2 {
+		fatalf("post-restart soak counted %d soaks, want 2", got)
+	}
+	_, body = d.get("/api/v1/history")
+	var h struct {
+		Trend []struct {
+			Soak   int `json:"soak"`
+			Epochs int `json:"epochs"`
+		} `json:"trend"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		fatalf("history: %v", err)
+	}
+	if len(h.Trend) != 2 || h.Trend[0].Soak != 1 || h.Trend[1].Soak != 2 {
+		fatalf("trendline did not resume across restart: %+v", h.Trend)
+	}
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	d.cmd.Wait()
+
+	fmt.Printf("serve: ok — %d findings, trendline resumed across restart (%+v)\n", len(findings), h.Trend)
+}

@@ -1,6 +1,7 @@
 package dice
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	mrand "math/rand"
@@ -23,6 +24,8 @@ import (
 	"github.com/dice-project/dice/internal/fuzz"
 	"github.com/dice-project/dice/internal/live"
 	"github.com/dice-project/dice/internal/node/procdriver"
+	"github.com/dice-project/dice/internal/obs"
+	"github.com/dice-project/dice/internal/serve"
 	"github.com/dice-project/dice/internal/topology"
 )
 
@@ -2254,5 +2257,213 @@ func (r *E14Result) String() string {
 			r.ProcRouters, r.InProcDuration.Round(time.Millisecond), r.ProcDuration.Round(time.Millisecond),
 			r.ProcOverheadPercent, r.ProcSameDetections)
 	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// E15 — observability overhead: the dice-serve instrumentation layer
+// (metrics registry over every subsystem, per-epoch exposition, span tracing
+// and codec-persisted soak history) measured against the identical soak run
+// bare. The instrumented soak must detect exactly the same violations, the
+// exposition must be byte-deterministic, and the whole layer must stay
+// within a small overhead (<2% is the budget BENCH tracks).
+// ---------------------------------------------------------------------------
+
+// E15Result summarizes the observability-overhead comparison.
+type E15Result struct {
+	Routers int
+	Epochs  int
+
+	// Soak wall clock with the observability layer off and on, and the
+	// relative overhead ((on-off)/off).
+	BareDuration         time.Duration
+	InstrumentedDuration time.Duration
+	OverheadPercent      float64
+
+	// The instrumented run's exposition: registered series, body size, mean
+	// render latency over 64 scrapes, and 32-scrape byte-determinism.
+	SeriesCount             int
+	ExpositionBytes         int
+	ExpositionMean          time.Duration
+	ExpositionDeterministic bool
+
+	// Detection equivalence and the observability artifacts the run left.
+	Findings          int
+	SameFindings      bool
+	SpansRecorded     int
+	HistoryBytes      int
+	HistoryRoundTrips bool
+}
+
+// e15soak is one bounded soak's outcome.
+type e15soak struct {
+	duration time.Duration
+	epochs   int
+	findings []string
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	hist     *serve.History
+}
+
+// runE15Soak runs the standard demo soak once, optionally under the full
+// observability layer (registry, per-epoch scrape, span feed, history rows).
+func runE15Soak(cfg ExperimentConfig, instrument bool) (*e15soak, error) {
+	topo := topology.Demo27()
+	victim := topo.Nodes[26].Prefixes[0]
+	copts := cluster.Options{
+		Seed: cfg.Seed,
+		ConfigOverride: faults.ApplyConfigFaults(
+			faults.MisOrigination{Router: "R12", Prefix: victim},
+			faults.MissingImportFilter{Router: "R1", Peer: "R4"},
+		),
+		MaxEvents: 300000,
+	}
+	deployed, err := cluster.Build(topo, copts)
+	if err != nil {
+		return nil, err
+	}
+	deployed.Converge()
+
+	out := &e15soak{}
+	opts := live.Options{
+		Seed:              cfg.Seed,
+		ClusterOptions:    copts,
+		MaxEpochs:         cfg.inputs(8, 3),
+		ScenariosPerEpoch: 0,
+		InputsPerScenario: cfg.inputs(16, 5),
+		FuzzSeeds:         cfg.inputs(4, 2),
+		Explorers:         []string{"R1"},
+		// Pin the governor (as in E12) so both halves of the comparison
+		// checkpoint on the same cadence regardless of machine speed.
+		PauseBudget: time.Hour,
+	}
+
+	var rt *live.Runtime
+	var scrape bytes.Buffer
+	if instrument {
+		out.reg = obs.NewRegistry()
+		out.tracer = obs.NewTracer(4096)
+		out.hist = &serve.History{Soaks: 1}
+		live.RegisterMetrics(out.reg, func() *live.Runtime { return rt })
+
+		var mu sync.Mutex
+		campaigns := make(map[string]uint64)
+		opts.OnEpoch = func(sum live.EpochSummary) {
+			out.hist.AddEpoch(1, sum)
+			// A scrape per epoch is the cost a scraping Prometheus adds to
+			// the loop; the body is rendered in full and discarded.
+			scrape.Reset()
+			_ = out.reg.WritePrometheus(&scrape)
+		}
+		opts.OnCampaignEvent = func(epoch int, scenario string, ev dice.Event) {
+			key := fmt.Sprintf("%d/%s", epoch, scenario)
+			mu.Lock()
+			defer mu.Unlock()
+			switch ev.Kind {
+			case dice.EventCampaignStart:
+				campaigns[key] = out.tracer.Begin(obs.SpanCampaign, key, 0)
+			case dice.EventCampaignEnd:
+				if id, ok := campaigns[key]; ok {
+					out.tracer.End(id)
+					delete(campaigns, key)
+				}
+			}
+		}
+	}
+
+	rt, err = live.NewRuntime(deployed, topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	report, err := rt.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	out.duration = time.Since(start)
+	out.epochs = rt.Stats().Epochs
+	for _, f := range report.Findings() {
+		out.findings = append(out.findings, fmt.Sprintf("%d/%s/%s<-%s/%d/%s",
+			f.Epoch, f.Scenario, f.Explorer, f.FromPeer, f.InputIndex, f.Violation.Key()))
+	}
+	sort.Strings(out.findings)
+	return out, nil
+}
+
+// RunE15 runs the soak bare and instrumented and compares.
+func RunE15(cfg ExperimentConfig) (*E15Result, error) {
+	bare, err := runE15Soak(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := runE15Soak(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &E15Result{
+		Routers:              len(topology.Demo27().Nodes),
+		Epochs:               inst.epochs,
+		BareDuration:         bare.duration,
+		InstrumentedDuration: inst.duration,
+		Findings:             len(inst.findings),
+		SameFindings:         len(bare.findings) == len(inst.findings),
+	}
+	if out.SameFindings {
+		for i := range bare.findings {
+			if bare.findings[i] != inst.findings[i] {
+				out.SameFindings = false
+				break
+			}
+		}
+	}
+	if bare.duration > 0 {
+		out.OverheadPercent = 100 * float64(inst.duration-bare.duration) / float64(bare.duration)
+	}
+
+	// Exposition: size, determinism and render latency over the settled
+	// post-soak state.
+	first := inst.reg.Expose()
+	out.SeriesCount = len(inst.reg.Names())
+	out.ExpositionBytes = len(first)
+	out.ExpositionDeterministic = true
+	for i := 0; i < 32; i++ {
+		if !bytes.Equal(inst.reg.Expose(), first) {
+			out.ExpositionDeterministic = false
+			break
+		}
+	}
+	const renders = 64
+	var buf bytes.Buffer
+	start := time.Now()
+	for i := 0; i < renders; i++ {
+		buf.Reset()
+		_ = inst.reg.WritePrometheus(&buf)
+	}
+	out.ExpositionMean = time.Since(start) / renders
+
+	for _, n := range inst.tracer.Counts() {
+		out.SpansRecorded += int(n)
+	}
+	encoded := inst.hist.Encode()
+	out.HistoryBytes = len(encoded)
+	if decoded, err := serve.DecodeHistory(encoded); err == nil {
+		out.HistoryRoundTrips = bytes.Equal(decoded.Encode(), encoded)
+	}
+	return out, nil
+}
+
+// String renders the observability-overhead report.
+func (r *E15Result) String() string {
+	var b strings.Builder
+	b.WriteString("E15 (dice-serve observability: instrumentation overhead and exposition):\n")
+	fmt.Fprintf(&b, "  topology                  %d routers, %d epochs\n", r.Routers, r.Epochs)
+	fmt.Fprintf(&b, "  soak wall clock           bare %v, instrumented %v (overhead %.2f%%)\n",
+		r.BareDuration.Round(time.Millisecond), r.InstrumentedDuration.Round(time.Millisecond), r.OverheadPercent)
+	fmt.Fprintf(&b, "  exposition                %d series, %d bytes, mean render %v, 32-scrape byte-identical: %v\n",
+		r.SeriesCount, r.ExpositionBytes, r.ExpositionMean.Round(time.Microsecond), r.ExpositionDeterministic)
+	fmt.Fprintf(&b, "  findings                  %d, identical to bare soak: %v\n", r.Findings, r.SameFindings)
+	fmt.Fprintf(&b, "  artifacts                 %d spans, %d-byte history (codec round-trips: %v)\n",
+		r.SpansRecorded, r.HistoryBytes, r.HistoryRoundTrips)
 	return b.String()
 }

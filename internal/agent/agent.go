@@ -85,6 +85,10 @@ func (a *Agent) logf(format string, args ...any) {
 	}
 }
 
+// Workers reports the agent's configured clone parallelism (0: the shipped
+// spec's hint decides).
+func (a *Agent) Workers() int { return a.cfg.Workers }
+
 // ShardsRun reports how many shards this agent completed.
 func (a *Agent) ShardsRun() int {
 	a.mu.Lock()

@@ -1,0 +1,33 @@
+package agent
+
+import (
+	"github.com/dice-project/dice/internal/cluster"
+	"github.com/dice-project/dice/internal/obs"
+)
+
+// RegisterMetrics registers the agent's worker and lease series, reading
+// the agent's existing counters at exposition time (a nil-returning
+// callback exposes zeros).
+func RegisterMetrics(reg *obs.Registry, ag func() *Agent) {
+	reg.CounterFunc("dice_agent_shards_run_total", "Shard leases this agent executed.",
+		func() float64 {
+			if a := ag(); a != nil {
+				return float64(a.ShardsRun())
+			}
+			return 0
+		})
+	reg.GaugeFunc("dice_agent_workers", "Configured worker parallelism.",
+		func() float64 {
+			if a := ag(); a != nil {
+				return float64(a.Workers())
+			}
+			return 0
+		})
+	cluster.RegisterPoolMetrics(reg, "dice_agent_pool",
+		func() cluster.PoolStats {
+			if a := ag(); a != nil {
+				return a.PoolStats()
+			}
+			return cluster.PoolStats{}
+		}, nil)
+}

@@ -50,6 +50,7 @@ var Analyzer = &analysis.Analyzer{
 var deterministicPkgs = map[string]bool{
 	"internal/checkpoint":       true,
 	"internal/checkpoint/codec": true,
+	"internal/obs":              true,
 	"internal/concolic":         true,
 	"internal/concolic/expr":    true,
 	"internal/concolic/solver":  true,

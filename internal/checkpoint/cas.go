@@ -155,6 +155,33 @@ func (c *CAS) Bytes() int {
 	return total
 }
 
+// SharedBytesSaved returns the canonical-encoding bytes structural sharing
+// avoids retaining: for each blob, (refs−1) × its encoded size — what a
+// naive per-epoch copy would additionally hold. Zero when nothing is shared.
+func (c *CAS) SharedBytesSaved() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, b := range c.blobs {
+		if b.refs > 1 {
+			total += (b.refs - 1) * len(b.data)
+		}
+	}
+	return total
+}
+
+// RefTotal returns the sum of all blob reference counts — the number of
+// epoch-slots resolved by the store, shared or not.
+func (c *CAS) RefTotal() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, b := range c.blobs {
+		total += b.refs
+	}
+	return total
+}
+
 // Contains reports whether the hash is currently retained.
 func (c *CAS) Contains(h Hash) bool {
 	c.mu.Lock()

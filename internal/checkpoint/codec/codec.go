@@ -63,6 +63,9 @@ const (
 	KindSnapshot = 1
 	// KindNode frames a single node checkpoint (the content-addressed unit).
 	KindNode = 2
+	// KindHistory frames a dice-serve soak-history file (per-epoch summary
+	// rows plus per-scenario detection analytics).
+	KindHistory = 3
 )
 
 // IsEncoded reports whether data opens with this package's header magic —

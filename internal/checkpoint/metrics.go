@@ -1,0 +1,29 @@
+package checkpoint
+
+import "github.com/dice-project/dice/internal/obs"
+
+// RegisterRingMetrics registers the epoch ring's retention series, reading
+// the ring returned by the callback at exposition time (nil exposes zeros,
+// so a daemon can register before any soak is attached).
+func RegisterRingMetrics(reg *obs.Registry, ring func() *Ring) {
+	get := func(f func(*Ring) int) func() float64 {
+		return func() float64 {
+			if r := ring(); r != nil {
+				return float64(f(r))
+			}
+			return 0
+		}
+	}
+	reg.GaugeFunc("dice_checkpoint_ring_epochs", "Epochs currently retained in the ring.",
+		get(func(r *Ring) int { return r.Len() }))
+	reg.GaugeFunc("dice_checkpoint_ring_capacity", "Ring retention capacity.",
+		get(func(r *Ring) int { return r.Capacity() }))
+	reg.GaugeFunc("dice_checkpoint_ring_retained_bytes", "Canonical-encoding bytes retained (each unique blob once).",
+		get(func(r *Ring) int { return r.RetainedBytes() }))
+	reg.GaugeFunc("dice_checkpoint_cas_blobs", "Distinct node contents in the content-addressed store.",
+		get(func(r *Ring) int { return r.UniqueBlobs() }))
+	reg.GaugeFunc("dice_checkpoint_cas_refs", "Total blob references across retained epochs.",
+		get(func(r *Ring) int { return r.RefTotal() }))
+	reg.GaugeFunc("dice_checkpoint_cas_shared_bytes_saved", "Bytes structural sharing avoids retaining ((refs-1)*size summed).",
+		get(func(r *Ring) int { return r.SharedBytesSaved() }))
+}

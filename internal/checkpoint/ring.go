@@ -250,6 +250,13 @@ func (r *Ring) RetainedBytes() int { return r.cas.Bytes() }
 // UniqueBlobs returns the number of distinct node contents retained.
 func (r *Ring) UniqueBlobs() int { return r.cas.Len() }
 
+// SharedBytesSaved returns the bytes structural sharing saves across the
+// retained epochs (see CAS.SharedBytesSaved).
+func (r *Ring) SharedBytesSaved() int { return r.cas.SharedBytesSaved() }
+
+// RefTotal returns the sum of blob reference counts across retained epochs.
+func (r *Ring) RefTotal() int { return r.cas.RefTotal() }
+
 // combineHashes folds the per-node content hashes (in sorted node order) and
 // the channel state into one epoch digest. Unlike the hashes themselves this
 // is a 64-bit convenience key (dedupe caches, campaign seeds), but it

@@ -1,0 +1,32 @@
+package cluster
+
+import "github.com/dice-project/dice/internal/obs"
+
+// RegisterPoolMetrics registers clone-pool lifecycle series under the given
+// prefix (e.g. "dice_pool"), reading PoolStats snapshots at exposition time
+// — the pool's own hot path is untouched. The stats callback supplies the
+// cumulative counters; outstanding supplies the live leased-not-released
+// gauge (nil exposes zero).
+func RegisterPoolMetrics(reg *obs.Registry, prefix string, stats func() PoolStats, outstanding func() int) {
+	reg.CounterFunc(prefix+"_leases_total", "Clone leases granted.",
+		func() float64 { return float64(stats().Leases) })
+	reg.CounterFunc(prefix+"_releases_total", "Clones handed back to the pool.",
+		func() float64 { return float64(stats().Releases) })
+	reg.CounterFunc(prefix+"_discards_total", "Pooled clones discarded (failed reset or dead driver).",
+		func() float64 { return float64(stats().Discards) })
+	reg.CounterFunc(prefix+"_cold_builds_total", "Full shadow-cluster constructions.",
+		func() float64 { return float64(stats().ColdBuilds) })
+	reg.CounterFunc(prefix+"_cold_build_seconds_total", "Wall clock spent cold-building clones.",
+		func() float64 { return stats().ColdBuildTime.Seconds() })
+	reg.CounterFunc(prefix+"_resets_total", "In-place clone rewinds to the snapshot.",
+		func() float64 { return float64(stats().Resets) })
+	reg.CounterFunc(prefix+"_reset_seconds_total", "Wall clock spent rewinding clones.",
+		func() float64 { return stats().ResetTime.Seconds() })
+	reg.GaugeFunc(prefix+"_outstanding", "Leased clones not yet released.",
+		func() float64 {
+			if outstanding == nil {
+				return 0
+			}
+			return float64(outstanding())
+		})
+}

@@ -62,6 +62,9 @@ type agentState struct {
 	workers  int
 	// shards the agent currently holds, renewed as one by its heartbeat.
 	shards map[int]bool
+	// lastSeen is the controller-clock time of the agent's last request of
+	// any kind — what AgentHeartbeatAges measures staleness against.
+	lastSeen time.Time
 }
 
 // campaignRun is the controller's view of one ExecuteUnits invocation.
@@ -152,6 +155,7 @@ func (c *Controller) Register(h *Hello) *Welcome {
 		backends: append([]string(nil), h.Backends...),
 		workers:  h.Workers,
 		shards:   make(map[int]bool),
+		lastSeen: c.cfg.Clock(),
 	}
 	c.stats.Agents++
 	c.logf("control: registered %s (%q, %d workers)", id, h.Agent, h.Workers)
@@ -175,9 +179,11 @@ func (c *Controller) BaselinePayload(req *BaselineRequest) (*Baseline, error) {
 	if c.run == nil {
 		return nil, ErrNoCampaign
 	}
-	if c.agents[req.AgentID] == nil {
+	ag := c.agents[req.AgentID]
+	if ag == nil {
 		return nil, fmt.Errorf("control: unknown agent %q", req.AgentID)
 	}
+	ag.lastSeen = c.cfg.Clock()
 	n, err := FrameSize(&c.run.baseline)
 	if err != nil {
 		return nil, err
@@ -207,6 +213,7 @@ func (c *Controller) LeaseNext(req *LeaseRequest) (any, error) {
 	if ag == nil {
 		return nil, fmt.Errorf("control: unknown agent %q", req.AgentID)
 	}
+	ag.lastSeen = c.cfg.Clock()
 	if len(c.agents) < c.cfg.MinAgents {
 		return &NoWork{}, nil
 	}
@@ -245,6 +252,7 @@ func (c *Controller) HeartbeatRenew(hb *Heartbeat) (*HeartbeatAck, error) {
 	if ag == nil {
 		return nil, fmt.Errorf("control: unknown agent %q", hb.AgentID)
 	}
+	ag.lastSeen = c.cfg.Clock()
 	ack := &HeartbeatAck{}
 	if c.run == nil {
 		// A finished campaign cancels any straggler still executing a shard.
@@ -288,6 +296,9 @@ func (c *Controller) SubmitResult(sr *ShardResult) (*ResultAck, error) {
 	ss.state = shardDone
 	if ag := c.agents[ss.agent]; ag != nil {
 		delete(ag.shards, ss.shard.ID)
+	}
+	if ag := c.agents[sr.AgentID]; ag != nil {
+		ag.lastSeen = c.cfg.Clock()
 	}
 	if n, err := FrameSize(sr); err == nil {
 		c.stats.ResultBytes += n
@@ -349,6 +360,7 @@ func (c *Controller) sweep() {
 		}
 		if ss.attempt >= c.cfg.MaxShardAttempts {
 			ss.state = shardDone
+			c.stats.Abandoned++
 			failures = append(failures, failed{
 				shard: ss.shard,
 				err:   fmt.Errorf("control: shard %d abandoned after %d lease attempts (last agent %s)", ss.shard.ID, ss.attempt, lost),
@@ -481,6 +493,20 @@ func (c *Controller) AgentNames() map[string]string {
 	out := make(map[string]string, len(c.agents))
 	for id, ag := range c.agents {
 		out[id] = ag.name
+	}
+	return out
+}
+
+// AgentHeartbeatAges reports, per agent ID, how long ago (by the
+// controller's clock) the agent was last heard from — through any request,
+// not just heartbeats. The metrics layer exposes these as staleness gauges.
+func (c *Controller) AgentHeartbeatAges() map[string]time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	out := make(map[string]time.Duration, len(c.agents))
+	for id, ag := range c.agents {
+		out[id] = now.Sub(ag.lastSeen)
 	}
 	return out
 }

@@ -1,0 +1,55 @@
+package control
+
+import "github.com/dice-project/dice/internal/obs"
+
+// RegisterMetrics registers the control plane's shard and agent series,
+// reading the controller's existing stats snapshots at exposition time (a
+// nil-returning callback exposes zeros).
+func RegisterMetrics(reg *obs.Registry, ctrl func() *Controller) {
+	remote := func(f func(c *Controller) float64) func() float64 {
+		return func() float64 {
+			if c := ctrl(); c != nil {
+				return f(c)
+			}
+			return 0
+		}
+	}
+	reg.GaugeFunc("dice_control_agents", "Agents registered with the controller.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().Agents) }))
+	reg.GaugeFunc("dice_control_shards", "Shards the current campaign was partitioned into.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().Shards) }))
+	reg.CounterFunc("dice_control_shards_reassigned_total", "Shard leases re-issued after an agent was lost.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().Reassigned) }))
+	reg.CounterFunc("dice_control_shards_abandoned_total", "Shards failed after exhausting their lease attempts.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().Abandoned) }))
+	reg.CounterFunc("dice_control_baseline_bytes_total", "Encoded baseline bytes fetched by agents.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().BaselineBytes) }))
+	reg.CounterFunc("dice_control_shard_bytes_total", "Shard leases' wire size.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().ShardBytes) }))
+	reg.CounterFunc("dice_control_result_bytes_total", "Shard results' wire size.",
+		remote(func(c *Controller) float64 { return float64(c.RemoteStats().ResultBytes) }))
+	reg.GaugeVecFunc("dice_control_agent_heartbeat_age_seconds", "Seconds since each agent was last heard from.", "agent",
+		func() map[string]float64 {
+			c := ctrl()
+			if c == nil {
+				return nil
+			}
+			out := make(map[string]float64)
+			for id, age := range c.AgentHeartbeatAges() {
+				out[id] = age.Seconds()
+			}
+			return out
+		})
+	reg.GaugeVecFunc("dice_control_agent_shards_leased", "Shard leases granted per agent over the campaign.", "agent",
+		func() map[string]float64 {
+			c := ctrl()
+			if c == nil {
+				return nil
+			}
+			out := make(map[string]float64)
+			for id, n := range c.AgentShardCounts() {
+				out[id] = float64(n)
+			}
+			return out
+		})
+}

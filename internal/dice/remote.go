@@ -90,10 +90,12 @@ func (s RemoteSpec) CampaignOptions(topo *topology.Topology, store *checkpoint.S
 // checker.Summary content only).
 type RemoteStats struct {
 	// Agents that registered; Shards the campaign was partitioned into;
-	// Reassigned counts shard leases re-issued after an agent was lost.
+	// Reassigned counts shard leases re-issued after an agent was lost;
+	// Abandoned counts shards failed after exhausting their lease attempts.
 	Agents     int
 	Shards     int
 	Reassigned int
+	Abandoned  int
 	// BaselineBytes is the encoded baseline snapshot each agent fetched once
 	// (total across agents). ShardBytes is the shard leases' wire size
 	// (units plus snapshot deltas against the baseline). ResultBytes is the

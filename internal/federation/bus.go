@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/dice-project/dice/internal/checker"
@@ -161,6 +162,19 @@ func (b *Bus) Stats() BusStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.stats
+}
+
+// Domains returns every domain the bus has accounted traffic for, sorted —
+// the enumeration the metrics layer labels per-domain series with.
+func (b *Bus) Domains() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.traffic))
+	for d := range b.traffic {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Traffic returns the named domain's send/receive counters.

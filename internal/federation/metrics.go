@@ -1,0 +1,42 @@
+package federation
+
+import "github.com/dice-project/dice/internal/obs"
+
+// RegisterBusMetrics registers the federation bus's disclosure accounting,
+// reading the bus returned by the callback at exposition time (nil exposes
+// zeros). Per-domain series appear as domains first exchange traffic.
+func RegisterBusMetrics(reg *obs.Registry, bus func() *Bus) {
+	reg.CounterFunc("dice_federation_summaries_total", "Summary envelopes published across domain boundaries.",
+		func() float64 {
+			if b := bus(); b != nil {
+				return float64(b.Stats().Summaries)
+			}
+			return 0
+		})
+	reg.CounterFunc("dice_federation_disclosed_bytes_total", "Serialized bytes charged for cross-domain disclosures.",
+		func() float64 {
+			if b := bus(); b != nil {
+				return float64(b.Stats().Bytes)
+			}
+			return 0
+		})
+	perDomain := func(f func(Traffic) int) func() map[string]float64 {
+		return func() map[string]float64 {
+			b := bus()
+			if b == nil {
+				return nil
+			}
+			out := make(map[string]float64)
+			for _, d := range b.Domains() {
+				out[d] = float64(f(b.Traffic(d)))
+			}
+			return out
+		}
+	}
+	reg.CounterVecFunc("dice_federation_domain_summaries_sent_total", "Summaries published by the domain.", "domain",
+		perDomain(func(t Traffic) int { return t.SummariesSent }))
+	reg.CounterVecFunc("dice_federation_domain_bytes_sent_total", "Disclosure bytes charged to the domain as sender.", "domain",
+		perDomain(func(t Traffic) int { return t.BytesSent }))
+	reg.CounterVecFunc("dice_federation_domain_bytes_received_total", "Disclosure bytes received by the domain.", "domain",
+		perDomain(func(t Traffic) int { return t.BytesReceived }))
+}

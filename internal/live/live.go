@@ -42,6 +42,7 @@ import (
 	"github.com/dice-project/dice/internal/cluster"
 	"github.com/dice-project/dice/internal/dice"
 	"github.com/dice-project/dice/internal/faults"
+	"github.com/dice-project/dice/internal/federation"
 	"github.com/dice-project/dice/internal/netem"
 	"github.com/dice-project/dice/internal/topology"
 )
@@ -165,10 +166,28 @@ type Options struct {
 	// fault set re-explores rather than trusting shallower past campaigns.
 	Cache *PathCache
 
+	// Partition, when non-nil, runs every shadow campaign federated over
+	// these administrative domains: units are planned per domain and
+	// cross-domain verdicts travel as summary-grade disclosures. The
+	// disclosures are mirrored onto the runtime's long-lived Bus, so a soak's
+	// cumulative per-domain disclosure accounting is observable (the metrics
+	// layer reads it).
+	Partition *federation.Partition
+
 	// OnFinding, when non-nil, is called synchronously for every new finding
 	// (after minimization), always from the exploring goroutine, never
 	// concurrently.
 	OnFinding func(*Finding)
+	// OnEpoch, when non-nil, is called synchronously from the exploring
+	// goroutine after each epoch's campaigns finish, with that epoch's
+	// summary row. In Overlap mode an epoch superseded before exploration
+	// produces no row. Never called concurrently.
+	OnEpoch func(EpochSummary)
+	// OnCampaignEvent, when non-nil, receives every campaign progress event
+	// (unit starts, detections, summaries) tagged with the epoch and
+	// scenario — the feed for span tracing. Called synchronously from the
+	// exploring goroutine.
+	OnCampaignEvent func(epoch int, scenario string, ev dice.Event)
 	// Trace, when non-nil, receives progress lines. Invocations are
 	// serialized by the runtime (in Overlap mode both the checkpoint loop
 	// and the explorer emit lines), so the callback itself needs no locking.
@@ -232,10 +251,16 @@ type Stats struct {
 	CheckpointPauseTotal   time.Duration
 	CheckpointPauseMax     time.Duration
 	CheckpointProcessTotal time.Duration
-	// PauseBudgetExceeded counts checkpoints whose pause ran over budget;
-	// each stretched the checkpoint cadence. CheckpointStride is the final
-	// cadence (traffic steps per checkpoint).
+	// PauseBudgetExceeded counts checkpoints whose pause ran over budget.
+	// StrideStretches counts the governor actually doubling the cadence in
+	// response — at the stride cap an overrun increments PauseBudgetExceeded
+	// but not StrideStretches, so the two diverge exactly when the governor
+	// has run out of room. StrideRelaxes counts cadence halvings on
+	// comfortably-under-budget pauses. CheckpointStride is the final cadence
+	// (traffic steps per checkpoint).
 	PauseBudgetExceeded int
+	StrideStretches     int
+	StrideRelaxes       int
 	CheckpointStride    int
 
 	// Epoch footprint accounting.
@@ -298,6 +323,57 @@ func (s Stats) DedupeSavedFraction() float64 {
 	return float64(s.InputsSaved) / float64(total)
 }
 
+// EpochSummary is one epoch's row of soak history: what the checkpoint cost
+// and what its exploration did. Duration and byte fields are this epoch's
+// own, not cumulative; delivered via Options.OnEpoch after the epoch's
+// campaigns finish.
+type EpochSummary struct {
+	// Seq is the epoch's ring sequence number; UnixNano the wall-clock time
+	// its checkpoint was taken (from the ring's clock seam).
+	Seq      int
+	UnixNano int64
+
+	// Checkpoint-side costs.
+	Pause      time.Duration
+	Process    time.Duration
+	Traffic    time.Duration
+	OverBudget bool
+	Stride     int
+
+	// Footprint.
+	Bytes        int
+	DeltaBytes   int
+	NodesChanged int
+
+	// Exploration activity (this epoch only).
+	Explore          time.Duration
+	Campaigns        int
+	CampaignsDeduped int
+	Inputs           int
+	InputsSaved      int
+	Paths            int
+	PathsSaved       int
+	Findings         int
+}
+
+// epochMeta carries the checkpoint loop's measurements for one epoch to the
+// exploring goroutine, which folds in exploration deltas and emits the
+// EpochSummary.
+type epochMeta struct {
+	pause      time.Duration
+	process    time.Duration
+	traffic    time.Duration
+	overBudget bool
+	stride     int
+}
+
+// epochWork pairs an epoch with its checkpoint measurements in the Overlap
+// mailbox.
+type epochWork struct {
+	ep   *checkpoint.Epoch
+	meta epochMeta
+}
+
 // Runtime attaches DiCE to a running deployment and soaks it: traffic,
 // checkpoint, explore, repeat. Construct with NewRuntime, then call Run
 // once.
@@ -311,12 +387,18 @@ type Runtime struct {
 	cache  *PathCache
 	report *Report
 	props  []checker.Property
+	bus    *federation.Bus
 
 	start time.Time
 
 	mu      sync.Mutex
 	stats   Stats
 	started bool
+	// poolStats accumulates retired epochs' clone-pool activity; activePool
+	// is the currently exploring epoch's pool (nil between epochs). PoolStats
+	// folds the two, so the soak-wide view never loses an epoch.
+	poolStats  cluster.PoolStats
+	activePool *cluster.ClonePool
 	// traceMu serializes Trace callback invocations (see tracef).
 	traceMu sync.Mutex
 	// pathHigh is each scenario's high-water mark of unique paths explored
@@ -380,6 +462,7 @@ func NewRuntime(liveCluster *cluster.Cluster, topo *topology.Topology, opts Opti
 		sched:        NewScheduler(opts.Seed, scenarios),
 		cache:        opts.Cache,
 		report:       NewReport(),
+		bus:          federation.NewBus(),
 		pathHigh:     make(map[string]int),
 		configDigest: exploreConfigDigest(opts, opts.Strategy.Name(), props),
 		props:        props,
@@ -406,6 +489,43 @@ func (rt *Runtime) Stats() Stats {
 	defer rt.mu.Unlock()
 	return rt.stats
 }
+
+// Bus returns the runtime's long-lived federation bus. Campaigns run under
+// Options.Partition mirror every disclosure onto it, so its counters are the
+// soak's cumulative cross-domain disclosure accounting; without a partition
+// it stays at zero.
+func (rt *Runtime) Bus() *federation.Bus { return rt.bus }
+
+// PoolStats returns clone-pool activity accumulated across every epoch,
+// including the epoch currently exploring.
+func (rt *Runtime) PoolStats() cluster.PoolStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	s := rt.poolStats
+	if rt.activePool != nil {
+		s = s.Add(rt.activePool.Stats())
+	}
+	return s
+}
+
+// PoolOutstanding returns the currently exploring epoch's leased-not-released
+// clone count (zero between epochs — retired pools are always quiesced).
+func (rt *Runtime) PoolOutstanding() int {
+	rt.mu.Lock()
+	pool := rt.activePool
+	rt.mu.Unlock()
+	if pool == nil {
+		return 0
+	}
+	return pool.Outstanding()
+}
+
+// busMirror mirrors a federated campaign's disclosures onto the runtime's
+// long-lived bus, re-accounting each envelope there.
+type busMirror struct{ bus *federation.Bus }
+
+// Deliver implements federation.Transport.
+func (m busMirror) Deliver(e federation.Envelope) { m.bus.Record(e) }
 
 // tracef serializes all Trace callback invocations: in Overlap mode the
 // checkpoint loop and the explorer goroutine both emit progress lines, and
@@ -441,16 +561,16 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 	// In Overlap mode exploration runs on its own goroutine, consuming only
 	// the freshest epoch; deliver() supersedes a stale pending epoch.
 	var (
-		mailbox chan *checkpoint.Epoch
+		mailbox chan epochWork
 		wg      sync.WaitGroup
 	)
 	if rt.opts.Overlap {
-		mailbox = make(chan *checkpoint.Epoch, 1)
+		mailbox = make(chan epochWork, 1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for ep := range mailbox {
-				rt.explore(ctx, ep)
+			for w := range mailbox {
+				rt.exploreEpoch(ctx, w.ep, w.meta)
 			}
 		}()
 		// Every exit of Run — normal completion, cancellation, or a
@@ -485,10 +605,13 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 		// Governor: stretch the cadence when the pause ran over budget,
 		// relax it when pauses are comfortably under.
 		overBudget := pause > rt.opts.PauseBudget
+		stretched, relaxed := false, false
 		if overBudget && stride < maxStride {
 			stride *= 2
+			stretched = true
 		} else if !overBudget && pause*4 < rt.opts.PauseBudget && stride > 1 {
 			stride /= 2
+			relaxed = true
 		}
 
 		// Off the critical path (the snapshot is immutable; traffic could
@@ -512,6 +635,12 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 		if overBudget {
 			rt.stats.PauseBudgetExceeded++
 		}
+		if stretched {
+			rt.stats.StrideStretches++
+		}
+		if relaxed {
+			rt.stats.StrideRelaxes++
+		}
 		rt.stats.CheckpointStride = stride
 		rt.stats.SnapshotBytesTotal += ep.Bytes
 		rt.stats.DeltaBytesTotal += ep.DeltaBytes
@@ -520,10 +649,11 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 		rt.tracef("epoch %d: cut %v (%d bytes, delta %d, %d/%d nodes changed)",
 			ep.Seq, pause.Round(time.Microsecond), ep.Bytes, ep.DeltaBytes, ep.NodesChanged, len(snap.Nodes))
 
+		meta := epochMeta{pause: pause, process: procTime, traffic: trafficTime, overBudget: overBudget, stride: stride}
 		if rt.opts.Overlap {
-			rt.deliver(mailbox, ep)
+			rt.deliver(mailbox, epochWork{ep: ep, meta: meta})
 		} else {
-			rt.explore(ctx, ep)
+			rt.exploreEpoch(ctx, ep, meta)
 		}
 	}
 
@@ -533,10 +663,10 @@ func (rt *Runtime) Run(ctx context.Context) (*Report, error) {
 // deliver hands an epoch to the explorer goroutine, superseding a stale
 // pending epoch rather than queueing behind it — the backpressure that keeps
 // exploration working on the freshest state when it lags checkpointing.
-func (rt *Runtime) deliver(mailbox chan *checkpoint.Epoch, ep *checkpoint.Epoch) {
+func (rt *Runtime) deliver(mailbox chan epochWork, w epochWork) {
 	for {
 		select {
-		case mailbox <- ep:
+		case mailbox <- w:
 			return
 		default:
 		}
@@ -545,10 +675,45 @@ func (rt *Runtime) deliver(mailbox chan *checkpoint.Epoch, ep *checkpoint.Epoch)
 			rt.mu.Lock()
 			rt.stats.EpochsSuperseded++
 			rt.mu.Unlock()
-			rt.tracef("epoch %d superseded by epoch %d before exploration", stale.Seq, ep.Seq)
+			rt.tracef("epoch %d superseded by epoch %d before exploration", stale.ep.Seq, w.ep.Seq)
 		default:
 		}
 	}
+}
+
+// exploreEpoch runs the epoch's campaigns and, when the caller subscribed,
+// emits its EpochSummary — exploration deltas diffed around the explore call
+// (exploration stats have a single writer, this goroutine, so the diff is
+// exact even while the checkpoint loop updates traffic counters
+// concurrently in Overlap mode).
+func (rt *Runtime) exploreEpoch(ctx context.Context, ep *checkpoint.Epoch, meta epochMeta) {
+	if rt.opts.OnEpoch == nil {
+		rt.explore(ctx, ep)
+		return
+	}
+	before := rt.Stats()
+	rt.explore(ctx, ep)
+	after := rt.Stats()
+	rt.opts.OnEpoch(EpochSummary{
+		Seq:              ep.Seq,
+		UnixNano:         ep.Taken.UnixNano(),
+		Pause:            meta.pause,
+		Process:          meta.process,
+		Traffic:          meta.traffic,
+		OverBudget:       meta.overBudget,
+		Stride:           meta.stride,
+		Bytes:            ep.Bytes,
+		DeltaBytes:       ep.DeltaBytes,
+		NodesChanged:     ep.NodesChanged,
+		Explore:          after.ExploreTime - before.ExploreTime,
+		Campaigns:        after.Campaigns - before.Campaigns,
+		CampaignsDeduped: after.CampaignsDeduped - before.CampaignsDeduped,
+		Inputs:           after.InputsExplored - before.InputsExplored,
+		InputsSaved:      after.InputsSaved - before.InputsSaved,
+		Paths:            after.PathsExplored - before.PathsExplored,
+		PathsSaved:       after.PathsSaved - before.PathsSaved,
+		Findings:         after.Findings - before.Findings,
+	})
 }
 
 // seedFor derives a campaign seed from the epoch's state fingerprint and the
@@ -568,6 +733,17 @@ func (rt *Runtime) explore(ctx context.Context, ep *checkpoint.Epoch) {
 	// worker per epoch, not once per worker per scenario. Built lazily — a
 	// fully deduped epoch never builds clones at all.
 	var pool *cluster.ClonePool
+	// Retire the epoch's pool into the soak-wide accumulator on every exit
+	// path, so PoolStats never loses an epoch (or double-counts one).
+	defer func() {
+		if pool == nil {
+			return
+		}
+		rt.mu.Lock()
+		rt.poolStats = rt.poolStats.Add(pool.Stats())
+		rt.activePool = nil
+		rt.mu.Unlock()
+	}()
 	for _, sc := range rt.sched.Draw(rt.opts.ScenariosPerEpoch) {
 		if ctx.Err() != nil {
 			return
@@ -586,6 +762,9 @@ func (rt *Runtime) explore(ctx context.Context, ep *checkpoint.Epoch) {
 		}
 		if pool == nil {
 			pool = cluster.NewClonePool(rt.topo, ep.Store, rt.opts.ClusterOptions)
+			rt.mu.Lock()
+			rt.activePool = pool
+			rt.mu.Unlock()
 		}
 
 		prelude := recordPrelude(sc)
@@ -717,6 +896,20 @@ func (rt *Runtime) runCampaign(ctx context.Context, ep *checkpoint.Epoch, sc fau
 	}
 	if len(rt.opts.Explorers) > 0 {
 		opts = append(opts, dice.WithExplorers(rt.opts.Explorers...))
+	}
+	if rt.opts.Partition != nil {
+		// Federated campaign: disclosures cross domain boundaries as
+		// summaries, mirrored onto the runtime's long-lived bus so the soak's
+		// cumulative per-domain accounting is observable.
+		opts = append(opts,
+			dice.WithFederation(rt.opts.Partition),
+			dice.WithFederationTransport(busMirror{bus: rt.bus}))
+	}
+	if rt.opts.OnCampaignEvent != nil {
+		epoch, scenario := ep.Seq, sc.Name()
+		opts = append(opts, dice.WithOnEvent(func(ev dice.Event) {
+			rt.opts.OnCampaignEvent(epoch, scenario, ev)
+		}))
 	}
 	if len(prelude) > 0 {
 		opts = append(opts, dice.WithClonePrelude(func(shadow *cluster.Cluster) {

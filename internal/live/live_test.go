@@ -281,8 +281,51 @@ func TestGovernorStretchesCadenceOnPauseOverrun(t *testing.T) {
 	if stats.CheckpointStride != 8 {
 		t.Errorf("final stride = %d, want 8 (doubled each epoch, capped)", stats.CheckpointStride)
 	}
+	if stats.StrideStretches != 3 {
+		t.Errorf("stride stretches = %d, want 3 (one per doubling: 1→2→4→8)", stats.StrideStretches)
+	}
+	if stats.StrideRelaxes != 0 {
+		t.Errorf("stride relaxes = %d, want 0", stats.StrideRelaxes)
+	}
 	if stats.CheckpointPauseMax <= 0 || stats.PauseMean() <= 0 {
 		t.Errorf("pause accounting empty: %+v", stats)
+	}
+}
+
+// TestGovernorOverrunsAtStrideCap pins the promoted governor counters apart:
+// once the stride caps at 8, further overruns keep incrementing
+// PauseBudgetExceeded but produce no stretch — StrideStretches counts actual
+// cadence doublings, exactly one per stretch, never one per overrun.
+func TestGovernorOverrunsAtStrideCap(t *testing.T) {
+	deployed, topo, opts := soakFixture(t)
+	rt, err := NewRuntime(deployed, topo, Options{
+		Seed:              1,
+		ClusterOptions:    opts,
+		MaxEpochs:         5,
+		PauseBudget:       time.Nanosecond, // every real pause overruns
+		InputsPerScenario: 2,
+		FuzzSeeds:         2,
+		ScenariosPerEpoch: 1,
+		Explorers:         []string{"R2"},
+		Workers:           1,
+		MinimizeReplays:   -1,
+		Traffic:           func(*cluster.Cluster, *rand.Rand, int) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Stats()
+	if stats.PauseBudgetExceeded != 5 {
+		t.Errorf("budget exceeded = %d, want 5 (every epoch overran)", stats.PauseBudgetExceeded)
+	}
+	if stats.StrideStretches != 3 {
+		t.Errorf("stride stretches = %d, want 3 (1→2→4→8, then capped)", stats.StrideStretches)
+	}
+	if stats.CheckpointStride != 8 {
+		t.Errorf("final stride = %d, want 8", stats.CheckpointStride)
 	}
 }
 
@@ -300,12 +343,12 @@ func TestDeliverSupersedesStaleEpoch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mailbox := make(chan *checkpoint.Epoch, 1)
-	rt.deliver(mailbox, ep1)
-	rt.deliver(mailbox, ep2) // supersedes ep1
+	mailbox := make(chan epochWork, 1)
+	rt.deliver(mailbox, epochWork{ep: ep1})
+	rt.deliver(mailbox, epochWork{ep: ep2}) // supersedes ep1
 	got := <-mailbox
-	if got != ep2 {
-		t.Fatalf("mailbox holds epoch %d, want %d", got.Seq, ep2.Seq)
+	if got.ep != ep2 {
+		t.Fatalf("mailbox holds epoch %d, want %d", got.ep.Seq, ep2.Seq)
 	}
 	if rt.stats.EpochsSuperseded != 1 {
 		t.Fatalf("superseded = %d, want 1", rt.stats.EpochsSuperseded)

@@ -1,0 +1,428 @@
+// Package obs is the observability core of the long-running DiCE runtimes:
+// a stdlib-only metrics registry with named counters, gauges and histograms,
+// exposed in Prometheus text format, plus lightweight span tracing
+// (epoch → campaign → unit → clone input) fed by the existing campaign
+// event streams.
+//
+// The registry is deliberately deterministic: exposition walks families in
+// sorted name order and vector samples in sorted label order, values format
+// through one shortest-round-trip float renderer, and nothing in the package
+// reads a wall clock — identical internal state always renders to identical
+// bytes. That property is what makes /metrics diffable in tests and lets the
+// soak smoke assert byte-stable expositions across scrapes; dice-vet's
+// detsource analyzer keeps the package honest.
+//
+// Metrics for the hot subsystems (clone pool, checkpoint ring, federation
+// bus, control plane) are registered as *Func collectors reading the
+// subsystems' existing stats snapshots at exposition time, so instrumenting
+// them adds no locks or atomics to their hot paths.
+//
+//dice:deterministic
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates metric families.
+type Kind int
+
+// Metric family kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String renders the kind as its Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// DefBuckets are the default histogram boundaries, in seconds — tuned for
+// the runtime's two natural scales: checkpoint pauses (microseconds to tens
+// of milliseconds) and campaign/exposition work (milliseconds to seconds).
+// The boundaries are pinned by test; changing them is a dashboard-visible
+// schema change.
+var DefBuckets = []float64{1e-5, 1e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 1, 5, 30}
+
+// family is one named metric: a static instrument or a collector callback.
+type family struct {
+	name, help string
+	kind       Kind
+	label      string // label name for vector families, "" for scalars
+
+	// Exactly one of the following sources is set.
+	sample *sample                   // static scalar instrument
+	hist   *histogram                // static histogram instrument
+	fn     func() float64            // scalar collector
+	vecFn  func() map[string]float64 // vector collector
+}
+
+// sample is a static scalar value shared by Counter and Gauge handles.
+type sample struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Counter is a monotonically increasing static metric.
+type Counter struct{ s *sample }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.s.mu.Lock()
+	c.s.v += delta
+	c.s.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	return c.s.v
+}
+
+// Gauge is a static metric that can move both ways.
+type Gauge struct{ s *sample }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	g.s.mu.Lock()
+	g.s.v = v
+	g.s.mu.Unlock()
+}
+
+// Add adjusts the value by delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) {
+	g.s.mu.Lock()
+	g.s.v += delta
+	g.s.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.s.mu.Lock()
+	defer g.s.mu.Unlock()
+	return g.s.v
+}
+
+// histogram is the static histogram state: cumulative-on-render bucket
+// counts, total sum and observation count.
+type histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, sorted, +Inf implicit
+	counts  []uint64  // per-bucket (non-cumulative) observation counts
+	sum     float64
+	count   uint64
+}
+
+// Histogram is a static distribution metric with fixed bucket boundaries.
+type Histogram struct{ h *histogram }
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.h.mu.Lock()
+	defer h.h.mu.Unlock()
+	idx := len(h.h.buckets)
+	for i, ub := range h.h.buckets {
+		if v <= ub {
+			idx = i
+			break
+		}
+	}
+	if idx < len(h.h.counts) {
+		h.h.counts[idx]++
+	}
+	h.h.sum += v
+	h.h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.h.mu.Lock()
+	defer h.h.mu.Unlock()
+	return h.h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.h.mu.Lock()
+	defer h.h.mu.Unlock()
+	return h.h.sum
+}
+
+// Buckets returns a copy of the bucket upper bounds.
+func (h *Histogram) Buckets() []float64 {
+	return append([]float64(nil), h.h.buckets...)
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Registration panics on duplicate or malformed names (a metric
+// name collision is a programming error, not a runtime condition); scraping
+// is safe for concurrent use with instrument updates.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates and stores a family, panicking on duplicates.
+func (r *Registry) register(f *family) {
+	if !validName(f.name, true) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	if f.label != "" && !validName(f.label, false) {
+		panic(fmt.Sprintf("obs: invalid label name %q on metric %q", f.label, f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", f.name))
+	}
+	// A histogram's exposition owns the name_bucket/name_sum/name_count
+	// series; collisions with other families' base names are caught by the
+	// base-name check because every registration goes through it.
+	r.families[f.name] = f
+}
+
+// validName reports whether s is a legal metric (colons allowed) or label
+// name.
+func validName(s string, allowColon bool) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c == ':' && allowColon:
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns a static counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	s := &sample{}
+	r.register(&family{name: name, help: help, kind: KindCounter, sample: s})
+	return &Counter{s: s}
+}
+
+// Gauge registers and returns a static gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	s := &sample{}
+	r.register(&family{name: name, help: help, kind: KindGauge, sample: s})
+	return &Gauge{s: s}
+}
+
+// Histogram registers and returns a static histogram. Nil or empty buckets
+// select DefBuckets; boundaries must be strictly increasing.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly increasing", name))
+		}
+	}
+	h := &histogram{
+		buckets: append([]float64(nil), buckets...),
+		counts:  make([]uint64, len(buckets)),
+	}
+	r.register(&family{name: name, help: help, kind: KindHistogram, hist: h})
+	return &Histogram{h: h}
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time — the no-new-locks way to expose an existing cumulative stat.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: KindCounter, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: KindGauge, fn: fn})
+}
+
+// CounterVecFunc registers a labeled counter family read from fn at
+// exposition time; fn maps label values to counts. Samples render in sorted
+// label order.
+func (r *Registry) CounterVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&family{name: name, help: help, kind: KindCounter, label: label, vecFn: fn})
+}
+
+// GaugeVecFunc registers a labeled gauge family read from fn at exposition
+// time.
+func (r *Registry) GaugeVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&family{name: name, help: help, kind: KindGauge, label: label, vecFn: fn})
+}
+
+// Names returns the registered family names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for name := range r.families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expose renders the whole registry as Prometheus text exposition format.
+// The output is byte-deterministic for identical registry state: families
+// in sorted name order, vector samples in sorted label order.
+func (r *Registry) Expose() []byte {
+	var b strings.Builder
+	r.write(&b)
+	return []byte(b.String())
+}
+
+// WritePrometheus writes the exposition to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	r.write(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (r *Registry) write(b *strings.Builder) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+		switch {
+		case f.sample != nil:
+			f.sample.mu.Lock()
+			v := f.sample.v
+			f.sample.mu.Unlock()
+			writeSample(b, f.name, "", "", v)
+		case f.fn != nil:
+			writeSample(b, f.name, "", "", f.fn())
+		case f.vecFn != nil:
+			vals := f.vecFn()
+			keys := make([]string, 0, len(vals))
+			for k := range vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				writeSample(b, f.name, f.label, k, vals[k])
+			}
+		case f.hist != nil:
+			writeHistogram(b, f)
+		}
+	}
+}
+
+// writeSample renders one sample line, with an optional single label.
+func writeSample(b *strings.Builder, name, label, labelValue string, v float64) {
+	b.WriteString(name)
+	if label != "" {
+		b.WriteString(`{`)
+		b.WriteString(label)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labelValue))
+		b.WriteString(`"}`)
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count series.
+func writeHistogram(b *strings.Builder, f *family) {
+	f.hist.mu.Lock()
+	buckets := append([]float64(nil), f.hist.buckets...)
+	counts := append([]uint64(nil), f.hist.counts...)
+	sum, count := f.hist.sum, f.hist.count
+	f.hist.mu.Unlock()
+
+	cum := uint64(0)
+	for i, ub := range buckets {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%s\"} %d\n", f.name, formatFloat(ub), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", f.name, count)
+	fmt.Fprintf(b, "%s_sum %s\n", f.name, formatFloat(sum))
+	fmt.Fprintf(b, "%s_count %d\n", f.name, count)
+}
+
+// formatFloat renders a value in the shortest round-trip form — one
+// formatter for every value keeps the exposition byte-stable.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a help string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionDeterministic is the satellite-mandated determinism suite:
+// a fixed registry state must render to byte-identical exposition on every
+// scrape — 32 consecutive scrapes compared byte for byte.
+func TestExpositionDeterministic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dice_test_ops_total", "ops")
+	c.Add(41)
+	c.Inc()
+	g := r.Gauge("dice_test_depth", "queue depth")
+	g.Set(7.25)
+	h := r.Histogram("dice_test_pause_seconds", "pauses", nil)
+	h.Observe(0.0004)
+	h.Observe(0.02)
+	h.Observe(99)
+	r.GaugeVecFunc("dice_test_weight", "per-scenario weight", "scenario", func() map[string]float64 {
+		return map[string]float64{"link-flap": 1.5, "withdraw": 2, "aspath": 0.25}
+	})
+	r.CounterFunc("dice_test_reads_total", "reads", func() float64 { return 12 })
+
+	first := r.Expose()
+	if len(first) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for i := 0; i < 31; i++ {
+		if got := r.Expose(); !bytes.Equal(got, first) {
+			t.Fatalf("scrape %d differs from first:\n%s\n---\n%s", i+2, got, first)
+		}
+	}
+}
+
+func TestExpositionContent(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(3)
+	r.Gauge("a_depth", "first").Set(-1.5)
+	r.GaugeVecFunc("c_vec", "labeled", "domain", func() map[string]float64 {
+		return map[string]float64{"zulu": 1, "alpha": 2}
+	})
+	got := string(r.Expose())
+	want := strings.Join([]string{
+		"# HELP a_depth first",
+		"# TYPE a_depth gauge",
+		"a_depth -1.5",
+		"# HELP b_total second",
+		"# TYPE b_total counter",
+		"b_total 3",
+		"# HELP c_vec labeled",
+		"# TYPE c_vec gauge",
+		`c_vec{domain="alpha"} 2`,
+		`c_vec{domain="zulu"} 1`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDuplicateNamePanics pins the contract that a name collision is a
+// programming error caught at registration.
+func TestDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate name")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	for _, bad := range []string{"", "9leading", "has-dash", "sp ace", "uni·code"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic on name %q", bad)
+				}
+			}()
+			NewRegistry().Counter(bad, "")
+		}()
+	}
+	// Colons are legal in metric names but not label names.
+	NewRegistry().Counter("ns:ok_total", "")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on label name with colon")
+			}
+		}()
+		NewRegistry().GaugeVecFunc("ok", "", "bad:label", nil)
+	}()
+}
+
+// TestDefaultBucketsPinned pins the default histogram boundaries: changing
+// them silently re-bins every dashboard.
+func TestDefaultBucketsPinned(t *testing.T) {
+	want := []float64{1e-5, 1e-4, 1e-3, 5e-3, 2.5e-2, 1e-1, 5e-1, 1, 5, 30}
+	r := NewRegistry()
+	h := r.Histogram("pin_seconds", "", nil)
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	h.Observe(0.05) // bucket 0.1
+	h.Observe(0.5)  // bucket 1
+	h.Observe(0.7)  // bucket 1
+	h.Observe(100)  // +Inf only
+	got := string(r.Expose())
+	want := strings.Join([]string{
+		"# HELP lat_seconds latency",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_sum 101.25",
+		"lat_seconds_count 4",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if h.Count() != 4 || h.Sum() != 101.25 {
+		t.Fatalf("count/sum = %d/%v", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramBadBucketsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-increasing buckets")
+		}
+	}()
+	NewRegistry().Histogram("bad_seconds", "", []float64{1, 1})
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "")
+	c.Add(5)
+	c.Add(-3)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %v, want 5", c.Value())
+	}
+	g := r.Gauge("swing", "")
+	g.Add(5)
+	g.Add(-3)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v, want 2", g.Value())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVecFunc("esc", "", "k", func() map[string]float64 {
+		return map[string]float64{"a\"b\\c\nd": 1}
+	})
+	got := string(r.Expose())
+	if !strings.Contains(got, `esc{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", got)
+	}
+}
+
+func TestWritePrometheusAndNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "")
+	r.Counter("a_total", "")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), r.Expose()) {
+		t.Fatal("WritePrometheus differs from Expose")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a_total" || names[1] != "z_total" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	// One shortest-round-trip formatter: integers render without exponent
+	// noise, and special values stay parseable.
+	cases := map[float64]string{
+		0:           "0",
+		3:           "3",
+		2.5:         "2.5",
+		1e-5:        "1e-05",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		got := formatFloat(v)
+		if v == math.Inf(1) {
+			if got != "+Inf" {
+				t.Fatalf("formatFloat(+Inf) = %q", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

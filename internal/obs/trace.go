@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanKind names the level of the soak trace hierarchy a span belongs to:
+// epoch → campaign → unit → input.
+type SpanKind string
+
+// The span kinds emitted by the instrumented runtimes.
+const (
+	SpanEpoch    SpanKind = "epoch"
+	SpanCampaign SpanKind = "campaign"
+	SpanUnit     SpanKind = "unit"
+	SpanInput    SpanKind = "input"
+)
+
+// Span is one timed region of soak work. Parent links spans into the
+// epoch → campaign → unit → input tree; a zero Parent marks a root.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Kind   SpanKind
+	Name   string
+	Start  time.Time
+	End    time.Time
+}
+
+// Elapsed returns the span duration (zero while still active).
+func (s Span) Elapsed() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// Tracer collects spans into a bounded ring of finished spans. Time is read
+// through an injectable clock (defaulting to the wall clock) so tests drive
+// it deterministically; the hot path never reads time itself — callers stamp
+// spans from timings they already measured.
+//
+// Tracer is safe for concurrent use.
+type Tracer struct {
+	mu       sync.Mutex
+	clock    func() time.Time
+	nextID   uint64
+	active   map[uint64]Span
+	finished []Span // ring, capacity cap
+	next     int    // ring write cursor
+	full     bool
+	capacity int
+	counts   map[SpanKind]uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity finished spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{
+		clock:    time.Now,
+		active:   make(map[uint64]Span),
+		finished: make([]Span, capacity),
+		capacity: capacity,
+		counts:   make(map[SpanKind]uint64),
+	}
+}
+
+// SetClock replaces the time source; tests inject a deterministic clock.
+func (t *Tracer) SetClock(clock func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if clock != nil {
+		t.clock = clock
+	}
+}
+
+// Begin opens a span and returns its ID. Parent may be zero for a root span.
+func (t *Tracer) Begin(kind SpanKind, name string, parent uint64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.active[id] = Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: t.clock()}
+	return id
+}
+
+// End closes an active span, moving it into the finished ring. Unknown IDs
+// are ignored (the span may have been evicted by a Reset).
+func (t *Tracer) End(id uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, ok := t.active[id]
+	if !ok {
+		return
+	}
+	delete(t.active, id)
+	sp.End = t.clock()
+	t.push(sp)
+}
+
+// Record adds an already-timed span retroactively — the path used when a
+// subsystem reports a completed region (an epoch's checkpoint pause, a
+// detection's input replay) with timings it measured itself. Returns the
+// span's ID for use as a parent.
+func (t *Tracer) Record(kind SpanKind, name string, parent uint64, start, end time.Time) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.push(Span{ID: id, Parent: parent, Kind: kind, Name: name, Start: start, End: end})
+	return id
+}
+
+// push appends to the finished ring; caller holds mu.
+func (t *Tracer) push(sp Span) {
+	t.finished[t.next] = sp
+	t.next++
+	if t.next == t.capacity {
+		t.next = 0
+		t.full = true
+	}
+	t.counts[sp.Kind]++
+}
+
+// Snapshot returns the retained finished spans in completion order.
+func (t *Tracer) Snapshot() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Span
+	if t.full {
+		out = append(out, t.finished[t.next:]...)
+		out = append(out, t.finished[:t.next]...)
+	} else {
+		out = append(out, t.finished[:t.next]...)
+	}
+	return out
+}
+
+// Active returns the currently open spans, ordered by ID.
+func (t *Tracer) Active() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.active))
+	for _, sp := range t.active {
+		out = append(out, sp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Counts returns the total number of finished spans per kind (including
+// spans evicted from the ring).
+func (t *Tracer) Counts() map[SpanKind]uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[SpanKind]uint64, len(t.counts))
+	for k, v := range t.counts {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic time source stepping 1ms per read.
+func fakeClock() func() time.Time {
+	t0 := time.Unix(1700000000, 0).UTC()
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func TestTracerBeginEnd(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetClock(fakeClock())
+	epoch := tr.Begin(SpanEpoch, "epoch-1", 0)
+	camp := tr.Begin(SpanCampaign, "link-flap", epoch)
+	if got := len(tr.Active()); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	tr.End(camp)
+	tr.End(epoch)
+	if got := len(tr.Active()); got != 0 {
+		t.Fatalf("active after end = %d, want 0", got)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("finished = %d, want 2", len(spans))
+	}
+	// Completion order: campaign ended first.
+	if spans[0].Kind != SpanCampaign || spans[1].Kind != SpanEpoch {
+		t.Fatalf("order = %v, %v", spans[0].Kind, spans[1].Kind)
+	}
+	if spans[0].Parent != epoch {
+		t.Fatalf("campaign parent = %d, want %d", spans[0].Parent, epoch)
+	}
+	if spans[0].Elapsed() <= 0 {
+		t.Fatal("elapsed should be positive")
+	}
+}
+
+func TestTracerRecordRetroactive(t *testing.T) {
+	tr := NewTracer(4)
+	start := time.Unix(1700000000, 0).UTC()
+	id := tr.Record(SpanEpoch, "epoch-3", 0, start, start.Add(2*time.Second))
+	if id == 0 {
+		t.Fatal("zero span ID")
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 1 || spans[0].Elapsed() != 2*time.Second {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	start := time.Unix(1700000000, 0).UTC()
+	for i := 0; i < 5; i++ {
+		tr.Record(SpanUnit, "u", 0, start, start.Add(time.Duration(i+1)*time.Millisecond))
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("retained = %d, want 3", len(spans))
+	}
+	// Oldest two evicted: IDs 3,4,5 remain in completion order.
+	for i, sp := range spans {
+		if want := uint64(i + 3); sp.ID != want {
+			t.Fatalf("span[%d].ID = %d, want %d", i, sp.ID, want)
+		}
+	}
+	// Counts include evicted spans.
+	if got := tr.Counts()[SpanUnit]; got != 5 {
+		t.Fatalf("counts[unit] = %d, want 5", got)
+	}
+}
+
+func TestTracerEndUnknownIgnored(t *testing.T) {
+	tr := NewTracer(2)
+	tr.End(99)
+	if len(tr.Snapshot()) != 0 {
+		t.Fatal("unexpected finished span")
+	}
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/dice-project/dice/internal/obs"
+)
+
+func newServer(t *testing.T, histPath string) *Server {
+	t.Helper()
+	s, err := New(Config{HistoryPath: histPath, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// runSoak attaches the demo deployment (when needed), runs one bounded soak
+// to completion and returns the finished run.
+func runSoak(t *testing.T, s *Server, req SoakRequest) *soakRun {
+	t.Helper()
+	if !s.Status().Attached {
+		if err := s.Attach(AttachRequest{Seed: 7}); err != nil {
+			t.Fatalf("Attach: %v", err)
+		}
+	}
+	if _, err := s.StartSoak(req); err != nil {
+		t.Fatalf("StartSoak: %v", err)
+	}
+	s.mu.Lock()
+	run := s.soak
+	s.mu.Unlock()
+	<-run.done
+	if run.err != nil {
+		t.Fatalf("soak: %v", run.err)
+	}
+	return run
+}
+
+func scrape(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+// metricValue extracts an unlabeled sample's value, -1 when absent.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+	}
+	return -1
+}
+
+// TestServeSoakEndToEnd drives the daemon through a real soak and checks the
+// acceptance points in one pass: findings provenance against live.Report,
+// byte-deterministic metrics with every instrumented subsystem reporting,
+// persisted history matching the runtime, and span hierarchy population.
+func TestServeSoakEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.dice")
+	s := newServer(t, path)
+	run := runSoak(t, s, SoakRequest{Epochs: 2, InputsPerScenario: 6, FuzzSeeds: 2, Workers: 2})
+
+	// Findings provenance: the JSON API projection must carry exactly the
+	// report's (epoch, scenario, unit, input) provenance.
+	want := run.rt.Report().Findings()
+	got := s.Findings()
+	if len(got) == 0 {
+		t.Fatal("soak over the planted faults produced no findings")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("API findings = %d, report findings = %d", len(got), len(want))
+	}
+	for i, f := range want {
+		g := got[i]
+		if g.Epoch != f.Epoch || g.Scenario != f.Scenario || g.Explorer != f.Explorer ||
+			g.FromPeer != f.FromPeer || g.InputIndex != f.InputIndex {
+			t.Errorf("finding %d provenance = %+v, want epoch=%d scenario=%s unit=%s<-%s input=%d",
+				i, g, f.Epoch, f.Scenario, f.Explorer, f.FromPeer, f.InputIndex)
+		}
+		if g.Key != f.Violation.Key() || g.Class != f.Class.String() {
+			t.Errorf("finding %d identity = (%s,%s), want (%s,%s)",
+				i, g.Class, g.Key, f.Class, f.Violation.Key())
+		}
+	}
+
+	// Metrics: identical state must scrape to identical bytes.
+	m1 := scrape(t, s.Registry())
+	m2 := scrape(t, s.Registry())
+	if m1 != m2 {
+		t.Fatal("two scrapes of stable state differ")
+	}
+
+	// Every instrumented subsystem reports at least one live (nonzero)
+	// series.
+	for _, name := range []string{
+		"dice_live_epochs_total",                    // runtime loop
+		"dice_live_campaigns_total",                 // exploration
+		"dice_live_findings_total",                  // detection
+		"dice_pool_leases_total",                    // clone pool
+		"dice_checkpoint_ring_epochs",               // checkpoint ring/CAS
+		"dice_federation_summaries_total",           // federation bus (attach federates by default)
+		"dice_serve_soaks_total",                    // daemon history
+		"dice_serve_history_epochs",                 // daemon history rows
+		"dice_serve_spans_total{kind=\"campaign\"}", // tracer
+	} {
+		bare := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			// Labeled series: look the full sample line up directly.
+			if !strings.Contains(m1, name+" ") {
+				t.Errorf("series %s absent from exposition", name)
+			}
+			continue
+		}
+		if v := metricValue(m1, bare); v <= 0 {
+			t.Errorf("series %s = %v, want > 0", bare, v)
+		}
+	}
+
+	// History on disk: decodes, matches the runtime's epoch count, and
+	// re-encodes byte-identically.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read history: %v", err)
+	}
+	h, err := DecodeHistory(data)
+	if err != nil {
+		t.Fatalf("DecodeHistory: %v", err)
+	}
+	if h.Soaks != 1 {
+		t.Fatalf("history soaks = %d, want 1", h.Soaks)
+	}
+	if stats := run.rt.Stats(); len(h.Epochs) != stats.Epochs {
+		t.Fatalf("history rows = %d, runtime epochs = %d", len(h.Epochs), stats.Epochs)
+	}
+	if !bytes.Equal(h.Encode(), data) {
+		t.Fatal("history file is not a fixed point of encode∘decode")
+	}
+	if len(h.Scenarios) == 0 {
+		t.Fatal("soak end did not merge scenario analytics")
+	}
+
+	// Trace: the campaign event feed produced the span hierarchy.
+	counts := s.Tracer().Counts()
+	for _, kind := range []obs.SpanKind{obs.SpanEpoch, obs.SpanCampaign, obs.SpanUnit} {
+		if counts[kind] == 0 {
+			t.Errorf("no %s spans recorded", kind)
+		}
+	}
+}
+
+// TestServeRestartResumesHistory kills the daemon (by dropping it) and
+// verifies a fresh one resumes the identical trendline: same soak count,
+// byte-identical re-encode, and the next soak numbered after the old ones.
+func TestServeRestartResumesHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.dice")
+
+	s1 := newServer(t, path)
+	runSoak(t, s1, SoakRequest{Epochs: 1, InputsPerScenario: 3, FuzzSeeds: 1, Workers: 2})
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read history: %v", err)
+	}
+
+	s2 := newServer(t, path)
+	h := s2.History()
+	if h.Soaks != 1 {
+		t.Fatalf("restarted daemon resumed %d soaks, want 1", h.Soaks)
+	}
+	if !bytes.Equal(h.Encode(), before) {
+		t.Fatal("restart did not resume history byte-identically")
+	}
+
+	runSoak(t, s2, SoakRequest{Epochs: 1, InputsPerScenario: 3, FuzzSeeds: 1, Workers: 2})
+	h = s2.History()
+	if h.Soaks != 2 {
+		t.Fatalf("second soak numbered %d soaks, want 2", h.Soaks)
+	}
+	trend := h.Trend()
+	if len(trend) != 2 || trend[0].Soak != 1 || trend[1].Soak != 2 {
+		t.Fatalf("trend = %+v, want soaks 1 and 2", trend)
+	}
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read history: %v", err)
+	}
+	h2, err := DecodeHistory(after)
+	if err != nil {
+		t.Fatalf("DecodeHistory after restart: %v", err)
+	}
+	if h2.Soaks != 2 || len(h2.Epochs) != len(h.Epochs) {
+		t.Fatalf("persisted history = %d soaks %d rows, want 2 soaks %d rows",
+			h2.Soaks, len(h2.Epochs), len(h.Epochs))
+	}
+}
+
+// TestServeRefusesForeignHistoryFile verifies the daemon refuses to start
+// over a history path holding something that is not a history artifact.
+func TestServeRefusesForeignHistoryFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.dice")
+	if err := os.WriteFile(path, []byte("not a codec artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{HistoryPath: path}); err == nil {
+		t.Fatal("New accepted a foreign history file")
+	}
+}
+
+// TestHandlerEndpoints exercises the HTTP surface without running a soak.
+func TestHandlerEndpoints(t *testing.T) {
+	s := newServer(t, "")
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "dice_serve_attached 0") {
+		t.Fatalf("metrics = %d (attached gauge missing)", code)
+	}
+	if code, body := get("/api/v1/findings"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("idle findings = %d %q, want empty array", code, body)
+	}
+	if code, _ := post("/api/v1/detach", ""); code != http.StatusConflict {
+		t.Fatalf("detach while idle = %d, want 409", code)
+	}
+	if code, _ := post("/api/v1/soak/start", "{}"); code != http.StatusConflict {
+		t.Fatalf("soak without attachment = %d, want 409", code)
+	}
+	if code, _ := post("/api/v1/attach", "{bad json"); code != http.StatusBadRequest {
+		t.Fatalf("malformed attach = %d, want 400", code)
+	}
+
+	plant, fed := false, false
+	req, _ := json.Marshal(AttachRequest{Deployment: "demo27", Seed: 3, PlantFaults: &plant, Federated: &fed})
+	if code, body := post("/api/v1/attach", string(req)); code != http.StatusOK {
+		t.Fatalf("attach = %d %q", code, body)
+	}
+	if code, _ := post("/api/v1/attach", string(req)); code != http.StatusConflict {
+		t.Fatal("double attach accepted")
+	}
+
+	var st StatusReply
+	if _, body := get("/api/v1/status"); true {
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatalf("status: %v", err)
+		}
+	}
+	if !st.Attached || st.Deployment != "demo27" || st.Federated {
+		t.Fatalf("status = %+v", st)
+	}
+
+	if code, body := get("/api/v1/history"); code != http.StatusOK || !strings.Contains(body, `"soaks":0`) {
+		t.Fatalf("history = %d %q", code, body)
+	}
+	if code, body := get("/api/v1/trace"); code != http.StatusOK || !strings.Contains(body, `"counts"`) {
+		t.Fatalf("trace = %d %q", code, body)
+	}
+	if code, _ := post("/api/v1/detach", ""); code != http.StatusOK {
+		t.Fatal("detach failed")
+	}
+	if code, _ := post("/api/v1/attach", "{\"deployment\":\"demo9000\"}"); code != http.StatusConflict {
+		t.Fatal("unknown deployment accepted")
+	}
+}
